@@ -1,0 +1,68 @@
+// Ablation (§4.1 text): sensitivity of the matching outcome to the alpha
+// and beta thresholds, plus the loser re-match variant. The paper chose
+// alpha=500 m / beta=30 min because results were "most consistent" there;
+// this bench shows the full response surface.
+#include "bench_common.h"
+
+int main() {
+  using namespace geovalid;
+  bench::header(
+      "Ablation: matching thresholds alpha (m) x beta (min)",
+      "honest matches grow with both thresholds and plateau around the "
+      "paper's alpha=500m, beta=30min operating point (loose thresholds = "
+      "upper bound on matches)");
+
+  const auto& prim = bench::primary();
+
+  const std::vector<double> alphas{100.0, 250.0, 500.0, 750.0, 1000.0};
+  const std::vector<trace::TimeSec> betas{
+      trace::minutes(5), trace::minutes(15), trace::minutes(30),
+      trace::minutes(60)};
+
+  std::cout << "honest checkin count (rows: alpha, columns: beta)\n";
+  std::cout << std::left << std::setw(10) << "alpha\\beta";
+  for (const auto beta : betas) {
+    std::cout << std::right << std::setw(10)
+              << std::to_string(beta / 60) + "min";
+  }
+  std::cout << "\n";
+
+  for (double alpha : alphas) {
+    std::cout << std::left << std::setw(10)
+              << std::to_string(static_cast<int>(alpha)) + "m";
+    for (const auto beta : betas) {
+      match::MatchConfig cfg;
+      cfg.alpha_m = alpha;
+      cfg.beta = beta;
+      const auto v = match::validate_dataset(prim.dataset, cfg);
+      std::cout << std::right << std::setw(10) << v.totals.honest;
+    }
+    std::cout << "\n";
+  }
+
+  std::cout << "\nconsistency: honest-count change per step (paper picked "
+               "the knee)\n";
+  std::size_t prev = 0;
+  for (double alpha : alphas) {
+    match::MatchConfig cfg;
+    cfg.alpha_m = alpha;
+    const auto v = match::validate_dataset(prim.dataset, cfg);
+    std::cout << "  alpha=" << std::setw(5) << alpha
+              << "  honest=" << v.totals.honest;
+    if (prev != 0) std::cout << "  (+" << v.totals.honest - prev << ")";
+    prev = v.totals.honest;
+    std::cout << "\n";
+  }
+
+  std::cout << "\nloser re-match variant (paper leaves conflict losers "
+               "unmatched):\n";
+  for (bool rematch : {false, true}) {
+    match::MatchConfig cfg;
+    cfg.rematch_losers = rematch;
+    const auto v = match::validate_dataset(prim.dataset, cfg);
+    std::cout << "  rematch_losers=" << (rematch ? "true " : "false")
+              << "  honest=" << v.totals.honest
+              << "  extraneous=" << v.totals.extraneous << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Shared scaffolding for the per-figure bench binaries.
+//
+// Every bench regenerates one table or figure of the paper and prints it in
+// a diffable plain-text format, with a "paper reports" reminder line so the
+// reproduction can be judged at a glance. EXPERIMENTS.md records the
+// comparisons.
+#pragma once
+
+#include <iomanip>
+#include <iostream>
+#include <string_view>
+
+#include "core/pipeline.h"
+#include "core/report.h"
+
+namespace geovalid::bench {
+
+/// The primary study, analyzed once per process.
+inline const core::StudyAnalysis& primary() {
+  static const core::StudyAnalysis a =
+      core::analyze_generated(synth::primary_preset());
+  return a;
+}
+
+/// The baseline (volunteer control) study.
+inline const core::StudyAnalysis& baseline() {
+  static const core::StudyAnalysis a =
+      core::analyze_generated(synth::baseline_preset());
+  return a;
+}
+
+inline void header(std::string_view experiment, std::string_view paper_says) {
+  std::cout << "=== " << experiment << " ===\n";
+  std::cout << "paper reports: " << paper_says << "\n\n";
+}
+
+}  // namespace geovalid::bench

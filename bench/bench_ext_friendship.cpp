@@ -1,0 +1,56 @@
+// Extension (§6.2 closing remarks): friendship inference — "friendship
+// recommendation applications leverage user physical proximity to suggest
+// social connections. Using data including fake checkins will lead to
+// wrong inferences on user proximity, and lead to incorrect suggestions."
+#include "bench_common.h"
+
+#include "apps/friendship.h"
+
+int main() {
+  using namespace geovalid;
+  bench::header(
+      "Extension: co-location friendship inference",
+      "ranking user pairs by (rarity-weighted) co-location should recover "
+      "the ground-truth friendship graph from GPS data far better than "
+      "from the geosocial trace");
+
+  const auto& prim = bench::primary();
+  if (!prim.friendships.has_value() || prim.friendships->empty()) {
+    std::cout << "no ground-truth friendships in this study\n";
+    return 1;
+  }
+  std::cout << "ground truth: " << prim.friendships->size()
+            << " friendships among " << prim.dataset.user_count()
+            << " users (avg degree "
+            << std::fixed << std::setprecision(1)
+            << 2.0 * static_cast<double>(prim.friendships->size()) /
+                   static_cast<double>(prim.dataset.user_count())
+            << ")\n\n";
+
+  std::cout << std::left << std::setw(20) << "inference source" << std::right
+            << std::setw(16) << "precision@K" << std::setw(12) << "recall"
+            << std::setw(18) << "hits / predicted" << "\n"
+            << std::setprecision(3);
+  for (apps::TrainingSource src :
+       {apps::TrainingSource::kGpsVisits,
+        apps::TrainingSource::kHonestCheckins,
+        apps::TrainingSource::kAllCheckins}) {
+    const apps::FriendshipScore s = apps::evaluate_friendship(
+        prim.dataset, prim.validation, src, *prim.friendships);
+    const double recall =
+        s.true_pairs == 0 ? 0.0
+                          : static_cast<double>(s.hits) /
+                                static_cast<double>(s.true_pairs);
+    std::cout << std::left << std::setw(20) << apps::to_string(src)
+              << std::right << std::setw(16) << s.precision_at_k()
+              << std::setw(12) << recall << std::setw(10) << s.hits << " / "
+              << s.predicted << "\n";
+  }
+
+  // Chance baseline: picking K random pairs.
+  const double n = static_cast<double>(prim.dataset.user_count());
+  const double chance =
+      static_cast<double>(prim.friendships->size()) / (n * (n - 1.0) / 2.0);
+  std::cout << "\nrandom-guess baseline precision: " << chance << "\n";
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Extension (§7 "Recovering Missing Locations"): key-location inference +
+// routine upsampling, scored against GPS ground truth.
+#include "bench_common.h"
+
+#include "match/prevalence.h"
+#include "recover/evaluation.h"
+
+int main() {
+  using namespace geovalid;
+  bench::header(
+      "Extension: recovering missing locations",
+      "the paper: 'even approximations of 1 or more key locations (home, "
+      "work) will go a long way towards improving accuracy' — this bench "
+      "infers those anchors from the checkin trace and measures the "
+      "coverage gain");
+
+  const auto& prim = bench::primary();
+  const recover::RecoveryReport report =
+      recover::evaluate_recovery(prim.dataset, prim.validation);
+
+  std::cout << std::fixed << std::setprecision(1);
+  std::cout << "anchor inference accuracy (from checkins only):\n"
+            << "  home-anchor error: median " << report.median_home_error_m
+            << " m, mean " << report.mean_home_error_m << " m\n"
+            << "  work-anchor error: median " << report.median_work_error_m
+            << " m, mean " << report.mean_work_error_m << " m\n"
+            << "  (heavy-tailed: users whose routine venues sit far from "
+               "home/work defeat inference)\n\n";
+
+  std::cout << std::setprecision(3);
+  std::cout << "GPS-visit coverage of each event stream (mean over users):\n"
+            << "  raw all-checkin trace        : "
+            << report.mean_coverage_all << "\n"
+            << "  extraneous removed (honest)  : "
+            << report.mean_coverage_honest << "\n"
+            << "  honest + recovered anchors   : "
+            << report.mean_coverage_recovered << "\n\n";
+
+  // Coverage CDFs across users for the three streams.
+  std::vector<double> all, honest, recovered;
+  for (const auto& u : report.users) {
+    all.push_back(u.coverage_all_checkins);
+    honest.push_back(u.coverage_honest);
+    recovered.push_back(u.coverage_recovered);
+  }
+  const auto grid = stats::linear_grid(0.0, 1.0, 21);
+  const std::vector<stats::CurveSeries> curves{
+      stats::sample_cdf_percent("AllCheckins", stats::Ecdf(all), grid),
+      stats::sample_cdf_percent("HonestOnly", stats::Ecdf(honest), grid),
+      stats::sample_cdf_percent("Recovered", stats::Ecdf(recovered), grid),
+  };
+  core::print_cdf_table(std::cout, curves, "coverage");
+
+  std::cout << "\ntakeaway: anchor recovery multiplies visit coverage — the "
+               "step the paper says is\nrequired before geosocial traces "
+               "can stand in for mobility data.\n";
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Extension (§6.2 closing remarks): the city-planning impact claim — "city
+// planning applications will under-estimate traffic on routes between
+// residential areas and offices, due to fewer checkins in these places".
+#include "bench_common.h"
+
+#include "apps/traffic.h"
+
+int main() {
+  using namespace geovalid;
+  bench::header(
+      "Extension: commute-flow (city planning) impact",
+      "checkin-derived origin-destination flows should under-estimate the "
+      "home<->work corridor relative to GPS ground truth");
+
+  const auto& prim = bench::primary();
+
+  const apps::CategoryFlow gps = apps::category_flow(
+      prim.dataset, prim.validation, apps::TrainingSource::kGpsVisits);
+  const apps::CategoryFlow honest = apps::category_flow(
+      prim.dataset, prim.validation, apps::TrainingSource::kHonestCheckins);
+  const apps::CategoryFlow all = apps::category_flow(
+      prim.dataset, prim.validation, apps::TrainingSource::kAllCheckins);
+
+  std::cout << std::left << std::setw(20) << "flow source" << std::right
+            << std::setw(14) << "transitions" << std::setw(16)
+            << "commute share" << std::setw(16) << "corr vs GPS" << "\n"
+            << std::fixed << std::setprecision(3);
+  for (const auto& [name, flow] :
+       std::initializer_list<std::pair<const char*, const apps::CategoryFlow&>>{
+           {"gps-visits", gps}, {"honest-checkins", honest},
+           {"all-checkins", all}}) {
+    std::cout << std::left << std::setw(20) << name << std::right
+              << std::setw(14) << flow.total() << std::setw(16)
+              << flow.commute_share() << std::setw(16)
+              << apps::flow_correlation(gps, flow) << "\n";
+  }
+
+  const double underestimate =
+      gps.commute_share() /
+      std::max(1e-9, all.commute_share());
+  std::cout << "\ncommute-corridor under-estimation factor (GPS share / "
+               "all-checkin share): " << std::setprecision(1)
+            << underestimate << "x\n";
+
+  std::cout << "\ntop GPS category flows vs their all-checkin estimates "
+               "(share of all transitions):\n";
+  const auto gps_norm = gps.normalized();
+  const auto all_norm = all.normalized();
+  std::vector<std::size_t> order(gps_norm.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return gps_norm[a] > gps_norm[b];
+  });
+  std::cout << std::setprecision(3);
+  const std::size_t k = trace::kPoiCategoryCount;
+  for (std::size_t rank = 0; rank < 8; ++rank) {
+    const std::size_t idx = order[rank];
+    std::cout << "  " << std::left << std::setw(13)
+              << trace::to_string(static_cast<trace::PoiCategory>(idx / k))
+              << "-> " << std::setw(13)
+              << trace::to_string(static_cast<trace::PoiCategory>(idx % k))
+              << std::right << "  gps " << gps_norm[idx] << "  all-ckin "
+              << all_norm[idx] << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Figure 4: breakdown of missing checkins over the nine Foursquare venue
+// categories.
+#include "bench_common.h"
+
+#include "match/missing.h"
+
+int main() {
+  using namespace geovalid;
+  bench::header(
+      "Figure 4: missing checkins by POI category (PDF %)",
+      "top three categories are Professional, Shop and Food (routine "
+      "activities); Residence mid-range; Arts/Outdoors/Nightlife small");
+
+  const auto& prim = bench::primary();
+  const auto pct = match::missing_by_category(prim.dataset, prim.validation);
+
+  std::cout << std::left << std::setw(14) << "Category" << std::right
+            << std::setw(10) << "PDF (%)" << "\n"
+            << std::fixed << std::setprecision(1);
+  for (std::size_t c = 0; c < pct.size(); ++c) {
+    std::cout << std::left << std::setw(14)
+              << trace::to_string(static_cast<trace::PoiCategory>(c))
+              << std::right << std::setw(10) << pct[c] << "\n";
+  }
+  return 0;
+}

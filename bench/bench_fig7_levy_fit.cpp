@@ -1,0 +1,122 @@
+// Figure 7: Levy Walk model fitting from the three traces — movement
+// distance PDF (a), movement time vs distance (b), pause time PDF (c).
+#include "bench_common.h"
+
+#include "mobility/samples.h"
+#include "stats/histogram.h"
+#include "stats/summary.h"
+
+namespace {
+
+using namespace geovalid;
+
+void print_pdf_with_fit(const std::string& name,
+                        std::span<const double> xs_m,
+                        const stats::ParetoParams& fit) {
+  // The paper plots km on the x axis.
+  std::vector<double> xs_km;
+  xs_km.reserve(xs_m.size());
+  for (double x : xs_m) xs_km.push_back(x / 1000.0);
+  const auto pdf = stats::log_binned_pdf(xs_km, 0.01, 1000.0, 20);
+
+  std::cout << "--- " << name << ": movement distance PDF ---\n";
+  std::cout << std::left << std::setw(14) << "distance(km)" << std::right
+            << std::setw(14) << "empirical" << std::setw(14) << "pareto fit"
+            << "\n";
+  const stats::ParetoParams fit_km{fit.x_min / 1000.0, fit.alpha};
+  std::cout << std::scientific << std::setprecision(3);
+  for (const auto& p : pdf) {
+    std::cout << std::left << std::setw(14) << p.x << std::right
+              << std::setw(14) << p.density << std::setw(14)
+              << stats::pareto_pdf(fit_km, p.x) << "\n";
+  }
+  std::cout << std::defaultfloat;
+}
+
+void print_time_vs_distance(const std::string& name,
+                            const mobility::MobilitySamples& s,
+                            const stats::PowerLawFit& fit) {
+  // Bin trips by distance (log bins) and report the median duration per bin
+  // against the fitted t = k d^gamma.
+  std::cout << "--- " << name << ": movement time vs distance ---\n";
+  std::cout << std::left << std::setw(14) << "distance(km)" << std::right
+            << std::setw(16) << "median t (min)" << std::setw(16)
+            << "fit t (min)" << "\n";
+  const auto grid = stats::log_grid(10.0, 100000.0, 9);  // metres
+  std::cout << std::fixed << std::setprecision(2);
+  for (std::size_t b = 0; b + 1 < grid.size(); ++b) {
+    std::vector<double> durations;
+    for (std::size_t i = 0; i < s.distance_m.size(); ++i) {
+      if (s.distance_m[i] >= grid[b] && s.distance_m[i] < grid[b + 1]) {
+        durations.push_back(s.duration_s[i]);
+      }
+    }
+    if (durations.size() < 5) continue;
+    const double mid_m = std::sqrt(grid[b] * grid[b + 1]);
+    const double med_s = stats::quantile(durations, 0.5);
+    std::cout << std::left << std::setw(14) << mid_m / 1000.0 << std::right
+              << std::setw(16) << med_s / 60.0 << std::setw(16)
+              << stats::power_law_eval(fit, mid_m) / 60.0 << "\n";
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::header(
+      "Figure 7: Levy Walk fitting (gps / honest-checkin / all-checkin)",
+      "visible differences between the three datasets: honest-checkin has "
+      "fewer short trips than GPS (missing checkins hide short routine "
+      "movement); all-checkin adds fake fast segments; both checkin models "
+      "borrow the GPS pause distribution");
+
+  const auto& prim = bench::primary();
+  const core::LevyModelSet models = core::fit_levy_models(prim);
+
+  std::cout << "fitted models:\n";
+  core::print_levy_model(std::cout, models.gps);
+  core::print_levy_model(std::cout, models.honest);
+  core::print_levy_model(std::cout, models.all);
+  std::cout << "\n";
+
+  const auto gps_samples = mobility::samples_from_visits(prim.dataset);
+  const auto honest_samples = mobility::samples_from_checkins(
+      prim.dataset, prim.validation,
+      [](match::CheckinClass c) { return c == match::CheckinClass::kHonest; });
+  const auto all_samples = mobility::samples_from_checkins(
+      prim.dataset, prim.validation, [](match::CheckinClass) { return true; });
+
+  print_pdf_with_fit("GPS", gps_samples.distance_m, models.gps.flight);
+  std::cout << "\n";
+  print_pdf_with_fit("Honest-Ckin", honest_samples.distance_m,
+                     models.honest.flight);
+  std::cout << "\n";
+  print_pdf_with_fit("All-Ckin", all_samples.distance_m, models.all.flight);
+  std::cout << "\n";
+
+  print_time_vs_distance("GPS", gps_samples, models.gps.time_of_distance);
+  std::cout << "\n";
+  print_time_vs_distance("Honest-Ckin", honest_samples,
+                         models.honest.time_of_distance);
+  std::cout << "\n";
+  print_time_vs_distance("All-Ckin", all_samples,
+                         models.all.time_of_distance);
+  std::cout << "\n";
+
+  // Figure 7(c): pause-time PDF (GPS only; checkin traces have none).
+  std::cout << "--- GPS: pause time PDF (minutes) ---\n";
+  std::vector<double> pause_min;
+  for (double p : gps_samples.pause_s) pause_min.push_back(p / 60.0);
+  const auto pdf = stats::log_binned_pdf(pause_min, 5.0, 2000.0, 14);
+  const stats::ParetoParams pause_fit_min{models.gps.pause.x_min / 60.0,
+                                          models.gps.pause.alpha};
+  std::cout << std::left << std::setw(14) << "pause(min)" << std::right
+            << std::setw(14) << "empirical" << std::setw(14) << "pareto fit"
+            << "\n" << std::scientific << std::setprecision(3);
+  for (const auto& p : pdf) {
+    std::cout << std::left << std::setw(14) << p.x << std::right
+              << std::setw(14) << p.density << std::setw(14)
+              << stats::pareto_pdf(pause_fit_min, p.x) << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,138 @@
+// Microbenchmarks of the hot paths (google-benchmark).
+#include <benchmark/benchmark.h>
+
+#include "core/pipeline.h"
+#include "geo/geodesic.h"
+#include "manet/simulator.h"
+#include "match/matcher.h"
+#include "stats/ecdf.h"
+#include "synth/study_generator.h"
+#include "trace/poi_grid.h"
+#include "trace/visit_detector.h"
+
+namespace {
+
+using namespace geovalid;
+
+const core::StudyAnalysis& tiny() {
+  static const core::StudyAnalysis a =
+      core::analyze_generated(synth::tiny_preset());
+  return a;
+}
+
+void BM_HaversineDistance(benchmark::State& state) {
+  const geo::LatLon a{34.42, -119.70};
+  const geo::LatLon b{34.43, -119.68};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geo::distance_m(a, b));
+  }
+}
+BENCHMARK(BM_HaversineDistance);
+
+void BM_FastDistance(benchmark::State& state) {
+  const geo::LatLon a{34.42, -119.70};
+  const geo::LatLon b{34.43, -119.68};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geo::fast_distance_m(a, b));
+  }
+}
+BENCHMARK(BM_FastDistance);
+
+void BM_VisitDetection(benchmark::State& state) {
+  const auto& a = tiny();
+  const trace::VisitDetector detector;
+  const trace::UserRecord& user = a.dataset.users()[0];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(detector.detect(user.gps));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(user.gps.size()));
+}
+BENCHMARK(BM_VisitDetection);
+
+void BM_MatchUser(benchmark::State& state) {
+  const auto& a = tiny();
+  // Pick the user with the most checkins for a meaningful workload.
+  const trace::UserRecord* user = &a.dataset.users()[0];
+  for (const auto& u : a.dataset.users()) {
+    if (u.checkins.size() > user->checkins.size()) user = &u;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        match::match_user(user->checkins.events(), user->visits));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(user->checkins.size()));
+}
+BENCHMARK(BM_MatchUser);
+
+void BM_PoiGridQuery(benchmark::State& state) {
+  const auto& a = tiny();
+  const trace::PoiGrid grid(a.dataset.pois().all(), 500.0);
+  const geo::LatLon center{34.42, -119.70};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(grid.within(center, 500.0));
+  }
+}
+BENCHMARK(BM_PoiGridQuery);
+
+void BM_EcdfEvaluate(benchmark::State& state) {
+  std::vector<double> xs;
+  stats::Rng rng(1);
+  for (int i = 0; i < 100000; ++i) xs.push_back(rng.uniform());
+  const stats::Ecdf ecdf(xs);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ecdf.at(0.5));
+  }
+}
+BENCHMARK(BM_EcdfEvaluate);
+
+void BM_ValidateTinyDataset(benchmark::State& state) {
+  const auto& a = tiny();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(match::validate_dataset(a.dataset));
+  }
+}
+BENCHMARK(BM_ValidateTinyDataset);
+
+void BM_AodvDiscoveryChain(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    manet::EventQueue queue;
+    manet::ControlCounters counters;
+    counters.pair_tx.assign(1, 0);
+    manet::AodvNetwork net(
+        n, manet::AodvConfig{}, queue,
+        [n](manet::NodeId u) {
+          std::vector<manet::NodeId> nbrs;
+          if (u > 0) nbrs.push_back(u - 1);
+          if (u + 1 < n) nbrs.push_back(u + 1);
+          return nbrs;
+        },
+        counters);
+    net.start_discovery(0, static_cast<manet::NodeId>(n - 1), 0, [](bool) {});
+    queue.run_until(10.0);
+    benchmark::DoNotOptimize(counters.total());
+  }
+}
+BENCHMARK(BM_AodvDiscoveryChain)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_LevyTrackGeneration(benchmark::State& state) {
+  mobility::LevyWalkModel m;
+  m.name = "bench";
+  m.flight = {100.0, 1.2};
+  m.flight_max_m = 20000.0;
+  m.pause = {120.0, 1.0};
+  m.pause_max_s = 7200.0;
+  m.time_of_distance.k = 2.0;
+  m.time_of_distance.gamma = 0.5;
+  mobility::ArenaConfig arena;
+  stats::Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        mobility::generate_track(m, arena, 7200.0, rng));
+  }
+}
+BENCHMARK(BM_LevyTrackGeneration);
+
+}  // namespace

@@ -1,0 +1,20 @@
+// Table 1: statistics of the primary and baseline datasets.
+#include "bench_common.h"
+
+int main() {
+  using namespace geovalid;
+  bench::header("Table 1: dataset statistics",
+                "Primary: 244 users, 14.2 days, 14K checkins, 31K visits, "
+                "2.6M GPS points; Baseline: 47 users, 20.8 days, 665 "
+                "checkins, 6.3K visits, 558K GPS points");
+
+  std::cout << std::left << std::setw(10) << "Dataset" << std::right
+            << std::setw(8) << "users" << std::setw(12) << "avg days"
+            << std::setw(12) << "checkins" << std::setw(12) << "visits"
+            << std::setw(14) << "GPS points" << "\n";
+  core::print_dataset_stats(std::cout, "Primary",
+                            trace::compute_stats(bench::primary().dataset));
+  core::print_dataset_stats(std::cout, "Baseline",
+                            trace::compute_stats(bench::baseline().dataset));
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Checkin filter tuning: build an extraneous-checkin detector that works
+// from the checkin trace alone (the situation of anyone consuming a public
+// geosocial dataset) and evaluate it against the GPS-derived labels.
+//
+//   $ ./checkin_filter
+//
+// Demonstrates the §7 "Detecting Extraneous Checkins" direction: sweep the
+// burstiness threshold, pick the best F1 operating point, and compare with
+// the blunt user-level filter of §5.3.
+#include <iomanip>
+#include <iostream>
+
+#include "core/pipeline.h"
+#include "match/filters.h"
+
+int main() {
+  using namespace geovalid;
+
+  std::cout << "generating primary study...\n";
+  const core::StudyAnalysis study =
+      core::analyze_generated(synth::primary_preset());
+
+  // 1. Sweep the burstiness threshold.
+  const std::vector<double> thresholds{0.5, 1.0, 2.0, 5.0, 10.0,
+                                       20.0, 30.0, 60.0};
+  const auto curve = match::burstiness_threshold_sweep(
+      study.dataset, study.validation, thresholds);
+
+  std::cout << "\nburstiness detector operating curve:\n"
+            << std::left << std::setw(16) << "threshold(min)" << std::right
+            << std::setw(12) << "precision" << std::setw(12) << "recall"
+            << std::setw(10) << "F1" << "\n"
+            << std::fixed << std::setprecision(3);
+  // Operating point: best F1 subject to an honest-loss budget — a filter
+  // that throws away most honest checkins defeats the purpose even if its
+  // F1 looks good.
+  constexpr double kHonestLossBudget = 0.4;
+  double best_f1 = -1.0;
+  double best_threshold = thresholds.front();
+  for (const auto& [minutes, score] : curve) {
+    std::cout << std::left << std::setw(16) << minutes << std::right
+              << std::setw(12) << score.precision() << std::setw(12)
+              << score.recall() << std::setw(10) << score.f1() << "\n";
+    if (score.honest_loss() <= kHonestLossBudget && score.f1() > best_f1) {
+      best_f1 = score.f1();
+      best_threshold = minutes;
+    }
+  }
+  std::cout << "\nbest F1 within a " << 100.0 * kHonestLossBudget
+            << "% honest-loss budget: threshold = " << best_threshold
+            << " min\n";
+
+  // 2. Report the chosen operating point in detail.
+  match::BurstinessFilterConfig cfg;
+  cfg.gap_threshold =
+      static_cast<trace::TimeSec>(best_threshold * 60.0);
+  const auto flags = match::burstiness_flags(study.dataset, cfg);
+  const auto score = match::score_flags(study.validation, flags);
+  std::cout << "confusion at that point:\n"
+            << "  flagged extraneous (TP): " << score.true_positive << "\n"
+            << "  flagged honest    (FP): " << score.false_positive << "\n"
+            << "  kept extraneous   (FN): " << score.false_negative << "\n"
+            << "  kept honest       (TN): " << score.true_negative << "\n"
+            << "  honest checkins lost: " << 100.0 * score.honest_loss()
+            << "%\n";
+
+  // 3. Contrast with user-level filtering.
+  std::cout << "\nuser-level filter for comparison (drop burstiest 30% of "
+               "users):\n";
+  const auto user_flags = match::user_level_flags(study.dataset, 0.3, cfg);
+  const auto user_score = match::score_flags(study.validation, user_flags);
+  std::cout << "  precision=" << user_score.precision()
+            << " recall=" << user_score.recall()
+            << " honest loss=" << 100.0 * user_score.honest_loss() << "%\n";
+
+  std::cout << "\ntakeaway: checkin-level burstiness filtering recovers a "
+               "large share of extraneous\nevents at a fraction of the "
+               "honest-checkin cost of dropping whole users.\n";
+  return 0;
+}

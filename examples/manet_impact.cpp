@@ -1,0 +1,78 @@
+// Application-level impact (§6): train Levy Walk models from the GPS,
+// honest-checkin and all-checkin traces, drive a MANET simulation with
+// each, and compare the resulting routing metrics.
+//
+//   $ ./manet_impact [duration_seconds]
+//
+// The default duration (1800 s) keeps the demo under ~10 s of wall clock;
+// bench_fig8_manet runs the full two-hour experiment.
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+
+#include "core/pipeline.h"
+#include "core/report.h"
+#include "manet/simulator.h"
+
+int main(int argc, char** argv) {
+  using namespace geovalid;
+
+  double duration_s = 1800.0;
+  if (argc > 1) duration_s = std::atof(argv[1]);
+  if (duration_s <= 0.0) {
+    std::cerr << "usage: manet_impact [duration_seconds > 0]\n";
+    return 1;
+  }
+
+  std::cout << "generating primary study and fitting mobility models...\n";
+  const core::StudyAnalysis study =
+      core::analyze_generated(synth::primary_preset());
+  const core::LevyModelSet models = core::fit_levy_models(study);
+
+  core::print_levy_model(std::cout, models.gps);
+  core::print_levy_model(std::cout, models.honest);
+  core::print_levy_model(std::cout, models.all);
+
+  std::cout << "\nsimulating " << duration_s
+            << " s of AODV traffic per model (200 nodes, 1 km radio, 100 "
+               "CBR pairs)...\n\n";
+  std::cout << std::left << std::setw(16) << "model" << std::right
+            << std::setw(14) << "availability" << std::setw(16)
+            << "route chg/min" << std::setw(16) << "overhead/data"
+            << std::setw(12) << "delivered" << "\n"
+            << std::fixed << std::setprecision(3);
+
+  for (const mobility::LevyWalkModel* m :
+       {&models.gps, &models.honest, &models.all}) {
+    mobility::ArenaConfig arena;
+    stats::Rng rng(7);
+    const auto tracks =
+        mobility::generate_tracks(*m, arena, duration_s, 200, rng);
+    manet::SimConfig cfg;
+    cfg.duration_s = duration_s;
+    const manet::SimResult result = manet::simulate(tracks, cfg);
+
+    double avail = 0.0, changes = 0.0;
+    for (const auto& p : result.pairs) {
+      avail += p.availability_ratio;
+      changes += p.route_changes_per_min();
+    }
+    const double n = static_cast<double>(result.pairs.size());
+    // Global overhead (all control packets / all delivered packets) is
+    // stabler than the per-pair mean on short demo runs, where pairs with
+    // zero deliveries would dominate the mean.
+    const double overhead =
+        static_cast<double>(result.control.total()) /
+        static_cast<double>(std::max<std::uint64_t>(1, result.data_delivered));
+    std::cout << std::left << std::setw(16) << m->name << std::right
+              << std::setw(14) << avail / n << std::setw(16) << changes / n
+              << std::setw(16) << overhead << std::setw(12)
+              << result.data_delivered << "\n";
+  }
+
+  std::cout << "\ntakeaway: traces built from checkins (even after removing "
+               "extraneous events)\ndrive the simulation to different "
+               "routing behaviour than the GPS ground truth —\nthe paper's "
+               "warning about using geosocial traces as mobility data.\n";
+  return 0;
+}

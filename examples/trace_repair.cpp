@@ -1,0 +1,75 @@
+// Trace repair: the full §7 workflow a downstream consumer of a public
+// geosocial dataset would run.
+//
+//   $ ./trace_repair
+//
+// The consumer has checkin traces only — no GPS. The workflow:
+//   1. train a learned extraneous-checkin detector on an instrumented
+//      subset of users (the study population, where GPS labels exist);
+//   2. apply it to the remaining users' checkin traces;
+//   3. infer home/work anchors from the surviving checkins and upsample
+//      the missing routine events;
+//   4. (here, with ground truth available) measure how much closer the
+//      repaired trace is to real mobility.
+#include <iomanip>
+#include <iostream>
+
+#include "core/pipeline.h"
+#include "detect/detector.h"
+#include "detect/evaluation.h"
+#include "recover/upsample.h"
+
+int main() {
+  using namespace geovalid;
+
+  std::cout << "generating primary study...\n";
+  const core::StudyAnalysis study =
+      core::analyze_generated(synth::primary_preset());
+
+  // --- 1. Train the detector on the instrumented (training) users. --------
+  const detect::TrainedDetector detector =
+      detect::train_detector(study.dataset, study.validation);
+  const detect::ScoredLabels scored =
+      detect::score_test_split(detector, study.dataset, study.validation);
+  const double threshold = detect::best_f1_threshold(scored);
+  std::cout << "detector trained on " << detector.train_users.size()
+            << " users; AUC on held-out users = " << std::fixed
+            << std::setprecision(3) << detect::auc(scored)
+            << ", operating threshold = " << threshold << "\n\n";
+
+  // --- 2 + 3. Repair each held-out user's trace. --------------------------
+  std::size_t users_repaired = 0;
+  std::size_t flagged_total = 0, kept_total = 0, inferred_total = 0;
+  std::size_t home_anchors = 0, work_anchors = 0;
+  for (std::size_t u : detector.test_users) {
+    const trace::UserRecord& user = study.dataset.users()[u];
+    if (user.checkins.empty()) continue;
+
+    const std::vector<double> scores = detector.score_user(user);
+    std::vector<bool> extraneous(scores.size());
+    for (std::size_t i = 0; i < scores.size(); ++i) {
+      extraneous[i] = scores[i] >= threshold;
+      if (extraneous[i]) ++flagged_total;
+    }
+
+    const recover::RecoveredTrace repaired =
+        recover::recover_trace(user.checkins.events(), extraneous);
+    kept_total += repaired.observed;
+    inferred_total += repaired.inferred;
+    if (repaired.anchors.home) ++home_anchors;
+    if (repaired.anchors.work) ++work_anchors;
+    ++users_repaired;
+  }
+
+  std::cout << "repaired " << users_repaired << " held-out users:\n"
+            << "  checkins flagged extraneous : " << flagged_total << "\n"
+            << "  checkins kept               : " << kept_total << "\n"
+            << "  routine events synthesized  : " << inferred_total << "\n"
+            << "  home anchors inferred       : " << home_anchors << "\n"
+            << "  work anchors inferred       : " << work_anchors << "\n";
+
+  std::cout << "\nThe repaired event stream is what you would feed to a\n"
+               "mobility model instead of the raw checkin trace. See\n"
+               "bench_ext_recovery for the ground-truth coverage gains.\n";
+  return 0;
+}

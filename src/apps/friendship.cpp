@@ -1,0 +1,117 @@
+#include "apps/friendship.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+namespace geovalid::apps {
+namespace {
+
+/// One venue event: a user present at a venue over [start, end].
+struct VenueEvent {
+  trace::UserId user = 0;
+  trace::TimeSec start = 0;
+  trace::TimeSec end = 0;
+};
+
+UserPair make_pair_sorted(trace::UserId a, trace::UserId b) {
+  return a < b ? UserPair{a, b} : UserPair{b, a};
+}
+
+}  // namespace
+
+std::map<UserPair, double> colocation_counts(
+    const trace::Dataset& ds, const match::ValidationResult& validation,
+    TrainingSource source, const ColocationConfig& config) {
+  if (ds.user_count() != validation.users.size()) {
+    throw std::invalid_argument(
+        "colocation_counts: validation does not match dataset");
+  }
+
+  // Bucket events per venue.
+  std::map<trace::PoiId, std::vector<VenueEvent>> by_venue;
+  const auto users = ds.users();
+  for (std::size_t u = 0; u < users.size(); ++u) {
+    const trace::UserRecord& user = users[u];
+    if (source == TrainingSource::kGpsVisits) {
+      for (const trace::Visit& v : user.visits) {
+        if (v.poi == trace::kNoPoi) continue;
+        by_venue[v.poi].push_back(VenueEvent{user.id, v.start, v.end});
+      }
+      continue;
+    }
+    const auto events = user.checkins.events();
+    const auto& labels = validation.users[u].labels;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      if (source == TrainingSource::kHonestCheckins &&
+          labels[i] != match::CheckinClass::kHonest) {
+        continue;
+      }
+      by_venue[events[i].poi].push_back(
+          VenueEvent{user.id, events[i].t, events[i].t});
+    }
+  }
+
+  // Sweep each venue's events in time order; events whose padded intervals
+  // overlap are co-locations, weighted down at venues everyone frequents.
+  std::map<UserPair, double> counts;
+  for (auto& [venue, events] : by_venue) {
+    std::sort(events.begin(), events.end(),
+              [](const VenueEvent& a, const VenueEvent& b) {
+                return a.start < b.start;
+              });
+    double weight = 1.0;
+    if (config.weight_by_venue_rarity) {
+      std::set<trace::UserId> distinct;
+      for (const VenueEvent& e : events) distinct.insert(e.user);
+      weight = 1.0 / std::log2(2.0 + static_cast<double>(distinct.size()));
+    }
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      const trace::TimeSec horizon = events[i].end + config.window;
+      for (std::size_t j = i + 1; j < events.size(); ++j) {
+        if (events[j].start > horizon) break;
+        if (events[i].user == events[j].user) continue;
+        counts[make_pair_sorted(events[i].user, events[j].user)] += weight;
+      }
+    }
+  }
+  return counts;
+}
+
+double FriendshipScore::precision_at_k() const {
+  return predicted == 0 ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(predicted);
+}
+
+FriendshipScore evaluate_friendship(const trace::Dataset& ds,
+                                    const match::ValidationResult& validation,
+                                    TrainingSource source,
+                                    std::span<const UserPair> truth,
+                                    const ColocationConfig& config) {
+  const auto counts = colocation_counts(ds, validation, source, config);
+
+  std::set<UserPair> truth_set;
+  for (const UserPair& p : truth) {
+    truth_set.insert(make_pair_sorted(p.first, p.second));
+  }
+
+  std::vector<std::pair<UserPair, double>> ranked(counts.begin(),
+                                                  counts.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;  // deterministic tie-break
+  });
+
+  FriendshipScore score;
+  score.true_pairs = truth_set.size();
+  const std::size_t k = std::min(truth_set.size(), ranked.size());
+  score.predicted = k;
+  for (std::size_t i = 0; i < k; ++i) {
+    if (truth_set.count(ranked[i].first) > 0) ++score.hits;
+  }
+  return score;
+}
+
+}  // namespace geovalid::apps

@@ -1,0 +1,62 @@
+// Co-location friendship inference — the paper's last named casualty.
+//
+// §6.2: "friendship recommendation applications leverage user physical
+// proximity to suggest social connections. Using data including fake
+// checkins will lead to wrong inferences on user proximity, and lead to
+// incorrect suggestions." This module runs the standard co-location
+// inference (pairs who appear at the same venue at the same time are
+// probably friends) on each trace type and scores it against the
+// generator's ground-truth friendship graph.
+#pragma once
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "apps/next_place.h"  // TrainingSource
+#include "match/pipeline.h"
+#include "trace/dataset.h"
+
+namespace geovalid::apps {
+
+/// An unordered user pair (first < second).
+using UserPair = std::pair<trace::UserId, trace::UserId>;
+
+/// Co-location counting parameters.
+struct ColocationConfig {
+  /// Two events at the same venue within this gap count as a co-location.
+  trace::TimeSec window = trace::minutes(30);
+
+  /// Weight each co-location by 1/log2(2 + distinct users at the venue)
+  /// (Adamic-Adar style). Meeting at an obscure bistro is strong evidence
+  /// of friendship; bumping into someone at the railway station is not.
+  bool weight_by_venue_rarity = true;
+};
+
+/// Scores co-location per user pair across the whole dataset for one trace
+/// type (GPS visits use their snapped venue and interval overlap; checkin
+/// traces use venue + timestamp proximity). Values are counts when rarity
+/// weighting is off, weighted sums when on.
+[[nodiscard]] std::map<UserPair, double> colocation_counts(
+    const trace::Dataset& ds, const match::ValidationResult& validation,
+    TrainingSource source, const ColocationConfig& config = {});
+
+/// Quality of top-K friendship prediction (K = size of the ground truth).
+struct FriendshipScore {
+  std::size_t true_pairs = 0;   ///< ground-truth friendships
+  std::size_t predicted = 0;    ///< pairs predicted (min(K, ranked pairs))
+  std::size_t hits = 0;         ///< predictions that are real friendships
+
+  /// Precision of the top-K prediction; with K = |truth| this equals
+  /// recall, so one number summarizes the ranking.
+  [[nodiscard]] double precision_at_k() const;
+};
+
+/// Ranks pairs by co-location count and scores the top-|truth| against the
+/// ground-truth graph.
+[[nodiscard]] FriendshipScore evaluate_friendship(
+    const trace::Dataset& ds, const match::ValidationResult& validation,
+    TrainingSource source, std::span<const UserPair> truth,
+    const ColocationConfig& config = {});
+
+}  // namespace geovalid::apps

@@ -1,0 +1,157 @@
+#include "apps/next_place.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace geovalid::apps {
+
+void NextPlaceModel::train(std::span<const trace::PoiId> sequence) {
+  for (std::size_t i = 0; i < sequence.size(); ++i) {
+    if (sequence[i] == trace::kNoPoi) continue;
+    ++popularity_[sequence[i]];
+    if (i > 0 && sequence[i - 1] != trace::kNoPoi &&
+        sequence[i - 1] != sequence[i]) {
+      ++transitions_[sequence[i - 1]][sequence[i]];
+    }
+  }
+}
+
+std::vector<trace::PoiId> NextPlaceModel::predict(trace::PoiId current,
+                                                  std::size_t k) const {
+  std::vector<trace::PoiId> out;
+  if (k == 0) return out;
+
+  // Rank transition targets by count (ties: smaller id for determinism).
+  const auto it = transitions_.find(current);
+  if (it != transitions_.end()) {
+    std::vector<std::pair<trace::PoiId, std::size_t>> ranked(
+        it->second.begin(), it->second.end());
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto& a, const auto& b) {
+                if (a.second != b.second) return a.second > b.second;
+                return a.first < b.first;
+              });
+    for (const auto& [venue, count] : ranked) {
+      out.push_back(venue);
+      if (out.size() == k) return out;
+    }
+  }
+
+  // Popularity backoff for the remaining slots.
+  std::vector<std::pair<trace::PoiId, std::size_t>> pop(popularity_.begin(),
+                                                        popularity_.end());
+  std::sort(pop.begin(), pop.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  for (const auto& [venue, count] : pop) {
+    if (venue == current) continue;
+    if (std::find(out.begin(), out.end(), venue) != out.end()) continue;
+    out.push_back(venue);
+    if (out.size() == k) break;
+  }
+  return out;
+}
+
+double PredictionScore::accuracy_at_1() const {
+  return cases == 0 ? 0.0
+                    : static_cast<double>(top1) / static_cast<double>(cases);
+}
+
+double PredictionScore::accuracy_at_3() const {
+  return cases == 0 ? 0.0
+                    : static_cast<double>(top3) / static_cast<double>(cases);
+}
+
+std::string_view to_string(TrainingSource s) {
+  switch (s) {
+    case TrainingSource::kGpsVisits: return "gps-visits";
+    case TrainingSource::kHonestCheckins: return "honest-checkins";
+    case TrainingSource::kAllCheckins: return "all-checkins";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Venue sequence of the user's events from `source` with timestamps below
+/// `cutoff`.
+std::vector<trace::PoiId> training_sequence(
+    const trace::UserRecord& user, const match::UserValidation& uv,
+    TrainingSource source, trace::TimeSec cutoff) {
+  std::vector<trace::PoiId> seq;
+  if (source == TrainingSource::kGpsVisits) {
+    for (const trace::Visit& v : user.visits) {
+      if (v.start >= cutoff) break;
+      seq.push_back(v.poi);
+    }
+    return seq;
+  }
+  const auto events = user.checkins.events();
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (events[i].t >= cutoff) break;
+    if (source == TrainingSource::kHonestCheckins &&
+        uv.labels[i] != match::CheckinClass::kHonest) {
+      continue;
+    }
+    seq.push_back(events[i].poi);
+  }
+  return seq;
+}
+
+}  // namespace
+
+PredictionScore evaluate_next_place(const trace::Dataset& ds,
+                                    const match::ValidationResult& validation,
+                                    TrainingSource source,
+                                    const PredictionConfig& config) {
+  if (ds.user_count() != validation.users.size()) {
+    throw std::invalid_argument(
+        "evaluate_next_place: validation does not match dataset");
+  }
+  if (config.train_fraction <= 0.0 || config.train_fraction >= 1.0) {
+    throw std::invalid_argument(
+        "evaluate_next_place: train_fraction must be in (0,1)");
+  }
+
+  PredictionScore score;
+  const auto users = ds.users();
+  for (std::size_t u = 0; u < users.size(); ++u) {
+    const trace::UserRecord& user = users[u];
+    if (user.visits.size() < 8 || user.gps.empty()) continue;
+
+    const trace::TimeSec span_start = user.gps.start_time();
+    const trace::TimeSec span_end = user.gps.end_time();
+    const auto cutoff = static_cast<trace::TimeSec>(
+        static_cast<double>(span_start) +
+        config.train_fraction *
+            static_cast<double>(span_end - span_start));
+
+    NextPlaceModel model;
+    model.train(training_sequence(user, validation.users[u], source, cutoff));
+    if (model.empty()) continue;
+
+    // Ground-truth test transitions: consecutive snapped visits after the
+    // cutoff (place changes only; staying put is not a prediction case).
+    trace::PoiId prev = trace::kNoPoi;
+    for (const trace::Visit& v : user.visits) {
+      if (v.start < cutoff || v.poi == trace::kNoPoi) {
+        if (v.start < cutoff && v.poi != trace::kNoPoi) prev = v.poi;
+        continue;
+      }
+      if (prev != trace::kNoPoi && v.poi != prev) {
+        const auto guesses = model.predict(prev, 3);
+        ++score.cases;
+        if (!guesses.empty() && guesses[0] == v.poi) ++score.top1;
+        if (std::find(guesses.begin(), guesses.end(), v.poi) !=
+            guesses.end()) {
+          ++score.top3;
+        }
+      }
+      prev = v.poi;
+    }
+  }
+  return score;
+}
+
+}  // namespace geovalid::apps

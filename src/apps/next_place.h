@@ -1,0 +1,73 @@
+// Next-place prediction — a second application-level impact study.
+//
+// The papers the HotNets'13 work critiques use checkin traces to predict
+// human movement (its refs [9], [20], [25]). This module measures what the
+// trace defects do to that application: train the same predictor on the
+// all-checkin / honest-checkin / GPS-visit traces of each user and score
+// all three against held-out *ground-truth* movement (GPS visits).
+//
+// The predictor is a per-user first-order Markov model over venues with a
+// popularity backoff — the standard baseline of the next-place literature.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "match/pipeline.h"
+#include "trace/dataset.h"
+
+namespace geovalid::apps {
+
+/// Per-user first-order Markov predictor over venue ids.
+class NextPlaceModel {
+ public:
+  /// Accumulates one training sequence (venue ids in visit order).
+  void train(std::span<const trace::PoiId> sequence);
+
+  /// The k most likely next venues after `current`, most likely first.
+  /// Transition counts from `current` rank first; venues seen in training
+  /// but never after `current` follow by overall popularity. Returns fewer
+  /// than k when the model has not seen k distinct venues.
+  [[nodiscard]] std::vector<trace::PoiId> predict(trace::PoiId current,
+                                                  std::size_t k) const;
+
+  [[nodiscard]] bool empty() const { return popularity_.empty(); }
+  [[nodiscard]] std::size_t venue_count() const { return popularity_.size(); }
+
+ private:
+  std::map<trace::PoiId, std::map<trace::PoiId, std::size_t>> transitions_;
+  std::map<trace::PoiId, std::size_t> popularity_;
+};
+
+/// Accuracy of one trained source against ground-truth transitions.
+struct PredictionScore {
+  std::size_t cases = 0;   ///< evaluated (current -> next) ground-truth pairs
+  std::size_t top1 = 0;
+  std::size_t top3 = 0;
+
+  [[nodiscard]] double accuracy_at_1() const;
+  [[nodiscard]] double accuracy_at_3() const;
+};
+
+/// The three traces a predictor can be trained on.
+enum class TrainingSource : std::uint8_t {
+  kGpsVisits = 0,     ///< ground-truth mobility (upper bound)
+  kHonestCheckins,    ///< extraneous removed
+  kAllCheckins,       ///< the raw geosocial trace
+};
+
+[[nodiscard]] std::string_view to_string(TrainingSource s);
+
+/// Evaluation configuration: per user, events before `train_fraction` of
+/// the user's GPS time span train the model; ground-truth visit transitions
+/// after it are the test set.
+struct PredictionConfig {
+  double train_fraction = 0.7;
+};
+
+/// Runs the experiment over a validated dataset for one training source.
+[[nodiscard]] PredictionScore evaluate_next_place(
+    const trace::Dataset& ds, const match::ValidationResult& validation,
+    TrainingSource source, const PredictionConfig& config = {});
+
+}  // namespace geovalid::apps

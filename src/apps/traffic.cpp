@@ -1,0 +1,113 @@
+#include "apps/traffic.h"
+
+#include <stdexcept>
+
+#include "stats/correlation.h"
+
+namespace geovalid::apps {
+namespace {
+
+using trace::PoiCategory;
+
+bool commute_pair(PoiCategory a, PoiCategory b) {
+  const bool a_home = a == PoiCategory::kResidence;
+  const bool b_home = b == PoiCategory::kResidence;
+  const bool a_work =
+      a == PoiCategory::kProfessional || a == PoiCategory::kCollege;
+  const bool b_work =
+      b == PoiCategory::kProfessional || b == PoiCategory::kCollege;
+  return (a_home && b_work) || (a_work && b_home);
+}
+
+}  // namespace
+
+std::uint64_t CategoryFlow::total() const {
+  std::uint64_t n = 0;
+  for (const auto& row : counts) {
+    for (std::uint64_t c : row) n += c;
+  }
+  return n;
+}
+
+double CategoryFlow::commute_share() const {
+  const std::uint64_t n = total();
+  if (n == 0) return 0.0;
+  std::uint64_t commute = 0;
+  for (std::size_t a = 0; a < counts.size(); ++a) {
+    for (std::size_t b = 0; b < counts.size(); ++b) {
+      if (commute_pair(static_cast<PoiCategory>(a),
+                       static_cast<PoiCategory>(b))) {
+        commute += counts[a][b];
+      }
+    }
+  }
+  return static_cast<double>(commute) / static_cast<double>(n);
+}
+
+std::vector<double> CategoryFlow::normalized() const {
+  std::vector<double> out;
+  out.reserve(counts.size() * counts.size());
+  const auto n = static_cast<double>(total());
+  for (const auto& row : counts) {
+    for (std::uint64_t c : row) {
+      out.push_back(n == 0.0 ? 0.0 : static_cast<double>(c) / n);
+    }
+  }
+  return out;
+}
+
+CategoryFlow category_flow(const trace::Dataset& ds,
+                           const match::ValidationResult& validation,
+                           TrainingSource source) {
+  if (ds.user_count() != validation.users.size()) {
+    throw std::invalid_argument(
+        "category_flow: validation does not match dataset");
+  }
+
+  CategoryFlow flow;
+  const auto users = ds.users();
+  for (std::size_t u = 0; u < users.size(); ++u) {
+    const trace::UserRecord& user = users[u];
+
+    if (source == TrainingSource::kGpsVisits) {
+      const trace::Poi* prev = nullptr;
+      for (const trace::Visit& v : user.visits) {
+        const trace::Poi* here =
+            v.poi == trace::kNoPoi ? nullptr : ds.pois().find(v.poi);
+        if (here == nullptr) continue;
+        if (prev != nullptr && prev->id != here->id) {
+          ++flow.counts[static_cast<std::size_t>(prev->category)]
+                       [static_cast<std::size_t>(here->category)];
+        }
+        prev = here;
+      }
+      continue;
+    }
+
+    const auto events = user.checkins.events();
+    const auto& labels = validation.users[u].labels;
+    bool have_prev = false;
+    trace::Checkin prev;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      if (source == TrainingSource::kHonestCheckins &&
+          labels[i] != match::CheckinClass::kHonest) {
+        continue;
+      }
+      if (have_prev && prev.poi != events[i].poi) {
+        ++flow.counts[static_cast<std::size_t>(prev.category)]
+                     [static_cast<std::size_t>(events[i].category)];
+      }
+      prev = events[i];
+      have_prev = true;
+    }
+  }
+  return flow;
+}
+
+double flow_correlation(const CategoryFlow& a, const CategoryFlow& b) {
+  const std::vector<double> va = a.normalized();
+  const std::vector<double> vb = b.normalized();
+  return stats::pearson(va, vb);
+}
+
+}  // namespace geovalid::apps

@@ -1,0 +1,47 @@
+// Commute-flow estimation — the paper's city-planning impact claim.
+//
+// §6.2: "city planning applications will under-estimate traffic on routes
+// between residential areas and offices, due to fewer checkins in these
+// places." This module computes origin-destination flows between venue
+// categories from each trace and measures exactly that under-estimation.
+#pragma once
+
+#include <array>
+#include <string_view>
+
+#include "apps/next_place.h"  // TrainingSource
+#include "match/pipeline.h"
+#include "trace/dataset.h"
+
+namespace geovalid::apps {
+
+/// Directed flow counts between venue categories: flows[from][to] is the
+/// number of consecutive-event transitions from a venue of category `from`
+/// to one of category `to`.
+struct CategoryFlow {
+  std::array<std::array<std::uint64_t, trace::kPoiCategoryCount>,
+             trace::kPoiCategoryCount>
+      counts{};
+
+  [[nodiscard]] std::uint64_t total() const;
+
+  /// Share of all transitions on the commute corridor:
+  /// Residence <-> (Professional or College), both directions.
+  [[nodiscard]] double commute_share() const;
+
+  /// Flattened row-major copy normalized to probabilities (all zeros when
+  /// the flow is empty) — the vector the similarity metrics consume.
+  [[nodiscard]] std::vector<double> normalized() const;
+};
+
+/// Builds the category flow of one trace type. GPS flows use consecutive
+/// snapped visits; checkin flows use consecutive (kept) checkins.
+[[nodiscard]] CategoryFlow category_flow(
+    const trace::Dataset& ds, const match::ValidationResult& validation,
+    TrainingSource source);
+
+/// Pearson correlation between two normalized flow matrices, in [-1, 1].
+[[nodiscard]] double flow_correlation(const CategoryFlow& a,
+                                      const CategoryFlow& b);
+
+}  // namespace geovalid::apps

@@ -1,0 +1,58 @@
+#include "core/pipeline.h"
+
+#include "trace/csv.h"
+#include "trace/visit_detector.h"
+
+namespace geovalid::core {
+
+StudyAnalysis analyze_generated(const synth::StudyConfig& config,
+                                const match::MatchConfig& match,
+                                const match::ClassifierConfig& classifier) {
+  synth::GeneratedStudy study = synth::generate_study(config);
+  StudyAnalysis out;
+  out.dataset = std::move(study.dataset);
+  out.truth = std::move(study.truth);
+  out.friendships = std::move(study.friendships);
+  out.validation = match::validate_dataset(out.dataset, match, classifier);
+  return out;
+}
+
+StudyAnalysis analyze_csv(const std::filesystem::path& dir,
+                          const std::string& name, bool detect_visits,
+                          const match::MatchConfig& match,
+                          const match::ClassifierConfig& classifier) {
+  StudyAnalysis out;
+  out.dataset = trace::read_dataset_csv(dir, name);
+  if (detect_visits) {
+    const trace::VisitDetector detector;
+    for (trace::UserRecord& u : out.dataset.mutable_users()) {
+      u.visits = detector.detect(u.gps);
+      detector.snap_to_pois(u.visits, out.dataset.pois());
+    }
+  }
+  out.validation = match::validate_dataset(out.dataset, match, classifier);
+  return out;
+}
+
+LevyModelSet fit_levy_models(const StudyAnalysis& analysis) {
+  using match::CheckinClass;
+
+  const mobility::MobilitySamples gps_samples =
+      mobility::samples_from_visits(analysis.dataset);
+  const mobility::MobilitySamples honest_samples =
+      mobility::samples_from_checkins(
+          analysis.dataset, analysis.validation,
+          [](CheckinClass c) { return c == CheckinClass::kHonest; });
+  const mobility::MobilitySamples all_samples =
+      mobility::samples_from_checkins(analysis.dataset, analysis.validation,
+                                      [](CheckinClass) { return true; });
+
+  LevyModelSet set;
+  set.gps = mobility::fit_levy_walk(gps_samples, "gps");
+  set.honest = mobility::fit_levy_walk(honest_samples, "honest-checkin",
+                                       &set.gps);
+  set.all = mobility::fit_levy_walk(all_samples, "all-checkin", &set.gps);
+  return set;
+}
+
+}  // namespace geovalid::core

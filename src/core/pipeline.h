@@ -1,0 +1,70 @@
+// geovalid public facade.
+//
+// One call takes you from a study config (or a CSV directory) to the full
+// validation analysis of the paper: matching, taxonomy, missing-checkin
+// breakdowns, incentive correlations, and the Levy-Walk models for the
+// MANET experiment. The bench binaries and examples are thin clients of
+// this header.
+#pragma once
+
+#include <filesystem>
+#include <optional>
+#include <string>
+
+#include "match/burstiness.h"
+#include "match/filters.h"
+#include "match/incentives.h"
+#include "match/missing.h"
+#include "match/pipeline.h"
+#include "match/prevalence.h"
+#include "mobility/levy_fit.h"
+#include "synth/study_generator.h"
+#include "trace/dataset.h"
+
+namespace geovalid::core {
+
+/// A dataset bundled with its complete §4-§5 analysis.
+struct StudyAnalysis {
+  trace::Dataset dataset;
+  match::ValidationResult validation;
+
+  /// Ground-truth behaviour labels; only present for generated studies.
+  std::optional<std::map<trace::UserId, std::vector<synth::TrueBehavior>>>
+      truth;
+
+  /// Ground-truth friendship graph; only present for generated studies.
+  std::optional<std::vector<std::pair<trace::UserId, trace::UserId>>>
+      friendships;
+
+  [[nodiscard]] const match::Partition& partition() const {
+    return validation.totals;
+  }
+};
+
+/// Generates a synthetic study and validates it.
+[[nodiscard]] StudyAnalysis analyze_generated(
+    const synth::StudyConfig& config, const match::MatchConfig& match = {},
+    const match::ClassifierConfig& classifier = {});
+
+/// Loads a CSV dataset (written by trace::write_dataset_csv) and validates
+/// it. Visits must already be present in the CSVs, or `detect_visits` must
+/// be set to derive them from the GPS samples.
+[[nodiscard]] StudyAnalysis analyze_csv(const std::filesystem::path& dir,
+                                        const std::string& name,
+                                        bool detect_visits = false,
+                                        const match::MatchConfig& match = {},
+                                        const match::ClassifierConfig&
+                                            classifier = {});
+
+/// Fits the three §6.1 Levy-Walk models (gps / honest-checkin /
+/// all-checkin) from an analyzed study. The checkin models borrow the GPS
+/// pause distribution, as in the paper.
+struct LevyModelSet {
+  mobility::LevyWalkModel gps;
+  mobility::LevyWalkModel honest;
+  mobility::LevyWalkModel all;
+};
+
+[[nodiscard]] LevyModelSet fit_levy_models(const StudyAnalysis& analysis);
+
+}  // namespace geovalid::core

@@ -1,0 +1,96 @@
+#include "core/report.h"
+
+#include <iomanip>
+#include <ostream>
+
+namespace geovalid::core {
+
+void print_dataset_stats(std::ostream& os, const std::string& name,
+                         const trace::DatasetStats& stats) {
+  os << std::left << std::setw(10) << name << std::right << std::setw(8)
+     << stats.users << std::setw(12) << std::fixed << std::setprecision(1)
+     << stats.avg_days_per_user << std::setw(12) << stats.checkins
+     << std::setw(12) << stats.visits << std::setw(14) << stats.gps_points
+     << "\n";
+}
+
+void print_partition(std::ostream& os, const match::Partition& p) {
+  const auto pct = [](std::size_t part, std::size_t whole) {
+    return whole == 0 ? 0.0
+                      : 100.0 * static_cast<double>(part) /
+                            static_cast<double>(whole);
+  };
+  os << "checkins " << p.checkins << ", visits " << p.visits << "\n";
+  os << std::fixed << std::setprecision(1);
+  os << "  honest      " << std::setw(7) << p.honest << "  ("
+     << pct(p.honest, p.checkins) << "% of checkins)\n";
+  os << "  extraneous  " << std::setw(7) << p.extraneous << "  ("
+     << pct(p.extraneous, p.checkins) << "% of checkins)\n";
+  os << "  missing     " << std::setw(7) << p.missing << "  ("
+     << pct(p.missing, p.visits) << "% of visits)\n";
+  os << "  extraneous breakdown:\n";
+  for (std::size_t c = 1; c < match::kCheckinClassCount; ++c) {
+    const auto n = p.by_class[c];
+    os << "    " << std::left << std::setw(13)
+       << match::to_string(static_cast<match::CheckinClass>(c)) << std::right
+       << std::setw(7) << n << "  (" << pct(n, p.checkins)
+       << "% of checkins, " << pct(n, p.extraneous) << "% of extraneous)\n";
+  }
+}
+
+void print_cdf_table(std::ostream& os,
+                     std::span<const stats::CurveSeries> curves,
+                     const std::string& x_label) {
+  if (curves.empty()) return;
+  os << std::left << std::setw(14) << x_label;
+  for (const auto& c : curves) os << std::right << std::setw(18) << c.name;
+  os << "\n";
+  os << std::fixed << std::setprecision(2);
+  const std::size_t rows = curves.front().x.size();
+  for (std::size_t i = 0; i < rows; ++i) {
+    os << std::left << std::setw(14) << std::setprecision(3)
+       << curves.front().x[i];
+    os << std::setprecision(2);
+    for (const auto& c : curves) {
+      os << std::right << std::setw(18) << (i < c.y.size() ? c.y[i] : 0.0);
+    }
+    os << "\n";
+  }
+}
+
+void print_levy_model(std::ostream& os, const mobility::LevyWalkModel& m) {
+  os << std::fixed << std::setprecision(4);
+  os << m.name << ":\n"
+     << "  flight  Pareto(x_min=" << m.flight.x_min / 1000.0
+     << " km, alpha=" << m.flight.alpha << ")  KS=" << m.flight_ks << "\n"
+     << "  pause   Pareto(x_min=" << m.pause.x_min / 60.0
+     << " min, alpha=" << m.pause.alpha << ")  KS=" << m.pause_ks << "\n"
+     << "  time    t = " << m.time_of_distance.k << " * d^"
+     << m.time_of_distance.gamma
+     << "  (R^2=" << m.time_of_distance.r_squared
+     << ", rho=" << 1.0 - m.time_of_distance.gamma << ")\n";
+}
+
+void print_incentive_table(std::ostream& os,
+                           const match::IncentiveTable& table) {
+  os << std::left << std::setw(14) << "Checkin Type";
+  for (std::size_t f = 0; f < match::kProfileFeatureCount; ++f) {
+    os << std::right << std::setw(15)
+       << match::to_string(static_cast<match::ProfileFeature>(f));
+  }
+  os << "\n" << std::fixed << std::setprecision(2);
+  const char* row_names[] = {"Superfluous", "Remote", "Driveby", "Honest"};
+  for (std::size_t r = 0; r < table.pearson.size(); ++r) {
+    os << std::left << std::setw(14) << row_names[r];
+    for (std::size_t f = 0; f < match::kProfileFeatureCount; ++f) {
+      os << std::right << std::setw(15) << table.pearson[r][f];
+    }
+    os << "\n";
+  }
+}
+
+std::vector<double> interarrival_grid() {
+  return stats::log_grid(0.1, 3000.0, 40);
+}
+
+}  // namespace geovalid::core

@@ -1,0 +1,40 @@
+// Text rendering shared by the bench harnesses: every table/figure is
+// printed as aligned plain-text rows so `bench_*` output can be diffed
+// against EXPERIMENTS.md.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+
+#include "core/pipeline.h"
+#include "stats/ecdf.h"
+
+namespace geovalid::core {
+
+/// Prints a Table 1 row: name, users, avg days, checkins, visits, GPS points.
+void print_dataset_stats(std::ostream& os, const std::string& name,
+                         const trace::DatasetStats& stats);
+
+/// Prints the Figure 1 partition with percentages.
+void print_partition(std::ostream& os, const match::Partition& p);
+
+/// Prints one or more CDF curves sampled on a shared grid: a header row of
+/// curve names, then one line per grid point with the percentile of each
+/// curve.
+void print_cdf_table(std::ostream& os,
+                     std::span<const stats::CurveSeries> curves,
+                     const std::string& x_label);
+
+/// Prints a fitted Levy Walk model's parameters.
+void print_levy_model(std::ostream& os, const mobility::LevyWalkModel& model);
+
+/// Prints Table 2 (Pearson correlations).
+void print_incentive_table(std::ostream& os,
+                           const match::IncentiveTable& table);
+
+/// Builds the standard log-spaced inter-arrival grid (0.1 .. 3000 minutes)
+/// used by the Figure 2 / Figure 6 benches.
+[[nodiscard]] std::vector<double> interarrival_grid();
+
+}  // namespace geovalid::core

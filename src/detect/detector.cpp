@@ -1,0 +1,69 @@
+#include "detect/detector.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace geovalid::detect {
+
+std::vector<double> TrainedDetector::score_user(
+    const trace::UserRecord& user) const {
+  const std::vector<FeatureVector> features = extract_features(user);
+  std::vector<double> scores;
+  scores.reserve(features.size());
+  for (const FeatureVector& f : features) {
+    const std::vector<double> z =
+        scaler.transform(std::span<const double>(f.data(), f.size()));
+    scores.push_back(model.predict(z));
+  }
+  return scores;
+}
+
+TrainedDetector train_detector(const trace::Dataset& ds,
+                               const match::ValidationResult& validation,
+                               const DetectorConfig& config) {
+  if (ds.user_count() != validation.users.size()) {
+    throw std::invalid_argument(
+        "train_detector: validation does not match dataset");
+  }
+  if (config.train_fraction <= 0.0 || config.train_fraction >= 1.0) {
+    throw std::invalid_argument(
+        "train_detector: train_fraction must be in (0,1)");
+  }
+
+  TrainedDetector detector;
+
+  // Per-user split.
+  std::vector<std::size_t> order(ds.user_count());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  stats::Rng rng(config.split_seed);
+  std::shuffle(order.begin(), order.end(), rng.engine());
+  const auto cut = static_cast<std::size_t>(
+      config.train_fraction * static_cast<double>(order.size()));
+  detector.train_users.assign(order.begin(), order.begin() + cut);
+  detector.test_users.assign(order.begin() + cut, order.end());
+
+  // Assemble the training matrix.
+  std::vector<std::vector<double>> rows;
+  std::vector<int> labels;
+  const auto users = ds.users();
+  for (std::size_t u : detector.train_users) {
+    const auto features = extract_features(users[u]);
+    const auto& user_labels = validation.users[u].labels;
+    for (std::size_t i = 0; i < features.size(); ++i) {
+      rows.emplace_back(features[i].begin(), features[i].end());
+      labels.push_back(
+          user_labels[i] == match::CheckinClass::kHonest ? 0 : 1);
+    }
+  }
+  if (rows.empty()) {
+    throw std::invalid_argument("train_detector: no training checkins");
+  }
+
+  detector.scaler = Standardizer::fit(rows);
+  for (auto& row : rows) row = detector.scaler.transform(row);
+  detector.model = LogisticModel::train(rows, labels, config.logistic);
+  return detector;
+}
+
+}  // namespace geovalid::detect

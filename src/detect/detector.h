@@ -1,0 +1,45 @@
+// End-to-end learned extraneous-checkin detector.
+//
+// Trains a logistic model on matcher-derived labels (honest = 0,
+// everything else = 1) with a per-user train/test split — whole users go
+// to one side, so the evaluation measures generalization to unseen users,
+// which is the deployment scenario (you cannot GPS-instrument the users of
+// a public dataset).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "detect/features.h"
+#include "detect/logistic.h"
+#include "match/pipeline.h"
+
+namespace geovalid::detect {
+
+/// Train/evaluate configuration.
+struct DetectorConfig {
+  double train_fraction = 0.7;  ///< share of users in the training split
+  std::uint64_t split_seed = 13;
+  LogisticConfig logistic;
+};
+
+/// A trained detector: scaler + model, plus the user split used.
+struct TrainedDetector {
+  Standardizer scaler;
+  LogisticModel model;
+  std::vector<std::size_t> train_users;  ///< indices into dataset users
+  std::vector<std::size_t> test_users;
+
+  /// Probability that each checkin of `user` is extraneous.
+  [[nodiscard]] std::vector<double> score_user(
+      const trace::UserRecord& user) const;
+};
+
+/// Trains on the dataset's training split, using the matcher's labels as
+/// supervision. Throws std::invalid_argument when the dataset/validation
+/// disagree or the training split has no checkins.
+[[nodiscard]] TrainedDetector train_detector(
+    const trace::Dataset& ds, const match::ValidationResult& validation,
+    const DetectorConfig& config = {});
+
+}  // namespace geovalid::detect

@@ -1,0 +1,128 @@
+#include "detect/evaluation.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace geovalid::detect {
+
+ScoredLabels score_test_split(const TrainedDetector& detector,
+                              const trace::Dataset& ds,
+                              const match::ValidationResult& validation) {
+  ScoredLabels out;
+  const auto users = ds.users();
+  for (std::size_t u : detector.test_users) {
+    const auto scores = detector.score_user(users[u]);
+    const auto& labels = validation.users[u].labels;
+    for (std::size_t i = 0; i < scores.size(); ++i) {
+      out.scores.push_back(scores[i]);
+      out.labels.push_back(
+          labels[i] == match::CheckinClass::kHonest ? 0 : 1);
+    }
+  }
+  return out;
+}
+
+double auc(const ScoredLabels& scored) {
+  // Rank-sum (Mann-Whitney) formulation with average ranks for ties.
+  const std::size_t n = scored.scores.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return scored.scores[a] < scored.scores[b];
+  });
+
+  std::vector<double> rank(n, 0.0);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n &&
+           scored.scores[order[j + 1]] == scored.scores[order[i]]) {
+      ++j;
+    }
+    const double avg =
+        (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (std::size_t k = i; k <= j; ++k) rank[order[k]] = avg;
+    i = j + 1;
+  }
+
+  double positive_rank_sum = 0.0;
+  std::size_t positives = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    if (scored.labels[k] == 1) {
+      positive_rank_sum += rank[k];
+      ++positives;
+    }
+  }
+  const std::size_t negatives = n - positives;
+  if (positives == 0 || negatives == 0) return 0.5;
+
+  const double u_stat = positive_rank_sum -
+                        static_cast<double>(positives) *
+                            (static_cast<double>(positives) + 1.0) / 2.0;
+  return u_stat /
+         (static_cast<double>(positives) * static_cast<double>(negatives));
+}
+
+std::vector<RocPoint> roc_curve(const ScoredLabels& scored,
+                                std::size_t points) {
+  std::vector<RocPoint> curve;
+  if (points < 2) points = 2;
+  std::size_t positives = 0;
+  for (int label : scored.labels) positives += label;
+  const std::size_t negatives = scored.labels.size() - positives;
+
+  for (std::size_t p = 0; p < points; ++p) {
+    const double threshold =
+        static_cast<double>(p) / static_cast<double>(points - 1);
+    std::size_t tp = 0, fp = 0;
+    for (std::size_t k = 0; k < scored.scores.size(); ++k) {
+      if (scored.scores[k] >= threshold) {
+        if (scored.labels[k] == 1) ++tp;
+        else ++fp;
+      }
+    }
+    RocPoint pt;
+    pt.threshold = threshold;
+    pt.true_positive_rate =
+        positives == 0 ? 0.0
+                       : static_cast<double>(tp) /
+                             static_cast<double>(positives);
+    pt.false_positive_rate =
+        negatives == 0 ? 0.0
+                       : static_cast<double>(fp) /
+                             static_cast<double>(negatives);
+    curve.push_back(pt);
+  }
+  return curve;
+}
+
+match::DetectionScore confusion_at(const ScoredLabels& scored,
+                                   double threshold) {
+  match::DetectionScore s;
+  for (std::size_t k = 0; k < scored.scores.size(); ++k) {
+    const bool flagged = scored.scores[k] >= threshold;
+    const bool is_extraneous = scored.labels[k] == 1;
+    if (is_extraneous && flagged) ++s.true_positive;
+    else if (is_extraneous) ++s.false_negative;
+    else if (flagged) ++s.false_positive;
+    else ++s.true_negative;
+  }
+  return s;
+}
+
+double best_f1_threshold(const ScoredLabels& scored, std::size_t grid) {
+  double best_threshold = 0.5;
+  double best_f1 = -1.0;
+  for (std::size_t p = 0; p < grid; ++p) {
+    const double threshold =
+        static_cast<double>(p) / static_cast<double>(grid - 1);
+    const double f1 = confusion_at(scored, threshold).f1();
+    if (f1 > best_f1) {
+      best_f1 = f1;
+      best_threshold = threshold;
+    }
+  }
+  return best_threshold;
+}
+
+}  // namespace geovalid::detect

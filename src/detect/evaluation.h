@@ -1,0 +1,46 @@
+// Scoring of probabilistic detectors: ROC curves, AUC, and conversion to
+// the DetectionScore confusion counts used across the project.
+#pragma once
+
+#include <vector>
+
+#include "detect/detector.h"
+#include "match/filters.h"
+
+namespace geovalid::detect {
+
+/// One operating point of a score-thresholded detector.
+struct RocPoint {
+  double threshold = 0.0;
+  double true_positive_rate = 0.0;
+  double false_positive_rate = 0.0;
+};
+
+/// Scores + binary labels of a set of checkins (flattened across users).
+struct ScoredLabels {
+  std::vector<double> scores;
+  std::vector<int> labels;  ///< 1 = extraneous
+};
+
+/// Scores the detector's *test* users against the matcher labels.
+[[nodiscard]] ScoredLabels score_test_split(
+    const TrainedDetector& detector, const trace::Dataset& ds,
+    const match::ValidationResult& validation);
+
+/// Area under the ROC curve via the rank statistic (ties get half credit).
+/// Returns 0.5 when either class is absent.
+[[nodiscard]] double auc(const ScoredLabels& scored);
+
+/// ROC curve sampled at `points` evenly spaced score thresholds.
+[[nodiscard]] std::vector<RocPoint> roc_curve(const ScoredLabels& scored,
+                                              std::size_t points = 21);
+
+/// Confusion counts at one threshold.
+[[nodiscard]] match::DetectionScore confusion_at(const ScoredLabels& scored,
+                                                 double threshold);
+
+/// Threshold maximizing F1 over the scored sample.
+[[nodiscard]] double best_f1_threshold(const ScoredLabels& scored,
+                                       std::size_t grid = 41);
+
+}  // namespace geovalid::detect

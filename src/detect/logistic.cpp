@@ -1,0 +1,125 @@
+#include "detect/logistic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace geovalid::detect {
+
+double sigmoid(double z) {
+  if (z >= 0.0) {
+    const double e = std::exp(-z);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+Standardizer Standardizer::fit(std::span<const std::vector<double>> rows) {
+  Standardizer s;
+  if (rows.empty()) return s;
+  const std::size_t dims = rows.front().size();
+  s.mean_.assign(dims, 0.0);
+  s.sigma_.assign(dims, 0.0);
+
+  for (const auto& row : rows) {
+    if (row.size() != dims) {
+      throw std::invalid_argument("Standardizer: ragged rows");
+    }
+    for (std::size_t d = 0; d < dims; ++d) s.mean_[d] += row[d];
+  }
+  const auto n = static_cast<double>(rows.size());
+  for (double& m : s.mean_) m /= n;
+
+  for (const auto& row : rows) {
+    for (std::size_t d = 0; d < dims; ++d) {
+      const double delta = row[d] - s.mean_[d];
+      s.sigma_[d] += delta * delta;
+    }
+  }
+  for (double& v : s.sigma_) {
+    v = std::sqrt(v / std::max(1.0, n - 1.0));
+    if (v < 1e-12) v = 1.0;  // constant column
+  }
+  return s;
+}
+
+std::vector<double> Standardizer::transform(
+    std::span<const double> row) const {
+  if (row.size() != mean_.size()) {
+    throw std::invalid_argument("Standardizer: dimension mismatch");
+  }
+  std::vector<double> out(row.size());
+  for (std::size_t d = 0; d < row.size(); ++d) {
+    out[d] = (row[d] - mean_[d]) / sigma_[d];
+  }
+  return out;
+}
+
+LogisticModel LogisticModel::train(std::span<const std::vector<double>> rows,
+                                   std::span<const int> labels,
+                                   const LogisticConfig& config) {
+  if (rows.empty() || rows.size() != labels.size()) {
+    throw std::invalid_argument("LogisticModel: bad training shapes");
+  }
+  const std::size_t dims = rows.front().size();
+  for (const auto& r : rows) {
+    if (r.size() != dims) {
+      throw std::invalid_argument("LogisticModel: ragged rows");
+    }
+  }
+
+  LogisticModel model;
+  model.weights_.assign(dims, 0.0);
+  model.bias_ = 0.0;
+
+  stats::Rng rng(config.seed);
+  std::vector<std::size_t> order(rows.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+
+  std::vector<double> grad(dims, 0.0);
+  const std::size_t batch = std::max<std::size_t>(1, config.batch_size);
+
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    std::shuffle(order.begin(), order.end(), rng.engine());
+    // Simple step decay keeps late epochs from oscillating.
+    const double lr =
+        config.learning_rate / (1.0 + 0.05 * static_cast<double>(epoch));
+
+    for (std::size_t start = 0; start < order.size(); start += batch) {
+      const std::size_t end = std::min(order.size(), start + batch);
+      std::fill(grad.begin(), grad.end(), 0.0);
+      double grad_b = 0.0;
+
+      for (std::size_t k = start; k < end; ++k) {
+        const auto& x = rows[order[k]];
+        const double y = static_cast<double>(labels[order[k]]);
+        double z = model.bias_;
+        for (std::size_t d = 0; d < dims; ++d) z += model.weights_[d] * x[d];
+        const double err = sigmoid(z) - y;
+        for (std::size_t d = 0; d < dims; ++d) grad[d] += err * x[d];
+        grad_b += err;
+      }
+
+      const double scale = 1.0 / static_cast<double>(end - start);
+      for (std::size_t d = 0; d < dims; ++d) {
+        model.weights_[d] -=
+            lr * (grad[d] * scale + config.l2 * model.weights_[d]);
+      }
+      model.bias_ -= lr * grad_b * scale;
+    }
+  }
+  return model;
+}
+
+double LogisticModel::predict(std::span<const double> row) const {
+  if (row.size() != weights_.size()) {
+    throw std::invalid_argument("LogisticModel: dimension mismatch");
+  }
+  double z = bias_;
+  for (std::size_t d = 0; d < row.size(); ++d) z += weights_[d] * row[d];
+  return sigmoid(z);
+}
+
+}  // namespace geovalid::detect

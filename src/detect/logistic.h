@@ -1,0 +1,71 @@
+// L2-regularized logistic regression, trained by mini-batch gradient
+// descent. Small, dependency-free, and sufficient for the paper's "apply
+// machine learning" suggestion — the point is the feature signal, not the
+// model class.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "stats/rng.h"
+
+namespace geovalid::detect {
+
+/// Per-feature standardization parameters (z-scoring), estimated on the
+/// training split and applied everywhere.
+class Standardizer {
+ public:
+  Standardizer() = default;
+
+  /// Estimates mean and standard deviation per column. Constant columns get
+  /// sigma 1 so they standardize to 0.
+  static Standardizer fit(std::span<const std::vector<double>> rows);
+
+  [[nodiscard]] std::vector<double> transform(
+      std::span<const double> row) const;
+
+  [[nodiscard]] std::size_t dimensions() const { return mean_.size(); }
+  [[nodiscard]] std::span<const double> mean() const { return mean_; }
+  [[nodiscard]] std::span<const double> stddev() const { return sigma_; }
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> sigma_;
+};
+
+/// Training hyperparameters.
+struct LogisticConfig {
+  double learning_rate = 0.1;
+  double l2 = 1e-4;
+  std::size_t epochs = 60;
+  std::size_t batch_size = 64;
+  std::uint64_t seed = 7;
+};
+
+/// A trained binary classifier: p(y=1 | x) = sigmoid(w.x + b).
+class LogisticModel {
+ public:
+  LogisticModel() = default;
+
+  /// Trains on standardized rows with {0,1} labels. Rows must be non-empty
+  /// and rectangular; throws std::invalid_argument otherwise.
+  static LogisticModel train(std::span<const std::vector<double>> rows,
+                             std::span<const int> labels,
+                             const LogisticConfig& config = {});
+
+  /// Probability of the positive class for one standardized row.
+  [[nodiscard]] double predict(std::span<const double> row) const;
+
+  [[nodiscard]] std::span<const double> weights() const { return weights_; }
+  [[nodiscard]] double bias() const { return bias_; }
+
+ private:
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+};
+
+/// Numerically stable sigmoid.
+[[nodiscard]] double sigmoid(double z);
+
+}  // namespace geovalid::detect

@@ -1,0 +1,41 @@
+#include "geo/bbox.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geo/geodesic.h"
+
+namespace geovalid::geo {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+constexpr double kMetersPerDegree = kEarthRadiusMeters * kPi / 180.0;
+
+}  // namespace
+
+bool contains(const BBox& box, const LatLon& p) {
+  return p.lat_deg >= box.min_lat_deg && p.lat_deg <= box.max_lat_deg &&
+         p.lon_deg >= box.min_lon_deg && p.lon_deg <= box.max_lon_deg;
+}
+
+BBox expanded(const BBox& box, double margin_meters) {
+  const double dlat = margin_meters / kMetersPerDegree;
+  const double mid_lat = (box.min_lat_deg + box.max_lat_deg) / 2.0;
+  const double cos_lat =
+      std::max(0.01, std::cos(mid_lat * kPi / 180.0));  // avoid pole blowup
+  const double dlon = margin_meters / (kMetersPerDegree * cos_lat);
+  return BBox{box.min_lat_deg - dlat, box.min_lon_deg - dlon,
+              box.max_lat_deg + dlat, box.max_lon_deg + dlon};
+}
+
+LatLon center(const BBox& box) {
+  return LatLon{(box.min_lat_deg + box.max_lat_deg) / 2.0,
+                (box.min_lon_deg + box.max_lon_deg) / 2.0};
+}
+
+double diagonal_m(const BBox& box) {
+  return distance_m(LatLon{box.min_lat_deg, box.min_lon_deg},
+                    LatLon{box.max_lat_deg, box.max_lon_deg});
+}
+
+}  // namespace geovalid::geo

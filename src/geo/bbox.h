@@ -1,0 +1,55 @@
+// Geographic bounding boxes, used for spatial pre-filtering in the
+// checkin-to-visit matcher and for describing synthetic city extents.
+#pragma once
+
+#include <optional>
+
+#include "geo/latlon.h"
+
+namespace geovalid::geo {
+
+/// An axis-aligned lat/lon rectangle. Invariant (enforced by extend/contains
+/// semantics, not by construction): min <= max componentwise once any point
+/// has been added. Does not handle antimeridian crossing — the paper's data
+/// is city-scale.
+struct BBox {
+  double min_lat_deg = 0.0;
+  double min_lon_deg = 0.0;
+  double max_lat_deg = 0.0;
+  double max_lon_deg = 0.0;
+
+  friend constexpr auto operator<=>(const BBox&, const BBox&) = default;
+};
+
+/// Smallest box containing all points of `points`; nullopt when empty.
+template <typename Range>
+[[nodiscard]] std::optional<BBox> bounding_box(const Range& points) {
+  std::optional<BBox> box;
+  for (const LatLon& p : points) {
+    if (!box) {
+      box = BBox{p.lat_deg, p.lon_deg, p.lat_deg, p.lon_deg};
+      continue;
+    }
+    if (p.lat_deg < box->min_lat_deg) box->min_lat_deg = p.lat_deg;
+    if (p.lon_deg < box->min_lon_deg) box->min_lon_deg = p.lon_deg;
+    if (p.lat_deg > box->max_lat_deg) box->max_lat_deg = p.lat_deg;
+    if (p.lon_deg > box->max_lon_deg) box->max_lon_deg = p.lon_deg;
+  }
+  return box;
+}
+
+/// True when `p` lies inside `box` (inclusive on all edges).
+[[nodiscard]] bool contains(const BBox& box, const LatLon& p);
+
+/// Expands a box by `margin_m` metres in every direction. The longitude
+/// margin is scaled by the box's central latitude.
+[[nodiscard]] BBox expanded(const BBox& box, double margin_meters);
+
+/// Geographic center of the box.
+[[nodiscard]] LatLon center(const BBox& box);
+
+/// Diagonal length of the box, metres. A quick "how big is this dataset"
+/// measure used in dataset summaries.
+[[nodiscard]] double diagonal_m(const BBox& box);
+
+}  // namespace geovalid::geo

@@ -1,0 +1,72 @@
+#include "geo/geodesic.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace geovalid::geo {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+constexpr double deg_to_rad(double deg) { return deg * kPi / 180.0; }
+constexpr double rad_to_deg(double rad) { return rad * 180.0 / kPi; }
+
+}  // namespace
+
+double distance_m(const LatLon& a, const LatLon& b) {
+  const double lat1 = deg_to_rad(a.lat_deg);
+  const double lat2 = deg_to_rad(b.lat_deg);
+  const double dlat = deg_to_rad(b.lat_deg - a.lat_deg);
+  const double dlon = deg_to_rad(b.lon_deg - a.lon_deg);
+
+  const double sin_dlat = std::sin(dlat / 2.0);
+  const double sin_dlon = std::sin(dlon / 2.0);
+  const double h = sin_dlat * sin_dlat +
+                   std::cos(lat1) * std::cos(lat2) * sin_dlon * sin_dlon;
+  // Clamp guards against h slightly exceeding 1 from floating-point error
+  // on antipodal pairs.
+  const double c = 2.0 * std::asin(std::sqrt(std::clamp(h, 0.0, 1.0)));
+  return kEarthRadiusMeters * c;
+}
+
+double fast_distance_m(const LatLon& a, const LatLon& b) {
+  const double mean_lat = deg_to_rad((a.lat_deg + b.lat_deg) / 2.0);
+  const double dx = deg_to_rad(b.lon_deg - a.lon_deg) * std::cos(mean_lat);
+  const double dy = deg_to_rad(b.lat_deg - a.lat_deg);
+  return kEarthRadiusMeters * std::sqrt(dx * dx + dy * dy);
+}
+
+double initial_bearing_deg(const LatLon& a, const LatLon& b) {
+  const double lat1 = deg_to_rad(a.lat_deg);
+  const double lat2 = deg_to_rad(b.lat_deg);
+  const double dlon = deg_to_rad(b.lon_deg - a.lon_deg);
+
+  const double y = std::sin(dlon) * std::cos(lat2);
+  const double x = std::cos(lat1) * std::sin(lat2) -
+                   std::sin(lat1) * std::cos(lat2) * std::cos(dlon);
+  const double bearing = rad_to_deg(std::atan2(y, x));
+  return std::fmod(bearing + 360.0, 360.0);
+}
+
+LatLon destination(const LatLon& origin, double bearing_deg,
+                   double distance_meters) {
+  const double delta = distance_meters / kEarthRadiusMeters;
+  const double theta = deg_to_rad(bearing_deg);
+  const double lat1 = deg_to_rad(origin.lat_deg);
+  const double lon1 = deg_to_rad(origin.lon_deg);
+
+  const double lat2 =
+      std::asin(std::sin(lat1) * std::cos(delta) +
+                std::cos(lat1) * std::sin(delta) * std::cos(theta));
+  const double lon2 =
+      lon1 + std::atan2(std::sin(theta) * std::sin(delta) * std::cos(lat1),
+                        std::cos(delta) - std::sin(lat1) * std::sin(lat2));
+  return LatLon{rad_to_deg(lat2), normalize_lon_deg(rad_to_deg(lon2))};
+}
+
+double speed_mps(const LatLon& a, const LatLon& b, double seconds) {
+  if (seconds <= 0.0) return 0.0;
+  return distance_m(a, b) / seconds;
+}
+
+}  // namespace geovalid::geo

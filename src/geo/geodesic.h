@@ -1,0 +1,40 @@
+// Great-circle distance and bearing computations on the WGS-84 sphere.
+//
+// The matching algorithm in the paper operates at city scale (alpha = 500 m)
+// where the spherical haversine formula is accurate to well under a metre,
+// so no ellipsoidal corrections are needed.
+#pragma once
+
+#include "geo/latlon.h"
+
+namespace geovalid::geo {
+
+/// Great-circle distance between two positions, in metres (haversine).
+/// Numerically stable for both antipodal and very close points.
+[[nodiscard]] double distance_m(const LatLon& a, const LatLon& b);
+
+/// Fast approximate distance using an equirectangular projection, metres.
+/// Within 0.1% of haversine for separations under ~50 km; used by hot loops
+/// (visit detection over millions of GPS samples).
+[[nodiscard]] double fast_distance_m(const LatLon& a, const LatLon& b);
+
+/// Initial bearing from `a` to `b`, degrees clockwise from true north,
+/// in [0, 360).
+[[nodiscard]] double initial_bearing_deg(const LatLon& a, const LatLon& b);
+
+/// Destination point reached by travelling `distance_m` metres from `origin`
+/// along `bearing_deg` (degrees clockwise from north) on a great circle.
+[[nodiscard]] LatLon destination(const LatLon& origin, double bearing_deg,
+                                 double distance_meters);
+
+/// Average speed implied by moving between two positions over `seconds`,
+/// metres/second. Returns 0 when `seconds <= 0`.
+[[nodiscard]] double speed_mps(const LatLon& a, const LatLon& b,
+                               double seconds);
+
+/// Unit helpers used by the driveby-checkin classifier (threshold is 4 mph
+/// in the paper).
+[[nodiscard]] constexpr double mph_to_mps(double mph) { return mph * 0.44704; }
+[[nodiscard]] constexpr double mps_to_mph(double mps) { return mps / 0.44704; }
+
+}  // namespace geovalid::geo

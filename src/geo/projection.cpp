@@ -1,0 +1,43 @@
+#include "geo/projection.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace geovalid::geo {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+constexpr double kMetersPerDegree = kEarthRadiusMeters * kPi / 180.0;
+
+}  // namespace
+
+double plane_distance_m(const PlanePoint& a, const PlanePoint& b) {
+  const double dx = a.x_m - b.x_m;
+  const double dy = a.y_m - b.y_m;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+LocalProjection::LocalProjection(const LatLon& origin) : origin_(origin) {
+  if (!is_valid(origin)) {
+    throw std::invalid_argument("LocalProjection: invalid origin coordinate");
+  }
+  cos_origin_lat_ = std::cos(origin.lat_deg * kPi / 180.0);
+  meters_per_deg_lat_ = kMetersPerDegree;
+  meters_per_deg_lon_ = kMetersPerDegree * cos_origin_lat_;
+}
+
+PlanePoint LocalProjection::to_plane(const LatLon& p) const {
+  return PlanePoint{
+      (p.lon_deg - origin_.lon_deg) * meters_per_deg_lon_,
+      (p.lat_deg - origin_.lat_deg) * meters_per_deg_lat_,
+  };
+}
+
+LatLon LocalProjection::to_geo(const PlanePoint& p) const {
+  return LatLon{
+      origin_.lat_deg + p.y_m / meters_per_deg_lat_,
+      origin_.lon_deg + p.x_m / meters_per_deg_lon_,
+  };
+}
+
+}  // namespace geovalid::geo

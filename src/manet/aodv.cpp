@@ -1,0 +1,281 @@
+#include "manet/aodv.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace geovalid::manet {
+namespace {
+
+/// Packs (src, dst) into the pending-discovery key.
+std::uint64_t pending_key(NodeId dst) { return dst; }
+
+}  // namespace
+
+AodvNetwork::AodvNetwork(std::size_t node_count, AodvConfig config,
+                         EventQueue& queue, NeighborFn neighbors,
+                         ControlCounters& counters)
+    : nodes_(node_count),
+      config_(config),
+      queue_(queue),
+      neighbors_(std::move(neighbors)),
+      counters_(counters) {
+  if (node_count == 0) {
+    throw std::invalid_argument("AodvNetwork: zero nodes");
+  }
+  if (!neighbors_) {
+    throw std::invalid_argument("AodvNetwork: missing neighbor function");
+  }
+  if (config_.hello_interval_s > 0.0) {
+    // Stagger the beacons so 200 nodes do not fire in the same instant.
+    for (NodeId n = 0; n < node_count; ++n) {
+      const double offset = config_.hello_interval_s *
+                            static_cast<double>(n) /
+                            static_cast<double>(node_count);
+      queue_.schedule_in(offset, [this, n] { hello_tick(n); });
+    }
+  }
+}
+
+void AodvNetwork::hello_tick(NodeId node) {
+  // Beacon: one broadcast, heard by every current neighbour.
+  ++counters_.hello_tx;
+  const double now = queue_.now();
+  for (NodeId nbr : neighbors_(node)) {
+    nodes_[nbr].last_hello[node] = now;
+  }
+
+  // Expire routes through neighbours that have gone silent.
+  const double deadline =
+      now - config_.hello_interval_s *
+                static_cast<double>(config_.allowed_hello_loss);
+  Node& self = nodes_[node];
+  for (auto& [dst, route] : self.routes) {
+    if (!route.valid) continue;
+    const auto heard = self.last_hello.find(route.next_hop);
+    const bool silent = heard == self.last_hello.end()
+                            ? now > config_.hello_interval_s *
+                                        static_cast<double>(
+                                            config_.allowed_hello_loss)
+                            : heard->second < deadline;
+    if (silent) route.valid = false;
+  }
+
+  queue_.schedule_in(config_.hello_interval_s,
+                     [this, node] { hello_tick(node); });
+}
+
+AodvNetwork::Route* AodvNetwork::find_valid_route(NodeId at, NodeId dst) {
+  auto& table = nodes_[at].routes;
+  const auto it = table.find(dst);
+  if (it == table.end()) return nullptr;
+  Route& r = it->second;
+  if (!r.valid || r.expiry < queue_.now()) {
+    r.valid = false;
+    return nullptr;
+  }
+  return &r;
+}
+
+void AodvNetwork::install_route(NodeId at, NodeId dst, NodeId next_hop,
+                                std::uint32_t hops,
+                                std::uint32_t dest_seqno) {
+  Route& r = nodes_[at].routes[dst];
+  // Accept fresher sequence numbers, or shorter paths at equal freshness.
+  if (r.valid && r.expiry >= queue_.now() &&
+      (r.dest_seqno > dest_seqno ||
+       (r.dest_seqno == dest_seqno && r.hops <= hops))) {
+    // Existing route is at least as good; just refresh its lifetime.
+    r.expiry = queue_.now() + config_.active_route_timeout_s;
+    return;
+  }
+  r.next_hop = next_hop;
+  r.hops = hops;
+  r.dest_seqno = dest_seqno;
+  r.expiry = queue_.now() + config_.active_route_timeout_s;
+  r.valid = true;
+}
+
+bool AodvNetwork::has_route(NodeId src, NodeId dst) const {
+  const auto& table = nodes_[src].routes;
+  const auto it = table.find(dst);
+  return it != table.end() && it->second.valid &&
+         it->second.expiry >= queue_.now();
+}
+
+AodvNetwork::SendResult AodvNetwork::send_data(NodeId src, NodeId dst,
+                                               std::size_t pair) {
+  SendResult result;
+  Route* route = find_valid_route(src, dst);
+  if (route == nullptr) return result;
+  result.had_route = true;
+  result.path.push_back(src);
+
+  NodeId at = src;
+  // Forward hop by hop, bounded by node count (routing loops cannot recur
+  // longer than that).
+  for (std::size_t hop = 0; hop < nodes_.size(); ++hop) {
+    Route* r = find_valid_route(at, dst);
+    if (r == nullptr) break;
+    const NodeId next = r->next_hop;
+
+    // Link check against the live topology.
+    const auto nbrs = neighbors_(at);
+    if (std::find(nbrs.begin(), nbrs.end(), next) == nbrs.end()) {
+      // Link broke: invalidate every route through `next` at this node and
+      // report the break to the source.
+      for (auto& [d, rt] : nodes_[at].routes) {
+        if (rt.next_hop == next) rt.valid = false;
+      }
+      // RERR travels the reverse of the traversed path.
+      for (std::size_t i = result.path.size(); i-- > 1;) {
+        ++counters_.rerr_tx;
+        counters_.credit(pair);
+        nodes_[result.path[i - 1]].routes[dst].valid = false;
+      }
+      if (result.path.size() == 1) {
+        // Break at the first hop: source invalidates directly (no RERR
+        // transmission needed).
+        nodes_[src].routes[dst].valid = false;
+      }
+      return result;
+    }
+
+    r->expiry = queue_.now() + config_.active_route_timeout_s;
+    result.path.push_back(next);
+    at = next;
+    if (at == dst) {
+      result.delivered = true;
+      return result;
+    }
+  }
+  return result;
+}
+
+void AodvNetwork::launch_flood(NodeId src, NodeId dst, std::size_t pair,
+                               std::uint32_t ttl,
+                               std::function<void(bool)> done) {
+  Node& node = nodes_[src];
+  auto flood = std::make_shared<Flood>();
+  flood->origin = src;
+  flood->dest = dst;
+  flood->id = ++node.rreq_id;
+  flood->pair = pair;
+  flood->done = std::move(done);
+  ++node.seqno;
+
+  // Per-ring timeout: a bounded ring answers quickly, so scale the wait
+  // with the ring's radius (round trip plus slack), capped by the
+  // configured ceiling.
+  const double ring_wait =
+      std::min(config_.discovery_timeout_s,
+               0.05 + 4.0 * static_cast<double>(ttl) * config_.hop_delay_s);
+  queue_.schedule_in(ring_wait, [this, flood] { finish_flood(flood, false); });
+
+  process_rreq(flood, src, kNoNode, 0, ttl);
+}
+
+void AodvNetwork::start_discovery(NodeId src, NodeId dst, std::size_t pair,
+                                  std::function<void(bool)> done) {
+  Node& node = nodes_[src];
+  if (!node.pending_discoveries.insert(pending_key(dst)).second) {
+    return;  // one discovery per destination at a time
+  }
+
+  auto finish = [this, src, dst,
+                 done = std::move(done)](bool success) {
+    nodes_[src].pending_discoveries.erase(pending_key(dst));
+    if (done) done(success);
+  };
+
+  if (!config_.expanding_ring) {
+    launch_flood(src, dst, pair, config_.rreq_ttl, std::move(finish));
+    return;
+  }
+
+  // Expanding ring: escalate the TTL until the RREP arrives or the full
+  // flood fails. The chain is built as a self-referencing callback.
+  auto escalate = std::make_shared<std::function<void(std::uint32_t)>>();
+  *escalate = [this, src, dst, pair, finish = std::move(finish),
+               escalate](std::uint32_t ttl) {
+    launch_flood(src, dst, pair, ttl,
+                 [this, src, dst, ttl, finish, escalate](bool success) {
+                   if (success || ttl >= config_.rreq_ttl) {
+                     finish(success);
+                     return;
+                   }
+                   std::uint32_t next = ttl + config_.ring_increment;
+                   if (next > config_.ring_threshold) next = config_.rreq_ttl;
+                   (*escalate)(next);
+                 });
+  };
+  (*escalate)(std::min(config_.ring_start_ttl, config_.rreq_ttl));
+}
+
+void AodvNetwork::process_rreq(const std::shared_ptr<Flood>& flood, NodeId at,
+                               NodeId from, std::uint32_t hop_count,
+                               std::uint32_t ttl) {
+  if (flood->finished) return;
+  if (!flood->seen.insert(at).second) return;
+
+  // Reverse route toward the origin.
+  if (from != kNoNode) {
+    install_route(at, flood->origin, from, hop_count,
+                  nodes_[flood->origin].seqno);
+  }
+
+  if (at == flood->dest) {
+    send_rrep(flood);
+    return;
+  }
+  if (ttl == 0) return;
+
+  // Rebroadcast: one transmission, heard by every current neighbour.
+  ++counters_.rreq_tx;
+  counters_.credit(flood->pair);
+  for (NodeId nbr : neighbors_(at)) {
+    queue_.schedule_in(config_.hop_delay_s,
+                       [this, flood, nbr, at, hop_count, ttl] {
+                         process_rreq(flood, nbr, at, hop_count + 1, ttl - 1);
+                       });
+  }
+}
+
+void AodvNetwork::send_rrep(const std::shared_ptr<Flood>& flood) {
+  if (flood->finished) return;
+  Node& dest_node = nodes_[flood->dest];
+  ++dest_node.seqno;
+
+  // Unicast back along the reverse routes installed by the RREQ wave,
+  // installing forward routes as it goes.
+  NodeId at = flood->dest;
+  std::uint32_t hops = 0;
+  while (at != flood->origin) {
+    Route* back = find_valid_route(at, flood->origin);
+    if (back == nullptr) {
+      finish_flood(flood, false);
+      return;
+    }
+    const NodeId prev = back->next_hop;
+    ++counters_.rrep_tx;
+    counters_.credit(flood->pair);
+    ++hops;
+    install_route(prev, flood->dest, at, hops, dest_node.seqno);
+    at = prev;
+    if (hops > nodes_.size()) {  // corrupt reverse path; abort safely
+      finish_flood(flood, false);
+      return;
+    }
+  }
+  finish_flood(flood, true);
+}
+
+void AodvNetwork::finish_flood(const std::shared_ptr<Flood>& flood,
+                               bool success) {
+  if (flood->finished) return;
+  flood->finished = true;
+  // The pending-discovery entry is owned by start_discovery's completion
+  // wrapper (one entry spans a whole expanding-ring escalation chain).
+  if (flood->done) flood->done(success);
+}
+
+}  // namespace geovalid::manet

@@ -1,0 +1,31 @@
+#include "manet/event_queue.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace geovalid::manet {
+
+void EventQueue::schedule_at(double t, Handler fn) {
+  heap_.push(Event{std::max(t, now_), next_seq_++, std::move(fn)});
+}
+
+void EventQueue::schedule_in(double delay, Handler fn) {
+  schedule_at(now_ + std::max(0.0, delay), std::move(fn));
+}
+
+std::size_t EventQueue::run_until(double end_time) {
+  std::size_t executed = 0;
+  while (!heap_.empty() && heap_.top().t <= end_time) {
+    // priority_queue::top() is const; move out via const_cast-free copy of
+    // the handler is wasteful, so pop into a local through extraction.
+    Event ev = std::move(const_cast<Event&>(heap_.top()));
+    heap_.pop();
+    now_ = ev.t;
+    ev.fn();
+    ++executed;
+  }
+  if (heap_.empty() || heap_.top().t > end_time) now_ = end_time;
+  return executed;
+}
+
+}  // namespace geovalid::manet

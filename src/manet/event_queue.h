@@ -1,0 +1,51 @@
+// Discrete-event engine for the MANET simulator.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace geovalid::manet {
+
+/// A minimal discrete-event scheduler. Events fire in (time, insertion
+/// order); handlers may schedule further events.
+class EventQueue {
+ public:
+  using Handler = std::function<void()>;
+
+  /// Current simulation time (seconds). 0 before the first event runs.
+  [[nodiscard]] double now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `t` (>= now, else clamped to now).
+  void schedule_at(double t, Handler fn);
+
+  /// Schedules `fn` after `delay` seconds (>= 0).
+  void schedule_in(double delay, Handler fn);
+
+  /// Runs events until the queue empties or the next event would fire after
+  /// `end_time`. Returns the number of events executed.
+  std::size_t run_until(double end_time);
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return heap_.size(); }
+
+ private:
+  struct Event {
+    double t;
+    std::uint64_t seq;  ///< tie-break: FIFO among equal timestamps
+    Handler fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace geovalid::manet

@@ -1,0 +1,185 @@
+#include "manet/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace geovalid::manet {
+namespace {
+
+/// Snapshot connectivity: BFS over the disk graph at time t.
+bool path_exists(const std::vector<mobility::NodeTrack>& tracks,
+                 std::size_t node_count, double range_m, double t, NodeId src,
+                 NodeId dst) {
+  std::vector<geo::PlanePoint> pos(node_count);
+  for (std::size_t i = 0; i < node_count; ++i) pos[i] = tracks[i].position(t);
+
+  const double r2 = range_m * range_m;
+  auto connected = [&](NodeId a, NodeId b) {
+    const double dx = pos[a].x_m - pos[b].x_m;
+    const double dy = pos[a].y_m - pos[b].y_m;
+    return dx * dx + dy * dy <= r2;
+  };
+
+  std::vector<bool> visited(node_count, false);
+  std::vector<NodeId> frontier{src};
+  visited[src] = true;
+  while (!frontier.empty()) {
+    const NodeId u = frontier.back();
+    frontier.pop_back();
+    if (u == dst) return true;
+    for (NodeId v = 0; v < node_count; ++v) {
+      if (!visited[v] && connected(u, v)) {
+        visited[v] = true;
+        frontier.push_back(v);
+      }
+    }
+  }
+  return false;
+}
+
+/// Per-pair traffic state used by the CBR driver.
+struct PairState {
+  double backoff_s = 0.0;
+  double next_discovery_allowed = 0.0;
+  std::vector<NodeId> last_path;
+  std::uint64_t snapshots = 0;
+  std::uint64_t snapshots_connected = 0;
+};
+
+}  // namespace
+
+double PairMetrics::route_changes_per_min() const {
+  if (duration_min <= 0.0) return 0.0;
+  return static_cast<double>(route_changes) / duration_min;
+}
+
+double PairMetrics::delivery_ratio() const {
+  if (data_sent == 0) return 0.0;
+  return static_cast<double>(data_delivered) /
+         static_cast<double>(data_sent);
+}
+
+double PairMetrics::overhead_per_data() const {
+  // Pairs that never delivered anything produced pure overhead; dividing by
+  // one keeps them on the CDF's heavy end instead of producing infinities.
+  const auto delivered = std::max<std::uint64_t>(1, data_delivered);
+  return static_cast<double>(control_tx) / static_cast<double>(delivered);
+}
+
+SimResult simulate(const std::vector<mobility::NodeTrack>& tracks,
+                   const SimConfig& config) {
+  if (tracks.size() < config.node_count) {
+    throw std::invalid_argument("simulate: not enough node tracks");
+  }
+  if (config.node_count < 2) {
+    throw std::invalid_argument("simulate: need at least two nodes");
+  }
+
+  EventQueue queue;
+  SimResult result;
+  result.control.pair_tx.assign(config.cbr_pairs, 0);
+
+  // Topology oracle evaluated at the queue's current time.
+  const double r2 = config.radio_range_m * config.radio_range_m;
+  auto neighbors = [&](NodeId u) {
+    std::vector<NodeId> out;
+    const geo::PlanePoint pu = tracks[u].position(queue.now());
+    for (NodeId v = 0; v < config.node_count; ++v) {
+      if (v == u) continue;
+      const geo::PlanePoint pv = tracks[v].position(queue.now());
+      const double dx = pu.x_m - pv.x_m;
+      const double dy = pu.y_m - pv.y_m;
+      if (dx * dx + dy * dy <= r2) out.push_back(v);
+    }
+    return out;
+  };
+
+  AodvNetwork network(config.node_count, config.aodv, queue, neighbors,
+                      result.control);
+
+  // Random CBR pairs (src != dst), deterministic in the seed.
+  stats::Rng rng(config.seed);
+  result.pairs.resize(config.cbr_pairs);
+  std::vector<PairState> state(config.cbr_pairs);
+  for (std::size_t p = 0; p < config.cbr_pairs; ++p) {
+    PairMetrics& m = result.pairs[p];
+    m.src = static_cast<NodeId>(
+        rng.uniform_int(0, static_cast<std::int64_t>(config.node_count) - 1));
+    do {
+      m.dst = static_cast<NodeId>(rng.uniform_int(
+          0, static_cast<std::int64_t>(config.node_count) - 1));
+    } while (m.dst == m.src);
+    m.duration_min = config.duration_s / 60.0;
+    state[p].backoff_s = config.discovery_backoff_s;
+  }
+
+  // CBR driver: one self-rescheduling event per pair.
+  std::function<void(std::size_t)> tick = [&](std::size_t p) {
+    PairMetrics& m = result.pairs[p];
+    PairState& st = state[p];
+
+    ++m.data_sent;
+    ++result.data_sent;
+    const auto send = network.send_data(m.src, m.dst, p);
+    if (send.delivered) {
+      ++m.data_delivered;
+      ++result.data_delivered;
+      st.backoff_s = config.discovery_backoff_s;  // success resets backoff
+      if (!st.last_path.empty() && st.last_path != send.path) {
+        ++m.route_changes;
+      }
+      st.last_path = send.path;
+    } else if (!send.had_route &&
+               queue.now() >= st.next_discovery_allowed) {
+      st.next_discovery_allowed = queue.now() + st.backoff_s;
+      st.backoff_s = std::min(st.backoff_s * 2.0,
+                              16.0 * config.discovery_backoff_s);
+      network.start_discovery(m.src, m.dst, p, [](bool) {});
+    }
+
+    const double next = queue.now() + config.cbr_interval_s;
+    if (next < config.duration_s) {
+      queue.schedule_at(next, [&tick, p] { tick(p); });
+    }
+  };
+
+  for (std::size_t p = 0; p < config.cbr_pairs; ++p) {
+    // Stagger pair start times across one interval to avoid a thundering
+    // herd of simultaneous floods.
+    const double start = rng.uniform(0.0, config.cbr_interval_s);
+    queue.schedule_at(start, [&tick, p] { tick(p); });
+  }
+
+  // Connectivity sampler for the availability metric.
+  std::function<void()> sample_connectivity = [&] {
+    for (std::size_t p = 0; p < config.cbr_pairs; ++p) {
+      ++state[p].snapshots;
+      if (path_exists(tracks, config.node_count, config.radio_range_m,
+                      queue.now(), result.pairs[p].src,
+                      result.pairs[p].dst)) {
+        ++state[p].snapshots_connected;
+      }
+    }
+    const double next = queue.now() + config.connectivity_sample_s;
+    if (next < config.duration_s) {
+      queue.schedule_at(next, sample_connectivity);
+    }
+  };
+  queue.schedule_at(0.0, sample_connectivity);
+
+  queue.run_until(config.duration_s);
+
+  for (std::size_t p = 0; p < config.cbr_pairs; ++p) {
+    PairMetrics& m = result.pairs[p];
+    m.control_tx = result.control.pair_tx[p];
+    m.availability_ratio =
+        state[p].snapshots == 0
+            ? 0.0
+            : static_cast<double>(state[p].snapshots_connected) /
+                  static_cast<double>(state[p].snapshots);
+  }
+  return result;
+}
+
+}  // namespace geovalid::manet

@@ -1,0 +1,58 @@
+// The §6.2 experiment: CBR traffic over AODV over Levy-Walk mobility.
+#pragma once
+
+#include <vector>
+
+#include "manet/aodv.h"
+#include "mobility/levy_walk.h"
+#include "stats/rng.h"
+
+namespace geovalid::manet {
+
+/// Experiment parameters (defaults are the paper's setup: 200 nodes in a
+/// 100 km x 100 km arena, 1 km radio range, 100 CBR pairs).
+struct SimConfig {
+  std::size_t node_count = 200;
+  double radio_range_m = 1000.0;
+  std::size_t cbr_pairs = 100;
+  double cbr_interval_s = 4.0;
+  double duration_s = 7200.0;
+  /// Period of the topology snapshots behind the route-availability metric.
+  double connectivity_sample_s = 30.0;
+  /// Initial discovery retry backoff; doubles per failure up to 16x.
+  double discovery_backoff_s = 4.0;
+  std::uint64_t seed = 20131122;
+  AodvConfig aodv;
+};
+
+/// Per-pair outcome — one sample of each Figure 8 CDF.
+struct PairMetrics {
+  NodeId src = 0;
+  NodeId dst = 0;
+  std::uint64_t data_sent = 0;
+  std::uint64_t data_delivered = 0;
+  std::uint64_t route_changes = 0;   ///< delivered-path transitions
+  std::uint64_t control_tx = 0;      ///< control packets attributed to pair
+  double availability_ratio = 0.0;   ///< fraction of snapshots with a path
+  double duration_min = 0.0;
+
+  [[nodiscard]] double route_changes_per_min() const;
+  [[nodiscard]] double delivery_ratio() const;
+  /// Figure 8(c): route packets per delivered data packet.
+  [[nodiscard]] double overhead_per_data() const;
+};
+
+/// Whole-run results.
+struct SimResult {
+  std::vector<PairMetrics> pairs;
+  ControlCounters control;
+  std::uint64_t data_sent = 0;
+  std::uint64_t data_delivered = 0;
+};
+
+/// Runs the simulation over pre-generated node tracks. `tracks.size()` must
+/// be >= config.node_count.
+[[nodiscard]] SimResult simulate(const std::vector<mobility::NodeTrack>& tracks,
+                                 const SimConfig& config);
+
+}  // namespace geovalid::manet

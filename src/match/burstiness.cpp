@@ -1,0 +1,70 @@
+#include "match/burstiness.h"
+
+#include <stdexcept>
+
+namespace geovalid::match {
+namespace {
+
+/// Appends the inter-arrival gaps of the subsequence of user checkins whose
+/// label passes `keep`.
+template <typename Keep>
+void append_gaps(const trace::UserRecord& rec, const UserValidation& uv,
+                 Keep&& keep, std::vector<double>& out) {
+  const auto events = rec.checkins.events();
+  trace::TimeSec prev = 0;
+  bool have_prev = false;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (!keep(uv.labels[i])) continue;
+    if (have_prev) {
+      out.push_back(trace::to_minutes(events[i].t - prev));
+    }
+    prev = events[i].t;
+    have_prev = true;
+  }
+}
+
+void check_sizes(const trace::Dataset& ds,
+                 const ValidationResult& validation) {
+  if (ds.user_count() != validation.users.size()) {
+    throw std::invalid_argument("burstiness: validation does not match dataset");
+  }
+}
+
+}  // namespace
+
+std::vector<double> class_interarrivals_min(const trace::Dataset& ds,
+                                            const ValidationResult& validation,
+                                            CheckinClass cls) {
+  check_sizes(ds, validation);
+  std::vector<double> gaps;
+  const auto users = ds.users();
+  for (std::size_t u = 0; u < users.size(); ++u) {
+    append_gaps(users[u], validation.users[u],
+                [cls](CheckinClass l) { return l == cls; }, gaps);
+  }
+  return gaps;
+}
+
+std::vector<double> all_checkin_interarrivals_min(const trace::Dataset& ds) {
+  std::vector<double> gaps;
+  for (const trace::UserRecord& u : ds.users()) {
+    const auto user_gaps = u.checkins.interarrival_minutes();
+    gaps.insert(gaps.end(), user_gaps.begin(), user_gaps.end());
+  }
+  return gaps;
+}
+
+std::vector<double> extraneous_interarrivals_min(
+    const trace::Dataset& ds, const ValidationResult& validation) {
+  check_sizes(ds, validation);
+  std::vector<double> gaps;
+  const auto users = ds.users();
+  for (std::size_t u = 0; u < users.size(); ++u) {
+    append_gaps(users[u], validation.users[u],
+                [](CheckinClass l) { return l != CheckinClass::kHonest; },
+                gaps);
+  }
+  return gaps;
+}
+
+}  // namespace geovalid::match

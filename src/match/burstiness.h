@@ -1,0 +1,28 @@
+// Temporal burstiness of checkin classes (§5.3, Figures 2 and 6).
+#pragma once
+
+#include <vector>
+
+#include "match/pipeline.h"
+#include "trace/dataset.h"
+
+namespace geovalid::match {
+
+/// Pooled inter-arrival gaps (minutes) between consecutive checkins *of the
+/// given class* per user. This is Figure 6: extraneous classes arrive in
+/// tight bursts; honest checkins are spread out.
+[[nodiscard]] std::vector<double> class_interarrivals_min(
+    const trace::Dataset& ds, const ValidationResult& validation,
+    CheckinClass cls);
+
+/// Pooled inter-arrival gaps (minutes) of every checkin regardless of class
+/// — the "All Checkin" curves of Figure 2.
+[[nodiscard]] std::vector<double> all_checkin_interarrivals_min(
+    const trace::Dataset& ds);
+
+/// Pooled inter-arrival gaps (minutes) between consecutive *extraneous*
+/// checkins of any class (superfluous + remote + driveby + unclassified).
+[[nodiscard]] std::vector<double> extraneous_interarrivals_min(
+    const trace::Dataset& ds, const ValidationResult& validation);
+
+}  // namespace geovalid::match

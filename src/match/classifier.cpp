@@ -1,0 +1,58 @@
+#include "match/classifier.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "geo/geodesic.h"
+
+namespace geovalid::match {
+
+std::string_view to_string(CheckinClass c) {
+  switch (c) {
+    case CheckinClass::kHonest: return "honest";
+    case CheckinClass::kSuperfluous: return "superfluous";
+    case CheckinClass::kRemote: return "remote";
+    case CheckinClass::kDriveby: return "driveby";
+    case CheckinClass::kUnclassified: return "unclassified";
+  }
+  return "?";
+}
+
+std::vector<CheckinClass> classify_user(
+    std::span<const trace::Checkin> checkins, const trace::GpsTrace& gps,
+    const UserMatch& match, const ClassifierConfig& config) {
+  if (match.checkins.size() != checkins.size()) {
+    throw std::invalid_argument(
+        "classify_user: match result does not belong to this checkin trace");
+  }
+
+  std::vector<CheckinClass> labels(checkins.size(),
+                                   CheckinClass::kUnclassified);
+  for (std::size_t i = 0; i < checkins.size(); ++i) {
+    if (match.checkins[i].visit.has_value()) {
+      labels[i] = CheckinClass::kHonest;
+      continue;
+    }
+    const trace::Checkin& c = checkins[i];
+
+    // Locate the user's GPS evidence at checkin time.
+    const trace::GpsPoint* sample = gps.sample_at(c.t);
+    if (sample == nullptr || c.t - sample->t > config.max_gps_gap) {
+      labels[i] = CheckinClass::kUnclassified;
+      continue;
+    }
+
+    const double venue_dist =
+        geo::distance_m(sample->position, c.location);
+    if (venue_dist > config.remote_threshold_m) {
+      labels[i] = CheckinClass::kRemote;
+      continue;
+    }
+    const double speed = gps.speed_at(c.t);
+    labels[i] = speed > config.driveby_speed_mps ? CheckinClass::kDriveby
+                                                 : CheckinClass::kSuperfluous;
+  }
+  return labels;
+}
+
+}  // namespace geovalid::match

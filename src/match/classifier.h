@@ -1,0 +1,58 @@
+// Extraneous-checkin taxonomy (§5.1).
+//
+// Every checkin left unmatched by the matcher is classified by comparing it
+// with the user's GPS evidence at checkin time:
+//   remote       venue > remote_threshold from the user's true position
+//                (the user is plainly somewhere else)
+//   driveby      venue nearby but the user was moving faster than the
+//                driveby speed threshold (4 mph in the paper)
+//   superfluous  venue nearby, user stationary — an extra checkin fired
+//                from a real visit's location
+//   unclassified no usable GPS evidence near the checkin time (the paper's
+//                residual ~10%)
+#pragma once
+
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "match/matcher.h"
+#include "trace/checkin.h"
+#include "trace/gps.h"
+
+namespace geovalid::match {
+
+/// Final label of a checkin after matching + classification.
+enum class CheckinClass : std::uint8_t {
+  kHonest = 0,
+  kSuperfluous,
+  kRemote,
+  kDriveby,
+  kUnclassified,
+};
+
+inline constexpr std::size_t kCheckinClassCount = 5;
+
+[[nodiscard]] std::string_view to_string(CheckinClass c);
+
+/// Classification thresholds.
+struct ClassifierConfig {
+  /// Beyond this venue-to-user distance the checkin is a remote fake
+  /// ("500 m is beyond any reasonable GPS or POI location error").
+  double remote_threshold_m = 500.0;
+
+  /// Above this speed a nearby checkin counts as driveby (4 mph).
+  double driveby_speed_mps = 1.78816;
+
+  /// A GPS sample must exist within this gap of the checkin time for the
+  /// checkin to be classifiable at all.
+  trace::TimeSec max_gps_gap = trace::minutes(10);
+};
+
+/// Labels every checkin of one user: matched ones become kHonest, the rest
+/// get the taxonomy above. Returned vector parallels `checkins`.
+[[nodiscard]] std::vector<CheckinClass> classify_user(
+    std::span<const trace::Checkin> checkins, const trace::GpsTrace& gps,
+    const UserMatch& match, const ClassifierConfig& config = {});
+
+}  // namespace geovalid::match

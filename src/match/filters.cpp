@@ -1,0 +1,130 @@
+#include "match/filters.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace geovalid::match {
+
+double DetectionScore::precision() const {
+  const std::size_t flagged = true_positive + false_positive;
+  return flagged == 0 ? 0.0
+                      : static_cast<double>(true_positive) /
+                            static_cast<double>(flagged);
+}
+
+double DetectionScore::recall() const {
+  const std::size_t positives = true_positive + false_negative;
+  return positives == 0 ? 0.0
+                        : static_cast<double>(true_positive) /
+                              static_cast<double>(positives);
+}
+
+double DetectionScore::f1() const {
+  const double p = precision();
+  const double r = recall();
+  return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+double DetectionScore::honest_loss() const {
+  const std::size_t honest = false_positive + true_negative;
+  return honest == 0 ? 0.0
+                     : static_cast<double>(false_positive) /
+                           static_cast<double>(honest);
+}
+
+std::vector<std::vector<bool>> burstiness_flags(
+    const trace::Dataset& ds, const BurstinessFilterConfig& config) {
+  std::vector<std::vector<bool>> flags;
+  flags.reserve(ds.user_count());
+  for (const trace::UserRecord& u : ds.users()) {
+    const auto events = u.checkins.events();
+    std::vector<bool> f(events.size(), false);
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      const bool bursty_prev =
+          i > 0 && events[i].t - events[i - 1].t < config.gap_threshold;
+      const bool bursty_next = i + 1 < events.size() &&
+                               events[i + 1].t - events[i].t <
+                                   config.gap_threshold;
+      f[i] = bursty_prev || bursty_next;
+    }
+    flags.push_back(std::move(f));
+  }
+  return flags;
+}
+
+std::vector<std::vector<bool>> user_level_flags(
+    const trace::Dataset& ds, double user_fraction,
+    const BurstinessFilterConfig& config) {
+  if (user_fraction < 0.0 || user_fraction > 1.0) {
+    throw std::invalid_argument("user_level_flags: fraction not in [0,1]");
+  }
+  const auto per_checkin = burstiness_flags(ds, config);
+
+  // Rank users by their burst fraction.
+  std::vector<double> burst_fraction(per_checkin.size(), 0.0);
+  for (std::size_t u = 0; u < per_checkin.size(); ++u) {
+    if (per_checkin[u].empty()) continue;
+    const auto bursty = static_cast<double>(
+        std::count(per_checkin[u].begin(), per_checkin[u].end(), true));
+    burst_fraction[u] = bursty / static_cast<double>(per_checkin[u].size());
+  }
+  std::vector<std::size_t> order(per_checkin.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return burst_fraction[a] > burst_fraction[b];
+  });
+
+  const auto cutoff = static_cast<std::size_t>(
+      std::llround(user_fraction * static_cast<double>(order.size())));
+  std::vector<std::vector<bool>> flags(per_checkin.size());
+  for (std::size_t u = 0; u < per_checkin.size(); ++u) {
+    flags[u].assign(per_checkin[u].size(), false);
+  }
+  for (std::size_t rank = 0; rank < cutoff && rank < order.size(); ++rank) {
+    auto& f = flags[order[rank]];
+    std::fill(f.begin(), f.end(), true);
+  }
+  return flags;
+}
+
+DetectionScore score_flags(const ValidationResult& validation,
+                           const std::vector<std::vector<bool>>& flags) {
+  if (validation.users.size() != flags.size()) {
+    throw std::invalid_argument("score_flags: user count mismatch");
+  }
+  DetectionScore s;
+  for (std::size_t u = 0; u < flags.size(); ++u) {
+    const UserValidation& uv = validation.users[u];
+    if (uv.labels.size() != flags[u].size()) {
+      throw std::invalid_argument("score_flags: checkin count mismatch");
+    }
+    for (std::size_t i = 0; i < flags[u].size(); ++i) {
+      const bool is_extraneous = uv.labels[i] != CheckinClass::kHonest;
+      const bool flagged = flags[u][i];
+      if (is_extraneous && flagged) ++s.true_positive;
+      else if (is_extraneous) ++s.false_negative;
+      else if (flagged) ++s.false_positive;
+      else ++s.true_negative;
+    }
+  }
+  return s;
+}
+
+std::vector<std::pair<double, DetectionScore>> burstiness_threshold_sweep(
+    const trace::Dataset& ds, const ValidationResult& validation,
+    std::span<const double> thresholds_min) {
+  std::vector<std::pair<double, DetectionScore>> curve;
+  curve.reserve(thresholds_min.size());
+  for (double minutes : thresholds_min) {
+    BurstinessFilterConfig cfg;
+    cfg.gap_threshold =
+        static_cast<trace::TimeSec>(std::llround(minutes * 60.0));
+    const auto flags = burstiness_flags(ds, cfg);
+    curve.emplace_back(minutes, score_flags(validation, flags));
+  }
+  return curve;
+}
+
+}  // namespace geovalid::match

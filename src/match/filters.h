@@ -1,0 +1,66 @@
+// Extraneous-checkin detectors (§5.3 and §7 "Detecting Extraneous
+// Checkins").
+//
+// The hard constraint these detectors live under: a consumer of a geosocial
+// trace has only the checkin trace itself — no GPS ground truth. The paper
+// identifies temporal burstiness as the most promising checkin-only signal;
+// the per-user prevalence analysis shows user-level filtering is a blunt
+// instrument. Both are implemented here and scored against the matcher's
+// labels.
+#pragma once
+
+#include <vector>
+
+#include "match/pipeline.h"
+#include "trace/dataset.h"
+
+namespace geovalid::match {
+
+/// Quality of a binary extraneous-vs-honest detector.
+struct DetectionScore {
+  std::size_t true_positive = 0;   ///< extraneous flagged extraneous
+  std::size_t false_positive = 0;  ///< honest flagged extraneous
+  std::size_t false_negative = 0;  ///< extraneous kept
+  std::size_t true_negative = 0;   ///< honest kept
+
+  [[nodiscard]] double precision() const;
+  [[nodiscard]] double recall() const;
+  [[nodiscard]] double f1() const;
+  /// Fraction of honest checkins wrongly removed (the paper's headline cost
+  /// metric for user-level filtering).
+  [[nodiscard]] double honest_loss() const;
+};
+
+/// Burstiness detector: a checkin is flagged when its gap to the previous
+/// *or* next checkin of the same user is below `gap_threshold`. Figure 6
+/// motivates this: 35% of extraneous checkins arrive within one minute of
+/// their predecessor while honest gaps exceed ten minutes.
+struct BurstinessFilterConfig {
+  trace::TimeSec gap_threshold = trace::minutes(10);
+};
+
+/// Per-user flags (parallel to the user's checkins): true = predicted
+/// extraneous.
+[[nodiscard]] std::vector<std::vector<bool>> burstiness_flags(
+    const trace::Dataset& ds, const BurstinessFilterConfig& config = {});
+
+/// User-level detector: flag *every* checkin of the users with the largest
+/// burst fraction until `user_fraction` of users are flagged.
+[[nodiscard]] std::vector<std::vector<bool>> user_level_flags(
+    const trace::Dataset& ds, double user_fraction,
+    const BurstinessFilterConfig& config = {});
+
+/// Scores per-user predictions against the matcher's labels (honest =
+/// negative class, everything else positive).
+[[nodiscard]] DetectionScore score_flags(
+    const ValidationResult& validation,
+    const std::vector<std::vector<bool>>& flags);
+
+/// Sweeps the burstiness threshold and returns one score per grid value —
+/// the detector's operating curve.
+[[nodiscard]] std::vector<std::pair<double, DetectionScore>>
+burstiness_threshold_sweep(const trace::Dataset& ds,
+                           const ValidationResult& validation,
+                           std::span<const double> thresholds_min);
+
+}  // namespace geovalid::match

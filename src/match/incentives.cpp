@@ -1,0 +1,60 @@
+#include "match/incentives.h"
+
+#include <stdexcept>
+#include <vector>
+
+#include "stats/correlation.h"
+
+namespace geovalid::match {
+
+std::string_view to_string(ProfileFeature f) {
+  switch (f) {
+    case ProfileFeature::kFriends: return "#Friends";
+    case ProfileFeature::kBadges: return "#Badges";
+    case ProfileFeature::kMayors: return "#Mayors";
+    case ProfileFeature::kCheckinsPerDay: return "#Checkins/Day";
+  }
+  return "?";
+}
+
+IncentiveTable incentive_correlations(const trace::Dataset& ds,
+                                      const ValidationResult& validation) {
+  if (ds.user_count() != validation.users.size()) {
+    throw std::invalid_argument("incentives: validation does not match dataset");
+  }
+
+  // Per-user feature vectors and per-class ratios, aligned.
+  std::array<std::vector<double>, kProfileFeatureCount> features;
+  std::array<std::vector<double>, 4> ratios;
+
+  const auto users = ds.users();
+  for (std::size_t u = 0; u < users.size(); ++u) {
+    const UserValidation& uv = validation.users[u];
+    if (uv.labels.empty()) continue;
+    const trace::UserProfile& prof = users[u].profile;
+
+    features[0].push_back(static_cast<double>(prof.friends));
+    features[1].push_back(static_cast<double>(prof.badges));
+    features[2].push_back(static_cast<double>(prof.mayorships));
+    features[3].push_back(prof.checkins_per_day);
+
+    const auto total = static_cast<double>(uv.labels.size());
+    for (std::size_t r = 0; r < IncentiveTable::kRows.size(); ++r) {
+      ratios[r].push_back(
+          static_cast<double>(uv.count_of(IncentiveTable::kRows[r])) / total);
+    }
+  }
+
+  IncentiveTable table;
+  if (features[0].size() < 2) return table;  // not enough users to correlate
+
+  for (std::size_t r = 0; r < IncentiveTable::kRows.size(); ++r) {
+    for (std::size_t f = 0; f < kProfileFeatureCount; ++f) {
+      table.pearson[r][f] = stats::pearson(ratios[r], features[f]);
+      table.spearman[r][f] = stats::spearman(ratios[r], features[f]);
+    }
+  }
+  return table;
+}
+
+}  // namespace geovalid::match

@@ -1,0 +1,42 @@
+// Incentive analysis (§5.2, Table 2): correlation between each user's
+// checkin-type ratios and her Foursquare profile features.
+#pragma once
+
+#include <array>
+#include <string_view>
+
+#include "match/pipeline.h"
+#include "trace/dataset.h"
+
+namespace geovalid::match {
+
+/// Profile features in Table 2's column order.
+enum class ProfileFeature : std::uint8_t {
+  kFriends = 0,
+  kBadges,
+  kMayors,
+  kCheckinsPerDay,
+};
+
+inline constexpr std::size_t kProfileFeatureCount = 4;
+
+[[nodiscard]] std::string_view to_string(ProfileFeature f);
+
+/// Table 2: rows are checkin types (superfluous, remote, driveby, honest),
+/// columns the four profile features; entries are Pearson correlations of
+/// per-user (type ratio, feature) pairs.
+struct IncentiveTable {
+  /// Row order matches Table 2: Superfluous, Remote, Driveby, Honest.
+  static constexpr std::array<CheckinClass, 4> kRows = {
+      CheckinClass::kSuperfluous, CheckinClass::kRemote,
+      CheckinClass::kDriveby, CheckinClass::kHonest};
+
+  std::array<std::array<double, kProfileFeatureCount>, 4> pearson{};
+  std::array<std::array<double, kProfileFeatureCount>, 4> spearman{};
+};
+
+/// Computes the table over all users with at least one checkin.
+[[nodiscard]] IncentiveTable incentive_correlations(
+    const trace::Dataset& ds, const ValidationResult& validation);
+
+}  // namespace geovalid::match

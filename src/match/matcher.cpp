@@ -1,0 +1,139 @@
+#include "match/matcher.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "geo/geodesic.h"
+
+namespace geovalid::match {
+namespace {
+
+/// One candidate visit for a checkin, ordered by the matching preference:
+/// smaller interval timestamp distance first, geographic distance breaking
+/// ties.
+struct Candidate {
+  std::size_t visit = 0;
+  trace::TimeSec dt = 0;
+  double dist_m = 0.0;
+
+  bool operator<(const Candidate& o) const {
+    if (dt != o.dt) return dt < o.dt;
+    return dist_m < o.dist_m;
+  }
+};
+
+}  // namespace
+
+std::size_t UserMatch::honest_count() const {
+  std::size_t n = 0;
+  for (const CheckinMatch& m : checkins) {
+    if (m.visit.has_value()) ++n;
+  }
+  return n;
+}
+
+std::size_t UserMatch::extraneous_count() const {
+  return checkins.size() - honest_count();
+}
+
+std::size_t UserMatch::missing_count() const {
+  std::size_t n = 0;
+  for (bool matched : visit_matched) {
+    if (!matched) ++n;
+  }
+  return n;
+}
+
+UserMatch match_user(std::span<const trace::Checkin> checkins,
+                     std::span<const trace::Visit> visits,
+                     const MatchConfig& config) {
+  UserMatch result;
+  result.checkins.resize(checkins.size());
+  result.visit_matched.assign(visits.size(), false);
+  if (checkins.empty() || visits.empty()) return result;
+
+  // Step 1 + 2 preparation: per-checkin sorted candidate lists.
+  std::vector<std::vector<Candidate>> candidates(checkins.size());
+  for (std::size_t i = 0; i < checkins.size(); ++i) {
+    const trace::Checkin& c = checkins[i];
+    for (std::size_t j = 0; j < visits.size(); ++j) {
+      const double d = geo::distance_m(c.location, visits[j].centroid);
+      if (d > config.alpha_m) continue;
+      const trace::TimeSec dt = trace::interval_distance(visits[j], c.t);
+      if (dt >= config.beta) continue;
+      candidates[i].push_back(Candidate{j, dt, d});
+    }
+    std::sort(candidates[i].begin(), candidates[i].end());
+  }
+
+  // Assignment. holder[j] = checkin currently owning visit j.
+  constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+  std::vector<std::size_t> holder(visits.size(), kNone);
+  std::vector<std::size_t> cursor(checkins.size(), 0);  // next candidate
+
+  // Every checkin proposes to its best candidate. A visit keeps the
+  // geographically closest proposer (the paper's tie-break). In re-match
+  // mode displaced checkins continue down their candidate list; in paper
+  // mode they simply stay unmatched.
+  std::vector<std::size_t> pending;
+  pending.reserve(checkins.size());
+  for (std::size_t i = 0; i < checkins.size(); ++i) pending.push_back(i);
+
+  auto geo_dist_of = [&](std::size_t checkin_idx,
+                         std::size_t visit_idx) -> double {
+    return geo::distance_m(checkins[checkin_idx].location,
+                           visits[visit_idx].centroid);
+  };
+
+  while (!pending.empty()) {
+    const std::size_t i = pending.back();
+    pending.pop_back();
+
+    bool assigned = false;
+    while (cursor[i] < candidates[i].size()) {
+      const Candidate& cand = candidates[i][cursor[i]];
+      const std::size_t j = cand.visit;
+      if (holder[j] == kNone) {
+        holder[j] = i;
+        assigned = true;
+        break;
+      }
+      // Contested: geographically closest checkin keeps the visit.
+      const double incumbent_d = geo_dist_of(holder[j], j);
+      if (cand.dist_m < incumbent_d) {
+        const std::size_t displaced = holder[j];
+        holder[j] = i;
+        if (config.rematch_losers) {
+          ++cursor[displaced];
+          pending.push_back(displaced);
+        } else {
+          // Paper behaviour: the displaced checkin becomes extraneous and
+          // never proposes again.
+          cursor[displaced] = candidates[displaced].size();
+        }
+        assigned = true;
+        break;
+      }
+      if (!config.rematch_losers) {
+        // Paper behaviour: lose the contest once, stay unmatched.
+        cursor[i] = candidates[i].size();
+        break;
+      }
+      ++cursor[i];
+    }
+    (void)assigned;
+  }
+
+  for (std::size_t j = 0; j < visits.size(); ++j) {
+    if (holder[j] == kNone) continue;
+    const std::size_t i = holder[j];
+    result.visit_matched[j] = true;
+    CheckinMatch& m = result.checkins[i];
+    m.visit = j;
+    m.dt = trace::interval_distance(visits[j], checkins[i].t);
+    m.dist_m = geo_dist_of(i, j);
+  }
+  return result;
+}
+
+}  // namespace geovalid::match

@@ -1,0 +1,59 @@
+// The paper's checkin-to-visit matching algorithm (§4.1).
+//
+// For each checkin c:
+//   Step 1: collect the user's visits whose location is within alpha metres
+//           of c's venue coordinates.
+//   Step 2: among those, take the visit with the smallest interval timestamp
+//           distance delta-t (0 if the checkin falls inside the visit,
+//           otherwise distance to the nearer end); match if delta-t < beta.
+// A visit claimed by several checkins goes to the geographically closest
+// one; the paper leaves the losers unmatched (an optional re-match mode,
+// used by the ablation bench, lets losers fall back to their next-best
+// candidate instead).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "trace/checkin.h"
+#include "trace/gps.h"
+
+namespace geovalid::match {
+
+/// Matching thresholds. Defaults are the paper's chosen operating point
+/// ("most consistent for alpha = 500 m and beta = 30 min").
+struct MatchConfig {
+  double alpha_m = 500.0;
+  trace::TimeSec beta = trace::minutes(30);
+
+  /// Paper behaviour (false): a checkin that loses a visit to a closer
+  /// checkin stays unmatched. Re-match mode (true): losers retry their
+  /// next-best candidate until none is left.
+  bool rematch_losers = false;
+};
+
+/// Per-checkin outcome.
+struct CheckinMatch {
+  /// Index into the user's visit array; nullopt = extraneous.
+  std::optional<std::size_t> visit;
+  trace::TimeSec dt = 0;   ///< interval timestamp distance of the match
+  double dist_m = 0.0;     ///< venue-to-visit-centroid distance of the match
+};
+
+/// Result of matching one user's two traces.
+struct UserMatch {
+  std::vector<CheckinMatch> checkins;  ///< parallel to the checkin trace
+  std::vector<bool> visit_matched;     ///< parallel to the visit array
+
+  [[nodiscard]] std::size_t honest_count() const;
+  [[nodiscard]] std::size_t extraneous_count() const;
+  [[nodiscard]] std::size_t missing_count() const;  ///< unmatched visits
+};
+
+/// Runs the matching algorithm for one user.
+[[nodiscard]] UserMatch match_user(std::span<const trace::Checkin> checkins,
+                                   std::span<const trace::Visit> visits,
+                                   const MatchConfig& config = {});
+
+}  // namespace geovalid::match

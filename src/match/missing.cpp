@@ -1,0 +1,89 @@
+#include "match/missing.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace geovalid::match {
+
+TopPoiMissingRatios missing_ratio_at_top_pois(
+    const trace::Dataset& ds, const ValidationResult& validation) {
+  if (ds.user_count() != validation.users.size()) {
+    throw std::invalid_argument(
+        "missing_ratio_at_top_pois: validation does not match dataset");
+  }
+
+  TopPoiMissingRatios out;
+  const auto users = ds.users();
+  for (std::size_t u = 0; u < users.size(); ++u) {
+    const trace::UserRecord& rec = users[u];
+    const UserValidation& uv = validation.users[u];
+
+    // Visit counts and missing counts per snapped POI.
+    std::map<trace::PoiId, std::size_t> visit_count;
+    std::map<trace::PoiId, std::size_t> missing_count;
+    std::size_t total_missing = 0;
+    for (std::size_t v = 0; v < rec.visits.size(); ++v) {
+      const trace::PoiId poi = rec.visits[v].poi;
+      if (poi == trace::kNoPoi) continue;
+      ++visit_count[poi];
+      if (!uv.match.visit_matched[v]) {
+        ++missing_count[poi];
+        ++total_missing;
+      }
+    }
+    if (total_missing == 0) continue;
+
+    // Rank POIs by visit count, descending.
+    std::vector<std::pair<trace::PoiId, std::size_t>> ranked(
+        visit_count.begin(), visit_count.end());
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto& a, const auto& b) { return a.second > b.second; });
+
+    std::size_t covered = 0;
+    for (std::size_t n = 0; n < out.ratios.size(); ++n) {
+      if (n < ranked.size()) {
+        const auto it = missing_count.find(ranked[n].first);
+        if (it != missing_count.end()) covered += it->second;
+      }
+      out.ratios[n].push_back(static_cast<double>(covered) /
+                              static_cast<double>(total_missing));
+    }
+  }
+  return out;
+}
+
+std::array<double, trace::kPoiCategoryCount> missing_by_category(
+    const trace::Dataset& ds, const ValidationResult& validation) {
+  if (ds.user_count() != validation.users.size()) {
+    throw std::invalid_argument(
+        "missing_by_category: validation does not match dataset");
+  }
+
+  std::array<std::size_t, trace::kPoiCategoryCount> counts{};
+  std::size_t total = 0;
+  const auto users = ds.users();
+  for (std::size_t u = 0; u < users.size(); ++u) {
+    const trace::UserRecord& rec = users[u];
+    const UserValidation& uv = validation.users[u];
+    for (std::size_t v = 0; v < rec.visits.size(); ++v) {
+      if (uv.match.visit_matched[v]) continue;
+      const trace::PoiId poi = rec.visits[v].poi;
+      if (poi == trace::kNoPoi) continue;
+      const trace::Poi* p = ds.pois().find(poi);
+      if (p == nullptr) continue;
+      ++counts[static_cast<std::size_t>(p->category)];
+      ++total;
+    }
+  }
+
+  std::array<double, trace::kPoiCategoryCount> pct{};
+  if (total == 0) return pct;
+  for (std::size_t i = 0; i < pct.size(); ++i) {
+    pct[i] = 100.0 * static_cast<double>(counts[i]) /
+             static_cast<double>(total);
+  }
+  return pct;
+}
+
+}  // namespace geovalid::match

@@ -1,0 +1,32 @@
+// Missing-checkin analysis (§4.2, Figures 3 and 4).
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "match/pipeline.h"
+#include "trace/dataset.h"
+
+namespace geovalid::match {
+
+/// For one user and one n: the fraction of her missing checkins that happen
+/// at her top-n most-visited POIs.
+///
+/// Figure 3 plots, for each n in 1..5, the CDF across users of this ratio.
+/// Visits that could not be snapped to any POI are excluded from both
+/// numerator and denominator (they have no venue identity to rank).
+struct TopPoiMissingRatios {
+  /// ratios[n-1][u] = user u's missing ratio at her top-n POIs.
+  std::array<std::vector<double>, 5> ratios;
+};
+
+[[nodiscard]] TopPoiMissingRatios missing_ratio_at_top_pois(
+    const trace::Dataset& ds, const ValidationResult& validation);
+
+/// Figure 4: distribution of missing checkins over the nine venue
+/// categories, as percentages summing to ~100 (snapped visits only).
+[[nodiscard]] std::array<double, trace::kPoiCategoryCount>
+missing_by_category(const trace::Dataset& ds,
+                    const ValidationResult& validation);
+
+}  // namespace geovalid::match

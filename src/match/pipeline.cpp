@@ -1,0 +1,39 @@
+#include "match/pipeline.h"
+
+namespace geovalid::match {
+
+std::size_t UserValidation::count_of(CheckinClass c) const {
+  std::size_t n = 0;
+  for (CheckinClass l : labels) {
+    if (l == c) ++n;
+  }
+  return n;
+}
+
+ValidationResult validate_dataset(const trace::Dataset& ds,
+                                  const MatchConfig& match_config,
+                                  const ClassifierConfig& classifier_config) {
+  ValidationResult result;
+  result.users.reserve(ds.user_count());
+
+  for (const trace::UserRecord& u : ds.users()) {
+    UserValidation uv;
+    uv.id = u.id;
+    uv.match = match_user(u.checkins.events(), u.visits, match_config);
+    uv.labels = classify_user(u.checkins.events(), u.gps, uv.match,
+                              classifier_config);
+
+    result.totals.checkins += u.checkins.size();
+    result.totals.visits += u.visits.size();
+    result.totals.honest += uv.match.honest_count();
+    result.totals.extraneous += uv.match.extraneous_count();
+    result.totals.missing += uv.match.missing_count();
+    for (CheckinClass l : uv.labels) {
+      ++result.totals.by_class[static_cast<std::size_t>(l)];
+    }
+    result.users.push_back(std::move(uv));
+  }
+  return result;
+}
+
+}  // namespace geovalid::match

@@ -1,0 +1,46 @@
+// Dataset-level validation: run the matcher + classifier over every user
+// and aggregate the Figure 1 partition.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "match/classifier.h"
+#include "match/matcher.h"
+#include "trace/dataset.h"
+
+namespace geovalid::match {
+
+/// Matching + classification output for one user.
+struct UserValidation {
+  trace::UserId id = 0;
+  UserMatch match;
+  std::vector<CheckinClass> labels;  ///< parallel to the user's checkins
+
+  [[nodiscard]] std::size_t count_of(CheckinClass c) const;
+};
+
+/// Figure 1 numbers: the three-way event partition.
+struct Partition {
+  std::size_t honest = 0;
+  std::size_t extraneous = 0;  ///< checkins without a matching visit
+  std::size_t missing = 0;     ///< visits without a matching checkin
+  std::size_t checkins = 0;
+  std::size_t visits = 0;
+
+  /// Per-class extraneous breakdown (§5.1); index by CheckinClass.
+  std::array<std::size_t, kCheckinClassCount> by_class{};
+};
+
+/// Whole-dataset validation result.
+struct ValidationResult {
+  std::vector<UserValidation> users;
+  Partition totals;
+};
+
+/// Runs the full §4 pipeline on a dataset.
+[[nodiscard]] ValidationResult validate_dataset(
+    const trace::Dataset& ds, const MatchConfig& match_config = {},
+    const ClassifierConfig& classifier_config = {});
+
+}  // namespace geovalid::match

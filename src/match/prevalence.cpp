@@ -1,0 +1,77 @@
+#include "match/prevalence.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace geovalid::match {
+
+std::vector<double> per_user_class_ratio(const ValidationResult& validation,
+                                         CheckinClass cls) {
+  std::vector<double> ratios;
+  ratios.reserve(validation.users.size());
+  for (const UserValidation& uv : validation.users) {
+    if (uv.labels.empty()) continue;
+    ratios.push_back(static_cast<double>(uv.count_of(cls)) /
+                     static_cast<double>(uv.labels.size()));
+  }
+  return ratios;
+}
+
+std::vector<double> per_user_extraneous_ratio(
+    const ValidationResult& validation) {
+  std::vector<double> ratios;
+  ratios.reserve(validation.users.size());
+  for (const UserValidation& uv : validation.users) {
+    if (uv.labels.empty()) continue;
+    const std::size_t extraneous =
+        uv.labels.size() - uv.count_of(CheckinClass::kHonest);
+    ratios.push_back(static_cast<double>(extraneous) /
+                     static_cast<double>(uv.labels.size()));
+  }
+  return ratios;
+}
+
+double honest_loss_at_extraneous_coverage(const ValidationResult& validation,
+                                          double extraneous_coverage) {
+  if (extraneous_coverage < 0.0 || extraneous_coverage > 1.0) {
+    throw std::invalid_argument(
+        "honest_loss_at_extraneous_coverage: coverage not in [0,1]");
+  }
+
+  struct UserCounts {
+    std::size_t extraneous = 0;
+    std::size_t honest = 0;
+  };
+  std::vector<UserCounts> users;
+  std::size_t total_extraneous = 0;
+  std::size_t total_honest = 0;
+  for (const UserValidation& uv : validation.users) {
+    UserCounts c;
+    c.honest = uv.count_of(CheckinClass::kHonest);
+    c.extraneous = uv.labels.size() - c.honest;
+    total_extraneous += c.extraneous;
+    total_honest += c.honest;
+    users.push_back(c);
+  }
+  if (total_extraneous == 0 || total_honest == 0) return 0.0;
+
+  // Drop users in order of extraneous volume (the natural removal policy).
+  std::sort(users.begin(), users.end(),
+            [](const UserCounts& a, const UserCounts& b) {
+              return a.extraneous > b.extraneous;
+            });
+
+  const double target =
+      extraneous_coverage * static_cast<double>(total_extraneous);
+  std::size_t removed_extraneous = 0;
+  std::size_t removed_honest = 0;
+  for (const UserCounts& c : users) {
+    if (static_cast<double>(removed_extraneous) >= target) break;
+    removed_extraneous += c.extraneous;
+    removed_honest += c.honest;
+  }
+  return static_cast<double>(removed_honest) /
+         static_cast<double>(total_honest);
+}
+
+}  // namespace geovalid::match

@@ -1,0 +1,29 @@
+// Per-user prevalence of extraneous checkins (§5.3, Figure 5).
+#pragma once
+
+#include <vector>
+
+#include "match/pipeline.h"
+
+namespace geovalid::match {
+
+/// Per-user ratio of a class of checkins to total checkins. Users without
+/// checkins are skipped.
+[[nodiscard]] std::vector<double> per_user_class_ratio(
+    const ValidationResult& validation, CheckinClass cls);
+
+/// Per-user ratio of *all* extraneous checkins (everything not honest) —
+/// the "All Extraneous" curve of Figure 5.
+[[nodiscard]] std::vector<double> per_user_extraneous_ratio(
+    const ValidationResult& validation);
+
+/// The §5.3 tradeoff: if we drop the heaviest extraneous producers until
+/// `extraneous_coverage` (e.g. 0.8) of all extraneous checkins are removed,
+/// what fraction of honest checkins do we lose with them?
+///
+/// (The paper: removing users responsible for 80% of extraneous checkins
+/// also removes 53% of honest checkins.)
+[[nodiscard]] double honest_loss_at_extraneous_coverage(
+    const ValidationResult& validation, double extraneous_coverage);
+
+}  // namespace geovalid::match

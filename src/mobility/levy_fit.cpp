@@ -1,0 +1,62 @@
+#include "mobility/levy_fit.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "stats/summary.h"
+
+namespace geovalid::mobility {
+namespace {
+
+/// Fits a *generative* Pareto: x_min pinned to a low quantile so the model
+/// describes the whole distribution, not just its far tail (a tail-optimal
+/// x_min of several km would make every synthetic flight cross town, which
+/// is not what Figure 7 fits — its Pareto lines span the full support).
+stats::ParetoFit fit_generative_pareto(std::span<const double> xs) {
+  const double x_min = std::max(1.0, stats::quantile(xs, 0.05));
+  return stats::fit_pareto(xs, x_min);
+}
+
+}  // namespace
+
+LevyWalkModel fit_levy_walk(const MobilitySamples& samples, std::string name,
+                            const LevyWalkModel* pause_fallback) {
+  if (samples.distance_m.size() < 16) {
+    throw std::invalid_argument("fit_levy_walk: too few distance samples");
+  }
+  if (samples.distance_m.size() != samples.duration_s.size()) {
+    throw std::invalid_argument(
+        "fit_levy_walk: distance/duration sample mismatch");
+  }
+
+  LevyWalkModel model;
+  model.name = std::move(name);
+
+  const stats::ParetoFit flight_fit =
+      fit_generative_pareto(samples.distance_m);
+  model.flight = flight_fit.params;
+  model.flight_ks = flight_fit.ks_stat;
+  model.flight_max_m =
+      *std::max_element(samples.distance_m.begin(), samples.distance_m.end());
+
+  if (!samples.pause_s.empty()) {
+    const stats::ParetoFit pause_fit = fit_generative_pareto(samples.pause_s);
+    model.pause = pause_fit.params;
+    model.pause_ks = pause_fit.ks_stat;
+    model.pause_max_s =
+        *std::max_element(samples.pause_s.begin(), samples.pause_s.end());
+  } else if (pause_fallback != nullptr) {
+    model.pause = pause_fallback->pause;
+    model.pause_ks = pause_fallback->pause_ks;
+    model.pause_max_s = pause_fallback->pause_max_s;
+  } else {
+    throw std::invalid_argument(
+        "fit_levy_walk: no pause samples and no fallback model");
+  }
+
+  model.time_of_distance =
+      stats::fit_power_law(samples.distance_m, samples.duration_s);
+  return model;
+}
+
+}  // namespace geovalid::mobility

@@ -1,0 +1,43 @@
+// Levy Walk model fitting (§6.1, Figure 7).
+//
+// Following Rhee et al. [23] as the paper does:
+//   flight (movement) distance ~ Pareto(x_min, alpha_d)
+//   pause time                 ~ Pareto(p_min, alpha_p)
+//   movement time              t = k * d^(1-rho)   (log-log least squares)
+#pragma once
+
+#include "mobility/samples.h"
+#include "stats/pareto.h"
+#include "stats/powerlaw.h"
+
+namespace geovalid::mobility {
+
+/// A fully fitted Levy Walk model.
+struct LevyWalkModel {
+  std::string name;  ///< which trace trained it ("gps", "honest", "all")
+
+  stats::ParetoParams flight;  ///< movement distance, metres
+  stats::ParetoParams pause;   ///< pause time, seconds
+  stats::PowerLawFit time_of_distance;  ///< t(seconds) = k * d(m)^gamma
+
+  /// Truncation used when sampling (keeps synthetic flights/pauses inside
+  /// the support actually observed in the training data).
+  double flight_max_m = 0.0;
+  double pause_max_s = 0.0;
+
+  /// Goodness-of-fit diagnostics surfaced by the Figure 7 bench.
+  double flight_ks = 1.0;
+  double pause_ks = 1.0;
+};
+
+/// Fits a model from extracted samples. When `samples.pause_s` is empty the
+/// model reuses `pause_fallback` — the paper's "conservative approach" of
+/// borrowing the GPS pause distribution for checkin-trained models.
+///
+/// Throws std::invalid_argument when distance samples are too few (< 16).
+[[nodiscard]] LevyWalkModel fit_levy_walk(const MobilitySamples& samples,
+                                          std::string name,
+                                          const LevyWalkModel* pause_fallback =
+                                              nullptr);
+
+}  // namespace geovalid::mobility

@@ -1,0 +1,110 @@
+#include "mobility/levy_walk.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/samplers.h"
+
+namespace geovalid::mobility {
+namespace {
+
+constexpr double kTau = 6.28318530717958647692;
+
+/// Reflects x into [0, limit].
+double reflect(double x, double limit) {
+  if (limit <= 0.0) return 0.0;
+  x = std::fmod(x, 2.0 * limit);
+  if (x < 0.0) x += 2.0 * limit;
+  return x <= limit ? x : 2.0 * limit - x;
+}
+
+}  // namespace
+
+NodeTrack::NodeTrack(std::vector<Waypoint> waypoints)
+    : waypoints_(std::move(waypoints)) {
+  for (std::size_t i = 1; i < waypoints_.size(); ++i) {
+    if (waypoints_[i].t < waypoints_[i - 1].t) {
+      throw std::invalid_argument("NodeTrack: waypoints not time-ordered");
+    }
+  }
+}
+
+geo::PlanePoint NodeTrack::position(double t) const {
+  if (waypoints_.empty()) return geo::PlanePoint{};
+  if (t <= waypoints_.front().t) return waypoints_.front().pos;
+  if (t >= waypoints_.back().t) return waypoints_.back().pos;
+
+  const auto it = std::upper_bound(
+      waypoints_.begin(), waypoints_.end(), t,
+      [](double v, const Waypoint& w) { return v < w.t; });
+  const Waypoint& b = *it;
+  const Waypoint& a = *std::prev(it);
+  const double span = b.t - a.t;
+  if (span <= 0.0) return a.pos;
+  const double frac = (t - a.t) / span;
+  return geo::PlanePoint{a.pos.x_m + frac * (b.pos.x_m - a.pos.x_m),
+                         a.pos.y_m + frac * (b.pos.y_m - a.pos.y_m)};
+}
+
+NodeTrack generate_track(const LevyWalkModel& model, const ArenaConfig& arena,
+                         double duration_s, stats::Rng& rng) {
+  if (duration_s <= 0.0) {
+    throw std::invalid_argument("generate_track: non-positive duration");
+  }
+
+  std::vector<Waypoint> wps;
+  // Clustered start around the arena center.
+  const double cx = arena.width_m / 2.0;
+  const double cy = arena.height_m / 2.0;
+  const double r0 = arena.start_cluster_radius_m * std::sqrt(rng.uniform());
+  const double a0 = rng.uniform() * kTau;
+  geo::PlanePoint pos{reflect(cx + r0 * std::cos(a0), arena.width_m),
+                      reflect(cy + r0 * std::sin(a0), arena.height_m)};
+  double now = 0.0;
+  wps.push_back(Waypoint{now, pos});
+
+  const double flight_cap =
+      model.flight_max_m > model.flight.x_min ? model.flight_max_m
+                                              : model.flight.x_min * 100.0;
+  const double pause_cap = model.pause_max_s > model.pause.x_min
+                               ? model.pause_max_s
+                               : model.pause.x_min * 100.0;
+
+  while (now < duration_s) {
+    // Pause first (nodes begin parked, like people at home).
+    const double pause =
+        stats::sample_truncated_pareto(rng, model.pause, pause_cap);
+    now += pause;
+    wps.push_back(Waypoint{now, pos});
+    if (now >= duration_s) break;
+
+    // Flight.
+    const double d =
+        stats::sample_truncated_pareto(rng, model.flight, flight_cap);
+    const double t_move =
+        std::max(1.0, stats::power_law_eval(model.time_of_distance, d));
+    const double theta = rng.uniform() * kTau;
+    pos = geo::PlanePoint{reflect(pos.x_m + d * std::cos(theta), arena.width_m),
+                          reflect(pos.y_m + d * std::sin(theta), arena.height_m)};
+    now += t_move;
+    wps.push_back(Waypoint{now, pos});
+  }
+  return NodeTrack(std::move(wps));
+}
+
+std::vector<NodeTrack> generate_tracks(const LevyWalkModel& model,
+                                       const ArenaConfig& arena,
+                                       double duration_s,
+                                       std::size_t node_count,
+                                       stats::Rng& rng) {
+  std::vector<NodeTrack> tracks;
+  tracks.reserve(node_count);
+  for (std::size_t i = 0; i < node_count; ++i) {
+    stats::Rng node_rng = rng.fork(i + 1);
+    tracks.push_back(generate_track(model, arena, duration_s, node_rng));
+  }
+  return tracks;
+}
+
+}  // namespace geovalid::mobility

@@ -1,0 +1,67 @@
+#include "mobility/samples.h"
+
+#include <stdexcept>
+
+#include "geo/geodesic.h"
+
+namespace geovalid::mobility {
+
+MobilitySamples samples_from_visits(const trace::Dataset& ds,
+                                    double max_gap_s,
+                                    double min_distance_m) {
+  MobilitySamples out;
+  for (const trace::UserRecord& u : ds.users()) {
+    for (std::size_t i = 0; i + 1 < u.visits.size(); ++i) {
+      const trace::Visit& a = u.visits[i];
+      const trace::Visit& b = u.visits[i + 1];
+      const auto gap = static_cast<double>(b.start - a.end);
+      if (gap < 0.0 || gap > max_gap_s) continue;
+      const double d = geo::distance_m(a.centroid, b.centroid);
+      if (d < min_distance_m) continue;
+      out.distance_m.push_back(d);
+      // A zero-length gap (visit boundary artifacts) still took *some*
+      // time; clamp to one second to keep the power-law fit usable.
+      out.duration_s.push_back(std::max(1.0, gap));
+    }
+    for (const trace::Visit& v : u.visits) {
+      const auto dwell = static_cast<double>(v.duration());
+      if (dwell > 0.0) out.pause_s.push_back(dwell);
+    }
+  }
+  return out;
+}
+
+MobilitySamples samples_from_checkins(
+    const trace::Dataset& ds, const match::ValidationResult& validation,
+    const std::function<bool(match::CheckinClass)>& keep, double max_gap_s) {
+  if (ds.user_count() != validation.users.size()) {
+    throw std::invalid_argument(
+        "samples_from_checkins: validation does not match dataset");
+  }
+  MobilitySamples out;
+  const auto users = ds.users();
+  for (std::size_t uidx = 0; uidx < users.size(); ++uidx) {
+    const trace::UserRecord& u = users[uidx];
+    const match::UserValidation& uv = validation.users[uidx];
+    const auto events = u.checkins.events();
+
+    bool have_prev = false;
+    trace::Checkin prev;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      if (!keep(uv.labels[i])) continue;
+      if (have_prev) {
+        const auto gap = static_cast<double>(events[i].t - prev.t);
+        const double d = geo::distance_m(prev.location, events[i].location);
+        if (gap >= 0.0 && gap <= max_gap_s && d > 0.0) {
+          out.distance_m.push_back(d);
+          out.duration_s.push_back(std::max(1.0, gap));
+        }
+      }
+      prev = events[i];
+      have_prev = true;
+    }
+  }
+  return out;
+}
+
+}  // namespace geovalid::mobility

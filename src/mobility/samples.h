@@ -1,0 +1,41 @@
+// Trip/pause extraction — turns traces into the three observables the Levy
+// Walk model is fitted on (§6.1):
+//   movement distance  d   (km-scale, heavy tailed)
+//   movement time      t   (paired with d; the paper fits t = k d^(1-rho))
+//   pause time         p   (only derivable from the GPS trace)
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "match/pipeline.h"
+#include "trace/dataset.h"
+
+namespace geovalid::mobility {
+
+/// Pooled movement observables of one trace type.
+struct MobilitySamples {
+  std::vector<double> distance_m;   ///< trip lengths
+  std::vector<double> duration_s;   ///< paired trip durations (same size)
+  std::vector<double> pause_s;      ///< stay durations (empty for checkins)
+};
+
+/// Extracts trips from the GPS visit sequence: a trip runs from the end of
+/// one visit to the start of the next (same user, same day-ish; gaps above
+/// `max_gap_s` are recording outages, not trips, and are skipped, as are
+/// displacements under `min_distance_m` — wandering inside one site is not
+/// a flight).
+[[nodiscard]] MobilitySamples samples_from_visits(const trace::Dataset& ds,
+                                                  double max_gap_s = 4 * 3600,
+                                                  double min_distance_m = 100.0);
+
+/// Extracts trips from consecutive checkin events of each user, keeping
+/// only events accepted by `keep` (pass everything for the all-checkin
+/// trace; pass honest-only for the honest-checkin trace). Checkins carry no
+/// dwell information, so pause_s stays empty.
+[[nodiscard]] MobilitySamples samples_from_checkins(
+    const trace::Dataset& ds, const match::ValidationResult& validation,
+    const std::function<bool(match::CheckinClass)>& keep,
+    double max_gap_s = 4 * 3600);
+
+}  // namespace geovalid::mobility

@@ -1,0 +1,181 @@
+#include "recover/anchors.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "geo/geodesic.h"
+
+namespace geovalid::recover {
+namespace {
+
+double hour_of_day(trace::TimeSec t) {
+  return static_cast<double>(t % trace::kSecondsPerDay) / 3600.0;
+}
+
+bool is_weekend(trace::TimeSec t) {
+  // Same convention as the rest of the project: the study epoch starts on
+  // a Tuesday, day indices 4 and 5 of each week are Saturday/Sunday.
+  const auto day_index = static_cast<std::size_t>(t / trace::kSecondsPerDay);
+  const std::size_t dow = day_index % 7;
+  return dow == 4 || dow == 5;
+}
+
+/// Keeps only the votes inside the densest cluster neighbourhood: votes are
+/// binned into square cells of `cell_m`, the cell whose 3x3 neighbourhood
+/// holds the most votes wins, and its neighbourhood's votes survive.
+std::vector<geo::LatLon> densest_cluster(std::span<const geo::LatLon> votes,
+                                         double cell_m) {
+  if (votes.size() < 3 || cell_m <= 0.0) {
+    return {votes.begin(), votes.end()};
+  }
+  constexpr double kPi = 3.14159265358979323846;
+  const double m_per_deg = geo::kEarthRadiusMeters * kPi / 180.0;
+  const double cell_lat = cell_m / m_per_deg;
+  const double cos_lat =
+      std::max(0.01, std::cos(votes.front().lat_deg * kPi / 180.0));
+  const double cell_lon = cell_m / (m_per_deg * cos_lat);
+
+  auto cell_of = [&](const geo::LatLon& p) {
+    return std::pair<long, long>{
+        static_cast<long>(std::floor(p.lat_deg / cell_lat)),
+        static_cast<long>(std::floor(p.lon_deg / cell_lon))};
+  };
+
+  std::map<std::pair<long, long>, std::size_t> counts;
+  for (const geo::LatLon& p : votes) ++counts[cell_of(p)];
+
+  std::pair<long, long> best{};
+  std::size_t best_count = 0;
+  for (const auto& [cell, unused] : counts) {
+    std::size_t neighbourhood = 0;
+    for (long dx = -1; dx <= 1; ++dx) {
+      for (long dy = -1; dy <= 1; ++dy) {
+        const auto it = counts.find({cell.first + dx, cell.second + dy});
+        if (it != counts.end()) neighbourhood += it->second;
+      }
+    }
+    if (neighbourhood > best_count) {
+      best_count = neighbourhood;
+      best = cell;
+    }
+  }
+
+  std::vector<geo::LatLon> kept;
+  for (const geo::LatLon& p : votes) {
+    const auto c = cell_of(p);
+    if (std::abs(c.first - best.first) <= 1 &&
+        std::abs(c.second - best.second) <= 1) {
+      kept.push_back(p);
+    }
+  }
+  return kept.empty() ? std::vector<geo::LatLon>(votes.begin(), votes.end())
+                      : kept;
+}
+
+std::optional<Anchor> anchor_from(std::span<const geo::LatLon> votes,
+                                  const AnchorConfig& config) {
+  const std::vector<geo::LatLon> cluster =
+      densest_cluster(votes, config.cluster_cell_m);
+  const auto median =
+      geometric_median(cluster, config.weiszfeld_iterations);
+  if (!median) return std::nullopt;
+  return Anchor{*median, cluster.size()};
+}
+
+}  // namespace
+
+std::optional<geo::LatLon> geometric_median(
+    std::span<const geo::LatLon> points, std::size_t iterations) {
+  if (points.empty()) return std::nullopt;
+
+  // Start from the centroid.
+  double lat = 0.0, lon = 0.0;
+  for (const geo::LatLon& p : points) {
+    lat += p.lat_deg;
+    lon += p.lon_deg;
+  }
+  geo::LatLon current{lat / static_cast<double>(points.size()),
+                      lon / static_cast<double>(points.size())};
+
+  for (std::size_t it = 0; it < iterations; ++it) {
+    double wsum = 0.0, wlat = 0.0, wlon = 0.0;
+    bool at_sample = false;
+    for (const geo::LatLon& p : points) {
+      const double d = geo::fast_distance_m(current, p);
+      if (d < 1e-6) {
+        at_sample = true;
+        continue;  // Weiszfeld: skip coincident points
+      }
+      const double w = 1.0 / d;
+      wsum += w;
+      wlat += w * p.lat_deg;
+      wlon += w * p.lon_deg;
+    }
+    if (wsum <= 0.0) return current;  // all points coincide with current
+    const geo::LatLon next{wlat / wsum, wlon / wsum};
+    const double moved = geo::fast_distance_m(current, next);
+    current = next;
+    if (moved < 0.5 && !at_sample) break;  // converged to sub-metre
+  }
+  return current;
+}
+
+InferredAnchors infer_anchors(std::span<const trace::Checkin> events,
+                              const std::vector<bool>& extraneous,
+                              const AnchorConfig& config) {
+  if (!extraneous.empty() && extraneous.size() != events.size()) {
+    throw std::invalid_argument("infer_anchors: flag size mismatch");
+  }
+
+  struct Vote {
+    geo::LatLon where;
+    trace::PoiId venue;
+    std::size_t day;
+  };
+  std::vector<Vote> home_votes;
+  std::vector<Vote> work_votes;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (!extraneous.empty() && extraneous[i]) continue;
+    const trace::Checkin& c = events[i];
+    const double h = hour_of_day(c.t);
+    const bool weekend = is_weekend(c.t);
+    const auto day = static_cast<std::size_t>(c.t / trace::kSecondsPerDay);
+
+    if (h >= config.home_window_start_h && h <= config.home_window_end_h) {
+      home_votes.push_back(Vote{c.location, c.poi, day});
+    } else if (!weekend && h >= config.work_window_start_h &&
+               h <= config.work_window_end_h) {
+      work_votes.push_back(Vote{c.location, c.poi, day});
+    }
+  }
+
+  // Routine beats serendipity: keep only votes at venues the user hit on
+  // several distinct days; fall back to everything when nothing repeats.
+  auto repeat_filter = [&](const std::vector<Vote>& votes) {
+    std::map<trace::PoiId, std::set<std::size_t>> days;
+    for (const Vote& v : votes) days[v.venue].insert(v.day);
+    std::vector<geo::LatLon> kept;
+    for (const Vote& v : votes) {
+      if (days[v.venue].size() >= config.min_repeat_days) {
+        kept.push_back(v.where);
+      }
+    }
+    if (kept.empty()) {
+      for (const Vote& v : votes) kept.push_back(v.where);
+    }
+    return kept;
+  };
+
+  InferredAnchors anchors;
+  anchors.home = anchor_from(repeat_filter(home_votes), config);
+  anchors.work = anchor_from(repeat_filter(work_votes), config);
+  return anchors;
+}
+
+}  // namespace geovalid::recover

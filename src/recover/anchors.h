@@ -1,0 +1,69 @@
+// Key-location (anchor) inference from a checkin trace.
+//
+// §7 of the paper: "even approximations of 1 or more key locations (home,
+// work) will go a long way towards improving accuracy". Home and work are
+// precisely the places users do NOT check in at, so their positions must be
+// triangulated from the temporal structure of the checkins users do make:
+// evening/weekend checkins happen near home, weekday-daytime checkins near
+// work.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "geo/latlon.h"
+#include "trace/checkin.h"
+
+namespace geovalid::recover {
+
+/// An inferred key location.
+struct Anchor {
+  geo::LatLon position;
+  std::size_t support = 0;  ///< checkins that voted for this anchor
+};
+
+/// Both anchors for one user; either may be missing when the trace has no
+/// events in the corresponding time window.
+struct InferredAnchors {
+  std::optional<Anchor> home;
+  std::optional<Anchor> work;
+};
+
+/// Inference tuning.
+struct AnchorConfig {
+  /// Local time window treated as "evening, near home" (hours).
+  double home_window_start_h = 18.0;
+  double home_window_end_h = 23.5;
+  /// Window treated as "working hours" on weekdays.
+  double work_window_start_h = 9.0;
+  double work_window_end_h = 17.0;
+  /// Robustness: the anchor is the geometric median (Weiszfeld) of the
+  /// window's checkins; this many iterations are ample at city scale.
+  std::size_t weiszfeld_iterations = 32;
+
+  /// Cluster cell size for the pre-clustering step. A global median would
+  /// average the home-side venues against downtown dinners; instead the
+  /// votes are binned into cells of this size, the densest neighbourhood
+  /// (cell + 8 surrounding cells) wins, and the median is taken inside it.
+  double cluster_cell_m = 900.0;
+
+  /// Prefer votes at venues the user hit on at least this many distinct
+  /// days: one-off stops are noise, repeated ones are routine (when no
+  /// venue repeats, all votes are kept).
+  std::size_t min_repeat_days = 2;
+};
+
+/// Infers anchors from a (preferably pre-filtered) checkin sequence.
+/// `extraneous` may be empty (keep everything) or parallel to `events`
+/// (true = drop that event before inference).
+[[nodiscard]] InferredAnchors infer_anchors(
+    std::span<const trace::Checkin> events,
+    const std::vector<bool>& extraneous = {},
+    const AnchorConfig& config = {});
+
+/// Geometric median of a set of coordinates (Weiszfeld's algorithm); the
+/// robust analogue of the centroid. Returns nullopt for an empty set.
+[[nodiscard]] std::optional<geo::LatLon> geometric_median(
+    std::span<const geo::LatLon> points, std::size_t iterations = 32);
+
+}  // namespace geovalid::recover

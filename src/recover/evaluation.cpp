@@ -1,0 +1,172 @@
+#include "recover/evaluation.h"
+
+#include <map>
+#include <stdexcept>
+
+#include "geo/geodesic.h"
+#include "stats/summary.h"
+#include "match/matcher.h"
+
+namespace geovalid::recover {
+namespace {
+
+/// The user's most-visited venue of the given category set, from ground
+/// truth visits. Returns nullopt when no visit matches.
+std::optional<geo::LatLon> true_top_venue(
+    const trace::Dataset& ds, const trace::UserRecord& user,
+    std::initializer_list<trace::PoiCategory> categories) {
+  std::map<trace::PoiId, std::size_t> counts;
+  for (const trace::Visit& v : user.visits) {
+    if (v.poi == trace::kNoPoi) continue;
+    const trace::Poi* poi = ds.pois().find(v.poi);
+    if (poi == nullptr) continue;
+    for (trace::PoiCategory c : categories) {
+      if (poi->category == c) {
+        ++counts[v.poi];
+        break;
+      }
+    }
+  }
+  const trace::Poi* best = nullptr;
+  std::size_t best_count = 0;
+  for (const auto& [id, n] : counts) {
+    if (n > best_count) {
+      best_count = n;
+      best = ds.pois().find(id);
+    }
+  }
+  if (best == nullptr) return std::nullopt;
+  return best->location;
+}
+
+/// Visit coverage of an arbitrary event stream: reuse the paper's matching
+/// algorithm by presenting the events as pseudo-checkins.
+double coverage_of(std::span<const RecoveredEvent> events,
+                   std::span<const trace::Visit> visits,
+                   const match::MatchConfig& cfg) {
+  if (visits.empty()) return 0.0;
+  std::vector<trace::Checkin> pseudo;
+  pseudo.reserve(events.size());
+  for (const RecoveredEvent& e : events) {
+    trace::Checkin c;
+    c.t = e.t;
+    c.location = e.position;
+    pseudo.push_back(c);
+  }
+  // Re-match mode: coverage asks "is some event near this visit", not the
+  // paper's one-to-one accounting, so let losers cascade.
+  match::MatchConfig loose = cfg;
+  loose.rematch_losers = true;
+  const match::UserMatch m = match::match_user(pseudo, visits, loose);
+  const std::size_t covered = visits.size() - m.missing_count();
+  return static_cast<double>(covered) / static_cast<double>(visits.size());
+}
+
+std::vector<RecoveredEvent> as_events(
+    std::span<const trace::Checkin> checkins,
+    const std::vector<bool>& drop) {
+  std::vector<RecoveredEvent> out;
+  for (std::size_t i = 0; i < checkins.size(); ++i) {
+    if (!drop.empty() && drop[i]) continue;
+    out.push_back(RecoveredEvent{checkins[i].t, checkins[i].location,
+                                 RecoveredKind::kObserved});
+  }
+  return out;
+}
+
+}  // namespace
+
+RecoveryReport evaluate_recovery(const trace::Dataset& ds,
+                                 const match::ValidationResult& validation,
+                                 const RecoveryConfig& config,
+                                 const match::MatchConfig& coverage_match) {
+  if (ds.user_count() != validation.users.size()) {
+    throw std::invalid_argument(
+        "evaluate_recovery: validation does not match dataset");
+  }
+
+  RecoveryReport report;
+  double home_sum = 0.0, work_sum = 0.0;
+  std::size_t home_n = 0, work_n = 0;
+  double cov_all = 0.0, cov_honest = 0.0, cov_rec = 0.0;
+  std::size_t cov_n = 0;
+
+  const auto users = ds.users();
+  for (std::size_t u = 0; u < users.size(); ++u) {
+    const trace::UserRecord& user = users[u];
+    const auto& labels = validation.users[u].labels;
+    if (user.checkins.empty() || user.visits.empty()) continue;
+
+    // Extraneous flags from the matcher's labels.
+    std::vector<bool> extraneous(labels.size());
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      extraneous[i] = labels[i] != match::CheckinClass::kHonest;
+    }
+    std::vector<bool> keep_all(labels.size(), false);
+
+    const auto events = user.checkins.events();
+    const RecoveredTrace recovered =
+        recover_trace(events, extraneous, config);
+
+    UserRecoveryReport ur;
+    ur.id = user.id;
+
+    if (recovered.anchors.home) {
+      const auto truth = true_top_venue(ds, user,
+                                        {trace::PoiCategory::kResidence});
+      if (truth) {
+        ur.home_error_m =
+            geo::distance_m(recovered.anchors.home->position, *truth);
+        home_sum += ur.home_error_m;
+        ++home_n;
+      }
+    }
+    if (recovered.anchors.work) {
+      const auto truth =
+          true_top_venue(ds, user, {trace::PoiCategory::kProfessional,
+                                    trace::PoiCategory::kCollege});
+      if (truth) {
+        ur.work_error_m =
+            geo::distance_m(recovered.anchors.work->position, *truth);
+        work_sum += ur.work_error_m;
+        ++work_n;
+      }
+    }
+
+    ur.coverage_all_checkins =
+        coverage_of(as_events(events, keep_all), user.visits, coverage_match);
+    ur.coverage_honest = coverage_of(as_events(events, extraneous),
+                                     user.visits, coverage_match);
+    ur.coverage_recovered =
+        coverage_of(recovered.events, user.visits, coverage_match);
+
+    cov_all += ur.coverage_all_checkins;
+    cov_honest += ur.coverage_honest;
+    cov_rec += ur.coverage_recovered;
+    ++cov_n;
+
+    report.users.push_back(ur);
+  }
+
+  if (home_n > 0) report.mean_home_error_m = home_sum / static_cast<double>(home_n);
+  if (work_n > 0) report.mean_work_error_m = work_sum / static_cast<double>(work_n);
+  std::vector<double> home_errors, work_errors;
+  for (const UserRecoveryReport& u : report.users) {
+    if (u.home_error_m >= 0.0) home_errors.push_back(u.home_error_m);
+    if (u.work_error_m >= 0.0) work_errors.push_back(u.work_error_m);
+  }
+  if (!home_errors.empty()) {
+    report.median_home_error_m = stats::quantile(home_errors, 0.5);
+  }
+  if (!work_errors.empty()) {
+    report.median_work_error_m = stats::quantile(work_errors, 0.5);
+  }
+  if (cov_n > 0) {
+    report.mean_coverage_all = cov_all / static_cast<double>(cov_n);
+    report.mean_coverage_honest = cov_honest / static_cast<double>(cov_n);
+    report.mean_coverage_recovered = cov_rec / static_cast<double>(cov_n);
+  }
+  return report;
+}
+
+}  // namespace geovalid::recover

@@ -1,0 +1,55 @@
+// Scoring trace recovery against GPS ground truth.
+//
+// The evaluation question is the paper's: how much closer to the real
+// mobility trace does a geosocial trace get after (a) filtering extraneous
+// checkins and (b) adding back inferred routine locations?
+#pragma once
+
+#include "match/pipeline.h"
+#include "recover/upsample.h"
+#include "trace/dataset.h"
+
+namespace geovalid::recover {
+
+/// Per-user recovery quality.
+struct UserRecoveryReport {
+  trace::UserId id = 0;
+
+  /// Distance from the inferred anchors to the user's true top home/work
+  /// venues (metres); negative when the anchor was not inferred.
+  double home_error_m = -1.0;
+  double work_error_m = -1.0;
+
+  /// Fraction of GPS visits covered (within alpha/beta of some event) by
+  /// each event stream.
+  double coverage_all_checkins = 0.0;  ///< raw trace
+  double coverage_honest = 0.0;        ///< extraneous removed
+  double coverage_recovered = 0.0;     ///< extraneous removed + anchors added
+};
+
+/// Dataset-level aggregation.
+struct RecoveryReport {
+  std::vector<UserRecoveryReport> users;
+
+  double mean_home_error_m = 0.0;   ///< over users with an inferred home
+  double mean_work_error_m = 0.0;
+  /// Medians are the headline numbers: anchor errors are heavy-tailed
+  /// (users whose lunch routine is far from their workplace defeat the
+  /// inference entirely and dominate the means).
+  double median_home_error_m = 0.0;
+  double median_work_error_m = 0.0;
+  double mean_coverage_all = 0.0;
+  double mean_coverage_honest = 0.0;
+  double mean_coverage_recovered = 0.0;
+};
+
+/// Runs recovery for every user (using the matcher's labels to drop
+/// extraneous checkins) and scores it against the GPS visits. `truth_home`
+/// and `truth_work` are derived from each user's most-visited Residence /
+/// Professional-or-College venue.
+[[nodiscard]] RecoveryReport evaluate_recovery(
+    const trace::Dataset& ds, const match::ValidationResult& validation,
+    const RecoveryConfig& config = {},
+    const match::MatchConfig& coverage_match = {});
+
+}  // namespace geovalid::recover

@@ -1,0 +1,85 @@
+#include "recover/upsample.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace geovalid::recover {
+namespace {
+
+trace::TimeSec at_hour(trace::TimeSec midnight, double hour) {
+  return midnight + static_cast<trace::TimeSec>(std::lround(hour * 3600.0));
+}
+
+bool is_weekend_day(std::size_t day_index) {
+  const std::size_t dow = day_index % 7;
+  return dow == 4 || dow == 5;
+}
+
+}  // namespace
+
+RecoveredTrace recover_trace(std::span<const trace::Checkin> events,
+                             const std::vector<bool>& extraneous,
+                             const RecoveryConfig& config) {
+  if (!extraneous.empty() && extraneous.size() != events.size()) {
+    throw std::invalid_argument("recover_trace: flag size mismatch");
+  }
+
+  RecoveredTrace out;
+
+  // 1. Kept observations.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (!extraneous.empty() && extraneous[i]) continue;
+    out.events.push_back(RecoveredEvent{events[i].t, events[i].location,
+                                        RecoveredKind::kObserved});
+  }
+  out.observed = out.events.size();
+  if (out.events.empty()) return out;
+
+  // 2. Anchors from the kept events.
+  out.anchors = infer_anchors(events, extraneous, config.anchors);
+
+  const bool use_home = out.anchors.home.has_value() &&
+                        out.anchors.home->support >=
+                            config.min_anchor_support;
+  const bool use_work = out.anchors.work.has_value() &&
+                        out.anchors.work->support >=
+                            config.min_anchor_support;
+
+  // 3. Routine synthesis over the covered days.
+  const trace::TimeSec first = out.events.front().t;
+  const trace::TimeSec last = out.events.back().t;
+  const auto first_day = static_cast<std::size_t>(
+      first / trace::kSecondsPerDay);
+  const auto last_day = static_cast<std::size_t>(last / trace::kSecondsPerDay);
+
+  for (std::size_t day = first_day; day <= last_day; ++day) {
+    const auto midnight =
+        static_cast<trace::TimeSec>(day) * trace::kSecondsPerDay;
+    if (use_home) {
+      out.events.push_back(RecoveredEvent{
+          at_hour(midnight, config.home_morning_hour),
+          out.anchors.home->position, RecoveredKind::kHomeInferred});
+      out.events.push_back(RecoveredEvent{
+          at_hour(midnight, config.home_evening_hour),
+          out.anchors.home->position, RecoveredKind::kHomeInferred});
+    }
+    if (use_work && !is_weekend_day(day)) {
+      out.events.push_back(RecoveredEvent{
+          at_hour(midnight, config.work_morning_hour),
+          out.anchors.work->position, RecoveredKind::kWorkInferred});
+      out.events.push_back(RecoveredEvent{
+          at_hour(midnight, config.work_afternoon_hour),
+          out.anchors.work->position, RecoveredKind::kWorkInferred});
+    }
+  }
+  out.inferred = out.events.size() - out.observed;
+
+  std::sort(out.events.begin(), out.events.end(),
+            [](const RecoveredEvent& a, const RecoveredEvent& b) {
+              return a.t < b.t;
+            });
+  return out;
+}
+
+}  // namespace geovalid::recover

@@ -1,0 +1,62 @@
+// Trace repair: rebuild a mobility event stream from a geosocial trace.
+//
+// The paper's closing point (§6.2 summary, §7): to make a checkin trace
+// usable as mobility data you must BOTH remove extraneous checkins AND add
+// back the missing routine locations. This module does the second half:
+// given a cleaned checkin sequence and inferred home/work anchors, it
+// synthesizes the routine events the user never checked in for.
+#pragma once
+
+#include <vector>
+
+#include "recover/anchors.h"
+#include "trace/checkin.h"
+
+namespace geovalid::recover {
+
+/// Why an event is present in a recovered trace.
+enum class RecoveredKind : std::uint8_t {
+  kObserved = 0,   ///< a kept (non-extraneous) checkin
+  kHomeInferred,   ///< synthesized stay at the inferred home anchor
+  kWorkInferred,   ///< synthesized stay at the inferred work anchor
+};
+
+/// One event of the recovered mobility stream.
+struct RecoveredEvent {
+  trace::TimeSec t = 0;
+  geo::LatLon position;
+  RecoveredKind kind = RecoveredKind::kObserved;
+};
+
+/// Synthesis knobs (defaults describe an ordinary weekday routine).
+struct RecoveryConfig {
+  AnchorConfig anchors;
+
+  double home_morning_hour = 7.2;   ///< synthesized morning home stay
+  double home_evening_hour = 21.5;  ///< synthesized evening home stay
+  double work_morning_hour = 10.0;  ///< synthesized work presence (weekdays)
+  double work_afternoon_hour = 15.0;
+
+  /// Minimum anchor support (votes) before synthesizing events around it.
+  std::size_t min_anchor_support = 3;
+};
+
+/// A fully recovered trace plus the anchors it used.
+struct RecoveredTrace {
+  std::vector<RecoveredEvent> events;  ///< time-ordered
+  InferredAnchors anchors;
+  std::size_t observed = 0;   ///< events kept from the checkin trace
+  std::size_t inferred = 0;   ///< events synthesized at anchors
+};
+
+/// Builds the recovered stream:
+///  1. keep checkins not flagged extraneous (`extraneous` may be empty);
+///  2. infer home/work anchors from the kept events;
+///  3. for every calendar day the trace covers, synthesize morning/evening
+///     home events and (weekdays) work events at the anchors.
+[[nodiscard]] RecoveredTrace recover_trace(
+    std::span<const trace::Checkin> events,
+    const std::vector<bool>& extraneous = {},
+    const RecoveryConfig& config = {});
+
+}  // namespace geovalid::recover

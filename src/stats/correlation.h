@@ -1,0 +1,32 @@
+// Pearson correlation (Table 2) and simple linear regression in log space
+// (used by the power-law fits of Figure 7).
+#pragma once
+
+#include <span>
+
+namespace geovalid::stats {
+
+/// Pearson's product-moment correlation of two equal-length samples,
+/// in [-1, 1]. Returns 0 when either sample is constant (the paper's
+/// correlations are undefined there; 0 is the conventional sentinel).
+/// Throws std::invalid_argument on length mismatch or n < 2.
+[[nodiscard]] double pearson(std::span<const double> xs,
+                             std::span<const double> ys);
+
+/// Result of an ordinary least-squares line fit y = slope * x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+};
+
+/// OLS fit. Throws std::invalid_argument on length mismatch or n < 2.
+[[nodiscard]] LinearFit least_squares(std::span<const double> xs,
+                                      std::span<const double> ys);
+
+/// Spearman rank correlation — a robustness companion to `pearson` used by
+/// the incentive-analysis ablation (ties get average ranks).
+[[nodiscard]] double spearman(std::span<const double> xs,
+                              std::span<const double> ys);
+
+}  // namespace geovalid::stats

@@ -1,0 +1,24 @@
+// Shannon entropy of categorical/visit distributions.
+//
+// "POI entropy" is one of the mobility metrics the paper uses when
+// validating the honest-checkin set against the baseline dataset (§4.1).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace geovalid::stats {
+
+/// Shannon entropy (bits) of the distribution implied by non-negative
+/// `counts`. Zero-count entries contribute nothing; all-zero input yields 0.
+[[nodiscard]] double entropy_bits(std::span<const std::size_t> counts);
+
+/// Entropy of an explicit probability vector (entries must be >= 0; they are
+/// normalized internally so slightly unnormalized input is tolerated).
+[[nodiscard]] double entropy_bits_p(std::span<const double> probabilities);
+
+/// Normalized entropy in [0, 1]: entropy / log2(#nonzero categories).
+/// Returns 0 when there are fewer than 2 non-zero categories.
+[[nodiscard]] double normalized_entropy(std::span<const std::size_t> counts);
+
+}  // namespace geovalid::stats

@@ -1,0 +1,54 @@
+#include "stats/ks.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace geovalid::stats {
+
+double ks_two_sample(std::span<const double> a, std::span<const double> b) {
+  if (a.empty() || b.empty()) {
+    throw std::invalid_argument("ks_two_sample: empty sample");
+  }
+  std::vector<double> sa(a.begin(), a.end());
+  std::vector<double> sb(b.begin(), b.end());
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+
+  const double na = static_cast<double>(sa.size());
+  const double nb = static_cast<double>(sb.size());
+  std::size_t ia = 0, ib = 0;
+  double worst = 0.0;
+  while (ia < sa.size() && ib < sb.size()) {
+    const double x = std::min(sa[ia], sb[ib]);
+    while (ia < sa.size() && sa[ia] <= x) ++ia;
+    while (ib < sb.size() && sb[ib] <= x) ++ib;
+    const double fa = static_cast<double>(ia) / na;
+    const double fb = static_cast<double>(ib) / nb;
+    worst = std::max(worst, std::fabs(fa - fb));
+  }
+  return worst;
+}
+
+double ks_p_value(double ks_stat, std::size_t n1, std::size_t n2) {
+  const double n1d = static_cast<double>(n1);
+  const double n2d = static_cast<double>(n2);
+  const double en = std::sqrt(n1d * n2d / (n1d + n2d));
+  const double lambda = (en + 0.12 + 0.11 / en) * ks_stat;
+
+  // Kolmogorov distribution tail sum; converges fast for lambda > 0.3.
+  double sum = 0.0;
+  double sign = 1.0;
+  for (int j = 1; j <= 100; ++j) {
+    const double term = std::exp(-2.0 * lambda * lambda *
+                                 static_cast<double>(j) *
+                                 static_cast<double>(j));
+    sum += sign * term;
+    if (term < 1e-12) break;
+    sign = -sign;
+  }
+  return std::clamp(2.0 * sum, 0.0, 1.0);
+}
+
+}  // namespace geovalid::stats

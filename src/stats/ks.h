@@ -1,0 +1,20 @@
+// Two-sample Kolmogorov–Smirnov distance.
+//
+// §4.1 validates honest checkins by showing distribution agreement between
+// datasets; the KS distance is the quantitative form of "the curves match".
+#pragma once
+
+#include <span>
+
+namespace geovalid::stats {
+
+/// Two-sample KS statistic: sup_x |F1(x) - F2(x)|, in [0, 1].
+/// Throws std::invalid_argument when either sample is empty.
+[[nodiscard]] double ks_two_sample(std::span<const double> a,
+                                   std::span<const double> b);
+
+/// Asymptotic p-value for the two-sample KS statistic (Smirnov's formula).
+/// Small p means the samples likely come from different distributions.
+[[nodiscard]] double ks_p_value(double ks_stat, std::size_t n1, std::size_t n2);
+
+}  // namespace geovalid::stats

@@ -1,0 +1,42 @@
+#include "stats/powerlaw.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "stats/correlation.h"
+
+namespace geovalid::stats {
+
+PowerLawFit fit_power_law(std::span<const double> xs,
+                          std::span<const double> ys) {
+  if (xs.size() != ys.size()) {
+    throw std::invalid_argument("fit_power_law: length mismatch");
+  }
+  std::vector<double> lx, ly;
+  lx.reserve(xs.size());
+  ly.reserve(ys.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (xs[i] > 0.0 && ys[i] > 0.0) {
+      lx.push_back(std::log(xs[i]));
+      ly.push_back(std::log(ys[i]));
+    }
+  }
+  if (lx.size() < 2) {
+    throw std::invalid_argument("fit_power_law: fewer than 2 usable pairs");
+  }
+  const LinearFit line = least_squares(lx, ly);
+
+  PowerLawFit fit;
+  fit.gamma = line.slope;
+  fit.k = std::exp(line.intercept);
+  fit.r_squared = line.r_squared;
+  fit.n = lx.size();
+  return fit;
+}
+
+double power_law_eval(const PowerLawFit& fit, double x) {
+  return fit.k * std::pow(x, fit.gamma);
+}
+
+}  // namespace geovalid::stats

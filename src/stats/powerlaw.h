@@ -1,0 +1,29 @@
+// Power-law relation fitting: y = k * x^gamma, fit by ordinary least squares
+// in log-log space.
+//
+// Section 6.1 fits movement time against movement distance with
+// t = k * d^(1 - rho); this is that estimator (gamma = 1 - rho).
+#pragma once
+
+#include <span>
+
+namespace geovalid::stats {
+
+/// y = k * x^gamma.
+struct PowerLawFit {
+  double k = 0.0;
+  double gamma = 0.0;
+  double r_squared = 0.0;
+  std::size_t n = 0;  ///< points actually used (positive x and y only)
+};
+
+/// Fits y = k x^gamma by OLS on (ln x, ln y). Pairs with non-positive x or y
+/// are skipped (they have no logarithm); `n` reports how many survived.
+/// Throws std::invalid_argument when fewer than 2 usable pairs remain.
+[[nodiscard]] PowerLawFit fit_power_law(std::span<const double> xs,
+                                        std::span<const double> ys);
+
+/// Evaluates the fitted relation at x.
+[[nodiscard]] double power_law_eval(const PowerLawFit& fit, double x);
+
+}  // namespace geovalid::stats

@@ -1,0 +1,50 @@
+#include "synth/city.h"
+
+#include <cmath>
+#include <string>
+
+#include "geo/geodesic.h"
+#include "stats/samplers.h"
+
+namespace geovalid::synth {
+namespace {
+
+constexpr double kTau = 6.28318530717958647692;
+
+/// Uniform point in a disc of radius r around center (area-uniform).
+geo::LatLon point_in_disc(stats::Rng& rng, const geo::LatLon& center,
+                          double radius_m) {
+  const double r = radius_m * std::sqrt(rng.uniform());
+  const double theta = rng.uniform() * kTau;
+  return geo::destination(center, theta * 360.0 / kTau, r);
+}
+
+}  // namespace
+
+std::vector<trace::Poi> generate_city(const CityConfig& config,
+                                      stats::Rng& rng) {
+  std::vector<double> weights(config.category_mix.begin(),
+                              config.category_mix.end());
+  const stats::DiscreteSampler category_sampler(std::move(weights));
+  const auto categories = trace::all_poi_categories();
+
+  std::vector<trace::Poi> pois;
+  pois.reserve(config.poi_count);
+  for (std::size_t i = 0; i < config.poi_count; ++i) {
+    trace::Poi p;
+    p.id = static_cast<trace::PoiId>(i + 1);  // 0 is reserved-ish; start at 1
+    p.category = categories[category_sampler.sample(rng)];
+
+    const bool downtown = rng.bernoulli(config.downtown_fraction);
+    const double radius =
+        downtown ? config.radius_m * 0.2 : config.radius_m;
+    p.location = point_in_disc(rng, config.center, radius);
+
+    p.name = std::string(trace::to_string(p.category)) + "-" +
+             std::to_string(p.id);
+    pois.push_back(std::move(p));
+  }
+  return pois;
+}
+
+}  // namespace geovalid::synth

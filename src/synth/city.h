@@ -1,0 +1,20 @@
+// Synthetic city: the POI universe users live in.
+#pragma once
+
+#include <vector>
+
+#include "stats/rng.h"
+#include "synth/config.h"
+#include "trace/poi.h"
+
+namespace geovalid::synth {
+
+/// Generates the venue universe for one study.
+///
+/// POIs are scattered in a disc around the city center with a dense downtown
+/// core; categories follow the configured mix. Venue names encode id and
+/// category so CSV dumps stay human-readable.
+[[nodiscard]] std::vector<trace::Poi> generate_city(const CityConfig& config,
+                                                    stats::Rng& rng);
+
+}  // namespace geovalid::synth

@@ -1,0 +1,52 @@
+#include "synth/config.h"
+
+namespace geovalid::synth {
+
+StudyConfig primary_preset() {
+  StudyConfig cfg;  // defaults are the primary calibration
+  return cfg;
+}
+
+StudyConfig baseline_preset() {
+  StudyConfig cfg;
+  cfg.name = "baseline";
+  cfg.seed = 20130915;
+  cfg.user_count = 47;
+  cfg.mean_days_per_user = 20.8;
+  // Students on a compact campus: smaller universe, denser core.
+  cfg.city.poi_count = 1200;
+  cfg.city.radius_m = 8000.0;
+  cfg.city.downtown_fraction = 0.6;
+  // Volunteers checked in without reward pressure: extraneous behaviour off,
+  // and a lower overall checkin appetite (665 checkins / 47 users / 20.8
+  // days in Table 1, versus ~1 honest checkin per user-day in primary).
+  cfg.extraneous_scale = 0.03;
+  cfg.behavior.honest_scale = 0.48;
+  // Volunteers check in almost exclusively from the (recording) study
+  // phone, so their checkin trace is nearly all honest — the property §4.1
+  // uses them for.
+  cfg.behavior.honest_recorded_bias = 0.97;
+  // Fewer errands (campus life) and a shorter recording day: Table 1 shows
+  // ~6.4 visits and ~570 GPS points per user-day for the baseline.
+  cfg.schedule.weekday_errands = 4.6;
+  cfg.schedule.weekend_outings = 5.2;
+  cfg.schedule.recording_hours = 9.6;
+  return cfg;
+}
+
+StudyConfig tiny_preset() {
+  StudyConfig cfg;
+  cfg.name = "tiny";
+  cfg.seed = 42;
+  cfg.user_count = 16;
+  cfg.mean_days_per_user = 6.0;
+  cfg.city.poi_count = 400;
+  cfg.city.radius_m = 6000.0;
+  // A dense social graph so friendship-inference tests have signal even
+  // with sixteen users and a week of data.
+  cfg.social.friend_prob_base = 0.6;
+  cfg.social.covisits_per_week = 4.0;
+  return cfg;
+}
+
+}  // namespace geovalid::synth

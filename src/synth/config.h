@@ -1,0 +1,154 @@
+// Configuration of the synthetic user study.
+//
+// The paper's datasets are private; this generator is the documented
+// substitution (see DESIGN.md §2). Every knob below has a default chosen so
+// the *primary preset* reproduces the paper's aggregate statistics (Table 1,
+// Figure 1 partition, Table 2 correlation structure) and the *baseline
+// preset* reproduces the volunteer control group.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "geo/latlon.h"
+#include "trace/poi.h"
+#include "trace/time.h"
+
+namespace geovalid::synth {
+
+/// Spatial layout of the synthetic city.
+struct CityConfig {
+  geo::LatLon center{34.4208, -119.6982};  ///< the authors' home town
+  double radius_m = 15000.0;               ///< POIs live inside this disc
+  std::size_t poi_count = 3000;
+
+  /// Relative frequency of each PoiCategory in the venue universe, indexed
+  /// by the enum's underlying value (Professional, Outdoors, Nightlife,
+  /// Arts, Shop, Travel, Residence, Food, College).
+  std::array<double, trace::kPoiCategoryCount> category_mix{
+      0.16, 0.06, 0.07, 0.05, 0.20, 0.07, 0.17, 0.18, 0.04};
+
+  /// Fraction of POIs concentrated in the dense downtown core (inner 20% of
+  /// the radius); the rest spread over the whole disc.
+  double downtown_fraction = 0.45;
+};
+
+/// Behavioural traits of the user population. Rates are per *fully active*
+/// trait (trait value 1.0); each user's draw scales them down.
+struct BehaviorConfig {
+  /// Probability of an honest checkin at a visit, by POI category (same
+  /// index order as CityConfig::category_mix). Routine places (Residence,
+  /// Professional) are near zero — that is what creates missing checkins.
+  std::array<double, trace::kPoiCategoryCount> honest_checkin_prob{
+      0.05, 0.35, 0.50, 0.35, 0.18, 0.20, 0.025, 0.38, 0.10};
+
+  /// Global multiplier on honest checkin probability (per-user activity
+  /// scales it further).
+  double honest_scale = 0.57;
+
+  /// Probability that an honest checkin landing *outside* the day's
+  /// recording window is suppressed. Checking in and carrying an active
+  /// phone are correlated activities; study volunteers (baseline preset)
+  /// almost never check in with the study phone off.
+  double honest_recorded_bias = 0.75;
+
+  /// Mean "reward gamer" trait (Beta-distributed). Drives badge hunting
+  /// (remote checkins) and mayorship farming (superfluous checkins).
+  double gamer_alpha = 1.6;
+  double gamer_beta = 3.4;
+
+  /// Remote checkin sessions per day for a gamer trait of 1.0.
+  double remote_sessions_per_day = 2.3;
+  /// Events per remote session (geometric, >= 1).
+  double remote_session_mean_events = 2.1;
+  /// Fraction of remote sessions that happen outside the recording window
+  /// (they become "unclassifiable" extraneous checkins, ~10% of extraneous
+  /// in the paper).
+  double remote_offline_fraction = 0.10;
+
+  /// Probability that an honest checkin is accompanied by a superfluous
+  /// burst, for a mayor trait of 1.0.
+  double superfluous_prob_per_honest = 1.3;
+  /// Extra checkins per superfluous burst (geometric, >= 1).
+  double superfluous_mean_events = 1.6;
+
+  /// Driveby checkins per trip for a commuter trait of 1.0.
+  double driveby_prob_per_trip = 0.40;
+};
+
+/// Daily routine structure.
+struct ScheduleConfig {
+  /// Average errand/leisure stops per weekday evening and per weekend day.
+  double weekday_errands = 6.0;
+  double weekend_outings = 7.2;
+
+  /// Probability of an evening leisure stop (dinner/bar) after errands,
+  /// which also delays the return home past the recording window on many
+  /// days (one reason home visits are under-sampled).
+  double evening_leisure_prob = 0.75;
+
+  /// Weekend recording starts this many hours later (participants sleep in
+  /// and power up their phones late).
+  double weekend_start_offset_hours = 1.7;
+
+  /// Recording window: the app logs GPS only while the phone is awake and
+  /// the agent allows it. Start time and duration jitter per user-day.
+  double recording_start_hour = 8.3;
+  double recording_hours = 12.3;
+
+  /// Probability a scheduled stay loses its GPS fix on a given indoor
+  /// minute (WiFi/accelerometer bridge those samples).
+  double indoor_dropout_prob = 0.55;
+};
+
+/// Social structure: the friendship graph and the joint outings it causes.
+/// Friendship-inference applications (§6.2's last example) need both a
+/// ground-truth graph and genuine co-location signal in the traces.
+struct SocialConfig {
+  /// Base probability that two users are friends; decays with the distance
+  /// between their homes (people befriend neighbours and colleagues).
+  double friend_prob_base = 0.08;
+  double friend_distance_scale_m = 4000.0;
+
+  /// Joint evening outings per friend pair per week (both users visit the
+  /// same venue at the same time).
+  double covisits_per_week = 0.7;
+
+  /// Maximum venue distance from the pair's home midpoint for an outing.
+  double outing_radius_m = 3000.0;
+};
+
+/// Complete study recipe.
+struct StudyConfig {
+  std::string name = "primary";
+  std::uint64_t seed = 20131121;  ///< HotNets'13 opening day
+  std::size_t user_count = 244;
+  double mean_days_per_user = 14.2;
+  trace::TimeSec study_start = 1358208000;  ///< 2013-01-15T00:00:00Z
+
+  CityConfig city;
+  BehaviorConfig behavior;
+  ScheduleConfig schedule;
+  SocialConfig social;
+
+  /// Scales every extraneous behaviour at once; the baseline preset sets
+  /// this near zero (volunteers had no reward incentive).
+  double extraneous_scale = 1.0;
+
+  /// Per-user activity multiplier spread (lognormal sigma) applied to both
+  /// honest and extraneous rates.
+  double activity_sigma = 0.45;
+};
+
+/// The app-store Foursquare-user study (Table 1, row "Primary").
+[[nodiscard]] StudyConfig primary_preset();
+
+/// The recruited-volunteer control group (Table 1, row "Baseline").
+[[nodiscard]] StudyConfig baseline_preset();
+
+/// A miniature preset (a dozen users, few days) for unit tests — same
+/// behaviour mix as primary, two orders of magnitude cheaper.
+[[nodiscard]] StudyConfig tiny_preset();
+
+}  // namespace geovalid::synth

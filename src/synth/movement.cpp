@@ -1,0 +1,153 @@
+#include "synth/movement.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "geo/geodesic.h"
+
+namespace geovalid::synth {
+namespace {
+
+using trace::GpsPoint;
+using trace::TimeSec;
+
+constexpr double kWalkThresholdM = 900.0;
+constexpr double kWalkSpeedMps = 1.35;
+constexpr TimeSec kTripOverheadSec = 100;  // parking, lights, building exit
+
+/// GPS horizontal error: ~12 m circular error typical of phone GPS.
+geo::LatLon jitter_fix(stats::Rng& rng, const geo::LatLon& truth,
+                       double sigma_m) {
+  const double bearing = rng.uniform(0.0, 360.0);
+  const double r = std::fabs(rng.normal(0.0, sigma_m));
+  return geo::destination(truth, bearing, r);
+}
+
+std::uint32_t wifi_fingerprint_of(std::uint32_t poi_index) {
+  // Stable per-venue fingerprint; 0 means "no usable WiFi" so shift by 1.
+  return std::hash<std::uint32_t>{}(poi_index + 1) | 1u;
+}
+
+}  // namespace
+
+trace::TimeSec travel_time(double distance_m) {
+  if (distance_m <= 0.0) return kTripOverheadSec;
+  const double speed =
+      distance_m < kWalkThresholdM ? kWalkSpeedMps : 11.0;  // nominal cruise
+  return kTripOverheadSec +
+         static_cast<TimeSec>(std::lround(distance_m / speed));
+}
+
+double trip_speed_mps(double distance_m, stats::Rng& rng) {
+  if (distance_m < kWalkThresholdM) {
+    return rng.uniform(1.1, 1.6);  // walking
+  }
+  return rng.uniform(8.0, 14.5);  // urban driving incl. stops
+}
+
+MovementResult synthesize_movement(const StudyConfig& config,
+                                   const CityView& city,
+                                   const Itinerary& itinerary,
+                                   stats::Rng& rng) {
+  MovementResult result;
+  if (itinerary.stays.empty()) return result;
+
+  // --- Derive trips between consecutive stays ----------------------------
+  for (std::size_t i = 1; i < itinerary.stays.size(); ++i) {
+    const Stay& a = itinerary.stays[i - 1];
+    const Stay& b = itinerary.stays[i];
+    if (b.poi_index == a.poi_index) continue;
+    Trip trip;
+    trip.from_poi = a.poi_index;
+    trip.to_poi = b.poi_index;
+    trip.depart = a.depart;
+    trip.arrive = b.arrive;
+    const double d = geo::fast_distance_m(city.pois[a.poi_index].location,
+                                          city.pois[b.poi_index].location);
+    trip.speed_mps = trip_speed_mps(d, rng);
+    result.trips.push_back(trip);
+  }
+
+  // --- Per-minute sampling inside recording windows -----------------------
+  // Position model at time t: inside a stay -> the venue (+GPS jitter or
+  // indoor dropout); between stays -> linear interpolation along the trip.
+  std::size_t stay_cursor = 0;
+  const auto& stays = itinerary.stays;
+
+  auto position_at = [&](TimeSec t) -> std::pair<geo::LatLon, bool> {
+    // Advance cursor to the last stay whose arrive <= t (windows are
+    // scanned in time order, so the cursor only moves forward).
+    while (stay_cursor + 1 < stays.size() &&
+           stays[stay_cursor + 1].arrive <= t) {
+      ++stay_cursor;
+    }
+    const Stay& s = stays[stay_cursor];
+    if (t >= s.arrive && t <= s.depart) {
+      return {city.pois[s.poi_index].location, true};  // at a venue
+    }
+    if (t < s.arrive) {
+      // Before the first stay of the study: sit at the first venue.
+      return {city.pois[s.poi_index].location, true};
+    }
+    // In transit toward the next stay (or after the final stay).
+    if (stay_cursor + 1 >= stays.size()) {
+      return {city.pois[s.poi_index].location, true};
+    }
+    const Stay& next = stays[stay_cursor + 1];
+    const double total = static_cast<double>(next.arrive - s.depart);
+    const double frac =
+        total <= 0.0
+            ? 1.0
+            : std::clamp(static_cast<double>(t - s.depart) / total, 0.0, 1.0);
+    const geo::LatLon from = city.pois[s.poi_index].location;
+    const geo::LatLon to = city.pois[next.poi_index].location;
+    if (s.poi_index == next.poi_index) {
+      // A gap between two stays at the same venue: the user wanders around
+      // the site (corridors, courtyard) far enough that the stay-point
+      // detector correctly sees movement between the two visits.
+      const double bearing =
+          std::fmod(static_cast<double>(t) / 60.0 * 73.0, 360.0);
+      return {geo::destination(from, bearing, 220.0), false};
+    }
+    return {geo::LatLon{from.lat_deg + frac * (to.lat_deg - from.lat_deg),
+                        from.lon_deg + frac * (to.lon_deg - from.lon_deg)},
+            false};
+  };
+
+  std::vector<GpsPoint> points;
+  for (const RecordingWindow& w : itinerary.windows) {
+    for (TimeSec t = w.start; t <= w.end; t += trace::kSecondsPerMinute) {
+      const auto [truth, at_venue] = position_at(t);
+      GpsPoint p;
+      p.t = t;
+      if (at_venue) {
+        const Stay& s = stays[stay_cursor];
+        const bool dropout =
+            rng.bernoulli(config.schedule.indoor_dropout_prob);
+        if (dropout) {
+          p.has_fix = false;
+          p.position = jitter_fix(rng, truth, 25.0);  // last known fix drift
+          p.wifi_fingerprint = wifi_fingerprint_of(s.poi_index);
+          p.accel_variance = std::fabs(rng.normal(0.08, 0.06));
+        } else {
+          p.has_fix = true;
+          p.position = jitter_fix(rng, truth, 12.0);
+          p.wifi_fingerprint = wifi_fingerprint_of(s.poi_index);
+          p.accel_variance = std::fabs(rng.normal(0.12, 0.1));
+        }
+      } else {
+        p.has_fix = true;
+        p.position = jitter_fix(rng, truth, 15.0);
+        p.wifi_fingerprint = 0;  // streets: no stable AP set
+        p.accel_variance = 1.2 + std::fabs(rng.normal(1.0, 0.8));
+      }
+      points.push_back(p);
+    }
+  }
+
+  result.gps = trace::GpsTrace(std::move(points));
+  return result;
+}
+
+}  // namespace geovalid::synth

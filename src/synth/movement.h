@@ -1,0 +1,47 @@
+// Movement synthesis: expands an itinerary into a per-minute GPS trace.
+#pragma once
+
+#include <vector>
+
+#include "stats/rng.h"
+#include "synth/config.h"
+#include "synth/persona.h"
+#include "synth/schedule.h"
+#include "trace/gps.h"
+
+namespace geovalid::synth {
+
+/// One trip between consecutive stays; the checkin model uses these to place
+/// driveby checkins on real moving segments.
+struct Trip {
+  std::uint32_t from_poi = 0;  ///< into CityView::pois
+  std::uint32_t to_poi = 0;
+  trace::TimeSec depart = 0;
+  trace::TimeSec arrive = 0;
+  double speed_mps = 0.0;  ///< cruise speed along the (straight) path
+};
+
+/// Travel time between two points given trip logistics (walk vs drive plus
+/// a fixed parking/boarding overhead). Shared by schedule and movement so
+/// timetables and traces agree.
+[[nodiscard]] trace::TimeSec travel_time(double distance_m);
+
+/// Cruise speed (m/s) chosen for a trip of the given length: walking pace
+/// under ~900 m, urban driving above.
+[[nodiscard]] double trip_speed_mps(double distance_m, stats::Rng& rng);
+
+/// Result of movement synthesis.
+struct MovementResult {
+  trace::GpsTrace gps;
+  std::vector<Trip> trips;
+};
+
+/// Samples the user's position once per minute inside each recording window:
+/// jittered fixes while at a stay (with indoor dropout bridged by WiFi
+/// fingerprint + quiet accelerometer), interpolated fixes while on a trip.
+[[nodiscard]] MovementResult synthesize_movement(const StudyConfig& config,
+                                                 const CityView& city,
+                                                 const Itinerary& itinerary,
+                                                 stats::Rng& rng);
+
+}  // namespace geovalid::synth

@@ -1,0 +1,134 @@
+#include "synth/persona.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "geo/geodesic.h"
+
+namespace geovalid::synth {
+namespace {
+
+using trace::PoiCategory;
+
+std::uint32_t pick_from_category(const CityView& city, PoiCategory cat,
+                                 stats::Rng& rng) {
+  const auto& bucket = city.by_category[static_cast<std::size_t>(cat)];
+  if (bucket.empty()) {
+    throw std::runtime_error("persona: city has no POI of required category");
+  }
+  return bucket[static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(bucket.size()) - 1))];
+}
+
+/// Picks a venue for the routine pool, preferring places near home
+/// (distance-decayed weight) and matching everyday categories.
+std::uint32_t pick_routine_poi(const CityView& city,
+                               const geo::LatLon& home,
+                               stats::Rng& rng) {
+  // Everyday categories get most of the pool; the rest adds variety.
+  static constexpr std::array<double, trace::kPoiCategoryCount> kWeights{
+      0.03, 0.09, 0.12, 0.07, 0.29, 0.13, 0.01, 0.22, 0.04};
+  const stats::DiscreteSampler cat_sampler(
+      std::vector<double>(kWeights.begin(), kWeights.end()));
+  const auto cat = static_cast<PoiCategory>(cat_sampler.sample(rng));
+  const auto& bucket = city.by_category[static_cast<std::size_t>(cat)];
+  if (bucket.empty()) return 0;
+
+  // Rejection-sample with a distance-decay acceptance: nearby places are a
+  // few times more likely to join the routine than places across town.
+  for (int attempt = 0; attempt < 32; ++attempt) {
+    const std::uint32_t idx = bucket[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(bucket.size()) - 1))];
+    const double d = geo::fast_distance_m(home, city.pois[idx].location);
+    const double accept = std::exp(-d / 6000.0);  // 6 km decay scale
+    if (rng.bernoulli(accept)) return idx;
+  }
+  return bucket[static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(bucket.size()) - 1))];
+}
+
+}  // namespace
+
+CityView make_city_view(std::span<const trace::Poi> pois,
+                        const trace::PoiGrid& grid) {
+  CityView view;
+  view.pois = pois;
+  view.grid = &grid;
+  for (std::uint32_t i = 0; i < pois.size(); ++i) {
+    view.by_category[static_cast<std::size_t>(pois[i].category)].push_back(i);
+  }
+  return view;
+}
+
+double sample_beta(stats::Rng& rng, double alpha, double beta) {
+  std::gamma_distribution<double> ga(alpha, 1.0);
+  std::gamma_distribution<double> gb(beta, 1.0);
+  const double x = ga(rng.engine());
+  const double y = gb(rng.engine());
+  if (x + y <= 0.0) return 0.5;
+  return x / (x + y);
+}
+
+Persona sample_persona(const StudyConfig& config, const CityView& city,
+                       trace::UserId id, stats::Rng& rng) {
+  Persona p;
+  p.id = id;
+
+  // --- Traits -------------------------------------------------------------
+  p.traits.activity =
+      std::exp(rng.normal(0.0, config.activity_sigma));
+  p.traits.gamer = sample_beta(rng, config.behavior.gamer_alpha,
+                               config.behavior.gamer_beta) *
+                   config.extraneous_scale;
+  // Badge hunting and mayorship farming share the gamer disposition but
+  // split individually, so the two extraneous styles are correlated yet
+  // distinguishable (Table 2 needs distinct columns to light up).
+  p.traits.badge_hunter =
+      std::clamp(p.traits.gamer * rng.uniform(0.35, 1.65), 0.0, 1.0);
+  p.traits.mayor_farmer =
+      std::clamp(p.traits.gamer * rng.uniform(0.35, 1.65), 0.0, 1.0);
+  // Commuters are a mostly separate crowd: anti-correlated with gaming
+  // (the paper finds driveby users look nothing like badge/mayor chasers).
+  // Lognormal with unit mean: exp(N(0, s)) / exp(s^2 / 2).
+  const double errand_sigma = 0.8;
+  p.traits.errand_factor = std::exp(rng.normal(0.0, errand_sigma)) /
+                           std::exp(errand_sigma * errand_sigma / 2.0);
+  p.traits.weekend_worker = rng.bernoulli(0.3);
+  p.traits.commuter = std::clamp(
+      (1.0 - 0.4 * p.traits.gamer / std::max(0.05, config.extraneous_scale)) *
+          sample_beta(rng, 1.7, 3.6),
+      0.0, 1.0) * config.extraneous_scale;
+
+  // --- Places -------------------------------------------------------------
+  p.home_index = pick_from_category(city, PoiCategory::kResidence, rng);
+  // Most people work at Professional venues; some study at College ones.
+  p.work_index = pick_from_category(
+      city,
+      rng.bernoulli(0.78) ? PoiCategory::kProfessional : PoiCategory::kCollege,
+      rng);
+
+  const geo::LatLon home = city.pois[p.home_index].location;
+  const std::size_t pool =
+      static_cast<std::size_t>(rng.uniform_int(28, 52));
+  p.routine_pois.reserve(pool);
+  for (std::size_t i = 0; i < pool; ++i) {
+    const std::uint32_t idx = pick_routine_poi(city, home, rng);
+    if (std::find(p.routine_pois.begin(), p.routine_pois.end(), idx) ==
+        p.routine_pois.end()) {
+      p.routine_pois.push_back(idx);
+    }
+  }
+  if (p.routine_pois.empty()) p.routine_pois.push_back(p.work_index);
+
+  // --- Study participation ------------------------------------------------
+  // Day counts spread around the configured mean (Table 1 reports averages
+  // of 14.2 / 20.8 days).
+  const double jitter = rng.uniform(0.6, 1.4);
+  p.study_days = std::max<std::size_t>(
+      3, static_cast<std::size_t>(
+             std::lround(config.mean_days_per_user * jitter)));
+  return p;
+}
+
+}  // namespace geovalid::synth

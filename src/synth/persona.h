@@ -1,0 +1,71 @@
+// Per-user persona: where the user lives and how they behave.
+#pragma once
+
+#include <vector>
+
+#include "stats/rng.h"
+#include "stats/samplers.h"
+#include "synth/config.h"
+#include "trace/gps.h"
+#include "trace/poi.h"
+#include "trace/poi_grid.h"
+
+namespace geovalid::synth {
+
+/// Read-only view of the generated city shared by all persona sampling.
+struct CityView {
+  std::span<const trace::Poi> pois;
+  const trace::PoiGrid* grid = nullptr;  ///< indexed over `pois`
+
+  /// Indices into `pois` per category (underlying enum value).
+  std::array<std::vector<std::uint32_t>, trace::kPoiCategoryCount> by_category;
+};
+
+/// Builds the categorized view over a generated city.
+[[nodiscard]] CityView make_city_view(std::span<const trace::Poi> pois,
+                                      const trace::PoiGrid& grid);
+
+/// Latent behavioural traits, all in [0, 1] except activity (~lognormal,
+/// median 1).
+struct Traits {
+  double activity = 1.0;   ///< scales every event rate
+  double gamer = 0.0;      ///< reward-seeking disposition
+  double badge_hunter = 0.0;   ///< drives remote checkins
+  double mayor_farmer = 0.0;   ///< drives superfluous checkins
+  double commuter = 0.0;       ///< drives driveby checkins
+
+  /// Scales the number of errands/outings (mean ~1). Low values describe
+  /// homebodies whose mobility is dominated by home and work — the users
+  /// whose single top POI carries most of their missing checkins (Fig. 3).
+  double errand_factor = 1.0;
+
+  /// Works weekend shifts too (service/retail schedules). Their workplace
+  /// dominates their visit history even more strongly.
+  bool weekend_worker = false;
+};
+
+/// One synthetic participant.
+struct Persona {
+  trace::UserId id = 0;
+  Traits traits;
+
+  std::uint32_t home_index = 0;  ///< index into CityView::pois
+  std::uint32_t work_index = 0;
+
+  /// Personal venue pool (indices into CityView::pois) with Zipf-like
+  /// popularity: routine_pois[0] is the user's most-frequented errand spot.
+  std::vector<std::uint32_t> routine_pois;
+
+  /// Number of study days this user contributed.
+  std::size_t study_days = 14;
+};
+
+/// Samples a persona. `user_seed_stream` decorrelates users.
+[[nodiscard]] Persona sample_persona(const StudyConfig& config,
+                                     const CityView& city, trace::UserId id,
+                                     stats::Rng& rng);
+
+/// Draws Beta(alpha, beta) via the gamma-ratio construction.
+[[nodiscard]] double sample_beta(stats::Rng& rng, double alpha, double beta);
+
+}  // namespace geovalid::synth

@@ -1,0 +1,362 @@
+#include "synth/schedule.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geo/geodesic.h"
+#include "synth/movement.h"
+
+namespace geovalid::synth {
+namespace {
+
+using trace::PoiCategory;
+using trace::TimeSec;
+using trace::hours;
+using trace::minutes;
+
+constexpr double kSecPerHour = 3600.0;
+
+TimeSec at_hour(TimeSec midnight, double hour) {
+  return midnight + static_cast<TimeSec>(std::lround(hour * kSecPerHour));
+}
+
+/// Picks the persona's recurring lunch/coffee spots near the workplace.
+struct WorkNeighborhood {
+  std::vector<std::uint32_t> lunch;   // Food venues near work
+  std::vector<std::uint32_t> coffee;  // Food/Shop venues very near work
+};
+
+WorkNeighborhood find_work_neighborhood(const CityView& city,
+                                        const Persona& persona) {
+  WorkNeighborhood wn;
+  const geo::LatLon work = city.pois[persona.work_index].location;
+  // Index ids returned by the grid equal poi.id == index + 1 (generator
+  // invariant), but translate defensively through a scan-free formula is
+  // unsafe across datasets, so map id -> index via the span.
+  for (trace::PoiId id : city.grid->within(work, 900.0)) {
+    // Generator assigns id = index + 1; bounds-check before trusting it.
+    const std::size_t idx = id - 1;
+    if (idx >= city.pois.size() || city.pois[idx].id != id) continue;
+    const PoiCategory cat = city.pois[idx].category;
+    if (cat == PoiCategory::kFood) {
+      wn.lunch.push_back(static_cast<std::uint32_t>(idx));
+      if (wn.coffee.size() < 4) wn.coffee.push_back(static_cast<std::uint32_t>(idx));
+    } else if (cat == PoiCategory::kShop && wn.coffee.size() < 4) {
+      wn.coffee.push_back(static_cast<std::uint32_t>(idx));
+    }
+  }
+  return wn;
+}
+
+/// Appends a stay and returns its departure time.
+TimeSec push_stay(std::vector<Stay>& stays, std::uint32_t poi,
+                  TimeSec arrive, TimeSec depart) {
+  if (depart > arrive) stays.push_back(Stay{poi, arrive, depart});
+  return depart;
+}
+
+struct DayContext {
+  const StudyConfig* config;
+  const CityView* city;
+  const Persona* persona;
+  stats::Rng* rng;
+  const WorkNeighborhood* work_nbhd;
+  const stats::ZipfSampler* routine_zipf;
+};
+
+std::uint32_t pick_routine(const DayContext& ctx) {
+  const auto& pool = ctx.persona->routine_pois;
+  return pool[std::min(ctx.routine_zipf->sample(*ctx.rng), pool.size() - 1)];
+}
+
+geo::LatLon loc_of(const DayContext& ctx, std::uint32_t idx) {
+  return ctx.city->pois[idx].location;
+}
+
+/// Advances `now` by the travel time from `from` to `to`.
+TimeSec advance_travel(const DayContext& ctx, TimeSec now, std::uint32_t from,
+                       std::uint32_t to) {
+  const double d = geo::fast_distance_m(loc_of(ctx, from), loc_of(ctx, to));
+  return now + travel_time(d);
+}
+
+/// Students (College workplaces) live a fragmented campus day: several
+/// class/library blocks at the *same* venue with short breaks in between.
+/// Their one campus POI ends up dominating their visit history — these are
+/// the Figure 3 users whose single top place carries >40% of missing
+/// checkins.
+void campus_day(const DayContext& ctx, std::vector<Stay>& stays,
+                std::uint32_t& here, TimeSec& now) {
+  auto& rng = *ctx.rng;
+  const Persona& p = *ctx.persona;
+
+  const auto blocks = static_cast<int>(rng.uniform_int(4, 6));
+  for (int b = 0; b < blocks; ++b) {
+    now = advance_travel(ctx, now, here, p.work_index);
+    here = p.work_index;
+    now = push_stay(stays, here, now,
+                    now + minutes(rng.uniform_int(55, 115)));
+    if (b + 1 == blocks) break;
+    // Break: sometimes a nearby food/coffee stop, otherwise wandering
+    // between buildings (no stay).
+    if (!ctx.work_nbhd->coffee.empty() && rng.bernoulli(0.35)) {
+      const std::uint32_t spot = ctx.work_nbhd->coffee[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(ctx.work_nbhd->coffee.size()) - 1))];
+      if (spot != here) {
+        now = advance_travel(ctx, now, here, spot);
+        here = spot;
+        now = push_stay(stays, here, now,
+                        now + minutes(rng.uniform_int(12, 35)));
+      }
+    } else {
+      now += minutes(rng.uniform_int(15, 40));
+    }
+  }
+}
+
+void weekday_plan(const DayContext& ctx, TimeSec midnight,
+                  std::vector<Stay>& stays) {
+  auto& rng = *ctx.rng;
+  const Persona& p = *ctx.persona;
+
+  std::uint32_t here = p.home_index;
+  // Morning at home until the commute.
+  const TimeSec leave_home = at_hour(midnight, rng.uniform(7.55, 8.3));
+  TimeSec now = push_stay(stays, here, at_hour(midnight, 6.2), leave_home);
+
+  if (ctx.city->pois[p.work_index].category == PoiCategory::kCollege) {
+    campus_day(ctx, stays, here, now);
+    // Few evening errands (students run them on campus), straight home.
+    const auto student_errands =
+        rng.poisson(0.5 * ctx.config->schedule.weekday_errands *
+                    p.traits.errand_factor);
+    for (std::uint64_t e = 0; e < student_errands; ++e) {
+      const std::uint32_t spot = pick_routine(ctx);
+      if (spot == here) continue;
+      now = advance_travel(ctx, now, here, spot);
+      here = spot;
+      now = push_stay(stays, here, now, now + minutes(rng.uniform_int(14, 42)));
+      if (now > at_hour(midnight, 21.6)) break;
+    }
+    now = advance_travel(ctx, now, here, p.home_index);
+    push_stay(stays, p.home_index, now,
+              at_hour(midnight, rng.uniform(22.8, 23.8)));
+    return;
+  }
+
+  // Optional coffee stop on the way in.
+  if (!ctx.work_nbhd->coffee.empty() && rng.bernoulli(0.5)) {
+    const std::uint32_t cafe = ctx.work_nbhd->coffee[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(ctx.work_nbhd->coffee.size()) - 1))];
+    now = advance_travel(ctx, now, here, cafe);
+    now = push_stay(stays, cafe, now, now + minutes(rng.uniform_int(7, 16)));
+    here = cafe;
+  }
+
+  // Morning work block.
+  now = advance_travel(ctx, now, here, p.work_index);
+  here = p.work_index;
+  now = push_stay(stays, here, now,
+                  at_hour(midnight, rng.uniform(11.9, 12.35)));
+
+  // Lunch.
+  std::uint32_t lunch = here;
+  if (!ctx.work_nbhd->lunch.empty()) {
+    lunch = ctx.work_nbhd->lunch[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(ctx.work_nbhd->lunch.size()) - 1))];
+  } else {
+    lunch = pick_routine(ctx);
+  }
+  now = advance_travel(ctx, now, here, lunch);
+  now = push_stay(stays, lunch, now, now + minutes(rng.uniform_int(30, 52)));
+  here = lunch;
+
+  // Afternoon work block, sometimes split by a short break outside the
+  // building (coffee run, quick errand) that fragments it into two visits.
+  now = advance_travel(ctx, now, here, p.work_index);
+  here = p.work_index;
+  const bool split_afternoon =
+      !ctx.work_nbhd->coffee.empty() && rng.bernoulli(0.45);
+  if (split_afternoon) {
+    now = push_stay(stays, here, now,
+                    at_hour(midnight, rng.uniform(14.6, 15.3)));
+    const std::uint32_t spot = ctx.work_nbhd->coffee[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(ctx.work_nbhd->coffee.size()) - 1))];
+    if (spot != here) {
+      now = advance_travel(ctx, now, here, spot);
+      now = push_stay(stays, spot, now, now + minutes(rng.uniform_int(8, 18)));
+      now = advance_travel(ctx, now, spot, p.work_index);
+    }
+  }
+  now = push_stay(stays, here, now,
+                  at_hour(midnight, rng.uniform(16.7, 17.8)));
+
+  // Evening errands (homebodies run few; social butterflies many).
+  const auto errands = rng.poisson(ctx.config->schedule.weekday_errands *
+                                   p.traits.errand_factor);
+  for (std::uint64_t e = 0; e < errands; ++e) {
+    const std::uint32_t spot = pick_routine(ctx);
+    if (spot == here) continue;
+    now = advance_travel(ctx, now, here, spot);
+    here = spot;
+    now = push_stay(stays, here, now, now + minutes(rng.uniform_int(14, 42)));
+    if (now > at_hour(midnight, 21.6)) break;
+  }
+
+  // Evening leisure (dinner, a bar) — delays the trip home, often past the
+  // end of the recording window.
+  if (rng.bernoulli(ctx.config->schedule.evening_leisure_prob)) {
+    const std::uint32_t spot = pick_routine(ctx);
+    if (spot != here) {
+      now = advance_travel(ctx, now, here, spot);
+      here = spot;
+      now = push_stay(stays, here, now, now + minutes(rng.uniform_int(45, 95)));
+    }
+  }
+
+  // Home for the evening.
+  now = advance_travel(ctx, now, here, p.home_index);
+  push_stay(stays, p.home_index, now,
+            at_hour(midnight, rng.uniform(22.8, 23.8)));
+}
+
+void weekend_plan(const DayContext& ctx, TimeSec midnight,
+                  std::vector<Stay>& stays) {
+  auto& rng = *ctx.rng;
+  const Persona& p = *ctx.persona;
+
+  std::uint32_t here = p.home_index;
+  TimeSec now = push_stay(stays, here, at_hour(midnight, 7.0),
+                          at_hour(midnight, rng.uniform(9.1, 10.6)));
+
+  // Weekend workers spend a shift at the workplace before any leisure.
+  double outing_scale = p.traits.errand_factor;
+  if (p.traits.weekend_worker && rng.bernoulli(0.75)) {
+    now = advance_travel(ctx, now, here, p.work_index);
+    here = p.work_index;
+    now = push_stay(stays, here, now,
+                    at_hour(midnight, rng.uniform(13.2, 13.8)));
+    if (!ctx.work_nbhd->lunch.empty()) {
+      const std::uint32_t spot = ctx.work_nbhd->lunch[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(ctx.work_nbhd->lunch.size()) - 1))];
+      if (spot != here) {
+        now = advance_travel(ctx, now, here, spot);
+        now = push_stay(stays, spot, now, now + minutes(rng.uniform_int(25, 45)));
+        now = advance_travel(ctx, now, spot, p.work_index);
+      }
+    }
+    now = push_stay(stays, here, now,
+                    at_hour(midnight, rng.uniform(17.0, 17.8)));
+    outing_scale *= 0.4;  // a worked weekend leaves little leisure time
+  }
+
+  const auto outings = std::max<std::uint64_t>(
+      1, rng.poisson(ctx.config->schedule.weekend_outings * outing_scale));
+  for (std::uint64_t o = 0; o < outings; ++o) {
+    const std::uint32_t spot = pick_routine(ctx);
+    if (spot == here) continue;
+    now = advance_travel(ctx, now, here, spot);
+    here = spot;
+    now = push_stay(stays, here, now, now + minutes(rng.uniform_int(24, 85)));
+    // Occasionally swing home between outings.
+    if (rng.bernoulli(0.15) && o + 1 < outings) {
+      now = advance_travel(ctx, now, here, p.home_index);
+      here = p.home_index;
+      now = push_stay(stays, here, now, now + minutes(rng.uniform_int(35, 95)));
+    }
+    if (now > at_hour(midnight, 21.5)) break;
+  }
+
+  now = advance_travel(ctx, now, here, p.home_index);
+  push_stay(stays, p.home_index, now,
+            at_hour(midnight, rng.uniform(22.6, 23.9)));
+}
+
+}  // namespace
+
+Itinerary generate_itinerary(const StudyConfig& config, const CityView& city,
+                             const Persona& persona, stats::Rng& rng) {
+  Itinerary it;
+  const WorkNeighborhood wn = find_work_neighborhood(city, persona);
+  const stats::ZipfSampler routine_zipf(persona.routine_pois.size(), 0.55);
+  const DayContext ctx{&config, &city, &persona, &rng, &wn, &routine_zipf};
+
+  for (std::size_t day = 0; day < persona.study_days; ++day) {
+    const TimeSec midnight =
+        config.study_start + trace::days(static_cast<TimeSec>(day));
+    // Study start is a Tuesday; day indices 4 and 5 of each week land on
+    // Saturday/Sunday.
+    const std::size_t dow = day % 7;
+    const bool weekend = dow == 4 || dow == 5;
+
+    if (weekend) {
+      weekend_plan(ctx, midnight, it.stays);
+    } else {
+      weekday_plan(ctx, midnight, it.stays);
+    }
+
+    // Recording window: start jitters enough that on some days the phone
+    // starts logging only after the user left home (this is one source of
+    // days without a morning home visit). Weekends start later still.
+    const double base_start =
+        config.schedule.recording_start_hour +
+        (weekend ? config.schedule.weekend_start_offset_hours : 0.0);
+    const double start_h = rng.uniform(base_start - 0.9, base_start + 1.3);
+    const double len_h = config.schedule.recording_hours * rng.uniform(0.9, 1.08);
+    it.windows.push_back(RecordingWindow{
+        at_hour(midnight, start_h), at_hour(midnight, start_h + len_h)});
+  }
+
+  // Guard the invariant the movement synthesizer relies on.
+  for (std::size_t i = 1; i < it.stays.size(); ++i) {
+    if (it.stays[i].arrive < it.stays[i - 1].depart) {
+      it.stays[i].arrive = it.stays[i - 1].depart;
+      if (it.stays[i].depart < it.stays[i].arrive) {
+        it.stays[i].depart = it.stays[i].arrive;
+      }
+    }
+  }
+  std::erase_if(it.stays, [](const Stay& s) { return s.depart <= s.arrive; });
+  return it;
+}
+
+void apply_appointments(Itinerary& itinerary,
+                        std::span<const Appointment> appointments) {
+  constexpr TimeSec kTravelAllowance = minutes(12);
+
+  for (const Appointment& appt : appointments) {
+    const TimeSec blocked_from = appt.start - kTravelAllowance;
+    const TimeSec blocked_to = appt.end + kTravelAllowance;
+
+    for (Stay& s : itinerary.stays) {
+      if (s.depart <= blocked_from || s.arrive >= blocked_to) continue;
+      if (s.arrive < blocked_from) {
+        // Stay runs into the appointment window: leave early.
+        s.depart = blocked_from;
+      } else if (s.depart > blocked_to) {
+        // Stay starts inside the window: arrive late.
+        s.arrive = blocked_to;
+      } else {
+        // Fully swallowed by the window: drop (zero-length stays are
+        // erased below).
+        s.depart = s.arrive;
+      }
+    }
+    itinerary.stays.push_back(Stay{appt.poi_index, appt.start, appt.end});
+  }
+
+  std::sort(itinerary.stays.begin(), itinerary.stays.end(),
+            [](const Stay& a, const Stay& b) { return a.arrive < b.arrive; });
+  for (std::size_t i = 1; i < itinerary.stays.size(); ++i) {
+    if (itinerary.stays[i].arrive < itinerary.stays[i - 1].depart) {
+      itinerary.stays[i].arrive = itinerary.stays[i - 1].depart;
+      if (itinerary.stays[i].depart < itinerary.stays[i].arrive) {
+        itinerary.stays[i].depart = itinerary.stays[i].arrive;
+      }
+    }
+  }
+  std::erase_if(itinerary.stays,
+                [](const Stay& s) { return s.depart <= s.arrive; });
+}
+
+}  // namespace geovalid::synth

@@ -1,0 +1,59 @@
+// Daily routine synthesis: turns a persona into a timetable of stays.
+//
+// The timetable is ground truth — the user's *actual* movement. Everything
+// downstream (GPS sampling, visit detection, checkin behaviour) derives
+// from it, which is what lets the study compare "what users did" against
+// "what users checked in".
+#pragma once
+
+#include <vector>
+
+#include "stats/rng.h"
+#include "synth/config.h"
+#include "synth/persona.h"
+
+namespace geovalid::synth {
+
+/// One ground-truth stay at a venue.
+struct Stay {
+  std::uint32_t poi_index = 0;  ///< into CityView::pois
+  trace::TimeSec arrive = 0;
+  trace::TimeSec depart = 0;
+};
+
+/// One day's GPS recording window (the app logs only while the phone is
+/// awake and permitted).
+struct RecordingWindow {
+  trace::TimeSec start = 0;
+  trace::TimeSec end = 0;
+};
+
+/// A user's full ground-truth itinerary over the study.
+struct Itinerary {
+  std::vector<Stay> stays;               ///< time-ordered, non-overlapping
+  std::vector<RecordingWindow> windows;  ///< one per study day
+};
+
+/// Generates the full itinerary for one persona. Deterministic given rng
+/// state. Stays are strictly ordered and separated by the travel time the
+/// movement synthesizer will expand into trips.
+[[nodiscard]] Itinerary generate_itinerary(const StudyConfig& config,
+                                           const CityView& city,
+                                           const Persona& persona,
+                                           stats::Rng& rng);
+
+/// A pre-arranged stay (a joint outing with a friend) that must appear in
+/// the itinerary as scheduled.
+struct Appointment {
+  std::uint32_t poi_index = 0;
+  trace::TimeSec start = 0;
+  trace::TimeSec end = 0;
+};
+
+/// Weaves appointments into an itinerary: conflicting stays are truncated
+/// or dropped (with a travel allowance on both sides) and the appointment
+/// stays inserted. Appointments must not overlap each other.
+void apply_appointments(Itinerary& itinerary,
+                        std::span<const Appointment> appointments);
+
+}  // namespace geovalid::synth

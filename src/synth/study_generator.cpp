@@ -1,0 +1,223 @@
+#include "synth/study_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "geo/geodesic.h"
+#include "synth/city.h"
+#include "synth/movement.h"
+#include "synth/persona.h"
+#include "synth/schedule.h"
+#include "trace/visit_detector.h"
+
+namespace geovalid::synth {
+namespace {
+
+trace::UserProfile make_profile(const Persona& persona,
+                                std::size_t total_checkins,
+                                std::size_t friend_count,
+                                stats::Rng& rng) {
+  const Traits& t = persona.traits;
+  const double act = std::min(t.activity, 2.2);
+
+  trace::UserProfile prof;
+  // Badges accrue mostly from badge hunting (remote checkins unlock venue
+  // badges); mayorships from persistently re-checking venues (superfluous
+  // bursts); friends blend the true social degree with general platform
+  // engagement, only loosely coupled to gaming (Table 2's friends column is
+  // the weakest).
+  prof.badges = static_cast<std::uint32_t>(
+      rng.poisson(1.5 + 55.0 * t.badge_hunter * act));
+  prof.mayorships = static_cast<std::uint32_t>(
+      rng.poisson(0.3 + 8.5 * t.mayor_farmer * act));
+  prof.friends = static_cast<std::uint32_t>(
+      rng.poisson(3.0 + static_cast<double>(friend_count) + 11.0 * t.gamer +
+                  3.0 * act));
+  // The profile reports a *long-run* rate: the study window is a noisy
+  // sample of it. The lognormal factor models that mismatch and keeps the
+  // checkins-per-day correlations from saturating.
+  const double window_rate =
+      persona.study_days == 0
+          ? 0.0
+          : static_cast<double>(total_checkins) /
+                static_cast<double>(persona.study_days);
+  prof.checkins_per_day = window_rate * std::exp(rng.normal(0.0, 0.5));
+  return prof;
+}
+
+/// Venue for a joint outing: a Food/Nightlife place near the pair's home
+/// midpoint; any venue near the midpoint as fallback.
+std::optional<std::uint32_t> outing_venue(const CityView& city,
+                                          const geo::LatLon& midpoint,
+                                          double radius_m, stats::Rng& rng) {
+  const auto ids = city.grid->within(midpoint, radius_m);
+  std::vector<std::uint32_t> candidates;
+  std::vector<std::uint32_t> fallback;
+  for (trace::PoiId id : ids) {
+    const std::size_t idx = id - 1;
+    if (idx >= city.pois.size() || city.pois[idx].id != id) continue;
+    const trace::PoiCategory cat = city.pois[idx].category;
+    if (cat == trace::PoiCategory::kFood ||
+        cat == trace::PoiCategory::kNightlife) {
+      candidates.push_back(static_cast<std::uint32_t>(idx));
+    } else {
+      fallback.push_back(static_cast<std::uint32_t>(idx));
+    }
+  }
+  const auto& pool = candidates.empty() ? fallback : candidates;
+  if (pool.empty()) return std::nullopt;
+  return pool[static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(pool.size()) - 1))];
+}
+
+}  // namespace
+
+GeneratedStudy generate_study(const StudyConfig& config) {
+  stats::Rng root(config.seed);
+
+  // City and its indices.
+  std::vector<trace::Poi> pois = generate_city(config.city, root);
+  trace::PoiIndex poi_index(std::move(pois));
+  const trace::PoiGrid grid(poi_index.all(), 500.0);
+  const CityView city = make_city_view(poi_index.all(), grid);
+
+  const trace::VisitDetector detector;
+
+  // --- Pass 1: personas (per-user forked streams) --------------------------
+  const std::size_t n = config.user_count;
+  std::vector<stats::Rng> user_rngs;
+  std::vector<Persona> personas;
+  user_rngs.reserve(n);
+  personas.reserve(n);
+  for (std::size_t u = 0; u < n; ++u) {
+    user_rngs.push_back(root.fork(static_cast<std::uint64_t>(u) + 1));
+    personas.push_back(sample_persona(config, city,
+                                      static_cast<trace::UserId>(u + 1),
+                                      user_rngs.back()));
+  }
+
+  // --- Pass 2: friendship graph + joint outings ----------------------------
+  GeneratedStudy study;
+  std::vector<std::vector<Appointment>> appointments(n);
+  std::vector<std::size_t> degree(n, 0);
+  {
+    stats::Rng social_rng = root.fork(0xF00D);
+    for (std::size_t a = 0; a < n; ++a) {
+      const geo::LatLon home_a = city.pois[personas[a].home_index].location;
+      for (std::size_t b = a + 1; b < n; ++b) {
+        const geo::LatLon home_b = city.pois[personas[b].home_index].location;
+        const double d = geo::fast_distance_m(home_a, home_b);
+        const double p = config.social.friend_prob_base *
+                         std::exp(-d / config.social.friend_distance_scale_m);
+        if (!social_rng.bernoulli(p)) continue;
+
+        study.friendships.emplace_back(personas[a].id, personas[b].id);
+        ++degree[a];
+        ++degree[b];
+
+        // Joint evening outings over the days both users participate.
+        const auto shared_days = static_cast<double>(
+            std::min(personas[a].study_days, personas[b].study_days));
+        const auto outings = social_rng.poisson(
+            config.social.covisits_per_week * shared_days / 7.0);
+        const geo::LatLon midpoint{(home_a.lat_deg + home_b.lat_deg) / 2.0,
+                                   (home_a.lon_deg + home_b.lon_deg) / 2.0};
+        // Each friendship has a regular spot ("their" bar) — repeated
+        // meetings at one venue are both realistic and what co-location
+        // inference keys on.
+        const auto venue = outing_venue(
+            city, midpoint, config.social.outing_radius_m, social_rng);
+        if (!venue) continue;
+        // An outing only happens when *both* calendars are free — checked
+        // here at creation so the pair always attends together (a one-sided
+        // appointment would produce no co-location signal at all).
+        auto busy = [&](const std::vector<Appointment>& list,
+                        trace::TimeSec start, trace::TimeSec end) {
+          for (const Appointment& appt : list) {
+            if (start < appt.end + 600 && end + 600 > appt.start) return true;
+          }
+          return false;
+        };
+        for (std::uint64_t o = 0; o < outings; ++o) {
+          const auto day = social_rng.uniform_int(
+              0, static_cast<std::int64_t>(shared_days) - 1);
+          const trace::TimeSec start =
+              config.study_start + trace::days(day) +
+              static_cast<trace::TimeSec>(
+                  social_rng.uniform(17.4, 18.9) * 3600.0);
+          const trace::TimeSec end =
+              start + trace::minutes(social_rng.uniform_int(55, 100));
+          if (busy(appointments[a], start, end) ||
+              busy(appointments[b], start, end)) {
+            continue;
+          }
+          appointments[a].push_back(Appointment{*venue, start, end});
+          appointments[b].push_back(Appointment{*venue, start, end});
+          if (std::getenv("GEOVALID_DEBUG_SOCIAL") != nullptr) {
+            std::fprintf(stderr, "[social] outing %u-%u venue=%u day=%lld %lld-%lld\n",
+                         personas[a].id, personas[b].id, city.pois[*venue].id,
+                         static_cast<long long>(day),
+                         static_cast<long long>(start), static_cast<long long>(end));
+          }
+        }
+      }
+    }
+    std::size_t total_appts = 0;
+    for (auto& list : appointments) total_appts += list.size();
+    if (std::getenv("GEOVALID_DEBUG_SOCIAL") != nullptr) {
+      std::fprintf(stderr, "[social] friendships=%zu appointments=%zu\n",
+                   study.friendships.size(), total_appts);
+    }
+    for (auto& list : appointments) {
+      std::sort(list.begin(), list.end(),
+                [](const Appointment& x, const Appointment& y) {
+                  return x.start < y.start;
+                });
+    }
+  }
+
+  // --- Pass 3: per-user traces ---------------------------------------------
+  std::vector<trace::UserRecord> users;
+  users.reserve(n);
+  for (std::size_t u = 0; u < n; ++u) {
+    stats::Rng& rng = user_rngs[u];
+    const Persona& persona = personas[u];
+
+    Itinerary itinerary = generate_itinerary(config, city, persona, rng);
+    apply_appointments(itinerary, appointments[u]);
+    const MovementResult movement =
+        synthesize_movement(config, city, itinerary, rng);
+    std::vector<LabeledCheckin> labeled =
+        generate_checkins(config, city, persona, itinerary, movement, rng);
+
+    trace::UserRecord rec;
+    rec.id = persona.id;
+    rec.gps = std::move(movement.gps);
+
+    std::vector<trace::Checkin> events;
+    std::vector<TrueBehavior> labels;
+    events.reserve(labeled.size());
+    labels.reserve(labeled.size());
+    for (const LabeledCheckin& lc : labeled) {
+      events.push_back(lc.checkin);
+      labels.push_back(lc.truth);
+    }
+    rec.checkins = trace::CheckinTrace(std::move(events));
+    rec.profile = make_profile(persona, rec.checkins.size(), degree[u], rng);
+
+    // The measurement path: detect visits from the raw GPS samples.
+    rec.visits = detector.detect(rec.gps);
+    detector.snap_to_pois(rec.visits, poi_index);
+
+    study.truth.emplace(persona.id, std::move(labels));
+    users.push_back(std::move(rec));
+  }
+
+  study.dataset =
+      trace::Dataset(config.name, std::move(poi_index), std::move(users));
+  return study;
+}
+
+}  // namespace geovalid::synth

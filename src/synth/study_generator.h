@@ -1,0 +1,40 @@
+// Top-level synthetic study generator.
+//
+// This is the documented substitute for the paper's private user study
+// (DESIGN.md §2): it produces a Dataset with matched GPS and Foursquare
+// traces for every synthetic user, plus the generator's ground-truth
+// behaviour labels, which the test suite uses to score the matcher.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "synth/checkin_model.h"
+#include "synth/config.h"
+#include "trace/dataset.h"
+
+namespace geovalid::synth {
+
+/// A generated study: the dataset as the measurement pipeline sees it, plus
+/// ground truth the pipeline is *not* allowed to see.
+struct GeneratedStudy {
+  trace::Dataset dataset;
+
+  /// Per-user ground-truth label of each checkin, aligned with
+  /// UserRecord::checkins event order.
+  std::map<trace::UserId, std::vector<TrueBehavior>> truth;
+
+  /// The ground-truth friendship graph (unordered pairs, first < second).
+  /// Friends go on joint outings, which is what gives friendship-inference
+  /// applications their co-location signal.
+  std::vector<std::pair<trace::UserId, trace::UserId>> friendships;
+};
+
+/// Generates a complete study from a config. Deterministic in config.seed.
+///
+/// The returned dataset already contains detected visits: the generator runs
+/// the same VisitDetector a real deployment would run over the raw GPS
+/// samples (it does NOT leak the itinerary's ground-truth stays).
+[[nodiscard]] GeneratedStudy generate_study(const StudyConfig& config);
+
+}  // namespace geovalid::synth

@@ -1,0 +1,286 @@
+#include "trace/csv.h"
+
+#include <charconv>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace geovalid::trace {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string sanitize(std::string_view name) {
+  std::string out(name);
+  for (char& c : out) {
+    if (c == ',' || c == '\n' || c == '\r') c = ' ';
+  }
+  return out;
+}
+
+[[noreturn]] void fail(const fs::path& file, std::size_t line,
+                       const std::string& what) {
+  std::ostringstream os;
+  os << file.string() << ":" << line << ": " << what;
+  throw std::runtime_error(os.str());
+}
+
+std::vector<std::string_view> split(std::string_view line) {
+  std::vector<std::string_view> fields;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t comma = line.find(',', start);
+    if (comma == std::string_view::npos) {
+      fields.push_back(line.substr(start));
+      break;
+    }
+    fields.push_back(line.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return fields;
+}
+
+template <typename T>
+T parse_num(std::string_view s, const fs::path& file, std::size_t line) {
+  T value{};
+  if constexpr (std::is_floating_point_v<T>) {
+    // std::from_chars for doubles is not universally available; strtod via
+    // a bounded copy keeps this portable.
+    char buf[64];
+    if (s.size() >= sizeof(buf)) fail(file, line, "numeric field too long");
+    std::memcpy(buf, s.data(), s.size());
+    buf[s.size()] = '\0';
+    char* end = nullptr;
+    value = static_cast<T>(std::strtod(buf, &end));
+    if (end != buf + s.size()) fail(file, line, "bad floating-point field");
+  } else {
+    const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+    if (ec != std::errc{} || ptr != s.data() + s.size()) {
+      fail(file, line, "bad integer field");
+    }
+  }
+  return value;
+}
+
+std::ofstream open_out(const fs::path& p) {
+  std::ofstream out(p);
+  if (!out) throw std::runtime_error("cannot open for write: " + p.string());
+  return out;
+}
+
+std::ifstream open_in(const fs::path& p) {
+  std::ifstream in(p);
+  if (!in) throw std::runtime_error("cannot open for read: " + p.string());
+  return in;
+}
+
+}  // namespace
+
+void write_dataset_csv(const Dataset& ds, const fs::path& dir) {
+  fs::create_directories(dir);
+
+  {
+    auto out = open_out(dir / "pois.csv");
+    out.precision(10);
+    out << "id,name,category,lat,lon\n";
+    for (const Poi& p : ds.pois().all()) {
+      out << p.id << ',' << sanitize(p.name) << ',' << to_string(p.category)
+          << ',' << p.location.lat_deg << ',' << p.location.lon_deg << '\n';
+    }
+  }
+  {
+    auto out = open_out(dir / "users.csv");
+    out << "id,friends,badges,mayorships,checkins_per_day\n";
+    for (const UserRecord& u : ds.users()) {
+      out << u.id << ',' << u.profile.friends << ',' << u.profile.badges << ','
+          << u.profile.mayorships << ',' << u.profile.checkins_per_day << '\n';
+    }
+  }
+  {
+    auto out = open_out(dir / "gps.csv");
+    out << "user,t,lat,lon,has_fix,wifi,accel_var\n";
+    out.precision(10);
+    for (const UserRecord& u : ds.users()) {
+      for (const GpsPoint& p : u.gps.points()) {
+        out << u.id << ',' << p.t << ',' << p.position.lat_deg << ','
+            << p.position.lon_deg << ',' << (p.has_fix ? 1 : 0) << ','
+            << p.wifi_fingerprint << ',' << p.accel_variance << '\n';
+      }
+    }
+  }
+  {
+    auto out = open_out(dir / "checkins.csv");
+    out << "user,t,poi,category,lat,lon\n";
+    out.precision(10);
+    for (const UserRecord& u : ds.users()) {
+      for (const Checkin& c : u.checkins.events()) {
+        out << u.id << ',' << c.t << ',' << c.poi << ','
+            << to_string(c.category) << ',' << c.location.lat_deg << ','
+            << c.location.lon_deg << '\n';
+      }
+    }
+  }
+  {
+    auto out = open_out(dir / "visits.csv");
+    out << "user,start,end,lat,lon,poi\n";
+    out.precision(10);
+    for (const UserRecord& u : ds.users()) {
+      for (const Visit& v : u.visits) {
+        out << u.id << ',' << v.start << ',' << v.end << ','
+            << v.centroid.lat_deg << ',' << v.centroid.lon_deg << ',' << v.poi
+            << '\n';
+      }
+    }
+  }
+}
+
+Dataset read_dataset_csv(const fs::path& dir, const std::string& name) {
+  // POIs.
+  std::vector<Poi> pois;
+  {
+    const fs::path file = dir / "pois.csv";
+    auto in = open_in(file);
+    std::string line;
+    std::size_t lineno = 0;
+    std::getline(in, line);  // header
+    ++lineno;
+    while (std::getline(in, line)) {
+      ++lineno;
+      if (line.empty()) continue;
+      const auto f = split(line);
+      if (f.size() != 5) fail(file, lineno, "expected 5 fields");
+      Poi p;
+      p.id = parse_num<PoiId>(f[0], file, lineno);
+      p.name = std::string(f[1]);
+      const auto cat = parse_poi_category(f[2]);
+      if (!cat) fail(file, lineno, "unknown POI category");
+      p.category = *cat;
+      p.location = geo::LatLon{parse_num<double>(f[3], file, lineno),
+                               parse_num<double>(f[4], file, lineno)};
+      pois.push_back(std::move(p));
+    }
+  }
+
+  // Users, keyed for trace attachment.
+  std::map<UserId, UserRecord> users;
+  {
+    const fs::path file = dir / "users.csv";
+    auto in = open_in(file);
+    std::string line;
+    std::size_t lineno = 0;
+    std::getline(in, line);
+    ++lineno;
+    while (std::getline(in, line)) {
+      ++lineno;
+      if (line.empty()) continue;
+      const auto f = split(line);
+      if (f.size() != 5) fail(file, lineno, "expected 5 fields");
+      UserRecord u;
+      u.id = parse_num<UserId>(f[0], file, lineno);
+      u.profile.friends = parse_num<std::uint32_t>(f[1], file, lineno);
+      u.profile.badges = parse_num<std::uint32_t>(f[2], file, lineno);
+      u.profile.mayorships = parse_num<std::uint32_t>(f[3], file, lineno);
+      u.profile.checkins_per_day = parse_num<double>(f[4], file, lineno);
+      const UserId id = u.id;
+      if (!users.emplace(id, std::move(u)).second) {
+        fail(file, lineno, "duplicate user id");
+      }
+    }
+  }
+
+  auto require_user = [&users](UserId id, const fs::path& file,
+                               std::size_t lineno) -> UserRecord& {
+    const auto it = users.find(id);
+    if (it == users.end()) fail(file, lineno, "row references unknown user");
+    return it->second;
+  };
+
+  // GPS points (file is grouped by user, time-ascending per user).
+  {
+    const fs::path file = dir / "gps.csv";
+    auto in = open_in(file);
+    std::string line;
+    std::size_t lineno = 0;
+    std::getline(in, line);
+    ++lineno;
+    while (std::getline(in, line)) {
+      ++lineno;
+      if (line.empty()) continue;
+      const auto f = split(line);
+      if (f.size() != 7) fail(file, lineno, "expected 7 fields");
+      const auto id = parse_num<UserId>(f[0], file, lineno);
+      GpsPoint p;
+      p.t = parse_num<TimeSec>(f[1], file, lineno);
+      p.position = geo::LatLon{parse_num<double>(f[2], file, lineno),
+                               parse_num<double>(f[3], file, lineno)};
+      p.has_fix = parse_num<int>(f[4], file, lineno) != 0;
+      p.wifi_fingerprint = parse_num<std::uint32_t>(f[5], file, lineno);
+      p.accel_variance = parse_num<double>(f[6], file, lineno);
+      require_user(id, file, lineno).gps.append(p);
+    }
+  }
+
+  // Checkins.
+  {
+    const fs::path file = dir / "checkins.csv";
+    auto in = open_in(file);
+    std::string line;
+    std::size_t lineno = 0;
+    std::getline(in, line);
+    ++lineno;
+    while (std::getline(in, line)) {
+      ++lineno;
+      if (line.empty()) continue;
+      const auto f = split(line);
+      if (f.size() != 6) fail(file, lineno, "expected 6 fields");
+      const auto id = parse_num<UserId>(f[0], file, lineno);
+      Checkin c;
+      c.t = parse_num<TimeSec>(f[1], file, lineno);
+      c.poi = parse_num<PoiId>(f[2], file, lineno);
+      const auto cat = parse_poi_category(f[3]);
+      if (!cat) fail(file, lineno, "unknown POI category");
+      c.category = *cat;
+      c.location = geo::LatLon{parse_num<double>(f[4], file, lineno),
+                               parse_num<double>(f[5], file, lineno)};
+      require_user(id, file, lineno).checkins.append(c);
+    }
+  }
+
+  // Visits.
+  {
+    const fs::path file = dir / "visits.csv";
+    auto in = open_in(file);
+    std::string line;
+    std::size_t lineno = 0;
+    std::getline(in, line);
+    ++lineno;
+    while (std::getline(in, line)) {
+      ++lineno;
+      if (line.empty()) continue;
+      const auto f = split(line);
+      if (f.size() != 6) fail(file, lineno, "expected 6 fields");
+      const auto id = parse_num<UserId>(f[0], file, lineno);
+      Visit v;
+      v.start = parse_num<TimeSec>(f[1], file, lineno);
+      v.end = parse_num<TimeSec>(f[2], file, lineno);
+      v.centroid = geo::LatLon{parse_num<double>(f[3], file, lineno),
+                               parse_num<double>(f[4], file, lineno)};
+      v.poi = parse_num<PoiId>(f[5], file, lineno);
+      require_user(id, file, lineno).visits.push_back(v);
+    }
+  }
+
+  std::vector<UserRecord> user_list;
+  user_list.reserve(users.size());
+  for (auto& [id, u] : users) user_list.push_back(std::move(u));
+
+  return Dataset(name, PoiIndex(std::move(pois)), std::move(user_list));
+}
+
+}  // namespace geovalid::trace

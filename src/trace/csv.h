@@ -1,0 +1,32 @@
+// CSV persistence for datasets.
+//
+// The on-disk layout is one directory per dataset:
+//   pois.csv      id,name,category,lat,lon
+//   users.csv     id,friends,badges,mayorships,checkins_per_day
+//   gps.csv       user,t,lat,lon,has_fix,wifi,accel_var
+//   checkins.csv  user,t,poi,category,lat,lon
+//   visits.csv    user,start,end,lat,lon,poi
+//
+// Values never contain commas (POI names are sanitized on write), so no
+// quoting layer is needed.
+#pragma once
+
+#include <filesystem>
+#include <iosfwd>
+#include <string>
+
+#include "trace/dataset.h"
+
+namespace geovalid::trace {
+
+/// Writes `ds` under `dir` (created if absent). Throws std::runtime_error on
+/// I/O failure.
+void write_dataset_csv(const Dataset& ds, const std::filesystem::path& dir);
+
+/// Loads a dataset previously written by write_dataset_csv. Throws
+/// std::runtime_error on missing files or malformed rows (message carries
+/// file and line number).
+[[nodiscard]] Dataset read_dataset_csv(const std::filesystem::path& dir,
+                                       const std::string& name);
+
+}  // namespace geovalid::trace

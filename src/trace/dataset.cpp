@@ -1,0 +1,29 @@
+#include "trace/dataset.h"
+
+namespace geovalid::trace {
+
+Dataset::Dataset(std::string name, PoiIndex pois, std::vector<UserRecord> users)
+    : name_(std::move(name)), pois_(std::move(pois)), users_(std::move(users)) {}
+
+const UserRecord* Dataset::find_user(UserId id) const {
+  for (const UserRecord& u : users_) {
+    if (u.id == id) return &u;
+  }
+  return nullptr;
+}
+
+DatasetStats compute_stats(const Dataset& ds) {
+  DatasetStats s;
+  s.users = ds.user_count();
+  double day_sum = 0.0;
+  for (const UserRecord& u : ds.users()) {
+    day_sum += u.gps.span_days();
+    s.checkins += u.checkins.size();
+    s.visits += u.visits.size();
+    s.gps_points += u.gps.size();
+  }
+  s.avg_days_per_user = s.users == 0 ? 0.0 : day_sum / static_cast<double>(s.users);
+  return s;
+}
+
+}  // namespace geovalid::trace

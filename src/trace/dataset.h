@@ -1,0 +1,49 @@
+// A complete study dataset: POI universe plus all user records.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "trace/poi.h"
+#include "trace/user.h"
+
+namespace geovalid::trace {
+
+/// One of the paper's two datasets (Primary: app-store Foursquare users;
+/// Baseline: recruited undergraduate volunteers).
+class Dataset {
+ public:
+  Dataset() = default;
+  Dataset(std::string name, PoiIndex pois, std::vector<UserRecord> users);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const PoiIndex& pois() const { return pois_; }
+  [[nodiscard]] std::span<const UserRecord> users() const { return users_; }
+  [[nodiscard]] std::size_t user_count() const { return users_.size(); }
+
+  /// nullptr when no user carries that id.
+  [[nodiscard]] const UserRecord* find_user(UserId id) const;
+
+  /// Mutable access for pipeline stages that fill in detected visits.
+  [[nodiscard]] std::span<UserRecord> mutable_users() { return users_; }
+
+ private:
+  std::string name_;
+  PoiIndex pois_;
+  std::vector<UserRecord> users_;
+};
+
+/// Table 1 row: headline statistics of one dataset.
+struct DatasetStats {
+  std::size_t users = 0;
+  double avg_days_per_user = 0.0;
+  std::size_t checkins = 0;
+  std::size_t visits = 0;
+  std::size_t gps_points = 0;
+};
+
+/// Computes the Table 1 row for `ds`.
+[[nodiscard]] DatasetStats compute_stats(const Dataset& ds);
+
+}  // namespace geovalid::trace

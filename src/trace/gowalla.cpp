@@ -1,0 +1,167 @@
+#include "trace/gowalla.h"
+
+#include <charconv>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace geovalid::trace {
+namespace {
+
+[[noreturn]] void fail(const std::filesystem::path& file, std::size_t line,
+                       const std::string& what) {
+  std::ostringstream os;
+  os << file.string() << ":" << line << ": " << what;
+  throw std::runtime_error(os.str());
+}
+
+/// Parses "YYYY-MM-DDTHH:MM:SSZ" into Unix seconds; nullopt on mismatch.
+std::optional<TimeSec> parse_iso8601(std::string_view s) {
+  std::tm tm{};
+  if (s.size() < 20 || s[4] != '-' || s[7] != '-' || s[10] != 'T' ||
+      s[13] != ':' || s[16] != ':' || s.back() != 'Z') {
+    return std::nullopt;
+  }
+  auto num = [&](std::size_t pos, std::size_t len, int& out) {
+    const auto [p, ec] =
+        std::from_chars(s.data() + pos, s.data() + pos + len, out);
+    return ec == std::errc{} && p == s.data() + pos + len;
+  };
+  int year, month, day, hour, minute, second;
+  if (!num(0, 4, year) || !num(5, 2, month) || !num(8, 2, day) ||
+      !num(11, 2, hour) || !num(14, 2, minute) || !num(17, 2, second)) {
+    return std::nullopt;
+  }
+  tm.tm_year = year - 1900;
+  tm.tm_mon = month - 1;
+  tm.tm_mday = day;
+  tm.tm_hour = hour;
+  tm.tm_min = minute;
+  tm.tm_sec = second;
+  const std::time_t t = timegm(&tm);
+  if (t == static_cast<std::time_t>(-1)) return std::nullopt;
+  return static_cast<TimeSec>(t);
+}
+
+std::vector<std::string_view> split_tabs(std::string_view line) {
+  std::vector<std::string_view> fields;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t tab = line.find('\t', start);
+    if (tab == std::string_view::npos) {
+      fields.push_back(line.substr(start));
+      break;
+    }
+    fields.push_back(line.substr(start, tab - start));
+    start = tab + 1;
+  }
+  return fields;
+}
+
+std::optional<double> parse_double(std::string_view s) {
+  char buf[64];
+  if (s.empty() || s.size() >= sizeof(buf)) return std::nullopt;
+  std::memcpy(buf, s.data(), s.size());
+  buf[s.size()] = '\0';
+  char* end = nullptr;
+  const double v = std::strtod(buf, &end);
+  if (end != buf + s.size()) return std::nullopt;
+  return v;
+}
+
+template <typename T>
+std::optional<T> parse_uint(std::string_view s) {
+  T v{};
+  const auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || p != s.data() + s.size()) return std::nullopt;
+  return v;
+}
+
+}  // namespace
+
+Dataset read_gowalla_checkins(const std::filesystem::path& file,
+                              const std::string& dataset_name,
+                              const GowallaImportOptions& options) {
+  std::ifstream in(file);
+  if (!in) {
+    throw std::runtime_error("cannot open for read: " + file.string());
+  }
+
+  std::map<UserId, std::vector<Checkin>> per_user;
+  std::map<PoiId, Poi> venues;
+
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+
+    const auto f = split_tabs(line);
+    auto reject = [&](const char* what) -> bool {
+      if (options.skip_invalid_rows) return true;  // caller: skip this row
+      fail(file, lineno, what);
+    };
+
+    if (f.size() != 5) {
+      if (reject("expected 5 tab-separated fields")) continue;
+    }
+    const auto user = parse_uint<UserId>(f[0]);
+    const auto t = parse_iso8601(f[1]);
+    const auto lat = parse_double(f[2]);
+    const auto lon = parse_double(f[3]);
+    const auto venue = parse_uint<PoiId>(f[4]);
+    if (!user || !t || !lat || !lon || !venue) {
+      if (reject("malformed field")) continue;
+    }
+    const geo::LatLon where{*lat, *lon};
+    if (!geo::is_valid(where)) {
+      if (reject("coordinate out of range")) continue;
+    }
+    if (options.max_users > 0 && per_user.size() >= options.max_users &&
+        per_user.find(*user) == per_user.end()) {
+      continue;
+    }
+
+    // SNAP venue ids start at 0; shift by one to keep kNoPoi free.
+    const PoiId poi = *venue + 1;
+    if (poi == kNoPoi) {
+      if (reject("venue id collides with the sentinel")) continue;
+    }
+    const auto [it, inserted] = venues.try_emplace(poi);
+    if (inserted) {
+      it->second.id = poi;
+      it->second.name = "venue-" + std::string(f[4]);
+      it->second.category = PoiCategory::kProfessional;  // unknown in SNAP
+      it->second.location = where;
+    }
+
+    Checkin c;
+    c.t = *t;
+    c.poi = poi;
+    c.category = it->second.category;
+    c.location = it->second.location;  // first-seen venue position
+    per_user[*user].push_back(c);
+  }
+
+  std::vector<Poi> pois;
+  pois.reserve(venues.size());
+  for (auto& [id, poi] : venues) pois.push_back(std::move(poi));
+
+  std::vector<UserRecord> users;
+  users.reserve(per_user.size());
+  for (auto& [id, events] : per_user) {
+    UserRecord rec;
+    rec.id = id;
+    rec.checkins = CheckinTrace(std::move(events));
+    rec.profile.checkins_per_day = rec.checkins.events_per_day();
+    users.push_back(std::move(rec));
+  }
+  return Dataset(dataset_name, PoiIndex(std::move(pois)), std::move(users));
+}
+
+}  // namespace geovalid::trace

@@ -1,0 +1,43 @@
+// Importer for the classic SNAP geosocial checkin format (Gowalla and
+// Brightkite releases):
+//
+//   <user_id>\t<ISO-8601 time>\t<latitude>\t<longitude>\t<location_id>
+//
+// e.g. "0\t2010-10-19T23:55:27Z\t30.2359091167\t-97.7951395833\t22847".
+// These public datasets are checkin-only — exactly the situation the
+// paper warns about — so the imported Dataset has no GPS traces or visits;
+// the checkin-only tools (burstiness filters, learned detector scoring,
+// anchor recovery) run on it directly.
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+#include "trace/dataset.h"
+
+namespace geovalid::trace {
+
+/// Import options.
+struct GowallaImportOptions {
+  /// Rows with coordinates failing geo::is_valid are skipped (the public
+  /// dumps contain a few (0,0) and out-of-range rows). When false, such a
+  /// row aborts the import with std::runtime_error instead.
+  bool skip_invalid_rows = true;
+
+  /// Cap on users imported (0 = no cap). The SNAP dumps hold millions of
+  /// rows; a cap keeps exploratory runs fast.
+  std::size_t max_users = 0;
+};
+
+/// Reads a SNAP-format checkin file into a Dataset.
+///
+/// Venue ids become PoiIds (offset by one: SNAP ids start at 0, and our
+/// kNoPoi sentinel must stay free); venue positions are taken from the
+/// first row mentioning the venue; categories are unknown in this format
+/// and default to Professional. Throws std::runtime_error on I/O failure
+/// or (with skip_invalid_rows=false) on malformed rows.
+[[nodiscard]] Dataset read_gowalla_checkins(
+    const std::filesystem::path& file, const std::string& dataset_name,
+    const GowallaImportOptions& options = {});
+
+}  // namespace geovalid::trace

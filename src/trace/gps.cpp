@@ -1,0 +1,70 @@
+#include "trace/gps.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "geo/geodesic.h"
+
+namespace geovalid::trace {
+
+TimeSec interval_distance(const Visit& v, TimeSec t) {
+  if (t >= v.start && t <= v.end) return 0;
+  return t < v.start ? v.start - t : t - v.end;
+}
+
+GpsTrace::GpsTrace(std::vector<GpsPoint> points) : points_(std::move(points)) {
+  std::stable_sort(points_.begin(), points_.end(),
+                   [](const GpsPoint& a, const GpsPoint& b) { return a.t < b.t; });
+}
+
+TimeSec GpsTrace::start_time() const {
+  if (points_.empty()) throw std::logic_error("GpsTrace: empty trace");
+  return points_.front().t;
+}
+
+TimeSec GpsTrace::end_time() const {
+  if (points_.empty()) throw std::logic_error("GpsTrace: empty trace");
+  return points_.back().t;
+}
+
+double GpsTrace::span_days() const {
+  if (points_.size() < 2) return 0.0;
+  return static_cast<double>(end_time() - start_time()) /
+         static_cast<double>(kSecondsPerDay);
+}
+
+const GpsPoint* GpsTrace::sample_at(TimeSec t) const {
+  if (points_.empty() || t < points_.front().t) return nullptr;
+  auto it = std::upper_bound(
+      points_.begin(), points_.end(), t,
+      [](TimeSec lhs, const GpsPoint& rhs) { return lhs < rhs.t; });
+  return &*std::prev(it);
+}
+
+double GpsTrace::speed_at(TimeSec t) const {
+  if (points_.size() < 2 || t < points_.front().t || t > points_.back().t) {
+    return 0.0;
+  }
+  auto it = std::upper_bound(
+      points_.begin(), points_.end(), t,
+      [](TimeSec lhs, const GpsPoint& rhs) { return lhs < rhs.t; });
+  if (it == points_.begin() || it == points_.end()) {
+    // t coincides with the last sample: use the final segment.
+    if (it == points_.end()) it = std::prev(it);
+    else return 0.0;
+  }
+  const GpsPoint& after = *it;
+  const GpsPoint& before = *std::prev(it);
+  const auto dt = static_cast<double>(after.t - before.t);
+  if (dt <= 0.0) return 0.0;
+  return geo::distance_m(before.position, after.position) / dt;
+}
+
+void GpsTrace::append(GpsPoint p) {
+  if (!points_.empty() && p.t < points_.back().t) {
+    throw std::invalid_argument("GpsTrace::append: timestamp regression");
+  }
+  points_.push_back(p);
+}
+
+}  // namespace geovalid::trace

@@ -1,0 +1,83 @@
+// GPS trace representation: the ground-truth side of the study.
+//
+// The collection app sampled each user's position once per minute; when GPS
+// was unavailable (indoors) it fell back to WiFi + accelerometer stationary
+// detection. GpsPoint carries both kinds of evidence.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geo/latlon.h"
+#include "trace/poi.h"
+#include "trace/time.h"
+
+namespace geovalid::trace {
+
+/// Stable identifier of a study participant.
+using UserId = std::uint32_t;
+
+/// One sample of the per-minute location log.
+struct GpsPoint {
+  TimeSec t = 0;
+  geo::LatLon position;  ///< last known fix when has_fix is false
+  bool has_fix = true;   ///< false when indoors / GPS starved
+
+  /// Hash of the set of WiFi BSSIDs visible at sample time; two consecutive
+  /// equal fingerprints are strong evidence the device did not move.
+  std::uint32_t wifi_fingerprint = 0;
+
+  /// Variance of accelerometer magnitude over the sample window (m/s^2)^2.
+  /// Near zero when the device rests on a table; large while walking.
+  double accel_variance = 0.0;
+};
+
+/// A period of 6+ minutes during which the user remained in one place
+/// (the paper's definition of a "visit").
+struct Visit {
+  TimeSec start = 0;
+  TimeSec end = 0;  ///< inclusive end of the stationary window, end >= start
+  geo::LatLon centroid;
+  PoiId poi = kNoPoi;  ///< the venue the generator placed the stay at, if any
+
+  [[nodiscard]] TimeSec duration() const { return end - start; }
+};
+
+/// Interval distance between a visit and an instant (the paper's delta-t):
+/// 0 when t lies inside [start, end], otherwise distance to the nearer edge.
+[[nodiscard]] TimeSec interval_distance(const Visit& v, TimeSec t);
+
+/// The per-minute GPS log of one user, ordered by time.
+class GpsTrace {
+ public:
+  GpsTrace() = default;
+
+  /// Takes ownership of samples; sorts them by timestamp.
+  explicit GpsTrace(std::vector<GpsPoint> points);
+
+  [[nodiscard]] bool empty() const { return points_.empty(); }
+  [[nodiscard]] std::size_t size() const { return points_.size(); }
+  [[nodiscard]] std::span<const GpsPoint> points() const { return points_; }
+
+  [[nodiscard]] TimeSec start_time() const;
+  [[nodiscard]] TimeSec end_time() const;
+
+  /// Trace extent in fractional days (0 for empty/single-point traces).
+  [[nodiscard]] double span_days() const;
+
+  /// Position at time t: the most recent sample at or before t.
+  /// Returns nullptr when t precedes the first sample or the trace is empty.
+  [[nodiscard]] const GpsPoint* sample_at(TimeSec t) const;
+
+  /// Instantaneous speed estimate at time t (m/s) from the samples
+  /// bracketing t; 0 at the edges or without a bracketing pair.
+  [[nodiscard]] double speed_at(TimeSec t) const;
+
+  void append(GpsPoint p);  ///< must not go backwards in time (throws)
+
+ private:
+  std::vector<GpsPoint> points_;
+};
+
+}  // namespace geovalid::trace

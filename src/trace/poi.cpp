@@ -1,0 +1,61 @@
+#include "trace/poi.h"
+
+#include <array>
+#include <stdexcept>
+
+namespace geovalid::trace {
+namespace {
+
+constexpr std::array<PoiCategory, kPoiCategoryCount> kAllCategories = {
+    PoiCategory::kProfessional, PoiCategory::kOutdoors,
+    PoiCategory::kNightlife,    PoiCategory::kArts,
+    PoiCategory::kShop,         PoiCategory::kTravel,
+    PoiCategory::kResidence,    PoiCategory::kFood,
+    PoiCategory::kCollege,
+};
+
+constexpr std::array<std::string_view, kPoiCategoryCount> kCategoryNames = {
+    "Professional", "Outdoors", "Nightlife", "Arts", "Shop",
+    "Travel",       "Residence", "Food",      "College",
+};
+
+}  // namespace
+
+std::span<const PoiCategory> all_poi_categories() { return kAllCategories; }
+
+std::string_view to_string(PoiCategory c) {
+  return kCategoryNames.at(static_cast<std::size_t>(c));
+}
+
+std::optional<PoiCategory> parse_poi_category(std::string_view name) {
+  for (std::size_t i = 0; i < kCategoryNames.size(); ++i) {
+    if (kCategoryNames[i] == name) return kAllCategories[i];
+  }
+  return std::nullopt;
+}
+
+PoiIndex::PoiIndex(std::vector<Poi> pois) : pois_(std::move(pois)) {
+  by_id_.reserve(pois_.size());
+  for (std::size_t i = 0; i < pois_.size(); ++i) {
+    if (pois_[i].id == kNoPoi) {
+      throw std::invalid_argument("PoiIndex: POI with sentinel id");
+    }
+    const auto [it, inserted] = by_id_.emplace(pois_[i].id, i);
+    if (!inserted) {
+      throw std::invalid_argument("PoiIndex: duplicate POI id");
+    }
+  }
+}
+
+const Poi* PoiIndex::find(PoiId id) const {
+  const auto it = by_id_.find(id);
+  return it == by_id_.end() ? nullptr : &pois_[it->second];
+}
+
+const Poi& PoiIndex::at(PoiId id) const {
+  const Poi* p = find(id);
+  if (p == nullptr) throw std::out_of_range("PoiIndex::at: unknown POI id");
+  return *p;
+}
+
+}  // namespace geovalid::trace

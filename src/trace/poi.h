@@ -1,0 +1,80 @@
+// Points of interest and Foursquare's category taxonomy.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "geo/latlon.h"
+
+namespace geovalid::trace {
+
+/// Stable identifier of a POI within a dataset.
+using PoiId = std::uint32_t;
+
+/// Sentinel for "no POI" (e.g. a GPS visit at an unmapped location).
+inline constexpr PoiId kNoPoi = 0xFFFFFFFFu;
+
+/// The nine top-level Foursquare venue categories used in Figure 4.
+enum class PoiCategory : std::uint8_t {
+  kProfessional = 0,
+  kOutdoors,
+  kNightlife,
+  kArts,
+  kShop,
+  kTravel,
+  kResidence,
+  kFood,
+  kCollege,
+};
+
+inline constexpr std::size_t kPoiCategoryCount = 9;
+
+/// All categories in Figure 4's display order.
+[[nodiscard]] std::span<const PoiCategory> all_poi_categories();
+
+/// Human-readable category name (e.g. "Professional").
+[[nodiscard]] std::string_view to_string(PoiCategory c);
+
+/// Parses a category name produced by to_string. Case-sensitive.
+[[nodiscard]] std::optional<PoiCategory> parse_poi_category(
+    std::string_view name);
+
+/// One point of interest (a Foursquare venue).
+struct Poi {
+  PoiId id = kNoPoi;
+  std::string name;
+  PoiCategory category = PoiCategory::kProfessional;
+  geo::LatLon location;
+};
+
+/// Immutable id -> Poi lookup shared by a dataset.
+class PoiIndex {
+ public:
+  PoiIndex() = default;
+
+  /// Builds the index; throws std::invalid_argument on duplicate ids or a
+  /// POI carrying the kNoPoi sentinel id.
+  explicit PoiIndex(std::vector<Poi> pois);
+
+  [[nodiscard]] std::size_t size() const { return pois_.size(); }
+  [[nodiscard]] bool empty() const { return pois_.empty(); }
+
+  /// nullptr when the id is unknown (or kNoPoi).
+  [[nodiscard]] const Poi* find(PoiId id) const;
+
+  /// Throws std::out_of_range when the id is unknown.
+  [[nodiscard]] const Poi& at(PoiId id) const;
+
+  [[nodiscard]] std::span<const Poi> all() const { return pois_; }
+
+ private:
+  std::vector<Poi> pois_;
+  std::unordered_map<PoiId, std::size_t> by_id_;
+};
+
+}  // namespace geovalid::trace

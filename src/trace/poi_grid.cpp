@@ -1,0 +1,84 @@
+#include "trace/poi_grid.h"
+
+#include <cmath>
+#include <limits>
+
+#include "geo/geodesic.h"
+
+namespace geovalid::trace {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+constexpr double kMetersPerDegree = geo::kEarthRadiusMeters * kPi / 180.0;
+
+}  // namespace
+
+PoiGrid::PoiGrid(std::span<const Poi> pois, double cell_size_m)
+    : pois_(pois) {
+  // Longitude cell width uses the latitude of the first POI (datasets are
+  // city-scale, so one cos factor serves the whole index).
+  const double ref_lat = pois.empty() ? 0.0 : pois.front().location.lat_deg;
+  const double cos_lat = std::max(0.01, std::cos(ref_lat * kPi / 180.0));
+  cell_deg_lat_ = cell_size_m / kMetersPerDegree;
+  cell_deg_lon_ = cell_size_m / (kMetersPerDegree * cos_lat);
+
+  for (std::uint32_t i = 0; i < pois_.size(); ++i) {
+    cells_[cell_of(pois_[i].location)].push_back(i);
+  }
+}
+
+PoiGrid::CellKey PoiGrid::cell_of(const geo::LatLon& p) const {
+  return CellKey{
+      static_cast<std::int32_t>(std::floor(p.lat_deg / cell_deg_lat_)),
+      static_cast<std::int32_t>(std::floor(p.lon_deg / cell_deg_lon_)),
+  };
+}
+
+template <typename Fn>
+void PoiGrid::for_each_within(const geo::LatLon& center, double radius_m,
+                              Fn&& fn) const {
+  if (pois_.empty()) return;
+
+  const auto span_lat = static_cast<std::int32_t>(
+      std::ceil(radius_m / (cell_deg_lat_ * kMetersPerDegree)));
+  const double lon_cell_m = cell_deg_lon_ * kMetersPerDegree *
+      std::max(0.01, std::cos(center.lat_deg * kPi / 180.0));
+  const auto span_lon =
+      static_cast<std::int32_t>(std::ceil(radius_m / lon_cell_m));
+
+  const CellKey c0 = cell_of(center);
+  for (std::int32_t dx = -span_lat; dx <= span_lat; ++dx) {
+    for (std::int32_t dy = -span_lon; dy <= span_lon; ++dy) {
+      const auto it = cells_.find(CellKey{c0.x + dx, c0.y + dy});
+      if (it == cells_.end()) continue;
+      for (std::uint32_t idx : it->second) {
+        const double d = geo::fast_distance_m(center, pois_[idx].location);
+        if (d <= radius_m) fn(idx, d);
+      }
+    }
+  }
+}
+
+std::vector<PoiId> PoiGrid::within(const geo::LatLon& center,
+                                   double radius_m) const {
+  std::vector<PoiId> out;
+  for_each_within(center, radius_m, [&](std::uint32_t idx, double) {
+    out.push_back(pois_[idx].id);
+  });
+  return out;
+}
+
+std::optional<PoiId> PoiGrid::nearest(const geo::LatLon& center,
+                                      double radius_m) const {
+  double best = std::numeric_limits<double>::infinity();
+  std::optional<PoiId> best_id;
+  for_each_within(center, radius_m, [&](std::uint32_t idx, double d) {
+    if (d < best) {
+      best = d;
+      best_id = pois_[idx].id;
+    }
+  });
+  return best_id;
+}
+
+}  // namespace geovalid::trace

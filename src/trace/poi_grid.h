@@ -1,0 +1,66 @@
+// Spatial hash grid over POIs for radius and nearest-neighbour queries.
+//
+// Both the matcher (candidate visits within alpha of a checkin) and the
+// synthetic checkin model (nearby venues for superfluous checkins) need
+// "what is within r metres of here" at scale; a uniform grid keyed by
+// quantized lat/lon answers that in O(candidates).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "geo/latlon.h"
+#include "trace/poi.h"
+
+namespace geovalid::trace {
+
+/// Grid index over a fixed set of POIs. The cell size should be of the same
+/// order as the typical query radius.
+class PoiGrid {
+ public:
+  /// Indexes `pois` (pointers into the span are retained — the underlying
+  /// storage must outlive the grid; PoiIndex guarantees stable storage).
+  explicit PoiGrid(std::span<const Poi> pois, double cell_size_m = 500.0);
+
+  /// Ids of all POIs within `radius_m` of `center` (unordered).
+  [[nodiscard]] std::vector<PoiId> within(const geo::LatLon& center,
+                                          double radius_m) const;
+
+  /// Nearest POI within `radius_m`, or nullopt.
+  [[nodiscard]] std::optional<PoiId> nearest(const geo::LatLon& center,
+                                             double radius_m) const;
+
+  [[nodiscard]] std::size_t size() const { return pois_.size(); }
+
+ private:
+  struct CellKey {
+    std::int32_t x = 0;
+    std::int32_t y = 0;
+    bool operator==(const CellKey&) const = default;
+  };
+  struct CellHash {
+    std::size_t operator()(const CellKey& k) const {
+      return std::hash<std::uint64_t>{}(
+          (static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.x)) << 32) |
+          static_cast<std::uint32_t>(k.y));
+    }
+  };
+
+  [[nodiscard]] CellKey cell_of(const geo::LatLon& p) const;
+
+  /// Calls fn(index, distance_m) for every indexed POI within radius.
+  template <typename Fn>
+  void for_each_within(const geo::LatLon& center, double radius_m,
+                       Fn&& fn) const;
+
+  std::span<const Poi> pois_;
+  double cell_deg_lat_;
+  double cell_deg_lon_;
+  std::unordered_map<CellKey, std::vector<std::uint32_t>, CellHash> cells_;
+};
+
+}  // namespace geovalid::trace

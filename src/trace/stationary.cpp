@@ -1,0 +1,38 @@
+#include "trace/stationary.h"
+
+namespace geovalid::trace {
+
+std::vector<MotionState> classify_motion(std::span<const GpsPoint> points,
+                                         const StationaryConfig& config) {
+  std::vector<MotionState> states(points.size(), MotionState::kUnknown);
+
+  std::size_t wifi_run = 0;  // consecutive samples sharing a fingerprint
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const GpsPoint& p = points[i];
+    if (i > 0 && p.wifi_fingerprint != 0 &&
+        p.wifi_fingerprint == points[i - 1].wifi_fingerprint) {
+      ++wifi_run;
+    } else {
+      wifi_run = 0;
+    }
+
+    if (p.has_fix) {
+      states[i] = MotionState::kUnknown;  // GPS logic decides
+      continue;
+    }
+
+    const bool accel_quiet = p.accel_variance <= config.accel_variance_max;
+    const bool wifi_stable = wifi_run >= config.wifi_stable_samples;
+
+    if (accel_quiet && (wifi_stable || p.wifi_fingerprint != 0)) {
+      states[i] = MotionState::kStationary;
+    } else if (!accel_quiet) {
+      states[i] = MotionState::kMoving;
+    } else {
+      states[i] = MotionState::kUnknown;
+    }
+  }
+  return states;
+}
+
+}  // namespace geovalid::trace

@@ -1,0 +1,43 @@
+// Indoor stationary detection from WiFi fingerprints + accelerometer.
+//
+// When GPS drops out inside a building, the collection app (like SensLoc
+// [15], which the paper cites) decides "stationary vs moving" from the
+// stability of the visible WiFi set and the accelerometer energy. The visit
+// detector uses this verdict to extend a stay through GPS-starved samples.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "trace/gps.h"
+
+namespace geovalid::trace {
+
+/// Tuning knobs of the stationary classifier.
+struct StationaryConfig {
+  /// Accelerometer variance at or below which the device counts as at rest,
+  /// (m/s^2)^2. Walking produces variance well above 1.
+  double accel_variance_max = 0.35;
+
+  /// How many consecutive samples must share a WiFi fingerprint before the
+  /// fingerprint alone proves stationarity.
+  std::size_t wifi_stable_samples = 2;
+};
+
+/// Per-sample verdicts over a GPS trace.
+enum class MotionState : std::uint8_t {
+  kStationary,
+  kMoving,
+  kUnknown,  ///< no fix and not enough sensor evidence either way
+};
+
+/// Classifies every sample of `points` (time-ordered).
+///
+/// Samples with a GPS fix are classified by the caller's downstream distance
+/// logic and reported as kUnknown here — this classifier only speaks for
+/// fix-less samples, where it fuses fingerprint stability and accelerometer
+/// energy.
+[[nodiscard]] std::vector<MotionState> classify_motion(
+    std::span<const GpsPoint> points, const StationaryConfig& config = {});
+
+}  // namespace geovalid::trace

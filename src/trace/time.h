@@ -1,0 +1,35 @@
+// Time representation shared by all traces.
+//
+// Timestamps are integral seconds since the Unix epoch (the resolution of
+// the paper's per-minute GPS sampling makes sub-second precision pointless,
+// and integral seconds compare exactly).
+#pragma once
+
+#include <cstdint>
+
+namespace geovalid::trace {
+
+/// Seconds since the Unix epoch.
+using TimeSec = std::int64_t;
+
+inline constexpr TimeSec kSecondsPerMinute = 60;
+inline constexpr TimeSec kSecondsPerHour = 3600;
+inline constexpr TimeSec kSecondsPerDay = 86400;
+
+/// Converts whole minutes to seconds.
+[[nodiscard]] constexpr TimeSec minutes(TimeSec m) {
+  return m * kSecondsPerMinute;
+}
+
+/// Converts whole hours to seconds.
+[[nodiscard]] constexpr TimeSec hours(TimeSec h) { return h * kSecondsPerHour; }
+
+/// Converts whole days to seconds.
+[[nodiscard]] constexpr TimeSec days(TimeSec d) { return d * kSecondsPerDay; }
+
+/// Seconds expressed as fractional minutes (for CDF axes in minutes).
+[[nodiscard]] constexpr double to_minutes(TimeSec s) {
+  return static_cast<double>(s) / static_cast<double>(kSecondsPerMinute);
+}
+
+}  // namespace geovalid::trace

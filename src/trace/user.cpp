@@ -1,0 +1,4 @@
+#include "trace/user.h"
+
+// UserRecord is an aggregate; this translation unit exists so the target has
+// a home for future out-of-line members and to keep one-TU-per-header parity.

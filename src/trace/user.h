@@ -1,0 +1,32 @@
+// Per-user record: profile features plus the user's two matched traces.
+#pragma once
+
+#include <vector>
+
+#include "trace/checkin.h"
+#include "trace/gps.h"
+
+namespace geovalid::trace {
+
+/// Foursquare profile features used in the incentive analysis (Table 2).
+struct UserProfile {
+  std::uint32_t friends = 0;
+  std::uint32_t badges = 0;
+  std::uint32_t mayorships = 0;
+  /// Checkins per day as reported by the profile (long-run rate, which can
+  /// differ from the study-window rate derivable from the trace).
+  double checkins_per_day = 0.0;
+};
+
+/// Everything the study collected about one participant.
+struct UserRecord {
+  UserId id = 0;
+  UserProfile profile;
+  GpsTrace gps;
+  CheckinTrace checkins;
+  /// Stay-point visits detected from `gps` (filled by VisitDetector or the
+  /// generator; the matcher consumes these).
+  std::vector<Visit> visits;
+};
+
+}  // namespace geovalid::trace

@@ -1,0 +1,59 @@
+// Stay-point ("visit") detection over a per-minute GPS trace.
+//
+// §3 of the paper: "we define a visit as the user staying at one location
+// for longer than some period of time, e.g. 6 minutes", with WiFi +
+// accelerometer bridging GPS dropouts indoors. This implements the classic
+// stay-point scan with that sensor-fusion extension.
+#pragma once
+
+#include <vector>
+
+#include "trace/gps.h"
+#include "trace/poi.h"
+#include "trace/stationary.h"
+
+namespace geovalid::trace {
+
+/// Detection parameters (defaults mirror the paper).
+struct VisitDetectorConfig {
+  /// Maximum roaming radius within a stay, metres. GPS jitter at city scale
+  /// is tens of metres; 100 m keeps one building's worth of wander together.
+  double radius_m = 100.0;
+
+  /// Minimum dwell to count as a visit (the paper's "6+ minutes").
+  TimeSec min_duration = minutes(6);
+
+  /// Maximum time gap between consecutive samples inside one stay before
+  /// the stay is broken (guards against long logging outages).
+  TimeSec max_sample_gap = minutes(10);
+
+  StationaryConfig stationary;
+};
+
+/// Detects visits in a time-ordered GPS trace.
+///
+/// The scan grows a window of consecutive samples whose fixes all lie within
+/// `radius_m` of the window's running centroid; fix-less samples extend the
+/// window when the stationary classifier rules them kStationary and break it
+/// when ruled kMoving. A window whose time span reaches `min_duration`
+/// becomes a Visit anchored at the centroid of its fixed samples.
+class VisitDetector {
+ public:
+  explicit VisitDetector(VisitDetectorConfig config = {});
+
+  [[nodiscard]] std::vector<Visit> detect(const GpsTrace& trace) const;
+
+  /// Annotates each visit with the nearest POI within `snap_radius_m`
+  /// (leaves kNoPoi when none qualifies). Used by the missing-checkin
+  /// category analysis, which needs to know what kind of place a GPS stay
+  /// happened at.
+  void snap_to_pois(std::vector<Visit>& visits, const PoiIndex& pois,
+                    double snap_radius_m = 150.0) const;
+
+  [[nodiscard]] const VisitDetectorConfig& config() const { return config_; }
+
+ private:
+  VisitDetectorConfig config_;
+};
+
+}  // namespace geovalid::trace

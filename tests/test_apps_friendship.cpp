@@ -1,0 +1,151 @@
+// Tests for the social graph substrate and co-location friendship
+// inference.
+#include <gtest/gtest.h>
+
+#include "apps/friendship.h"
+#include "core/pipeline.h"
+
+namespace geovalid::apps {
+namespace {
+
+const core::StudyAnalysis& tiny() {
+  static const core::StudyAnalysis a =
+      core::analyze_generated(synth::tiny_preset());
+  return a;
+}
+
+TEST(SocialGraph, GeneratedStudyHasFriendships) {
+  const auto& a = tiny();
+  ASSERT_TRUE(a.friendships.has_value());
+  ASSERT_FALSE(a.friendships->empty());
+  for (const auto& [x, y] : *a.friendships) {
+    EXPECT_LT(x, y);  // canonical ordering
+    EXPECT_NE(a.dataset.find_user(x), nullptr);
+    EXPECT_NE(a.dataset.find_user(y), nullptr);
+  }
+}
+
+TEST(SocialGraph, FriendsColocateMoreThanStrangers) {
+  // The co-visit machinery must create real signal: mean GPS co-location
+  // count over friend pairs exceeds the mean over non-friend pairs.
+  const auto& a = tiny();
+  const auto counts = colocation_counts(a.dataset, a.validation,
+                                        TrainingSource::kGpsVisits);
+  std::set<UserPair> friends(a.friendships->begin(), a.friendships->end());
+
+  double friend_sum = 0.0, stranger_sum = 0.0;
+  for (const auto& [pair, weight] : counts) {
+    if (friends.count(pair) > 0) {
+      friend_sum += weight;
+    } else {
+      stranger_sum += weight;
+    }
+  }
+  ASSERT_FALSE(friends.empty());
+  // Means over ALL pairs of each class (pairs absent from the co-location
+  // map count as zero).
+  const std::size_t n = a.dataset.user_count();
+  const std::size_t all_pairs = n * (n - 1) / 2;
+  ASSERT_GT(all_pairs, friends.size());
+  const double friend_mean = friend_sum / static_cast<double>(friends.size());
+  const double stranger_mean =
+      stranger_sum / static_cast<double>(all_pairs - friends.size());
+  EXPECT_GT(friend_mean, 2.0 * stranger_mean);
+}
+
+TEST(Colocation, CountsIntervalOverlapAtSameVenue) {
+  // Hand-built dataset: two users visiting one venue with overlapping
+  // intervals, a third at a different venue.
+  using trace::Visit;
+  std::vector<trace::Poi> pois;
+  pois.push_back({1, "a", trace::PoiCategory::kFood, {1.0, 1.0}});
+  pois.push_back({2, "b", trace::PoiCategory::kShop, {2.0, 2.0}});
+
+  auto user = [](trace::UserId id, trace::PoiId poi, trace::TimeSec s,
+                 trace::TimeSec e) {
+    trace::UserRecord u;
+    u.id = id;
+    u.visits.push_back(Visit{s, e, {}, poi});
+    return u;
+  };
+  std::vector<trace::UserRecord> users;
+  users.push_back(user(1, 1, 0, trace::minutes(60)));
+  users.push_back(user(2, 1, trace::minutes(30), trace::minutes(90)));
+  users.push_back(user(3, 2, 0, trace::minutes(60)));
+  const trace::Dataset ds("t", trace::PoiIndex(std::move(pois)),
+                          std::move(users));
+  const auto validation = match::validate_dataset(ds);
+
+  ColocationConfig raw;
+  raw.weight_by_venue_rarity = false;
+  const auto counts =
+      colocation_counts(ds, validation, TrainingSource::kGpsVisits, raw);
+  ASSERT_EQ(counts.size(), 1u);
+  EXPECT_EQ(counts.begin()->first, (UserPair{1, 2}));
+  EXPECT_DOUBLE_EQ(counts.begin()->second, 1.0);
+}
+
+TEST(Colocation, WindowSeparatesDistantEvents) {
+  std::vector<trace::Poi> pois;
+  pois.push_back({1, "a", trace::PoiCategory::kFood, {1.0, 1.0}});
+  auto user = [](trace::UserId id, trace::TimeSec s, trace::TimeSec e) {
+    trace::UserRecord u;
+    u.id = id;
+    u.visits.push_back(trace::Visit{s, e, {}, 1});
+    return u;
+  };
+  std::vector<trace::UserRecord> users;
+  users.push_back(user(1, 0, trace::minutes(10)));
+  users.push_back(user(2, trace::minutes(120), trace::minutes(130)));
+  const trace::Dataset ds("t", trace::PoiIndex(std::move(pois)),
+                          std::move(users));
+  const auto validation = match::validate_dataset(ds);
+
+  ColocationConfig narrow;
+  narrow.weight_by_venue_rarity = false;
+  narrow.window = trace::minutes(30);
+  EXPECT_TRUE(colocation_counts(ds, validation, TrainingSource::kGpsVisits,
+                                narrow)
+                  .empty());
+  ColocationConfig wide;
+  wide.weight_by_venue_rarity = false;
+  wide.window = trace::minutes(200);
+  EXPECT_EQ(colocation_counts(ds, validation, TrainingSource::kGpsVisits,
+                              wide)
+                .size(),
+            1u);
+}
+
+TEST(FriendshipInference, GpsBeatsGeosocialTraces) {
+  const auto& a = tiny();
+  const FriendshipScore gps =
+      evaluate_friendship(a.dataset, a.validation, TrainingSource::kGpsVisits,
+                          *a.friendships);
+  const FriendshipScore all =
+      evaluate_friendship(a.dataset, a.validation,
+                          TrainingSource::kAllCheckins, *a.friendships);
+
+  ASSERT_GT(gps.true_pairs, 3u);
+  EXPECT_GT(gps.precision_at_k(), 0.4);
+  EXPECT_GT(gps.precision_at_k(), all.precision_at_k());
+}
+
+TEST(FriendshipInference, ScoreFormula) {
+  FriendshipScore s;
+  s.true_pairs = 10;
+  s.predicted = 10;
+  s.hits = 7;
+  EXPECT_DOUBLE_EQ(s.precision_at_k(), 0.7);
+  EXPECT_DOUBLE_EQ(FriendshipScore{}.precision_at_k(), 0.0);
+}
+
+TEST(FriendshipInference, MismatchedValidationRejected) {
+  const auto& a = tiny();
+  const match::ValidationResult empty;
+  EXPECT_THROW(
+      colocation_counts(a.dataset, empty, TrainingSource::kGpsVisits),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace geovalid::apps

@@ -1,0 +1,102 @@
+// Tests for the commute-flow (city planning) impact study.
+#include <gtest/gtest.h>
+
+#include "apps/traffic.h"
+#include "core/pipeline.h"
+
+namespace geovalid::apps {
+namespace {
+
+const core::StudyAnalysis& tiny() {
+  static const core::StudyAnalysis a =
+      core::analyze_generated(synth::tiny_preset());
+  return a;
+}
+
+TEST(CategoryFlow, EmptyFlowBasics) {
+  const CategoryFlow f;
+  EXPECT_EQ(f.total(), 0u);
+  EXPECT_DOUBLE_EQ(f.commute_share(), 0.0);
+  for (double v : f.normalized()) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(CategoryFlow, CommuteShareCountsBothDirections) {
+  CategoryFlow f;
+  const auto res = static_cast<std::size_t>(trace::PoiCategory::kResidence);
+  const auto pro =
+      static_cast<std::size_t>(trace::PoiCategory::kProfessional);
+  const auto col = static_cast<std::size_t>(trace::PoiCategory::kCollege);
+  const auto food = static_cast<std::size_t>(trace::PoiCategory::kFood);
+  f.counts[res][pro] = 3;
+  f.counts[pro][res] = 2;
+  f.counts[res][col] = 1;
+  f.counts[food][res] = 4;  // not a commute pair
+  EXPECT_EQ(f.total(), 10u);
+  EXPECT_DOUBLE_EQ(f.commute_share(), 0.6);
+}
+
+TEST(CategoryFlow, NormalizedSumsToOne) {
+  CategoryFlow f;
+  f.counts[0][1] = 3;
+  f.counts[2][2] = 1;
+  double sum = 0.0;
+  for (double v : f.normalized()) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(TrafficExperiment, GpsFlowIsCommuteHeavy) {
+  const auto& a = tiny();
+  const CategoryFlow gps =
+      category_flow(a.dataset, a.validation, TrainingSource::kGpsVisits);
+  ASSERT_GT(gps.total(), 200u);
+  // Real mobility is full of home<->work movement.
+  EXPECT_GT(gps.commute_share(), 0.04);
+}
+
+TEST(TrafficExperiment, CheckinsUnderestimateTheCommuteCorridor) {
+  // §6.2's city-planning claim, quantified: the commute share of the
+  // checkin-derived flows must fall far below the GPS ground truth.
+  const auto& a = tiny();
+  const CategoryFlow gps =
+      category_flow(a.dataset, a.validation, TrainingSource::kGpsVisits);
+  const CategoryFlow all =
+      category_flow(a.dataset, a.validation, TrainingSource::kAllCheckins);
+  const CategoryFlow honest = category_flow(a.dataset, a.validation,
+                                            TrainingSource::kHonestCheckins);
+
+  // Honest checkins are leisure-dominated (nobody checks in at home or at
+  // the office), so the commute corridor nearly vanishes from them — and
+  // filtering extraneous checkins therefore makes the bias *worse*, not
+  // better. (At full primary scale the raw trace under-estimates too; in
+  // the tiny preset random remote checkins can mask that, so the robust
+  // assertions are the honest-trace ones.)
+  EXPECT_LT(honest.commute_share(), all.commute_share());
+  EXPECT_LT(honest.commute_share(), gps.commute_share() * 0.3);
+}
+
+TEST(TrafficExperiment, CheckinFlowsAreVisiblyWrong) {
+  const auto& a = tiny();
+  const CategoryFlow gps =
+      category_flow(a.dataset, a.validation, TrainingSource::kGpsVisits);
+  const CategoryFlow all =
+      category_flow(a.dataset, a.validation, TrainingSource::kAllCheckins);
+  const CategoryFlow honest = category_flow(a.dataset, a.validation,
+                                            TrainingSource::kHonestCheckins);
+
+  EXPECT_LT(flow_correlation(gps, all), 0.98);
+  EXPECT_LT(flow_correlation(gps, honest), 0.98);
+  EXPECT_DOUBLE_EQ(flow_correlation(gps, gps), 1.0);
+  // Self-consistency: a flow correlates perfectly with itself but the two
+  // checkin variants differ from each other as well.
+  EXPECT_LT(flow_correlation(all, honest), 0.999);
+}
+
+TEST(TrafficExperiment, MismatchedValidationRejected) {
+  const auto& a = tiny();
+  const match::ValidationResult empty;
+  EXPECT_THROW(category_flow(a.dataset, empty, TrainingSource::kGpsVisits),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace geovalid::apps

@@ -1,0 +1,192 @@
+// End-to-end integration tests: generator -> measurement pipeline ->
+// analyses -> mobility models, scored against the generator's ground truth.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+#include "core/pipeline.h"
+#include "core/report.h"
+#include "trace/csv.h"
+
+namespace geovalid {
+namespace {
+
+namespace fs = std::filesystem;
+
+const core::StudyAnalysis& tiny() {
+  static const core::StudyAnalysis a =
+      core::analyze_generated(synth::tiny_preset());
+  return a;
+}
+
+TEST(Integration, ClassifierAgreesWithGroundTruthLabels) {
+  const auto& a = tiny();
+  ASSERT_TRUE(a.truth.has_value());
+
+  std::size_t agree = 0, total = 0, honest_truth_matched = 0,
+              honest_truth_total = 0;
+  for (std::size_t u = 0; u < a.dataset.user_count(); ++u) {
+    const trace::UserRecord& rec = a.dataset.users()[u];
+    const auto it = a.truth->find(rec.id);
+    ASSERT_NE(it, a.truth->end());
+    const auto& truth = it->second;
+    const auto& labels = a.validation.users[u].labels;
+    ASSERT_EQ(truth.size(), labels.size());
+
+    for (std::size_t i = 0; i < truth.size(); ++i) {
+      ++total;
+      const match::CheckinClass got = labels[i];
+      bool match_truth = false;
+      switch (truth[i]) {
+        case synth::TrueBehavior::kHonest:
+          ++honest_truth_total;
+          if (got == match::CheckinClass::kHonest) ++honest_truth_matched;
+          // Honest checkins outside recording coverage legitimately land in
+          // other buckets; count exact honesty matches separately.
+          match_truth = got == match::CheckinClass::kHonest;
+          break;
+        case synth::TrueBehavior::kSuperfluous:
+          match_truth = got == match::CheckinClass::kSuperfluous ||
+                        got == match::CheckinClass::kHonest;
+          break;
+        case synth::TrueBehavior::kRemote:
+          match_truth = got == match::CheckinClass::kRemote ||
+                        got == match::CheckinClass::kUnclassified;
+          break;
+        case synth::TrueBehavior::kDriveby:
+          match_truth = got == match::CheckinClass::kDriveby ||
+                        got == match::CheckinClass::kHonest ||
+                        got == match::CheckinClass::kRemote;
+          break;
+      }
+      if (match_truth) ++agree;
+    }
+  }
+  ASSERT_GT(total, 100u);
+  // The measurement pipeline must recover the behavioural ground truth for
+  // the overwhelming majority of events.
+  EXPECT_GT(static_cast<double>(agree) / static_cast<double>(total), 0.8);
+  // And the clear majority of truly-honest checkins must match a detected
+  // visit (the shortfall is honest checkins outside recording coverage,
+  // which the matcher cannot see a visit for).
+  EXPECT_GT(static_cast<double>(honest_truth_matched) /
+                static_cast<double>(honest_truth_total),
+            0.6);
+}
+
+TEST(Integration, RemoteTruthNeverClassifiedSuperfluous) {
+  // A remote checkin is >= 650 m from the user; the classifier can call it
+  // remote or unclassified (no GPS), but never co-located superfluous.
+  const auto& a = tiny();
+  for (std::size_t u = 0; u < a.dataset.user_count(); ++u) {
+    const auto& truth = a.truth->at(a.dataset.users()[u].id);
+    const auto& labels = a.validation.users[u].labels;
+    for (std::size_t i = 0; i < truth.size(); ++i) {
+      if (truth[i] == synth::TrueBehavior::kRemote) {
+        EXPECT_NE(labels[i], match::CheckinClass::kSuperfluous)
+            << "user " << u << " checkin " << i;
+      }
+    }
+  }
+}
+
+TEST(Integration, CsvRoundTripPreservesValidationResults) {
+  const auto& a = tiny();
+  const fs::path dir = fs::temp_directory_path() / "geovalid_integ_csv";
+  fs::remove_all(dir);
+  trace::write_dataset_csv(a.dataset, dir);
+
+  const core::StudyAnalysis reloaded = core::analyze_csv(dir, "tiny");
+  EXPECT_EQ(reloaded.partition().honest, a.partition().honest);
+  EXPECT_EQ(reloaded.partition().extraneous, a.partition().extraneous);
+  EXPECT_EQ(reloaded.partition().missing, a.partition().missing);
+  fs::remove_all(dir);
+}
+
+TEST(Integration, VisitRedetectionFromCsvIsClose) {
+  // Re-running the detector on the round-tripped GPS gives the same visits
+  // (coordinates only lose sub-metre precision in CSV).
+  const auto& a = tiny();
+  const fs::path dir = fs::temp_directory_path() / "geovalid_integ_csv2";
+  fs::remove_all(dir);
+  trace::write_dataset_csv(a.dataset, dir);
+  const core::StudyAnalysis redetected =
+      core::analyze_csv(dir, "tiny", /*detect_visits=*/true);
+
+  const auto orig = trace::compute_stats(a.dataset);
+  const auto redo = trace::compute_stats(redetected.dataset);
+  EXPECT_EQ(redo.gps_points, orig.gps_points);
+  EXPECT_NEAR(static_cast<double>(redo.visits),
+              static_cast<double>(orig.visits),
+              static_cast<double>(orig.visits) * 0.02 + 2.0);
+  fs::remove_all(dir);
+}
+
+TEST(Integration, LevyModelsFitFromTinyStudy) {
+  const core::LevyModelSet set = core::fit_levy_models(tiny());
+  for (const mobility::LevyWalkModel* m :
+       {&set.gps, &set.honest, &set.all}) {
+    EXPECT_GT(m->flight.alpha, 0.0) << m->name;
+    EXPECT_GT(m->flight.x_min, 0.0) << m->name;
+    EXPECT_GT(m->pause.alpha, 0.0) << m->name;
+    EXPECT_GT(m->flight_max_m, m->flight.x_min) << m->name;
+  }
+  // Honest-checkin trips are a subsequence of all-checkin trips with the
+  // bursty fakes removed; the all model must see shorter gaps.
+  EXPECT_EQ(set.honest.pause.alpha, set.gps.pause.alpha);
+}
+
+TEST(Integration, ReportRenderingDoesNotThrow) {
+  const auto& a = tiny();
+  std::ostringstream os;
+  core::print_partition(os, a.partition());
+  core::print_dataset_stats(os, "tiny", trace::compute_stats(a.dataset));
+  const auto table =
+      match::incentive_correlations(a.dataset, a.validation);
+  core::print_incentive_table(os, table);
+  const core::LevyModelSet set = core::fit_levy_models(a);
+  core::print_levy_model(os, set.gps);
+
+  const stats::Ecdf ecdf(match::all_checkin_interarrivals_min(a.dataset));
+  const auto grid = core::interarrival_grid();
+  const std::vector<stats::CurveSeries> curves{
+      stats::sample_cdf_percent("demo", ecdf, grid)};
+  core::print_cdf_table(os, curves, "minutes");
+
+  EXPECT_FALSE(os.str().empty());
+  EXPECT_NE(os.str().find("honest"), std::string::npos);
+}
+
+TEST(Integration, AlphaBetaSensitivityBehavesSanely) {
+  // Looser thresholds can only add honest matches.
+  const auto& a = tiny();
+  std::size_t prev_honest = 0;
+  for (const auto& [alpha, beta] :
+       std::vector<std::pair<double, trace::TimeSec>>{
+           {100.0, trace::minutes(5)},
+           {250.0, trace::minutes(15)},
+           {500.0, trace::minutes(30)},
+           {1000.0, trace::minutes(60)}}) {
+    match::MatchConfig cfg;
+    cfg.alpha_m = alpha;
+    cfg.beta = beta;
+    const auto validation = match::validate_dataset(a.dataset, cfg);
+    EXPECT_GE(validation.totals.honest, prev_honest)
+        << "alpha=" << alpha << " beta=" << beta;
+    prev_honest = validation.totals.honest;
+  }
+}
+
+TEST(Integration, TruthIsAbsentForCsvLoadedStudies) {
+  const auto& a = tiny();
+  const fs::path dir = fs::temp_directory_path() / "geovalid_integ_csv3";
+  fs::remove_all(dir);
+  trace::write_dataset_csv(a.dataset, dir);
+  const core::StudyAnalysis loaded = core::analyze_csv(dir, "tiny");
+  EXPECT_FALSE(loaded.truth.has_value());
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace geovalid

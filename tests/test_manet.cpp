@@ -1,0 +1,392 @@
+// Tests for the discrete-event engine and AODV over controlled topologies.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "manet/aodv.h"
+#include "manet/event_queue.h"
+#include "manet/simulator.h"
+
+namespace geovalid::manet {
+namespace {
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(3.0, [&] { order.push_back(3); });
+  q.schedule_at(1.0, [&] { order.push_back(1); });
+  q.schedule_at(2.0, [&] { order.push_back(2); });
+  q.run_until(10.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now(), 10.0);
+}
+
+TEST(EventQueue, FifoAmongEqualTimestamps) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  q.run_until(2.0);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, HandlersCanScheduleMore) {
+  EventQueue q;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 4) q.schedule_in(1.0, chain);
+  };
+  q.schedule_at(0.0, chain);
+  q.run_until(10.0);
+  EXPECT_EQ(fired, 4);
+}
+
+TEST(EventQueue, StopsAtEndTime) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(5.0, [&] { ++fired; });
+  q.schedule_at(15.0, [&] { ++fired; });
+  q.run_until(10.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueue, PastTimesClampToNow) {
+  EventQueue q;
+  double fired_at = -1.0;
+  q.schedule_at(5.0, [&] {
+    q.schedule_at(1.0, [&] { fired_at = q.now(); });  // in the past
+  });
+  q.run_until(10.0);
+  EXPECT_DOUBLE_EQ(fired_at, 5.0);
+}
+
+/// Static chain topology 0 - 1 - 2 - ... - (n-1): node i can reach i±1.
+AodvNetwork::NeighborFn chain_topology(std::size_t n) {
+  return [n](NodeId u) {
+    std::vector<NodeId> nbrs;
+    if (u > 0) nbrs.push_back(u - 1);
+    if (u + 1 < n) nbrs.push_back(u + 1);
+    return nbrs;
+  };
+}
+
+class AodvChainTest : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kNodes = 5;
+
+  AodvChainTest()
+      : counters_(), network_(kNodes, AodvConfig{}, queue_,
+                              chain_topology(kNodes), counters_) {
+    counters_.pair_tx.assign(1, 0);
+  }
+
+  EventQueue queue_;
+  ControlCounters counters_;
+  AodvNetwork network_;
+};
+
+TEST_F(AodvChainTest, NoRouteBeforeDiscovery) {
+  EXPECT_FALSE(network_.has_route(0, 4));
+  const auto r = network_.send_data(0, 4, 0);
+  EXPECT_FALSE(r.had_route);
+  EXPECT_FALSE(r.delivered);
+}
+
+TEST_F(AodvChainTest, DiscoveryInstallsRouteEndToEnd) {
+  bool done = false, ok = false;
+  network_.start_discovery(0, 4, 0, [&](bool success) {
+    done = true;
+    ok = success;
+  });
+  queue_.run_until(5.0);
+  EXPECT_TRUE(done);
+  EXPECT_TRUE(ok);
+  EXPECT_TRUE(network_.has_route(0, 4));
+
+  const auto r = network_.send_data(0, 4, 0);
+  EXPECT_TRUE(r.had_route);
+  EXPECT_TRUE(r.delivered);
+  ASSERT_EQ(r.path.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(r.path[i], i);
+}
+
+TEST_F(AodvChainTest, DiscoveryCountsControlPackets) {
+  network_.start_discovery(0, 4, 0, [](bool) {});
+  queue_.run_until(5.0);
+  // Expanding ring (default): the TTL-2 probe reaches only nodes 0..2
+  // (2 RREQ transmissions, no destination), then the TTL-4 ring reaches
+  // the destination (4 RREQ transmissions); the RREP travels 4 hops back.
+  EXPECT_EQ(counters_.rreq_tx, 6u);
+  EXPECT_EQ(counters_.rrep_tx, 4u);
+  EXPECT_EQ(counters_.pair_tx[0], 10u);
+  EXPECT_EQ(counters_.total(), 10u);
+}
+
+TEST_F(AodvChainTest, FullFloodModeCountsControlPackets) {
+  ControlCounters counters;
+  counters.pair_tx.assign(1, 0);
+  EventQueue queue;
+  AodvConfig cfg;
+  cfg.expanding_ring = false;
+  AodvNetwork net(kNodes, cfg, queue, chain_topology(kNodes), counters);
+  bool ok = false;
+  net.start_discovery(0, 4, 0, [&](bool success) { ok = success; });
+  queue.run_until(5.0);
+  EXPECT_TRUE(ok);
+  // One full flood: RREQ rebroadcast by nodes 0..3, RREP 4 hops back.
+  EXPECT_EQ(counters.rreq_tx, 4u);
+  EXPECT_EQ(counters.rrep_tx, 4u);
+  EXPECT_EQ(counters.total(), 8u);
+}
+
+TEST_F(AodvChainTest, ExpandingRingIsCheaperForNearbyDestinations) {
+  // Destination 2 hops away: the TTL-2 probe already reaches it.
+  bool ok = false;
+  network_.start_discovery(0, 2, 0, [&](bool success) { ok = success; });
+  queue_.run_until(5.0);
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(counters_.rreq_tx, 2u);  // nodes 0 and 1 only
+  EXPECT_EQ(counters_.rrep_tx, 2u);
+
+  // For an unreachable destination the orderings reverse: the expanding
+  // ring pays for every escalation round, the full flood pays once.
+  auto cost_unreachable = [](bool ring) {
+    ControlCounters counters;
+    counters.pair_tx.assign(1, 0);
+    EventQueue queue;
+    AodvConfig cfg;
+    cfg.expanding_ring = ring;
+    // 0-1-2-3 connected, node 4 isolated.
+    AodvNetwork net(5, cfg, queue,
+                    [](NodeId u) -> std::vector<NodeId> {
+                      std::vector<NodeId> nbrs;
+                      if (u == 4) return nbrs;
+                      if (u > 0) nbrs.push_back(u - 1);
+                      if (u + 1 < 4) nbrs.push_back(u + 1);
+                      return nbrs;
+                    },
+                    counters);
+    bool done = false;
+    net.start_discovery(0, 4, 0, [&](bool) { done = true; });
+    queue.run_until(20.0);
+    EXPECT_TRUE(done);
+    return counters.rreq_tx;
+  };
+  EXPECT_GT(cost_unreachable(true), cost_unreachable(false));
+}
+
+TEST_F(AodvChainTest, OnlyOneDiscoveryInFlightPerDestination) {
+  int callbacks = 0;
+  network_.start_discovery(0, 4, 0, [&](bool) { ++callbacks; });
+  network_.start_discovery(0, 4, 0, [&](bool) { ++callbacks; });  // ignored
+  queue_.run_until(5.0);
+  EXPECT_EQ(callbacks, 1);
+}
+
+TEST_F(AodvChainTest, DiscoveryToUnreachableNodeTimesOut) {
+  // Node 4 unreachable: cut the 3-4 link by using a 4-node chain view.
+  ControlCounters counters;
+  counters.pair_tx.assign(1, 0);
+  EventQueue queue;
+  AodvNetwork net(5, AodvConfig{}, queue,
+                  [](NodeId u) {
+                    // 0-1-2-3 connected; 4 isolated.
+                    std::vector<NodeId> nbrs;
+                    if (u == 4) return nbrs;
+                    if (u > 0) nbrs.push_back(u - 1);
+                    if (u + 1 < 4) nbrs.push_back(u + 1);
+                    return nbrs;
+                  },
+                  counters);
+  bool done = false, ok = true;
+  net.start_discovery(0, 4, 0, [&](bool success) {
+    done = true;
+    ok = success;
+  });
+  queue.run_until(10.0);
+  EXPECT_TRUE(done);
+  EXPECT_FALSE(ok);
+  EXPECT_FALSE(net.has_route(0, 4));
+}
+
+TEST(Aodv, LinkBreakTriggersRerrAndInvalidation) {
+  // Mutable topology: start as a chain, then cut link 2-3 mid-run.
+  bool cut = false;
+  auto topology = [&cut](NodeId u) {
+    std::vector<NodeId> nbrs;
+    const std::size_t n = 4;
+    auto connected = [&](NodeId a, NodeId b) {
+      if (cut && ((a == 2 && b == 3) || (a == 3 && b == 2))) return false;
+      return (a > b ? a - b : b - a) == 1;
+    };
+    for (NodeId v = 0; v < n; ++v) {
+      if (v != u && connected(u, v)) nbrs.push_back(v);
+    }
+    return nbrs;
+  };
+
+  EventQueue queue;
+  ControlCounters counters;
+  counters.pair_tx.assign(1, 0);
+  AodvNetwork net(4, AodvConfig{}, queue, topology, counters);
+
+  net.start_discovery(0, 3, 0, [](bool) {});
+  queue.run_until(5.0);
+  ASSERT_TRUE(net.has_route(0, 3));
+  ASSERT_TRUE(net.send_data(0, 3, 0).delivered);
+
+  cut = true;
+  const auto r = net.send_data(0, 3, 0);
+  EXPECT_TRUE(r.had_route);
+  EXPECT_FALSE(r.delivered);
+  EXPECT_GT(counters.rerr_tx, 0u);
+  // Source route invalidated: next send has no route.
+  EXPECT_FALSE(net.has_route(0, 3));
+}
+
+TEST(Aodv, RouteExpiresAfterTimeout) {
+  EventQueue queue;
+  ControlCounters counters;
+  counters.pair_tx.assign(1, 0);
+  AodvConfig cfg;
+  cfg.active_route_timeout_s = 2.0;
+  AodvNetwork net(3, cfg, queue, chain_topology(3), counters);
+
+  net.start_discovery(0, 2, 0, [](bool) {});
+  queue.run_until(1.0);
+  EXPECT_TRUE(net.has_route(0, 2));
+  // Advance past the timeout with an idle event.
+  queue.schedule_at(4.0, [] {});
+  queue.run_until(5.0);
+  EXPECT_FALSE(net.has_route(0, 2));
+}
+
+TEST(Aodv, TtlBoundsFloodReach) {
+  EventQueue queue;
+  ControlCounters counters;
+  counters.pair_tx.assign(1, 0);
+  AodvConfig cfg;
+  cfg.rreq_ttl = 2;  // destination 4 hops away: unreachable
+  AodvNetwork net(6, cfg, queue, chain_topology(6), counters);
+  bool ok = true;
+  net.start_discovery(0, 5, 0, [&](bool success) { ok = success; });
+  queue.run_until(5.0);
+  EXPECT_FALSE(ok);
+}
+
+TEST(Aodv, RejectsBadConstruction) {
+  EventQueue queue;
+  ControlCounters counters;
+  EXPECT_THROW(AodvNetwork(0, AodvConfig{}, queue, chain_topology(1), counters),
+               std::invalid_argument);
+  EXPECT_THROW(AodvNetwork(2, AodvConfig{}, queue, nullptr, counters),
+               std::invalid_argument);
+}
+
+TEST(Simulator, TwoStaticNodesInRangeCommunicate) {
+  // Two parked nodes 500 m apart with a 1 km radio.
+  std::vector<mobility::NodeTrack> tracks;
+  tracks.emplace_back(
+      std::vector<mobility::Waypoint>{{0.0, {0.0, 0.0}}});
+  tracks.emplace_back(
+      std::vector<mobility::Waypoint>{{0.0, {500.0, 0.0}}});
+
+  SimConfig cfg;
+  cfg.node_count = 2;
+  cfg.cbr_pairs = 1;
+  cfg.duration_s = 120.0;
+  cfg.cbr_interval_s = 2.0;
+  const SimResult r = simulate(tracks, cfg);
+  ASSERT_EQ(r.pairs.size(), 1u);
+  EXPECT_GT(r.data_sent, 30u);
+  // After the initial discovery everything is delivered.
+  EXPECT_GT(r.pairs[0].delivery_ratio(), 0.9);
+  EXPECT_NEAR(r.pairs[0].availability_ratio, 1.0, 1e-12);
+  EXPECT_EQ(r.pairs[0].route_changes, 0u);
+}
+
+TEST(Simulator, DisconnectedNodesNeverDeliver) {
+  std::vector<mobility::NodeTrack> tracks;
+  tracks.emplace_back(
+      std::vector<mobility::Waypoint>{{0.0, {0.0, 0.0}}});
+  tracks.emplace_back(
+      std::vector<mobility::Waypoint>{{0.0, {50000.0, 0.0}}});
+
+  SimConfig cfg;
+  cfg.node_count = 2;
+  cfg.cbr_pairs = 1;
+  cfg.duration_s = 60.0;
+  const SimResult r = simulate(tracks, cfg);
+  EXPECT_EQ(r.data_delivered, 0u);
+  EXPECT_DOUBLE_EQ(r.pairs[0].availability_ratio, 0.0);
+  // Discoveries happened but found nothing; overhead counted.
+  EXPECT_GT(r.pairs[0].overhead_per_data(), 0.0);
+}
+
+TEST(Simulator, MovingNodeCausesRouteChanges) {
+  // Node 1 oscillates between in-range of 0 (via relay) configurations:
+  // 0 at origin, relay at 800, node 2 starts at 1600 then walks to 2400
+  // (still reachable via relay at 800? no — goes out of range) and back.
+  std::vector<mobility::NodeTrack> tracks;
+  tracks.emplace_back(
+      std::vector<mobility::Waypoint>{{0.0, {0.0, 0.0}}});
+  tracks.emplace_back(
+      std::vector<mobility::Waypoint>{{0.0, {800.0, 0.0}}});
+  tracks.emplace_back(std::vector<mobility::Waypoint>{
+      {0.0, {1600.0, 0.0}},
+      {60.0, {1600.0, 0.0}},
+      {90.0, {3000.0, 0.0}},   // out of everyone's range
+      {150.0, {3000.0, 0.0}},
+      {180.0, {900.0, 0.0}},   // now one hop from node 0? (900 <= 1000) yes
+      {400.0, {900.0, 0.0}},
+  });
+
+  SimConfig cfg;
+  cfg.node_count = 3;
+  cfg.cbr_pairs = 1;
+  cfg.duration_s = 400.0;
+  cfg.cbr_interval_s = 2.0;
+  cfg.connectivity_sample_s = 5.0;
+  // Force the single pair to be 0 -> 2 regardless of seed: try seeds until
+  // the pair matches (deterministic given the seed).
+  for (std::uint64_t seed = 0; seed < 64; ++seed) {
+    cfg.seed = seed;
+    const SimResult r = simulate(tracks, cfg);
+    if (r.pairs[0].src == 0 && r.pairs[0].dst == 2) {
+      EXPECT_GT(r.pairs[0].data_delivered, 0u);
+      EXPECT_GT(r.pairs[0].route_changes, 0u);  // 2-hop path then 1-hop path
+      EXPECT_LT(r.pairs[0].availability_ratio, 1.0);
+      EXPECT_GT(r.pairs[0].availability_ratio, 0.3);
+      return;
+    }
+  }
+  FAIL() << "no seed produced the 0->2 pair";
+}
+
+TEST(Simulator, RejectsBadConfig) {
+  std::vector<mobility::NodeTrack> tracks(1);
+  SimConfig cfg;
+  cfg.node_count = 2;
+  EXPECT_THROW(simulate(tracks, cfg), std::invalid_argument);
+}
+
+TEST(Simulator, PairMetricFormulas) {
+  PairMetrics m;
+  m.data_sent = 100;
+  m.data_delivered = 50;
+  m.control_tx = 200;
+  m.route_changes = 6;
+  m.duration_min = 3.0;
+  EXPECT_DOUBLE_EQ(m.delivery_ratio(), 0.5);
+  EXPECT_DOUBLE_EQ(m.overhead_per_data(), 4.0);
+  EXPECT_DOUBLE_EQ(m.route_changes_per_min(), 2.0);
+  PairMetrics zero;
+  EXPECT_DOUBLE_EQ(zero.delivery_ratio(), 0.0);
+  EXPECT_DOUBLE_EQ(zero.route_changes_per_min(), 0.0);
+}
+
+}  // namespace
+}  // namespace geovalid::manet

@@ -1,0 +1,90 @@
+// Tests for AODV HELLO beaconing (optional proactive link sensing).
+#include <gtest/gtest.h>
+
+#include "manet/aodv.h"
+#include "manet/event_queue.h"
+
+namespace geovalid::manet {
+namespace {
+
+AodvConfig hello_config() {
+  AodvConfig cfg;
+  cfg.hello_interval_s = 1.0;
+  cfg.allowed_hello_loss = 2;
+  return cfg;
+}
+
+TEST(AodvHello, BeaconsAreCountedAndScheduled) {
+  EventQueue queue;
+  ControlCounters counters;
+  counters.pair_tx.assign(1, 0);
+  AodvNetwork net(3, hello_config(), queue,
+                  [](NodeId) { return std::vector<NodeId>{}; }, counters);
+  queue.run_until(5.5);
+  // 3 nodes x ~5-6 beacons each within 5.5 s.
+  EXPECT_GE(counters.hello_tx, 15u);
+  EXPECT_LE(counters.hello_tx, 18u);
+  EXPECT_EQ(counters.total(), counters.hello_tx);
+}
+
+TEST(AodvHello, SilentNeighbourInvalidatesRoute) {
+  // Chain 0-1-2; after t=3 the 0-1 link disappears. HELLO sensing must
+  // invalidate node 0's route without any data packet being sent.
+  bool cut = false;
+  auto topology = [&cut](NodeId u) -> std::vector<NodeId> {
+    std::vector<NodeId> nbrs;
+    auto connected = [&](NodeId a, NodeId b) {
+      if (cut && ((a == 0 && b == 1) || (a == 1 && b == 0))) return false;
+      return (a > b ? a - b : b - a) == 1;
+    };
+    for (NodeId v = 0; v < 3; ++v) {
+      if (v != u && connected(u, v)) nbrs.push_back(v);
+    }
+    return nbrs;
+  };
+
+  EventQueue queue;
+  ControlCounters counters;
+  counters.pair_tx.assign(1, 0);
+  AodvNetwork net(3, hello_config(), queue, topology, counters);
+
+  net.start_discovery(0, 2, 0, [](bool) {});
+  queue.run_until(3.0);
+  ASSERT_TRUE(net.has_route(0, 2));
+
+  cut = true;
+  queue.run_until(9.0);  // several lost HELLO intervals
+  EXPECT_FALSE(net.has_route(0, 2));
+}
+
+TEST(AodvHello, StableLinkKeepsRouteAlive) {
+  EventQueue queue;
+  ControlCounters counters;
+  counters.pair_tx.assign(1, 0);
+  AodvConfig cfg = hello_config();
+  cfg.active_route_timeout_s = 1000.0;  // isolate the HELLO mechanism
+  AodvNetwork net(3, cfg, queue,
+                  [](NodeId u) {
+                    std::vector<NodeId> nbrs;
+                    if (u > 0) nbrs.push_back(u - 1);
+                    if (u + 1 < 3) nbrs.push_back(u + 1);
+                    return nbrs;
+                  },
+                  counters);
+  net.start_discovery(0, 2, 0, [](bool) {});
+  queue.run_until(20.0);
+  EXPECT_TRUE(net.has_route(0, 2));
+}
+
+TEST(AodvHello, DisabledByDefault) {
+  EventQueue queue;
+  ControlCounters counters;
+  counters.pair_tx.assign(1, 0);
+  AodvNetwork net(3, AodvConfig{}, queue,
+                  [](NodeId) { return std::vector<NodeId>{}; }, counters);
+  queue.run_until(10.0);
+  EXPECT_EQ(counters.hello_tx, 0u);
+}
+
+}  // namespace
+}  // namespace geovalid::manet

@@ -1,0 +1,198 @@
+// Tests for the dataset-level pipeline and the §4.2/§5 analyses.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/pipeline.h"
+#include "match/burstiness.h"
+#include "match/incentives.h"
+#include "match/missing.h"
+#include "match/pipeline.h"
+#include "match/prevalence.h"
+
+namespace geovalid::match {
+namespace {
+
+/// One shared tiny study for all analysis tests (generation is ~50 ms).
+const core::StudyAnalysis& tiny_analysis() {
+  static const core::StudyAnalysis analysis =
+      core::analyze_generated(synth::tiny_preset());
+  return analysis;
+}
+
+TEST(Pipeline, PartitionIsConsistent) {
+  const auto& a = tiny_analysis();
+  const Partition& p = a.partition();
+  EXPECT_EQ(p.honest + p.extraneous, p.checkins);
+  EXPECT_EQ(p.honest + p.missing, p.visits);
+  std::size_t by_class_sum = 0;
+  for (std::size_t c = 0; c < kCheckinClassCount; ++c) {
+    by_class_sum += p.by_class[c];
+  }
+  EXPECT_EQ(by_class_sum, p.checkins);
+  EXPECT_EQ(p.by_class[0], p.honest);
+}
+
+TEST(Pipeline, PerUserCountsSumToTotals) {
+  const auto& a = tiny_analysis();
+  std::size_t honest = 0, checkins = 0, missing = 0;
+  for (const UserValidation& uv : a.validation.users) {
+    honest += uv.match.honest_count();
+    checkins += uv.labels.size();
+    missing += uv.match.missing_count();
+  }
+  EXPECT_EQ(honest, a.partition().honest);
+  EXPECT_EQ(checkins, a.partition().checkins);
+  EXPECT_EQ(missing, a.partition().missing);
+}
+
+TEST(MissingAnalysis, TopPoiRatiosMonotonicInN) {
+  const auto& a = tiny_analysis();
+  const TopPoiMissingRatios r =
+      missing_ratio_at_top_pois(a.dataset, a.validation);
+  ASSERT_FALSE(r.ratios[0].empty());
+  for (std::size_t u = 0; u < r.ratios[0].size(); ++u) {
+    for (std::size_t n = 1; n < r.ratios.size(); ++n) {
+      EXPECT_GE(r.ratios[n][u], r.ratios[n - 1][u] - 1e-12)
+          << "user " << u << " n=" << n;
+    }
+    EXPECT_GE(r.ratios[0][u], 0.0);
+    EXPECT_LE(r.ratios[4][u], 1.0 + 1e-12);
+  }
+}
+
+TEST(MissingAnalysis, RoutinePlacesDominateMissing) {
+  // The paper's Figure 3 headline: for most users a handful of places carry
+  // the majority of missing checkins. The generator builds that behaviour,
+  // so the analysis must recover it.
+  const auto& a = tiny_analysis();
+  const TopPoiMissingRatios r =
+      missing_ratio_at_top_pois(a.dataset, a.validation);
+  std::size_t majority = 0;
+  for (double ratio : r.ratios[4]) {
+    if (ratio > 0.5) ++majority;
+  }
+  EXPECT_GT(majority, r.ratios[4].size() / 3);
+}
+
+TEST(MissingAnalysis, CategoriesSumToHundred) {
+  const auto& a = tiny_analysis();
+  const auto pct = missing_by_category(a.dataset, a.validation);
+  double sum = 0.0;
+  for (double p : pct) sum += p;
+  EXPECT_NEAR(sum, 100.0, 1e-6);
+}
+
+TEST(Prevalence, RatiosAreProbabilities) {
+  const auto& a = tiny_analysis();
+  for (const auto ratio : per_user_extraneous_ratio(a.validation)) {
+    EXPECT_GE(ratio, 0.0);
+    EXPECT_LE(ratio, 1.0);
+  }
+  const auto honest = per_user_class_ratio(a.validation, CheckinClass::kHonest);
+  const auto extraneous = per_user_extraneous_ratio(a.validation);
+  ASSERT_EQ(honest.size(), extraneous.size());
+  for (std::size_t i = 0; i < honest.size(); ++i) {
+    EXPECT_NEAR(honest[i] + extraneous[i], 1.0, 1e-12);
+  }
+}
+
+TEST(Prevalence, ClassRatiosSumToOne) {
+  const auto& a = tiny_analysis();
+  std::array<std::vector<double>, kCheckinClassCount> ratios;
+  for (std::size_t c = 0; c < kCheckinClassCount; ++c) {
+    ratios[c] = per_user_class_ratio(a.validation,
+                                     static_cast<CheckinClass>(c));
+  }
+  for (std::size_t u = 0; u < ratios[0].size(); ++u) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < kCheckinClassCount; ++c) sum += ratios[c][u];
+    EXPECT_NEAR(sum, 1.0, 1e-12) << "user " << u;
+  }
+}
+
+TEST(Prevalence, HonestLossGrowsWithCoverage) {
+  const auto& a = tiny_analysis();
+  double prev = -1.0;
+  for (double coverage : {0.2, 0.5, 0.8, 1.0}) {
+    const double loss =
+        honest_loss_at_extraneous_coverage(a.validation, coverage);
+    EXPECT_GE(loss, prev) << "coverage " << coverage;
+    EXPECT_GE(loss, 0.0);
+    EXPECT_LE(loss, 1.0);
+    prev = loss;
+  }
+  EXPECT_THROW(honest_loss_at_extraneous_coverage(a.validation, 1.5),
+               std::invalid_argument);
+}
+
+TEST(Prevalence, FilteringHeavyUsersCostsHonestCheckins) {
+  // §5.3: removing the users behind 80% of extraneous checkins must also
+  // remove a substantial share of honest ones.
+  const auto& a = tiny_analysis();
+  const double loss = honest_loss_at_extraneous_coverage(a.validation, 0.8);
+  EXPECT_GT(loss, 0.15);
+}
+
+TEST(Burstiness, ExtraneousArriveFasterThanHonest) {
+  const auto& a = tiny_analysis();
+  const auto honest =
+      class_interarrivals_min(a.dataset, a.validation, CheckinClass::kHonest);
+  const auto extraneous = extraneous_interarrivals_min(a.dataset, a.validation);
+  ASSERT_GT(honest.size(), 5u);
+  ASSERT_GT(extraneous.size(), 5u);
+
+  const auto median = [](std::vector<double> v) {
+    std::nth_element(v.begin(), v.begin() + v.size() / 2, v.end());
+    return v[v.size() / 2];
+  };
+  EXPECT_LT(median(extraneous), median(honest));
+}
+
+TEST(Burstiness, AllCheckinGapsCountMatches) {
+  const auto& a = tiny_analysis();
+  const auto gaps = all_checkin_interarrivals_min(a.dataset);
+  std::size_t expected = 0;
+  for (const trace::UserRecord& u : a.dataset.users()) {
+    if (u.checkins.size() >= 2) expected += u.checkins.size() - 1;
+  }
+  EXPECT_EQ(gaps.size(), expected);
+}
+
+TEST(Incentives, TableHasPaperSignStructure) {
+  // Use the full primary preset here: sign structure needs population-scale
+  // statistics. Shared across assertions below.
+  static const core::StudyAnalysis primary =
+      core::analyze_generated(synth::primary_preset());
+  const IncentiveTable t =
+      incentive_correlations(primary.dataset, primary.validation);
+
+  const auto remote_row = 1, super_row = 0, driveby_row = 2, honest_row = 3;
+  const auto badges = 1, mayors = 2;
+
+  // Strong positive anchors of Table 2.
+  EXPECT_GT(t.pearson[remote_row][badges], 0.3);
+  EXPECT_GT(t.pearson[super_row][mayors], 0.2);
+  // Honest correlates negatively with every feature.
+  for (std::size_t f = 0; f < kProfileFeatureCount; ++f) {
+    EXPECT_LT(t.pearson[honest_row][f], 0.0) << "feature " << f;
+  }
+  // Driveby users are not reward gamers.
+  EXPECT_LT(t.pearson[driveby_row][badges], 0.0);
+  EXPECT_LT(t.pearson[driveby_row][mayors], 0.0);
+  // All entries are valid correlations.
+  for (const auto& row : t.pearson) {
+    for (double v : row) {
+      EXPECT_GE(v, -1.0);
+      EXPECT_LE(v, 1.0);
+    }
+  }
+}
+
+TEST(Incentives, FeatureNames) {
+  EXPECT_EQ(to_string(ProfileFeature::kFriends), "#Friends");
+  EXPECT_EQ(to_string(ProfileFeature::kCheckinsPerDay), "#Checkins/Day");
+}
+
+}  // namespace
+}  // namespace geovalid::match

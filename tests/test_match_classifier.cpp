@@ -1,0 +1,150 @@
+// Unit tests for the §5.1 extraneous-checkin classifier.
+#include <gtest/gtest.h>
+
+#include "geo/geodesic.h"
+#include "match/classifier.h"
+
+namespace geovalid::match {
+namespace {
+
+using trace::Checkin;
+using trace::GpsPoint;
+using trace::GpsTrace;
+using trace::minutes;
+
+const geo::LatLon kHere{34.42, -119.70};
+
+Checkin ck(trace::TimeSec t, const geo::LatLon& where) {
+  Checkin c;
+  c.t = t;
+  c.location = where;
+  return c;
+}
+
+/// Stationary GPS trace at kHere, one sample per minute for `n` minutes.
+GpsTrace stationary_gps(int n) {
+  GpsTrace g;
+  for (int i = 0; i < n; ++i) {
+    GpsPoint p;
+    p.t = minutes(i);
+    p.position = kHere;
+    g.append(p);
+  }
+  return g;
+}
+
+/// Moving GPS trace: 600 m/minute (10 m/s) eastwards.
+GpsTrace moving_gps(int n) {
+  GpsTrace g;
+  for (int i = 0; i < n; ++i) {
+    GpsPoint p;
+    p.t = minutes(i);
+    p.position = geo::destination(kHere, 90.0, 600.0 * i);
+    g.append(p);
+  }
+  return g;
+}
+
+UserMatch unmatched(std::size_t n_checkins, std::size_t n_visits = 0) {
+  UserMatch m;
+  m.checkins.resize(n_checkins);
+  m.visit_matched.assign(n_visits, false);
+  return m;
+}
+
+TEST(Classifier, MatchedCheckinIsHonest) {
+  const std::vector<Checkin> checkins{ck(minutes(5), kHere)};
+  UserMatch m = unmatched(1, 1);
+  m.checkins[0].visit = 0;
+  const auto labels = classify_user(checkins, stationary_gps(10), m);
+  EXPECT_EQ(labels[0], CheckinClass::kHonest);
+}
+
+TEST(Classifier, FarVenueIsRemote) {
+  const geo::LatLon venue = geo::destination(kHere, 0.0, 2000.0);
+  const std::vector<Checkin> checkins{ck(minutes(5), venue)};
+  const auto labels =
+      classify_user(checkins, stationary_gps(10), unmatched(1));
+  EXPECT_EQ(labels[0], CheckinClass::kRemote);
+}
+
+TEST(Classifier, RemoteThresholdBoundary) {
+  ClassifierConfig cfg;
+  // 450 m away: nearby (superfluous); 550 m away: remote.
+  const std::vector<Checkin> near{ck(minutes(5),
+                                     geo::destination(kHere, 0.0, 450.0))};
+  const std::vector<Checkin> far{ck(minutes(5),
+                                    geo::destination(kHere, 0.0, 550.0))};
+  EXPECT_EQ(classify_user(near, stationary_gps(10), unmatched(1), cfg)[0],
+            CheckinClass::kSuperfluous);
+  EXPECT_EQ(classify_user(far, stationary_gps(10), unmatched(1), cfg)[0],
+            CheckinClass::kRemote);
+}
+
+TEST(Classifier, NearbyWhileFastIsDriveby) {
+  // User moving at 10 m/s; venue right on the route.
+  const geo::LatLon venue = geo::destination(kHere, 90.0, 600.0 * 5);
+  const std::vector<Checkin> checkins{ck(minutes(5), venue)};
+  const auto labels = classify_user(checkins, moving_gps(10), unmatched(1));
+  EXPECT_EQ(labels[0], CheckinClass::kDriveby);
+}
+
+TEST(Classifier, NearbyWhileSlowIsSuperfluous) {
+  const geo::LatLon venue = geo::destination(kHere, 0.0, 200.0);
+  const std::vector<Checkin> checkins{ck(minutes(5), venue)};
+  const auto labels =
+      classify_user(checkins, stationary_gps(10), unmatched(1));
+  EXPECT_EQ(labels[0], CheckinClass::kSuperfluous);
+}
+
+TEST(Classifier, NoGpsEvidenceIsUnclassified) {
+  // Checkin 30 minutes after the last GPS sample.
+  const std::vector<Checkin> checkins{ck(minutes(40), kHere)};
+  const auto labels =
+      classify_user(checkins, stationary_gps(10), unmatched(1));
+  EXPECT_EQ(labels[0], CheckinClass::kUnclassified);
+}
+
+TEST(Classifier, CheckinBeforeFirstSampleIsUnclassified) {
+  GpsTrace g;
+  GpsPoint p;
+  p.t = minutes(100);
+  p.position = kHere;
+  g.append(p);
+  const std::vector<Checkin> checkins{ck(minutes(5), kHere)};
+  const auto labels = classify_user(checkins, g, unmatched(1));
+  EXPECT_EQ(labels[0], CheckinClass::kUnclassified);
+}
+
+TEST(Classifier, GapJustInsideMaxIsClassified) {
+  ClassifierConfig cfg;
+  cfg.max_gps_gap = minutes(10);
+  // Last sample at minute 9, checkin at minute 18 (gap 9 min).
+  const std::vector<Checkin> checkins{ck(minutes(18), kHere)};
+  const auto labels =
+      classify_user(checkins, stationary_gps(10), unmatched(1), cfg);
+  EXPECT_EQ(labels[0], CheckinClass::kSuperfluous);
+}
+
+TEST(Classifier, DrivebySpeedThresholdIsFourMph) {
+  ClassifierConfig cfg;
+  EXPECT_NEAR(cfg.driveby_speed_mps, geo::mph_to_mps(4.0), 1e-6);
+}
+
+TEST(Classifier, MismatchedInputsRejected) {
+  const std::vector<Checkin> checkins{ck(0, kHere)};
+  UserMatch wrong = unmatched(2);
+  EXPECT_THROW(classify_user(checkins, stationary_gps(3), wrong),
+               std::invalid_argument);
+}
+
+TEST(Classifier, ClassNamesRoundTrip) {
+  EXPECT_EQ(to_string(CheckinClass::kHonest), "honest");
+  EXPECT_EQ(to_string(CheckinClass::kSuperfluous), "superfluous");
+  EXPECT_EQ(to_string(CheckinClass::kRemote), "remote");
+  EXPECT_EQ(to_string(CheckinClass::kDriveby), "driveby");
+  EXPECT_EQ(to_string(CheckinClass::kUnclassified), "unclassified");
+}
+
+}  // namespace
+}  // namespace geovalid::match

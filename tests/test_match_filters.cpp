@@ -1,0 +1,145 @@
+// Tests for the extraneous-checkin detectors of §5.3 / §7.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/pipeline.h"
+#include "match/filters.h"
+
+namespace geovalid::match {
+namespace {
+
+const core::StudyAnalysis& tiny_analysis() {
+  static const core::StudyAnalysis analysis =
+      core::analyze_generated(synth::tiny_preset());
+  return analysis;
+}
+
+TEST(DetectionScore, Formulas) {
+  DetectionScore s;
+  s.true_positive = 30;
+  s.false_positive = 10;
+  s.false_negative = 20;
+  s.true_negative = 40;
+  EXPECT_DOUBLE_EQ(s.precision(), 0.75);
+  EXPECT_DOUBLE_EQ(s.recall(), 0.6);
+  EXPECT_NEAR(s.f1(), 2.0 * 0.75 * 0.6 / 1.35, 1e-12);
+  EXPECT_DOUBLE_EQ(s.honest_loss(), 0.2);
+}
+
+TEST(DetectionScore, EmptyDenominatorsAreZero) {
+  const DetectionScore s;
+  EXPECT_DOUBLE_EQ(s.precision(), 0.0);
+  EXPECT_DOUBLE_EQ(s.recall(), 0.0);
+  EXPECT_DOUBLE_EQ(s.f1(), 0.0);
+  EXPECT_DOUBLE_EQ(s.honest_loss(), 0.0);
+}
+
+TEST(BurstinessFlags, FlagsBothSidesOfASmallGap) {
+  // Hand-build a dataset: one user, three checkins, the last two 1 minute
+  // apart.
+  trace::CheckinTrace ck;
+  for (trace::TimeSec t : {trace::minutes(0), trace::minutes(120),
+                           trace::minutes(121)}) {
+    trace::Checkin c;
+    c.t = t;
+    ck.append(c);
+  }
+  trace::UserRecord u;
+  u.id = 1;
+  u.checkins = std::move(ck);
+  std::vector<trace::UserRecord> users;
+  users.push_back(std::move(u));
+  const trace::Dataset ds("t", {}, std::move(users));
+
+  const auto flags = burstiness_flags(ds);
+  ASSERT_EQ(flags.size(), 1u);
+  ASSERT_EQ(flags[0].size(), 3u);
+  EXPECT_FALSE(flags[0][0]);
+  EXPECT_TRUE(flags[0][1]);
+  EXPECT_TRUE(flags[0][2]);
+}
+
+TEST(BurstinessFlags, WiderThresholdFlagsMore) {
+  const auto& a = tiny_analysis();
+  std::size_t prev = 0;
+  for (trace::TimeSec threshold :
+       {trace::minutes(1), trace::minutes(5), trace::minutes(30)}) {
+    BurstinessFilterConfig cfg;
+    cfg.gap_threshold = threshold;
+    const auto flags = burstiness_flags(a.dataset, cfg);
+    std::size_t total = 0;
+    for (const auto& f : flags) {
+      total += static_cast<std::size_t>(std::count(f.begin(), f.end(), true));
+    }
+    EXPECT_GE(total, prev);
+    prev = total;
+  }
+}
+
+TEST(BurstinessFilter, BeatsChanceOnGeneratedData) {
+  // Figure 6's separation means burst gaps predict extraneous checkins far
+  // better than the base rate.
+  const auto& a = tiny_analysis();
+  const auto flags = burstiness_flags(a.dataset);
+  const DetectionScore s = score_flags(a.validation, flags);
+
+  // Base rate of extraneous checkins in the dataset:
+  const double base =
+      static_cast<double>(a.partition().extraneous) /
+      static_cast<double>(a.partition().checkins);
+  EXPECT_GT(s.precision(), base);
+  EXPECT_GT(s.recall(), 0.5);
+}
+
+TEST(UserLevelFlags, FractionControlsFlaggedUsers) {
+  const auto& a = tiny_analysis();
+  const auto none = user_level_flags(a.dataset, 0.0);
+  std::size_t flagged = 0;
+  for (const auto& f : none) {
+    flagged += static_cast<std::size_t>(std::count(f.begin(), f.end(), true));
+  }
+  EXPECT_EQ(flagged, 0u);
+
+  const auto all = user_level_flags(a.dataset, 1.0);
+  std::size_t total = 0, set = 0;
+  for (const auto& f : all) {
+    total += f.size();
+    set += static_cast<std::size_t>(std::count(f.begin(), f.end(), true));
+  }
+  EXPECT_EQ(set, total);
+  EXPECT_THROW(user_level_flags(a.dataset, 1.5), std::invalid_argument);
+}
+
+TEST(UserLevelFlags, CoarserThanCheckinLevel) {
+  // Dropping half the users should cost clearly more honest checkins than
+  // the checkin-level burstiness filter does (the paper's §5.3 argument).
+  const auto& a = tiny_analysis();
+  const DetectionScore user_half =
+      score_flags(a.validation, user_level_flags(a.dataset, 0.5));
+  BurstinessFilterConfig tight;
+  tight.gap_threshold = trace::minutes(2);
+  const DetectionScore bursty =
+      score_flags(a.validation, burstiness_flags(a.dataset, tight));
+  EXPECT_GT(user_half.honest_loss(), bursty.honest_loss());
+}
+
+TEST(ThresholdSweep, RecallIncreasesWithThreshold) {
+  const auto& a = tiny_analysis();
+  const std::vector<double> thresholds{0.5, 2.0, 10.0, 60.0};
+  const auto curve =
+      burstiness_threshold_sweep(a.dataset, a.validation, thresholds);
+  ASSERT_EQ(curve.size(), thresholds.size());
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].second.recall(), curve[i - 1].second.recall() - 1e-12);
+  }
+}
+
+TEST(ScoreFlags, RejectsMismatchedShapes) {
+  const auto& a = tiny_analysis();
+  std::vector<std::vector<bool>> wrong;  // wrong user count
+  EXPECT_THROW(score_flags(a.validation, wrong), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace geovalid::match

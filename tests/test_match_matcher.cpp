@@ -1,0 +1,202 @@
+// Unit tests for the §4.1 matching algorithm — the paper's core mechanism.
+#include <gtest/gtest.h>
+
+#include "geo/geodesic.h"
+#include "match/matcher.h"
+
+namespace geovalid::match {
+namespace {
+
+using trace::Checkin;
+using trace::Visit;
+using trace::minutes;
+
+const geo::LatLon kBase{34.42, -119.70};
+
+Checkin ck(trace::TimeSec t, const geo::LatLon& where) {
+  Checkin c;
+  c.t = t;
+  c.location = where;
+  return c;
+}
+
+Visit visit(trace::TimeSec start, trace::TimeSec end,
+            const geo::LatLon& where) {
+  return Visit{start, end, where, trace::kNoPoi};
+}
+
+TEST(Matcher, ChecksInDuringVisitMatches) {
+  const std::vector<Checkin> checkins{ck(minutes(10), kBase)};
+  const std::vector<Visit> visits{visit(minutes(5), minutes(30), kBase)};
+  const UserMatch m = match_user(checkins, visits);
+  ASSERT_TRUE(m.checkins[0].visit.has_value());
+  EXPECT_EQ(*m.checkins[0].visit, 0u);
+  EXPECT_EQ(m.checkins[0].dt, 0);
+  EXPECT_EQ(m.honest_count(), 1u);
+  EXPECT_EQ(m.missing_count(), 0u);
+}
+
+TEST(Matcher, BeyondAlphaDoesNotMatch) {
+  const geo::LatLon far = geo::destination(kBase, 90.0, 600.0);  // > 500 m
+  const std::vector<Checkin> checkins{ck(minutes(10), far)};
+  const std::vector<Visit> visits{visit(minutes(5), minutes(30), kBase)};
+  const UserMatch m = match_user(checkins, visits);
+  EXPECT_FALSE(m.checkins[0].visit.has_value());
+  EXPECT_EQ(m.extraneous_count(), 1u);
+  EXPECT_EQ(m.missing_count(), 1u);
+}
+
+TEST(Matcher, JustInsideAlphaMatches) {
+  const geo::LatLon near = geo::destination(kBase, 90.0, 450.0);
+  const std::vector<Checkin> checkins{ck(minutes(10), near)};
+  const std::vector<Visit> visits{visit(minutes(5), minutes(30), kBase)};
+  const UserMatch m = match_user(checkins, visits);
+  EXPECT_TRUE(m.checkins[0].visit.has_value());
+  EXPECT_NEAR(m.checkins[0].dist_m, 450.0, 2.0);
+}
+
+TEST(Matcher, BeyondBetaDoesNotMatch) {
+  // Checkin 31 minutes after the visit ends.
+  const std::vector<Checkin> checkins{ck(minutes(61), kBase)};
+  const std::vector<Visit> visits{visit(minutes(0), minutes(30), kBase)};
+  const UserMatch m = match_user(checkins, visits);
+  EXPECT_FALSE(m.checkins[0].visit.has_value());
+}
+
+TEST(Matcher, WithinBetaBeforeVisitMatches) {
+  // Checkin 20 minutes before the visit starts (users check in en route).
+  const std::vector<Checkin> checkins{ck(minutes(10), kBase)};
+  const std::vector<Visit> visits{visit(minutes(30), minutes(60), kBase)};
+  const UserMatch m = match_user(checkins, visits);
+  ASSERT_TRUE(m.checkins[0].visit.has_value());
+  EXPECT_EQ(m.checkins[0].dt, minutes(20));
+}
+
+TEST(Matcher, PicksTemporallyClosestVisit) {
+  const std::vector<Checkin> checkins{ck(minutes(45), kBase)};
+  const std::vector<Visit> visits{
+      visit(minutes(0), minutes(20), kBase),    // dt = 25 min
+      visit(minutes(50), minutes(70), kBase),   // dt = 5 min
+  };
+  const UserMatch m = match_user(checkins, visits);
+  ASSERT_TRUE(m.checkins[0].visit.has_value());
+  EXPECT_EQ(*m.checkins[0].visit, 1u);
+}
+
+TEST(Matcher, ContestedVisitGoesToGeographicallyClosest) {
+  const geo::LatLon near = geo::destination(kBase, 0.0, 50.0);
+  const geo::LatLon farther = geo::destination(kBase, 0.0, 300.0);
+  const std::vector<Checkin> checkins{
+      ck(minutes(10), farther),
+      ck(minutes(12), near),
+  };
+  const std::vector<Visit> visits{visit(minutes(5), minutes(30), kBase)};
+  const UserMatch m = match_user(checkins, visits);
+  EXPECT_FALSE(m.checkins[0].visit.has_value());
+  ASSERT_TRUE(m.checkins[1].visit.has_value());
+  EXPECT_EQ(m.honest_count(), 1u);
+  EXPECT_EQ(m.extraneous_count(), 1u);
+}
+
+TEST(Matcher, PaperModeLoserStaysUnmatched) {
+  // Two visits; both checkins' best candidate is visit 0, and the loser
+  // would fit visit 1 — paper mode leaves it unmatched anyway.
+  const geo::LatLon near = geo::destination(kBase, 0.0, 10.0);
+  const geo::LatLon mid = geo::destination(kBase, 0.0, 200.0);
+  const std::vector<Checkin> checkins{
+      ck(minutes(10), near),
+      ck(minutes(11), mid),
+  };
+  const std::vector<Visit> visits{
+      visit(minutes(5), minutes(15), kBase),   // both checkins inside: dt=0
+      visit(minutes(40), minutes(60), kBase),  // second-best for both
+  };
+  MatchConfig paper;
+  paper.rematch_losers = false;
+  const UserMatch m = match_user(checkins, visits, paper);
+  EXPECT_EQ(m.honest_count(), 1u);
+  EXPECT_FALSE(m.visit_matched[1]);
+}
+
+TEST(Matcher, RematchModeLoserTakesNextCandidate) {
+  const geo::LatLon near = geo::destination(kBase, 0.0, 10.0);
+  const geo::LatLon mid = geo::destination(kBase, 0.0, 200.0);
+  const std::vector<Checkin> checkins{
+      ck(minutes(10), near),
+      ck(minutes(11), mid),
+  };
+  const std::vector<Visit> visits{
+      visit(minutes(5), minutes(15), kBase),
+      visit(minutes(30), minutes(40), kBase),  // within beta of checkin 1
+  };
+  MatchConfig rematch;
+  rematch.rematch_losers = true;
+  const UserMatch m = match_user(checkins, visits, rematch);
+  EXPECT_EQ(m.honest_count(), 2u);
+  ASSERT_TRUE(m.checkins[1].visit.has_value());
+  EXPECT_EQ(*m.checkins[1].visit, 1u);
+}
+
+TEST(Matcher, EachCheckinAtMostOneVisitEachVisitAtMostOneCheckin) {
+  // Random-ish small instance; verify the invariants the paper states.
+  std::vector<Checkin> checkins;
+  std::vector<Visit> visits;
+  for (int i = 0; i < 8; ++i) {
+    checkins.push_back(
+        ck(minutes(7 * i), geo::destination(kBase, 40.0 * i, 120.0 * (i % 4))));
+  }
+  for (int j = 0; j < 5; ++j) {
+    visits.push_back(visit(minutes(10 * j), minutes(10 * j + 8),
+                           geo::destination(kBase, 60.0 * j, 90.0 * (j % 3))));
+  }
+  for (bool rematch : {false, true}) {
+    MatchConfig cfg;
+    cfg.rematch_losers = rematch;
+    const UserMatch m = match_user(checkins, visits, cfg);
+    std::vector<int> visit_owners(visits.size(), 0);
+    for (const CheckinMatch& cm : m.checkins) {
+      if (cm.visit.has_value()) ++visit_owners[*cm.visit];
+    }
+    for (std::size_t j = 0; j < visits.size(); ++j) {
+      EXPECT_LE(visit_owners[j], 1) << "visit " << j;
+      EXPECT_EQ(visit_owners[j] == 1, m.visit_matched[j]);
+    }
+    EXPECT_EQ(m.honest_count() + m.extraneous_count(), checkins.size());
+  }
+}
+
+TEST(Matcher, EmptyInputs) {
+  const UserMatch none = match_user({}, {});
+  EXPECT_EQ(none.honest_count(), 0u);
+
+  const std::vector<Checkin> checkins{ck(0, kBase)};
+  const UserMatch no_visits = match_user(checkins, {});
+  EXPECT_EQ(no_visits.extraneous_count(), 1u);
+
+  const std::vector<Visit> visits{visit(0, minutes(10), kBase)};
+  const UserMatch no_checkins = match_user({}, visits);
+  EXPECT_EQ(no_checkins.missing_count(), 1u);
+}
+
+TEST(Matcher, TighterAlphaMatchesFewer) {
+  std::vector<Checkin> checkins;
+  std::vector<Visit> visits;
+  for (int i = 0; i < 12; ++i) {
+    visits.push_back(visit(minutes(20 * i), minutes(20 * i + 10),
+                           geo::destination(kBase, 30.0 * i, 500.0 * (i % 3))));
+    checkins.push_back(ck(minutes(20 * i + 5),
+                          geo::destination(kBase, 30.0 * i,
+                                           500.0 * (i % 3) + 40.0 * i)));
+  }
+  std::size_t prev = 0;
+  for (double alpha : {100.0, 250.0, 500.0, 1000.0}) {
+    MatchConfig cfg;
+    cfg.alpha_m = alpha;
+    const UserMatch m = match_user(checkins, visits, cfg);
+    EXPECT_GE(m.honest_count(), prev) << "alpha=" << alpha;
+    prev = m.honest_count();
+  }
+}
+
+}  // namespace
+}  // namespace geovalid::match

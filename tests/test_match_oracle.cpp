@@ -1,0 +1,139 @@
+// Property tests: the production matcher against an independent
+// brute-force oracle of the paper's §4.1 algorithm, over randomized
+// instances.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "geo/geodesic.h"
+#include "match/matcher.h"
+#include "stats/rng.h"
+
+namespace geovalid::match {
+namespace {
+
+const geo::LatLon kCenter{34.42, -119.70};
+
+struct Instance {
+  std::vector<trace::Checkin> checkins;
+  std::vector<trace::Visit> visits;
+};
+
+Instance random_instance(std::uint64_t seed, std::size_t n_checkins,
+                         std::size_t n_visits) {
+  stats::Rng rng(seed);
+  Instance inst;
+  for (std::size_t i = 0; i < n_visits; ++i) {
+    const trace::TimeSec start = trace::minutes(rng.uniform_int(0, 1200));
+    trace::Visit v;
+    v.start = start;
+    v.end = start + trace::minutes(rng.uniform_int(6, 90));
+    v.centroid = geo::destination(kCenter, rng.uniform(0.0, 360.0),
+                                  rng.uniform(0.0, 3000.0));
+    inst.visits.push_back(v);
+  }
+  for (std::size_t i = 0; i < n_checkins; ++i) {
+    trace::Checkin c;
+    c.t = trace::minutes(rng.uniform_int(0, 1300));
+    c.location = geo::destination(kCenter, rng.uniform(0.0, 360.0),
+                                  rng.uniform(0.0, 3000.0));
+    inst.checkins.push_back(c);
+  }
+  // Keep the checkin trace time-ordered like a real one.
+  std::sort(inst.checkins.begin(), inst.checkins.end(),
+            [](const trace::Checkin& a, const trace::Checkin& b) {
+              return a.t < b.t;
+            });
+  return inst;
+}
+
+/// Independent oracle of the paper-mode algorithm:
+///   each checkin's best candidate = min (dt, then geo distance);
+///   per visit, the geographically closest claimant wins; losers stay
+///   unmatched.
+std::vector<std::optional<std::size_t>> oracle_paper_mode(
+    const Instance& inst, const MatchConfig& cfg) {
+  const std::size_t n = inst.checkins.size();
+  std::vector<std::optional<std::size_t>> best(n);
+  std::vector<double> best_dist(n, 0.0);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    trace::TimeSec best_dt = std::numeric_limits<trace::TimeSec>::max();
+    double best_d = std::numeric_limits<double>::infinity();
+    for (std::size_t j = 0; j < inst.visits.size(); ++j) {
+      const double d =
+          geo::distance_m(inst.checkins[i].location, inst.visits[j].centroid);
+      if (d > cfg.alpha_m) continue;
+      const trace::TimeSec dt =
+          trace::interval_distance(inst.visits[j], inst.checkins[i].t);
+      if (dt >= cfg.beta) continue;
+      if (dt < best_dt || (dt == best_dt && d < best_d)) {
+        best_dt = dt;
+        best_d = d;
+        best[i] = j;
+        best_dist[i] = d;
+      }
+    }
+  }
+
+  // Resolve contests per visit.
+  std::vector<std::optional<std::size_t>> result(n);
+  for (std::size_t j = 0; j < inst.visits.size(); ++j) {
+    std::optional<std::size_t> winner;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!best[i] || *best[i] != j) continue;
+      if (!winner || best_dist[i] < best_dist[*winner]) winner = i;
+    }
+    if (winner) result[*winner] = j;
+  }
+  return result;
+}
+
+class MatcherOracle : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MatcherOracle, PaperModeMatchesBruteForce) {
+  const Instance inst = random_instance(GetParam(), 40, 25);
+  MatchConfig cfg;  // paper defaults
+  const UserMatch got = match_user(inst.checkins, inst.visits, cfg);
+  const auto want = oracle_paper_mode(inst, cfg);
+
+  ASSERT_EQ(got.checkins.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got.checkins[i].visit, want[i]) << "checkin " << i;
+  }
+}
+
+TEST_P(MatcherOracle, RematchModeNeverMatchesFewer) {
+  const Instance inst = random_instance(GetParam() + 500, 40, 25);
+  MatchConfig paper;
+  MatchConfig rematch;
+  rematch.rematch_losers = true;
+  const UserMatch a = match_user(inst.checkins, inst.visits, paper);
+  const UserMatch b = match_user(inst.checkins, inst.visits, rematch);
+  EXPECT_GE(b.honest_count(), a.honest_count());
+}
+
+TEST_P(MatcherOracle, MatchedPairsSatisfyThresholds) {
+  const Instance inst = random_instance(GetParam() + 1000, 60, 30);
+  for (bool rematch : {false, true}) {
+    MatchConfig cfg;
+    cfg.rematch_losers = rematch;
+    const UserMatch m = match_user(inst.checkins, inst.visits, cfg);
+    for (std::size_t i = 0; i < m.checkins.size(); ++i) {
+      if (!m.checkins[i].visit) continue;
+      const std::size_t j = *m.checkins[i].visit;
+      EXPECT_LE(m.checkins[i].dist_m, cfg.alpha_m + 1e-6);
+      EXPECT_LT(m.checkins[i].dt, cfg.beta);
+      EXPECT_EQ(m.checkins[i].dt,
+                trace::interval_distance(inst.visits[j], inst.checkins[i].t));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatcherOracle,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u,
+                                           55u, 89u));
+
+}  // namespace
+}  // namespace geovalid::match

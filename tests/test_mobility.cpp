@@ -1,0 +1,181 @@
+// Tests for trip extraction, Levy Walk fitting and trace generation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/pipeline.h"
+#include "mobility/levy_fit.h"
+#include "mobility/levy_walk.h"
+#include "mobility/samples.h"
+#include "stats/samplers.h"
+
+namespace geovalid::mobility {
+namespace {
+
+const core::StudyAnalysis& tiny_analysis() {
+  static const core::StudyAnalysis analysis =
+      core::analyze_generated(synth::tiny_preset());
+  return analysis;
+}
+
+TEST(Samples, VisitExtractionShapes) {
+  const auto& a = tiny_analysis();
+  const MobilitySamples s = samples_from_visits(a.dataset);
+  EXPECT_EQ(s.distance_m.size(), s.duration_s.size());
+  ASSERT_GT(s.distance_m.size(), 20u);
+  ASSERT_GT(s.pause_s.size(), 20u);
+  for (double d : s.distance_m) EXPECT_GT(d, 0.0);
+  for (double t : s.duration_s) EXPECT_GT(t, 0.0);
+  for (double p : s.pause_s) EXPECT_GT(p, 0.0);
+}
+
+TEST(Samples, CheckinExtractionRespectsFilter) {
+  const auto& a = tiny_analysis();
+  const MobilitySamples all = samples_from_checkins(
+      a.dataset, a.validation, [](match::CheckinClass) { return true; });
+  const MobilitySamples honest = samples_from_checkins(
+      a.dataset, a.validation,
+      [](match::CheckinClass c) { return c == match::CheckinClass::kHonest; });
+  EXPECT_GT(all.distance_m.size(), honest.distance_m.size());
+  EXPECT_TRUE(all.pause_s.empty());
+  EXPECT_TRUE(honest.pause_s.empty());
+}
+
+TEST(Samples, MaxGapSkipsRecordingOutages) {
+  const auto& a = tiny_analysis();
+  const MobilitySamples wide = samples_from_visits(a.dataset, 1e9);
+  const MobilitySamples narrow = samples_from_visits(a.dataset, 1800.0);
+  EXPECT_GT(wide.distance_m.size(), narrow.distance_m.size());
+}
+
+TEST(LevyFit, RecoversSyntheticModel) {
+  // Generate data from a known model; the fit must recover its parameters.
+  stats::Rng rng(5);
+  const stats::ParetoParams flight{200.0, 1.4};
+  const stats::ParetoParams pause{300.0, 1.1};
+  MobilitySamples s;
+  for (int i = 0; i < 8000; ++i) {
+    const double d = stats::sample_pareto(rng, flight);
+    s.distance_m.push_back(d);
+    s.duration_s.push_back(4.0 * std::pow(d, 0.6));
+    s.pause_s.push_back(stats::sample_pareto(rng, pause));
+  }
+  const LevyWalkModel m = fit_levy_walk(s, "synthetic");
+  EXPECT_NEAR(m.flight.alpha, 1.4, 0.15);
+  EXPECT_NEAR(m.pause.alpha, 1.1, 0.15);
+  EXPECT_NEAR(m.time_of_distance.gamma, 0.6, 1e-6);
+  EXPECT_NEAR(m.time_of_distance.k, 4.0, 0.01);
+}
+
+TEST(LevyFit, PauseFallbackUsedForCheckinModels) {
+  const auto& a = tiny_analysis();
+  const core::LevyModelSet set = core::fit_levy_models(a);
+  EXPECT_EQ(set.honest.pause.x_min, set.gps.pause.x_min);
+  EXPECT_EQ(set.honest.pause.alpha, set.gps.pause.alpha);
+  EXPECT_EQ(set.all.pause.alpha, set.gps.pause.alpha);
+  EXPECT_GT(set.gps.flight.alpha, 0.0);
+}
+
+TEST(LevyFit, RejectsTinySamplesAndMissingPause) {
+  MobilitySamples s;
+  s.distance_m = {1.0, 2.0};
+  s.duration_s = {1.0, 2.0};
+  EXPECT_THROW(fit_levy_walk(s, "x"), std::invalid_argument);
+
+  MobilitySamples no_pause;
+  for (int i = 0; i < 50; ++i) {
+    no_pause.distance_m.push_back(100.0 + i);
+    no_pause.duration_s.push_back(60.0 + i);
+  }
+  EXPECT_THROW(fit_levy_walk(no_pause, "x", nullptr), std::invalid_argument);
+}
+
+TEST(NodeTrack, InterpolatesLinearly) {
+  NodeTrack track({{0.0, {0.0, 0.0}}, {10.0, {100.0, 0.0}}});
+  EXPECT_DOUBLE_EQ(track.position(-5.0).x_m, 0.0);
+  EXPECT_DOUBLE_EQ(track.position(5.0).x_m, 50.0);
+  EXPECT_DOUBLE_EQ(track.position(10.0).x_m, 100.0);
+  EXPECT_DOUBLE_EQ(track.position(99.0).x_m, 100.0);
+}
+
+TEST(NodeTrack, RejectsUnorderedWaypoints) {
+  EXPECT_THROW(NodeTrack({{10.0, {}}, {5.0, {}}}), std::invalid_argument);
+}
+
+LevyWalkModel demo_model() {
+  LevyWalkModel m;
+  m.name = "demo";
+  m.flight = {100.0, 1.2};
+  m.flight_max_m = 20000.0;
+  m.pause = {120.0, 1.0};
+  m.pause_max_s = 7200.0;
+  m.time_of_distance.k = 2.0;
+  m.time_of_distance.gamma = 0.5;
+  return m;
+}
+
+TEST(LevyWalk, TrackCoversDurationAndStaysInArena) {
+  ArenaConfig arena;
+  arena.width_m = 50000.0;
+  arena.height_m = 40000.0;
+  stats::Rng rng(11);
+  const NodeTrack track = generate_track(demo_model(), arena, 3600.0, rng);
+  ASSERT_GE(track.waypoints().size(), 2u);
+  EXPECT_GE(track.waypoints().back().t, 3600.0);
+  for (const Waypoint& w : track.waypoints()) {
+    EXPECT_GE(w.pos.x_m, 0.0);
+    EXPECT_LE(w.pos.x_m, arena.width_m);
+    EXPECT_GE(w.pos.y_m, 0.0);
+    EXPECT_LE(w.pos.y_m, arena.height_m);
+  }
+}
+
+TEST(LevyWalk, StartsInsideCluster) {
+  ArenaConfig arena;
+  arena.start_cluster_radius_m = 1000.0;
+  stats::Rng rng(12);
+  for (int i = 0; i < 20; ++i) {
+    const NodeTrack track = generate_track(demo_model(), arena, 100.0, rng);
+    const geo::PlanePoint p0 = track.waypoints().front().pos;
+    const double dx = p0.x_m - arena.width_m / 2.0;
+    const double dy = p0.y_m - arena.height_m / 2.0;
+    EXPECT_LE(std::sqrt(dx * dx + dy * dy), 1000.0 + 1e-6);
+  }
+}
+
+TEST(LevyWalk, FlightLengthsRespectTruncation) {
+  ArenaConfig arena;
+  stats::Rng rng(13);
+  const LevyWalkModel m = demo_model();
+  const NodeTrack track = generate_track(m, arena, 100000.0, rng);
+  const auto& wps = track.waypoints();
+  for (std::size_t i = 1; i < wps.size(); ++i) {
+    const double dx = wps[i].pos.x_m - wps[i - 1].pos.x_m;
+    const double dy = wps[i].pos.y_m - wps[i - 1].pos.y_m;
+    // Reflection can shorten apparent displacement but never lengthen it.
+    EXPECT_LE(std::sqrt(dx * dx + dy * dy), m.flight_max_m + 1e-6);
+  }
+}
+
+TEST(LevyWalk, GenerateTracksIsPerNodeDeterministic) {
+  ArenaConfig arena;
+  stats::Rng rng_a(21), rng_b(21);
+  const auto tracks_a = generate_tracks(demo_model(), arena, 600.0, 4, rng_a);
+  const auto tracks_b = generate_tracks(demo_model(), arena, 600.0, 4, rng_b);
+  ASSERT_EQ(tracks_a.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    ASSERT_EQ(tracks_a[i].waypoints().size(), tracks_b[i].waypoints().size());
+    EXPECT_EQ(tracks_a[i].waypoints().front().pos,
+              tracks_b[i].waypoints().front().pos);
+  }
+}
+
+TEST(LevyWalk, RejectsNonPositiveDuration) {
+  ArenaConfig arena;
+  stats::Rng rng(1);
+  EXPECT_THROW(generate_track(demo_model(), arena, 0.0, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace geovalid::mobility

@@ -1,0 +1,205 @@
+// Cross-module statistical property tests: distributions produced by the
+// generators must match the models they claim to implement, and the AODV
+// control plane must agree with graph-theoretic reachability.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <queue>
+
+#include "manet/aodv.h"
+#include "manet/event_queue.h"
+#include "mobility/levy_walk.h"
+#include "stats/ks.h"
+#include "stats/pareto.h"
+#include "stats/rng.h"
+#include "stats/samplers.h"
+
+namespace geovalid {
+namespace {
+
+// --- Sampler faithfulness ---------------------------------------------------
+
+class ParetoSamplerFaithful
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(ParetoSamplerFaithful, KsAgainstAnalyticCdf) {
+  const auto [x_min, alpha] = GetParam();
+  const stats::ParetoParams params{x_min, alpha};
+  stats::Rng rng(101);
+  std::vector<double> xs;
+  for (int i = 0; i < 8000; ++i) xs.push_back(stats::sample_pareto(rng, params));
+
+  // One-sample KS against the analytic CDF.
+  std::sort(xs.begin(), xs.end());
+  double worst = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double model = stats::pareto_cdf(params, xs[i]);
+    const double lo = static_cast<double>(i) / static_cast<double>(xs.size());
+    const double hi =
+        static_cast<double>(i + 1) / static_cast<double>(xs.size());
+    worst = std::max(worst, std::max(std::fabs(model - lo),
+                                     std::fabs(model - hi)));
+  }
+  EXPECT_LT(worst, 0.02) << "x_min=" << x_min << " alpha=" << alpha;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Params, ParetoSamplerFaithful,
+    ::testing::Values(std::make_tuple(1.0, 0.8), std::make_tuple(1.0, 1.5),
+                      std::make_tuple(100.0, 1.2),
+                      std::make_tuple(0.5, 3.0)));
+
+// --- Levy Walk flight distribution ------------------------------------------
+
+TEST(LevyWalkDistribution, FlightsFollowTruncatedPareto) {
+  mobility::LevyWalkModel model;
+  model.name = "prop";
+  model.flight = {150.0, 1.3};
+  model.flight_max_m = 30000.0;
+  model.pause = {60.0, 1.0};
+  model.pause_max_s = 3600.0;
+  model.time_of_distance.k = 5.0;
+  model.time_of_distance.gamma = 0.5;
+
+  mobility::ArenaConfig arena;
+  arena.width_m = arena.height_m = 500000.0;   // huge: reflections are rare
+  arena.start_cluster_radius_m = 1000.0;
+
+  // Collect flight lengths from many tracks (pre-reflection lengths are not
+  // observable, so keep the arena big enough that reflections are absent).
+  std::vector<double> flights;
+  stats::Rng rng(77);
+  for (int n = 0; n < 60; ++n) {
+    stats::Rng node = rng.fork(n + 1);
+    const auto track = mobility::generate_track(model, arena, 500000.0, node);
+    const auto& wps = track.waypoints();
+    for (std::size_t i = 1; i < wps.size(); ++i) {
+      const double dx = wps[i].pos.x_m - wps[i - 1].pos.x_m;
+      const double dy = wps[i].pos.y_m - wps[i - 1].pos.y_m;
+      const double d = std::sqrt(dx * dx + dy * dy);
+      if (d > 0.5) flights.push_back(d);  // skip pauses
+    }
+  }
+  ASSERT_GT(flights.size(), 800u);
+
+  // Compare against direct draws from the same truncated Pareto.
+  std::vector<double> reference;
+  stats::Rng ref_rng(78);
+  for (std::size_t i = 0; i < flights.size(); ++i) {
+    reference.push_back(stats::sample_truncated_pareto(ref_rng, model.flight,
+                                                       model.flight_max_m));
+  }
+  EXPECT_LT(stats::ks_two_sample(flights, reference), 0.05);
+}
+
+TEST(LevyWalkDistribution, PausesAlternateWithFlights) {
+  mobility::LevyWalkModel model;
+  model.name = "prop";
+  model.flight = {100.0, 1.5};
+  model.flight_max_m = 5000.0;
+  model.pause = {120.0, 1.2};
+  model.pause_max_s = 7200.0;
+  model.time_of_distance.k = 10.0;
+  model.time_of_distance.gamma = 0.4;
+
+  mobility::ArenaConfig arena;
+  stats::Rng rng(5);
+  const auto track = mobility::generate_track(model, arena, 100000.0, rng);
+  const auto& wps = track.waypoints();
+  ASSERT_GT(wps.size(), 10u);
+  // Waypoints alternate stationary (same position) and moving segments.
+  for (std::size_t i = 2; i < wps.size(); i += 2) {
+    const double dx = wps[i - 1].pos.x_m - wps[i - 2].pos.x_m;
+    const double dy = wps[i - 1].pos.y_m - wps[i - 2].pos.y_m;
+    EXPECT_LT(std::sqrt(dx * dx + dy * dy), 1e-9)
+        << "segment " << i - 1 << " should be a pause";
+  }
+}
+
+// --- AODV vs graph reachability ----------------------------------------------
+
+/// Random geometric graph over n nodes in a square; returns adjacency.
+std::vector<std::vector<manet::NodeId>> random_disk_graph(
+    std::uint64_t seed, std::size_t n, double side, double range) {
+  stats::Rng rng(seed);
+  std::vector<std::pair<double, double>> pos(n);
+  for (auto& p : pos) p = {rng.uniform(0.0, side), rng.uniform(0.0, side)};
+
+  std::vector<std::vector<manet::NodeId>> adj(n);
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = a + 1; b < n; ++b) {
+      const double dx = pos[a].first - pos[b].first;
+      const double dy = pos[a].second - pos[b].second;
+      if (dx * dx + dy * dy <= range * range) {
+        adj[a].push_back(static_cast<manet::NodeId>(b));
+        adj[b].push_back(static_cast<manet::NodeId>(a));
+      }
+    }
+  }
+  return adj;
+}
+
+bool bfs_reachable(const std::vector<std::vector<manet::NodeId>>& adj,
+                   manet::NodeId src, manet::NodeId dst) {
+  std::vector<bool> seen(adj.size(), false);
+  std::queue<manet::NodeId> q;
+  q.push(src);
+  seen[src] = true;
+  while (!q.empty()) {
+    const manet::NodeId u = q.front();
+    q.pop();
+    if (u == dst) return true;
+    for (manet::NodeId v : adj[u]) {
+      if (!seen[v]) {
+        seen[v] = true;
+        q.push(v);
+      }
+    }
+  }
+  return false;
+}
+
+class AodvReachability : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AodvReachability, DiscoverySucceedsIffPathExists) {
+  const std::size_t n = 30;
+  const auto adj = random_disk_graph(GetParam(), n, 1000.0, 260.0);
+
+  manet::EventQueue queue;
+  manet::ControlCounters counters;
+  counters.pair_tx.assign(1, 0);
+  manet::AodvNetwork net(
+      n, manet::AodvConfig{}, queue,
+      [&adj](manet::NodeId u) { return adj[u]; }, counters);
+
+  stats::Rng rng(GetParam() + 9000);
+  for (int trial = 0; trial < 6; ++trial) {
+    const auto src = static_cast<manet::NodeId>(
+        rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+    auto dst = src;
+    while (dst == src) {
+      dst = static_cast<manet::NodeId>(
+          rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+    }
+    bool done = false, ok = false;
+    net.start_discovery(src, dst, 0, [&](bool success) {
+      done = true;
+      ok = success;
+    });
+    queue.run_until(queue.now() + 10.0);
+    ASSERT_TRUE(done) << "discovery " << src << "->" << dst << " never ended";
+    EXPECT_EQ(ok, bfs_reachable(adj, src, dst))
+        << "discovery " << src << "->" << dst;
+    if (ok) {
+      // And the installed route actually delivers.
+      const auto send = net.send_data(src, dst, 0);
+      EXPECT_TRUE(send.delivered);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AodvReachability,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u, 66u));
+
+}  // namespace
+}  // namespace geovalid

@@ -1,0 +1,186 @@
+// Tests for key-location inference and trace recovery (§7 extension).
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "geo/geodesic.h"
+#include "recover/anchors.h"
+#include "recover/evaluation.h"
+#include "recover/upsample.h"
+
+namespace geovalid::recover {
+namespace {
+
+const geo::LatLon kHome{34.41, -119.71};
+const geo::LatLon kWork{34.43, -119.69};
+
+const core::StudyAnalysis& tiny() {
+  static const core::StudyAnalysis a =
+      core::analyze_generated(synth::tiny_preset());
+  return a;
+}
+
+trace::Checkin at(trace::TimeSec t, const geo::LatLon& where) {
+  trace::Checkin c;
+  c.t = t;
+  c.location = where;
+  return c;
+}
+
+TEST(GeometricMedian, EmptyAndSingle) {
+  EXPECT_FALSE(geometric_median({}).has_value());
+  const std::vector<geo::LatLon> one{kHome};
+  const auto m = geometric_median(one);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_NEAR(geo::distance_m(*m, kHome), 0.0, 0.5);
+}
+
+TEST(GeometricMedian, RobustToOutliers) {
+  // Nine points at home, one 10 km away: the median stays at home while
+  // the centroid would drift a kilometre.
+  std::vector<geo::LatLon> pts(9, kHome);
+  pts.push_back(geo::destination(kHome, 90.0, 10000.0));
+  const auto m = geometric_median(pts);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_LT(geo::distance_m(*m, kHome), 50.0);
+}
+
+TEST(GeometricMedian, MiddleOfThree) {
+  const std::vector<geo::LatLon> pts{
+      kHome, geo::destination(kHome, 90.0, 100.0),
+      geo::destination(kHome, 90.0, 200.0)};
+  const auto m = geometric_median(pts);
+  ASSERT_TRUE(m.has_value());
+  // Geometric median of three collinear points is the middle one.
+  EXPECT_LT(geo::distance_m(*m, pts[1]), 5.0);
+}
+
+/// Builds a week of evening-home / midday-work checkins.
+std::vector<trace::Checkin> routine_checkins() {
+  std::vector<trace::Checkin> events;
+  for (int day = 0; day < 7; ++day) {
+    const trace::TimeSec midnight = trace::days(day);
+    const std::size_t dow = static_cast<std::size_t>(day) % 7;
+    const bool weekend = dow == 4 || dow == 5;
+    if (!weekend) {
+      events.push_back(
+          at(midnight + trace::hours(12), geo::destination(kWork, 10.0 * day, 120.0)));
+    }
+    events.push_back(
+        at(midnight + trace::hours(20), geo::destination(kHome, 30.0 * day, 150.0)));
+  }
+  return events;
+}
+
+TEST(Anchors, InfersHomeAndWorkFromRoutine) {
+  const auto events = routine_checkins();
+  const InferredAnchors anchors = infer_anchors(events);
+  ASSERT_TRUE(anchors.home.has_value());
+  ASSERT_TRUE(anchors.work.has_value());
+  EXPECT_LT(geo::distance_m(anchors.home->position, kHome), 200.0);
+  EXPECT_LT(geo::distance_m(anchors.work->position, kWork), 200.0);
+  EXPECT_EQ(anchors.home->support, 7u);
+  EXPECT_EQ(anchors.work->support, 5u);
+}
+
+TEST(Anchors, ExtraneousFlagsExcludeVotes) {
+  auto events = routine_checkins();
+  // Flag every home-window event; home anchor disappears.
+  std::vector<bool> extraneous(events.size(), false);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const double hour =
+        static_cast<double>(events[i].t % trace::kSecondsPerDay) / 3600.0;
+    if (hour >= 18.0) extraneous[i] = true;
+  }
+  const InferredAnchors anchors = infer_anchors(events, extraneous);
+  EXPECT_FALSE(anchors.home.has_value());
+  EXPECT_TRUE(anchors.work.has_value());
+}
+
+TEST(Anchors, EmptyTraceYieldsNothing) {
+  const InferredAnchors anchors = infer_anchors({});
+  EXPECT_FALSE(anchors.home.has_value());
+  EXPECT_FALSE(anchors.work.has_value());
+}
+
+TEST(Anchors, FlagSizeMismatchRejected) {
+  const auto events = routine_checkins();
+  const std::vector<bool> wrong(events.size() + 1, false);
+  EXPECT_THROW(infer_anchors(events, wrong), std::invalid_argument);
+}
+
+TEST(Recovery, SynthesizesRoutineEvents) {
+  const auto events = routine_checkins();
+  const RecoveredTrace rec = recover_trace(events);
+  EXPECT_EQ(rec.observed, events.size());
+  EXPECT_GT(rec.inferred, 0u);
+  // 7 days x 2 home events + 5 weekdays x 2 work events.
+  EXPECT_EQ(rec.inferred, 7u * 2u + 5u * 2u);
+
+  // Time-ordered.
+  for (std::size_t i = 1; i < rec.events.size(); ++i) {
+    EXPECT_LE(rec.events[i - 1].t, rec.events[i].t);
+  }
+  // Inferred home events are at the inferred anchor.
+  for (const RecoveredEvent& e : rec.events) {
+    if (e.kind == RecoveredKind::kHomeInferred) {
+      EXPECT_NEAR(geo::distance_m(e.position, rec.anchors.home->position),
+                  0.0, 0.5);
+    }
+  }
+}
+
+TEST(Recovery, InsufficientSupportSkipsSynthesis) {
+  // Two checkins only: below the default min support.
+  std::vector<trace::Checkin> events{
+      at(trace::hours(20), kHome),
+      at(trace::hours(44), kHome),
+  };
+  const RecoveredTrace rec = recover_trace(events);
+  EXPECT_EQ(rec.inferred, 0u);
+}
+
+TEST(Recovery, EmptyInputYieldsEmptyTrace) {
+  const RecoveredTrace rec = recover_trace({});
+  EXPECT_TRUE(rec.events.empty());
+  EXPECT_EQ(rec.observed, 0u);
+}
+
+TEST(RecoveryEvaluation, CoverageImprovesMonotonically) {
+  // The paper's endgame claim: filtering alone does not fix a geosocial
+  // trace; adding recovered key locations must raise visit coverage above
+  // the honest-only trace.
+  const auto& a = tiny();
+  const RecoveryReport report = evaluate_recovery(a.dataset, a.validation);
+  ASSERT_FALSE(report.users.empty());
+
+  EXPECT_GT(report.mean_coverage_recovered, report.mean_coverage_honest);
+  // The raw trace's coverage is bounded by the honest checkins it contains,
+  // so recovered must beat it too.
+  EXPECT_GT(report.mean_coverage_recovered, report.mean_coverage_all);
+}
+
+TEST(RecoveryEvaluation, AnchorsLandAtCityScaleAccuracy) {
+  const auto& a = tiny();
+  const RecoveryReport report = evaluate_recovery(a.dataset, a.validation);
+  // Home/work inferred from checkin side information alone won't be exact,
+  // but should land within a couple of km of the true venues on average.
+  EXPECT_GT(report.mean_home_error_m, 0.0);
+  EXPECT_LT(report.mean_home_error_m, 6000.0);
+  EXPECT_GT(report.mean_work_error_m, 0.0);
+  EXPECT_LT(report.mean_work_error_m, 6000.0);
+}
+
+TEST(RecoveryEvaluation, PerUserCoverageIsAProbability) {
+  const auto& a = tiny();
+  const RecoveryReport report = evaluate_recovery(a.dataset, a.validation);
+  for (const UserRecoveryReport& u : report.users) {
+    for (double c : {u.coverage_all_checkins, u.coverage_honest,
+                     u.coverage_recovered}) {
+      EXPECT_GE(c, 0.0);
+      EXPECT_LE(c, 1.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace geovalid::recover

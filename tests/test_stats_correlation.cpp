@@ -1,0 +1,95 @@
+// Unit tests for correlation and regression.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stats/correlation.h"
+
+namespace geovalid::stats {
+namespace {
+
+TEST(Pearson, PerfectPositiveAndNegative) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> up{2.0, 4.0, 6.0, 8.0};
+  const std::vector<double> down{8.0, 6.0, 4.0, 2.0};
+  EXPECT_NEAR(pearson(xs, up), 1.0, 1e-12);
+  EXPECT_NEAR(pearson(xs, down), -1.0, 1e-12);
+}
+
+TEST(Pearson, InvariantToAffineTransforms) {
+  const std::vector<double> xs{1.0, 5.0, 2.0, 8.0, 3.0};
+  const std::vector<double> ys{2.0, 1.0, 7.0, 3.0, 9.0};
+  const double base = pearson(xs, ys);
+  std::vector<double> xs2;
+  for (double x : xs) xs2.push_back(3.0 * x - 17.0);
+  EXPECT_NEAR(pearson(xs2, ys), base, 1e-12);
+}
+
+TEST(Pearson, ConstantSampleGivesZero) {
+  const std::vector<double> xs{5.0, 5.0, 5.0};
+  const std::vector<double> ys{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(pearson(xs, ys), 0.0);
+}
+
+TEST(Pearson, RejectsBadInput) {
+  const std::vector<double> a{1.0, 2.0};
+  const std::vector<double> b{1.0};
+  EXPECT_THROW(pearson(a, b), std::invalid_argument);
+  EXPECT_THROW(pearson(b, b), std::invalid_argument);
+}
+
+TEST(Pearson, KnownTextbookValue) {
+  const std::vector<double> xs{43.0, 21.0, 25.0, 42.0, 57.0, 59.0};
+  const std::vector<double> ys{99.0, 65.0, 79.0, 75.0, 87.0, 81.0};
+  EXPECT_NEAR(pearson(xs, ys), 0.529809, 1e-5);
+}
+
+TEST(LeastSquares, ExactLineRecovered) {
+  const std::vector<double> xs{0.0, 1.0, 2.0, 3.0};
+  std::vector<double> ys;
+  for (double x : xs) ys.push_back(2.5 * x - 1.0);
+  const LinearFit fit = least_squares(xs, ys);
+  EXPECT_NEAR(fit.slope, 2.5, 1e-12);
+  EXPECT_NEAR(fit.intercept, -1.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(LeastSquares, VerticalDataFallsBackToMean) {
+  const std::vector<double> xs{2.0, 2.0, 2.0};
+  const std::vector<double> ys{1.0, 2.0, 3.0};
+  const LinearFit fit = least_squares(xs, ys);
+  EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+  EXPECT_DOUBLE_EQ(fit.intercept, 2.0);
+}
+
+TEST(LeastSquares, NoisyDataHasPartialR2) {
+  const std::vector<double> xs{0.0, 1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> ys{0.1, 0.9, 2.2, 2.8, 4.1};
+  const LinearFit fit = least_squares(xs, ys);
+  EXPECT_GT(fit.r_squared, 0.97);
+  EXPECT_LT(fit.r_squared, 1.0);
+  EXPECT_NEAR(fit.slope, 1.0, 0.1);
+}
+
+TEST(Spearman, MonotonicNonlinearIsPerfect) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 5.0};
+  const std::vector<double> ys{1.0, 8.0, 27.0, 64.0, 125.0};  // x^3
+  EXPECT_NEAR(spearman(xs, ys), 1.0, 1e-12);
+  // Pearson on the same data is below 1 (nonlinearity).
+  EXPECT_LT(pearson(xs, ys), 0.999);
+}
+
+TEST(Spearman, TiesGetAverageRanks) {
+  const std::vector<double> xs{1.0, 2.0, 2.0, 3.0};
+  const std::vector<double> ys{10.0, 20.0, 20.0, 30.0};
+  EXPECT_NEAR(spearman(xs, ys), 1.0, 1e-12);
+}
+
+TEST(Spearman, ReversedOrderIsMinusOne) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> ys{9.0, 7.0, 5.0, 1.0};
+  EXPECT_NEAR(spearman(xs, ys), -1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace geovalid::stats

@@ -1,0 +1,202 @@
+// Behavioural tests of the study generator: the population structure the
+// analyses depend on (persona archetypes, schedules, incentive coupling)
+// must actually be present in the generated data.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geo/geodesic.h"
+#include "stats/correlation.h"
+#include "synth/city.h"
+#include "synth/persona.h"
+#include "synth/schedule.h"
+#include "synth/study_generator.h"
+
+namespace geovalid::synth {
+namespace {
+
+struct World {
+  StudyConfig config = tiny_preset();
+  std::vector<trace::Poi> pois;
+  trace::PoiIndex index;
+  std::unique_ptr<trace::PoiGrid> grid;
+  CityView city;
+  stats::Rng rng{99};
+
+  World() {
+    stats::Rng city_rng(1);
+    pois = generate_city(config.city, city_rng);
+    index = trace::PoiIndex(pois);
+    grid = std::make_unique<trace::PoiGrid>(index.all(), 500.0);
+    city = make_city_view(index.all(), *grid);
+  }
+};
+
+TEST(PersonaPopulation, ErrandFactorHasUnitMeanAndSpread) {
+  World w;
+  std::vector<double> factors;
+  for (trace::UserId id = 1; id <= 300; ++id) {
+    factors.push_back(sample_persona(w.config, w.city, id, w.rng)
+                          .traits.errand_factor);
+  }
+  double sum = 0.0;
+  std::size_t homebodies = 0, butterflies = 0;
+  for (double f : factors) {
+    sum += f;
+    if (f < 0.4) ++homebodies;
+    if (f > 1.8) ++butterflies;
+  }
+  EXPECT_NEAR(sum / static_cast<double>(factors.size()), 1.0, 0.15);
+  // Both tails exist — the Figure 3 heterogeneity requirement.
+  EXPECT_GT(homebodies, 10u);
+  EXPECT_GT(butterflies, 10u);
+}
+
+TEST(PersonaPopulation, WeekendWorkersAreAMinorityButPresent) {
+  World w;
+  std::size_t workers = 0;
+  const std::size_t n = 300;
+  for (trace::UserId id = 1; id <= n; ++id) {
+    if (sample_persona(w.config, w.city, id, w.rng).traits.weekend_worker) {
+      ++workers;
+    }
+  }
+  EXPECT_GT(workers, n / 6);
+  EXPECT_LT(workers, n / 2);
+}
+
+TEST(PersonaPopulation, CommuterAntiCorrelatesWithGamer) {
+  World w;
+  std::vector<double> gamer, commuter;
+  for (trace::UserId id = 1; id <= 400; ++id) {
+    const Persona p = sample_persona(w.config, w.city, id, w.rng);
+    gamer.push_back(p.traits.gamer);
+    commuter.push_back(p.traits.commuter);
+  }
+  // The Table 2 driveby rows need this coupling.
+  EXPECT_LT(stats::pearson(gamer, commuter), -0.05);
+}
+
+TEST(PersonaPopulation, BadgeAndMayorTraitsShareTheGamerFactor) {
+  World w;
+  std::vector<double> badge, mayor;
+  for (trace::UserId id = 1; id <= 400; ++id) {
+    const Persona p = sample_persona(w.config, w.city, id, w.rng);
+    badge.push_back(p.traits.badge_hunter);
+    mayor.push_back(p.traits.mayor_farmer);
+  }
+  const double r = stats::pearson(badge, mayor);
+  EXPECT_GT(r, 0.3);   // correlated...
+  EXPECT_LT(r, 0.95);  // ...but distinguishable
+}
+
+TEST(Schedules, StudentsFragmentTheirCampusDay) {
+  World w;
+  // Find a student persona.
+  for (trace::UserId id = 1; id <= 200; ++id) {
+    Persona p = sample_persona(w.config, w.city, id, w.rng);
+    if (w.city.pois[p.work_index].category != trace::PoiCategory::kCollege) {
+      continue;
+    }
+    const Itinerary it = generate_itinerary(w.config, w.city, p, w.rng);
+    // Count distinct same-day stays at the campus venue.
+    std::map<std::size_t, std::size_t> campus_stays_per_day;
+    for (const Stay& s : it.stays) {
+      if (s.poi_index == p.work_index) {
+        ++campus_stays_per_day[static_cast<std::size_t>(
+            s.arrive / trace::kSecondsPerDay)];
+      }
+    }
+    std::size_t fragmented_days = 0;
+    for (const auto& [day, count] : campus_stays_per_day) {
+      if (count >= 3) ++fragmented_days;
+    }
+    EXPECT_GT(fragmented_days, it.windows.size() / 3)
+        << "student " << id << " has no fragmented campus days";
+    return;
+  }
+  FAIL() << "no student persona found in 200 draws";
+}
+
+TEST(Schedules, WeekendWorkerShowsUpAtWorkOnWeekends) {
+  World w;
+  for (trace::UserId id = 1; id <= 300; ++id) {
+    Persona p = sample_persona(w.config, w.city, id, w.rng);
+    if (!p.traits.weekend_worker) continue;
+    if (w.city.pois[p.work_index].category == trace::PoiCategory::kCollege) {
+      continue;  // student schedules differ
+    }
+    p.study_days = 14;  // guarantee two weekends
+    const Itinerary it = generate_itinerary(w.config, w.city, p, w.rng);
+    std::size_t weekend_work_stays = 0;
+    for (const Stay& s : it.stays) {
+      const auto day =
+          static_cast<std::size_t>(s.arrive / trace::kSecondsPerDay) % 7;
+      if ((day == 4 || day == 5) && s.poi_index == p.work_index) {
+        ++weekend_work_stays;
+      }
+    }
+    EXPECT_GT(weekend_work_stays, 0u) << "weekend worker " << id;
+    return;
+  }
+  FAIL() << "no weekend-worker persona found";
+}
+
+TEST(Schedules, HomebodyTakesFewerTripsThanButterfly) {
+  World w;
+  Persona homebody, butterfly;
+  bool have_h = false, have_b = false;
+  for (trace::UserId id = 1; id <= 500 && !(have_h && have_b); ++id) {
+    Persona p = sample_persona(w.config, w.city, id, w.rng);
+    if (!have_h && p.traits.errand_factor < 0.35 && !p.traits.weekend_worker) {
+      homebody = p;
+      have_h = true;
+    } else if (!have_b && p.traits.errand_factor > 2.0 &&
+               !p.traits.weekend_worker) {
+      butterfly = p;
+      have_b = true;
+    }
+  }
+  ASSERT_TRUE(have_h && have_b);
+  homebody.study_days = butterfly.study_days = 10;
+
+  const Itinerary hi = generate_itinerary(w.config, w.city, homebody, w.rng);
+  const Itinerary bi = generate_itinerary(w.config, w.city, butterfly, w.rng);
+  EXPECT_LT(hi.stays.size(), bi.stays.size());
+}
+
+TEST(GeneratedStudy, CheckinsLieAtVenuePositions) {
+  const GeneratedStudy study = generate_study(tiny_preset());
+  for (const trace::UserRecord& u : study.dataset.users()) {
+    for (const trace::Checkin& c : u.checkins.events()) {
+      const trace::Poi* venue = study.dataset.pois().find(c.poi);
+      ASSERT_NE(venue, nullptr);
+      EXPECT_DOUBLE_EQ(c.location.lat_deg, venue->location.lat_deg);
+      EXPECT_EQ(c.category, venue->category);
+    }
+  }
+}
+
+TEST(GeneratedStudy, RemoteTruthEventsAreFarFromConcurrentVisits) {
+  // Spot-check the generator's own invariant: a remote-labelled checkin
+  // is far from wherever the user's detected visits place them.
+  const GeneratedStudy study = generate_study(tiny_preset());
+  std::size_t checked = 0;
+  for (const trace::UserRecord& u : study.dataset.users()) {
+    const auto& truth = study.truth.at(u.id);
+    const auto events = u.checkins.events();
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      if (truth[i] != TrueBehavior::kRemote) continue;
+      for (const trace::Visit& v : u.visits) {
+        if (events[i].t >= v.start && events[i].t <= v.end) {
+          EXPECT_GT(geo::distance_m(events[i].location, v.centroid), 500.0);
+          ++checked;
+        }
+      }
+    }
+  }
+  EXPECT_GT(checked, 10u);
+}
+
+}  // namespace
+}  // namespace geovalid::synth

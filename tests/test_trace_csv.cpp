@@ -1,0 +1,134 @@
+// Round-trip tests for the CSV dataset codec.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <unistd.h>
+
+#include "synth/study_generator.h"
+#include "trace/csv.h"
+
+namespace geovalid::trace {
+namespace {
+
+namespace fs = std::filesystem;
+
+class CsvRoundTrip : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("geovalid_csv_test_" + std::to_string(::getpid()));
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path dir_;
+};
+
+Dataset tiny_dataset() {
+  auto study = synth::generate_study(synth::tiny_preset());
+  return std::move(study.dataset);
+}
+
+TEST_F(CsvRoundTrip, PreservesEverything) {
+  const Dataset original = tiny_dataset();
+  write_dataset_csv(original, dir_);
+  const Dataset loaded = read_dataset_csv(dir_, original.name());
+
+  EXPECT_EQ(loaded.name(), original.name());
+  ASSERT_EQ(loaded.pois().size(), original.pois().size());
+  ASSERT_EQ(loaded.user_count(), original.user_count());
+
+  for (const Poi& p : original.pois().all()) {
+    const Poi* q = loaded.pois().find(p.id);
+    ASSERT_NE(q, nullptr) << "poi " << p.id;
+    EXPECT_EQ(q->name, p.name);
+    EXPECT_EQ(q->category, p.category);
+    EXPECT_NEAR(q->location.lat_deg, p.location.lat_deg, 1e-6);
+    EXPECT_NEAR(q->location.lon_deg, p.location.lon_deg, 1e-6);
+  }
+
+  for (std::size_t u = 0; u < original.user_count(); ++u) {
+    const UserRecord& a = original.users()[u];
+    const UserRecord* b = loaded.find_user(a.id);
+    ASSERT_NE(b, nullptr) << "user " << a.id;
+    EXPECT_EQ(b->profile.friends, a.profile.friends);
+    EXPECT_EQ(b->profile.badges, a.profile.badges);
+    EXPECT_EQ(b->profile.mayorships, a.profile.mayorships);
+    EXPECT_NEAR(b->profile.checkins_per_day, a.profile.checkins_per_day, 1e-4);
+
+    ASSERT_EQ(b->gps.size(), a.gps.size());
+    for (std::size_t i = 0; i < a.gps.size(); i += 97) {  // spot-check
+      const GpsPoint& pa = a.gps.points()[i];
+      const GpsPoint& pb = b->gps.points()[i];
+      EXPECT_EQ(pb.t, pa.t);
+      EXPECT_EQ(pb.has_fix, pa.has_fix);
+      EXPECT_EQ(pb.wifi_fingerprint, pa.wifi_fingerprint);
+      EXPECT_NEAR(pb.position.lat_deg, pa.position.lat_deg, 2e-6);
+      EXPECT_NEAR(pb.accel_variance, pa.accel_variance, 1e-4);
+    }
+
+    ASSERT_EQ(b->checkins.size(), a.checkins.size());
+    for (std::size_t i = 0; i < a.checkins.size(); ++i) {
+      const Checkin& ca = a.checkins.at(i);
+      const Checkin& cb = b->checkins.at(i);
+      EXPECT_EQ(cb.t, ca.t);
+      EXPECT_EQ(cb.poi, ca.poi);
+      EXPECT_EQ(cb.category, ca.category);
+    }
+
+    ASSERT_EQ(b->visits.size(), a.visits.size());
+    for (std::size_t i = 0; i < a.visits.size(); ++i) {
+      EXPECT_EQ(b->visits[i].start, a.visits[i].start);
+      EXPECT_EQ(b->visits[i].end, a.visits[i].end);
+      EXPECT_EQ(b->visits[i].poi, a.visits[i].poi);
+    }
+  }
+}
+
+TEST_F(CsvRoundTrip, MissingDirectoryFails) {
+  EXPECT_THROW(read_dataset_csv(dir_ / "nope", "x"), std::runtime_error);
+}
+
+TEST_F(CsvRoundTrip, MalformedRowReportsFileAndLine) {
+  const Dataset original = tiny_dataset();
+  write_dataset_csv(original, dir_);
+  // Corrupt one users.csv row.
+  {
+    std::ofstream out(dir_ / "users.csv");
+    out << "id,friends,badges,mayorships,checkins_per_day\n";
+    out << "1,2,3\n";  // too few fields
+  }
+  try {
+    read_dataset_csv(dir_, "x");
+    FAIL() << "expected malformed-row error";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("users.csv"), std::string::npos) << msg;
+    EXPECT_NE(msg.find(":2"), std::string::npos) << msg;
+  }
+}
+
+TEST_F(CsvRoundTrip, UnknownUserReferenceFails) {
+  const Dataset original = tiny_dataset();
+  write_dataset_csv(original, dir_);
+  {
+    std::ofstream out(dir_ / "checkins.csv");
+    out << "user,t,poi,category,lat,lon\n";
+    out << "999999,0,1,Food,0,0\n";
+  }
+  EXPECT_THROW(read_dataset_csv(dir_, "x"), std::runtime_error);
+}
+
+TEST_F(CsvRoundTrip, PoiNameWithCommaIsSanitized) {
+  std::vector<Poi> pois;
+  pois.push_back(Poi{1, "Joe's, Diner", PoiCategory::kFood, {1.0, 2.0}});
+  Dataset ds("t", PoiIndex(std::move(pois)), {});
+  write_dataset_csv(ds, dir_);
+  const Dataset loaded = read_dataset_csv(dir_, "t");
+  ASSERT_EQ(loaded.pois().size(), 1u);
+  EXPECT_EQ(loaded.pois().at(1).name, "Joe's  Diner");
+}
+
+}  // namespace
+}  // namespace geovalid::trace

@@ -1,0 +1,93 @@
+// Unit tests for GPS traces, visits and interval timestamp distance.
+#include <gtest/gtest.h>
+
+#include "geo/geodesic.h"
+#include "trace/gps.h"
+
+namespace geovalid::trace {
+namespace {
+
+GpsPoint pt(TimeSec t, double lat, double lon) {
+  GpsPoint p;
+  p.t = t;
+  p.position = geo::LatLon{lat, lon};
+  return p;
+}
+
+TEST(IntervalDistance, PaperDefinition) {
+  const Visit v{1000, 2000, {}, kNoPoi};
+  // Inside the visit: zero.
+  EXPECT_EQ(interval_distance(v, 1000), 0);
+  EXPECT_EQ(interval_distance(v, 1500), 0);
+  EXPECT_EQ(interval_distance(v, 2000), 0);
+  // Outside: distance to nearer edge.
+  EXPECT_EQ(interval_distance(v, 900), 100);
+  EXPECT_EQ(interval_distance(v, 2300), 300);
+}
+
+TEST(Visit, Duration) {
+  const Visit v{100, 700, {}, kNoPoi};
+  EXPECT_EQ(v.duration(), 600);
+}
+
+TEST(GpsTrace, SortsOnConstruction) {
+  GpsTrace trace({pt(300, 0, 0), pt(100, 1, 1), pt(200, 2, 2)});
+  ASSERT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace.points()[0].t, 100);
+  EXPECT_EQ(trace.points()[2].t, 300);
+  EXPECT_EQ(trace.start_time(), 100);
+  EXPECT_EQ(trace.end_time(), 300);
+}
+
+TEST(GpsTrace, EmptyTraceThrowsOnTimes) {
+  const GpsTrace trace;
+  EXPECT_TRUE(trace.empty());
+  EXPECT_THROW(trace.start_time(), std::logic_error);
+  EXPECT_THROW(trace.end_time(), std::logic_error);
+  EXPECT_EQ(trace.sample_at(100), nullptr);
+  EXPECT_DOUBLE_EQ(trace.speed_at(100), 0.0);
+}
+
+TEST(GpsTrace, SpanDays) {
+  GpsTrace trace({pt(0, 0, 0), pt(kSecondsPerDay * 2, 0, 0)});
+  EXPECT_DOUBLE_EQ(trace.span_days(), 2.0);
+  GpsTrace single({pt(5, 0, 0)});
+  EXPECT_DOUBLE_EQ(single.span_days(), 0.0);
+}
+
+TEST(GpsTrace, SampleAtReturnsMostRecent) {
+  GpsTrace trace({pt(100, 1, 1), pt(200, 2, 2), pt(300, 3, 3)});
+  EXPECT_EQ(trace.sample_at(99), nullptr);
+  EXPECT_DOUBLE_EQ(trace.sample_at(100)->position.lat_deg, 1.0);
+  EXPECT_DOUBLE_EQ(trace.sample_at(250)->position.lat_deg, 2.0);
+  EXPECT_DOUBLE_EQ(trace.sample_at(1000)->position.lat_deg, 3.0);
+}
+
+TEST(GpsTrace, SpeedBetweenSamples) {
+  // Two samples 60 s apart, 600 m apart -> 10 m/s.
+  const geo::LatLon a{34.0, -119.0};
+  const geo::LatLon b = geo::destination(a, 90.0, 600.0);
+  GpsPoint p1;
+  p1.t = 0;
+  p1.position = a;
+  GpsPoint p2;
+  p2.t = 60;
+  p2.position = b;
+  GpsTrace trace({p1, p2});
+  EXPECT_NEAR(trace.speed_at(30), 10.0, 0.05);
+  EXPECT_NEAR(trace.speed_at(60), 10.0, 0.05);  // at the last sample
+  EXPECT_DOUBLE_EQ(trace.speed_at(-5), 0.0);
+  EXPECT_DOUBLE_EQ(trace.speed_at(61), 0.0);
+}
+
+TEST(GpsTrace, AppendEnforcesOrder) {
+  GpsTrace trace;
+  trace.append(pt(10, 0, 0));
+  trace.append(pt(10, 0, 0));  // equal timestamps allowed
+  trace.append(pt(20, 0, 0));
+  EXPECT_THROW(trace.append(pt(5, 0, 0)), std::invalid_argument);
+  EXPECT_EQ(trace.size(), 3u);
+}
+
+}  // namespace
+}  // namespace geovalid::trace

@@ -1,0 +1,109 @@
+// Property tests: the POI grid must agree with brute force.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "geo/geodesic.h"
+#include "stats/rng.h"
+#include "trace/poi_grid.h"
+
+namespace geovalid::trace {
+namespace {
+
+const geo::LatLon kCenter{34.42, -119.70};
+
+std::vector<Poi> random_pois(std::size_t n, std::uint64_t seed) {
+  stats::Rng rng(seed);
+  std::vector<Poi> pois;
+  pois.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Poi p;
+    p.id = static_cast<PoiId>(i + 1);
+    p.category = PoiCategory::kFood;
+    p.location = geo::destination(kCenter, rng.uniform(0.0, 360.0),
+                                  rng.uniform(0.0, 12000.0));
+    pois.push_back(p);
+  }
+  return pois;
+}
+
+std::vector<PoiId> brute_force_within(std::span<const Poi> pois,
+                                      const geo::LatLon& c, double r) {
+  std::vector<PoiId> out;
+  for (const Poi& p : pois) {
+    if (geo::fast_distance_m(c, p.location) <= r) out.push_back(p.id);
+  }
+  return out;
+}
+
+class GridAgreesWithBruteForce : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GridAgreesWithBruteForce, WithinQueries) {
+  const auto pois = random_pois(400, GetParam());
+  const PoiGrid grid(pois, 500.0);
+  stats::Rng rng(GetParam() + 1000);
+
+  for (int q = 0; q < 40; ++q) {
+    const geo::LatLon c = geo::destination(kCenter, rng.uniform(0.0, 360.0),
+                                           rng.uniform(0.0, 13000.0));
+    const double r = rng.uniform(50.0, 3000.0);
+    auto got = grid.within(c, r);
+    auto want = brute_force_within(pois, c, r);
+    std::sort(got.begin(), got.end());
+    std::sort(want.begin(), want.end());
+    EXPECT_EQ(got, want) << "query " << q << " r=" << r;
+  }
+}
+
+TEST_P(GridAgreesWithBruteForce, NearestQueries) {
+  const auto pois = random_pois(300, GetParam());
+  const PoiGrid grid(pois, 400.0);
+  stats::Rng rng(GetParam() + 2000);
+
+  for (int q = 0; q < 40; ++q) {
+    const geo::LatLon c = geo::destination(kCenter, rng.uniform(0.0, 360.0),
+                                           rng.uniform(0.0, 13000.0));
+    const double r = rng.uniform(100.0, 2500.0);
+    const auto got = grid.nearest(c, r);
+
+    // Brute-force nearest.
+    PoiId want = kNoPoi;
+    double best = r;
+    for (const Poi& p : pois) {
+      const double d = geo::fast_distance_m(c, p.location);
+      if (d <= best) {
+        best = d;
+        want = p.id;
+      }
+    }
+    if (want == kNoPoi) {
+      EXPECT_FALSE(got.has_value());
+    } else {
+      ASSERT_TRUE(got.has_value());
+      EXPECT_EQ(*got, want);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GridAgreesWithBruteForce,
+                         ::testing::Values(1u, 2u, 3u, 17u, 99u));
+
+TEST(PoiGrid, EmptyGridReturnsNothing) {
+  const std::vector<Poi> none;
+  const PoiGrid grid(none);
+  EXPECT_TRUE(grid.within(kCenter, 1000.0).empty());
+  EXPECT_FALSE(grid.nearest(kCenter, 1000.0).has_value());
+}
+
+TEST(PoiGrid, ZeroRadiusMatchesOnlyExactPoint) {
+  std::vector<Poi> pois;
+  pois.push_back(Poi{1, "x", PoiCategory::kShop, kCenter});
+  const PoiGrid grid(pois);
+  const auto hit = grid.within(kCenter, 0.0);
+  ASSERT_EQ(hit.size(), 1u);
+  EXPECT_EQ(hit[0], 1u);
+}
+
+}  // namespace
+}  // namespace geovalid::trace

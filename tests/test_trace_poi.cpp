@@ -1,0 +1,70 @@
+// Unit tests for POIs, categories and the POI index.
+#include <gtest/gtest.h>
+
+#include "trace/poi.h"
+
+namespace geovalid::trace {
+namespace {
+
+TEST(PoiCategory, AllNineCategoriesPresent) {
+  const auto cats = all_poi_categories();
+  EXPECT_EQ(cats.size(), kPoiCategoryCount);
+  EXPECT_EQ(cats.size(), 9u);
+}
+
+TEST(PoiCategory, NameRoundTrip) {
+  for (PoiCategory c : all_poi_categories()) {
+    const auto parsed = parse_poi_category(to_string(c));
+    ASSERT_TRUE(parsed.has_value()) << to_string(c);
+    EXPECT_EQ(*parsed, c);
+  }
+}
+
+TEST(PoiCategory, ExpectedNames) {
+  EXPECT_EQ(to_string(PoiCategory::kProfessional), "Professional");
+  EXPECT_EQ(to_string(PoiCategory::kFood), "Food");
+  EXPECT_EQ(to_string(PoiCategory::kCollege), "College");
+}
+
+TEST(PoiCategory, UnknownNameRejected) {
+  EXPECT_FALSE(parse_poi_category("Bogus").has_value());
+  EXPECT_FALSE(parse_poi_category("food").has_value());  // case-sensitive
+  EXPECT_FALSE(parse_poi_category("").has_value());
+}
+
+TEST(PoiIndex, FindAndAt) {
+  std::vector<Poi> pois;
+  pois.push_back(Poi{7, "a", PoiCategory::kFood, {1.0, 2.0}});
+  pois.push_back(Poi{9, "b", PoiCategory::kShop, {3.0, 4.0}});
+  const PoiIndex index(std::move(pois));
+
+  EXPECT_EQ(index.size(), 2u);
+  ASSERT_NE(index.find(7), nullptr);
+  EXPECT_EQ(index.find(7)->name, "a");
+  EXPECT_EQ(index.find(8), nullptr);
+  EXPECT_EQ(index.find(kNoPoi), nullptr);
+  EXPECT_EQ(index.at(9).category, PoiCategory::kShop);
+  EXPECT_THROW(index.at(1), std::out_of_range);
+}
+
+TEST(PoiIndex, RejectsDuplicateIds) {
+  std::vector<Poi> pois;
+  pois.push_back(Poi{1, "a", PoiCategory::kFood, {}});
+  pois.push_back(Poi{1, "b", PoiCategory::kShop, {}});
+  EXPECT_THROW(PoiIndex{std::move(pois)}, std::invalid_argument);
+}
+
+TEST(PoiIndex, RejectsSentinelId) {
+  std::vector<Poi> pois;
+  pois.push_back(Poi{kNoPoi, "bad", PoiCategory::kFood, {}});
+  EXPECT_THROW(PoiIndex{std::move(pois)}, std::invalid_argument);
+}
+
+TEST(PoiIndex, EmptyIndexIsFine) {
+  const PoiIndex index;
+  EXPECT_TRUE(index.empty());
+  EXPECT_EQ(index.find(1), nullptr);
+}
+
+}  // namespace
+}  // namespace geovalid::trace

@@ -1,0 +1,230 @@
+// Unit tests for the stay-point visit detector and the stationary
+// classifier (the paper's §3 measurement pipeline).
+#include <gtest/gtest.h>
+
+#include "geo/geodesic.h"
+#include "trace/stationary.h"
+#include "trace/visit_detector.h"
+
+namespace geovalid::trace {
+namespace {
+
+const geo::LatLon kAnchor{34.42, -119.70};
+
+/// Builds a per-minute trace: `minutes_at_anchor` stationary samples with
+/// small jitter, then movement away at ~10 m/s.
+std::vector<GpsPoint> stationary_then_move(int minutes_at_anchor,
+                                           int minutes_moving) {
+  std::vector<GpsPoint> pts;
+  TimeSec t = 0;
+  for (int i = 0; i < minutes_at_anchor; ++i, t += 60) {
+    GpsPoint p;
+    p.t = t;
+    p.position = geo::destination(kAnchor, (i * 73) % 360, 8.0);
+    p.accel_variance = 0.1;
+    p.wifi_fingerprint = 42;
+    pts.push_back(p);
+  }
+  for (int i = 0; i < minutes_moving; ++i, t += 60) {
+    GpsPoint p;
+    p.t = t;
+    p.position = geo::destination(kAnchor, 90.0, 50.0 + 600.0 * (i + 1));
+    p.accel_variance = 2.5;
+    pts.push_back(p);
+  }
+  return pts;
+}
+
+TEST(VisitDetector, DetectsSingleStay) {
+  const VisitDetector detector;
+  const GpsTrace trace(stationary_then_move(10, 5));
+  const auto visits = detector.detect(trace);
+  ASSERT_EQ(visits.size(), 1u);
+  EXPECT_EQ(visits[0].start, 0);
+  EXPECT_EQ(visits[0].end, 9 * 60);
+  EXPECT_LT(geo::distance_m(visits[0].centroid, kAnchor), 15.0);
+}
+
+TEST(VisitDetector, ShortStayIsNotAVisit) {
+  const VisitDetector detector;  // 6-minute minimum
+  const GpsTrace trace(stationary_then_move(5, 5));
+  EXPECT_TRUE(detector.detect(trace).empty());
+}
+
+TEST(VisitDetector, SixMinuteBoundaryIsInclusive) {
+  const VisitDetector detector;
+  // 7 samples at minutes 0..6 span exactly 6 minutes.
+  const GpsTrace trace(stationary_then_move(7, 3));
+  EXPECT_EQ(detector.detect(trace).size(), 1u);
+}
+
+TEST(VisitDetector, MovementProducesNoVisit) {
+  const VisitDetector detector;
+  const GpsTrace trace(stationary_then_move(0, 12));
+  EXPECT_TRUE(detector.detect(trace).empty());
+}
+
+TEST(VisitDetector, TwoStaysSeparatedByTravel) {
+  std::vector<GpsPoint> pts = stationary_then_move(8, 4);
+  // Second stay 3 km east.
+  const geo::LatLon second = geo::destination(kAnchor, 90.0, 3000.0);
+  TimeSec t = pts.back().t + 60;
+  for (int i = 0; i < 9; ++i, t += 60) {
+    GpsPoint p;
+    p.t = t;
+    p.position = geo::destination(second, 10.0 * i, 6.0);
+    p.accel_variance = 0.05;
+    pts.push_back(p);
+  }
+  const VisitDetector detector;
+  const auto visits = detector.detect(GpsTrace(std::move(pts)));
+  ASSERT_EQ(visits.size(), 2u);
+  EXPECT_LT(geo::distance_m(visits[0].centroid, kAnchor), 20.0);
+  EXPECT_LT(geo::distance_m(visits[1].centroid, second), 20.0);
+}
+
+TEST(VisitDetector, IndoorDropoutBridgedByWifiAndAccel) {
+  // 4 minutes of fixes, 8 minutes of dropout with stable WiFi + quiet
+  // accelerometer, 4 more minutes of fixes: one 15-minute visit.
+  std::vector<GpsPoint> pts;
+  TimeSec t = 0;
+  auto add_fix = [&](int n) {
+    for (int i = 0; i < n; ++i, t += 60) {
+      GpsPoint p;
+      p.t = t;
+      p.position = geo::destination(kAnchor, (i * 31) % 360, 7.0);
+      p.wifi_fingerprint = 77;
+      p.accel_variance = 0.1;
+      pts.push_back(p);
+    }
+  };
+  auto add_dropout = [&](int n) {
+    for (int i = 0; i < n; ++i, t += 60) {
+      GpsPoint p;
+      p.t = t;
+      p.has_fix = false;
+      p.position = kAnchor;
+      p.wifi_fingerprint = 77;
+      p.accel_variance = 0.05;
+      pts.push_back(p);
+    }
+  };
+  add_fix(4);
+  add_dropout(8);
+  add_fix(4);
+
+  const VisitDetector detector;
+  const auto visits = detector.detect(GpsTrace(std::move(pts)));
+  ASSERT_EQ(visits.size(), 1u);
+  EXPECT_EQ(visits[0].duration(), 15 * 60);
+}
+
+TEST(VisitDetector, MovingDropoutBreaksStay) {
+  // Fixes at the anchor, then fix-less samples with *high* accelerometer
+  // variance (user started moving indoors/underground), then fixes far
+  // away: the stay must end at the dropout.
+  std::vector<GpsPoint> pts;
+  TimeSec t = 0;
+  for (int i = 0; i < 8; ++i, t += 60) {
+    GpsPoint p;
+    p.t = t;
+    p.position = geo::destination(kAnchor, 0.0, 5.0);
+    p.wifi_fingerprint = 5;
+    p.accel_variance = 0.1;
+    pts.push_back(p);
+  }
+  for (int i = 0; i < 4; ++i, t += 60) {
+    GpsPoint p;
+    p.t = t;
+    p.has_fix = false;
+    p.position = kAnchor;
+    p.wifi_fingerprint = 0;
+    p.accel_variance = 3.0;  // walking
+    pts.push_back(p);
+  }
+  const VisitDetector detector;
+  const auto visits = detector.detect(GpsTrace(std::move(pts)));
+  ASSERT_EQ(visits.size(), 1u);
+  EXPECT_EQ(visits[0].end, 7 * 60);  // ended before the moving dropout
+}
+
+TEST(VisitDetector, LongSampleGapSplitsVisit) {
+  std::vector<GpsPoint> pts;
+  TimeSec t = 0;
+  auto add_block = [&](int n) {
+    for (int i = 0; i < n; ++i, t += 60) {
+      GpsPoint p;
+      p.t = t;
+      p.position = geo::destination(kAnchor, 45.0, 4.0);
+      p.accel_variance = 0.1;
+      pts.push_back(p);
+    }
+  };
+  add_block(8);
+  t += 3600;  // one hour of no samples (recording off)
+  add_block(8);
+  const VisitDetector detector;
+  const auto visits = detector.detect(GpsTrace(std::move(pts)));
+  EXPECT_EQ(visits.size(), 2u);
+}
+
+TEST(VisitDetector, SnapToNearestPoi) {
+  std::vector<Poi> pois;
+  pois.push_back(Poi{1, "near", PoiCategory::kFood, kAnchor});
+  pois.push_back(
+      Poi{2, "far", PoiCategory::kShop, geo::destination(kAnchor, 0.0, 5000.0)});
+  const PoiIndex index(std::move(pois));
+
+  std::vector<Visit> visits{
+      Visit{0, 600, geo::destination(kAnchor, 90.0, 40.0), kNoPoi},
+      Visit{0, 600, geo::destination(kAnchor, 90.0, 2500.0), kNoPoi},
+  };
+  const VisitDetector detector;
+  detector.snap_to_pois(visits, index, 150.0);
+  EXPECT_EQ(visits[0].poi, 1u);
+  EXPECT_EQ(visits[1].poi, kNoPoi);  // nothing within 150 m
+}
+
+TEST(StationaryClassifier, FixSamplesAreUnknown) {
+  std::vector<GpsPoint> pts(3);
+  for (auto& p : pts) p.has_fix = true;
+  const auto states = classify_motion(pts);
+  for (auto s : states) EXPECT_EQ(s, MotionState::kUnknown);
+}
+
+TEST(StationaryClassifier, QuietWifiStableIsStationary) {
+  std::vector<GpsPoint> pts(4);
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    pts[i].t = static_cast<TimeSec>(i) * 60;
+    pts[i].has_fix = false;
+    pts[i].wifi_fingerprint = 9;
+    pts[i].accel_variance = 0.1;
+  }
+  const auto states = classify_motion(pts);
+  EXPECT_EQ(states[3], MotionState::kStationary);
+}
+
+TEST(StationaryClassifier, HighAccelIsMoving) {
+  std::vector<GpsPoint> pts(2);
+  pts[1].t = 60;
+  for (auto& p : pts) {
+    p.has_fix = false;
+    p.wifi_fingerprint = 9;
+    p.accel_variance = 5.0;
+  }
+  const auto states = classify_motion(pts);
+  EXPECT_EQ(states[0], MotionState::kMoving);
+  EXPECT_EQ(states[1], MotionState::kMoving);
+}
+
+TEST(StationaryClassifier, NoEvidenceIsUnknown) {
+  std::vector<GpsPoint> pts(1);
+  pts[0].has_fix = false;
+  pts[0].wifi_fingerprint = 0;  // no WiFi
+  pts[0].accel_variance = 0.0;
+  const auto states = classify_motion(pts);
+  EXPECT_EQ(states[0], MotionState::kUnknown);
+}
+
+}  // namespace
+}  // namespace geovalid::trace

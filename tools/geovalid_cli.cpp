@@ -1,0 +1,224 @@
+// geovalid — command-line front end.
+//
+//   geovalid generate <primary|baseline|tiny> <output_dir> [--seed N]
+//       Generate a synthetic study and write it as CSV.
+//
+//   geovalid validate <dataset_dir> [--detect-visits] [--alpha M]
+//                     [--beta MIN]
+//       Load a CSV dataset, run the full §4-§5 validation pipeline and
+//       print the partition, taxonomy and headline analyses.
+//
+//   geovalid repair <dataset_dir> <output_csv> [--gap MIN]
+//       Load a dataset, flag extraneous checkins with the burstiness
+//       filter (checkin-only; no GPS needed), infer home/work anchors,
+//       and write the repaired event stream as CSV
+//       (user,t,lat,lon,kind).
+//
+//   geovalid import-snap <checkins.txt> <output_dir> [--max-users N]
+//       Convert a SNAP-format (Gowalla/Brightkite) checkin dump into a
+//       geovalid CSV dataset (checkins only; run `repair` on it next).
+#include <cstring>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "core/pipeline.h"
+#include "core/report.h"
+#include "match/filters.h"
+#include "match/incentives.h"
+#include "match/missing.h"
+#include "recover/upsample.h"
+#include "trace/csv.h"
+#include "trace/gowalla.h"
+
+namespace {
+
+using namespace geovalid;
+
+int usage() {
+  std::cerr <<
+      "usage:\n"
+      "  geovalid generate <primary|baseline|tiny> <output_dir> [--seed N]\n"
+      "  geovalid validate <dataset_dir> [--detect-visits] [--alpha M] "
+      "[--beta MIN]\n"
+      "  geovalid repair <dataset_dir> <output_csv> [--gap MIN]\n"
+      "  geovalid import-snap <checkins.txt> <output_dir> [--max-users N]\n";
+  return 2;
+}
+
+std::optional<double> flag_value(int argc, char** argv, const char* name) {
+  for (int i = 0; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return std::atof(argv[i + 1]);
+  }
+  return std::nullopt;
+}
+
+bool has_flag(int argc, char** argv, const char* name) {
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return true;
+  }
+  return false;
+}
+
+int cmd_generate(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string preset = argv[0];
+  const std::filesystem::path dir = argv[1];
+
+  synth::StudyConfig config;
+  if (preset == "primary") config = synth::primary_preset();
+  else if (preset == "baseline") config = synth::baseline_preset();
+  else if (preset == "tiny") config = synth::tiny_preset();
+  else {
+    std::cerr << "unknown preset: " << preset << "\n";
+    return 2;
+  }
+  if (const auto seed = flag_value(argc, argv, "--seed")) {
+    config.seed = static_cast<std::uint64_t>(*seed);
+  }
+
+  std::cout << "generating '" << config.name << "' (" << config.user_count
+            << " users, seed " << config.seed << ")...\n";
+  const synth::GeneratedStudy study = synth::generate_study(config);
+  trace::write_dataset_csv(study.dataset, dir);
+
+  const auto stats = trace::compute_stats(study.dataset);
+  std::cout << "wrote " << dir << ": " << stats.users << " users, "
+            << stats.checkins << " checkins, " << stats.visits
+            << " visits, " << stats.gps_points << " GPS points\n";
+  return 0;
+}
+
+int cmd_validate(int argc, char** argv) {
+  if (argc < 1) return usage();
+  const std::filesystem::path dir = argv[0];
+
+  match::MatchConfig cfg;
+  if (const auto alpha = flag_value(argc, argv, "--alpha")) cfg.alpha_m = *alpha;
+  if (const auto beta = flag_value(argc, argv, "--beta")) {
+    cfg.beta = static_cast<trace::TimeSec>(*beta * 60.0);
+  }
+
+  std::cout << "loading " << dir << "...\n";
+  const core::StudyAnalysis analysis = core::analyze_csv(
+      dir, dir.filename().string(), has_flag(argc, argv, "--detect-visits"),
+      cfg);
+
+  std::cout << "\n=== dataset ===\n";
+  std::cout << std::left << std::setw(10) << " " << std::right << std::setw(8)
+            << "users" << std::setw(12) << "avg days" << std::setw(12)
+            << "checkins" << std::setw(12) << "visits" << std::setw(14)
+            << "GPS points" << "\n";
+  core::print_dataset_stats(std::cout, analysis.dataset.name(),
+                            trace::compute_stats(analysis.dataset));
+
+  std::cout << "\n=== matching (alpha=" << cfg.alpha_m
+            << " m, beta=" << cfg.beta / 60 << " min) ===\n";
+  core::print_partition(std::cout, analysis.partition());
+
+  std::cout << "\n=== incentive correlations ===\n";
+  core::print_incentive_table(
+      std::cout,
+      match::incentive_correlations(analysis.dataset, analysis.validation));
+
+  const auto categories =
+      match::missing_by_category(analysis.dataset, analysis.validation);
+  std::cout << "\n=== missing checkins by category ===\n"
+            << std::fixed << std::setprecision(1);
+  for (std::size_t c = 0; c < categories.size(); ++c) {
+    std::cout << "  " << std::left << std::setw(14)
+              << trace::to_string(static_cast<trace::PoiCategory>(c))
+              << std::right << std::setw(7) << categories[c] << "%\n";
+  }
+  return 0;
+}
+
+int cmd_repair(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::filesystem::path dir = argv[0];
+  const std::filesystem::path out_path = argv[1];
+
+  match::BurstinessFilterConfig filter;
+  if (const auto gap = flag_value(argc, argv, "--gap")) {
+    filter.gap_threshold = static_cast<trace::TimeSec>(*gap * 60.0);
+  }
+
+  std::cout << "loading " << dir << "...\n";
+  const trace::Dataset ds =
+      trace::read_dataset_csv(dir, dir.filename().string());
+  const auto flags = match::burstiness_flags(ds, filter);
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "cannot open " << out_path << " for writing\n";
+    return 1;
+  }
+  out << "user,t,lat,lon,kind\n";
+  out.precision(10);
+
+  std::size_t kept = 0, inferred = 0, flagged = 0;
+  const auto users = ds.users();
+  for (std::size_t u = 0; u < users.size(); ++u) {
+    const auto events = users[u].checkins.events();
+    std::vector<bool> extraneous(flags[u].begin(), flags[u].end());
+    for (bool f : extraneous) {
+      if (f) ++flagged;
+    }
+    const recover::RecoveredTrace repaired =
+        recover::recover_trace(events, extraneous);
+    kept += repaired.observed;
+    inferred += repaired.inferred;
+    for (const recover::RecoveredEvent& e : repaired.events) {
+      const char* kind =
+          e.kind == recover::RecoveredKind::kObserved
+              ? "observed"
+              : (e.kind == recover::RecoveredKind::kHomeInferred
+                     ? "home"
+                     : "work");
+      out << users[u].id << ',' << e.t << ',' << e.position.lat_deg << ','
+          << e.position.lon_deg << ',' << kind << '\n';
+    }
+  }
+  std::cout << "repaired trace written to " << out_path << ": " << flagged
+            << " checkins dropped, " << kept << " kept, " << inferred
+            << " routine events inferred\n";
+  return 0;
+}
+
+int cmd_import_snap(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::filesystem::path file = argv[0];
+  const std::filesystem::path dir = argv[1];
+
+  trace::GowallaImportOptions opts;
+  if (const auto cap = flag_value(argc, argv, "--max-users")) {
+    opts.max_users = static_cast<std::size_t>(*cap);
+  }
+  std::cout << "importing " << file << "...\n";
+  const trace::Dataset ds =
+      trace::read_gowalla_checkins(file, file.stem().string(), opts);
+  trace::write_dataset_csv(ds, dir);
+  const auto stats = trace::compute_stats(ds);
+  std::cout << "wrote " << dir << ": " << stats.users << " users, "
+            << stats.checkins << " checkins (no GPS in this format)\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "generate") return cmd_generate(argc - 2, argv + 2);
+    if (cmd == "validate") return cmd_validate(argc - 2, argv + 2);
+    if (cmd == "repair") return cmd_repair(argc - 2, argv + 2);
+    if (cmd == "import-snap") return cmd_import_snap(argc - 2, argv + 2);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return usage();
+}
