@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_ablation_alpha_beta.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_city.dir/bench_ablation_city.cpp.o"
+  "CMakeFiles/bench_ablation_city.dir/bench_ablation_city.cpp.o.d"
+  "bench_ablation_city"
+  "bench_ablation_city.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_city.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_classifier.dir/bench_ablation_classifier.cpp.o"
+  "CMakeFiles/bench_ablation_classifier.dir/bench_ablation_classifier.cpp.o.d"
+  "bench_ablation_classifier"
+  "bench_ablation_classifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_classifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

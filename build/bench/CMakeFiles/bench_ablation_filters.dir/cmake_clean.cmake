@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_filters.dir/bench_ablation_filters.cpp.o"
+  "CMakeFiles/bench_ablation_filters.dir/bench_ablation_filters.cpp.o.d"
+  "bench_ablation_filters"
+  "bench_ablation_filters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_filters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

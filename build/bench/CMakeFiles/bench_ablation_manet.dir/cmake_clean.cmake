@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_manet.dir/bench_ablation_manet.cpp.o"
+  "CMakeFiles/bench_ablation_manet.dir/bench_ablation_manet.cpp.o.d"
+  "bench_ablation_manet"
+  "bench_ablation_manet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_manet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

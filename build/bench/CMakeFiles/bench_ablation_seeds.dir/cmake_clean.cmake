@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_seeds.dir/bench_ablation_seeds.cpp.o"
+  "CMakeFiles/bench_ablation_seeds.dir/bench_ablation_seeds.cpp.o.d"
+  "bench_ablation_seeds"
+  "bench_ablation_seeds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_seeds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_visits.dir/bench_ablation_visits.cpp.o"
+  "CMakeFiles/bench_ablation_visits.dir/bench_ablation_visits.cpp.o.d"
+  "bench_ablation_visits"
+  "bench_ablation_visits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_visits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_friendship.dir/bench_ext_friendship.cpp.o"
+  "CMakeFiles/bench_ext_friendship.dir/bench_ext_friendship.cpp.o.d"
+  "bench_ext_friendship"
+  "bench_ext_friendship.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_friendship.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

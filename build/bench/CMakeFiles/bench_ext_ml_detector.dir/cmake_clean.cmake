@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_ml_detector.dir/bench_ext_ml_detector.cpp.o"
+  "CMakeFiles/bench_ext_ml_detector.dir/bench_ext_ml_detector.cpp.o.d"
+  "bench_ext_ml_detector"
+  "bench_ext_ml_detector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_ml_detector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_recovery.dir/bench_ext_recovery.cpp.o"
+  "CMakeFiles/bench_ext_recovery.dir/bench_ext_recovery.cpp.o.d"
+  "bench_ext_recovery"
+  "bench_ext_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

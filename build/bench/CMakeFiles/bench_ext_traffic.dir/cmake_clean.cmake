@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_traffic.dir/bench_ext_traffic.cpp.o"
+  "CMakeFiles/bench_ext_traffic.dir/bench_ext_traffic.cpp.o.d"
+  "bench_ext_traffic"
+  "bench_ext_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

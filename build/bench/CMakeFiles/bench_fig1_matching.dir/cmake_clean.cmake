@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_matching.dir/bench_fig1_matching.cpp.o"
+  "CMakeFiles/bench_fig1_matching.dir/bench_fig1_matching.cpp.o.d"
+  "bench_fig1_matching"
+  "bench_fig1_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

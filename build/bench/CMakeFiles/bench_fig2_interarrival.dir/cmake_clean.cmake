@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_interarrival.dir/bench_fig2_interarrival.cpp.o"
+  "CMakeFiles/bench_fig2_interarrival.dir/bench_fig2_interarrival.cpp.o.d"
+  "bench_fig2_interarrival"
+  "bench_fig2_interarrival.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_interarrival.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

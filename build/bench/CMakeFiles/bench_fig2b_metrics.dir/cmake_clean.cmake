@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2b_metrics.dir/bench_fig2b_metrics.cpp.o"
+  "CMakeFiles/bench_fig2b_metrics.dir/bench_fig2b_metrics.cpp.o.d"
+  "bench_fig2b_metrics"
+  "bench_fig2b_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2b_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

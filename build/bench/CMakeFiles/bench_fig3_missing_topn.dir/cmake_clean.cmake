@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_missing_topn.dir/bench_fig3_missing_topn.cpp.o"
+  "CMakeFiles/bench_fig3_missing_topn.dir/bench_fig3_missing_topn.cpp.o.d"
+  "bench_fig3_missing_topn"
+  "bench_fig3_missing_topn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_missing_topn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

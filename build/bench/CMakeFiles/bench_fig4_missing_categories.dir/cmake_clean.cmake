@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_missing_categories.dir/bench_fig4_missing_categories.cpp.o"
+  "CMakeFiles/bench_fig4_missing_categories.dir/bench_fig4_missing_categories.cpp.o.d"
+  "bench_fig4_missing_categories"
+  "bench_fig4_missing_categories.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_missing_categories.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

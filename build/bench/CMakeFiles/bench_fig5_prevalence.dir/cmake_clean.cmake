@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_prevalence.dir/bench_fig5_prevalence.cpp.o"
+  "CMakeFiles/bench_fig5_prevalence.dir/bench_fig5_prevalence.cpp.o.d"
+  "bench_fig5_prevalence"
+  "bench_fig5_prevalence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_prevalence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_burstiness.dir/bench_fig6_burstiness.cpp.o"
+  "CMakeFiles/bench_fig6_burstiness.dir/bench_fig6_burstiness.cpp.o.d"
+  "bench_fig6_burstiness"
+  "bench_fig6_burstiness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_burstiness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

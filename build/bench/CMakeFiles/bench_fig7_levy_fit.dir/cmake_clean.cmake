@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_levy_fit.dir/bench_fig7_levy_fit.cpp.o"
+  "CMakeFiles/bench_fig7_levy_fit.dir/bench_fig7_levy_fit.cpp.o.d"
+  "bench_fig7_levy_fit"
+  "bench_fig7_levy_fit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_levy_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig7_levy_fit.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_manet.dir/bench_fig8_manet.cpp.o"
+  "CMakeFiles/bench_fig8_manet.dir/bench_fig8_manet.cpp.o.d"
+  "bench_fig8_manet"
+  "bench_fig8_manet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_manet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_incentives.dir/bench_table2_incentives.cpp.o"
+  "CMakeFiles/bench_table2_incentives.dir/bench_table2_incentives.cpp.o.d"
+  "bench_table2_incentives"
+  "bench_table2_incentives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_incentives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checkin_filter.dir/checkin_filter.cpp.o"
+  "CMakeFiles/checkin_filter.dir/checkin_filter.cpp.o.d"
+  "checkin_filter"
+  "checkin_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checkin_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

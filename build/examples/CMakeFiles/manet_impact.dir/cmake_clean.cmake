@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manet_impact.dir/manet_impact.cpp.o"
+  "CMakeFiles/manet_impact.dir/manet_impact.cpp.o.d"
+  "manet_impact"
+  "manet_impact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manet_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/study_audit.dir/study_audit.cpp.o"
+  "CMakeFiles/study_audit.dir/study_audit.cpp.o.d"
+  "study_audit"
+  "study_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/study_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

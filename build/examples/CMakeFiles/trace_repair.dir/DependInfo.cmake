@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/trace_repair.cpp" "examples/CMakeFiles/trace_repair.dir/trace_repair.cpp.o" "gcc" "examples/CMakeFiles/trace_repair.dir/trace_repair.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/geovalid_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/geovalid_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/geovalid_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/recover/CMakeFiles/geovalid_recover.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/geovalid_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/manet/CMakeFiles/geovalid_manet.dir/DependInfo.cmake"
+  "/root/repo/build/src/mobility/CMakeFiles/geovalid_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/match/CMakeFiles/geovalid_match.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/geovalid_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/geovalid_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/geovalid_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_repair.dir/trace_repair.cpp.o"
+  "CMakeFiles/trace_repair.dir/trace_repair.cpp.o.d"
+  "trace_repair"
+  "trace_repair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_repair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("geo")
+subdirs("stats")
+subdirs("trace")
+subdirs("synth")
+subdirs("match")
+subdirs("detect")
+subdirs("recover")
+subdirs("apps")
+subdirs("mobility")
+subdirs("manet")
+subdirs("core")

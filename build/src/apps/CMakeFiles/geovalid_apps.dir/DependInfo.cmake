@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/friendship.cpp" "src/apps/CMakeFiles/geovalid_apps.dir/friendship.cpp.o" "gcc" "src/apps/CMakeFiles/geovalid_apps.dir/friendship.cpp.o.d"
+  "/root/repo/src/apps/next_place.cpp" "src/apps/CMakeFiles/geovalid_apps.dir/next_place.cpp.o" "gcc" "src/apps/CMakeFiles/geovalid_apps.dir/next_place.cpp.o.d"
+  "/root/repo/src/apps/traffic.cpp" "src/apps/CMakeFiles/geovalid_apps.dir/traffic.cpp.o" "gcc" "src/apps/CMakeFiles/geovalid_apps.dir/traffic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/match/CMakeFiles/geovalid_match.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/geovalid_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/geovalid_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/geovalid_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

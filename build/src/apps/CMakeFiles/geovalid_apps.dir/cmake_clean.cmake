@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geovalid_apps.dir/friendship.cpp.o"
+  "CMakeFiles/geovalid_apps.dir/friendship.cpp.o.d"
+  "CMakeFiles/geovalid_apps.dir/next_place.cpp.o"
+  "CMakeFiles/geovalid_apps.dir/next_place.cpp.o.d"
+  "CMakeFiles/geovalid_apps.dir/traffic.cpp.o"
+  "CMakeFiles/geovalid_apps.dir/traffic.cpp.o.d"
+  "libgeovalid_apps.a"
+  "libgeovalid_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geovalid_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

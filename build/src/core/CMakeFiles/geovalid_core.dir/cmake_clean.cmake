@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geovalid_core.dir/pipeline.cpp.o"
+  "CMakeFiles/geovalid_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/geovalid_core.dir/report.cpp.o"
+  "CMakeFiles/geovalid_core.dir/report.cpp.o.d"
+  "libgeovalid_core.a"
+  "libgeovalid_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geovalid_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/detect/detector.cpp" "src/detect/CMakeFiles/geovalid_detect.dir/detector.cpp.o" "gcc" "src/detect/CMakeFiles/geovalid_detect.dir/detector.cpp.o.d"
+  "/root/repo/src/detect/evaluation.cpp" "src/detect/CMakeFiles/geovalid_detect.dir/evaluation.cpp.o" "gcc" "src/detect/CMakeFiles/geovalid_detect.dir/evaluation.cpp.o.d"
+  "/root/repo/src/detect/features.cpp" "src/detect/CMakeFiles/geovalid_detect.dir/features.cpp.o" "gcc" "src/detect/CMakeFiles/geovalid_detect.dir/features.cpp.o.d"
+  "/root/repo/src/detect/logistic.cpp" "src/detect/CMakeFiles/geovalid_detect.dir/logistic.cpp.o" "gcc" "src/detect/CMakeFiles/geovalid_detect.dir/logistic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/match/CMakeFiles/geovalid_match.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/geovalid_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/geovalid_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/geovalid_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

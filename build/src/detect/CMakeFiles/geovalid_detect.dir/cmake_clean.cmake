@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geovalid_detect.dir/detector.cpp.o"
+  "CMakeFiles/geovalid_detect.dir/detector.cpp.o.d"
+  "CMakeFiles/geovalid_detect.dir/evaluation.cpp.o"
+  "CMakeFiles/geovalid_detect.dir/evaluation.cpp.o.d"
+  "CMakeFiles/geovalid_detect.dir/features.cpp.o"
+  "CMakeFiles/geovalid_detect.dir/features.cpp.o.d"
+  "CMakeFiles/geovalid_detect.dir/logistic.cpp.o"
+  "CMakeFiles/geovalid_detect.dir/logistic.cpp.o.d"
+  "libgeovalid_detect.a"
+  "libgeovalid_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geovalid_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geo/bbox.cpp" "src/geo/CMakeFiles/geovalid_geo.dir/bbox.cpp.o" "gcc" "src/geo/CMakeFiles/geovalid_geo.dir/bbox.cpp.o.d"
+  "/root/repo/src/geo/geodesic.cpp" "src/geo/CMakeFiles/geovalid_geo.dir/geodesic.cpp.o" "gcc" "src/geo/CMakeFiles/geovalid_geo.dir/geodesic.cpp.o.d"
+  "/root/repo/src/geo/latlon.cpp" "src/geo/CMakeFiles/geovalid_geo.dir/latlon.cpp.o" "gcc" "src/geo/CMakeFiles/geovalid_geo.dir/latlon.cpp.o.d"
+  "/root/repo/src/geo/projection.cpp" "src/geo/CMakeFiles/geovalid_geo.dir/projection.cpp.o" "gcc" "src/geo/CMakeFiles/geovalid_geo.dir/projection.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geovalid_geo.dir/bbox.cpp.o"
+  "CMakeFiles/geovalid_geo.dir/bbox.cpp.o.d"
+  "CMakeFiles/geovalid_geo.dir/geodesic.cpp.o"
+  "CMakeFiles/geovalid_geo.dir/geodesic.cpp.o.d"
+  "CMakeFiles/geovalid_geo.dir/latlon.cpp.o"
+  "CMakeFiles/geovalid_geo.dir/latlon.cpp.o.d"
+  "CMakeFiles/geovalid_geo.dir/projection.cpp.o"
+  "CMakeFiles/geovalid_geo.dir/projection.cpp.o.d"
+  "libgeovalid_geo.a"
+  "libgeovalid_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geovalid_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geovalid_manet.dir/aodv.cpp.o"
+  "CMakeFiles/geovalid_manet.dir/aodv.cpp.o.d"
+  "CMakeFiles/geovalid_manet.dir/event_queue.cpp.o"
+  "CMakeFiles/geovalid_manet.dir/event_queue.cpp.o.d"
+  "CMakeFiles/geovalid_manet.dir/simulator.cpp.o"
+  "CMakeFiles/geovalid_manet.dir/simulator.cpp.o.d"
+  "libgeovalid_manet.a"
+  "libgeovalid_manet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geovalid_manet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/match/burstiness.cpp" "src/match/CMakeFiles/geovalid_match.dir/burstiness.cpp.o" "gcc" "src/match/CMakeFiles/geovalid_match.dir/burstiness.cpp.o.d"
+  "/root/repo/src/match/classifier.cpp" "src/match/CMakeFiles/geovalid_match.dir/classifier.cpp.o" "gcc" "src/match/CMakeFiles/geovalid_match.dir/classifier.cpp.o.d"
+  "/root/repo/src/match/filters.cpp" "src/match/CMakeFiles/geovalid_match.dir/filters.cpp.o" "gcc" "src/match/CMakeFiles/geovalid_match.dir/filters.cpp.o.d"
+  "/root/repo/src/match/incentives.cpp" "src/match/CMakeFiles/geovalid_match.dir/incentives.cpp.o" "gcc" "src/match/CMakeFiles/geovalid_match.dir/incentives.cpp.o.d"
+  "/root/repo/src/match/matcher.cpp" "src/match/CMakeFiles/geovalid_match.dir/matcher.cpp.o" "gcc" "src/match/CMakeFiles/geovalid_match.dir/matcher.cpp.o.d"
+  "/root/repo/src/match/missing.cpp" "src/match/CMakeFiles/geovalid_match.dir/missing.cpp.o" "gcc" "src/match/CMakeFiles/geovalid_match.dir/missing.cpp.o.d"
+  "/root/repo/src/match/pipeline.cpp" "src/match/CMakeFiles/geovalid_match.dir/pipeline.cpp.o" "gcc" "src/match/CMakeFiles/geovalid_match.dir/pipeline.cpp.o.d"
+  "/root/repo/src/match/prevalence.cpp" "src/match/CMakeFiles/geovalid_match.dir/prevalence.cpp.o" "gcc" "src/match/CMakeFiles/geovalid_match.dir/prevalence.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/geovalid_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/geovalid_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/geovalid_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

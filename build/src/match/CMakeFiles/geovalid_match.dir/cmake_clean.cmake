@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geovalid_match.dir/burstiness.cpp.o"
+  "CMakeFiles/geovalid_match.dir/burstiness.cpp.o.d"
+  "CMakeFiles/geovalid_match.dir/classifier.cpp.o"
+  "CMakeFiles/geovalid_match.dir/classifier.cpp.o.d"
+  "CMakeFiles/geovalid_match.dir/filters.cpp.o"
+  "CMakeFiles/geovalid_match.dir/filters.cpp.o.d"
+  "CMakeFiles/geovalid_match.dir/incentives.cpp.o"
+  "CMakeFiles/geovalid_match.dir/incentives.cpp.o.d"
+  "CMakeFiles/geovalid_match.dir/matcher.cpp.o"
+  "CMakeFiles/geovalid_match.dir/matcher.cpp.o.d"
+  "CMakeFiles/geovalid_match.dir/missing.cpp.o"
+  "CMakeFiles/geovalid_match.dir/missing.cpp.o.d"
+  "CMakeFiles/geovalid_match.dir/pipeline.cpp.o"
+  "CMakeFiles/geovalid_match.dir/pipeline.cpp.o.d"
+  "CMakeFiles/geovalid_match.dir/prevalence.cpp.o"
+  "CMakeFiles/geovalid_match.dir/prevalence.cpp.o.d"
+  "libgeovalid_match.a"
+  "libgeovalid_match.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geovalid_match.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mobility/levy_fit.cpp" "src/mobility/CMakeFiles/geovalid_mobility.dir/levy_fit.cpp.o" "gcc" "src/mobility/CMakeFiles/geovalid_mobility.dir/levy_fit.cpp.o.d"
+  "/root/repo/src/mobility/levy_walk.cpp" "src/mobility/CMakeFiles/geovalid_mobility.dir/levy_walk.cpp.o" "gcc" "src/mobility/CMakeFiles/geovalid_mobility.dir/levy_walk.cpp.o.d"
+  "/root/repo/src/mobility/samples.cpp" "src/mobility/CMakeFiles/geovalid_mobility.dir/samples.cpp.o" "gcc" "src/mobility/CMakeFiles/geovalid_mobility.dir/samples.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/geovalid_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/match/CMakeFiles/geovalid_match.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/geovalid_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/geovalid_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

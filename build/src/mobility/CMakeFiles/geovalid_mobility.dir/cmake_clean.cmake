@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geovalid_mobility.dir/levy_fit.cpp.o"
+  "CMakeFiles/geovalid_mobility.dir/levy_fit.cpp.o.d"
+  "CMakeFiles/geovalid_mobility.dir/levy_walk.cpp.o"
+  "CMakeFiles/geovalid_mobility.dir/levy_walk.cpp.o.d"
+  "CMakeFiles/geovalid_mobility.dir/samples.cpp.o"
+  "CMakeFiles/geovalid_mobility.dir/samples.cpp.o.d"
+  "libgeovalid_mobility.a"
+  "libgeovalid_mobility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geovalid_mobility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

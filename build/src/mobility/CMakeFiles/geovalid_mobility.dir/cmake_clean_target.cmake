@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgeovalid_mobility.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/recover/anchors.cpp" "src/recover/CMakeFiles/geovalid_recover.dir/anchors.cpp.o" "gcc" "src/recover/CMakeFiles/geovalid_recover.dir/anchors.cpp.o.d"
+  "/root/repo/src/recover/evaluation.cpp" "src/recover/CMakeFiles/geovalid_recover.dir/evaluation.cpp.o" "gcc" "src/recover/CMakeFiles/geovalid_recover.dir/evaluation.cpp.o.d"
+  "/root/repo/src/recover/upsample.cpp" "src/recover/CMakeFiles/geovalid_recover.dir/upsample.cpp.o" "gcc" "src/recover/CMakeFiles/geovalid_recover.dir/upsample.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/match/CMakeFiles/geovalid_match.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/geovalid_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/geovalid_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/geovalid_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geovalid_recover.dir/anchors.cpp.o"
+  "CMakeFiles/geovalid_recover.dir/anchors.cpp.o.d"
+  "CMakeFiles/geovalid_recover.dir/evaluation.cpp.o"
+  "CMakeFiles/geovalid_recover.dir/evaluation.cpp.o.d"
+  "CMakeFiles/geovalid_recover.dir/upsample.cpp.o"
+  "CMakeFiles/geovalid_recover.dir/upsample.cpp.o.d"
+  "libgeovalid_recover.a"
+  "libgeovalid_recover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geovalid_recover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for geovalid_recover.
+# This may be replaced when dependencies are built.

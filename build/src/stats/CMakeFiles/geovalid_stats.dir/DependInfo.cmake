@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/correlation.cpp" "src/stats/CMakeFiles/geovalid_stats.dir/correlation.cpp.o" "gcc" "src/stats/CMakeFiles/geovalid_stats.dir/correlation.cpp.o.d"
+  "/root/repo/src/stats/ecdf.cpp" "src/stats/CMakeFiles/geovalid_stats.dir/ecdf.cpp.o" "gcc" "src/stats/CMakeFiles/geovalid_stats.dir/ecdf.cpp.o.d"
+  "/root/repo/src/stats/entropy.cpp" "src/stats/CMakeFiles/geovalid_stats.dir/entropy.cpp.o" "gcc" "src/stats/CMakeFiles/geovalid_stats.dir/entropy.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/stats/CMakeFiles/geovalid_stats.dir/histogram.cpp.o" "gcc" "src/stats/CMakeFiles/geovalid_stats.dir/histogram.cpp.o.d"
+  "/root/repo/src/stats/ks.cpp" "src/stats/CMakeFiles/geovalid_stats.dir/ks.cpp.o" "gcc" "src/stats/CMakeFiles/geovalid_stats.dir/ks.cpp.o.d"
+  "/root/repo/src/stats/pareto.cpp" "src/stats/CMakeFiles/geovalid_stats.dir/pareto.cpp.o" "gcc" "src/stats/CMakeFiles/geovalid_stats.dir/pareto.cpp.o.d"
+  "/root/repo/src/stats/powerlaw.cpp" "src/stats/CMakeFiles/geovalid_stats.dir/powerlaw.cpp.o" "gcc" "src/stats/CMakeFiles/geovalid_stats.dir/powerlaw.cpp.o.d"
+  "/root/repo/src/stats/rng.cpp" "src/stats/CMakeFiles/geovalid_stats.dir/rng.cpp.o" "gcc" "src/stats/CMakeFiles/geovalid_stats.dir/rng.cpp.o.d"
+  "/root/repo/src/stats/samplers.cpp" "src/stats/CMakeFiles/geovalid_stats.dir/samplers.cpp.o" "gcc" "src/stats/CMakeFiles/geovalid_stats.dir/samplers.cpp.o.d"
+  "/root/repo/src/stats/summary.cpp" "src/stats/CMakeFiles/geovalid_stats.dir/summary.cpp.o" "gcc" "src/stats/CMakeFiles/geovalid_stats.dir/summary.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

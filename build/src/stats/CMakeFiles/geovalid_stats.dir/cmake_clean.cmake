@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geovalid_stats.dir/correlation.cpp.o"
+  "CMakeFiles/geovalid_stats.dir/correlation.cpp.o.d"
+  "CMakeFiles/geovalid_stats.dir/ecdf.cpp.o"
+  "CMakeFiles/geovalid_stats.dir/ecdf.cpp.o.d"
+  "CMakeFiles/geovalid_stats.dir/entropy.cpp.o"
+  "CMakeFiles/geovalid_stats.dir/entropy.cpp.o.d"
+  "CMakeFiles/geovalid_stats.dir/histogram.cpp.o"
+  "CMakeFiles/geovalid_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/geovalid_stats.dir/ks.cpp.o"
+  "CMakeFiles/geovalid_stats.dir/ks.cpp.o.d"
+  "CMakeFiles/geovalid_stats.dir/pareto.cpp.o"
+  "CMakeFiles/geovalid_stats.dir/pareto.cpp.o.d"
+  "CMakeFiles/geovalid_stats.dir/powerlaw.cpp.o"
+  "CMakeFiles/geovalid_stats.dir/powerlaw.cpp.o.d"
+  "CMakeFiles/geovalid_stats.dir/rng.cpp.o"
+  "CMakeFiles/geovalid_stats.dir/rng.cpp.o.d"
+  "CMakeFiles/geovalid_stats.dir/samplers.cpp.o"
+  "CMakeFiles/geovalid_stats.dir/samplers.cpp.o.d"
+  "CMakeFiles/geovalid_stats.dir/summary.cpp.o"
+  "CMakeFiles/geovalid_stats.dir/summary.cpp.o.d"
+  "libgeovalid_stats.a"
+  "libgeovalid_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geovalid_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/checkin_model.cpp" "src/synth/CMakeFiles/geovalid_synth.dir/checkin_model.cpp.o" "gcc" "src/synth/CMakeFiles/geovalid_synth.dir/checkin_model.cpp.o.d"
+  "/root/repo/src/synth/city.cpp" "src/synth/CMakeFiles/geovalid_synth.dir/city.cpp.o" "gcc" "src/synth/CMakeFiles/geovalid_synth.dir/city.cpp.o.d"
+  "/root/repo/src/synth/config.cpp" "src/synth/CMakeFiles/geovalid_synth.dir/config.cpp.o" "gcc" "src/synth/CMakeFiles/geovalid_synth.dir/config.cpp.o.d"
+  "/root/repo/src/synth/movement.cpp" "src/synth/CMakeFiles/geovalid_synth.dir/movement.cpp.o" "gcc" "src/synth/CMakeFiles/geovalid_synth.dir/movement.cpp.o.d"
+  "/root/repo/src/synth/persona.cpp" "src/synth/CMakeFiles/geovalid_synth.dir/persona.cpp.o" "gcc" "src/synth/CMakeFiles/geovalid_synth.dir/persona.cpp.o.d"
+  "/root/repo/src/synth/schedule.cpp" "src/synth/CMakeFiles/geovalid_synth.dir/schedule.cpp.o" "gcc" "src/synth/CMakeFiles/geovalid_synth.dir/schedule.cpp.o.d"
+  "/root/repo/src/synth/study_generator.cpp" "src/synth/CMakeFiles/geovalid_synth.dir/study_generator.cpp.o" "gcc" "src/synth/CMakeFiles/geovalid_synth.dir/study_generator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/geovalid_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/geovalid_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/geovalid_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geovalid_synth.dir/checkin_model.cpp.o"
+  "CMakeFiles/geovalid_synth.dir/checkin_model.cpp.o.d"
+  "CMakeFiles/geovalid_synth.dir/city.cpp.o"
+  "CMakeFiles/geovalid_synth.dir/city.cpp.o.d"
+  "CMakeFiles/geovalid_synth.dir/config.cpp.o"
+  "CMakeFiles/geovalid_synth.dir/config.cpp.o.d"
+  "CMakeFiles/geovalid_synth.dir/movement.cpp.o"
+  "CMakeFiles/geovalid_synth.dir/movement.cpp.o.d"
+  "CMakeFiles/geovalid_synth.dir/persona.cpp.o"
+  "CMakeFiles/geovalid_synth.dir/persona.cpp.o.d"
+  "CMakeFiles/geovalid_synth.dir/schedule.cpp.o"
+  "CMakeFiles/geovalid_synth.dir/schedule.cpp.o.d"
+  "CMakeFiles/geovalid_synth.dir/study_generator.cpp.o"
+  "CMakeFiles/geovalid_synth.dir/study_generator.cpp.o.d"
+  "libgeovalid_synth.a"
+  "libgeovalid_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geovalid_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/checkin.cpp" "src/trace/CMakeFiles/geovalid_trace.dir/checkin.cpp.o" "gcc" "src/trace/CMakeFiles/geovalid_trace.dir/checkin.cpp.o.d"
+  "/root/repo/src/trace/csv.cpp" "src/trace/CMakeFiles/geovalid_trace.dir/csv.cpp.o" "gcc" "src/trace/CMakeFiles/geovalid_trace.dir/csv.cpp.o.d"
+  "/root/repo/src/trace/dataset.cpp" "src/trace/CMakeFiles/geovalid_trace.dir/dataset.cpp.o" "gcc" "src/trace/CMakeFiles/geovalid_trace.dir/dataset.cpp.o.d"
+  "/root/repo/src/trace/gowalla.cpp" "src/trace/CMakeFiles/geovalid_trace.dir/gowalla.cpp.o" "gcc" "src/trace/CMakeFiles/geovalid_trace.dir/gowalla.cpp.o.d"
+  "/root/repo/src/trace/gps.cpp" "src/trace/CMakeFiles/geovalid_trace.dir/gps.cpp.o" "gcc" "src/trace/CMakeFiles/geovalid_trace.dir/gps.cpp.o.d"
+  "/root/repo/src/trace/poi.cpp" "src/trace/CMakeFiles/geovalid_trace.dir/poi.cpp.o" "gcc" "src/trace/CMakeFiles/geovalid_trace.dir/poi.cpp.o.d"
+  "/root/repo/src/trace/poi_grid.cpp" "src/trace/CMakeFiles/geovalid_trace.dir/poi_grid.cpp.o" "gcc" "src/trace/CMakeFiles/geovalid_trace.dir/poi_grid.cpp.o.d"
+  "/root/repo/src/trace/stationary.cpp" "src/trace/CMakeFiles/geovalid_trace.dir/stationary.cpp.o" "gcc" "src/trace/CMakeFiles/geovalid_trace.dir/stationary.cpp.o.d"
+  "/root/repo/src/trace/trace_stats.cpp" "src/trace/CMakeFiles/geovalid_trace.dir/trace_stats.cpp.o" "gcc" "src/trace/CMakeFiles/geovalid_trace.dir/trace_stats.cpp.o.d"
+  "/root/repo/src/trace/user.cpp" "src/trace/CMakeFiles/geovalid_trace.dir/user.cpp.o" "gcc" "src/trace/CMakeFiles/geovalid_trace.dir/user.cpp.o.d"
+  "/root/repo/src/trace/visit_detector.cpp" "src/trace/CMakeFiles/geovalid_trace.dir/visit_detector.cpp.o" "gcc" "src/trace/CMakeFiles/geovalid_trace.dir/visit_detector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/geovalid_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/geovalid_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geovalid_trace.dir/checkin.cpp.o"
+  "CMakeFiles/geovalid_trace.dir/checkin.cpp.o.d"
+  "CMakeFiles/geovalid_trace.dir/csv.cpp.o"
+  "CMakeFiles/geovalid_trace.dir/csv.cpp.o.d"
+  "CMakeFiles/geovalid_trace.dir/dataset.cpp.o"
+  "CMakeFiles/geovalid_trace.dir/dataset.cpp.o.d"
+  "CMakeFiles/geovalid_trace.dir/gowalla.cpp.o"
+  "CMakeFiles/geovalid_trace.dir/gowalla.cpp.o.d"
+  "CMakeFiles/geovalid_trace.dir/gps.cpp.o"
+  "CMakeFiles/geovalid_trace.dir/gps.cpp.o.d"
+  "CMakeFiles/geovalid_trace.dir/poi.cpp.o"
+  "CMakeFiles/geovalid_trace.dir/poi.cpp.o.d"
+  "CMakeFiles/geovalid_trace.dir/poi_grid.cpp.o"
+  "CMakeFiles/geovalid_trace.dir/poi_grid.cpp.o.d"
+  "CMakeFiles/geovalid_trace.dir/stationary.cpp.o"
+  "CMakeFiles/geovalid_trace.dir/stationary.cpp.o.d"
+  "CMakeFiles/geovalid_trace.dir/trace_stats.cpp.o"
+  "CMakeFiles/geovalid_trace.dir/trace_stats.cpp.o.d"
+  "CMakeFiles/geovalid_trace.dir/user.cpp.o"
+  "CMakeFiles/geovalid_trace.dir/user.cpp.o.d"
+  "CMakeFiles/geovalid_trace.dir/visit_detector.cpp.o"
+  "CMakeFiles/geovalid_trace.dir/visit_detector.cpp.o.d"
+  "libgeovalid_trace.a"
+  "libgeovalid_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geovalid_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

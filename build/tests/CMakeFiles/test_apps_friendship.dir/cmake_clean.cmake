@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps_friendship.dir/test_apps_friendship.cpp.o"
+  "CMakeFiles/test_apps_friendship.dir/test_apps_friendship.cpp.o.d"
+  "test_apps_friendship"
+  "test_apps_friendship.pdb"
+  "test_apps_friendship[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps_friendship.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

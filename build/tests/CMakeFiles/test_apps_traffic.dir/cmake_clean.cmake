@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps_traffic.dir/test_apps_traffic.cpp.o"
+  "CMakeFiles/test_apps_traffic.dir/test_apps_traffic.cpp.o.d"
+  "test_apps_traffic"
+  "test_apps_traffic.pdb"
+  "test_apps_traffic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

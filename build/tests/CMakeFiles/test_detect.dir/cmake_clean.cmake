@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_detect.dir/test_detect.cpp.o"
+  "CMakeFiles/test_detect.dir/test_detect.cpp.o.d"
+  "test_detect"
+  "test_detect.pdb"
+  "test_detect[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

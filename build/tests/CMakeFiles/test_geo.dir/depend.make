@@ -1,0 +1,2 @@
+# Empty dependencies file for test_geo.
+# This may be replaced when dependencies are built.

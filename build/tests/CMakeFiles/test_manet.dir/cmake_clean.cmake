@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_manet.dir/test_manet.cpp.o"
+  "CMakeFiles/test_manet.dir/test_manet.cpp.o.d"
+  "test_manet"
+  "test_manet.pdb"
+  "test_manet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_manet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

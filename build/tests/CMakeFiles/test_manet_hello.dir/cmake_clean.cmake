@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_manet_hello.dir/test_manet_hello.cpp.o"
+  "CMakeFiles/test_manet_hello.dir/test_manet_hello.cpp.o.d"
+  "test_manet_hello"
+  "test_manet_hello.pdb"
+  "test_manet_hello[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_manet_hello.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

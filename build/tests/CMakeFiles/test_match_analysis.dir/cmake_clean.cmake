@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_match_analysis.dir/test_match_analysis.cpp.o"
+  "CMakeFiles/test_match_analysis.dir/test_match_analysis.cpp.o.d"
+  "test_match_analysis"
+  "test_match_analysis.pdb"
+  "test_match_analysis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_match_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

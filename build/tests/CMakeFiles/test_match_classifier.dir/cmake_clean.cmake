@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_match_classifier.dir/test_match_classifier.cpp.o"
+  "CMakeFiles/test_match_classifier.dir/test_match_classifier.cpp.o.d"
+  "test_match_classifier"
+  "test_match_classifier.pdb"
+  "test_match_classifier[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_match_classifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

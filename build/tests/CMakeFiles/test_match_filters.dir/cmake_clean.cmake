@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_match_filters.dir/test_match_filters.cpp.o"
+  "CMakeFiles/test_match_filters.dir/test_match_filters.cpp.o.d"
+  "test_match_filters"
+  "test_match_filters.pdb"
+  "test_match_filters[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_match_filters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

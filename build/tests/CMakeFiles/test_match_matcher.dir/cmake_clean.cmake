@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_match_matcher.dir/test_match_matcher.cpp.o"
+  "CMakeFiles/test_match_matcher.dir/test_match_matcher.cpp.o.d"
+  "test_match_matcher"
+  "test_match_matcher.pdb"
+  "test_match_matcher[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_match_matcher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_recover.dir/test_recover.cpp.o"
+  "CMakeFiles/test_recover.dir/test_recover.cpp.o.d"
+  "test_recover"
+  "test_recover.pdb"
+  "test_recover[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_recover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats_correlation.dir/test_stats_correlation.cpp.o"
+  "CMakeFiles/test_stats_correlation.dir/test_stats_correlation.cpp.o.d"
+  "test_stats_correlation"
+  "test_stats_correlation.pdb"
+  "test_stats_correlation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

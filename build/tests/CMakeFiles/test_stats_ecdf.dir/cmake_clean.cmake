@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats_ecdf.dir/test_stats_ecdf.cpp.o"
+  "CMakeFiles/test_stats_ecdf.dir/test_stats_ecdf.cpp.o.d"
+  "test_stats_ecdf"
+  "test_stats_ecdf.pdb"
+  "test_stats_ecdf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats_ecdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats_entropy_ks.dir/test_stats_entropy_ks.cpp.o"
+  "CMakeFiles/test_stats_entropy_ks.dir/test_stats_entropy_ks.cpp.o.d"
+  "test_stats_entropy_ks"
+  "test_stats_entropy_ks.pdb"
+  "test_stats_entropy_ks[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats_entropy_ks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

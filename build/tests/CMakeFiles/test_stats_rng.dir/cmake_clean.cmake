@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats_rng.dir/test_stats_rng.cpp.o"
+  "CMakeFiles/test_stats_rng.dir/test_stats_rng.cpp.o.d"
+  "test_stats_rng"
+  "test_stats_rng.pdb"
+  "test_stats_rng[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats_rng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats_summary.dir/test_stats_summary.cpp.o"
+  "CMakeFiles/test_stats_summary.dir/test_stats_summary.cpp.o.d"
+  "test_stats_summary"
+  "test_stats_summary.pdb"
+  "test_stats_summary[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

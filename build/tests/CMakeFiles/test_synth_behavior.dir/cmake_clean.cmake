@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_synth_behavior.dir/test_synth_behavior.cpp.o"
+  "CMakeFiles/test_synth_behavior.dir/test_synth_behavior.cpp.o.d"
+  "test_synth_behavior"
+  "test_synth_behavior.pdb"
+  "test_synth_behavior[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_synth_behavior.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_checkin.dir/test_trace_checkin.cpp.o"
+  "CMakeFiles/test_trace_checkin.dir/test_trace_checkin.cpp.o.d"
+  "test_trace_checkin"
+  "test_trace_checkin.pdb"
+  "test_trace_checkin[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_checkin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

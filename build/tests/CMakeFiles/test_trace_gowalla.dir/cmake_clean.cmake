@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_gowalla.dir/test_trace_gowalla.cpp.o"
+  "CMakeFiles/test_trace_gowalla.dir/test_trace_gowalla.cpp.o.d"
+  "test_trace_gowalla"
+  "test_trace_gowalla.pdb"
+  "test_trace_gowalla[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_gowalla.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

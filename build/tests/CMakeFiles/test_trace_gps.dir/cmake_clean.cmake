@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_gps.dir/test_trace_gps.cpp.o"
+  "CMakeFiles/test_trace_gps.dir/test_trace_gps.cpp.o.d"
+  "test_trace_gps"
+  "test_trace_gps.pdb"
+  "test_trace_gps[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_gps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_grid.dir/test_trace_grid.cpp.o"
+  "CMakeFiles/test_trace_grid.dir/test_trace_grid.cpp.o.d"
+  "test_trace_grid"
+  "test_trace_grid.pdb"
+  "test_trace_grid[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_metrics.dir/test_trace_metrics.cpp.o"
+  "CMakeFiles/test_trace_metrics.dir/test_trace_metrics.cpp.o.d"
+  "test_trace_metrics"
+  "test_trace_metrics.pdb"
+  "test_trace_metrics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

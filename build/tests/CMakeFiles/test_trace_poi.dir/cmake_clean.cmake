@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_poi.dir/test_trace_poi.cpp.o"
+  "CMakeFiles/test_trace_poi.dir/test_trace_poi.cpp.o.d"
+  "test_trace_poi"
+  "test_trace_poi.pdb"
+  "test_trace_poi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_poi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

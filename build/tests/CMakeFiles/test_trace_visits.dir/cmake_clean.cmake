@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_visits.dir/test_trace_visits.cpp.o"
+  "CMakeFiles/test_trace_visits.dir/test_trace_visits.cpp.o.d"
+  "test_trace_visits"
+  "test_trace_visits.pdb"
+  "test_trace_visits[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_visits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

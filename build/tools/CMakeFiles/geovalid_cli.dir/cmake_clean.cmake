@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geovalid_cli.dir/geovalid_cli.cpp.o"
+  "CMakeFiles/geovalid_cli.dir/geovalid_cli.cpp.o.d"
+  "geovalid"
+  "geovalid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geovalid_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
