@@ -1,0 +1,92 @@
+// Streaming engine throughput: replay the primary study unthrottled through
+// StreamEngine at increasing shard counts and report events/sec. Emits one
+// JSON line per configuration (diffable, greppable from CI logs) plus a
+// summary assertion-friendly line comparing multi-shard to single-shard.
+#include <iomanip>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.h"
+#include "stream/engine.h"
+#include "stream/replay.h"
+#include "synth/study_generator.h"
+
+namespace {
+
+struct Run {
+  std::size_t shards = 0;
+  geovalid::stream::ReplayStats stats;
+};
+
+Run run_once(const std::vector<geovalid::stream::Event>& events,
+             std::size_t shards) {
+  using namespace geovalid;
+  stream::StreamEngineConfig config;
+  config.shards = shards;
+  stream::StreamEngine engine(config);
+  Run r;
+  r.shards = shards;
+  r.stats = stream::replay_events(events, engine);
+  return r;
+}
+
+/// Best of `reps` runs: the engine is producer-bound at these event rates,
+/// so per-run scheduler noise (~10%) dominates any shard effect; the best
+/// run is the least-perturbed estimate of each configuration's capacity.
+Run run_best(const std::vector<geovalid::stream::Event>& events,
+             std::size_t shards, int reps) {
+  Run best = run_once(events, shards);
+  for (int i = 1; i < reps; ++i) {
+    const Run r = run_once(events, shards);
+    if (r.stats.events_per_sec > best.stats.events_per_sec) best = r;
+  }
+  return best;
+}
+
+void print_json(const Run& r) {
+  const auto& s = r.stats;
+  std::cout << "{\"bench\":\"stream_throughput\",\"shards\":" << r.shards
+            << ",\"events\":" << s.events
+            << ",\"gps_samples\":" << s.gps_samples
+            << ",\"checkins\":" << s.checkins << ",\"feed_seconds\":"
+            << std::setprecision(6) << s.feed_seconds
+            << ",\"drain_seconds\":" << s.drain_seconds
+            << ",\"events_per_sec\":" << std::setprecision(8)
+            << s.events_per_sec << "}\n";
+}
+
+}  // namespace
+
+int main() {
+  using namespace geovalid;
+  bench::header("Streaming engine throughput (events/sec vs shard count)",
+                "n/a (systems extension; the paper's pipeline is offline)");
+
+  const synth::GeneratedStudy study =
+      synth::generate_study(synth::primary_preset());
+  const std::vector<stream::Event> events =
+      stream::flatten_dataset(study.dataset);
+  std::cout << "replaying " << events.size()
+            << " events (primary study, unthrottled)\n\n";
+
+  // Warm-up pass so first-touch page faults don't bias the 1-shard run.
+  run_once(events, 1);
+
+  double single = 0.0, best_multi = 0.0;
+  for (const std::size_t shards : {1u, 2u, 4u}) {
+    const Run r = run_best(events, shards, 3);
+    print_json(r);
+    if (shards == 1) single = r.stats.events_per_sec;
+    if (shards > 1 && r.stats.events_per_sec > best_multi) {
+      best_multi = r.stats.events_per_sec;
+    }
+  }
+
+  std::cout << "\nbest multi-shard / single-shard: " << std::setprecision(3)
+            << (single > 0.0 ? best_multi / single : 0.0) << "x\n";
+  if (best_multi < single * 0.9) {
+    std::cout << "WARNING: multi-shard throughput below single-shard\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,233 @@
+#include "stream/engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+
+#include "stream/online_matcher.h"
+#include "stream/online_visit_detector.h"
+
+namespace geovalid::stream {
+namespace {
+
+/// Deterministic, platform-independent user -> shard mix (splitmix64
+/// finalizer). Plain modulo would do, but sequential study ids would then
+/// stripe shards unevenly under small N.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// Per-user incremental pipeline: raw events in, verdicts out.
+struct UserPipeline {
+  OnlineVisitDetector detector;
+  OnlineMatcher matcher;
+  trace::TimeSec last_event_t = 0;
+  bool saw_event = false;
+
+  UserPipeline(const StreamEngineConfig& config, match::Partition& sink)
+      : detector(config.detector),
+        matcher(config.match, config.classifier, sink) {}
+};
+
+}  // namespace
+
+struct StreamEngine::Shard {
+  // Mailbox (producer <-> worker). Whole batches are handed over by move —
+  // the lock is taken once per ~batch_size events and no Event is ever
+  // copied across the boundary.
+  std::mutex mu;
+  std::condition_variable cv_producer;  // signalled when space frees up
+  std::condition_variable cv_worker;    // signalled when batches/close arrive
+  std::deque<std::vector<Event>> mailbox;  // batches, FIFO
+  std::size_t capacity_batches = 1;
+  bool closed = false;
+
+  // Worker-owned state.
+  std::unordered_map<trace::UserId, UserPipeline> users;
+  match::Partition totals;
+
+  // Published results.
+  mutable std::mutex snapshot_mu;
+  match::Partition snapshot;
+  std::atomic<std::size_t> processed{0};
+  std::exception_ptr error;
+
+  std::thread worker;
+
+  void process(const Event& e, const StreamEngineConfig& config) {
+    auto [it, inserted] =
+        users.try_emplace(e.user, config, totals);
+    UserPipeline& p = it->second;
+
+    const trace::TimeSec t = e.time();
+    if (p.saw_event && t < p.last_event_t) {
+      std::ostringstream os;
+      os << "StreamEngine: events for user " << e.user
+         << " regressed in time (" << t << " after " << p.last_event_t << ")";
+      throw std::invalid_argument(os.str());
+    }
+    p.last_event_t = t;
+    p.saw_event = true;
+
+    if (e.kind == Event::Kind::kGps) {
+      p.matcher.observe_gps(e.gps);
+      if (auto visit = p.detector.push(e.gps)) p.matcher.push_visit(*visit);
+    } else {
+      p.matcher.push_checkin(e.checkin);
+    }
+    p.matcher.advance(t, p.detector.open_window_start().value_or(t));
+  }
+
+  void run(const StreamEngineConfig& config) {
+    bool failed = false;
+    while (true) {
+      std::deque<std::vector<Event>> work;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv_worker.wait(lock, [&] { return !mailbox.empty() || closed; });
+        if (mailbox.empty() && closed) break;
+        work.swap(mailbox);
+      }
+      cv_producer.notify_one();
+      std::size_t n = 0;
+      for (const std::vector<Event>& batch : work) {
+        n += batch.size();
+        if (failed) continue;
+        try {
+          for (const Event& e : batch) process(e, config);
+        } catch (...) {
+          // Record the first failure, then keep draining so the producer
+          // never deadlocks on a full mailbox.
+          error = std::current_exception();
+          failed = true;
+        }
+      }
+      processed.fetch_add(n, std::memory_order_relaxed);
+      publish();
+    }
+    if (!failed) {
+      for (auto& [id, p] : users) {
+        if (auto visit = p.detector.finish()) p.matcher.push_visit(*visit);
+        p.matcher.finish();
+      }
+    }
+    publish();
+  }
+
+  void publish() {
+    std::lock_guard<std::mutex> lock(snapshot_mu);
+    snapshot = totals;
+  }
+};
+
+StreamEngine::StreamEngine(StreamEngineConfig config) : config_(config) {
+  if (config_.shards == 0) config_.shards = 1;
+  if (config_.batch_size == 0) config_.batch_size = 1;
+  if (config_.mailbox_capacity < config_.batch_size) {
+    config_.mailbox_capacity = config_.batch_size;
+  }
+  shards_.reserve(config_.shards);
+  staging_.resize(config_.shards);
+  for (std::size_t s = 0; s < config_.shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+    shards_.back()->capacity_batches =
+        std::max<std::size_t>(1, config_.mailbox_capacity / config_.batch_size);
+    staging_[s].reserve(config_.batch_size);
+  }
+  for (auto& shard : shards_) {
+    shard->worker = std::thread([this, sh = shard.get()] { sh->run(config_); });
+  }
+}
+
+StreamEngine::~StreamEngine() {
+  try {
+    finish();
+  } catch (...) {
+    // Destructors must not throw; finish() rethrows for callers who care.
+  }
+}
+
+std::size_t StreamEngine::shard_of(trace::UserId user) const {
+  return static_cast<std::size_t>(mix64(user) % shards_.size());
+}
+
+void StreamEngine::push(const Event& e) {
+  if (finished_) {
+    throw std::logic_error("StreamEngine::push called after finish()");
+  }
+  const std::size_t s = shard_of(e.user);
+  staging_[s].push_back(e);
+  if (staging_[s].size() >= config_.batch_size) flush_staging(s);
+}
+
+void StreamEngine::flush_staging(std::size_t shard_index) {
+  std::vector<Event>& staged = staging_[shard_index];
+  if (staged.empty()) return;
+  Shard& shard = *shards_[shard_index];
+  {
+    std::unique_lock<std::mutex> lock(shard.mu);
+    shard.cv_producer.wait(lock, [&] {
+      return shard.mailbox.size() < shard.capacity_batches;
+    });
+    shard.mailbox.push_back(std::move(staged));
+  }
+  shard.cv_worker.notify_one();
+  staged = std::vector<Event>();
+  staged.reserve(config_.batch_size);
+}
+
+void StreamEngine::finish() {
+  if (finished_) return;
+  for (std::size_t s = 0; s < shards_.size(); ++s) flush_staging(s);
+  for (auto& shard : shards_) {
+    {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      shard->closed = true;
+    }
+    shard->cv_worker.notify_one();
+  }
+  for (auto& shard : shards_) {
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+  finished_ = true;
+  for (auto& shard : shards_) {
+    if (shard->error) std::rethrow_exception(shard->error);
+  }
+}
+
+match::Partition StreamEngine::partition() const {
+  match::Partition sum;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->snapshot_mu);
+    const match::Partition& p = shard->snapshot;
+    sum.honest += p.honest;
+    sum.extraneous += p.extraneous;
+    sum.missing += p.missing;
+    sum.checkins += p.checkins;
+    sum.visits += p.visits;
+    for (std::size_t c = 0; c < p.by_class.size(); ++c) {
+      sum.by_class[c] += p.by_class[c];
+    }
+  }
+  return sum;
+}
+
+std::size_t StreamEngine::events_processed() const {
+  std::size_t n = 0;
+  for (const auto& shard : shards_) {
+    n += shard->processed.load(std::memory_order_relaxed);
+  }
+  return n;
+}
+
+}  // namespace geovalid::stream

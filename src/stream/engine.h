@@ -1,0 +1,84 @@
+// Sharded streaming validation engine.
+//
+// Users are hashed onto N shards; each shard is a worker thread owning the
+// per-user state (OnlineVisitDetector + OnlineMatcher) of its users, so no
+// user's state is ever touched by two threads. The producer pushes Events,
+// which are staged into per-shard batches and handed over through bounded
+// mailboxes (blocking the producer when a shard falls behind —
+// backpressure, not unbounded buffering). Each shard accumulates its own
+// match::Partition; partition() sums the published per-shard snapshots at
+// any time during the run and is exact after finish().
+//
+// Ordering contract: each user's events must be pushed with non-decreasing
+// timestamps (violations throw from finish()). Different users may
+// interleave arbitrarily — shard-local processing order equals push order
+// per user, which is all the incremental pipeline needs, so the final
+// partition is independent of the shard count.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "match/pipeline.h"
+#include "stream/event.h"
+#include "trace/visit_detector.h"
+
+namespace geovalid::stream {
+
+struct StreamEngineConfig {
+  /// Worker threads; each owns an exclusive slice of the user population.
+  std::size_t shards = 1;
+
+  /// Events a shard mailbox holds before push() blocks the producer.
+  std::size_t mailbox_capacity = 1 << 16;
+
+  /// Events staged producer-side per shard before a mailbox handoff; the
+  /// batch amortizes the mailbox lock across hundreds of events.
+  std::size_t batch_size = 512;
+
+  match::MatchConfig match;
+  match::ClassifierConfig classifier;
+  trace::VisitDetectorConfig detector;
+};
+
+class StreamEngine {
+ public:
+  explicit StreamEngine(StreamEngineConfig config = {});
+  ~StreamEngine();
+
+  StreamEngine(const StreamEngine&) = delete;
+  StreamEngine& operator=(const StreamEngine&) = delete;
+
+  /// Routes one event to its user's shard. Single producer thread; blocks
+  /// when that shard's mailbox is full. Must not be called after finish().
+  void push(const Event& e);
+
+  /// Flushes staged batches, drains every shard, finalizes all per-user
+  /// state and joins the workers. Rethrows the first worker error (e.g. an
+  /// out-of-order user stream). Idempotent.
+  void finish();
+
+  /// Live verdict totals: sum of the per-shard snapshots, each published
+  /// after a processed batch. Exact once finish() returned.
+  [[nodiscard]] match::Partition partition() const;
+
+  /// Events fully processed by the workers (not merely enqueued).
+  [[nodiscard]] std::size_t events_processed() const;
+
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+  [[nodiscard]] std::size_t shard_of(trace::UserId user) const;
+  [[nodiscard]] const StreamEngineConfig& config() const { return config_; }
+
+ private:
+  struct Shard;
+
+  void flush_staging(std::size_t shard_index);
+
+  StreamEngineConfig config_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::vector<Event>> staging_;  // producer-side, per shard
+  bool finished_ = false;
+};
+
+}  // namespace geovalid::stream

@@ -1,0 +1,49 @@
+// Replay driver: feeds a batch trace::Dataset through the streaming engine
+// as the live deployment would have seen it — every user's GPS samples and
+// checkins merged into one global timestamp-ordered event stream.
+//
+// This is how the engine is validated against the batch pipeline (replay a
+// generated study, compare partitions) and how it is benchmarked
+// (bench_stream_throughput replays unthrottled and reports events/sec).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "stream/engine.h"
+#include "trace/dataset.h"
+
+namespace geovalid::stream {
+
+struct ReplayConfig {
+  /// Target feed rate in events per second; 0 replays as fast as the
+  /// engine accepts events.
+  double rate_events_per_sec = 0.0;
+};
+
+struct ReplayStats {
+  std::size_t events = 0;
+  std::size_t gps_samples = 0;
+  std::size_t checkins = 0;
+
+  double feed_seconds = 0.0;   ///< pushing (includes throttle sleeps)
+  double drain_seconds = 0.0;  ///< finish(): last push -> all verdicts final
+  double wall_seconds = 0.0;   ///< feed + drain
+  double events_per_sec = 0.0; ///< events / wall_seconds
+};
+
+/// Flattens a dataset into the merged event stream, ordered by timestamp
+/// (ties keep each user's GPS-before-checkin file order, so per-user time
+/// order — the engine's only requirement — always holds).
+[[nodiscard]] std::vector<Event> flatten_dataset(const trace::Dataset& ds);
+
+/// Pushes `events` (already per-user time-ordered) into `engine`, then
+/// finishes it. Returns throughput/latency counters.
+ReplayStats replay_events(std::span<const Event> events, StreamEngine& engine,
+                          const ReplayConfig& config = {});
+
+/// flatten_dataset + replay_events in one call.
+ReplayStats replay_dataset(const trace::Dataset& ds, StreamEngine& engine,
+                           const ReplayConfig& config = {});
+
+}  // namespace geovalid::stream

@@ -31,6 +31,12 @@ std::string sanitize(std::string_view name) {
   throw std::runtime_error(os.str());
 }
 
+/// Strips a trailing '\r' so files written on Windows (CRLF line endings)
+/// parse identically to LF files; std::getline only consumes the '\n'.
+void chomp(std::string& line) {
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+}
+
 std::vector<std::string_view> split(std::string_view line) {
   std::vector<std::string_view> fields;
   std::size_t start = 0;
@@ -152,6 +158,7 @@ Dataset read_dataset_csv(const fs::path& dir, const std::string& name) {
     ++lineno;
     while (std::getline(in, line)) {
       ++lineno;
+      chomp(line);
       if (line.empty()) continue;
       const auto f = split(line);
       if (f.size() != 5) fail(file, lineno, "expected 5 fields");
@@ -178,6 +185,7 @@ Dataset read_dataset_csv(const fs::path& dir, const std::string& name) {
     ++lineno;
     while (std::getline(in, line)) {
       ++lineno;
+      chomp(line);
       if (line.empty()) continue;
       const auto f = split(line);
       if (f.size() != 5) fail(file, lineno, "expected 5 fields");
@@ -211,6 +219,7 @@ Dataset read_dataset_csv(const fs::path& dir, const std::string& name) {
     ++lineno;
     while (std::getline(in, line)) {
       ++lineno;
+      chomp(line);
       if (line.empty()) continue;
       const auto f = split(line);
       if (f.size() != 7) fail(file, lineno, "expected 7 fields");
@@ -222,7 +231,12 @@ Dataset read_dataset_csv(const fs::path& dir, const std::string& name) {
       p.has_fix = parse_num<int>(f[4], file, lineno) != 0;
       p.wifi_fingerprint = parse_num<std::uint32_t>(f[5], file, lineno);
       p.accel_variance = parse_num<double>(f[6], file, lineno);
-      require_user(id, file, lineno).gps.append(p);
+      UserRecord& u = require_user(id, file, lineno);
+      // Surface GpsTrace's ordering invariant with file:line context.
+      if (!u.gps.points().empty() && p.t < u.gps.points().back().t) {
+        fail(file, lineno, "GPS timestamps out of order for user");
+      }
+      u.gps.append(p);
     }
   }
 
@@ -236,6 +250,7 @@ Dataset read_dataset_csv(const fs::path& dir, const std::string& name) {
     ++lineno;
     while (std::getline(in, line)) {
       ++lineno;
+      chomp(line);
       if (line.empty()) continue;
       const auto f = split(line);
       if (f.size() != 6) fail(file, lineno, "expected 6 fields");
@@ -248,7 +263,11 @@ Dataset read_dataset_csv(const fs::path& dir, const std::string& name) {
       c.category = *cat;
       c.location = geo::LatLon{parse_num<double>(f[4], file, lineno),
                                parse_num<double>(f[5], file, lineno)};
-      require_user(id, file, lineno).checkins.append(c);
+      UserRecord& u = require_user(id, file, lineno);
+      if (!u.checkins.events().empty() && c.t < u.checkins.events().back().t) {
+        fail(file, lineno, "checkin timestamps out of order for user");
+      }
+      u.checkins.append(c);
     }
   }
 
@@ -262,6 +281,7 @@ Dataset read_dataset_csv(const fs::path& dir, const std::string& name) {
     ++lineno;
     while (std::getline(in, line)) {
       ++lineno;
+      chomp(line);
       if (line.empty()) continue;
       const auto f = split(line);
       if (f.size() != 6) fail(file, lineno, "expected 6 fields");

@@ -1,0 +1,190 @@
+// The streaming keystone: replaying a generated study through StreamEngine
+// must reproduce match::validate_dataset's partition EXACTLY — same honest /
+// extraneous / missing counts and the same §5.1 class breakdown — at any
+// shard count. Plus engine-level contract tests (ordering, backpressure
+// sanity, throttled replay).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "geo/geodesic.h"
+#include "match/pipeline.h"
+#include "stream/engine.h"
+#include "stream/replay.h"
+#include "synth/config.h"
+#include "synth/study_generator.h"
+
+namespace geovalid::stream {
+namespace {
+
+const geo::LatLon kVenue{34.4208, -119.6982};
+
+void expect_partition_eq(const match::Partition& got,
+                         const match::Partition& want) {
+  EXPECT_EQ(got.honest, want.honest);
+  EXPECT_EQ(got.extraneous, want.extraneous);
+  EXPECT_EQ(got.missing, want.missing);
+  EXPECT_EQ(got.checkins, want.checkins);
+  EXPECT_EQ(got.visits, want.visits);
+  for (std::size_t c = 0; c < got.by_class.size(); ++c) {
+    EXPECT_EQ(got.by_class[c], want.by_class[c]) << "class " << c;
+  }
+}
+
+match::Partition stream_study(const trace::Dataset& ds, std::size_t shards) {
+  StreamEngineConfig config;
+  config.shards = shards;
+  StreamEngine engine(config);
+  const ReplayStats stats = replay_dataset(ds, engine);
+  EXPECT_EQ(engine.events_processed(), stats.events);
+  return engine.partition();
+}
+
+TEST(StreamEngine, TinyStudyMatchesBatchPartition) {
+  const synth::GeneratedStudy study =
+      synth::generate_study(synth::tiny_preset());
+  const match::Partition batch =
+      match::validate_dataset(study.dataset).totals;
+  ASSERT_GT(batch.checkins, 0u);
+  ASSERT_GT(batch.visits, 0u);
+
+  expect_partition_eq(stream_study(study.dataset, 1), batch);
+  expect_partition_eq(stream_study(study.dataset, 4), batch);
+}
+
+TEST(StreamEngine, PrimaryStudyMatchesBatchPartition) {
+  const synth::GeneratedStudy study =
+      synth::generate_study(synth::primary_preset());
+  const match::Partition batch =
+      match::validate_dataset(study.dataset).totals;
+  ASSERT_GT(batch.checkins, 0u);
+
+  expect_partition_eq(stream_study(study.dataset, 1), batch);
+  expect_partition_eq(stream_study(study.dataset, 4), batch);
+}
+
+TEST(StreamEngine, CustomMatchConfigFlowsThrough) {
+  const synth::GeneratedStudy study =
+      synth::generate_study(synth::tiny_preset());
+  match::MatchConfig strict;
+  strict.alpha_m = 100.0;
+  strict.beta = trace::minutes(10);
+  const match::Partition batch =
+      match::validate_dataset(study.dataset, strict).totals;
+
+  StreamEngineConfig config;
+  config.shards = 3;
+  config.match = strict;
+  StreamEngine engine(config);
+  replay_dataset(study.dataset, engine);
+  expect_partition_eq(engine.partition(), batch);
+}
+
+TEST(StreamEngine, FlattenedStreamIsGloballyTimeOrdered) {
+  const synth::GeneratedStudy study =
+      synth::generate_study(synth::tiny_preset());
+  const std::vector<Event> events = flatten_dataset(study.dataset);
+  ASSERT_FALSE(events.empty());
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].time(), events[i].time()) << "event " << i;
+  }
+}
+
+TEST(StreamEngine, ReplayCountsEveryEvent) {
+  const synth::GeneratedStudy study =
+      synth::generate_study(synth::tiny_preset());
+  StreamEngine engine;
+  const ReplayStats stats = replay_dataset(study.dataset, engine);
+
+  std::size_t gps = 0, checkins = 0;
+  for (const trace::UserRecord& user : study.dataset.users()) {
+    gps += user.gps.points().size();
+    checkins += user.checkins.events().size();
+  }
+  EXPECT_EQ(stats.gps_samples, gps);
+  EXPECT_EQ(stats.checkins, checkins);
+  EXPECT_EQ(stats.events, gps + checkins);
+  EXPECT_GT(stats.events_per_sec, 0.0);
+  EXPECT_GE(stats.wall_seconds, stats.feed_seconds);
+}
+
+TEST(StreamEngine, ThrottledReplayRespectsTheRate) {
+  // 500 events at 5000/s must take at least ~0.1 s to feed.
+  std::vector<Event> events;
+  for (int i = 0; i < 500; ++i) {
+    trace::GpsPoint p;
+    p.t = trace::minutes(i);
+    p.position = kVenue;
+    events.push_back(Event::gps_sample(7, p));
+  }
+  StreamEngine engine;
+  ReplayConfig config;
+  config.rate_events_per_sec = 5000.0;
+  const ReplayStats stats = replay_events(events, engine, config);
+  EXPECT_EQ(stats.events, 500u);
+  EXPECT_GE(stats.feed_seconds, 0.05);
+}
+
+TEST(StreamEngine, OutOfOrderUserStreamThrowsFromFinish) {
+  StreamEngine engine;
+  trace::GpsPoint p;
+  p.t = trace::minutes(10);
+  p.position = kVenue;
+  engine.push(Event::gps_sample(1, p));
+  p.t = trace::minutes(5);  // same user, timestamp regression
+  engine.push(Event::gps_sample(1, p));
+  EXPECT_THROW(engine.finish(), std::invalid_argument);
+}
+
+TEST(StreamEngine, PushAfterFinishThrows) {
+  StreamEngine engine;
+  engine.finish();
+  trace::GpsPoint p;
+  p.position = kVenue;
+  EXPECT_THROW(engine.push(Event::gps_sample(1, p)), std::logic_error);
+}
+
+TEST(StreamEngine, FinishIsIdempotent) {
+  StreamEngine engine;
+  trace::GpsPoint p;
+  p.t = 0;
+  p.position = kVenue;
+  engine.push(Event::gps_sample(1, p));
+  engine.finish();
+  const match::Partition first = engine.partition();
+  engine.finish();
+  expect_partition_eq(engine.partition(), first);
+}
+
+TEST(StreamEngine, ShardAssignmentIsStableAndInRange) {
+  StreamEngineConfig config;
+  config.shards = 4;
+  StreamEngine engine(config);
+  EXPECT_EQ(engine.shard_count(), 4u);
+  for (trace::UserId u = 0; u < 100; ++u) {
+    const std::size_t s = engine.shard_of(u);
+    EXPECT_LT(s, 4u);
+    EXPECT_EQ(engine.shard_of(u), s);
+  }
+  engine.finish();
+}
+
+TEST(StreamEngine, TinyMailboxStillProducesExactPartition) {
+  // Force heavy backpressure: a 64-event mailbox with 16-event batches.
+  const synth::GeneratedStudy study =
+      synth::generate_study(synth::tiny_preset());
+  const match::Partition batch =
+      match::validate_dataset(study.dataset).totals;
+
+  StreamEngineConfig config;
+  config.shards = 2;
+  config.mailbox_capacity = 64;
+  config.batch_size = 16;
+  StreamEngine engine(config);
+  replay_dataset(study.dataset, engine);
+  expect_partition_eq(engine.partition(), batch);
+}
+
+}  // namespace
+}  // namespace geovalid::stream

@@ -3,6 +3,8 @@
 
 #include <filesystem>
 #include <fstream>
+#include <sstream>
+#include <string>
 #include <unistd.h>
 
 #include "synth/study_generator.h"
@@ -118,6 +120,108 @@ TEST_F(CsvRoundTrip, UnknownUserReferenceFails) {
     out << "999999,0,1,Food,0,0\n";
   }
   EXPECT_THROW(read_dataset_csv(dir_, "x"), std::runtime_error);
+}
+
+void rewrite_with_crlf(const fs::path& file) {
+  std::string text;
+  {
+    std::ifstream in(file, std::ios::binary);
+    ASSERT_TRUE(in.good()) << file;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    text = buf.str();
+  }
+  std::string crlf;
+  crlf.reserve(text.size() + text.size() / 16);
+  for (const char c : text) {
+    if (c == '\n') crlf += '\r';
+    crlf += c;
+  }
+  std::ofstream out(file, std::ios::binary);
+  out << crlf;
+}
+
+TEST_F(CsvRoundTrip, CrlfLineEndingsParseIdentically) {
+  const Dataset original = tiny_dataset();
+  write_dataset_csv(original, dir_);
+  for (const char* name :
+       {"pois.csv", "users.csv", "gps.csv", "checkins.csv", "visits.csv"}) {
+    rewrite_with_crlf(dir_ / name);
+  }
+  const Dataset loaded = read_dataset_csv(dir_, original.name());
+  ASSERT_EQ(loaded.pois().size(), original.pois().size());
+  ASSERT_EQ(loaded.user_count(), original.user_count());
+  for (std::size_t u = 0; u < original.user_count(); ++u) {
+    const UserRecord& a = original.users()[u];
+    const UserRecord* b = loaded.find_user(a.id);
+    ASSERT_NE(b, nullptr) << "user " << a.id;
+    EXPECT_EQ(b->gps.size(), a.gps.size());
+    EXPECT_EQ(b->checkins.size(), a.checkins.size());
+    EXPECT_EQ(b->visits.size(), a.visits.size());
+  }
+  // The '\r' must not leak into the last field of a row.
+  const Poi& first = original.pois().all().front();
+  EXPECT_NEAR(loaded.pois().at(first.id).location.lon_deg,
+              first.location.lon_deg, 1e-6);
+}
+
+TEST_F(CsvRoundTrip, GpsTimestampRegressionReportsFileAndLine) {
+  const Dataset original = tiny_dataset();
+  write_dataset_csv(original, dir_);
+  const UserId id = original.users().front().id;
+  {
+    std::ofstream out(dir_ / "gps.csv");
+    out << "user,t,lat,lon,has_fix,wifi,accel_var\n";
+    out << id << ",100,1.0,2.0,1,0,0.1\n";
+    out << id << ",50,1.0,2.0,1,0,0.1\n";  // goes backwards
+  }
+  try {
+    read_dataset_csv(dir_, "x");
+    FAIL() << "expected out-of-order error";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("gps.csv"), std::string::npos) << msg;
+    EXPECT_NE(msg.find(":3"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("out of order"), std::string::npos) << msg;
+  }
+}
+
+TEST_F(CsvRoundTrip, CheckinTimestampRegressionReportsFileAndLine) {
+  const Dataset original = tiny_dataset();
+  write_dataset_csv(original, dir_);
+  const UserId id = original.users().front().id;
+  {
+    std::ofstream out(dir_ / "checkins.csv");
+    out << "user,t,poi,category,lat,lon\n";
+    out << id << ",200,1,Food,0,0\n";
+    out << id << ",100,1,Food,0,0\n";
+  }
+  try {
+    read_dataset_csv(dir_, "x");
+    FAIL() << "expected out-of-order error";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("checkins.csv"), std::string::npos) << msg;
+    EXPECT_NE(msg.find(":3"), std::string::npos) << msg;
+  }
+}
+
+TEST_F(CsvRoundTrip, BadNumericFieldReportsFileAndLine) {
+  const Dataset original = tiny_dataset();
+  write_dataset_csv(original, dir_);
+  {
+    std::ofstream out(dir_ / "gps.csv");
+    out << "user,t,lat,lon,has_fix,wifi,accel_var\n";
+    out << original.users().front().id << ",0,34.4x,2.0,1,0,0.1\n";
+  }
+  try {
+    read_dataset_csv(dir_, "x");
+    FAIL() << "expected bad-field error";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("gps.csv"), std::string::npos) << msg;
+    EXPECT_NE(msg.find(":2"), std::string::npos) << msg;
+  }
 }
 
 TEST_F(CsvRoundTrip, PoiNameWithCommaIsSanitized) {

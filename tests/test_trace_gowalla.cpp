@@ -107,6 +107,48 @@ TEST_F(GowallaImport, MissingFileThrows) {
                std::runtime_error);
 }
 
+TEST_F(GowallaImport, OutOfOrderRowsAreTimeSortedPerUser) {
+  // SNAP dumps are reverse-chronological; the importer must hand each user
+  // a time-ascending trace regardless of row order.
+  write(
+      "0\t2010-10-21T08:00:00Z\t30.0\t-97.0\t3\n"
+      "0\t2010-10-19T08:00:00Z\t30.0\t-97.0\t1\n"
+      "0\t2010-10-20T08:00:00Z\t30.0\t-97.0\t2\n"
+      "0\t2010-10-20T08:00:00Z\t30.0\t-97.0\t4\n");  // duplicate timestamp
+  const Dataset ds = read_gowalla_checkins(file_, "t");
+  ASSERT_EQ(ds.user_count(), 1u);
+  const CheckinTrace& c = ds.users()[0].checkins;
+  ASSERT_EQ(c.size(), 4u);
+  for (std::size_t i = 1; i < c.size(); ++i) {
+    EXPECT_LE(c.at(i - 1).t, c.at(i).t) << "index " << i;
+  }
+  EXPECT_EQ(c.at(0).poi, 2u);   // id 1 + 1, earliest row
+  EXPECT_EQ(c.at(3).poi, 4u);   // id 3 + 1, latest row
+}
+
+TEST_F(GowallaImport, RowWithTooFewFieldsIsSkipped) {
+  write(
+      "0\t2010-10-19T23:55:27Z\t30.0\t-97.0\t1\n"
+      "0\t2010-10-20T23:55:27Z\t30.0\n"  // truncated row
+      "0\t2010-10-21T23:55:27Z\t30.0\t-97.0\t2\n");
+  const Dataset ds = read_gowalla_checkins(file_, "t");
+  ASSERT_EQ(ds.user_count(), 1u);
+  EXPECT_EQ(ds.users()[0].checkins.size(), 2u);
+
+  GowallaImportOptions opts;
+  opts.skip_invalid_rows = false;
+  EXPECT_THROW(read_gowalla_checkins(file_, "t", opts), std::runtime_error);
+}
+
+TEST_F(GowallaImport, FinalLineWithoutNewlineParses) {
+  write(
+      "0\t2010-10-19T23:55:27Z\t30.0\t-97.0\t1\n"
+      "0\t2010-10-20T23:55:27Z\t30.0\t-97.0\t2");  // no trailing newline
+  const Dataset ds = read_gowalla_checkins(file_, "t");
+  ASSERT_EQ(ds.user_count(), 1u);
+  EXPECT_EQ(ds.users()[0].checkins.size(), 2u);
+}
+
 TEST_F(GowallaImport, WindowsLineEndingsHandled) {
   write("0\t2010-10-19T23:55:27Z\t30.0\t-97.0\t1\r\n");
   const Dataset ds = read_gowalla_checkins(file_, "t");

@@ -17,6 +17,14 @@
 //   geovalid import-snap <checkins.txt> <output_dir> [--max-users N]
 //       Convert a SNAP-format (Gowalla/Brightkite) checkin dump into a
 //       geovalid CSV dataset (checkins only; run `repair` on it next).
+//
+//   geovalid stream <dataset_dir> [--shards N] [--rate E] [--verify]
+//       Replay a CSV dataset through the sharded streaming engine in
+//       global timestamp order (visits are re-detected online from the
+//       GPS samples), print the live-aggregated partition and throughput,
+//       and optionally cross-check against the batch pipeline.
+#include <cerrno>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iomanip>
@@ -30,6 +38,7 @@
 #include "match/incentives.h"
 #include "match/missing.h"
 #include "recover/upsample.h"
+#include "stream/replay.h"
 #include "trace/csv.h"
 #include "trace/gowalla.h"
 
@@ -44,13 +53,37 @@ int usage() {
       "  geovalid validate <dataset_dir> [--detect-visits] [--alpha M] "
       "[--beta MIN]\n"
       "  geovalid repair <dataset_dir> <output_csv> [--gap MIN]\n"
-      "  geovalid import-snap <checkins.txt> <output_dir> [--max-users N]\n";
+      "  geovalid import-snap <checkins.txt> <output_dir> [--max-users N]\n"
+      "  geovalid stream <dataset_dir> [--shards N] [--rate EVENTS/S] "
+      "[--verify]\n";
   return 2;
 }
 
 std::optional<double> flag_value(int argc, char** argv, const char* name) {
   for (int i = 0; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], name) == 0) return std::atof(argv[i + 1]);
+  }
+  return std::nullopt;
+}
+
+/// Integer flags (--seed, --max-users, --shards) must not go through
+/// std::atof: doubles silently lose precision above 2^53, which corrupts
+/// large 64-bit seeds. Parses the full argument as an unsigned integer and
+/// rejects trailing junk.
+std::optional<std::uint64_t> int_flag_value(int argc, char** argv,
+                                            const char* name) {
+  for (int i = 0; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) != 0) continue;
+    const char* arg = argv[i + 1];
+    char* end = nullptr;
+    errno = 0;
+    const unsigned long long v = std::strtoull(arg, &end, 10);
+    if (errno != 0 || end == arg || *end != '\0') {
+      throw std::runtime_error(std::string(name) +
+                               " expects a non-negative integer, got '" +
+                               arg + "'");
+    }
+    return static_cast<std::uint64_t>(v);
   }
   return std::nullopt;
 }
@@ -75,8 +108,8 @@ int cmd_generate(int argc, char** argv) {
     std::cerr << "unknown preset: " << preset << "\n";
     return 2;
   }
-  if (const auto seed = flag_value(argc, argv, "--seed")) {
-    config.seed = static_cast<std::uint64_t>(*seed);
+  if (const auto seed = int_flag_value(argc, argv, "--seed")) {
+    config.seed = *seed;
   }
 
   std::cout << "generating '" << config.name << "' (" << config.user_count
@@ -193,7 +226,7 @@ int cmd_import_snap(int argc, char** argv) {
   const std::filesystem::path dir = argv[1];
 
   trace::GowallaImportOptions opts;
-  if (const auto cap = flag_value(argc, argv, "--max-users")) {
+  if (const auto cap = int_flag_value(argc, argv, "--max-users")) {
     opts.max_users = static_cast<std::size_t>(*cap);
   }
   std::cout << "importing " << file << "...\n";
@@ -203,6 +236,77 @@ int cmd_import_snap(int argc, char** argv) {
   const auto stats = trace::compute_stats(ds);
   std::cout << "wrote " << dir << ": " << stats.users << " users, "
             << stats.checkins << " checkins (no GPS in this format)\n";
+  return 0;
+}
+
+int cmd_stream(int argc, char** argv) {
+  if (argc < 1) return usage();
+  const std::filesystem::path dir = argv[0];
+
+  stream::StreamEngineConfig engine_cfg;
+  if (const auto shards = int_flag_value(argc, argv, "--shards")) {
+    engine_cfg.shards = static_cast<std::size_t>(*shards);
+  }
+  if (const auto alpha = flag_value(argc, argv, "--alpha")) {
+    engine_cfg.match.alpha_m = *alpha;
+  }
+  if (const auto beta = flag_value(argc, argv, "--beta")) {
+    engine_cfg.match.beta = static_cast<trace::TimeSec>(*beta * 60.0);
+  }
+  stream::ReplayConfig replay_cfg;
+  if (const auto rate = flag_value(argc, argv, "--rate")) {
+    replay_cfg.rate_events_per_sec = *rate;
+  }
+
+  std::cout << "loading " << dir << "...\n";
+  const trace::Dataset ds =
+      trace::read_dataset_csv(dir, dir.filename().string());
+
+  stream::StreamEngine engine(engine_cfg);
+  // Report the engine's actual shard count (it clamps 0 to 1).
+  std::cout << "streaming " << ds.user_count() << " users onto "
+            << engine.shard_count() << " shard(s)...\n";
+  const stream::ReplayStats stats = stream::replay_dataset(ds, engine,
+                                                           replay_cfg);
+
+  std::cout << "\n=== replay ===\n"
+            << "  events       " << stats.events << " (" << stats.gps_samples
+            << " gps, " << stats.checkins << " checkins)\n"
+            << std::fixed << std::setprecision(3)
+            << "  feed         " << stats.feed_seconds << " s\n"
+            << "  drain        " << stats.drain_seconds << " s\n"
+            << std::setprecision(0)
+            << "  throughput   " << stats.events_per_sec << " events/s\n";
+
+  std::cout << "\n=== streaming partition (alpha=" << engine_cfg.match.alpha_m
+            << " m, beta=" << engine_cfg.match.beta / 60 << " min) ===\n";
+  const match::Partition streamed = engine.partition();
+  core::print_partition(std::cout, streamed);
+
+  if (has_flag(argc, argv, "--verify")) {
+    std::cout << "\nverifying against the batch pipeline...\n";
+    trace::Dataset batch_ds =
+        trace::read_dataset_csv(dir, dir.filename().string());
+    const trace::VisitDetector detector(engine_cfg.detector);
+    for (trace::UserRecord& u : batch_ds.mutable_users()) {
+      u.visits = detector.detect(u.gps);
+    }
+    const match::ValidationResult batch = match::validate_dataset(
+        batch_ds, engine_cfg.match, engine_cfg.classifier);
+    const match::Partition& b = batch.totals;
+    const bool equal = b.honest == streamed.honest &&
+                       b.extraneous == streamed.extraneous &&
+                       b.missing == streamed.missing &&
+                       b.checkins == streamed.checkins &&
+                       b.visits == streamed.visits &&
+                       b.by_class == streamed.by_class;
+    if (!equal) {
+      std::cout << "MISMATCH — batch partition:\n";
+      core::print_partition(std::cout, b);
+      return 1;
+    }
+    std::cout << "batch partition matches exactly.\n";
+  }
   return 0;
 }
 
@@ -216,6 +320,7 @@ int main(int argc, char** argv) {
     if (cmd == "validate") return cmd_validate(argc - 2, argv + 2);
     if (cmd == "repair") return cmd_repair(argc - 2, argv + 2);
     if (cmd == "import-snap") return cmd_import_snap(argc - 2, argv + 2);
+    if (cmd == "stream") return cmd_stream(argc - 2, argv + 2);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
