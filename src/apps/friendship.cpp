@@ -5,6 +5,8 @@
 #include <set>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+
 namespace geovalid::apps {
 namespace {
 
@@ -90,6 +92,9 @@ FriendshipScore evaluate_friendship(const trace::Dataset& ds,
                                     TrainingSource source,
                                     std::span<const UserPair> truth,
                                     const ColocationConfig& config) {
+  obs::StageTimer timer(&obs::registry().histogram(
+      "apps_stage_ns", "Wall time of application-study stages (nanoseconds)",
+      {{"stage", "friendship_evaluate"}}));
   const auto counts = colocation_counts(ds, validation, source, config);
 
   std::set<UserPair> truth_set;

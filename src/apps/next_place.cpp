@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+
 namespace geovalid::apps {
 
 void NextPlaceModel::train(std::span<const trace::PoiId> sequence) {
@@ -113,6 +115,9 @@ PredictionScore evaluate_next_place(const trace::Dataset& ds,
     throw std::invalid_argument(
         "evaluate_next_place: train_fraction must be in (0,1)");
   }
+  obs::StageTimer timer(&obs::registry().histogram(
+      "apps_stage_ns", "Wall time of application-study stages (nanoseconds)",
+      {{"stage", "next_place_evaluate"}}));
 
   PredictionScore score;
   const auto users = ds.users();

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.h"
 #include "stats/correlation.h"
 
 namespace geovalid::apps {
@@ -63,6 +64,10 @@ CategoryFlow category_flow(const trace::Dataset& ds,
     throw std::invalid_argument(
         "category_flow: validation does not match dataset");
   }
+
+  obs::StageTimer timer(&obs::registry().histogram(
+      "apps_stage_ns", "Wall time of application-study stages (nanoseconds)",
+      {{"stage", "traffic_category_flow"}}));
 
   CategoryFlow flow;
   const auto users = ds.users();

@@ -1,19 +1,58 @@
 #include "core/pipeline.h"
 
+#include "obs/metrics.h"
 #include "trace/csv.h"
 #include "trace/visit_detector.h"
 
 namespace geovalid::core {
+namespace {
+
+/// Wall time of one batch pipeline stage, keyed by the `stage` label.
+obs::Histogram& stage_ns(const char* stage) {
+  return obs::registry().histogram(
+      "pipeline_stage_ns", "Wall time of batch pipeline stages (nanoseconds)",
+      {{"stage", stage}});
+}
+
+/// Folds a finished validation into the batch-side verdict counters. The
+/// counter totals must always equal the Partition the caller receives —
+/// tests assert this — so this is the only place they are incremented.
+void count_validation(const match::Partition& p) {
+  obs::Registry& r = obs::registry();
+  static constexpr std::string_view kHelp =
+      "Batch pipeline verdicts by partition field";
+  r.counter("pipeline_verdicts_total", kHelp, {{"verdict", "honest"}})
+      .inc(p.honest);
+  r.counter("pipeline_verdicts_total", kHelp, {{"verdict", "extraneous"}})
+      .inc(p.extraneous);
+  r.counter("pipeline_verdicts_total", kHelp, {{"verdict", "missing"}})
+      .inc(p.missing);
+  r.counter("pipeline_checkins_total",
+            "Checkins processed by the batch pipeline")
+      .inc(p.checkins);
+  r.counter("pipeline_visits_total",
+            "GPS-derived visits processed by the batch pipeline")
+      .inc(p.visits);
+}
+
+}  // namespace
 
 StudyAnalysis analyze_generated(const synth::StudyConfig& config,
                                 const match::MatchConfig& match,
                                 const match::ClassifierConfig& classifier) {
-  synth::GeneratedStudy study = synth::generate_study(config);
   StudyAnalysis out;
-  out.dataset = std::move(study.dataset);
-  out.truth = std::move(study.truth);
-  out.friendships = std::move(study.friendships);
-  out.validation = match::validate_dataset(out.dataset, match, classifier);
+  {
+    obs::StageTimer timer(&stage_ns("generate"));
+    synth::GeneratedStudy study = synth::generate_study(config);
+    out.dataset = std::move(study.dataset);
+    out.truth = std::move(study.truth);
+    out.friendships = std::move(study.friendships);
+  }
+  {
+    obs::StageTimer timer(&stage_ns("validate"));
+    out.validation = match::validate_dataset(out.dataset, match, classifier);
+  }
+  count_validation(out.validation.totals);
   return out;
 }
 
@@ -22,20 +61,29 @@ StudyAnalysis analyze_csv(const std::filesystem::path& dir,
                           const match::MatchConfig& match,
                           const match::ClassifierConfig& classifier) {
   StudyAnalysis out;
-  out.dataset = trace::read_dataset_csv(dir, name);
+  {
+    obs::StageTimer timer(&stage_ns("load_csv"));
+    out.dataset = trace::read_dataset_csv(dir, name);
+  }
   if (detect_visits) {
+    obs::StageTimer timer(&stage_ns("detect_visits"));
     const trace::VisitDetector detector;
     for (trace::UserRecord& u : out.dataset.mutable_users()) {
       u.visits = detector.detect(u.gps);
       detector.snap_to_pois(u.visits, out.dataset.pois());
     }
   }
-  out.validation = match::validate_dataset(out.dataset, match, classifier);
+  {
+    obs::StageTimer timer(&stage_ns("validate"));
+    out.validation = match::validate_dataset(out.dataset, match, classifier);
+  }
+  count_validation(out.validation.totals);
   return out;
 }
 
 LevyModelSet fit_levy_models(const StudyAnalysis& analysis) {
   using match::CheckinClass;
+  obs::StageTimer timer(&stage_ns("fit_levy"));
 
   const mobility::MobilitySamples gps_samples =
       mobility::samples_from_visits(analysis.dataset);

@@ -1,0 +1,204 @@
+#include "obs/export.h"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+namespace geovalid::obs {
+namespace {
+
+void json_escape(std::ostream& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      case '\r':
+        out << "\\r";
+        break;
+      case '\t':
+        out << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          const char* hex = "0123456789abcdef";
+          out << "\\u00" << hex[(c >> 4) & 0xF] << hex[c & 0xF];
+        } else {
+          out << c;
+        }
+    }
+  }
+}
+
+void json_string(std::ostream& out, std::string_view s) {
+  out << '"';
+  json_escape(out, s);
+  out << '"';
+}
+
+void json_labels(std::ostream& out, const Labels& labels) {
+  out << '{';
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out << ',';
+    first = false;
+    json_string(out, k);
+    out << ':';
+    json_string(out, v);
+  }
+  out << '}';
+}
+
+/// Prometheus label block: `{a="x",b="y"}`, empty string for no labels.
+void prom_labels(std::ostream& out, const Labels& labels,
+                 const std::string* extra_key = nullptr,
+                 const std::string* extra_value = nullptr) {
+  if (labels.empty() && extra_key == nullptr) return;
+  out << '{';
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out << ',';
+    first = false;
+    out << k << "=\"";
+    for (const char c : v) {
+      if (c == '\\' || c == '"') out << '\\';
+      if (c == '\n') {
+        out << "\\n";
+        continue;
+      }
+      out << c;
+    }
+    out << '"';
+  }
+  if (extra_key != nullptr) {
+    if (!first) out << ',';
+    out << *extra_key << "=\"" << *extra_value << '"';
+  }
+  out << '}';
+}
+
+}  // namespace
+
+void write_json(const Registry& registry, std::ostream& out) {
+  const std::vector<Sample> samples = registry.samples();
+  out << "{\"metrics\":[";
+  bool first_sample = true;
+  for (const Sample& s : samples) {
+    if (!first_sample) out << ',';
+    first_sample = false;
+    out << "\n  {\"name\":";
+    json_string(out, s.info.name);
+    out << ",\"type\":";
+    json_string(out, to_string(s.info.type));
+    out << ",\"labels\":";
+    json_labels(out, s.info.labels);
+    out << ",\"help\":";
+    json_string(out, s.info.help);
+    switch (s.info.type) {
+      case MetricType::kCounter:
+        out << ",\"value\":" << s.counter_value;
+        break;
+      case MetricType::kGauge:
+        out << ",\"value\":" << s.gauge_value;
+        break;
+      case MetricType::kHistogram: {
+        out << ",\"count\":" << s.histogram.count
+            << ",\"sum\":" << s.histogram.sum << ",\"buckets\":[";
+        bool first_bucket = true;
+        for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+          if (s.histogram.buckets[b] == 0) continue;
+          if (!first_bucket) out << ',';
+          first_bucket = false;
+          out << "{\"le\":" << Histogram::bucket_bound(b)
+              << ",\"count\":" << s.histogram.buckets[b] << '}';
+        }
+        out << ']';
+        break;
+      }
+    }
+    out << '}';
+  }
+  out << "\n]}\n";
+}
+
+std::string to_json(const Registry& registry) {
+  std::ostringstream os;
+  write_json(registry, os);
+  return os.str();
+}
+
+void write_json_file(const Registry& registry,
+                     const std::filesystem::path& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot open for write: " + path.string());
+  }
+  write_json(registry, out);
+  out.flush();
+  if (!out) {
+    throw std::runtime_error("write failed: " + path.string());
+  }
+}
+
+void write_prometheus(const Registry& registry, std::ostream& out) {
+  const std::vector<Sample> samples = registry.samples();
+  const std::string* last_family = nullptr;
+  for (const Sample& s : samples) {
+    if (last_family == nullptr || *last_family != s.info.name) {
+      out << "# HELP " << s.info.name << ' ' << s.info.help << '\n';
+      out << "# TYPE " << s.info.name << ' ' << to_string(s.info.type)
+          << '\n';
+      last_family = &s.info.name;
+    }
+    switch (s.info.type) {
+      case MetricType::kCounter:
+        out << s.info.name;
+        prom_labels(out, s.info.labels);
+        out << ' ' << s.counter_value << '\n';
+        break;
+      case MetricType::kGauge:
+        out << s.info.name;
+        prom_labels(out, s.info.labels);
+        out << ' ' << s.gauge_value << '\n';
+        break;
+      case MetricType::kHistogram: {
+        const std::string le = "le";
+        std::uint64_t cumulative = 0;
+        for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+          if (s.histogram.buckets[b] == 0) continue;
+          cumulative += s.histogram.buckets[b];
+          const std::string bound =
+              std::to_string(Histogram::bucket_bound(b));
+          out << s.info.name << "_bucket";
+          prom_labels(out, s.info.labels, &le, &bound);
+          out << ' ' << cumulative << '\n';
+        }
+        const std::string inf = "+Inf";
+        out << s.info.name << "_bucket";
+        prom_labels(out, s.info.labels, &le, &inf);
+        out << ' ' << s.histogram.count << '\n';
+        out << s.info.name << "_sum";
+        prom_labels(out, s.info.labels);
+        out << ' ' << s.histogram.sum << '\n';
+        out << s.info.name << "_count";
+        prom_labels(out, s.info.labels);
+        out << ' ' << s.histogram.count << '\n';
+        break;
+      }
+    }
+  }
+}
+
+std::string to_prometheus(const Registry& registry) {
+  std::ostringstream os;
+  write_prometheus(registry, os);
+  return os.str();
+}
+
+}  // namespace geovalid::obs

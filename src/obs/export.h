@@ -1,0 +1,36 @@
+// Snapshot writers for the metrics Registry.
+//
+// Two formats, same data:
+//   - JSON: machine-readable dump for the `--metrics-json` CLI flag, bench
+//     tooling and tests. All values are integers, so the output is exact
+//     and byte-stable.
+//   - Prometheus-style text exposition: `# HELP` / `# TYPE` headers,
+//     `name{label="value"} 123` samples, cumulative `_bucket{le="..."}`
+//     histogram series — the format a real serving stack would scrape.
+//     (Histogram bounds are the registry's base-2 integer buckets, not the
+//     canonical seconds-based ones; see docs/OBSERVABILITY.md.)
+//
+// Both writers emit samples sorted by (name, labels): two dumps of an idle
+// registry are byte-identical.
+#pragma once
+
+#include <filesystem>
+#include <iosfwd>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace geovalid::obs {
+
+void write_json(const Registry& registry, std::ostream& out);
+[[nodiscard]] std::string to_json(const Registry& registry);
+
+/// Writes the JSON snapshot to `path`. Throws std::runtime_error on I/O
+/// failure.
+void write_json_file(const Registry& registry,
+                     const std::filesystem::path& path);
+
+void write_prometheus(const Registry& registry, std::ostream& out);
+[[nodiscard]] std::string to_prometheus(const Registry& registry);
+
+}  // namespace geovalid::obs

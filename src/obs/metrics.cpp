@@ -1,0 +1,129 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace geovalid::obs {
+
+std::string_view to_string(MetricType t) {
+  switch (t) {
+    case MetricType::kCounter:
+      return "counter";
+    case MetricType::kGauge:
+      return "gauge";
+    case MetricType::kHistogram:
+      return "histogram";
+  }
+  return "unknown";
+}
+
+Registry::Entry& Registry::find_or_create(std::string_view name,
+                                          std::string_view help,
+                                          Labels labels, MetricType type) {
+  std::sort(labels.begin(), labels.end());
+  Key key{std::string(name), std::move(labels)};
+
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto family = families_.find(key.first);
+  if (family == families_.end()) {
+    families_.emplace(key.first, type);
+  } else if (family->second != type) {
+    throw std::logic_error("metric '" + key.first +
+                           "' registered as two different types");
+  }
+
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) return it->second;
+
+  Entry entry;
+  entry.info.name = key.first;
+  entry.info.help = std::string(help);
+  entry.info.type = type;
+  entry.info.labels = key.second;
+  switch (type) {
+    case MetricType::kCounter:
+      entry.counter = std::make_unique<Counter>();
+      break;
+    case MetricType::kGauge:
+      entry.gauge = std::make_unique<Gauge>();
+      break;
+    case MetricType::kHistogram:
+      entry.histogram = std::make_unique<Histogram>();
+      break;
+  }
+  return entries_.emplace(std::move(key), std::move(entry)).first->second;
+}
+
+Counter& Registry::counter(std::string_view name, std::string_view help,
+                           Labels labels) {
+  return *find_or_create(name, help, std::move(labels), MetricType::kCounter)
+              .counter;
+}
+
+Gauge& Registry::gauge(std::string_view name, std::string_view help,
+                       Labels labels) {
+  return *find_or_create(name, help, std::move(labels), MetricType::kGauge)
+              .gauge;
+}
+
+Histogram& Registry::histogram(std::string_view name, std::string_view help,
+                               Labels labels) {
+  return *find_or_create(name, help, std::move(labels),
+                         MetricType::kHistogram)
+              .histogram;
+}
+
+std::vector<Sample> Registry::samples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Sample> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) {  // std::map: sorted, stable
+    Sample s;
+    s.info = entry.info;
+    switch (entry.info.type) {
+      case MetricType::kCounter:
+        s.counter_value = entry.counter->value();
+        break;
+      case MetricType::kGauge:
+        s.gauge_value = entry.gauge->value();
+        break;
+      case MetricType::kHistogram:
+        s.histogram = entry.histogram->snapshot();
+        break;
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::vector<std::string> Registry::metric_names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(families_.size());
+  for (const auto& [name, type] : families_) names.push_back(name);
+  return names;
+}
+
+void Registry::reset_values() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [key, entry] : entries_) {
+    switch (entry.info.type) {
+      case MetricType::kCounter:
+        entry.counter->reset();
+        break;
+      case MetricType::kGauge:
+        entry.gauge->reset();
+        break;
+      case MetricType::kHistogram:
+        entry.histogram->reset();
+        break;
+    }
+  }
+}
+
+Registry& registry() {
+  static Registry* instance = new Registry();  // never destroyed: metric
+  return *instance;  // references must outlive static-destruction order
+}
+
+}  // namespace geovalid::obs

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <exception>
@@ -11,11 +12,21 @@
 #include <thread>
 #include <unordered_map>
 
+#include "obs/metrics.h"
 #include "stream/online_matcher.h"
 #include "stream/online_visit_detector.h"
 
 namespace geovalid::stream {
 namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t ns_since(Clock::time_point start) {
+  const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      Clock::now() - start)
+                      .count();
+  return ns > 0 ? static_cast<std::uint64_t>(ns) : 0;
+}
 
 /// Deterministic, platform-independent user -> shard mix (splitmix64
 /// finalizer). Plain modulo would do, but sequential study ids would then
@@ -39,22 +50,51 @@ struct UserPipeline {
         matcher(config.match, config.classifier, sink) {}
 };
 
+/// Cached metric handles; all null when StreamEngineConfig::metrics is
+/// false, which turns every instrumentation site into a predictable
+/// null-check. Registered once in the StreamEngine constructor so the
+/// registry mutex never appears on the hot path.
+struct ShardMetrics {
+  obs::Counter* events_gps = nullptr;
+  obs::Counter* events_checkin = nullptr;
+  obs::Counter* shard_events = nullptr;    ///< per-shard label
+  obs::Counter* stalls = nullptr;          ///< per-shard label
+  obs::Gauge* mailbox_depth = nullptr;     ///< per-shard label
+  obs::Histogram* stall_wait_ns = nullptr;
+  obs::Histogram* batch_latency_ns = nullptr;
+  obs::Counter* verdict_honest = nullptr;
+  obs::Counter* verdict_extraneous = nullptr;
+  obs::Counter* verdict_missing = nullptr;
+  obs::Counter* checkins = nullptr;
+  obs::Counter* visits = nullptr;
+};
+
 }  // namespace
 
 struct StreamEngine::Shard {
+  /// One mailbox handoff: the event batch plus its enqueue time, so the
+  /// worker can record queue-wait + processing latency per batch.
+  struct Batch {
+    std::vector<Event> events;
+    Clock::time_point enqueued;
+  };
+
   // Mailbox (producer <-> worker). Whole batches are handed over by move —
   // the lock is taken once per ~batch_size events and no Event is ever
   // copied across the boundary.
   std::mutex mu;
   std::condition_variable cv_producer;  // signalled when space frees up
   std::condition_variable cv_worker;    // signalled when batches/close arrive
-  std::deque<std::vector<Event>> mailbox;  // batches, FIFO
+  std::deque<Batch> mailbox;  // batches, FIFO
   std::size_t capacity_batches = 1;
   bool closed = false;
 
   // Worker-owned state.
   std::unordered_map<trace::UserId, UserPipeline> users;
   match::Partition totals;
+  match::Partition counted;  ///< portion of `totals` already in the counters
+
+  ShardMetrics metrics;
 
   // Published results.
   mutable std::mutex snapshot_mu;
@@ -91,28 +131,44 @@ struct StreamEngine::Shard {
   void run(const StreamEngineConfig& config) {
     bool failed = false;
     while (true) {
-      std::deque<std::vector<Event>> work;
+      std::deque<Batch> work;
       {
         std::unique_lock<std::mutex> lock(mu);
         cv_worker.wait(lock, [&] { return !mailbox.empty() || closed; });
         if (mailbox.empty() && closed) break;
         work.swap(mailbox);
+        if (metrics.mailbox_depth) metrics.mailbox_depth->set(0);
       }
       cv_producer.notify_one();
-      std::size_t n = 0;
-      for (const std::vector<Event>& batch : work) {
-        n += batch.size();
-        if (failed) continue;
-        try {
-          for (const Event& e : batch) process(e, config);
-        } catch (...) {
-          // Record the first failure, then keep draining so the producer
-          // never deadlocks on a full mailbox.
-          error = std::current_exception();
-          failed = true;
+      std::size_t n = 0, n_gps = 0, n_checkin = 0;
+      for (const Batch& batch : work) {
+        n += batch.events.size();
+        for (const Event& e : batch.events) {
+          (e.kind == Event::Kind::kGps ? n_gps : n_checkin) += 1;
+        }
+        if (!failed) {
+          try {
+            for (const Event& e : batch.events) process(e, config);
+          } catch (...) {
+            // Record the first failure, then keep draining so the producer
+            // never deadlocks on a full mailbox.
+            error = std::current_exception();
+            failed = true;
+          }
+        }
+        if (metrics.batch_latency_ns) {
+          metrics.batch_latency_ns->observe(ns_since(batch.enqueued));
         }
       }
       processed.fetch_add(n, std::memory_order_relaxed);
+      if (metrics.shard_events) {
+        // One flush per drained chunk, not per event: the counters are
+        // shared across shards, so per-event increments would bounce the
+        // cache line between workers.
+        metrics.shard_events->inc(n);
+        metrics.events_gps->inc(n_gps);
+        metrics.events_checkin->inc(n_checkin);
+      }
       publish();
     }
     if (!failed) {
@@ -125,6 +181,17 @@ struct StreamEngine::Shard {
   }
 
   void publish() {
+    // Verdict counters advance by the delta since the last publish; the
+    // partition fields are increment-only, so deltas are non-negative and
+    // the counter totals equal partition() exactly once the run drains.
+    if (metrics.verdict_honest) {
+      metrics.verdict_honest->inc(totals.honest - counted.honest);
+      metrics.verdict_extraneous->inc(totals.extraneous - counted.extraneous);
+      metrics.verdict_missing->inc(totals.missing - counted.missing);
+      metrics.checkins->inc(totals.checkins - counted.checkins);
+      metrics.visits->inc(totals.visits - counted.visits);
+      counted = totals;
+    }
     std::lock_guard<std::mutex> lock(snapshot_mu);
     snapshot = totals;
   }
@@ -143,6 +210,48 @@ StreamEngine::StreamEngine(StreamEngineConfig config) : config_(config) {
     shards_.back()->capacity_batches =
         std::max<std::size_t>(1, config_.mailbox_capacity / config_.batch_size);
     staging_[s].reserve(config_.batch_size);
+  }
+  if (config_.metrics) {
+    obs::Registry& r = obs::registry();
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      ShardMetrics& m = shards_[s]->metrics;
+      const obs::Labels shard_label{{"shard", std::to_string(s)}};
+      m.events_gps = &r.counter("stream_events_total",
+                                "Events consumed by shard workers, by kind",
+                                {{"kind", "gps"}});
+      m.events_checkin = &r.counter("stream_events_total",
+                                    "Events consumed by shard workers, by kind",
+                                    {{"kind", "checkin"}});
+      m.shard_events =
+          &r.counter("stream_shard_events_total",
+                     "Events consumed per shard (shard balance)", shard_label);
+      m.stalls = &r.counter(
+          "stream_backpressure_stalls_total",
+          "Producer blocks on a full shard mailbox", shard_label);
+      m.mailbox_depth = &r.gauge("stream_shard_mailbox_batches",
+                                 "Batches queued in the shard mailbox",
+                                 shard_label);
+      m.stall_wait_ns = &r.histogram(
+          "stream_backpressure_wait_ns",
+          "Producer wall time spent blocked on full mailboxes (nanoseconds)");
+      m.batch_latency_ns = &r.histogram(
+          "stream_batch_latency_ns",
+          "Mailbox handoff to batch fully processed (nanoseconds); one "
+          "sample per batch, the engine's event-latency proxy");
+      static constexpr std::string_view kVerdictHelp =
+          "Streaming verdicts by partition field";
+      m.verdict_honest = &r.counter("stream_verdicts_total", kVerdictHelp,
+                                    {{"verdict", "honest"}});
+      m.verdict_extraneous = &r.counter("stream_verdicts_total", kVerdictHelp,
+                                        {{"verdict", "extraneous"}});
+      m.verdict_missing = &r.counter("stream_verdicts_total", kVerdictHelp,
+                                     {{"verdict", "missing"}});
+      m.checkins = &r.counter("stream_checkins_total",
+                              "Checkins processed by the streaming engine");
+      m.visits = &r.counter(
+          "stream_visits_total",
+          "Visits detected online from GPS by the streaming engine");
+    }
   }
   for (auto& shard : shards_) {
     shard->worker = std::thread([this, sh = shard.get()] { sh->run(config_); });
@@ -176,10 +285,20 @@ void StreamEngine::flush_staging(std::size_t shard_index) {
   Shard& shard = *shards_[shard_index];
   {
     std::unique_lock<std::mutex> lock(shard.mu);
-    shard.cv_producer.wait(lock, [&] {
-      return shard.mailbox.size() < shard.capacity_batches;
-    });
-    shard.mailbox.push_back(std::move(staged));
+    const bool full = shard.mailbox.size() >= shard.capacity_batches;
+    if (full && shard.metrics.stalls) shard.metrics.stalls->inc();
+    {
+      obs::StageTimer stall(full ? shard.metrics.stall_wait_ns : nullptr);
+      shard.cv_producer.wait(lock, [&] {
+        return shard.mailbox.size() < shard.capacity_batches;
+      });
+    }
+    shard.mailbox.push_back(
+        Shard::Batch{std::move(staged), Clock::now()});
+    if (shard.metrics.mailbox_depth) {
+      shard.metrics.mailbox_depth->set(
+          static_cast<std::int64_t>(shard.mailbox.size()));
+    }
   }
   shard.cv_worker.notify_one();
   staged = std::vector<Event>();

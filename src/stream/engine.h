@@ -37,6 +37,13 @@ struct StreamEngineConfig {
   /// batch amortizes the mailbox lock across hundreds of events.
   std::size_t batch_size = 512;
 
+  /// Report into the process-wide obs::registry(): per-shard event counts
+  /// and mailbox depth, backpressure stalls, batch latency, verdict
+  /// totals. Counter flushes are amortized per batch, so the overhead is
+  /// well under the 5% budget (bench_stream_throughput measures it).
+  /// Disable for A/B overhead measurement.
+  bool metrics = true;
+
   match::MatchConfig match;
   match::ClassifierConfig classifier;
   trace::VisitDetectorConfig detector;

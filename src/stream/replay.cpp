@@ -4,6 +4,8 @@
 #include <chrono>
 #include <thread>
 
+#include "obs/metrics.h"
+
 namespace geovalid::stream {
 namespace {
 
@@ -11,6 +13,13 @@ using Clock = std::chrono::steady_clock;
 
 double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+obs::Histogram& replay_stage_ns(const char* stage) {
+  return obs::registry().histogram(
+      "stream_replay_stage_ns",
+      "Wall time of replay stages (nanoseconds); one sample per replay",
+      {{"stage", stage}});
 }
 
 }  // namespace
@@ -54,28 +63,50 @@ ReplayStats replay_events(std::span<const Event> events, StreamEngine& engine,
                              config.rate_events_per_sec / 100.0))
                 : 0;
 
+  const bool snapshotting =
+      config.snapshot_interval_seconds > 0.0 && config.on_snapshot != nullptr;
+
   const auto start = Clock::now();
-  for (std::size_t i = 0; i < events.size(); ++i) {
-    const Event& e = events[i];
-    if (e.kind == Event::Kind::kGps) {
-      ++stats.gps_samples;
-    } else {
-      ++stats.checkins;
-    }
-    engine.push(e);
-    if (throttled && (i + 1) % chunk == 0) {
-      const auto due =
-          start + std::chrono::duration_cast<Clock::duration>(
-                      std::chrono::duration<double>(
-                          static_cast<double>(i + 1) /
-                          config.rate_events_per_sec));
-      std::this_thread::sleep_until(due);
+  auto next_snapshot =
+      start + std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double>(
+                      config.snapshot_interval_seconds));
+  {
+    obs::StageTimer feed_timer(&replay_stage_ns("feed"));
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      const Event& e = events[i];
+      if (e.kind == Event::Kind::kGps) {
+        ++stats.gps_samples;
+      } else {
+        ++stats.checkins;
+      }
+      engine.push(e);
+      if (throttled && (i + 1) % chunk == 0) {
+        const auto due =
+            start + std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double>(
+                            static_cast<double>(i + 1) /
+                            config.rate_events_per_sec));
+        std::this_thread::sleep_until(due);
+      }
+      // The clock read is amortized over 256 events so the snapshot check
+      // costs nothing at full feed rates.
+      if (snapshotting && (i & 0xFF) == 0xFF && Clock::now() >= next_snapshot) {
+        config.on_snapshot();
+        next_snapshot = Clock::now() +
+                        std::chrono::duration_cast<Clock::duration>(
+                            std::chrono::duration<double>(
+                                config.snapshot_interval_seconds));
+      }
     }
   }
   stats.feed_seconds = seconds_since(start);
 
   const auto drain_start = Clock::now();
-  engine.finish();
+  {
+    obs::StageTimer drain_timer(&replay_stage_ns("drain"));
+    engine.finish();
+  }
   stats.drain_seconds = seconds_since(drain_start);
 
   stats.wall_seconds = stats.feed_seconds + stats.drain_seconds;

@@ -7,6 +7,7 @@
 // (bench_stream_throughput replays unthrottled and reports events/sec).
 #pragma once
 
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -19,6 +20,13 @@ struct ReplayConfig {
   /// Target feed rate in events per second; 0 replays as fast as the
   /// engine accepts events.
   double rate_events_per_sec = 0.0;
+
+  /// When > 0 and on_snapshot is set, on_snapshot() is invoked from the
+  /// feed loop roughly every this many seconds (checked every 256 events,
+  /// so very slow feeds tick late, never early). The CLI uses this to
+  /// print periodic metrics snapshots during `geovalid stream`.
+  double snapshot_interval_seconds = 0.0;
+  std::function<void()> on_snapshot;
 };
 
 struct ReplayStats {

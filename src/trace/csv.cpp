@@ -11,6 +11,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace geovalid::trace {
 namespace {
 
@@ -26,6 +28,13 @@ std::string sanitize(std::string_view name) {
 
 [[noreturn]] void fail(const fs::path& file, std::size_t line,
                        const std::string& what) {
+  // Counted before throwing so a long-running service that survives a bad
+  // dataset still shows the rejection in its metrics.
+  obs::registry()
+      .counter("trace_ingest_errors_total",
+               "CSV dataset rows rejected with an error, by file",
+               {{"file", file.filename().string()}})
+      .inc();
   std::ostringstream os;
   os << file.string() << ":" << line << ": " << what;
   throw std::runtime_error(os.str());

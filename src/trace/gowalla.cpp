@@ -9,8 +9,20 @@
 #include <sstream>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace geovalid::trace {
 namespace {
+
+/// Rows silently dropped under skip_invalid_rows. The SNAP dumps contain a
+/// few bad rows by design; the counter makes the drop rate inspectable.
+void count_skipped(const char* reason) {
+  obs::registry()
+      .counter("trace_ingest_skipped_rows_total",
+               "SNAP import rows skipped as invalid, by reason",
+               {{"reason", reason}})
+      .inc();
+}
 
 [[noreturn]] void fail(const std::filesystem::path& file, std::size_t line,
                        const std::string& what) {
@@ -94,6 +106,11 @@ Dataset read_gowalla_checkins(const std::filesystem::path& file,
   std::map<UserId, std::vector<Checkin>> per_user;
   std::map<PoiId, Poi> venues;
 
+  // Cached: one registry lookup for the whole import, not one per row.
+  obs::Counter& rows_ingested = obs::registry().counter(
+      "trace_ingest_rows_total", "Rows accepted by trace importers",
+      {{"format", "snap"}});
+
   std::string line;
   std::size_t lineno = 0;
   while (std::getline(in, line)) {
@@ -102,13 +119,16 @@ Dataset read_gowalla_checkins(const std::filesystem::path& file,
     if (!line.empty() && line.back() == '\r') line.pop_back();
 
     const auto f = split_tabs(line);
-    auto reject = [&](const char* what) -> bool {
-      if (options.skip_invalid_rows) return true;  // caller: skip this row
+    auto reject = [&](const char* reason, const char* what) -> bool {
+      if (options.skip_invalid_rows) {
+        count_skipped(reason);
+        return true;  // caller: skip this row
+      }
       fail(file, lineno, what);
     };
 
     if (f.size() != 5) {
-      if (reject("expected 5 tab-separated fields")) continue;
+      if (reject("field_count", "expected 5 tab-separated fields")) continue;
     }
     const auto user = parse_uint<UserId>(f[0]);
     const auto t = parse_iso8601(f[1]);
@@ -116,11 +136,11 @@ Dataset read_gowalla_checkins(const std::filesystem::path& file,
     const auto lon = parse_double(f[3]);
     const auto venue = parse_uint<PoiId>(f[4]);
     if (!user || !t || !lat || !lon || !venue) {
-      if (reject("malformed field")) continue;
+      if (reject("malformed_field", "malformed field")) continue;
     }
     const geo::LatLon where{*lat, *lon};
     if (!geo::is_valid(where)) {
-      if (reject("coordinate out of range")) continue;
+      if (reject("bad_coordinates", "coordinate out of range")) continue;
     }
     if (options.max_users > 0 && per_user.size() >= options.max_users &&
         per_user.find(*user) == per_user.end()) {
@@ -130,7 +150,9 @@ Dataset read_gowalla_checkins(const std::filesystem::path& file,
     // SNAP venue ids start at 0; shift by one to keep kNoPoi free.
     const PoiId poi = *venue + 1;
     if (poi == kNoPoi) {
-      if (reject("venue id collides with the sentinel")) continue;
+      if (reject("venue_id_sentinel", "venue id collides with the sentinel")) {
+        continue;
+      }
     }
     const auto [it, inserted] = venues.try_emplace(poi);
     if (inserted) {
@@ -146,6 +168,7 @@ Dataset read_gowalla_checkins(const std::filesystem::path& file,
     c.category = it->second.category;
     c.location = it->second.location;  // first-seen venue position
     per_user[*user].push_back(c);
+    rows_ingested.inc();
   }
 
   std::vector<Poi> pois;

@@ -1,0 +1,268 @@
+// Observability primitives: counters/gauges/histograms, the labeled
+// registry, the StageTimer scope tracer, snapshot determinism, and — the
+// contract the TSan CI job enforces — lock-free updates from many threads
+// losing nothing.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+
+namespace geovalid::obs {
+namespace {
+
+TEST(ObsCounter, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(ObsGauge, SetAddSub) {
+  Gauge g;
+  g.set(10);
+  g.add(5);
+  g.sub(20);
+  EXPECT_EQ(g.value(), -5);
+}
+
+TEST(ObsHistogram, BucketBoundaries) {
+  // Bucket 0 holds exact zeros; bucket i holds [2^(i-1), 2^i - 1].
+  EXPECT_EQ(Histogram::bucket_of(0), 0u);
+  EXPECT_EQ(Histogram::bucket_of(1), 1u);
+  EXPECT_EQ(Histogram::bucket_of(2), 2u);
+  EXPECT_EQ(Histogram::bucket_of(3), 2u);
+  EXPECT_EQ(Histogram::bucket_of(4), 3u);
+  EXPECT_EQ(Histogram::bucket_of(1023), 10u);
+  EXPECT_EQ(Histogram::bucket_of(1024), 11u);
+  EXPECT_EQ(Histogram::bucket_of(~std::uint64_t{0}), 64u);
+
+  EXPECT_EQ(Histogram::bucket_bound(0), 0u);
+  EXPECT_EQ(Histogram::bucket_bound(1), 1u);
+  EXPECT_EQ(Histogram::bucket_bound(2), 3u);
+  EXPECT_EQ(Histogram::bucket_bound(10), 1023u);
+  EXPECT_EQ(Histogram::bucket_bound(64), ~std::uint64_t{0});
+
+  // Every bucket's bound is >= any value mapped into it.
+  for (std::uint64_t v : {0ull, 1ull, 7ull, 4096ull, 123456789ull}) {
+    EXPECT_GE(Histogram::bucket_bound(Histogram::bucket_of(v)), v);
+  }
+}
+
+TEST(ObsHistogram, ObserveAggregates) {
+  Histogram h;
+  h.observe(0);
+  h.observe(1);
+  h.observe(5);
+  h.observe(5);
+  const Histogram::Snapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_EQ(s.sum, 11u);
+  EXPECT_EQ(s.buckets[0], 1u);  // the zero
+  EXPECT_EQ(s.buckets[1], 1u);  // 1
+  EXPECT_EQ(s.buckets[3], 2u);  // 5 twice
+}
+
+TEST(ObsStageTimer, RecordsOneSamplePerScope) {
+  Histogram h;
+  { StageTimer t(&h); }
+  { StageTimer t(&h); }
+  EXPECT_EQ(h.count(), 2u);
+}
+
+TEST(ObsStageTimer, NullHistogramIsNoOp) {
+  StageTimer t(nullptr);
+  t.stop();  // must not crash
+}
+
+TEST(ObsStageTimer, StopIsIdempotent) {
+  Histogram h;
+  StageTimer t(&h);
+  t.stop();
+  t.stop();
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(ObsRegistry, SameNameAndLabelsReturnsSameInstance) {
+  Registry r;
+  Counter& a = r.counter("x_total", "help", {{"k", "v"}});
+  Counter& b = r.counter("x_total", "other help ignored", {{"k", "v"}});
+  EXPECT_EQ(&a, &b);
+  Counter& c = r.counter("x_total", "help", {{"k", "w"}});
+  EXPECT_NE(&a, &c);
+}
+
+TEST(ObsRegistry, LabelOrderIsCanonicalized) {
+  Registry r;
+  Counter& a = r.counter("x_total", "h", {{"a", "1"}, {"b", "2"}});
+  Counter& b = r.counter("x_total", "h", {{"b", "2"}, {"a", "1"}});
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(ObsRegistry, TypeConflictThrows) {
+  Registry r;
+  r.counter("x_total", "h");
+  EXPECT_THROW(r.gauge("x_total", "h"), std::logic_error);
+  EXPECT_THROW(r.histogram("x_total", "h", {{"k", "v"}}), std::logic_error);
+}
+
+TEST(ObsRegistry, SamplesAreSortedAndComplete) {
+  Registry r;
+  r.counter("b_total", "h").inc(2);
+  r.gauge("a_gauge", "h").set(-7);
+  r.histogram("c_ns", "h").observe(100);
+  const std::vector<Sample> samples = r.samples();
+  ASSERT_EQ(samples.size(), 3u);
+  EXPECT_EQ(samples[0].info.name, "a_gauge");
+  EXPECT_EQ(samples[0].gauge_value, -7);
+  EXPECT_EQ(samples[1].info.name, "b_total");
+  EXPECT_EQ(samples[1].counter_value, 2u);
+  EXPECT_EQ(samples[2].info.name, "c_ns");
+  EXPECT_EQ(samples[2].histogram.count, 1u);
+
+  const std::vector<std::string> names = r.metric_names();
+  EXPECT_EQ(names, (std::vector<std::string>{"a_gauge", "b_total", "c_ns"}));
+}
+
+TEST(ObsRegistry, ResetValuesKeepsRegistrations) {
+  Registry r;
+  Counter& c = r.counter("x_total", "h");
+  c.inc(5);
+  r.reset_values();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(&r.counter("x_total", "h"), &c);
+}
+
+TEST(ObsExport, SnapshotsAreDeterministic) {
+  // Two dumps of an idle registry must be byte-identical: sorted
+  // iteration, integer-only values, no timestamps.
+  Registry r;
+  r.counter("requests_total", "Requests", {{"code", "200"}}).inc(7);
+  r.counter("requests_total", "Requests", {{"code", "500"}}).inc(1);
+  r.gauge("depth", "Queue depth", {{"shard", "0"}}).set(3);
+  r.histogram("latency_ns", "Latency").observe(1000);
+
+  const std::string json1 = to_json(r);
+  const std::string json2 = to_json(r);
+  EXPECT_EQ(json1, json2);
+  const std::string prom1 = to_prometheus(r);
+  const std::string prom2 = to_prometheus(r);
+  EXPECT_EQ(prom1, prom2);
+}
+
+TEST(ObsExport, PrometheusShape) {
+  Registry r;
+  r.counter("requests_total", "Requests served", {{"code", "200"}}).inc(7);
+  r.histogram("latency_ns", "Latency").observe(3);
+  r.histogram("latency_ns", "Latency").observe(3);
+  const std::string text = to_prometheus(r);
+
+  EXPECT_NE(text.find("# HELP requests_total Requests served\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE requests_total counter\n"), std::string::npos);
+  EXPECT_NE(text.find("requests_total{code=\"200\"} 7\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE latency_ns histogram\n"), std::string::npos);
+  EXPECT_NE(text.find("latency_ns_bucket{le=\"3\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("latency_ns_bucket{le=\"+Inf\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("latency_ns_sum 6\n"), std::string::npos);
+  EXPECT_NE(text.find("latency_ns_count 2\n"), std::string::npos);
+}
+
+TEST(ObsExport, JsonEscapesStrings) {
+  Registry r;
+  r.counter("weird_total", "a \"quoted\"\nhelp", {{"k", "v\\w"}}).inc();
+  const std::string json = to_json(r);
+  EXPECT_NE(json.find("a \\\"quoted\\\"\\nhelp"), std::string::npos);
+  EXPECT_NE(json.find("v\\\\w"), std::string::npos);
+}
+
+// ---- Concurrency (runs under the TSan CI job; see .github/workflows) ----
+
+TEST(ObsRegistryConcurrency, ParallelIncrementsLoseNothing) {
+  Registry r;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 100000;
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&r, t] {
+      // Half the threads hammer a shared counter, half a per-thread one,
+      // all re-resolving through the registry to exercise the lookup path
+      // concurrently with other registrations.
+      Counter& shared = r.counter("shared_total", "h");
+      Counter& own =
+          r.counter("per_thread_total", "h", {{"t", std::to_string(t)}});
+      Histogram& h = r.histogram("values_ns", "h");
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        shared.inc();
+        own.inc();
+        h.observe(i & 0xFFF);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(r.counter("shared_total", "h").value(), kThreads * kPerThread);
+  std::uint64_t per_thread_sum = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    per_thread_sum =
+        per_thread_sum +
+        r.counter("per_thread_total", "h", {{"t", std::to_string(t)}})
+            .value();
+  }
+  EXPECT_EQ(per_thread_sum, kThreads * kPerThread);
+  EXPECT_EQ(r.histogram("values_ns", "h").count(), kThreads * kPerThread);
+}
+
+TEST(ObsRegistryConcurrency, ParallelRegistrationIsRaceFree) {
+  Registry r;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&r] {
+      for (int i = 0; i < 200; ++i) {
+        r.counter("reg_total", "h", {{"i", std::to_string(i)}}).inc();
+        r.histogram("reg_ns", "h", {{"i", std::to_string(i % 7)}})
+            .observe(static_cast<std::uint64_t>(i));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  std::uint64_t total = 0;
+  for (const Sample& s : r.samples()) {
+    if (s.info.name == "reg_total") total += s.counter_value;
+  }
+  EXPECT_EQ(total, static_cast<std::uint64_t>(kThreads) * 200);
+}
+
+TEST(ObsRegistryConcurrency, SnapshotsWhileWriting) {
+  // samples()/to_json while writers are live must be safe (values torn in
+  // time but each metric internally consistent).
+  Registry r;
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    Counter& c = r.counter("live_total", "h");
+    while (!stop.load(std::memory_order_relaxed)) c.inc();
+  });
+  for (int i = 0; i < 50; ++i) {
+    const std::string json = to_json(r);
+    EXPECT_FALSE(json.empty());
+  }
+  stop.store(true);
+  writer.join();
+}
+
+}  // namespace
+}  // namespace geovalid::obs

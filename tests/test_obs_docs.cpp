@@ -1,0 +1,127 @@
+// docs/OBSERVABILITY.md is the canonical metrics reference, and this test
+// is what keeps it canonical: exercise every instrumented code path so the
+// global registry holds every runtime metric family, then assert each
+// family name appears (backticked) in the doc. Add a metric without
+// documenting it and this fails; the doc can never silently drift.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "apps/friendship.h"
+#include "apps/next_place.h"
+#include "apps/traffic.h"
+#include "core/pipeline.h"
+#include "obs/metrics.h"
+#include "stream/engine.h"
+#include "stream/replay.h"
+#include "synth/config.h"
+#include "trace/csv.h"
+#include "trace/gowalla.h"
+
+namespace geovalid {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Runs every instrumented subsystem once so each metric family registers
+/// itself in the global registry, exactly as a real deployment would.
+void exercise_all_instrumented_paths(const fs::path& scratch) {
+  // Batch pipeline: generate + validate + Levy fits, then the CSV loading
+  // stages via a round trip through the on-disk format.
+  const core::StudyAnalysis analysis =
+      core::analyze_generated(synth::tiny_preset());
+  (void)core::fit_levy_models(analysis);
+  trace::write_dataset_csv(analysis.dataset, scratch / "roundtrip");
+  (void)core::analyze_csv(scratch / "roundtrip", "roundtrip",
+                          /*detect_visits=*/true);
+
+  // Streaming engine + replay.
+  stream::StreamEngineConfig config;
+  config.shards = 2;
+  stream::StreamEngine engine(config);
+  (void)stream::replay_dataset(analysis.dataset, engine);
+
+  // Application studies.
+  (void)apps::category_flow(analysis.dataset, analysis.validation,
+                            apps::TrainingSource::kAllCheckins);
+  (void)apps::evaluate_next_place(analysis.dataset, analysis.validation,
+                                  apps::TrainingSource::kAllCheckins);
+  ASSERT_TRUE(analysis.friendships.has_value());
+  (void)apps::evaluate_friendship(analysis.dataset, analysis.validation,
+                                  apps::TrainingSource::kAllCheckins,
+                                  *analysis.friendships);
+
+  // CSV ingest error path: corrupt one row and watch the load reject it.
+  {
+    const fs::path broken = scratch / "broken";
+    trace::write_dataset_csv(analysis.dataset, broken);
+    std::ofstream out(broken / "gps.csv", std::ios::app);
+    out << "not,a,valid,row\n";
+    out.close();
+    EXPECT_THROW((void)trace::read_dataset_csv(broken, "broken"),
+                 std::runtime_error);
+  }
+
+  // SNAP importer: accepted rows plus one skip per reject reason that a
+  // real public dump exhibits.
+  {
+    const fs::path snap = scratch / "gowalla.txt";
+    std::ofstream out(snap);
+    out << "0\t2010-10-19T23:55:27Z\t30.2359\t-97.7951\t22847\n";
+    out << "0\t2010-10-20T23:55:27Z\t999.0\t-97.7951\t22847\n";  // bad coords
+    out << "1\tonly-three-fields\t1.0\n";                        // field count
+    out << "1\t2010-10-19T23:55:27Z\t30.2359\t-97.7951\t91\n";
+    out.close();
+    (void)trace::read_gowalla_checkins(snap, "snap");
+  }
+}
+
+/// Every token wrapped in single backticks in the doc.
+std::set<std::string> backticked_tokens(const fs::path& doc) {
+  std::ifstream in(doc);
+  EXPECT_TRUE(in.good()) << "cannot open " << doc;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+
+  std::set<std::string> tokens;
+  std::size_t pos = 0;
+  while ((pos = text.find('`', pos)) != std::string::npos) {
+    const std::size_t end = text.find('`', pos + 1);
+    if (end == std::string::npos) break;
+    tokens.insert(text.substr(pos + 1, end - pos - 1));
+    pos = end + 1;
+  }
+  return tokens;
+}
+
+TEST(ObsDocs, EveryRuntimeMetricIsDocumented) {
+  const fs::path scratch =
+      fs::path(::testing::TempDir()) / "geovalid_obs_docs";
+  fs::create_directories(scratch);
+
+  obs::registry().reset_values();
+  exercise_all_instrumented_paths(scratch);
+
+  const std::vector<std::string> names = obs::registry().metric_names();
+  ASSERT_FALSE(names.empty());
+
+  const fs::path doc =
+      fs::path(GEOVALID_SOURCE_DIR) / "docs" / "OBSERVABILITY.md";
+  const std::set<std::string> documented = backticked_tokens(doc);
+
+  for (const std::string& name : names) {
+    EXPECT_TRUE(documented.count(name))
+        << "metric `" << name << "` is registered at runtime but missing "
+        << "from docs/OBSERVABILITY.md — document it (name in backticks)";
+  }
+}
+
+}  // namespace
+}  // namespace geovalid

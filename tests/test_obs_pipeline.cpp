@@ -1,0 +1,303 @@
+// The observability acceptance contract: the JSON snapshot a `geovalid run
+// --metrics-json` / `geovalid stream --metrics-json` dump emits is valid
+// JSON, and its counter totals equal the partition counts the pipeline
+// itself reports. Exercised at the library layer (the CLI is a thin client
+// of exactly these calls: analyze_* / replay_dataset + write_json).
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+
+#include "core/pipeline.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "stream/engine.h"
+#include "stream/replay.h"
+#include "synth/config.h"
+#include "synth/study_generator.h"
+
+namespace geovalid {
+namespace {
+
+// ---- A strict minimal JSON parser ----
+//
+// Small on purpose: enough to prove the dump is well-formed JSON and to
+// pull out `name{labels} -> value` pairs, failing the test on any syntax
+// error. Not a general-purpose parser.
+class JsonScanner {
+ public:
+  explicit JsonScanner(const std::string& text) : text_(text) {}
+
+  /// Validates the whole document and collects counter/gauge values keyed
+  /// by "name{k=v,...}".
+  std::map<std::string, std::int64_t> parse_metric_values() {
+    skip_ws();
+    parse_value(0);
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing garbage");
+    return values_;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) {
+    throw std::runtime_error("JSON error at byte " + std::to_string(pos_) +
+                             ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("bad escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u':
+            if (pos_ + 4 > text_.size()) fail("bad \\u escape");
+            pos_ += 4;  // validated length only; value unused here
+            out += '?';
+            break;
+          default: fail("unknown escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+  }
+
+  std::int64_t parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    if (!std::isdigit(static_cast<unsigned char>(peek()))) fail("bad number");
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    return std::stoll(text_.substr(start, pos_ - start));
+  }
+
+  /// Parses any value. Inside a metric object (depth 2), remembers name /
+  /// labels / value fields as they stream past, and commits a metric entry
+  /// when the object closes.
+  void parse_value(int depth) {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') {
+      parse_object(depth);
+    } else if (c == '[') {
+      parse_array(depth);
+    } else if (c == '"') {
+      parse_string();
+    } else {
+      parse_number();
+    }
+  }
+
+  void parse_object(int depth) {
+    expect('{');
+    skip_ws();
+    std::string metric_name, metric_labels;
+    std::int64_t metric_value = 0;
+    bool has_value = false;
+
+    if (peek() != '}') {
+      while (true) {
+        skip_ws();
+        const std::string key = parse_string();
+        skip_ws();
+        expect(':');
+        skip_ws();
+        if (depth == 2 && key == "name") {
+          metric_name = parse_string();
+        } else if (depth == 2 && key == "labels") {
+          const std::size_t start = pos_;
+          parse_value(depth + 1);
+          metric_labels = text_.substr(start, pos_ - start);
+        } else if (depth == 2 && key == "value") {
+          metric_value = parse_number();
+          has_value = true;
+        } else {
+          parse_value(depth + 1);
+        }
+        skip_ws();
+        if (peek() == ',') {
+          ++pos_;
+          continue;
+        }
+        break;
+      }
+    }
+    expect('}');
+    if (depth == 2 && has_value && !metric_name.empty()) {
+      values_[metric_name + metric_labels] = metric_value;
+    }
+  }
+
+  void parse_array(int depth) {
+    expect('[');
+    skip_ws();
+    if (peek() != ']') {
+      while (true) {
+        parse_value(depth + 1);
+        skip_ws();
+        if (peek() == ',') {
+          ++pos_;
+          continue;
+        }
+        break;
+      }
+    }
+    expect(']');
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  std::map<std::string, std::int64_t> values_;
+};
+
+std::map<std::string, std::int64_t> dump_and_parse() {
+  const std::string json = obs::to_json(obs::registry());
+  JsonScanner scanner(json);
+  return scanner.parse_metric_values();  // throws (fails test) on bad JSON
+}
+
+std::int64_t value_of(const std::map<std::string, std::int64_t>& values,
+                      const std::string& key) {
+  const auto it = values.find(key);
+  EXPECT_NE(it, values.end()) << "metric missing from JSON dump: " << key;
+  return it == values.end() ? -1 : it->second;
+}
+
+TEST(ObsPipeline, BatchCounterTotalsEqualPartition) {
+  obs::registry().reset_values();
+  const core::StudyAnalysis analysis =
+      core::analyze_generated(synth::tiny_preset());
+  const match::Partition& p = analysis.partition();
+  ASSERT_GT(p.checkins, 0u);
+
+  const auto values = dump_and_parse();
+  EXPECT_EQ(value_of(values,
+                     "pipeline_verdicts_total{\"verdict\":\"honest\"}"),
+            static_cast<std::int64_t>(p.honest));
+  EXPECT_EQ(value_of(values,
+                     "pipeline_verdicts_total{\"verdict\":\"extraneous\"}"),
+            static_cast<std::int64_t>(p.extraneous));
+  EXPECT_EQ(value_of(values,
+                     "pipeline_verdicts_total{\"verdict\":\"missing\"}"),
+            static_cast<std::int64_t>(p.missing));
+  EXPECT_EQ(value_of(values, "pipeline_checkins_total{}"),
+            static_cast<std::int64_t>(p.checkins));
+  EXPECT_EQ(value_of(values, "pipeline_visits_total{}"),
+            static_cast<std::int64_t>(p.visits));
+}
+
+TEST(ObsPipeline, StreamCounterTotalsEqualPartition) {
+  const synth::GeneratedStudy study =
+      synth::generate_study(synth::tiny_preset());
+
+  obs::registry().reset_values();
+  stream::StreamEngineConfig config;
+  config.shards = 4;
+  stream::StreamEngine engine(config);
+  const stream::ReplayStats stats = stream::replay_dataset(study.dataset,
+                                                           engine);
+  const match::Partition p = engine.partition();
+  ASSERT_GT(p.checkins, 0u);
+
+  const auto values = dump_and_parse();
+  EXPECT_EQ(value_of(values,
+                     "stream_verdicts_total{\"verdict\":\"honest\"}"),
+            static_cast<std::int64_t>(p.honest));
+  EXPECT_EQ(value_of(values,
+                     "stream_verdicts_total{\"verdict\":\"extraneous\"}"),
+            static_cast<std::int64_t>(p.extraneous));
+  EXPECT_EQ(value_of(values,
+                     "stream_verdicts_total{\"verdict\":\"missing\"}"),
+            static_cast<std::int64_t>(p.missing));
+  EXPECT_EQ(value_of(values, "stream_checkins_total{}"),
+            static_cast<std::int64_t>(p.checkins));
+  EXPECT_EQ(value_of(values, "stream_visits_total{}"),
+            static_cast<std::int64_t>(p.visits));
+
+  // Event counters: kinds sum to the replay's event count, and the
+  // per-shard balance counters cover every event exactly once.
+  EXPECT_EQ(value_of(values, "stream_events_total{\"kind\":\"gps\"}"),
+            static_cast<std::int64_t>(stats.gps_samples));
+  EXPECT_EQ(value_of(values, "stream_events_total{\"kind\":\"checkin\"}"),
+            static_cast<std::int64_t>(stats.checkins));
+  std::int64_t shard_sum = 0;
+  for (int s = 0; s < 4; ++s) {
+    shard_sum += value_of(values, "stream_shard_events_total{\"shard\":\"" +
+                                      std::to_string(s) + "\"}");
+  }
+  EXPECT_EQ(shard_sum, static_cast<std::int64_t>(stats.events));
+}
+
+TEST(ObsPipeline, DisabledMetricsLeaveCountersUntouched) {
+  const synth::GeneratedStudy study =
+      synth::generate_study(synth::tiny_preset());
+
+  obs::registry().reset_values();
+  stream::StreamEngineConfig config;
+  config.shards = 2;
+  config.metrics = false;
+  stream::StreamEngine engine(config);
+  stream::replay_dataset(study.dataset, engine);
+  ASSERT_GT(engine.partition().checkins, 0u);
+
+  const auto values = dump_and_parse();
+  const auto it = values.find("stream_checkins_total{}");
+  if (it != values.end()) {
+    EXPECT_EQ(it->second, 0);
+  }
+}
+
+TEST(ObsPipeline, PeriodicSnapshotTicksDuringThrottledReplay) {
+  std::vector<stream::Event> events;
+  for (int i = 0; i < 2000; ++i) {
+    trace::GpsPoint p;
+    p.t = trace::minutes(i);
+    p.position = geo::LatLon{34.4208, -119.6982};
+    events.push_back(stream::Event::gps_sample(7, p));
+  }
+  stream::StreamEngine engine;
+  stream::ReplayConfig config;
+  config.rate_events_per_sec = 10000.0;  // 0.2 s feed
+  config.snapshot_interval_seconds = 0.05;
+  int ticks = 0;
+  config.on_snapshot = [&ticks] { ++ticks; };
+  stream::replay_events(events, engine, config);
+  EXPECT_GE(ticks, 1);
+}
+
+}  // namespace
+}  // namespace geovalid

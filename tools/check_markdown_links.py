@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Checks intra-repo markdown links and heading anchors.
+
+Scans the top-level markdown files plus everything under docs/ for inline
+links `[text](target)`. External targets (with a URL scheme) are ignored;
+relative targets must resolve to a file in the repository, and a `#anchor`
+fragment must match a heading in the target file (GitHub slug rules).
+Exits non-zero listing every dangling link. Run from anywhere:
+
+    python3 tools/check_markdown_links.py
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SCANNED = sorted(
+    [p for p in REPO.glob("*.md")] + [p for p in (REPO / "docs").glob("**/*.md")]
+)
+
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*)$")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def github_slug(heading: str) -> str:
+    """The anchor GitHub generates for a heading."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)  # inline code keeps its text
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # links keep text
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_anchors(path: Path) -> set:
+    anchors = {}
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = HEADING_RE.match(line)
+        if not m:
+            continue
+        slug = github_slug(m.group(2))
+        n = anchors.get(slug, 0)
+        anchors[slug] = n + 1
+    out = set()
+    for slug, count in anchors.items():
+        out.add(slug)
+        for i in range(1, count):  # duplicates get -1, -2, ... suffixes
+            out.add(f"{slug}-{i}")
+    return out
+
+
+def iter_links(path: Path):
+    in_fence = False
+    for lineno, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for m in LINK_RE.finditer(line):
+            yield lineno, m.group(1)
+
+
+def main() -> int:
+    errors = []
+    for md in SCANNED:
+        for lineno, target in iter_links(md):
+            if re.match(r"^[a-zA-Z][a-zA-Z0-9+.\-]*:", target):
+                continue  # external URL (http:, https:, mailto:, ...)
+            raw_path, _, fragment = target.partition("#")
+            if raw_path:
+                resolved = (md.parent / raw_path).resolve()
+                if not resolved.exists():
+                    errors.append(
+                        f"{md.relative_to(REPO)}:{lineno}: dangling link "
+                        f"target '{raw_path}'"
+                    )
+                    continue
+            else:
+                resolved = md
+            if fragment:
+                if resolved.suffix != ".md" or resolved.is_dir():
+                    continue  # anchors into non-markdown are not checked
+                if fragment.lower() not in heading_anchors(resolved):
+                    errors.append(
+                        f"{md.relative_to(REPO)}:{lineno}: dangling anchor "
+                        f"'#{fragment}' in '{resolved.relative_to(REPO)}'"
+                    )
+
+    if errors:
+        print(f"{len(errors)} dangling markdown link(s):", file=sys.stderr)
+        for e in errors:
+            print(f"  {e}", file=sys.stderr)
+        return 1
+    n_files = len(SCANNED)
+    print(f"markdown links OK across {n_files} files")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,10 +19,15 @@
 //       geovalid CSV dataset (checkins only; run `repair` on it next).
 //
 //   geovalid stream <dataset_dir> [--shards N] [--rate E] [--verify]
+//                   [--snapshot-interval S]
 //       Replay a CSV dataset through the sharded streaming engine in
 //       global timestamp order (visits are re-detected online from the
 //       GPS samples), print the live-aggregated partition and throughput,
 //       and optionally cross-check against the batch pipeline.
+//
+// Every subcommand accepts --metrics-json <path>: on exit (success or
+// failure) the process-wide observability registry is dumped as JSON.
+// docs/OBSERVABILITY.md is the reference for every metric in the dump.
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
@@ -37,6 +42,8 @@
 #include "match/filters.h"
 #include "match/incentives.h"
 #include "match/missing.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "recover/upsample.h"
 #include "stream/replay.h"
 #include "trace/csv.h"
@@ -52,10 +59,19 @@ int usage() {
       "  geovalid generate <primary|baseline|tiny> <output_dir> [--seed N]\n"
       "  geovalid validate <dataset_dir> [--detect-visits] [--alpha M] "
       "[--beta MIN]\n"
+      "      (alias: run)\n"
       "  geovalid repair <dataset_dir> <output_csv> [--gap MIN]\n"
       "  geovalid import-snap <checkins.txt> <output_dir> [--max-users N]\n"
       "  geovalid stream <dataset_dir> [--shards N] [--rate EVENTS/S] "
-      "[--verify]\n";
+      "[--verify]\n"
+      "                  [--snapshot-interval SECONDS]\n"
+      "\n"
+      "common flags:\n"
+      "  --metrics-json FILE   dump the metrics registry as JSON on exit\n"
+      "                        (see docs/OBSERVABILITY.md)\n"
+      "\n"
+      "--rate and --snapshot-interval must be positive; --rate omitted\n"
+      "replays unthrottled.\n";
   return 2;
 }
 
@@ -93,6 +109,33 @@ bool has_flag(int argc, char** argv, const char* name) {
     if (std::strcmp(argv[i], name) == 0) return true;
   }
   return false;
+}
+
+std::optional<std::string> string_flag_value(int argc, char** argv,
+                                             const char* name) {
+  for (int i = 0; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return std::string(argv[i + 1]);
+  }
+  return std::nullopt;
+}
+
+/// A bad flag value: main prints the message plus the usage text and
+/// exits 2 (distinct from runtime failures, which exit 1).
+struct UsageError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Flags like --rate and --snapshot-interval: present means a positive
+/// finite number, anything else (0, negatives, junk that atof maps to 0)
+/// is a usage error instead of a silently-unthrottled or spinning replay.
+std::optional<double> positive_flag_value(int argc, char** argv,
+                                          const char* name) {
+  const auto v = flag_value(argc, argv, name);
+  if (v && !(*v > 0.0)) {
+    throw UsageError(std::string(name) + " must be positive, got '" +
+                     *string_flag_value(argc, argv, name) + "'");
+  }
+  return v;
 }
 
 int cmd_generate(int argc, char** argv) {
@@ -254,8 +297,17 @@ int cmd_stream(int argc, char** argv) {
     engine_cfg.match.beta = static_cast<trace::TimeSec>(*beta * 60.0);
   }
   stream::ReplayConfig replay_cfg;
-  if (const auto rate = flag_value(argc, argv, "--rate")) {
+  if (const auto rate = positive_flag_value(argc, argv, "--rate")) {
     replay_cfg.rate_events_per_sec = *rate;
+  }
+  if (const auto interval =
+          positive_flag_value(argc, argv, "--snapshot-interval")) {
+    replay_cfg.snapshot_interval_seconds = *interval;
+    replay_cfg.on_snapshot = [] {
+      std::cout << "--- metrics snapshot ---\n";
+      obs::write_prometheus(obs::registry(), std::cout);
+      std::cout << "--- end snapshot ---\n";
+    };
   }
 
   std::cout << "loading " << dir << "...\n";
@@ -310,20 +362,45 @@ int cmd_stream(int argc, char** argv) {
   return 0;
 }
 
+/// Dumps the metrics registry if --metrics-json was given. Runs on every
+/// exit path — error runs are precisely when the ingest-error counters
+/// matter.
+void maybe_dump_metrics(int argc, char** argv) {
+  const auto path = string_flag_value(argc, argv, "--metrics-json");
+  if (!path) return;
+  try {
+    obs::write_json_file(obs::registry(), *path);
+    std::cout << "metrics snapshot written to " << *path << "\n";
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+  }
+}
+
+int dispatch(const std::string& cmd, int argc, char** argv) {
+  if (cmd == "generate") return cmd_generate(argc, argv);
+  if (cmd == "validate" || cmd == "run") return cmd_validate(argc, argv);
+  if (cmd == "repair") return cmd_repair(argc, argv);
+  if (cmd == "import-snap") return cmd_import_snap(argc, argv);
+  if (cmd == "stream") return cmd_stream(argc, argv);
+  return usage();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
+  int rc = 0;
   try {
-    if (cmd == "generate") return cmd_generate(argc - 2, argv + 2);
-    if (cmd == "validate") return cmd_validate(argc - 2, argv + 2);
-    if (cmd == "repair") return cmd_repair(argc - 2, argv + 2);
-    if (cmd == "import-snap") return cmd_import_snap(argc - 2, argv + 2);
-    if (cmd == "stream") return cmd_stream(argc - 2, argv + 2);
+    rc = dispatch(cmd, argc - 2, argv + 2);
+  } catch (const UsageError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    maybe_dump_metrics(argc - 2, argv + 2);
+    return usage();
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
-    return 1;
+    rc = 1;
   }
-  return usage();
+  maybe_dump_metrics(argc - 2, argv + 2);
+  return rc;
 }
