@@ -1,0 +1,150 @@
+// Batch validation throughput: validate_dataset on the primary study across
+// matcher variants (naive reference sweep vs pruned candidate generation)
+// and thread counts. Emits one JSON line per configuration in the shared
+// bench schema, then a summary comparing the shipped configuration (pruned,
+// 4 threads) against the seed baseline (naive, 1 thread).
+//
+// Correctness is checked before anything is timed: every configuration's
+// full ValidationResult — user order, per-checkin matches, labels, totals —
+// must equal the reference output exactly, or the bench exits 1 without
+// printing a single timing.
+#include <chrono>
+#include <iomanip>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/parallel.h"
+#include "match/pipeline.h"
+#include "synth/study_generator.h"
+
+namespace {
+
+using namespace geovalid;
+
+bool identical(const match::ValidationResult& a,
+               const match::ValidationResult& b) {
+  if (a.totals.honest != b.totals.honest ||
+      a.totals.extraneous != b.totals.extraneous ||
+      a.totals.missing != b.totals.missing ||
+      a.totals.checkins != b.totals.checkins ||
+      a.totals.visits != b.totals.visits ||
+      a.totals.by_class != b.totals.by_class ||
+      a.users.size() != b.users.size()) {
+    return false;
+  }
+  for (std::size_t u = 0; u < a.users.size(); ++u) {
+    const match::UserValidation& x = a.users[u];
+    const match::UserValidation& y = b.users[u];
+    if (x.id != y.id || x.labels != y.labels ||
+        x.match.visit_matched != y.match.visit_matched ||
+        x.match.checkins.size() != y.match.checkins.size()) {
+      return false;
+    }
+    for (std::size_t c = 0; c < x.match.checkins.size(); ++c) {
+      if (x.match.checkins[c].visit != y.match.checkins[c].visit ||
+          x.match.checkins[c].dt != y.match.checkins[c].dt ||
+          x.match.checkins[c].dist_m != y.match.checkins[c].dist_m) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+double time_once(const trace::Dataset& ds, const match::MatchConfig& cfg,
+                 std::size_t threads) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const match::ValidationResult r =
+      match::validate_dataset(ds, cfg, {}, threads);
+  const auto t1 = std::chrono::steady_clock::now();
+  // Touch the result so the whole computation is observably live.
+  volatile std::size_t sink = r.totals.honest;
+  (void)sink;
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/// Best of `reps`: the least scheduler-perturbed estimate.
+double time_best(const trace::Dataset& ds, const match::MatchConfig& cfg,
+                 std::size_t threads, int reps) {
+  double best = time_once(ds, cfg, threads);
+  for (int i = 1; i < reps; ++i) {
+    best = std::min(best, time_once(ds, cfg, threads));
+  }
+  return best;
+}
+
+void print_json(const char* matcher, std::size_t threads, std::size_t users,
+                const match::Partition& totals, double seconds) {
+  std::cout << "{\"bench\":\"batch_throughput\",\"matcher\":\"" << matcher
+            << "\",\"threads\":" << threads
+            << ",\"users\":" << users
+            << ",\"checkins\":" << totals.checkins
+            << ",\"visits\":" << totals.visits
+            << ",\"seconds\":" << std::setprecision(6) << seconds
+            << ",\"checkins_per_sec\":" << std::setprecision(8)
+            << (seconds > 0.0 ? static_cast<double>(totals.checkins) / seconds
+                              : 0.0)
+            << "}\n";
+}
+
+}  // namespace
+
+int main() {
+  bench::header(
+      "Batch validation throughput (matcher variant x thread count)",
+      "n/a (perf extension; the paper's pipeline is offline)");
+
+  const synth::GeneratedStudy study =
+      synth::generate_study(synth::primary_preset());
+  const trace::Dataset& ds = study.dataset;
+
+  match::MatchConfig naive;
+  naive.reference_matcher = true;
+  const match::MatchConfig pruned;  // default = pruned candidates
+
+  // Gate: every configuration must reproduce the reference result exactly.
+  const match::ValidationResult expected =
+      match::validate_dataset(ds, naive, {}, 1);
+  const std::vector<const match::MatchConfig*> configs{&naive, &pruned};
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    for (const match::MatchConfig* cfg : configs) {
+      if (!identical(expected, match::validate_dataset(ds, *cfg, {},
+                                                       threads))) {
+        std::cout << "MISMATCH: matcher="
+                  << (cfg->reference_matcher ? "naive" : "pruned")
+                  << " threads=" << threads
+                  << " diverges from the reference output\n";
+        return 1;
+      }
+    }
+  }
+  std::cout << "all configurations byte-identical to naive/1-thread ("
+            << expected.users.size() << " users, " << expected.totals.checkins
+            << " checkins, " << expected.totals.visits << " visits)\n\n";
+
+  double seed_baseline = 0.0;   // naive, 1 thread — the pre-PR pipeline
+  double shipped = 0.0;         // pruned, 4 threads — the PR's default-able config
+  for (const match::MatchConfig* cfg : configs) {
+    const char* name = cfg->reference_matcher ? "naive" : "pruned";
+    for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+      const double secs = time_best(ds, *cfg, threads, 3);
+      print_json(name, threads, expected.users.size(), expected.totals, secs);
+      if (cfg->reference_matcher && threads == 1) seed_baseline = secs;
+      if (!cfg->reference_matcher && threads == 4) shipped = secs;
+    }
+  }
+
+  const double speedup = shipped > 0.0 ? seed_baseline / shipped : 0.0;
+  std::cout << "\n{\"bench\":\"batch_throughput_summary\","
+            << "\"seconds_naive_1t\":" << std::setprecision(6) << seed_baseline
+            << ",\"seconds_pruned_4t\":" << shipped
+            << ",\"speedup\":" << std::setprecision(4) << speedup << "}\n";
+  std::cout << "pruned@4t vs naive@1t: " << std::setprecision(3) << speedup
+            << "x\n";
+  if (speedup < 3.0) {
+    std::cout << "WARNING: end-to-end speedup below the 3x acceptance bar\n";
+    return 1;
+  }
+  return 0;
+}

@@ -38,6 +38,15 @@ void BM_FastDistance(benchmark::State& state) {
 }
 BENCHMARK(BM_FastDistance);
 
+void BM_BoundDistance(benchmark::State& state) {
+  const geo::LatLon a{34.42, -119.70};
+  const geo::LatLon b{34.43, -119.68};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geo::bound_distance_m(a, b));
+  }
+}
+BENCHMARK(BM_BoundDistance);
+
 void BM_VisitDetection(benchmark::State& state) {
   const auto& a = tiny();
   const trace::VisitDetector detector;
@@ -65,6 +74,21 @@ void BM_MatchUser(benchmark::State& state) {
                           static_cast<std::int64_t>(user->checkins.size()));
 }
 BENCHMARK(BM_MatchUser);
+
+void BM_MatchUserReference(benchmark::State& state) {
+  const auto& a = tiny();
+  const trace::UserRecord* user = &a.dataset.users()[0];
+  for (const auto& u : a.dataset.users()) {
+    if (u.checkins.size() > user->checkins.size()) user = &u;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        match::match_user_reference(user->checkins.events(), user->visits));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(user->checkins.size()));
+}
+BENCHMARK(BM_MatchUserReference);
 
 void BM_PoiGridQuery(benchmark::State& state) {
   const auto& a = tiny();
@@ -94,6 +118,27 @@ void BM_ValidateTinyDataset(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ValidateTinyDataset);
+
+void BM_ValidateTinyDatasetThreads(benchmark::State& state) {
+  const auto& a = tiny();
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  core::ThreadPool pool(threads);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(match::validate_dataset(a.dataset, {}, {}, pool));
+  }
+}
+BENCHMARK(BM_ValidateTinyDatasetThreads)->Arg(1)->Arg(2)->Arg(4);
+
+// Profiles the flat-accumulation rewrite of the per-user POI tallies
+// (match/missing.cpp) against the whole-dataset Figure 3 analysis.
+void BM_MissingRatioTopPois(benchmark::State& state) {
+  const auto& a = tiny();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        match::missing_ratio_at_top_pois(a.dataset, a.validation));
+  }
+}
+BENCHMARK(BM_MissingRatioTopPois);
 
 void BM_AodvDiscoveryChain(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

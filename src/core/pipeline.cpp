@@ -1,5 +1,6 @@
 #include "core/pipeline.h"
 
+#include "core/parallel.h"
 #include "obs/metrics.h"
 #include "trace/csv.h"
 #include "trace/visit_detector.h"
@@ -39,7 +40,8 @@ void count_validation(const match::Partition& p) {
 
 StudyAnalysis analyze_generated(const synth::StudyConfig& config,
                                 const match::MatchConfig& match,
-                                const match::ClassifierConfig& classifier) {
+                                const match::ClassifierConfig& classifier,
+                                std::size_t threads) {
   StudyAnalysis out;
   {
     obs::StageTimer timer(&stage_ns("generate"));
@@ -50,7 +52,8 @@ StudyAnalysis analyze_generated(const synth::StudyConfig& config,
   }
   {
     obs::StageTimer timer(&stage_ns("validate"));
-    out.validation = match::validate_dataset(out.dataset, match, classifier);
+    out.validation =
+        match::validate_dataset(out.dataset, match, classifier, threads);
   }
   count_validation(out.validation.totals);
   return out;
@@ -59,7 +62,9 @@ StudyAnalysis analyze_generated(const synth::StudyConfig& config,
 StudyAnalysis analyze_csv(const std::filesystem::path& dir,
                           const std::string& name, bool detect_visits,
                           const match::MatchConfig& match,
-                          const match::ClassifierConfig& classifier) {
+                          const match::ClassifierConfig& classifier,
+                          std::size_t threads) {
+  ThreadPool pool(threads);  // shared by the per-user fan-out stages
   StudyAnalysis out;
   {
     obs::StageTimer timer(&stage_ns("load_csv"));
@@ -68,14 +73,16 @@ StudyAnalysis analyze_csv(const std::filesystem::path& dir,
   if (detect_visits) {
     obs::StageTimer timer(&stage_ns("detect_visits"));
     const trace::VisitDetector detector;
-    for (trace::UserRecord& u : out.dataset.mutable_users()) {
-      u.visits = detector.detect(u.gps);
-      detector.snap_to_pois(u.visits, out.dataset.pois());
-    }
+    auto users = out.dataset.mutable_users();
+    pool.run(users.size(), [&](std::size_t i) {
+      users[i].visits = detector.detect(users[i].gps);
+      detector.snap_to_pois(users[i].visits, out.dataset.pois());
+    });
   }
   {
     obs::StageTimer timer(&stage_ns("validate"));
-    out.validation = match::validate_dataset(out.dataset, match, classifier);
+    out.validation =
+        match::validate_dataset(out.dataset, match, classifier, pool);
   }
   count_validation(out.validation.totals);
   return out;

@@ -41,20 +41,25 @@ struct StudyAnalysis {
   }
 };
 
-/// Generates a synthetic study and validates it.
+/// Generates a synthetic study and validates it. `threads` fans the
+/// per-user validation stage out over a thread pool (0 = all hardware
+/// threads); the analysis is byte-identical at any thread count.
 [[nodiscard]] StudyAnalysis analyze_generated(
     const synth::StudyConfig& config, const match::MatchConfig& match = {},
-    const match::ClassifierConfig& classifier = {});
+    const match::ClassifierConfig& classifier = {}, std::size_t threads = 1);
 
 /// Loads a CSV dataset (written by trace::write_dataset_csv) and validates
 /// it. Visits must already be present in the CSVs, or `detect_visits` must
-/// be set to derive them from the GPS samples.
+/// be set to derive them from the GPS samples. One pool of `threads`
+/// threads (0 = all hardware threads) is shared by the visit-detection and
+/// validation stages; output is byte-identical at any thread count.
 [[nodiscard]] StudyAnalysis analyze_csv(const std::filesystem::path& dir,
                                         const std::string& name,
                                         bool detect_visits = false,
                                         const match::MatchConfig& match = {},
                                         const match::ClassifierConfig&
-                                            classifier = {});
+                                            classifier = {},
+                                        std::size_t threads = 1);
 
 /// Fits the three §6.1 Levy-Walk models (gps / honest-checkin /
 /// all-checkin) from an analyzed study. The checkin models borrow the GPS

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <map>
 
+#include "core/parallel.h"
 #include "geo/geodesic.h"
 
 namespace geovalid::detect {
@@ -101,13 +102,12 @@ std::vector<FeatureVector> extract_features(const trace::UserRecord& user) {
 }
 
 std::vector<std::vector<FeatureVector>> extract_features(
-    const trace::Dataset& ds) {
-  std::vector<std::vector<FeatureVector>> out;
-  out.reserve(ds.user_count());
-  for (const trace::UserRecord& u : ds.users()) {
-    out.push_back(extract_features(u));
-  }
-  return out;
+    const trace::Dataset& ds, std::size_t threads) {
+  const auto users = ds.users();
+  core::ThreadPool pool(threads);
+  return core::parallel_map(&pool, users.size(), [&](std::size_t i) {
+    return extract_features(users[i]);
+  });
 }
 
 }  // namespace geovalid::detect

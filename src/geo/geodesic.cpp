@@ -36,6 +36,33 @@ double fast_distance_m(const LatLon& a, const LatLon& b) {
   return kEarthRadiusMeters * std::sqrt(dx * dx + dy * dy);
 }
 
+double bound_distance_m(const LatLon& a, const LatLon& b) {
+  // Two independent lower bounds on the great-circle distance
+  // d = 2R asin(sqrt(h)), h = sin^2(dlat/2) + cos(lat1) cos(lat2)
+  // sin^2(dlon/2):
+  //
+  //   meridian: h >= sin^2(dlat/2), so d >= R * |dlat|  (exact when the
+  //             points share a longitude);
+  //   parallel: sqrt(h) >= min(cos lat1, cos lat2) * sin(dlon/2) and
+  //             sin(x) >= (2/pi) x on [0, pi/2], so
+  //             d >= (2/pi) R min(cos lat1, cos lat2) |dlon|.
+  //
+  // The max of the two is still a lower bound. The 1 - 1e-9 margin keeps
+  // floating-point rounding from nudging the meridian bound past the
+  // haversine on pure latitude-delta pairs, where the two are equal in
+  // exact arithmetic.
+  const double dlat = std::abs(deg_to_rad(b.lat_deg - a.lat_deg));
+  double dlon_deg = std::abs(b.lon_deg - a.lon_deg);
+  if (dlon_deg > 180.0) dlon_deg = 360.0 - dlon_deg;
+  const double dlon = deg_to_rad(dlon_deg);
+  const double cos_min =
+      std::max(0.0, std::min(std::cos(deg_to_rad(a.lat_deg)),
+                             std::cos(deg_to_rad(b.lat_deg))));
+  const double meridian = kEarthRadiusMeters * dlat;
+  const double parallel = kEarthRadiusMeters * (2.0 / kPi) * cos_min * dlon;
+  return std::max(meridian, parallel) * (1.0 - 1e-9);
+}
+
 double initial_bearing_deg(const LatLon& a, const LatLon& b) {
   const double lat1 = deg_to_rad(a.lat_deg);
   const double lat2 = deg_to_rad(b.lat_deg);

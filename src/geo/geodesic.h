@@ -18,6 +18,16 @@ namespace geovalid::geo {
 /// (visit detection over millions of GPS samples).
 [[nodiscard]] double fast_distance_m(const LatLon& a, const LatLon& b);
 
+/// Cheap *lower bound* on distance_m: guaranteed never to exceed the
+/// haversine distance for any valid coordinate pair (tested against it),
+/// so `bound_distance_m(a, b) > r` proves `distance_m(a, b) > r` without
+/// paying for the trig-heavy exact formula. Used to gate the haversine in
+/// the matcher's candidate generation and the POI grid's radius scan.
+/// Within ~36% of the true distance for city-scale separations (the
+/// longitude component carries a 2/pi slack factor), which is plenty to
+/// reject the far candidates that dominate those scans.
+[[nodiscard]] double bound_distance_m(const LatLon& a, const LatLon& b);
+
 /// Initial bearing from `a` to `b`, degrees clockwise from true north,
 /// in [0, 360).
 [[nodiscard]] double initial_bearing_deg(const LatLon& a, const LatLon& b);

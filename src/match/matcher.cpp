@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <numeric>
 
 #include "geo/geodesic.h"
 
@@ -10,7 +11,10 @@ namespace {
 
 /// One candidate visit for a checkin, ordered by the matching preference:
 /// smaller interval timestamp distance first, geographic distance breaking
-/// ties.
+/// ties, visit index last. The index tie-break makes the order a total one:
+/// the pruned and reference generators enumerate (checkin, visit) pairs in
+/// different orders, and exact (dt, dist) ties — duplicate visits do occur —
+/// must not let std::sort's instability pick different winners.
 struct Candidate {
   std::size_t visit = 0;
   trace::TimeSec dt = 0;
@@ -18,9 +22,172 @@ struct Candidate {
 
   bool operator<(const Candidate& o) const {
     if (dt != o.dt) return dt < o.dt;
-    return dist_m < o.dist_m;
+    if (dist_m != o.dist_m) return dist_m < o.dist_m;
+    return visit < o.visit;
   }
 };
+
+using CandidateLists = std::vector<std::vector<Candidate>>;
+
+/// Reference candidate generation: the full O(checkins x visits) sweep with
+/// one haversine per pair, exactly as the paper describes the filter.
+CandidateLists reference_candidates(std::span<const trace::Checkin> checkins,
+                                    std::span<const trace::Visit> visits,
+                                    const MatchConfig& config) {
+  CandidateLists candidates(checkins.size());
+  for (std::size_t i = 0; i < checkins.size(); ++i) {
+    const trace::Checkin& c = checkins[i];
+    for (std::size_t j = 0; j < visits.size(); ++j) {
+      const double d = geo::distance_m(c.location, visits[j].centroid);
+      if (d > config.alpha_m) continue;
+      const trace::TimeSec dt = trace::interval_distance(visits[j], c.t);
+      if (dt >= config.beta) continue;
+      candidates[i].push_back(Candidate{j, dt, d});
+    }
+    std::sort(candidates[i].begin(), candidates[i].end());
+  }
+  return candidates;
+}
+
+/// Pruned candidate generation. Produces exactly the same candidate lists
+/// as the reference sweep (tested over fuzzed traces) but only pays for
+/// plausible pairs:
+///
+///   time: visits are indexed by interval start once per user. A checkin at
+///   t can only match visits with start < t + beta, found by binary search;
+///   scanning those backwards stops as soon as every earlier visit ends
+///   before t - beta (a running prefix max of interval ends).
+///
+///   space: geo::bound_distance_m is a guaranteed lower bound on the
+///   haversine, so `bound > alpha` rejects a pair without the exact
+///   formula. The haversine only runs on pairs that pass both gates.
+CandidateLists pruned_candidates(std::span<const trace::Checkin> checkins,
+                                 std::span<const trace::Visit> visits,
+                                 const MatchConfig& config) {
+  // Visit indices ordered by (interval start, index); detector output is
+  // already time-sorted, so this sort is near-free in practice.
+  std::vector<std::size_t> by_start(visits.size());
+  std::iota(by_start.begin(), by_start.end(), std::size_t{0});
+  std::sort(by_start.begin(), by_start.end(),
+            [&](std::size_t a, std::size_t b) {
+              if (visits[a].start != visits[b].start) {
+                return visits[a].start < visits[b].start;
+              }
+              return a < b;
+            });
+  std::vector<trace::TimeSec> starts(visits.size());
+  std::vector<trace::TimeSec> prefix_max_end(visits.size());
+  trace::TimeSec max_end = std::numeric_limits<trace::TimeSec>::min();
+  for (std::size_t k = 0; k < by_start.size(); ++k) {
+    const trace::Visit& v = visits[by_start[k]];
+    starts[k] = v.start;
+    max_end = std::max(max_end, v.end);
+    prefix_max_end[k] = max_end;
+  }
+
+  CandidateLists candidates(checkins.size());
+  for (std::size_t i = 0; i < checkins.size(); ++i) {
+    const trace::Checkin& c = checkins[i];
+    // First index whose start >= t + beta: dt >= beta for it and everything
+    // after, so the scan is bounded above by `hi`.
+    const std::size_t hi = static_cast<std::size_t>(
+        std::lower_bound(starts.begin(), starts.end(), c.t + config.beta) -
+        starts.begin());
+    for (std::size_t k = hi; k-- > 0;) {
+      // Every visit at or before k ends by prefix_max_end[k]; once that is
+      // beta or more in the past, no earlier visit can reach the window.
+      if (prefix_max_end[k] + config.beta <= c.t) break;
+      const std::size_t j = by_start[k];
+      const trace::TimeSec dt = trace::interval_distance(visits[j], c.t);
+      if (dt >= config.beta) continue;
+      if (geo::bound_distance_m(c.location, visits[j].centroid) >
+          config.alpha_m) {
+        continue;
+      }
+      const double d = geo::distance_m(c.location, visits[j].centroid);
+      if (d > config.alpha_m) continue;
+      candidates[i].push_back(Candidate{j, dt, d});
+    }
+    std::sort(candidates[i].begin(), candidates[i].end());
+  }
+  return candidates;
+}
+
+/// Assignment over prepared candidate lists. holder[j] = checkin currently
+/// owning visit j; holder_dist[j] caches that checkin's distance to the
+/// visit so contests never recompute a haversine already carried by the
+/// winning Candidate.
+UserMatch assign(std::span<const trace::Checkin> checkins,
+                 std::span<const trace::Visit> visits,
+                 const MatchConfig& config, const CandidateLists& candidates) {
+  UserMatch result;
+  result.checkins.resize(checkins.size());
+  result.visit_matched.assign(visits.size(), false);
+
+  constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+  std::vector<std::size_t> holder(visits.size(), kNone);
+  std::vector<double> holder_dist(visits.size(), 0.0);
+  std::vector<std::size_t> cursor(checkins.size(), 0);  // next candidate
+
+  // Every checkin proposes to its best candidate. A visit keeps the
+  // geographically closest proposer (the paper's tie-break). In re-match
+  // mode displaced checkins continue down their candidate list; in paper
+  // mode they simply stay unmatched.
+  std::vector<std::size_t> pending;
+  pending.reserve(checkins.size());
+  for (std::size_t i = 0; i < checkins.size(); ++i) pending.push_back(i);
+
+  while (!pending.empty()) {
+    const std::size_t i = pending.back();
+    pending.pop_back();
+
+    while (cursor[i] < candidates[i].size()) {
+      const Candidate& cand = candidates[i][cursor[i]];
+      const std::size_t j = cand.visit;
+      if (holder[j] == kNone) {
+        holder[j] = i;
+        holder_dist[j] = cand.dist_m;
+        break;
+      }
+      // Contested: geographically closest checkin keeps the visit.
+      if (cand.dist_m < holder_dist[j]) {
+        const std::size_t displaced = holder[j];
+        holder[j] = i;
+        holder_dist[j] = cand.dist_m;
+        if (config.rematch_losers) {
+          ++cursor[displaced];
+          pending.push_back(displaced);
+        } else {
+          // Paper behaviour: the displaced checkin becomes extraneous and
+          // never proposes again.
+          cursor[displaced] = candidates[displaced].size();
+        }
+        break;
+      }
+      if (!config.rematch_losers) {
+        // Paper behaviour: lose the contest once, stay unmatched.
+        cursor[i] = candidates[i].size();
+        break;
+      }
+      ++cursor[i];
+    }
+  }
+
+  for (std::size_t j = 0; j < visits.size(); ++j) {
+    if (holder[j] == kNone) continue;
+    const std::size_t i = holder[j];
+    result.visit_matched[j] = true;
+    // A checkin that holds a visit broke out of its proposal loop with
+    // cursor[i] at the winning candidate, which already carries dt and the
+    // haversine distance.
+    const Candidate& cand = candidates[i][cursor[i]];
+    CheckinMatch& m = result.checkins[i];
+    m.visit = j;
+    m.dt = cand.dt;
+    m.dist_m = cand.dist_m;
+  }
+  return result;
+}
 
 }  // namespace
 
@@ -47,93 +214,29 @@ std::size_t UserMatch::missing_count() const {
 UserMatch match_user(std::span<const trace::Checkin> checkins,
                      std::span<const trace::Visit> visits,
                      const MatchConfig& config) {
-  UserMatch result;
-  result.checkins.resize(checkins.size());
-  result.visit_matched.assign(visits.size(), false);
-  if (checkins.empty() || visits.empty()) return result;
-
-  // Step 1 + 2 preparation: per-checkin sorted candidate lists.
-  std::vector<std::vector<Candidate>> candidates(checkins.size());
-  for (std::size_t i = 0; i < checkins.size(); ++i) {
-    const trace::Checkin& c = checkins[i];
-    for (std::size_t j = 0; j < visits.size(); ++j) {
-      const double d = geo::distance_m(c.location, visits[j].centroid);
-      if (d > config.alpha_m) continue;
-      const trace::TimeSec dt = trace::interval_distance(visits[j], c.t);
-      if (dt >= config.beta) continue;
-      candidates[i].push_back(Candidate{j, dt, d});
-    }
-    std::sort(candidates[i].begin(), candidates[i].end());
+  if (checkins.empty() || visits.empty()) {
+    UserMatch result;
+    result.checkins.resize(checkins.size());
+    result.visit_matched.assign(visits.size(), false);
+    return result;
   }
+  return assign(checkins, visits, config,
+                config.reference_matcher
+                    ? reference_candidates(checkins, visits, config)
+                    : pruned_candidates(checkins, visits, config));
+}
 
-  // Assignment. holder[j] = checkin currently owning visit j.
-  constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
-  std::vector<std::size_t> holder(visits.size(), kNone);
-  std::vector<std::size_t> cursor(checkins.size(), 0);  // next candidate
-
-  // Every checkin proposes to its best candidate. A visit keeps the
-  // geographically closest proposer (the paper's tie-break). In re-match
-  // mode displaced checkins continue down their candidate list; in paper
-  // mode they simply stay unmatched.
-  std::vector<std::size_t> pending;
-  pending.reserve(checkins.size());
-  for (std::size_t i = 0; i < checkins.size(); ++i) pending.push_back(i);
-
-  auto geo_dist_of = [&](std::size_t checkin_idx,
-                         std::size_t visit_idx) -> double {
-    return geo::distance_m(checkins[checkin_idx].location,
-                           visits[visit_idx].centroid);
-  };
-
-  while (!pending.empty()) {
-    const std::size_t i = pending.back();
-    pending.pop_back();
-
-    bool assigned = false;
-    while (cursor[i] < candidates[i].size()) {
-      const Candidate& cand = candidates[i][cursor[i]];
-      const std::size_t j = cand.visit;
-      if (holder[j] == kNone) {
-        holder[j] = i;
-        assigned = true;
-        break;
-      }
-      // Contested: geographically closest checkin keeps the visit.
-      const double incumbent_d = geo_dist_of(holder[j], j);
-      if (cand.dist_m < incumbent_d) {
-        const std::size_t displaced = holder[j];
-        holder[j] = i;
-        if (config.rematch_losers) {
-          ++cursor[displaced];
-          pending.push_back(displaced);
-        } else {
-          // Paper behaviour: the displaced checkin becomes extraneous and
-          // never proposes again.
-          cursor[displaced] = candidates[displaced].size();
-        }
-        assigned = true;
-        break;
-      }
-      if (!config.rematch_losers) {
-        // Paper behaviour: lose the contest once, stay unmatched.
-        cursor[i] = candidates[i].size();
-        break;
-      }
-      ++cursor[i];
-    }
-    (void)assigned;
+UserMatch match_user_reference(std::span<const trace::Checkin> checkins,
+                               std::span<const trace::Visit> visits,
+                               const MatchConfig& config) {
+  if (checkins.empty() || visits.empty()) {
+    UserMatch result;
+    result.checkins.resize(checkins.size());
+    result.visit_matched.assign(visits.size(), false);
+    return result;
   }
-
-  for (std::size_t j = 0; j < visits.size(); ++j) {
-    if (holder[j] == kNone) continue;
-    const std::size_t i = holder[j];
-    result.visit_matched[j] = true;
-    CheckinMatch& m = result.checkins[i];
-    m.visit = j;
-    m.dt = trace::interval_distance(visits[j], checkins[i].t);
-    m.dist_m = geo_dist_of(i, j);
-  }
-  return result;
+  return assign(checkins, visits, config,
+                reference_candidates(checkins, visits, config));
 }
 
 }  // namespace geovalid::match

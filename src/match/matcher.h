@@ -31,6 +31,12 @@ struct MatchConfig {
   /// checkin stays unmatched. Re-match mode (true): losers retry their
   /// next-best candidate until none is left.
   bool rematch_losers = false;
+
+  /// Use the O(checkins x visits) reference candidate sweep instead of the
+  /// pruned one (time-window binary search + distance lower bound). The two
+  /// produce identical output — this knob exists for the equivalence tests
+  /// and the before/after throughput bench.
+  bool reference_matcher = false;
 };
 
 /// Per-checkin outcome.
@@ -51,9 +57,19 @@ struct UserMatch {
   [[nodiscard]] std::size_t missing_count() const;  ///< unmatched visits
 };
 
-/// Runs the matching algorithm for one user.
+/// Runs the matching algorithm for one user. Candidate generation is pruned
+/// (visits indexed by interval start, haversine gated behind a cheap lower
+/// bound) unless `config.reference_matcher` asks for the naive sweep; both
+/// paths produce bit-identical results.
 [[nodiscard]] UserMatch match_user(std::span<const trace::Checkin> checkins,
                                    std::span<const trace::Visit> visits,
                                    const MatchConfig& config = {});
+
+/// The naive O(checkins x visits) matcher, kept as the executable
+/// specification: randomized tests assert match_user is equivalent to it.
+/// `config.reference_matcher` is ignored (this is always the reference).
+[[nodiscard]] UserMatch match_user_reference(
+    std::span<const trace::Checkin> checkins,
+    std::span<const trace::Visit> visits, const MatchConfig& config = {});
 
 }  // namespace geovalid::match

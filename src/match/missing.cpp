@@ -1,10 +1,21 @@
 #include "match/missing.h"
 
 #include <algorithm>
-#include <map>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 namespace geovalid::match {
+namespace {
+
+/// Per-POI visit/missing tally for one user.
+struct PoiTally {
+  trace::PoiId poi = 0;
+  std::size_t visits = 0;
+  std::size_t missing = 0;
+};
+
+}  // namespace
 
 TopPoiMissingRatios missing_ratio_at_top_pois(
     const trace::Dataset& ds, const ValidationResult& validation) {
@@ -19,33 +30,44 @@ TopPoiMissingRatios missing_ratio_at_top_pois(
     const trace::UserRecord& rec = users[u];
     const UserValidation& uv = validation.users[u];
 
-    // Visit counts and missing counts per snapped POI.
-    std::map<trace::PoiId, std::size_t> visit_count;
-    std::map<trace::PoiId, std::size_t> missing_count;
+    // Visit counts and missing counts per snapped POI. Flat accumulation
+    // instead of node-based maps: collect (poi, missing) once, sort by
+    // POI, aggregate runs. Ascending-POI tally order matches the old map
+    // iteration order, so the unstable ranking sort below sees the same
+    // input and the tie order is unchanged.
+    std::vector<std::pair<trace::PoiId, bool>> snapped;
+    snapped.reserve(rec.visits.size());
     std::size_t total_missing = 0;
     for (std::size_t v = 0; v < rec.visits.size(); ++v) {
       const trace::PoiId poi = rec.visits[v].poi;
       if (poi == trace::kNoPoi) continue;
-      ++visit_count[poi];
-      if (!uv.match.visit_matched[v]) {
-        ++missing_count[poi];
-        ++total_missing;
-      }
+      const bool is_missing = !uv.match.visit_matched[v];
+      snapped.emplace_back(poi, is_missing);
+      if (is_missing) ++total_missing;
     }
     if (total_missing == 0) continue;
 
+    std::sort(snapped.begin(), snapped.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::vector<PoiTally> ranked;
+    for (std::size_t i = 0; i < snapped.size();) {
+      PoiTally t{snapped[i].first, 0, 0};
+      for (; i < snapped.size() && snapped[i].first == t.poi; ++i) {
+        ++t.visits;
+        if (snapped[i].second) ++t.missing;
+      }
+      ranked.push_back(t);
+    }
+
     // Rank POIs by visit count, descending.
-    std::vector<std::pair<trace::PoiId, std::size_t>> ranked(
-        visit_count.begin(), visit_count.end());
     std::sort(ranked.begin(), ranked.end(),
-              [](const auto& a, const auto& b) { return a.second > b.second; });
+              [](const PoiTally& a, const PoiTally& b) {
+                return a.visits > b.visits;
+              });
 
     std::size_t covered = 0;
     for (std::size_t n = 0; n < out.ratios.size(); ++n) {
-      if (n < ranked.size()) {
-        const auto it = missing_count.find(ranked[n].first);
-        if (it != missing_count.end()) covered += it->second;
-      }
+      if (n < ranked.size()) covered += ranked[n].missing;
       out.ratios[n].push_back(static_cast<double>(covered) /
                               static_cast<double>(total_missing));
     }

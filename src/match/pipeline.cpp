@@ -1,6 +1,24 @@
 #include "match/pipeline.h"
 
+#include "core/parallel.h"
+
 namespace geovalid::match {
+namespace {
+
+/// Per-user matching + classification: a pure function of the user record,
+/// which is what makes the dataset loop embarrassingly parallel.
+UserValidation validate_user(const trace::UserRecord& u,
+                             const MatchConfig& match_config,
+                             const ClassifierConfig& classifier_config) {
+  UserValidation uv;
+  uv.id = u.id;
+  uv.match = match_user(u.checkins.events(), u.visits, match_config);
+  uv.labels = classify_user(u.checkins.events(), u.gps, uv.match,
+                            classifier_config);
+  return uv;
+}
+
+}  // namespace
 
 std::size_t UserValidation::count_of(CheckinClass c) const {
   std::size_t n = 0;
@@ -12,17 +30,20 @@ std::size_t UserValidation::count_of(CheckinClass c) const {
 
 ValidationResult validate_dataset(const trace::Dataset& ds,
                                   const MatchConfig& match_config,
-                                  const ClassifierConfig& classifier_config) {
+                                  const ClassifierConfig& classifier_config,
+                                  core::ThreadPool& pool) {
+  const auto users = ds.users();
   ValidationResult result;
-  result.users.reserve(ds.user_count());
+  // parallel_map returns per-user results in user order no matter which
+  // thread ran which user, and the totals fold below is sequential — so the
+  // whole ValidationResult is byte-identical at any thread count.
+  result.users = core::parallel_map(&pool, users.size(), [&](std::size_t i) {
+    return validate_user(users[i], match_config, classifier_config);
+  });
 
-  for (const trace::UserRecord& u : ds.users()) {
-    UserValidation uv;
-    uv.id = u.id;
-    uv.match = match_user(u.checkins.events(), u.visits, match_config);
-    uv.labels = classify_user(u.checkins.events(), u.gps, uv.match,
-                              classifier_config);
-
+  for (std::size_t i = 0; i < users.size(); ++i) {
+    const trace::UserRecord& u = users[i];
+    const UserValidation& uv = result.users[i];
     result.totals.checkins += u.checkins.size();
     result.totals.visits += u.visits.size();
     result.totals.honest += uv.match.honest_count();
@@ -31,9 +52,16 @@ ValidationResult validate_dataset(const trace::Dataset& ds,
     for (CheckinClass l : uv.labels) {
       ++result.totals.by_class[static_cast<std::size_t>(l)];
     }
-    result.users.push_back(std::move(uv));
   }
   return result;
+}
+
+ValidationResult validate_dataset(const trace::Dataset& ds,
+                                  const MatchConfig& match_config,
+                                  const ClassifierConfig& classifier_config,
+                                  std::size_t threads) {
+  core::ThreadPool pool(threads);
+  return validate_dataset(ds, match_config, classifier_config, pool);
 }
 
 }  // namespace geovalid::match

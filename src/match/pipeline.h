@@ -3,8 +3,10 @@
 #pragma once
 
 #include <array>
+#include <cstddef>
 #include <vector>
 
+#include "core/parallel.h"
 #include "match/classifier.h"
 #include "match/matcher.h"
 #include "trace/dataset.h"
@@ -38,9 +40,16 @@ struct ValidationResult {
   Partition totals;
 };
 
-/// Runs the full §4 pipeline on a dataset.
+/// Runs the full §4 pipeline on a dataset. Users fan out over `threads`
+/// (0 = all hardware threads); the result — user order, labels, totals —
+/// is byte-identical at any thread count.
 [[nodiscard]] ValidationResult validate_dataset(
     const trace::Dataset& ds, const MatchConfig& match_config = {},
-    const ClassifierConfig& classifier_config = {});
+    const ClassifierConfig& classifier_config = {}, std::size_t threads = 1);
+
+/// Same, on a caller-owned pool (reused across pipeline stages).
+[[nodiscard]] ValidationResult validate_dataset(
+    const trace::Dataset& ds, const MatchConfig& match_config,
+    const ClassifierConfig& classifier_config, core::ThreadPool& pool);
 
 }  // namespace geovalid::match

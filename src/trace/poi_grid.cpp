@@ -52,6 +52,14 @@ void PoiGrid::for_each_within(const geo::LatLon& center, double radius_m,
       const auto it = cells_.find(CellKey{c0.x + dx, c0.y + dy});
       if (it == cells_.end()) continue;
       for (std::uint32_t idx : it->second) {
+        // bound_distance_m never exceeds the true distance and
+        // fast_distance_m stays within 0.1% of it, so nothing past the 1%
+        // slack can pass the radius check below — skipping here keeps the
+        // accepted set and its order identical.
+        if (geo::bound_distance_m(center, pois_[idx].location) >
+            radius_m * 1.01) {
+          continue;
+        }
         const double d = geo::fast_distance_m(center, pois_[idx].location);
         if (d <= radius_m) fn(idx, d);
       }

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <random>
 #include <vector>
 
 #include "geo/bbox.h"
@@ -74,6 +75,65 @@ TEST(Geodesic, FastDistanceTracksHaversineAtCityScale) {
           << "bearing=" << bearing << " dist=" << dist;
     }
   }
+}
+
+TEST(GeoBoundDistance, NeverExceedsHaversineOnRandomGlobalPairs) {
+  // The whole point of bound_distance_m is the inequality
+  // bound <= distance_m: the matcher prunes on it, so a single violation
+  // would silently drop true matches. Hammer it globally, poles and
+  // antimeridian included.
+  std::mt19937_64 rng(20130814);
+  std::uniform_real_distribution<double> lat(-90.0, 90.0);
+  std::uniform_real_distribution<double> lon(-180.0, 180.0);
+  for (int i = 0; i < 20000; ++i) {
+    const LatLon a{lat(rng), lon(rng)};
+    const LatLon b{lat(rng), lon(rng)};
+    const double bound = bound_distance_m(a, b);
+    const double truth = distance_m(a, b);
+    ASSERT_LE(bound, truth) << to_string(a) << " -> " << to_string(b);
+    ASSERT_GE(bound, 0.0);
+  }
+}
+
+TEST(GeoBoundDistance, NeverExceedsHaversineAtCityScale) {
+  // City-scale pairs are what the matcher actually prunes on; also check
+  // the bound is usefully tight there (>= half the true distance).
+  std::mt19937_64 rng(42);
+  std::uniform_real_distribution<double> bearing(0.0, 360.0);
+  std::uniform_real_distribution<double> dist(0.1, 30000.0);
+  const LatLon origin{kSB_lat, kSB_lon};
+  for (int i = 0; i < 20000; ++i) {
+    const LatLon a = destination(origin, bearing(rng), dist(rng));
+    const LatLon b = destination(origin, bearing(rng), dist(rng));
+    const double bound = bound_distance_m(a, b);
+    const double truth = distance_m(a, b);
+    ASSERT_LE(bound, truth) << to_string(a) << " -> " << to_string(b);
+    ASSERT_GE(bound, truth * 0.5) << to_string(a) << " -> " << to_string(b);
+  }
+}
+
+TEST(GeoBoundDistance, TightOnMeridians) {
+  // Along a meridian the latitude term is the exact great-circle distance.
+  const LatLon a{10.0, 25.0};
+  const LatLon b{10.7, 25.0};
+  EXPECT_NEAR(bound_distance_m(a, b), distance_m(a, b),
+              distance_m(a, b) * 1e-6);
+}
+
+TEST(GeoBoundDistance, ZeroForIdenticalPoints) {
+  const LatLon p{kSB_lat, kSB_lon};
+  EXPECT_DOUBLE_EQ(bound_distance_m(p, p), 0.0);
+}
+
+TEST(GeoBoundDistance, HandlesAntimeridianWrap) {
+  // 179.9°E to 179.9°W is 0.2° of longitude apart, not 359.8°.
+  const LatLon a{0.0, 179.9};
+  const LatLon b{0.0, -179.9};
+  const double truth = distance_m(a, b);
+  const double bound = bound_distance_m(a, b);
+  EXPECT_LE(bound, truth);
+  EXPECT_LT(truth, 30000.0);  // sanity: the short way round
+  EXPECT_GT(bound, 0.0);
 }
 
 TEST(Geodesic, DestinationRoundTrip) {

@@ -1,6 +1,10 @@
 // Unit tests for the §4.1 matching algorithm — the paper's core mechanism.
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdint>
+#include <random>
+
 #include "geo/geodesic.h"
 #include "match/matcher.h"
 
@@ -177,6 +181,90 @@ TEST(Matcher, EmptyInputs) {
   const UserMatch no_checkins = match_user({}, visits);
   EXPECT_EQ(no_checkins.missing_count(), 1u);
 }
+
+// ---------------------------------------------------------------------------
+// Pruned vs reference equivalence, fuzzed. The pruned matcher (interval
+// index + distance lower bound) must be bit-identical to the naive sweep on
+// arbitrary traces — including overlapping visits, duplicate intervals
+// (comparator ties), and checkins at window edges.
+
+void expect_same_match(const UserMatch& a, const UserMatch& b,
+                       std::uint64_t seed) {
+  EXPECT_EQ(a.visit_matched, b.visit_matched) << "seed " << seed;
+  ASSERT_EQ(a.checkins.size(), b.checkins.size()) << "seed " << seed;
+  for (std::size_t i = 0; i < a.checkins.size(); ++i) {
+    EXPECT_EQ(a.checkins[i].visit, b.checkins[i].visit)
+        << "seed " << seed << " checkin " << i;
+    EXPECT_EQ(a.checkins[i].dt, b.checkins[i].dt)
+        << "seed " << seed << " checkin " << i;
+    EXPECT_EQ(a.checkins[i].dist_m, b.checkins[i].dist_m)
+        << "seed " << seed << " checkin " << i;
+  }
+}
+
+class MatcherPrunedEquivalence
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MatcherPrunedEquivalence, MatchesReferenceBitExactly) {
+  const std::uint64_t seed = GetParam();
+  std::mt19937_64 rng(seed);
+
+  // Clustered geometry: most events near a handful of hotspots so the
+  // alpha gate actually fires, plus uniform noise so it also misses.
+  std::uniform_int_distribution<int> count(0, 60);
+  std::uniform_real_distribution<double> offset_m(0.0, 1500.0);
+  std::uniform_real_distribution<double> bearing(0.0, 360.0);
+  std::uniform_int_distribution<trace::TimeSec> when(0, minutes(600));
+  std::uniform_int_distribution<trace::TimeSec> dur(0, minutes(90));
+  std::uniform_int_distribution<int> hotspot(0, 3);
+  const std::array<geo::LatLon, 4> spots{
+      kBase, geo::destination(kBase, 45.0, 900.0),
+      geo::destination(kBase, 180.0, 2500.0),
+      geo::destination(kBase, 270.0, 400.0)};
+
+  std::vector<Visit> visits;
+  const int n_visits = count(rng);
+  for (int i = 0; i < n_visits; ++i) {
+    const trace::TimeSec start = when(rng);
+    visits.push_back(visit(start, start + dur(rng),
+                           geo::destination(spots[hotspot(rng)],
+                                            bearing(rng), offset_m(rng))));
+  }
+  // Duplicate a few visits verbatim to force exact comparator ties.
+  for (std::size_t i = 0; i + 1 < visits.size() && i < 4; i += 2) {
+    visits.push_back(visits[i]);
+  }
+
+  std::vector<Checkin> checkins;
+  const int n_checkins = count(rng);
+  for (int i = 0; i < n_checkins; ++i) {
+    checkins.push_back(ck(when(rng),
+                          geo::destination(spots[hotspot(rng)],
+                                           bearing(rng), offset_m(rng))));
+  }
+  // Edge timestamps: exactly on a visit boundary and exactly beta away.
+  if (!visits.empty()) {
+    checkins.push_back(ck(visits[0].start, visits[0].centroid));
+    checkins.push_back(ck(visits[0].end + minutes(30), visits[0].centroid));
+  }
+
+  for (bool rematch : {false, true}) {
+    MatchConfig cfg;
+    cfg.rematch_losers = rematch;
+    expect_same_match(match_user(checkins, visits, cfg),
+                      match_user_reference(checkins, visits, cfg), seed);
+
+    // reference_matcher=true must route match_user through the naive sweep.
+    MatchConfig ref_cfg = cfg;
+    ref_cfg.reference_matcher = true;
+    expect_same_match(match_user(checkins, visits, ref_cfg),
+                      match_user_reference(checkins, visits, cfg), seed);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FuzzedTraces, MatcherPrunedEquivalence,
+                         ::testing::Range(std::uint64_t{0},
+                                          std::uint64_t{24}));
 
 TEST(Matcher, TighterAlphaMatchesFewer) {
   std::vector<Checkin> checkins;

@@ -39,7 +39,7 @@ void exercise_all_instrumented_paths(const fs::path& scratch) {
   (void)core::fit_levy_models(analysis);
   trace::write_dataset_csv(analysis.dataset, scratch / "roundtrip");
   (void)core::analyze_csv(scratch / "roundtrip", "roundtrip",
-                          /*detect_visits=*/true);
+                          /*detect_visits=*/true, {}, {}, /*threads=*/2);
 
   // Streaming engine + replay.
   stream::StreamEngineConfig config;

@@ -1,0 +1,175 @@
+// Tests for the parallel batch layer: the thread pool itself, and the
+// contract that matters for the paper's numbers — validate_dataset output
+// is byte-identical at any thread count.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "core/parallel.h"
+#include "match/pipeline.h"
+#include "obs/metrics.h"
+#include "synth/study_generator.h"
+
+namespace geovalid {
+namespace {
+
+TEST(ParallelPool, ResolveThreads) {
+  EXPECT_GE(core::resolve_threads(0), 1u);
+  EXPECT_EQ(core::resolve_threads(1), 1u);
+  EXPECT_EQ(core::resolve_threads(7), 7u);
+}
+
+TEST(ParallelPool, SingleThreadPoolSpawnsNoWorkers) {
+  core::ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1u);
+  std::vector<int> out(10, 0);
+  pool.run(out.size(), [&](std::size_t i) { out[i] = static_cast<int>(i); });
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], static_cast<int>(i));
+  }
+}
+
+TEST(ParallelPool, MapPreservesInputOrder) {
+  core::ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  const std::size_t n = 1000;
+  const auto out = core::parallel_map(
+      &pool, n, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(out.size(), n);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ParallelPool, NullPoolRunsInline) {
+  const auto out = core::parallel_map(
+      static_cast<core::ThreadPool*>(nullptr), 5,
+      [](std::size_t i) { return i + 1; });
+  ASSERT_EQ(out.size(), 5u);
+  EXPECT_EQ(out[4], 5u);
+}
+
+TEST(ParallelPool, PoolIsReusableAcrossJobs) {
+  core::ThreadPool pool(3);
+  std::atomic<std::size_t> total{0};
+  for (int job = 0; job < 5; ++job) {
+    pool.run(100, [&](std::size_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(total.load(), 500u);
+}
+
+TEST(ParallelPool, EveryItemRunsExactlyOnce) {
+  core::ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  pool.run(hits.size(), [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelPool, ExceptionPropagatesAndPoolSurvives) {
+  core::ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.run(200,
+               [](std::size_t i) {
+                 if (i == 57) throw std::runtime_error("item 57 failed");
+               }),
+      std::runtime_error);
+  // The pool must stay usable after a failed job.
+  std::atomic<std::size_t> total{0};
+  pool.run(50, [&](std::size_t) {
+    total.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(total.load(), 50u);
+}
+
+TEST(ParallelPool, RunRegistersMetrics) {
+  core::ThreadPool pool(2);
+  obs::Counter& jobs = obs::registry().counter(
+      "parallel_jobs_total", "Parallel batch jobs executed by ThreadPool::run");
+  obs::Counter& items = obs::registry().counter(
+      "parallel_items_total",
+      "Work items (typically users) executed by ThreadPool::run");
+  const std::uint64_t jobs_before = jobs.value();
+  const std::uint64_t items_before = items.value();
+  pool.run(37, [](std::size_t) {});
+  EXPECT_EQ(jobs.value(), jobs_before + 1);
+  EXPECT_EQ(items.value(), items_before + 37);
+  obs::Gauge& width = obs::registry().gauge(
+      "parallel_pool_threads",
+      "Execution width (threads, caller included) of the most recent "
+      "parallel batch job");
+  EXPECT_EQ(width.value(), 2);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism of the full validation pipeline under parallelism.
+
+void expect_identical(const match::ValidationResult& a,
+                      const match::ValidationResult& b) {
+  EXPECT_EQ(a.totals.honest, b.totals.honest);
+  EXPECT_EQ(a.totals.extraneous, b.totals.extraneous);
+  EXPECT_EQ(a.totals.missing, b.totals.missing);
+  EXPECT_EQ(a.totals.checkins, b.totals.checkins);
+  EXPECT_EQ(a.totals.visits, b.totals.visits);
+  EXPECT_EQ(a.totals.by_class, b.totals.by_class);
+  ASSERT_EQ(a.users.size(), b.users.size());
+  for (std::size_t u = 0; u < a.users.size(); ++u) {
+    const match::UserValidation& ua = a.users[u];
+    const match::UserValidation& ub = b.users[u];
+    EXPECT_EQ(ua.id, ub.id) << "user order differs at position " << u;
+    EXPECT_EQ(ua.labels, ub.labels) << "labels differ for user " << ua.id;
+    EXPECT_EQ(ua.match.visit_matched, ub.match.visit_matched);
+    ASSERT_EQ(ua.match.checkins.size(), ub.match.checkins.size());
+    for (std::size_t c = 0; c < ua.match.checkins.size(); ++c) {
+      EXPECT_EQ(ua.match.checkins[c].visit, ub.match.checkins[c].visit);
+      EXPECT_EQ(ua.match.checkins[c].dt, ub.match.checkins[c].dt);
+      // Exact comparison on purpose: the contract is bit-identity.
+      EXPECT_EQ(ua.match.checkins[c].dist_m, ub.match.checkins[c].dist_m);
+    }
+  }
+}
+
+void check_thread_invariance(const synth::StudyConfig& config) {
+  const synth::GeneratedStudy study = synth::generate_study(config);
+  const match::ValidationResult sequential =
+      match::validate_dataset(study.dataset);
+  for (std::size_t threads : {std::size_t{2}, std::size_t{4}}) {
+    const match::ValidationResult parallel =
+        match::validate_dataset(study.dataset, {}, {}, threads);
+    expect_identical(sequential, parallel);
+  }
+  // Pruned (default) vs reference candidate sweep, whole-dataset.
+  match::MatchConfig reference;
+  reference.reference_matcher = true;
+  expect_identical(sequential,
+                   match::validate_dataset(study.dataset, reference));
+}
+
+TEST(ParallelValidate, TinyPresetIsThreadCountInvariant) {
+  check_thread_invariance(synth::tiny_preset());
+}
+
+TEST(ParallelValidate, PrimaryPresetIsThreadCountInvariant) {
+  check_thread_invariance(synth::primary_preset());
+}
+
+TEST(ParallelValidate, SharedPoolOverloadMatchesSequential) {
+  const synth::GeneratedStudy study =
+      synth::generate_study(synth::tiny_preset());
+  const match::ValidationResult sequential =
+      match::validate_dataset(study.dataset);
+  core::ThreadPool pool(3);
+  // Same pool reused across calls, as analyze_csv does across stages.
+  expect_identical(sequential,
+                   match::validate_dataset(study.dataset, {}, {}, pool));
+  expect_identical(sequential,
+                   match::validate_dataset(study.dataset, {}, {}, pool));
+}
+
+}  // namespace
+}  // namespace geovalid

@@ -69,6 +69,9 @@ int usage() {
       "common flags:\n"
       "  --metrics-json FILE   dump the metrics registry as JSON on exit\n"
       "                        (see docs/OBSERVABILITY.md)\n"
+      "  --threads N           fan per-user pipeline stages out over N\n"
+      "                        threads (0 = all hardware threads; output\n"
+      "                        is identical at any thread count)\n"
       "\n"
       "--rate and --snapshot-interval must be positive; --rate omitted\n"
       "replays unthrottled.\n";
@@ -125,6 +128,25 @@ struct UsageError : std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// --threads N (0 = all hardware threads). Every subcommand accepts and
+/// validates it, even the ones with no parallel stage. strtoull alone is
+/// not enough: it silently wraps "-1" to a huge value, so a leading '-'
+/// is rejected explicitly.
+std::size_t threads_flag(int argc, char** argv) {
+  const auto raw = string_flag_value(argc, argv, "--threads");
+  if (!raw) return 1;
+  const char* arg = raw->c_str();
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(arg, &end, 10);
+  if (raw->empty() || raw->front() == '-' || errno != 0 || end == arg ||
+      *end != '\0') {
+    throw UsageError("--threads must be a non-negative integer, got '" +
+                     *raw + "'");
+  }
+  return static_cast<std::size_t>(v);
+}
+
 /// Flags like --rate and --snapshot-interval: present means a positive
 /// finite number, anything else (0, negatives, junk that atof maps to 0)
 /// is a usage error instead of a silently-unthrottled or spinning replay.
@@ -140,6 +162,7 @@ std::optional<double> positive_flag_value(int argc, char** argv,
 
 int cmd_generate(int argc, char** argv) {
   if (argc < 2) return usage();
+  (void)threads_flag(argc, argv);  // accepted everywhere; no parallel stage
   const std::string preset = argv[0];
   const std::filesystem::path dir = argv[1];
 
@@ -169,6 +192,7 @@ int cmd_generate(int argc, char** argv) {
 
 int cmd_validate(int argc, char** argv) {
   if (argc < 1) return usage();
+  const std::size_t threads = threads_flag(argc, argv);
   const std::filesystem::path dir = argv[0];
 
   match::MatchConfig cfg;
@@ -180,7 +204,7 @@ int cmd_validate(int argc, char** argv) {
   std::cout << "loading " << dir << "...\n";
   const core::StudyAnalysis analysis = core::analyze_csv(
       dir, dir.filename().string(), has_flag(argc, argv, "--detect-visits"),
-      cfg);
+      cfg, {}, threads);
 
   std::cout << "\n=== dataset ===\n";
   std::cout << std::left << std::setw(10) << " " << std::right << std::setw(8)
@@ -213,6 +237,7 @@ int cmd_validate(int argc, char** argv) {
 
 int cmd_repair(int argc, char** argv) {
   if (argc < 2) return usage();
+  (void)threads_flag(argc, argv);  // accepted everywhere; no parallel stage
   const std::filesystem::path dir = argv[0];
   const std::filesystem::path out_path = argv[1];
 
@@ -265,6 +290,7 @@ int cmd_repair(int argc, char** argv) {
 
 int cmd_import_snap(int argc, char** argv) {
   if (argc < 2) return usage();
+  (void)threads_flag(argc, argv);  // accepted everywhere; no parallel stage
   const std::filesystem::path file = argv[0];
   const std::filesystem::path dir = argv[1];
 
@@ -284,6 +310,7 @@ int cmd_import_snap(int argc, char** argv) {
 
 int cmd_stream(int argc, char** argv) {
   if (argc < 1) return usage();
+  const std::size_t threads = threads_flag(argc, argv);
   const std::filesystem::path dir = argv[0];
 
   stream::StreamEngineConfig engine_cfg;
@@ -344,7 +371,7 @@ int cmd_stream(int argc, char** argv) {
       u.visits = detector.detect(u.gps);
     }
     const match::ValidationResult batch = match::validate_dataset(
-        batch_ds, engine_cfg.match, engine_cfg.classifier);
+        batch_ds, engine_cfg.match, engine_cfg.classifier, threads);
     const match::Partition& b = batch.totals;
     const bool equal = b.honest == streamed.honest &&
                        b.extraneous == streamed.extraneous &&
