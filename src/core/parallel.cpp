@@ -1,0 +1,131 @@
+#include "core/parallel.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+
+namespace geovalid::core {
+namespace {
+
+/// Pool-size / job-volume metrics (docs/OBSERVABILITY.md). Registered once;
+/// references are stable for the process lifetime.
+struct ParallelMetrics {
+  obs::Gauge& pool_threads = obs::registry().gauge(
+      "parallel_pool_threads",
+      "Execution width (threads, caller included) of the most recent "
+      "parallel batch job");
+  obs::Counter& jobs = obs::registry().counter(
+      "parallel_jobs_total", "Parallel batch jobs executed by ThreadPool::run");
+  obs::Counter& items = obs::registry().counter(
+      "parallel_items_total",
+      "Work items (typically users) executed by ThreadPool::run");
+};
+
+ParallelMetrics& metrics() {
+  static ParallelMetrics m;
+  return m;
+}
+
+}  // namespace
+
+std::size_t resolve_threads(std::size_t requested) {
+  if (requested != 0) return std::min(requested, kMaxThreads);
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t n = resolve_threads(threads);
+  if (n > 1) workers_.reserve(n - 1);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::run(std::size_t n,
+                     const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  ParallelMetrics& m = metrics();
+  m.pool_threads.set(static_cast<std::int64_t>(size()));
+  m.jobs.inc();
+  m.items.inc(n);
+
+  if (workers_.empty()) {
+    // Size-1 pool: plain loop, exceptions propagate directly.
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_fn_ = &fn;
+    job_n_ = n;
+    next_.store(0, std::memory_order_relaxed);
+    done_workers_ = 0;
+    error_ = nullptr;
+    ++generation_;
+  }
+  wake_cv_.notify_all();
+
+  work(fn, n);  // the calling thread is a full participant
+
+  // Every worker checks in once per generation, so when this wait clears no
+  // thread still holds the job's function pointer — `fn` (the caller's
+  // reference) can safely die and the next run() can reuse the pool.
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return done_workers_ == workers_.size(); });
+  job_fn_ = nullptr;
+  if (error_ != nullptr) {
+    std::exception_ptr e = error_;
+    error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(e);
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::size_t n = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      wake_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      fn = job_fn_;
+      n = job_n_;
+    }
+    if (fn != nullptr) work(*fn, n);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (++done_workers_ == workers_.size()) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::work(const std::function<void(std::size_t)>& fn,
+                      std::size_t n) {
+  for (;;) {
+    const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= n) return;
+    try {
+      fn(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (error_ == nullptr) error_ = std::current_exception();
+      // Abandon unclaimed items so the job drains promptly.
+      next_.store(n, std::memory_order_relaxed);
+    }
+  }
+}
+
+}  // namespace geovalid::core

@@ -1,0 +1,100 @@
+// Parallel batch execution: a reusable thread pool with deterministic-order
+// fan-out over indexed work items.
+//
+// The batch pipeline's unit of work is one user (matching, classification,
+// visit detection, feature extraction are all per-user pure functions), so
+// the whole pipeline parallelizes as "run fn(i) for every user index i and
+// keep the results in input order". parallel_map does exactly that: the
+// result vector is indexed by input position regardless of which thread ran
+// which item or in what order, so ValidationResult.users, the aggregated
+// totals, and every downstream figure are byte-identical at any thread
+// count (tested at threads 1/2/4 on the tiny and primary presets).
+//
+// Work is claimed dynamically (one atomic fetch_add per item) so skewed
+// per-user costs — a power-law fact of checkin data — balance across
+// threads without any static partitioning.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace geovalid::core {
+
+/// Hard ceiling on pool width. std::thread creation aborts with
+/// std::system_error long before a million threads, and nothing in the
+/// pipeline benefits past this, so requests above the ceiling are clamped
+/// here (and rejected with a usage error at the CLI).
+inline constexpr std::size_t kMaxThreads = 1024;
+
+/// Maps a requested thread count to an effective one: 0 means "all hardware
+/// threads" (the CLI's `--threads 0`), anything else is taken literally up
+/// to kMaxThreads.
+[[nodiscard]] std::size_t resolve_threads(std::size_t requested);
+
+/// A fixed-size pool of worker threads executing indexed jobs. The pool is
+/// reusable: run() can be called any number of times (from one thread at a
+/// time); workers persist across calls. A pool of size 1 spawns no threads
+/// at all and run() degrades to a plain sequential loop, so the sequential
+/// path stays allocation- and synchronization-free.
+class ThreadPool {
+ public:
+  /// `threads` counts the calling thread too: a pool of size N spawns N-1
+  /// workers and run() makes the caller the Nth. 0 = hardware_concurrency.
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total execution width, including the calling thread.
+  [[nodiscard]] std::size_t size() const { return workers_.size() + 1; }
+
+  /// Runs fn(i) for every i in [0, n), blocking until all items finish.
+  /// Items are claimed dynamically; the caller participates. If any fn
+  /// throws, remaining unclaimed items are abandoned and the first
+  /// exception is rethrown here once in-flight items drain.
+  void run(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+  void work(const std::function<void(std::size_t)>& fn, std::size_t n);
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable wake_cv_;  // workers wait for a new generation
+  std::condition_variable done_cv_;  // run() waits for the worker rendezvous
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+  const std::function<void(std::size_t)>* job_fn_ = nullptr;
+  std::size_t job_n_ = 0;
+  std::size_t done_workers_ = 0;     // workers finished with this generation
+  std::atomic<std::size_t> next_{0};  // next unclaimed item
+  std::exception_ptr error_;
+};
+
+/// Applies fn to every index in [0, n) and returns the results *in input
+/// order*. A null pool runs inline; a pool of size 1 degrades to a plain
+/// loop inside run() — the sequential and parallel paths produce identical
+/// vectors by construction.
+template <typename Fn>
+[[nodiscard]] auto parallel_map(ThreadPool* pool, std::size_t n, Fn&& fn)
+    -> std::vector<std::invoke_result_t<Fn&, std::size_t>> {
+  using Result = std::invoke_result_t<Fn&, std::size_t>;
+  std::vector<Result> out(n);
+  if (pool == nullptr) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = fn(i);
+    return out;
+  }
+  pool->run(n, [&](std::size_t i) { out[i] = fn(i); });
+  return out;
+}
+
+}  // namespace geovalid::core

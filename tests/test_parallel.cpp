@@ -23,6 +23,12 @@ TEST(ParallelPool, ResolveThreads) {
   EXPECT_EQ(core::resolve_threads(7), 7u);
 }
 
+TEST(ParallelPool, ResolveThreadsClampsToCeiling) {
+  EXPECT_EQ(core::resolve_threads(core::kMaxThreads), core::kMaxThreads);
+  EXPECT_EQ(core::resolve_threads(core::kMaxThreads + 1), core::kMaxThreads);
+  EXPECT_EQ(core::resolve_threads(1u << 20), core::kMaxThreads);
+}
+
 TEST(ParallelPool, SingleThreadPoolSpawnsNoWorkers) {
   core::ThreadPool pool(1);
   EXPECT_EQ(pool.size(), 1u);

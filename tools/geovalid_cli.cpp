@@ -37,6 +37,7 @@
 #include <optional>
 #include <string>
 
+#include "core/parallel.h"
 #include "core/pipeline.h"
 #include "core/report.h"
 #include "match/filters.h"
@@ -70,8 +71,8 @@ int usage() {
       "  --metrics-json FILE   dump the metrics registry as JSON on exit\n"
       "                        (see docs/OBSERVABILITY.md)\n"
       "  --threads N           fan per-user pipeline stages out over N\n"
-      "                        threads (0 = all hardware threads; output\n"
-      "                        is identical at any thread count)\n"
+      "                        threads (0 = all hardware threads, max 1024;\n"
+      "                        output is identical at any thread count)\n"
       "\n"
       "--rate and --snapshot-interval must be positive; --rate omitted\n"
       "replays unthrottled.\n";
@@ -131,7 +132,10 @@ struct UsageError : std::runtime_error {
 /// --threads N (0 = all hardware threads). Every subcommand accepts and
 /// validates it, even the ones with no parallel stage. strtoull alone is
 /// not enough: it silently wraps "-1" to a huge value, so a leading '-'
-/// is rejected explicitly.
+/// is rejected explicitly. Values past core::kMaxThreads are a usage error
+/// too — std::thread would fail with std::system_error long before a
+/// million threads spawn, and that must not escape as an uncaught
+/// exception.
 std::size_t threads_flag(int argc, char** argv) {
   const auto raw = string_flag_value(argc, argv, "--threads");
   if (!raw) return 1;
@@ -143,6 +147,11 @@ std::size_t threads_flag(int argc, char** argv) {
       *end != '\0') {
     throw UsageError("--threads must be a non-negative integer, got '" +
                      *raw + "'");
+  }
+  if (v > core::kMaxThreads) {
+    throw UsageError("--threads must be at most " +
+                     std::to_string(core::kMaxThreads) + ", got '" + *raw +
+                     "'");
   }
   return static_cast<std::size_t>(v);
 }
