@@ -193,19 +193,23 @@ void AodvNetwork::start_discovery(NodeId src, NodeId dst, std::size_t pair,
   }
 
   // Expanding ring: escalate the TTL until the RREP arrives or the full
-  // flood fails. The chain is built as a self-referencing callback.
+  // flood fails. The stored callback holds only a weak self-reference —
+  // a strong one would form a shared_ptr cycle and leak the chain; each
+  // in-flight flood's continuation pins the callback alive instead.
   auto escalate = std::make_shared<std::function<void(std::uint32_t)>>();
+  const std::weak_ptr<std::function<void(std::uint32_t)>> weak = escalate;
   *escalate = [this, src, dst, pair, finish = std::move(finish),
-               escalate](std::uint32_t ttl) {
+               weak](std::uint32_t ttl) {
+    const auto self = weak.lock();
     launch_flood(src, dst, pair, ttl,
-                 [this, src, dst, ttl, finish, escalate](bool success) {
+                 [this, ttl, finish, self](bool success) {
                    if (success || ttl >= config_.rreq_ttl) {
                      finish(success);
                      return;
                    }
                    std::uint32_t next = ttl + config_.ring_increment;
                    if (next > config_.ring_threshold) next = config_.rreq_ttl;
-                   (*escalate)(next);
+                   (*self)(next);
                  });
   };
   (*escalate)(std::min(config_.ring_start_ttl, config_.rreq_ttl));

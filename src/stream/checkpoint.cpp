@@ -1,0 +1,156 @@
+#include "stream/checkpoint.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "stream/snapshot_io.h"
+
+namespace geovalid::stream {
+namespace {
+
+constexpr std::string_view kFilePrefix = "checkpoint-";
+constexpr std::string_view kFileSuffix = ".gvck";
+
+[[noreturn]] void corrupt(const std::string& what) {
+  throw CheckpointError(CheckpointError::Kind::kCorrupt,
+                        "checkpoint: " + what);
+}
+
+bool is_checkpoint_name(const std::string& name) {
+  return name.size() > kFilePrefix.size() + kFileSuffix.size() &&
+         name.compare(0, kFilePrefix.size(), kFilePrefix) == 0 &&
+         name.compare(name.size() - kFileSuffix.size(), kFileSuffix.size(),
+                      kFileSuffix) == 0;
+}
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) corrupt("cannot open " + path.string());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return std::move(buf).str();
+}
+
+}  // namespace
+
+std::string encode_checkpoint(const Checkpoint& ck) {
+  SnapshotWriter w;
+  w.u32(kCheckpointMagic);
+  w.u32(kCheckpointVersion);
+  w.u64(ck.cursor);
+  w.u64(ck.payload.size());
+  std::string out = w.take();
+  out += ck.payload;
+  SnapshotWriter trailer;
+  trailer.u32(crc32(out));
+  out += trailer.bytes();
+  return out;
+}
+
+Checkpoint decode_checkpoint(std::string_view bytes) {
+  // Header (magic..size) is 24 bytes, trailer 4.
+  if (bytes.size() < 28) corrupt("truncated header");
+  SnapshotReader header(bytes.substr(0, 24));
+  if (header.u32() != kCheckpointMagic) corrupt("bad magic");
+  const std::uint32_t version = header.u32();
+  if (version != kCheckpointVersion) {
+    throw CheckpointError(
+        CheckpointError::Kind::kVersionMismatch,
+        "checkpoint: format version " + std::to_string(version) +
+            ", this binary writes version " +
+            std::to_string(kCheckpointVersion));
+  }
+  Checkpoint ck;
+  ck.cursor = header.u64();
+  const std::uint64_t size = header.u64();
+  if (bytes.size() != 24 + size + 4) corrupt("truncated payload");
+  SnapshotReader trailer(bytes.substr(24 + size, 4));
+  if (trailer.u32() != crc32(bytes.substr(0, 24 + size))) {
+    corrupt("checksum mismatch");
+  }
+  ck.payload.assign(bytes.substr(24, size));
+  return ck;
+}
+
+std::filesystem::path write_checkpoint(const std::filesystem::path& dir,
+                                       const Checkpoint& ck) {
+  // Registry lookups are fine here: checkpointing happens once per
+  // interval, not per event.
+  obs::StageTimer timer(&obs::registry().histogram(
+      "stream_checkpoint_write_ns",
+      "Wall time to encode and atomically write one checkpoint "
+      "(nanoseconds)"));
+  std::filesystem::create_directories(dir);
+  char name[48];
+  std::snprintf(name, sizeof(name), "checkpoint-%020llu.gvck",
+                static_cast<unsigned long long>(ck.cursor));
+  const std::filesystem::path final_path = dir / name;
+  const std::filesystem::path tmp_path = dir / (std::string(name) + ".tmp");
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("checkpoint: cannot write " +
+                               tmp_path.string());
+    }
+    const std::string bytes = encode_checkpoint(ck);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out) {
+      throw std::runtime_error("checkpoint: short write to " +
+                               tmp_path.string());
+    }
+  }
+  std::filesystem::rename(tmp_path, final_path);
+  obs::registry()
+      .counter("stream_checkpoints_total",
+               "Checkpoints successfully written to disk")
+      .inc();
+  obs::registry()
+      .histogram("stream_checkpoint_bytes",
+                 "Encoded size of each written checkpoint (bytes)")
+      .observe(24 + ck.payload.size() + 4);
+  return final_path;
+}
+
+std::optional<Checkpoint> restore_latest(const std::filesystem::path& dir) {
+  std::error_code ec;
+  if (!std::filesystem::is_directory(dir, ec)) return std::nullopt;
+  std::vector<std::filesystem::path> candidates;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.is_regular_file() &&
+        is_checkpoint_name(entry.path().filename().string())) {
+      candidates.push_back(entry.path());
+    }
+  }
+  if (candidates.empty()) return std::nullopt;
+  // The zero-padded cursor makes lexicographic order == cursor order.
+  std::sort(candidates.begin(), candidates.end());
+  std::optional<CheckpointError> first_error;
+  for (auto it = candidates.rbegin(); it != candidates.rend(); ++it) {
+    try {
+      Checkpoint ck = decode_checkpoint(read_file(*it));
+      obs::registry()
+          .counter("stream_checkpoint_restores_total",
+                   "Successful checkpoint restores (one per resumed run)")
+          .inc();
+      return ck;
+    } catch (const CheckpointError& e) {
+      if (e.kind() == CheckpointError::Kind::kVersionMismatch) throw;
+      if (!first_error) first_error = e;
+      // Corrupt (torn write, bit rot): fall back to the next-newest.
+    } catch (const SnapshotError& e) {
+      if (!first_error) {
+        first_error = CheckpointError(CheckpointError::Kind::kCorrupt,
+                                      std::string("checkpoint: ") + e.what());
+      }
+    }
+  }
+  throw *first_error;
+}
+
+}  // namespace geovalid::stream

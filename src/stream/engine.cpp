@@ -13,8 +13,12 @@
 #include <unordered_map>
 
 #include "obs/metrics.h"
+#include "stream/checkpoint.h"
+#include "stream/faults.h"
 #include "stream/online_matcher.h"
 #include "stream/online_visit_detector.h"
+#include "stream/quarantine.h"
+#include "stream/snapshot_io.h"
 
 namespace geovalid::stream {
 namespace {
@@ -36,6 +40,36 @@ std::uint64_t mix64(std::uint64_t x) {
   x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
   x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
   return x ^ (x >> 31);
+}
+
+/// FNV-1a over serialized config fields — the checkpoint fingerprint.
+std::uint64_t fnv1a64(std::string_view bytes) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+void save_partition(SnapshotWriter& w, const match::Partition& p) {
+  w.u64(p.honest);
+  w.u64(p.extraneous);
+  w.u64(p.missing);
+  w.u64(p.checkins);
+  w.u64(p.visits);
+  for (const std::size_t n : p.by_class) w.u64(n);
+}
+
+match::Partition load_partition(SnapshotReader& r) {
+  match::Partition p;
+  p.honest = static_cast<std::size_t>(r.u64());
+  p.extraneous = static_cast<std::size_t>(r.u64());
+  p.missing = static_cast<std::size_t>(r.u64());
+  p.checkins = static_cast<std::size_t>(r.u64());
+  p.visits = static_cast<std::size_t>(r.u64());
+  for (std::size_t& n : p.by_class) n = static_cast<std::size_t>(r.u64());
+  return p;
 }
 
 /// Per-user incremental pipeline: raw events in, verdicts out.
@@ -85,9 +119,17 @@ struct StreamEngine::Shard {
   std::mutex mu;
   std::condition_variable cv_producer;  // signalled when space frees up
   std::condition_variable cv_worker;    // signalled when batches/close arrive
+  std::condition_variable cv_idle;      // signalled when the worker goes idle
   std::deque<Batch> mailbox;  // batches, FIFO
   std::size_t capacity_batches = 1;
   bool closed = false;
+  bool busy = false;  ///< worker holds an unprocessed chunk (see drain())
+  /// Cleared by shutdown(): join without flushing open per-user state —
+  /// the crash-simulation path, where recovery must come from a checkpoint.
+  bool finalize_on_close = true;
+
+  std::size_t index = 0;          ///< this shard's position in shards_
+  std::uint64_t fault_seq = 0;    ///< worker-local event ordinal (fault hook)
 
   // Worker-owned state.
   std::unordered_map<trace::UserId, UserPipeline> users;
@@ -105,12 +147,25 @@ struct StreamEngine::Shard {
   std::thread worker;
 
   void process(const Event& e, const StreamEngineConfig& config) {
+    if (config.faults != nullptr) {
+      config.faults->on_shard_event(index, fault_seq++);
+    }
     auto [it, inserted] =
         users.try_emplace(e.user, config, totals);
     UserPipeline& p = it->second;
 
     const trace::TimeSec t = e.time();
     if (p.saw_event && t < p.last_event_t) {
+      if (config.quarantine != nullptr) {
+        // Graceful degradation: the event is never applied (replaying a
+        // late event would change verdicts vs the batch pipeline), only
+        // triaged — recoverably late vs stale — and dead-lettered.
+        config.quarantine->record(
+            e, p.last_event_t - t <= config.reorder_window
+                   ? QuarantineReason::kLateTimestamp
+                   : QuarantineReason::kStaleTimestamp);
+        return;
+      }
       std::ostringstream os;
       os << "StreamEngine: events for user " << e.user
          << " regressed in time (" << t << " after " << p.last_event_t << ")";
@@ -130,13 +185,18 @@ struct StreamEngine::Shard {
 
   void run(const StreamEngineConfig& config) {
     bool failed = false;
+    bool finalize = true;
     while (true) {
       std::deque<Batch> work;
       {
         std::unique_lock<std::mutex> lock(mu);
         cv_worker.wait(lock, [&] { return !mailbox.empty() || closed; });
-        if (mailbox.empty() && closed) break;
+        if (mailbox.empty() && closed) {
+          finalize = finalize_on_close;
+          break;
+        }
         work.swap(mailbox);
+        busy = true;  // drain() must not report idle while this chunk runs
         if (metrics.mailbox_depth) metrics.mailbox_depth->set(0);
       }
       cv_producer.notify_one();
@@ -170,8 +230,13 @@ struct StreamEngine::Shard {
         metrics.events_checkin->inc(n_checkin);
       }
       publish();
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        busy = false;
+      }
+      cv_idle.notify_all();
     }
-    if (!failed) {
+    if (!failed && finalize) {
       for (auto& [id, p] : users) {
         if (auto visit = p.detector.finish()) p.matcher.push_visit(*visit);
         p.matcher.finish();
@@ -207,6 +272,7 @@ StreamEngine::StreamEngine(StreamEngineConfig config) : config_(config) {
   staging_.resize(config_.shards);
   for (std::size_t s = 0; s < config_.shards; ++s) {
     shards_.push_back(std::make_unique<Shard>());
+    shards_.back()->index = s;
     shards_.back()->capacity_batches =
         std::max<std::size_t>(1, config_.mailbox_capacity / config_.batch_size);
     staging_[s].reserve(config_.batch_size);
@@ -274,6 +340,15 @@ void StreamEngine::push(const Event& e) {
   if (finished_) {
     throw std::logic_error("StreamEngine::push called after finish()");
   }
+  ++pushed_;
+  if (config_.quarantine != nullptr) {
+    // Payload validation happens producer-side (no per-user history
+    // needed), so garbage never reaches the geodesic math or even a shard.
+    if (const auto reason = validate_event(e, config_.known_users)) {
+      config_.quarantine->record(e, *reason);
+      return;
+    }
+  }
   const std::size_t s = shard_of(e.user);
   staging_[s].push_back(e);
   if (staging_[s].size() >= config_.batch_size) flush_staging(s);
@@ -321,6 +396,151 @@ void StreamEngine::finish() {
   finished_ = true;
   for (auto& shard : shards_) {
     if (shard->error) std::rethrow_exception(shard->error);
+  }
+}
+
+void StreamEngine::drain() {
+  if (finished_) return;
+  for (std::size_t s = 0; s < shards_.size(); ++s) flush_staging(s);
+  for (auto& shard : shards_) {
+    std::unique_lock<std::mutex> lock(shard->mu);
+    shard->cv_idle.wait(
+        lock, [&] { return shard->mailbox.empty() && !shard->busy; });
+  }
+  for (auto& shard : shards_) {
+    if (shard->error) std::rethrow_exception(shard->error);
+  }
+  if (config_.quarantine != nullptr) config_.quarantine->flush();
+}
+
+void StreamEngine::shutdown() {
+  if (finished_) return;
+  // No staging flush: staged-but-unsent events are lost, exactly as a
+  // crash would lose them.
+  for (auto& shard : shards_) {
+    {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      shard->finalize_on_close = false;
+      shard->closed = true;
+    }
+    shard->cv_worker.notify_one();
+  }
+  for (auto& shard : shards_) {
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+  finished_ = true;
+}
+
+std::uint64_t StreamEngine::config_fingerprint() const {
+  // Semantic pipeline parameters only: anything that changes verdicts.
+  // Shard count, batch size, mailbox depth and metrics are execution
+  // details — a checkpoint is portable across them by design.
+  SnapshotWriter w;
+  w.f64(config_.match.alpha_m);
+  w.i64(config_.match.beta);
+  w.boolean(config_.match.rematch_losers);
+  w.boolean(config_.match.reference_matcher);
+  w.f64(config_.classifier.remote_threshold_m);
+  w.f64(config_.classifier.driveby_speed_mps);
+  w.i64(config_.classifier.max_gps_gap);
+  w.f64(config_.detector.radius_m);
+  w.i64(config_.detector.min_duration);
+  w.i64(config_.detector.max_sample_gap);
+  w.f64(config_.detector.stationary.accel_variance_max);
+  w.u64(config_.detector.stationary.wifi_stable_samples);
+  w.i64(config_.reorder_window);
+  return fnv1a64(w.bytes());
+}
+
+std::string StreamEngine::save_state() {
+  drain();
+  SnapshotWriter w;
+  // State only grows between periodic checkpoints; last size + slack makes
+  // the serialization a single allocation on the steady-state path.
+  w.reserve(last_state_bytes_ + last_state_bytes_ / 4 + 4096);
+  w.u64(config_fingerprint());
+
+  // Verdict totals, summed across shards. After drain() every shard has
+  // published, so snapshots equal worker-side totals.
+  save_partition(w, partition());
+
+  // Per-user pipelines, globally sorted by id: the bytes are a pure
+  // function of the pushed event prefix, independent of the shard count.
+  // Reading worker-owned maps is safe here — drain() left every worker
+  // idle, and the mailbox mutex handshake orders their writes before our
+  // reads.
+  std::vector<std::pair<trace::UserId, const UserPipeline*>> all;
+  for (const auto& shard : shards_) {
+    for (const auto& [id, p] : shard->users) all.emplace_back(id, &p);
+  }
+  std::sort(all.begin(), all.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  w.u64(all.size());
+  for (const auto& [id, p] : all) {
+    w.u32(id);
+    w.boolean(p->saw_event);
+    w.i64(p->last_event_t);
+    p->detector.save(w);
+    p->matcher.save(w);
+  }
+  std::string out = w.take();
+  last_state_bytes_ = out.size();
+  return out;
+}
+
+void StreamEngine::load_state(std::string_view payload) {
+  if (finished_) {
+    throw std::logic_error("StreamEngine::load_state called after finish()");
+  }
+  if (pushed_ != 0) {
+    throw std::logic_error(
+        "StreamEngine::load_state requires a fresh engine (nothing pushed)");
+  }
+  SnapshotReader r(payload);
+  const std::uint64_t fingerprint = r.u64();
+  if (fingerprint != config_fingerprint()) {
+    throw CheckpointError(
+        CheckpointError::Kind::kConfigMismatch,
+        "checkpoint: pipeline config differs from the one that wrote the "
+        "snapshot; resuming would silently change verdicts");
+  }
+  const match::Partition restored = load_partition(r);
+
+  const std::uint64_t user_count = r.u64();
+  for (std::uint64_t i = 0; i < user_count; ++i) {
+    const trace::UserId id = r.u32();
+    Shard& shard = *shards_[shard_of(id)];
+    auto [it, inserted] = shard.users.try_emplace(id, config_, shard.totals);
+    if (!inserted) {
+      throw SnapshotError("snapshot: duplicate user id");
+    }
+    UserPipeline& p = it->second;
+    p.saw_event = r.boolean();
+    p.last_event_t = r.i64();
+    p.detector.load(r);
+    p.matcher.load(r);
+  }
+  if (!r.exhausted()) {
+    throw SnapshotError("snapshot: trailing bytes after engine state");
+  }
+
+  // Restored history is credited to shard 0 (partition() only ever sees
+  // the sum). `counted` absorbs it too, so the verdict *counters* report
+  // only post-restore work — the metrics registry must not re-emit history
+  // that was already emitted before the crash.
+  Shard& s0 = *shards_[0];
+  s0.totals.honest += restored.honest;
+  s0.totals.extraneous += restored.extraneous;
+  s0.totals.missing += restored.missing;
+  s0.totals.checkins += restored.checkins;
+  s0.totals.visits += restored.visits;
+  for (std::size_t c = 0; c < restored.by_class.size(); ++c) {
+    s0.totals.by_class[c] += restored.by_class[c];
+  }
+  s0.counted = s0.totals;
+  {
+    std::lock_guard<std::mutex> lock(s0.snapshot_mu);
+    s0.snapshot = s0.totals;
   }
 }
 

@@ -18,6 +18,9 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_set>
 #include <vector>
 
 #include "match/pipeline.h"
@@ -25,6 +28,9 @@
 #include "trace/visit_detector.h"
 
 namespace geovalid::stream {
+
+class FaultInjector;
+class Quarantine;
 
 struct StreamEngineConfig {
   /// Worker threads; each owns an exclusive slice of the user population.
@@ -47,6 +53,29 @@ struct StreamEngineConfig {
   match::MatchConfig match;
   match::ClassifierConfig classifier;
   trace::VisitDetectorConfig detector;
+
+  /// Optional dead-letter sink (see stream/quarantine.h). When set,
+  /// malformed records — bad coordinates, timestamp overflow, unknown
+  /// users, per-user timestamp regressions — are recorded there and
+  /// skipped, and the engine keeps running; when null, regressions throw
+  /// from finish() as before and payloads are not validated.
+  Quarantine* quarantine = nullptr;
+
+  /// Per-user timestamp regressions up to this bound are quarantined as
+  /// `late_timestamp` (slightly late — fixable by buffering upstream);
+  /// larger ones as `stale_timestamp`. Pure reason-code triage: a late
+  /// event is never applied, because replaying it would silently change
+  /// verdicts relative to the batch pipeline. Only read when `quarantine`
+  /// is set.
+  trace::TimeSec reorder_window = 0;
+
+  /// Enrolled user ids; events for other ids quarantine as `unknown_user`.
+  /// Null disables the check. Only read when `quarantine` is set.
+  const std::unordered_set<trace::UserId>* known_users = nullptr;
+
+  /// Deterministic fault injection (tests and `--inject-faults`): shard
+  /// workers call FaultInjector::on_shard_event before each event.
+  const FaultInjector* faults = nullptr;
 };
 
 class StreamEngine {
@@ -66,6 +95,36 @@ class StreamEngine {
   /// out-of-order user stream). Idempotent.
   void finish();
 
+  /// Quiesces the engine without ending the stream: flushes all staged
+  /// batches and blocks until every shard's mailbox is empty and its worker
+  /// idle. On return, partition() is exact for everything pushed so far and
+  /// no worker touches per-user state until the next push — the window in
+  /// which save_state() may run. Rethrows the first worker error (a
+  /// poisoned engine cannot be checkpointed). The engine keeps running.
+  void drain();
+
+  /// Joins the workers without end-of-stream finalization: open visit
+  /// windows and pending matcher state are abandoned, not flushed into the
+  /// partition. This is the crash-simulation / SIGKILL path — recovery must
+  /// come from a checkpoint, exactly as after a real crash. Worker errors
+  /// are not rethrown. Idempotent with finish().
+  void shutdown();
+
+  /// Serializes the complete engine state (verdict totals + every user's
+  /// detector, matcher and ordering clock) after an implicit drain(). The
+  /// bytes are deterministic and shard-count independent: users are written
+  /// globally sorted by id, so the same pushed prefix yields byte-identical
+  /// state regardless of `shards`. The payload starts with a fingerprint of
+  /// the semantic pipeline config (matcher/classifier/detector parameters —
+  /// not shard count or batch size), which load_state() verifies.
+  [[nodiscard]] std::string save_state();
+
+  /// Restores save_state() bytes into a fresh engine (nothing pushed yet).
+  /// The restored run may use a different shard count. Throws
+  /// CheckpointError{kConfigMismatch} when the payload was produced under a
+  /// different pipeline config, SnapshotError on malformed bytes.
+  void load_state(std::string_view payload);
+
   /// Live verdict totals: sum of the per-shard snapshots, each published
   /// after a processed batch. Exact once finish() returned.
   [[nodiscard]] match::Partition partition() const;
@@ -81,10 +140,13 @@ class StreamEngine {
   struct Shard;
 
   void flush_staging(std::size_t shard_index);
+  [[nodiscard]] std::uint64_t config_fingerprint() const;
 
   StreamEngineConfig config_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<std::vector<Event>> staging_;  // producer-side, per shard
+  std::uint64_t pushed_ = 0;  ///< events accepted by push() (incl. quarantined)
+  std::size_t last_state_bytes_ = 0;  ///< previous save_state() payload size
   bool finished_ = false;
 };
 

@@ -1,0 +1,79 @@
+// Deterministic fault injection for the streaming engine.
+//
+// Robustness claims are only as good as the failures they were tested
+// against, so the crash-recovery and quarantine test suites (and the CLI's
+// `--inject-faults`) drive the engine through *reproducible* disasters:
+// corrupted records, stalled shards, and a simulated crash at an exact
+// stream offset. Everything is derived from a user-supplied seed via
+// counter-based hashing — no global RNG state — so the same spec + seed
+// always corrupts the same records in the same way, which is what lets a
+// test assert "quarantined count == injected count, verdicts identical to
+// the clean run minus exactly those records".
+//
+// Spec grammar (clauses comma-separated, each `key=value`):
+//
+//   corrupt=R         corrupt each record with probability R in (0, 1]
+//   kill=N            simulate a crash before stream offset N (no
+//                     checkpoint is written — recovery must come from the
+//                     last periodic one)
+//   stall=S@N:MS      shard S sleeps MS milliseconds before processing its
+//                     N-th event (exercises backpressure + liveness)
+//   seed=K            corruption RNG seed (default 1)
+//
+// Example: `corrupt=0.01,stall=1@500:20,kill=9000,seed=7`.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "stream/event.h"
+
+namespace geovalid::stream {
+
+struct FaultPlan {
+  /// Per-record corruption probability in [0, 1].
+  double corrupt_rate = 0.0;
+
+  /// Simulated crash: the replay driver stops abruptly before feeding the
+  /// event at this absolute stream offset. 0 = never.
+  std::uint64_t kill_at = 0;
+
+  struct Stall {
+    std::size_t shard = 0;          ///< shard index that stalls
+    std::uint64_t after_events = 0; ///< fires before its N-th processed event
+    std::uint32_t millis = 0;       ///< stall duration
+  };
+  std::vector<Stall> stalls;
+
+  std::uint64_t seed = 1;
+};
+
+/// Parses the spec grammar above; throws std::invalid_argument with a
+/// pointed message on any malformed clause.
+[[nodiscard]] FaultPlan parse_fault_spec(std::string_view spec);
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {}
+
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+
+  /// Deterministically corrupts records in place (NaN/inf/out-of-range
+  /// coordinates, timestamp overflow, stale timestamps, unknown user ids)
+  /// and returns the corrupted offsets. Every corruption is chosen so the
+  /// engine's quarantine provably rejects it: stale-timestamp corruption is
+  /// only applied to a user's non-first event, and unknown-user corruption
+  /// sets the id's top bit (callers must enroll the original id space via
+  /// StreamEngineConfig::known_users).
+  std::vector<std::uint64_t> corrupt_stream(std::vector<Event>& events) const;
+
+  /// Shard-worker hook: called with the shard's local event ordinal before
+  /// each event is processed; sleeps when a stall clause matches.
+  void on_shard_event(std::size_t shard, std::uint64_t shard_offset) const;
+
+ private:
+  FaultPlan plan_;
+};
+
+}  // namespace geovalid::stream

@@ -144,6 +144,106 @@ double OnlineMatcher::speed_at(trace::TimeSec t) const {
   return geo::distance_m(before.position, after.position) / dt;
 }
 
+namespace {
+
+void save_checkin(SnapshotWriter& w, const trace::Checkin& c) {
+  w.i64(c.t);
+  w.u32(c.poi);
+  w.u8(static_cast<std::uint8_t>(c.category));
+  w.f64(c.location.lat_deg);
+  w.f64(c.location.lon_deg);
+}
+
+trace::Checkin load_checkin(SnapshotReader& r) {
+  trace::Checkin c;
+  c.t = r.i64();
+  c.poi = r.u32();
+  const std::uint8_t cat = r.u8();
+  if (cat >= trace::kPoiCategoryCount) {
+    throw SnapshotError("snapshot: checkin category out of domain");
+  }
+  c.category = static_cast<trace::PoiCategory>(cat);
+  c.location.lat_deg = r.f64();
+  c.location.lon_deg = r.f64();
+  return c;
+}
+
+void save_visit(SnapshotWriter& w, const trace::Visit& v) {
+  w.i64(v.start);
+  w.i64(v.end);
+  w.f64(v.centroid.lat_deg);
+  w.f64(v.centroid.lon_deg);
+  w.u32(v.poi);
+}
+
+trace::Visit load_visit(SnapshotReader& r) {
+  trace::Visit v;
+  v.start = r.i64();
+  v.end = r.i64();
+  v.centroid.lat_deg = r.f64();
+  v.centroid.lon_deg = r.f64();
+  v.poi = r.u32();
+  return v;
+}
+
+void save_gps(SnapshotWriter& w, const trace::GpsPoint& p) {
+  w.i64(p.t);
+  w.f64(p.position.lat_deg);
+  w.f64(p.position.lon_deg);
+  w.boolean(p.has_fix);
+  w.u32(p.wifi_fingerprint);
+  w.f64(p.accel_variance);
+}
+
+trace::GpsPoint load_gps(SnapshotReader& r) {
+  trace::GpsPoint p;
+  p.t = r.i64();
+  p.position.lat_deg = r.f64();
+  p.position.lon_deg = r.f64();
+  p.has_fix = r.boolean();
+  p.wifi_fingerprint = r.u32();
+  p.accel_variance = r.f64();
+  return p;
+}
+
+}  // namespace
+
+void OnlineMatcher::save(SnapshotWriter& w) const {
+  w.i64(watermark_);
+  w.boolean(saw_event_);
+  w.u64(pending_checkins_.size());
+  for (const trace::Checkin& c : pending_checkins_) save_checkin(w, c);
+  w.u64(pending_visits_.size());
+  for (const trace::Visit& v : pending_visits_) save_visit(w, v);
+  w.u64(deferred_.size());
+  for (const trace::Checkin& c : deferred_) save_checkin(w, c);
+  w.u64(gps_window_.size());
+  for (const trace::GpsPoint& p : gps_window_) save_gps(w, p);
+  w.u64(total_gps_);
+  w.i64(first_gps_t_);
+  w.i64(last_gps_t_);
+}
+
+void OnlineMatcher::load(SnapshotReader& r) {
+  watermark_ = r.i64();
+  saw_event_ = r.boolean();
+  pending_checkins_.clear();
+  pending_checkins_.resize(r.length());
+  for (trace::Checkin& c : pending_checkins_) c = load_checkin(r);
+  pending_visits_.clear();
+  pending_visits_.resize(r.length());
+  for (trace::Visit& v : pending_visits_) v = load_visit(r);
+  deferred_.clear();
+  deferred_.resize(r.length());
+  for (trace::Checkin& c : deferred_) c = load_checkin(r);
+  gps_window_.clear();
+  gps_window_.resize(r.length());
+  for (trace::GpsPoint& p : gps_window_) p = load_gps(r);
+  total_gps_ = static_cast<std::size_t>(r.u64());
+  first_gps_t_ = r.i64();
+  last_gps_t_ = r.i64();
+}
+
 void OnlineMatcher::prune_gps_window() {
   trace::TimeSec oldest = watermark_;
   if (!pending_checkins_.empty()) {

@@ -37,6 +37,7 @@
 #include "match/classifier.h"
 #include "match/matcher.h"
 #include "match/pipeline.h"
+#include "stream/snapshot_io.h"
 
 namespace geovalid::stream {
 
@@ -80,6 +81,14 @@ class OnlineMatcher {
   [[nodiscard]] std::size_t gps_buffer_size() const {
     return gps_window_.size();
   }
+
+  /// Checkpoint support: serializes the full pending window (checkins,
+  /// visits, deferred classifications, pruned GPS buffer) plus the
+  /// watermark, so a load()ed matcher emits exactly the verdicts the
+  /// uninterrupted run would have. Config and sink are not serialized —
+  /// the restoring engine provides both.
+  void save(SnapshotWriter& w) const;
+  void load(SnapshotReader& r);
 
  private:
   void finalize_pending(bool at_end);

@@ -111,4 +111,28 @@ std::optional<trace::TimeSec> OnlineVisitDetector::open_window_start() const {
   return window_start_;
 }
 
+void OnlineVisitDetector::save(SnapshotWriter& w) const {
+  w.boolean(has_prev_sample_);
+  w.u32(prev_fingerprint_);
+  w.u64(wifi_run_);
+  w.boolean(in_window_);
+  w.f64(lat_sum_);
+  w.f64(lon_sum_);
+  w.u64(fix_count_);
+  w.i64(window_start_);
+  w.i64(window_end_);
+}
+
+void OnlineVisitDetector::load(SnapshotReader& r) {
+  has_prev_sample_ = r.boolean();
+  prev_fingerprint_ = r.u32();
+  wifi_run_ = static_cast<std::size_t>(r.u64());
+  in_window_ = r.boolean();
+  lat_sum_ = r.f64();
+  lon_sum_ = r.f64();
+  fix_count_ = static_cast<std::size_t>(r.u64());
+  window_start_ = r.i64();
+  window_end_ = r.i64();
+}
+
 }  // namespace geovalid::stream

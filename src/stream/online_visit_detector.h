@@ -16,6 +16,7 @@
 
 #include <optional>
 
+#include "stream/snapshot_io.h"
 #include "trace/visit_detector.h"
 
 namespace geovalid::stream {
@@ -40,6 +41,12 @@ class OnlineVisitDetector {
   [[nodiscard]] const trace::VisitDetectorConfig& config() const {
     return config_;
   }
+
+  /// Checkpoint support: serializes every cross-sample field (classifier
+  /// run state + candidate window), so a load()ed detector continues the
+  /// stream bit-identically to one that never stopped.
+  void save(SnapshotWriter& w) const;
+  void load(SnapshotReader& r);
 
  private:
   [[nodiscard]] trace::MotionState classify(const trace::GpsPoint& p);

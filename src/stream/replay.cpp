@@ -52,7 +52,9 @@ std::vector<Event> flatten_dataset(const trace::Dataset& ds) {
 ReplayStats replay_events(std::span<const Event> events, StreamEngine& engine,
                           const ReplayConfig& config) {
   ReplayStats stats;
-  stats.events = events.size();
+  const std::uint64_t size = events.size();
+  const std::uint64_t begin =
+      std::min<std::uint64_t>(config.resume_cursor, size);
 
   const bool throttled = config.rate_events_per_sec > 0.0;
   // Re-sync the pacing clock every chunk rather than every event: a sleep
@@ -65,15 +67,27 @@ ReplayStats replay_events(std::span<const Event> events, StreamEngine& engine,
 
   const bool snapshotting =
       config.snapshot_interval_seconds > 0.0 && config.on_snapshot != nullptr;
+  const bool checkpointing = config.checkpoint_interval_events > 0 &&
+                             config.on_checkpoint != nullptr;
 
   const auto start = Clock::now();
   auto next_snapshot =
       start + std::chrono::duration_cast<Clock::duration>(
                   std::chrono::duration<double>(
                       config.snapshot_interval_seconds));
+  std::uint64_t cursor = begin;
   {
     obs::StageTimer feed_timer(&replay_stage_ns("feed"));
-    for (std::size_t i = 0; i < events.size(); ++i) {
+    for (std::uint64_t i = begin; i < size; ++i) {
+      if (config.kill_at > 0 && i >= config.kill_at) {
+        stats.killed = true;
+        break;
+      }
+      if ((config.stop != nullptr && *config.stop != 0) ||
+          (config.stop_after > 0 && i >= config.stop_after)) {
+        stats.interrupted = true;
+        break;
+      }
       const Event& e = events[i];
       if (e.kind == Event::Kind::kGps) {
         ++stats.gps_samples;
@@ -81,11 +95,17 @@ ReplayStats replay_events(std::span<const Event> events, StreamEngine& engine,
         ++stats.checkins;
       }
       engine.push(e);
-      if (throttled && (i + 1) % chunk == 0) {
+      cursor = i + 1;
+      const std::uint64_t fed = cursor - begin;
+      if (checkpointing && fed % config.checkpoint_interval_events == 0) {
+        engine.drain();
+        config.on_checkpoint(cursor);
+      }
+      if (throttled && fed % chunk == 0) {
         const auto due =
             start + std::chrono::duration_cast<Clock::duration>(
                         std::chrono::duration<double>(
-                            static_cast<double>(i + 1) /
+                            static_cast<double>(fed) /
                             config.rate_events_per_sec));
         std::this_thread::sleep_until(due);
       }
@@ -100,12 +120,27 @@ ReplayStats replay_events(std::span<const Event> events, StreamEngine& engine,
       }
     }
   }
+  stats.cursor = cursor;
+  stats.events = static_cast<std::size_t>(cursor - begin);
   stats.feed_seconds = seconds_since(start);
 
   const auto drain_start = Clock::now();
   {
     obs::StageTimer drain_timer(&replay_stage_ns("drain"));
-    engine.finish();
+    if (stats.killed) {
+      // Simulated crash: abandon in-flight state. No checkpoint — recovery
+      // must come from the last periodic one, as after a real crash.
+      engine.shutdown();
+    } else if (stats.interrupted) {
+      // Graceful shutdown: quiesce and hand the exact stop cursor to the
+      // checkpoint callback, then leave without end-of-stream finalization
+      // (the stream is not over, merely paused until --resume).
+      engine.drain();
+      if (config.on_checkpoint != nullptr) config.on_checkpoint(cursor);
+      engine.shutdown();
+    } else {
+      engine.finish();
+    }
   }
   stats.drain_seconds = seconds_since(drain_start);
 

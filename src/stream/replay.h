@@ -7,6 +7,8 @@
 // (bench_stream_throughput replays unthrottled and reports events/sec).
 #pragma once
 
+#include <csignal>
+#include <cstdint>
 #include <functional>
 #include <span>
 #include <vector>
@@ -27,10 +29,36 @@ struct ReplayConfig {
   /// print periodic metrics snapshots during `geovalid stream`.
   double snapshot_interval_seconds = 0.0;
   std::function<void()> on_snapshot;
+
+  /// Resume support: skip events before this absolute stream offset (they
+  /// are covered by the checkpoint the engine was restored from).
+  std::uint64_t resume_cursor = 0;
+
+  /// When > 0 and on_checkpoint is set, the feed loop calls
+  /// StreamEngine::drain() and then on_checkpoint(cursor) every this many
+  /// fed events (cursor = absolute offset of the next unfed event, so the
+  /// engine state handed to the callback covers exactly [0, cursor)).
+  std::uint64_t checkpoint_interval_events = 0;
+  std::function<void(std::uint64_t cursor)> on_checkpoint;
+
+  /// Cooperative stop flag (safe to set from a signal handler). When it
+  /// becomes non-zero the feed loop stops, drains, takes a final
+  /// checkpoint (if configured) and returns with `interrupted` set — the
+  /// graceful SIGTERM path.
+  const volatile std::sig_atomic_t* stop = nullptr;
+
+  /// Deterministic graceful stop before feeding this absolute offset —
+  /// exactly the `stop` path, minus the signal-delivery timing. 0 = never.
+  std::uint64_t stop_after = 0;
+
+  /// Simulated crash: stop abruptly before feeding this absolute offset —
+  /// no drain, no checkpoint, engine shut down mid-flight. 0 = never.
+  /// Drives the crash-recovery equivalence tests.
+  std::uint64_t kill_at = 0;
 };
 
 struct ReplayStats {
-  std::size_t events = 0;
+  std::size_t events = 0;  ///< events fed this run (excludes skipped prefix)
   std::size_t gps_samples = 0;
   std::size_t checkins = 0;
 
@@ -38,6 +66,12 @@ struct ReplayStats {
   double drain_seconds = 0.0;  ///< finish(): last push -> all verdicts final
   double wall_seconds = 0.0;   ///< feed + drain
   double events_per_sec = 0.0; ///< events / wall_seconds
+
+  /// Absolute offset of the first event NOT applied to the engine: the
+  /// stream length after a full run, the stop/kill point otherwise.
+  std::uint64_t cursor = 0;
+  bool interrupted = false;  ///< stopped gracefully via ReplayConfig::stop
+  bool killed = false;       ///< stopped abruptly via ReplayConfig::kill_at
 };
 
 /// Flattens a dataset into the merged event stream, ordered by timestamp

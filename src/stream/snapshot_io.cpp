@@ -1,0 +1,46 @@
+#include "stream/snapshot_io.h"
+
+#include <array>
+#include <bit>
+
+namespace geovalid::stream {
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+void SnapshotWriter::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+double SnapshotReader::f64() { return std::bit_cast<double>(u64()); }
+
+std::size_t SnapshotReader::length() {
+  const std::uint64_t n = u64();
+  // A sequence element is at least one byte, so a valid length can never
+  // exceed the bytes left in the payload.
+  if (n > remaining()) {
+    throw SnapshotError("snapshot: sequence length exceeds payload");
+  }
+  return static_cast<std::size_t>(n);
+}
+
+std::uint32_t crc32(std::string_view data) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (const char ch : data) {
+    c = table[(c ^ static_cast<unsigned char>(ch)) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace geovalid::stream

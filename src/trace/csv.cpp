@@ -11,6 +11,9 @@
 #include <type_traits>
 #include <vector>
 
+#include <cmath>
+
+#include "geo/latlon.h"
 #include "obs/metrics.h"
 
 namespace geovalid::trace {
@@ -37,7 +40,38 @@ std::string sanitize(std::string_view name) {
       .inc();
   std::ostringstream os;
   os << file.string() << ":" << line << ": " << what;
-  throw std::runtime_error(os.str());
+  throw IngestError(os.str());
+}
+
+/// Rejects coordinates that parse but are garbage: NaN (strtod happily
+/// accepts "nan"), infinities, |lat| > 90, |lon| > 180. Garbage here would
+/// otherwise propagate into every geodesic distance downstream.
+geo::LatLon checked_latlon(double lat, double lon, const fs::path& file,
+                           std::size_t line) {
+  const geo::LatLon p{lat, lon};
+  if (!geo::is_valid(p)) {
+    fail(file, line, "non-finite or out-of-range coordinates");
+  }
+  return p;
+}
+
+/// Event timestamps must be plausible: non-negative and at most
+/// kMaxEventTime, so the matcher's `t + beta` window arithmetic can never
+/// overflow std::int64_t.
+TimeSec checked_time(TimeSec t, const fs::path& file, std::size_t line) {
+  if (t < 0 || t > kMaxEventTime) {
+    fail(file, line, "timestamp out of range [0, kMaxEventTime]");
+  }
+  return t;
+}
+
+/// Rates and variances must be finite and non-negative.
+double checked_nonnegative(double v, const char* what, const fs::path& file,
+                           std::size_t line) {
+  if (!std::isfinite(v) || v < 0.0) {
+    fail(file, line, std::string(what) + " must be finite and non-negative");
+  }
+  return v;
 }
 
 /// Strips a trailing '\r' so files written on Windows (CRLF line endings)
@@ -91,7 +125,7 @@ std::ofstream open_out(const fs::path& p) {
 
 std::ifstream open_in(const fs::path& p) {
   std::ifstream in(p);
-  if (!in) throw std::runtime_error("cannot open for read: " + p.string());
+  if (!in) throw IngestError("cannot open for read: " + p.string());
   return in;
 }
 
@@ -177,8 +211,9 @@ Dataset read_dataset_csv(const fs::path& dir, const std::string& name) {
       const auto cat = parse_poi_category(f[2]);
       if (!cat) fail(file, lineno, "unknown POI category");
       p.category = *cat;
-      p.location = geo::LatLon{parse_num<double>(f[3], file, lineno),
-                               parse_num<double>(f[4], file, lineno)};
+      p.location = checked_latlon(parse_num<double>(f[3], file, lineno),
+                                  parse_num<double>(f[4], file, lineno),
+                                  file, lineno);
       pois.push_back(std::move(p));
     }
   }
@@ -203,7 +238,9 @@ Dataset read_dataset_csv(const fs::path& dir, const std::string& name) {
       u.profile.friends = parse_num<std::uint32_t>(f[1], file, lineno);
       u.profile.badges = parse_num<std::uint32_t>(f[2], file, lineno);
       u.profile.mayorships = parse_num<std::uint32_t>(f[3], file, lineno);
-      u.profile.checkins_per_day = parse_num<double>(f[4], file, lineno);
+      u.profile.checkins_per_day = checked_nonnegative(
+          parse_num<double>(f[4], file, lineno), "checkins_per_day", file,
+          lineno);
       const UserId id = u.id;
       if (!users.emplace(id, std::move(u)).second) {
         fail(file, lineno, "duplicate user id");
@@ -234,12 +271,14 @@ Dataset read_dataset_csv(const fs::path& dir, const std::string& name) {
       if (f.size() != 7) fail(file, lineno, "expected 7 fields");
       const auto id = parse_num<UserId>(f[0], file, lineno);
       GpsPoint p;
-      p.t = parse_num<TimeSec>(f[1], file, lineno);
-      p.position = geo::LatLon{parse_num<double>(f[2], file, lineno),
-                               parse_num<double>(f[3], file, lineno)};
+      p.t = checked_time(parse_num<TimeSec>(f[1], file, lineno), file, lineno);
+      p.position = checked_latlon(parse_num<double>(f[2], file, lineno),
+                                  parse_num<double>(f[3], file, lineno),
+                                  file, lineno);
       p.has_fix = parse_num<int>(f[4], file, lineno) != 0;
       p.wifi_fingerprint = parse_num<std::uint32_t>(f[5], file, lineno);
-      p.accel_variance = parse_num<double>(f[6], file, lineno);
+      p.accel_variance = checked_nonnegative(
+          parse_num<double>(f[6], file, lineno), "accel_var", file, lineno);
       UserRecord& u = require_user(id, file, lineno);
       // Surface GpsTrace's ordering invariant with file:line context.
       if (!u.gps.points().empty() && p.t < u.gps.points().back().t) {
@@ -265,13 +304,14 @@ Dataset read_dataset_csv(const fs::path& dir, const std::string& name) {
       if (f.size() != 6) fail(file, lineno, "expected 6 fields");
       const auto id = parse_num<UserId>(f[0], file, lineno);
       Checkin c;
-      c.t = parse_num<TimeSec>(f[1], file, lineno);
+      c.t = checked_time(parse_num<TimeSec>(f[1], file, lineno), file, lineno);
       c.poi = parse_num<PoiId>(f[2], file, lineno);
       const auto cat = parse_poi_category(f[3]);
       if (!cat) fail(file, lineno, "unknown POI category");
       c.category = *cat;
-      c.location = geo::LatLon{parse_num<double>(f[4], file, lineno),
-                               parse_num<double>(f[5], file, lineno)};
+      c.location = checked_latlon(parse_num<double>(f[4], file, lineno),
+                                  parse_num<double>(f[5], file, lineno),
+                                  file, lineno);
       UserRecord& u = require_user(id, file, lineno);
       if (!u.checkins.events().empty() && c.t < u.checkins.events().back().t) {
         fail(file, lineno, "checkin timestamps out of order for user");
@@ -296,10 +336,13 @@ Dataset read_dataset_csv(const fs::path& dir, const std::string& name) {
       if (f.size() != 6) fail(file, lineno, "expected 6 fields");
       const auto id = parse_num<UserId>(f[0], file, lineno);
       Visit v;
-      v.start = parse_num<TimeSec>(f[1], file, lineno);
-      v.end = parse_num<TimeSec>(f[2], file, lineno);
-      v.centroid = geo::LatLon{parse_num<double>(f[3], file, lineno),
-                               parse_num<double>(f[4], file, lineno)};
+      v.start =
+          checked_time(parse_num<TimeSec>(f[1], file, lineno), file, lineno);
+      v.end = checked_time(parse_num<TimeSec>(f[2], file, lineno), file, lineno);
+      if (v.end < v.start) fail(file, lineno, "visit ends before it starts");
+      v.centroid = checked_latlon(parse_num<double>(f[3], file, lineno),
+                                  parse_num<double>(f[4], file, lineno),
+                                  file, lineno);
       v.poi = parse_num<PoiId>(f[5], file, lineno);
       require_user(id, file, lineno).visits.push_back(v);
     }

@@ -13,19 +13,30 @@
 
 #include <filesystem>
 #include <iosfwd>
+#include <stdexcept>
 #include <string>
 
 #include "trace/dataset.h"
 
 namespace geovalid::trace {
 
+/// A dataset failed to load: missing file, malformed row, or a value that
+/// parses but is physically meaningless (NaN/infinite/out-of-range
+/// coordinates, timestamps outside [0, kMaxEventTime], negative or
+/// non-finite profile rates). The message carries file and line number.
+/// Distinct from std::runtime_error so callers (the CLI's exit-code
+/// contract) can tell "your input is bad" from "the program failed".
+struct IngestError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
 /// Writes `ds` under `dir` (created if absent). Throws std::runtime_error on
 /// I/O failure.
 void write_dataset_csv(const Dataset& ds, const std::filesystem::path& dir);
 
 /// Loads a dataset previously written by write_dataset_csv. Throws
-/// std::runtime_error on missing files or malformed rows (message carries
-/// file and line number).
+/// IngestError on missing files, malformed rows, or implausible values
+/// (see IngestError).
 [[nodiscard]] Dataset read_dataset_csv(const std::filesystem::path& dir,
                                        const std::string& name);
 

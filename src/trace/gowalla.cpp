@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "trace/csv.h"  // IngestError
 
 namespace geovalid::trace {
 namespace {
@@ -28,7 +29,7 @@ void count_skipped(const char* reason) {
                        const std::string& what) {
   std::ostringstream os;
   os << file.string() << ":" << line << ": " << what;
-  throw std::runtime_error(os.str());
+  throw IngestError(os.str());
 }
 
 /// Parses "YYYY-MM-DDTHH:MM:SSZ" into Unix seconds; nullopt on mismatch.
@@ -100,7 +101,7 @@ Dataset read_gowalla_checkins(const std::filesystem::path& file,
                               const GowallaImportOptions& options) {
   std::ifstream in(file);
   if (!in) {
-    throw std::runtime_error("cannot open for read: " + file.string());
+    throw IngestError("cannot open for read: " + file.string());
   }
 
   std::map<UserId, std::vector<Checkin>> per_user;

@@ -16,6 +16,12 @@ inline constexpr TimeSec kSecondsPerMinute = 60;
 inline constexpr TimeSec kSecondsPerHour = 3600;
 inline constexpr TimeSec kSecondsPerDay = 86400;
 
+/// Upper bound on a plausible event timestamp (~year 4700). Anything past
+/// it is treated as corruption by ingest and the streaming quarantine: the
+/// bound leaves the matching window arithmetic (`t + beta`) several orders
+/// of magnitude away from std::int64_t overflow.
+inline constexpr TimeSec kMaxEventTime = TimeSec{86400} * 1000000;
+
 /// Converts whole minutes to seconds.
 [[nodiscard]] constexpr TimeSec minutes(TimeSec m) {
   return m * kSecondsPerMinute;

@@ -18,7 +18,9 @@
 #include "apps/traffic.h"
 #include "core/pipeline.h"
 #include "obs/metrics.h"
+#include "stream/checkpoint.h"
 #include "stream/engine.h"
+#include "stream/quarantine.h"
 #include "stream/replay.h"
 #include "synth/config.h"
 #include "trace/csv.h"
@@ -46,6 +48,20 @@ void exercise_all_instrumented_paths(const fs::path& scratch) {
   config.shards = 2;
   stream::StreamEngine engine(config);
   (void)stream::replay_dataset(analysis.dataset, engine);
+
+  // Fault tolerance: a checkpoint write + restore registers the checkpoint
+  // counter/size/latency families; a quarantined record registers the
+  // dead-letter counter.
+  {
+    const fs::path ckdir = scratch / "checkpoints";
+    fs::remove_all(ckdir);
+    (void)stream::write_checkpoint(ckdir, {1, "obs-docs-payload"});
+    (void)stream::restore_latest(ckdir);
+    stream::Quarantine quarantine;
+    quarantine.record(stream::Event::gps_sample(
+                          1, trace::GpsPoint{-1, {0.0, 0.0}, true, 0, 0.0}),
+                      stream::QuarantineReason::kTimestampOverflow);
+  }
 
   // Application studies.
   (void)apps::category_flow(analysis.dataset, analysis.validation,

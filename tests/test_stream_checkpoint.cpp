@@ -1,0 +1,301 @@
+// Checkpoint format coverage: snapshot primitive roundtrips, full engine
+// state roundtrip (every shard-state field must survive save -> load ->
+// save byte-identically), container rejection of truncated / corrupted /
+// wrong-version files, config-fingerprint refusal, and restore_latest
+// fallback order.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <string>
+
+#include "match/pipeline.h"
+#include "stream/checkpoint.h"
+#include "stream/engine.h"
+#include "stream/replay.h"
+#include "stream/snapshot_io.h"
+#include "synth/config.h"
+#include "synth/study_generator.h"
+
+namespace geovalid::stream {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path fresh_dir(const char* name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+TEST(SnapshotIo, PrimitiveRoundtrip) {
+  SnapshotWriter w;
+  w.u8(0x7F);
+  w.u32(0xDEADBEEFu);
+  w.u64(0xFEEDFACECAFEBEEFull);
+  w.i64(-1234567890123456789LL);
+  w.i64(std::numeric_limits<std::int64_t>::min());
+  w.f64(-119.69820000000001);
+  w.f64(0.0);
+  w.boolean(true);
+  w.boolean(false);
+
+  SnapshotReader r(w.bytes());
+  EXPECT_EQ(r.u8(), 0x7F);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0xFEEDFACECAFEBEEFull);
+  EXPECT_EQ(r.i64(), -1234567890123456789LL);
+  EXPECT_EQ(r.i64(), std::numeric_limits<std::int64_t>::min());
+  EXPECT_EQ(r.f64(), -119.69820000000001);
+  EXPECT_EQ(r.f64(), 0.0);
+  EXPECT_TRUE(r.boolean());
+  EXPECT_FALSE(r.boolean());
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(SnapshotIo, ReadPastEndThrows) {
+  SnapshotWriter w;
+  w.u32(7);
+  SnapshotReader r(w.bytes());
+  (void)r.u32();
+  EXPECT_THROW(r.u8(), SnapshotError);
+}
+
+TEST(SnapshotIo, BadBooleanThrows) {
+  SnapshotWriter w;
+  w.u8(2);
+  SnapshotReader r(w.bytes());
+  EXPECT_THROW(r.boolean(), SnapshotError);
+}
+
+TEST(SnapshotIo, OversizedLengthThrows) {
+  SnapshotWriter w;
+  w.u64(1ull << 40);  // sequence length far beyond the payload
+  SnapshotReader r(w.bytes());
+  EXPECT_THROW(r.length(), SnapshotError);
+}
+
+// Engine save/load: the payload must capture EVERY shard-state field.
+// Feeding a study populates detector windows, matcher pending/deferred
+// queues and GPS buffers, verdict counters and per-user clocks; the
+// save -> load -> save fixed point then proves no field is dropped or
+// mutated by (de)serialization.
+TEST(Checkpoint, EngineStateSurvivesSaveLoadSaveByteIdentically) {
+  const synth::GeneratedStudy study =
+      synth::generate_study(synth::tiny_preset());
+  const std::vector<Event> events = flatten_dataset(study.dataset);
+  const std::size_t half = events.size() / 2;
+
+  StreamEngine a{StreamEngineConfig{}};
+  for (std::size_t i = 0; i < half; ++i) a.push(events[i]);
+  const std::string bytes = a.save_state();
+
+  StreamEngine b{StreamEngineConfig{}};
+  b.load_state(bytes);
+  EXPECT_EQ(b.save_state(), bytes);
+}
+
+TEST(Checkpoint, StateBytesAreShardCountIndependent) {
+  const synth::GeneratedStudy study =
+      synth::generate_study(synth::tiny_preset());
+  const std::vector<Event> events = flatten_dataset(study.dataset);
+  const std::size_t half = events.size() / 2;
+
+  std::string reference;
+  for (const std::size_t shards : {1u, 2u, 4u}) {
+    StreamEngineConfig config;
+    config.shards = shards;
+    StreamEngine engine(config);
+    for (std::size_t i = 0; i < half; ++i) engine.push(events[i]);
+    const std::string bytes = engine.save_state();
+    if (reference.empty()) {
+      reference = bytes;
+    } else {
+      EXPECT_EQ(bytes, reference) << "shards=" << shards;
+    }
+  }
+  ASSERT_FALSE(reference.empty());
+}
+
+TEST(Checkpoint, LoadIntoDifferentConfigRefuses) {
+  StreamEngine a{StreamEngineConfig{}};
+  const std::string bytes = a.save_state();
+
+  StreamEngineConfig other;
+  other.match.alpha_m = 100.0;  // semantically different pipeline
+  StreamEngine b(other);
+  try {
+    b.load_state(bytes);
+    FAIL() << "expected CheckpointError";
+  } catch (const CheckpointError& e) {
+    EXPECT_EQ(e.kind(), CheckpointError::Kind::kConfigMismatch);
+  }
+}
+
+TEST(Checkpoint, ShardCountIsNotPartOfTheFingerprint) {
+  StreamEngineConfig four;
+  four.shards = 4;
+  StreamEngine a(four);
+  const std::string bytes = a.save_state();
+
+  StreamEngineConfig one;
+  one.shards = 1;
+  StreamEngine b(one);
+  EXPECT_NO_THROW(b.load_state(bytes));
+}
+
+TEST(Checkpoint, LoadIntoUsedEngineThrows) {
+  StreamEngine a{StreamEngineConfig{}};
+  const std::string bytes = a.save_state();
+
+  StreamEngine b{StreamEngineConfig{}};
+  b.push(Event::gps_sample(1, trace::GpsPoint{0, {34.0, -119.0}, true, 0, 0.0}));
+  EXPECT_THROW(b.load_state(bytes), std::logic_error);
+}
+
+TEST(Checkpoint, TrailingBytesRejected) {
+  StreamEngine a{StreamEngineConfig{}};
+  std::string bytes = a.save_state();
+  bytes.push_back('\0');
+  StreamEngine b{StreamEngineConfig{}};
+  EXPECT_THROW(b.load_state(bytes), SnapshotError);
+}
+
+TEST(Checkpoint, ContainerRoundtrip) {
+  Checkpoint ck;
+  ck.cursor = 123456789;
+  ck.payload = "engine-state-payload\x01\x02\x00more";
+  // Embedded NULs must survive: the payload is binary.
+  ck.payload.push_back('\0');
+  const std::string bytes = encode_checkpoint(ck);
+  const Checkpoint back = decode_checkpoint(bytes);
+  EXPECT_EQ(back.cursor, ck.cursor);
+  EXPECT_EQ(back.payload, ck.payload);
+}
+
+TEST(Checkpoint, EveryTruncationIsRejected) {
+  Checkpoint ck;
+  ck.cursor = 42;
+  ck.payload = "0123456789abcdef";
+  const std::string bytes = encode_checkpoint(ck);
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    try {
+      (void)decode_checkpoint(std::string_view(bytes).substr(0, len));
+      FAIL() << "truncation to " << len << " bytes accepted";
+    } catch (const CheckpointError& e) {
+      EXPECT_EQ(e.kind(), CheckpointError::Kind::kCorrupt) << "len " << len;
+    }
+  }
+}
+
+TEST(Checkpoint, EveryFlippedByteIsRejected) {
+  Checkpoint ck;
+  ck.cursor = 7;
+  ck.payload = "payload-bytes";
+  const std::string good = encode_checkpoint(ck);
+  for (std::size_t i = 0; i < good.size(); ++i) {
+    std::string bad = good;
+    bad[i] = static_cast<char>(bad[i] ^ 0x40);
+    // A flip lands on magic, version, sizes, payload or CRC — every one
+    // must be caught (version flips report kVersionMismatch, the rest
+    // kCorrupt; nothing decodes successfully).
+    EXPECT_THROW((void)decode_checkpoint(bad), CheckpointError)
+        << "flipped byte " << i;
+  }
+}
+
+TEST(Checkpoint, VersionMismatchIsItsOwnKind) {
+  Checkpoint ck;
+  ck.payload = "p";
+  std::string bytes = encode_checkpoint(ck);
+  bytes[4] = static_cast<char>(kCheckpointVersion + 1);  // little-endian LSB
+  // Re-stamp the CRC so only the version differs from a valid file.
+  const std::string body = bytes.substr(0, bytes.size() - 4);
+  SnapshotWriter w;
+  w.u32(crc32(body));
+  bytes = body + w.bytes();
+  try {
+    (void)decode_checkpoint(bytes);
+    FAIL() << "expected CheckpointError";
+  } catch (const CheckpointError& e) {
+    EXPECT_EQ(e.kind(), CheckpointError::Kind::kVersionMismatch);
+  }
+}
+
+TEST(Checkpoint, RestoreLatestPrefersNewestValid) {
+  const fs::path dir = fresh_dir("ck_latest");
+  write_checkpoint(dir, {100, "old"});
+  write_checkpoint(dir, {200, "new"});
+  const auto ck = restore_latest(dir);
+  ASSERT_TRUE(ck.has_value());
+  EXPECT_EQ(ck->cursor, 200u);
+  EXPECT_EQ(ck->payload, "new");
+}
+
+TEST(Checkpoint, RestoreLatestFallsBackPastCorruptFile) {
+  const fs::path dir = fresh_dir("ck_fallback");
+  write_checkpoint(dir, {100, "old"});
+  const fs::path newest = write_checkpoint(dir, {200, "new"});
+  {
+    std::ofstream out(newest, std::ios::binary | std::ios::trunc);
+    out << "torn write";
+  }
+  const auto ck = restore_latest(dir);
+  ASSERT_TRUE(ck.has_value());
+  EXPECT_EQ(ck->cursor, 100u);
+  EXPECT_EQ(ck->payload, "old");
+}
+
+TEST(Checkpoint, RestoreLatestEmptyOrMissingDirIsFreshStart) {
+  EXPECT_FALSE(restore_latest(fresh_dir("ck_missing")).has_value());
+  const fs::path dir = fresh_dir("ck_empty");
+  fs::create_directories(dir);
+  EXPECT_FALSE(restore_latest(dir).has_value());
+}
+
+TEST(Checkpoint, RestoreLatestAllCorruptThrows) {
+  const fs::path dir = fresh_dir("ck_corrupt");
+  const fs::path only = write_checkpoint(dir, {100, "x"});
+  {
+    std::ofstream out(only, std::ios::binary | std::ios::trunc);
+    out << "garbage";
+  }
+  try {
+    (void)restore_latest(dir);
+    FAIL() << "expected CheckpointError";
+  } catch (const CheckpointError& e) {
+    EXPECT_EQ(e.kind(), CheckpointError::Kind::kCorrupt);
+  }
+}
+
+TEST(Checkpoint, RestoreLatestRefusesNewerFormat) {
+  const fs::path dir = fresh_dir("ck_version");
+  write_checkpoint(dir, {100, "old"});
+  // Hand-craft a well-formed file claiming a future format revision.
+  SnapshotWriter w;
+  w.u32(kCheckpointMagic);
+  w.u32(kCheckpointVersion + 1);
+  w.u64(200);
+  w.u64(1);
+  std::string bytes = w.take();
+  bytes += 'p';
+  SnapshotWriter trailer;
+  trailer.u32(crc32(bytes));
+  bytes += trailer.bytes();
+  {
+    std::ofstream out(dir / "checkpoint-00000000000000000200.gvck",
+                      std::ios::binary);
+    out << bytes;
+  }
+  try {
+    (void)restore_latest(dir);
+    FAIL() << "expected CheckpointError";
+  } catch (const CheckpointError& e) {
+    EXPECT_EQ(e.kind(), CheckpointError::Kind::kVersionMismatch);
+  }
+}
+
+}  // namespace
+}  // namespace geovalid::stream

@@ -1,0 +1,181 @@
+// Deterministic fault harness: spec parsing, seed-stable corruption, the
+// "quarantined count equals injected count" invariant, verdict equivalence
+// against the same stream with the corrupted records removed, stall
+// liveness, and the replay kill/stop paths.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <unordered_set>
+#include <vector>
+
+#include "match/pipeline.h"
+#include "stream/engine.h"
+#include "stream/faults.h"
+#include "stream/quarantine.h"
+#include "stream/replay.h"
+#include "synth/config.h"
+#include "synth/study_generator.h"
+
+namespace geovalid::stream {
+namespace {
+
+TEST(FaultSpec, ParsesFullGrammar) {
+  const FaultPlan plan =
+      parse_fault_spec("corrupt=0.01,stall=1@500:20,kill=9000,seed=7");
+  EXPECT_DOUBLE_EQ(plan.corrupt_rate, 0.01);
+  EXPECT_EQ(plan.kill_at, 9000u);
+  EXPECT_EQ(plan.seed, 7u);
+  ASSERT_EQ(plan.stalls.size(), 1u);
+  EXPECT_EQ(plan.stalls[0].shard, 1u);
+  EXPECT_EQ(plan.stalls[0].after_events, 500u);
+  EXPECT_EQ(plan.stalls[0].millis, 20u);
+}
+
+TEST(FaultSpec, DefaultsAreInert) {
+  const FaultPlan plan = parse_fault_spec("seed=3");
+  EXPECT_EQ(plan.corrupt_rate, 0.0);
+  EXPECT_EQ(plan.kill_at, 0u);
+  EXPECT_TRUE(plan.stalls.empty());
+}
+
+TEST(FaultSpec, RejectsMalformedSpecs) {
+  EXPECT_THROW(parse_fault_spec("corrupt"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_spec("corrupt=0"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_spec("corrupt=1.5"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_spec("corrupt=abc"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_spec("kill=0"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_spec("kill=-5"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_spec("stall=1@x:20"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_spec("stall=500:20"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_spec("frobnicate=1"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_spec("corrupt=0.1,,kill=5"),
+               std::invalid_argument);
+}
+
+TEST(FaultInjector, CorruptionIsSeedDeterministic) {
+  const synth::GeneratedStudy study =
+      synth::generate_study(synth::tiny_preset());
+  const std::vector<Event> clean = flatten_dataset(study.dataset);
+
+  FaultPlan plan;
+  plan.corrupt_rate = 0.02;
+  plan.seed = 11;
+  const FaultInjector injector(plan);
+
+  std::vector<Event> a = clean;
+  std::vector<Event> b = clean;
+  const auto offsets_a = injector.corrupt_stream(a);
+  const auto offsets_b = injector.corrupt_stream(b);
+  ASSERT_FALSE(offsets_a.empty());
+  EXPECT_EQ(offsets_a, offsets_b);
+
+  plan.seed = 12;
+  std::vector<Event> c = clean;
+  EXPECT_NE(FaultInjector(plan).corrupt_stream(c), offsets_a);
+}
+
+TEST(FaultInjector, QuarantineCatchesExactlyTheInjectedRecords) {
+  const synth::GeneratedStudy study =
+      synth::generate_study(synth::tiny_preset());
+  const std::vector<Event> clean = flatten_dataset(study.dataset);
+
+  std::unordered_set<trace::UserId> enrolled;
+  for (const trace::UserRecord& u : study.dataset.users()) {
+    enrolled.insert(u.id);
+  }
+
+  FaultPlan plan;
+  plan.corrupt_rate = 0.02;
+  plan.seed = 5;
+  const FaultInjector injector(plan);
+  std::vector<Event> dirty = clean;
+  const auto corrupted = injector.corrupt_stream(dirty);
+  ASSERT_FALSE(corrupted.empty());
+
+  Quarantine quarantine;
+  StreamEngineConfig config;
+  config.shards = 4;
+  config.quarantine = &quarantine;
+  config.known_users = &enrolled;
+  StreamEngine engine(config);
+  replay_events(dirty, engine);
+
+  // Every injected corruption quarantined, nothing else.
+  EXPECT_EQ(quarantine.total(), corrupted.size());
+
+  // Verdicts equal the same stream with the corrupted records removed.
+  std::vector<Event> filtered;
+  filtered.reserve(clean.size() - corrupted.size());
+  std::unordered_set<std::uint64_t> dropped(corrupted.begin(),
+                                            corrupted.end());
+  for (std::uint64_t i = 0; i < clean.size(); ++i) {
+    if (dropped.count(i) == 0) filtered.push_back(clean[i]);
+  }
+  StreamEngine reference{StreamEngineConfig{}};
+  replay_events(filtered, reference);
+
+  const match::Partition got = engine.partition();
+  const match::Partition want = reference.partition();
+  EXPECT_EQ(got.honest, want.honest);
+  EXPECT_EQ(got.extraneous, want.extraneous);
+  EXPECT_EQ(got.missing, want.missing);
+  EXPECT_EQ(got.checkins, want.checkins);
+  EXPECT_EQ(got.visits, want.visits);
+  EXPECT_EQ(got.by_class, want.by_class);
+}
+
+TEST(FaultInjector, StalledShardStaysLiveAndExact) {
+  const synth::GeneratedStudy study =
+      synth::generate_study(synth::tiny_preset());
+  const std::vector<Event> events = flatten_dataset(study.dataset);
+  const match::Partition batch =
+      match::validate_dataset(study.dataset).totals;
+
+  FaultPlan plan = parse_fault_spec("stall=0@100:50,stall=1@200:50");
+  const FaultInjector injector(plan);
+  StreamEngineConfig config;
+  config.shards = 2;
+  config.faults = &injector;
+  StreamEngine engine(config);
+  replay_events(events, engine);
+
+  const match::Partition got = engine.partition();
+  EXPECT_EQ(got.honest, batch.honest);
+  EXPECT_EQ(got.extraneous, batch.extraneous);
+  EXPECT_EQ(got.missing, batch.missing);
+}
+
+TEST(FaultInjector, ReplayKillStopsAbruptlyAtTheChosenOffset) {
+  const synth::GeneratedStudy study =
+      synth::generate_study(synth::tiny_preset());
+  const std::vector<Event> events = flatten_dataset(study.dataset);
+  ASSERT_GT(events.size(), 1000u);
+
+  StreamEngine engine{StreamEngineConfig{}};
+  ReplayConfig replay;
+  replay.kill_at = 1000;
+  const ReplayStats stats = replay_events(events, engine, replay);
+  EXPECT_TRUE(stats.killed);
+  EXPECT_FALSE(stats.interrupted);
+  EXPECT_EQ(stats.cursor, 1000u);
+  EXPECT_EQ(stats.events, 1000u);
+}
+
+TEST(FaultInjector, StopAfterInterruptsGracefully) {
+  const synth::GeneratedStudy study =
+      synth::generate_study(synth::tiny_preset());
+  const std::vector<Event> events = flatten_dataset(study.dataset);
+  ASSERT_GT(events.size(), 500u);
+
+  StreamEngine engine{StreamEngineConfig{}};
+  ReplayConfig replay;
+  replay.stop_after = 500;
+  const ReplayStats stats = replay_events(events, engine, replay);
+  EXPECT_TRUE(stats.interrupted);
+  EXPECT_FALSE(stats.killed);
+  EXPECT_EQ(stats.cursor, 500u);
+}
+
+}  // namespace
+}  // namespace geovalid::stream

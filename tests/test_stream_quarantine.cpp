@@ -1,0 +1,212 @@
+// Graceful degradation: malformed events must be routed to the dead-letter
+// path with the right reason code — and must leave the verdicts of the
+// healthy records untouched.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "match/pipeline.h"
+#include "obs/metrics.h"
+#include "stream/engine.h"
+#include "stream/quarantine.h"
+#include "stream/replay.h"
+#include "synth/config.h"
+#include "synth/study_generator.h"
+
+namespace geovalid::stream {
+namespace {
+
+namespace fs = std::filesystem;
+
+Event gps_at(trace::UserId user, trace::TimeSec t, double lat = 34.42,
+             double lon = -119.69) {
+  return Event::gps_sample(user, trace::GpsPoint{t, {lat, lon}, true, 0, 0.0});
+}
+
+TEST(ValidateEvent, AcceptsPlausibleEvent) {
+  EXPECT_FALSE(validate_event(gps_at(1, 1000), nullptr).has_value());
+}
+
+TEST(ValidateEvent, RejectsBadCoordinates) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(validate_event(gps_at(1, 0, nan, 0.0), nullptr),
+            QuarantineReason::kBadCoordinates);
+  EXPECT_EQ(validate_event(gps_at(1, 0, 0.0, inf), nullptr),
+            QuarantineReason::kBadCoordinates);
+  EXPECT_EQ(validate_event(gps_at(1, 0, 91.0, 0.0), nullptr),
+            QuarantineReason::kBadCoordinates);
+  EXPECT_EQ(validate_event(gps_at(1, 0, 0.0, -181.0), nullptr),
+            QuarantineReason::kBadCoordinates);
+}
+
+TEST(ValidateEvent, RejectsTimestampOverflow) {
+  EXPECT_EQ(validate_event(gps_at(1, -1), nullptr),
+            QuarantineReason::kTimestampOverflow);
+  EXPECT_EQ(validate_event(gps_at(1, trace::kMaxEventTime + 1), nullptr),
+            QuarantineReason::kTimestampOverflow);
+  EXPECT_FALSE(
+      validate_event(gps_at(1, trace::kMaxEventTime), nullptr).has_value());
+}
+
+TEST(ValidateEvent, RejectsUnknownUser) {
+  const std::unordered_set<trace::UserId> enrolled{1, 2};
+  EXPECT_FALSE(validate_event(gps_at(1, 0), &enrolled).has_value());
+  EXPECT_EQ(validate_event(gps_at(3, 0), &enrolled),
+            QuarantineReason::kUnknownUser);
+}
+
+TEST(Quarantine, ReasonStringsAreStable) {
+  EXPECT_EQ(to_string(QuarantineReason::kBadCoordinates), "bad_coordinates");
+  EXPECT_EQ(to_string(QuarantineReason::kTimestampOverflow),
+            "timestamp_overflow");
+  EXPECT_EQ(to_string(QuarantineReason::kLateTimestamp), "late_timestamp");
+  EXPECT_EQ(to_string(QuarantineReason::kStaleTimestamp), "stale_timestamp");
+  EXPECT_EQ(to_string(QuarantineReason::kUnknownUser), "unknown_user");
+}
+
+TEST(Quarantine, EngineRoutesMalformedEventsAndKeepsVerdictsClean) {
+  const synth::GeneratedStudy study =
+      synth::generate_study(synth::tiny_preset());
+  const std::vector<Event> clean = flatten_dataset(study.dataset);
+  ASSERT_GT(clean.size(), 10u);
+
+  // Splice malformed events into the clean stream.
+  std::vector<Event> dirty = clean;
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  dirty.insert(dirty.begin() + 5, gps_at(1, clean[5].time(), nan, 0.0));
+  dirty.insert(dirty.begin(), gps_at(2, -50));
+  dirty.push_back(gps_at(0x80000001u, clean.back().time()));
+
+  std::unordered_set<trace::UserId> enrolled;
+  for (const trace::UserRecord& u : study.dataset.users()) {
+    enrolled.insert(u.id);
+  }
+
+  Quarantine quarantine;
+  StreamEngineConfig config;
+  config.shards = 2;
+  config.quarantine = &quarantine;
+  config.known_users = &enrolled;
+  StreamEngine engine(config);
+  replay_events(dirty, engine);
+
+  EXPECT_EQ(quarantine.count(QuarantineReason::kBadCoordinates), 1u);
+  EXPECT_EQ(quarantine.count(QuarantineReason::kTimestampOverflow), 1u);
+  EXPECT_EQ(quarantine.count(QuarantineReason::kUnknownUser), 1u);
+  EXPECT_EQ(quarantine.total(), 3u);
+
+  // The healthy records' verdicts are untouched by the garbage.
+  const match::Partition batch =
+      match::validate_dataset(study.dataset).totals;
+  const match::Partition streamed = engine.partition();
+  EXPECT_EQ(streamed.honest, batch.honest);
+  EXPECT_EQ(streamed.extraneous, batch.extraneous);
+  EXPECT_EQ(streamed.missing, batch.missing);
+  EXPECT_EQ(streamed.checkins, batch.checkins);
+  EXPECT_EQ(streamed.visits, batch.visits);
+}
+
+TEST(Quarantine, LateVersusStaleSplitsOnReorderWindow) {
+  Quarantine quarantine;
+  StreamEngineConfig config;
+  config.quarantine = &quarantine;
+  config.reorder_window = 60;
+  StreamEngine engine(config);
+
+  engine.push(gps_at(1, 1000));
+  engine.push(gps_at(1, 970));  // 30 s behind: late (within the window)
+  engine.push(gps_at(1, 100));  // 900 s behind: stale
+  engine.finish();
+
+  EXPECT_EQ(quarantine.count(QuarantineReason::kLateTimestamp), 1u);
+  EXPECT_EQ(quarantine.count(QuarantineReason::kStaleTimestamp), 1u);
+}
+
+TEST(Quarantine, LateEventsAreNeverApplied) {
+  // A quarantined regression must not advance (or rewind) the user clock:
+  // the next in-order event still flows normally.
+  Quarantine quarantine;
+  StreamEngineConfig config;
+  config.quarantine = &quarantine;
+  config.reorder_window = 60;
+  StreamEngine engine(config);
+
+  engine.push(gps_at(1, 1000));
+  engine.push(gps_at(1, 970));
+  engine.push(gps_at(1, 1030));  // in order w.r.t. 1000, must be accepted
+  engine.finish();
+  EXPECT_EQ(quarantine.total(), 1u);
+  EXPECT_EQ(engine.events_processed(), 3u);  // quarantined at the shard
+}
+
+TEST(Quarantine, WithoutQuarantineRegressionStillThrows) {
+  StreamEngine engine{StreamEngineConfig{}};
+  engine.push(gps_at(1, 1000));
+  engine.push(gps_at(1, 500));
+  EXPECT_THROW(engine.finish(), std::invalid_argument);
+}
+
+TEST(Quarantine, DeadLetterFileCarriesReasonAndPayload) {
+  const fs::path path =
+      fs::path(::testing::TempDir()) / "dead_letter_test.csv";
+  fs::remove(path);
+  {
+    QuarantineConfig qc;
+    qc.dead_letter_path = path;
+    Quarantine quarantine(qc);
+    quarantine.record(gps_at(7, -1), QuarantineReason::kTimestampOverflow);
+    quarantine.record(gps_at(8, 10, 95.0, 0.0),
+                      QuarantineReason::kBadCoordinates);
+    quarantine.flush();
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "reason,user,kind,t,lat,lon");
+  std::getline(in, line);
+  EXPECT_EQ(line.rfind("timestamp_overflow,7,gps,-1,", 0), 0u) << line;
+  std::getline(in, line);
+  EXPECT_EQ(line.rfind("bad_coordinates,8,gps,10,95,", 0), 0u) << line;
+  EXPECT_FALSE(std::getline(in, line));
+}
+
+TEST(Quarantine, DeadLetterAppendsAcrossRuns) {
+  const fs::path path =
+      fs::path(::testing::TempDir()) / "dead_letter_append.csv";
+  fs::remove(path);
+  for (int run = 0; run < 2; ++run) {
+    QuarantineConfig qc;
+    qc.dead_letter_path = path;
+    Quarantine quarantine(qc);
+    quarantine.record(gps_at(1, -1), QuarantineReason::kTimestampOverflow);
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) ++lines;
+  EXPECT_EQ(lines, 3u);  // one header + one record per run
+}
+
+TEST(Quarantine, CountersReportIntoTheRegistry) {
+  Quarantine quarantine;
+  obs::Counter& counter = obs::registry().counter(
+      "stream_quarantined_total",
+      "Stream records routed to the dead-letter path, by reason",
+      {{"reason", "bad_coordinates"}});
+  const std::uint64_t before = counter.value();
+  quarantine.record(gps_at(1, 0, 95.0, 0.0),
+                    QuarantineReason::kBadCoordinates);
+  EXPECT_EQ(counter.value(), before + 1);
+}
+
+}  // namespace
+}  // namespace geovalid::stream

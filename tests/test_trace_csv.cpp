@@ -224,6 +224,105 @@ TEST_F(CsvRoundTrip, BadNumericFieldReportsFileAndLine) {
   }
 }
 
+/// Writes the tiny dataset, then replaces one CSV file with a header plus a
+/// single malformed row, and requires ingest to reject the row as a typed
+/// IngestError (the CLI maps that type to its own exit code) carrying the
+/// file name, the line number (":2") and the human reason.
+void expect_row_rejected(const fs::path& dir, const Dataset& original,
+                         const char* file, const std::string& header,
+                         const std::string& row, const char* reason) {
+  write_dataset_csv(original, dir);
+  {
+    std::ofstream out(dir / file);
+    out << header << "\n" << row << "\n";
+  }
+  try {
+    read_dataset_csv(dir, "x");
+    FAIL() << "expected IngestError for " << file << " row: " << row;
+  } catch (const IngestError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find(file), std::string::npos) << msg;
+    EXPECT_NE(msg.find(":2"), std::string::npos) << msg;
+    EXPECT_NE(msg.find(reason), std::string::npos) << msg;
+  }
+}
+
+TEST_F(CsvRoundTrip, RejectsNonFiniteCoordinates) {
+  const Dataset ds = tiny_dataset();
+  const std::string u = std::to_string(ds.users().front().id);
+  const char* gps = "user,t,lat,lon,has_fix,wifi,accel_var";
+  expect_row_rejected(dir_, ds, "gps.csv", gps, u + ",0,nan,0,1,0,0.1",
+                      "coordinates");
+  expect_row_rejected(dir_, ds, "gps.csv", gps, u + ",0,0,inf,1,0,0.1",
+                      "coordinates");
+  expect_row_rejected(dir_, ds, "gps.csv", gps, u + ",0,0,-inf,1,0,0.1",
+                      "coordinates");
+  expect_row_rejected(dir_, ds, "checkins.csv", "user,t,poi,category,lat,lon",
+                      u + ",0,1,Food,nan,0", "coordinates");
+}
+
+TEST_F(CsvRoundTrip, RejectsOutOfRangeCoordinates) {
+  const Dataset ds = tiny_dataset();
+  const std::string u = std::to_string(ds.users().front().id);
+  const char* gps = "user,t,lat,lon,has_fix,wifi,accel_var";
+  expect_row_rejected(dir_, ds, "gps.csv", gps, u + ",0,91.5,0,1,0,0.1",
+                      "coordinates");
+  expect_row_rejected(dir_, ds, "gps.csv", gps, u + ",0,0,-180.5,1,0,0.1",
+                      "coordinates");
+  expect_row_rejected(dir_, ds, "pois.csv", "id,name,category,lat,lon",
+                      "1,Cafe,Food,95,0", "coordinates");
+  expect_row_rejected(dir_, ds, "visits.csv", "user,start,end,lat,lon,poi",
+                      u + ",0,10,0,200,1", "coordinates");
+}
+
+TEST_F(CsvRoundTrip, RejectsTimestampOverflow) {
+  const Dataset ds = tiny_dataset();
+  const std::string u = std::to_string(ds.users().front().id);
+  const std::string over = std::to_string(kMaxEventTime + 1);
+  const char* gps = "user,t,lat,lon,has_fix,wifi,accel_var";
+  expect_row_rejected(dir_, ds, "gps.csv", gps, u + ",-1,0,0,1,0,0.1",
+                      "timestamp out of range");
+  expect_row_rejected(dir_, ds, "gps.csv", gps,
+                      u + "," + over + ",0,0,1,0,0.1",
+                      "timestamp out of range");
+  expect_row_rejected(dir_, ds, "checkins.csv", "user,t,poi,category,lat,lon",
+                      u + ",-5,1,Food,0,0", "timestamp out of range");
+  expect_row_rejected(dir_, ds, "visits.csv", "user,start,end,lat,lon,poi",
+                      u + ",0," + over + ",0,0,1", "timestamp out of range");
+}
+
+TEST_F(CsvRoundTrip, RejectsVisitEndingBeforeItStarts) {
+  const Dataset ds = tiny_dataset();
+  const std::string u = std::to_string(ds.users().front().id);
+  expect_row_rejected(dir_, ds, "visits.csv", "user,start,end,lat,lon,poi",
+                      u + ",100,50,0,0,1", "visit ends before it starts");
+}
+
+TEST_F(CsvRoundTrip, RejectsNegativeOrNonFiniteRates) {
+  const Dataset ds = tiny_dataset();
+  const std::string u = std::to_string(ds.users().front().id);
+  const char* gps = "user,t,lat,lon,has_fix,wifi,accel_var";
+  expect_row_rejected(dir_, ds, "gps.csv", gps, u + ",0,0,0,1,0,-1",
+                      "accel_var must be finite and non-negative");
+  expect_row_rejected(dir_, ds, "gps.csv", gps, u + ",0,0,0,1,0,nan",
+                      "accel_var must be finite and non-negative");
+  expect_row_rejected(dir_, ds, "users.csv",
+                      "id,friends,badges,mayorships,checkins_per_day",
+                      "1,0,0,0,-0.5",
+                      "checkins_per_day must be finite and non-negative");
+  expect_row_rejected(dir_, ds, "users.csv",
+                      "id,friends,badges,mayorships,checkins_per_day",
+                      "1,0,0,0,inf",
+                      "checkins_per_day must be finite and non-negative");
+}
+
+TEST_F(CsvRoundTrip, IngestErrorsAreTyped) {
+  // The exit-code contract needs ingest failures distinguishable from other
+  // runtime errors; both the missing-directory and malformed-row paths must
+  // throw the dedicated type.
+  EXPECT_THROW(read_dataset_csv(dir_ / "does_not_exist", "x"), IngestError);
+}
+
 TEST_F(CsvRoundTrip, PoiNameWithCommaIsSanitized) {
   std::vector<Poi> pois;
   pois.push_back(Poi{1, "Joe's, Diner", PoiCategory::kFood, {1.0, 2.0}});

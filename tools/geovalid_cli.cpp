@@ -19,16 +19,35 @@
 //       geovalid CSV dataset (checkins only; run `repair` on it next).
 //
 //   geovalid stream <dataset_dir> [--shards N] [--rate E] [--verify]
-//                   [--snapshot-interval S]
+//                   [--snapshot-interval S] [--checkpoint-dir D]
+//                   [--checkpoint-interval N] [--resume]
+//                   [--dead-letter FILE] [--inject-faults SPEC]
+//                   [--stop-after N]
 //       Replay a CSV dataset through the sharded streaming engine in
 //       global timestamp order (visits are re-detected online from the
 //       GPS samples), print the live-aggregated partition and throughput,
-//       and optionally cross-check against the batch pipeline.
+//       and optionally cross-check against the batch pipeline. With
+//       --checkpoint-dir the engine state is checkpointed every
+//       --checkpoint-interval events (and on SIGTERM/SIGINT); --resume
+//       restarts from the latest valid checkpoint and produces verdicts
+//       bit-identical to an uninterrupted run. --dead-letter routes
+//       malformed records to a CSV file instead of aborting (see
+//       docs/ROBUSTNESS.md); --inject-faults drives the deterministic
+//       fault harness (spec grammar in docs/ROBUSTNESS.md).
+//
+// Exit codes (docs/ROBUSTNESS.md):
+//   0  success
+//   1  runtime failure (incl. --verify mismatch, simulated fault kill)
+//   2  usage error
+//   3  dataset ingest failure (trace::IngestError)
+//   4  checkpoint unusable (corrupt / version or config mismatch)
+//   5  clean shutdown on SIGTERM/SIGINT or --stop-after (state saved)
 //
 // Every subcommand accepts --metrics-json <path>: on exit (success or
 // failure) the process-wide observability registry is dumped as JSON.
 // docs/OBSERVABILITY.md is the reference for every metric in the dump.
 #include <cerrno>
+#include <csignal>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -36,6 +55,7 @@
 #include <iostream>
 #include <optional>
 #include <string>
+#include <unordered_set>
 
 #include "core/parallel.h"
 #include "core/pipeline.h"
@@ -46,6 +66,9 @@
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "recover/upsample.h"
+#include "stream/checkpoint.h"
+#include "stream/faults.h"
+#include "stream/quarantine.h"
 #include "stream/replay.h"
 #include "trace/csv.h"
 #include "trace/gowalla.h"
@@ -53,6 +76,20 @@
 namespace {
 
 using namespace geovalid;
+
+/// Exit codes of the contract above, in one place.
+enum ExitCode : int {
+  kExitOk = 0,
+  kExitRuntime = 1,
+  kExitUsage = 2,
+  kExitIngest = 3,
+  kExitCheckpoint = 4,
+  kExitInterrupted = 5,
+};
+
+volatile std::sig_atomic_t g_stop = 0;
+
+extern "C" void handle_stop_signal(int) { g_stop = 1; }
 
 int usage() {
   std::cerr <<
@@ -65,7 +102,10 @@ int usage() {
       "  geovalid import-snap <checkins.txt> <output_dir> [--max-users N]\n"
       "  geovalid stream <dataset_dir> [--shards N] [--rate EVENTS/S] "
       "[--verify]\n"
-      "                  [--snapshot-interval SECONDS]\n"
+      "                  [--snapshot-interval SECONDS] [--checkpoint-dir D]\n"
+      "                  [--checkpoint-interval EVENTS] [--resume]\n"
+      "                  [--dead-letter FILE] [--inject-faults SPEC]\n"
+      "                  [--stop-after EVENTS]\n"
       "\n"
       "common flags:\n"
       "  --metrics-json FILE   dump the metrics registry as JSON on exit\n"
@@ -75,8 +115,11 @@ int usage() {
       "                        output is identical at any thread count)\n"
       "\n"
       "--rate and --snapshot-interval must be positive; --rate omitted\n"
-      "replays unthrottled.\n";
-  return 2;
+      "replays unthrottled. Fault-tolerance flags, the fault-spec grammar\n"
+      "and the exit-code contract (0 ok, 1 runtime, 2 usage, 3 ingest,\n"
+      "4 checkpoint, 5 clean shutdown on signal) are documented in\n"
+      "docs/ROBUSTNESS.md.\n";
+  return kExitUsage;
 }
 
 std::optional<double> flag_value(int argc, char** argv, const char* name) {
@@ -346,16 +389,94 @@ int cmd_stream(int argc, char** argv) {
     };
   }
 
+  // Fault-tolerance flags (docs/ROBUSTNESS.md).
+  const auto checkpoint_dir = string_flag_value(argc, argv, "--checkpoint-dir");
+  const bool resume = has_flag(argc, argv, "--resume");
+  if (resume && !checkpoint_dir) {
+    throw UsageError("--resume requires --checkpoint-dir");
+  }
+  std::uint64_t checkpoint_interval = 100000;
+  if (const auto v = int_flag_value(argc, argv, "--checkpoint-interval")) {
+    if (*v == 0) throw UsageError("--checkpoint-interval must be positive");
+    checkpoint_interval = *v;
+  }
+  if (const auto v = int_flag_value(argc, argv, "--stop-after")) {
+    if (*v == 0) throw UsageError("--stop-after must be positive");
+    replay_cfg.stop_after = *v;
+  }
+  const auto dead_letter = string_flag_value(argc, argv, "--dead-letter");
+  std::optional<stream::FaultInjector> injector;
+  if (const auto spec = string_flag_value(argc, argv, "--inject-faults")) {
+    if (has_flag(argc, argv, "--verify")) {
+      // Corrupted records are quarantined, so the streamed partition
+      // deliberately diverges from a batch run over the corrupted files.
+      throw UsageError("--verify cannot be combined with --inject-faults");
+    }
+    try {
+      injector.emplace(stream::parse_fault_spec(*spec));
+    } catch (const std::invalid_argument& e) {
+      throw UsageError(e.what());
+    }
+  }
+
   std::cout << "loading " << dir << "...\n";
   const trace::Dataset ds =
       trace::read_dataset_csv(dir, dir.filename().string());
 
+  // Quarantine is on whenever the run can see malformed records: an
+  // explicit dead-letter file, or injected corruption.
+  std::optional<stream::Quarantine> quarantine;
+  std::unordered_set<trace::UserId> enrolled;
+  if (dead_letter || injector) {
+    stream::QuarantineConfig qc;
+    if (dead_letter) qc.dead_letter_path = *dead_letter;
+    quarantine.emplace(qc);
+    engine_cfg.quarantine = &*quarantine;
+  }
+
+  std::vector<stream::Event> events = stream::flatten_dataset(ds);
+  std::size_t injected = 0;
+  if (injector) {
+    for (const trace::UserRecord& u : ds.users()) enrolled.insert(u.id);
+    engine_cfg.known_users = &enrolled;
+    engine_cfg.faults = &*injector;
+    replay_cfg.kill_at = injector->plan().kill_at;
+    injected = injector->corrupt_stream(events).size();
+    std::cout << "fault injection: corrupted " << injected << " of "
+              << events.size() << " events (seed "
+              << injector->plan().seed << ")\n";
+  }
+
+  // Resume before the engine sees any event: restore the newest valid
+  // checkpoint, then skip the event prefix it covers.
+  std::optional<stream::Checkpoint> restored;
+  if (resume) restored = stream::restore_latest(*checkpoint_dir);
+
   stream::StreamEngine engine(engine_cfg);
+  if (restored) {
+    engine.load_state(restored->payload);
+    replay_cfg.resume_cursor = restored->cursor;
+    std::cout << "resumed from checkpoint at cursor " << restored->cursor
+              << "\n";
+  }
+  if (checkpoint_dir) {
+    replay_cfg.checkpoint_interval_events = checkpoint_interval;
+    replay_cfg.on_checkpoint =
+        [&engine, ckdir = std::filesystem::path(*checkpoint_dir)](
+            std::uint64_t cursor) {
+          stream::write_checkpoint(ckdir, {cursor, engine.save_state()});
+        };
+  }
+  // SIGTERM/SIGINT turn into a graceful stop: drain, checkpoint, exit 5.
+  replay_cfg.stop = &g_stop;
+  std::signal(SIGTERM, handle_stop_signal);
+  std::signal(SIGINT, handle_stop_signal);
+
   // Report the engine's actual shard count (it clamps 0 to 1).
   std::cout << "streaming " << ds.user_count() << " users onto "
             << engine.shard_count() << " shard(s)...\n";
-  const stream::ReplayStats stats = stream::replay_dataset(ds, engine,
-                                                           replay_cfg);
+  const stream::ReplayStats stats =
+      stream::replay_events(events, engine, replay_cfg);
 
   std::cout << "\n=== replay ===\n"
             << "  events       " << stats.events << " (" << stats.gps_samples
@@ -364,12 +485,39 @@ int cmd_stream(int argc, char** argv) {
             << "  feed         " << stats.feed_seconds << " s\n"
             << "  drain        " << stats.drain_seconds << " s\n"
             << std::setprecision(0)
-            << "  throughput   " << stats.events_per_sec << " events/s\n";
+            << "  throughput   " << stats.events_per_sec << " events/s\n"
+            << "  cursor       " << stats.cursor << "\n";
+
+  if (quarantine) {
+    std::cout << "\n=== quarantine ===\n";
+    for (std::size_t i = 0; i < stream::kQuarantineReasonCount; ++i) {
+      const auto reason = static_cast<stream::QuarantineReason>(i);
+      std::cout << "  " << std::left << std::setw(20)
+                << stream::to_string(reason) << std::right << std::setw(10)
+                << quarantine->count(reason) << "\n";
+    }
+    std::cout << "  " << std::left << std::setw(20) << "total" << std::right
+              << std::setw(10) << quarantine->total() << "\n";
+  }
 
   std::cout << "\n=== streaming partition (alpha=" << engine_cfg.match.alpha_m
             << " m, beta=" << engine_cfg.match.beta / 60 << " min) ===\n";
   const match::Partition streamed = engine.partition();
   core::print_partition(std::cout, streamed);
+
+  if (stats.killed) {
+    std::cout << "\nsimulated crash before offset " << stats.cursor
+              << " (no checkpoint written; resume from the last periodic "
+                 "one)\n";
+    return kExitRuntime;
+  }
+  if (stats.interrupted) {
+    std::cout << "\ninterrupted at cursor " << stats.cursor
+              << (checkpoint_dir ? "; checkpoint written — rerun with "
+                                   "--resume to continue\n"
+                                 : "; no --checkpoint-dir, progress lost\n");
+    return kExitInterrupted;
+  }
 
   if (has_flag(argc, argv, "--verify")) {
     std::cout << "\nverifying against the batch pipeline...\n";
@@ -391,11 +539,11 @@ int cmd_stream(int argc, char** argv) {
     if (!equal) {
       std::cout << "MISMATCH — batch partition:\n";
       core::print_partition(std::cout, b);
-      return 1;
+      return kExitRuntime;
     }
     std::cout << "batch partition matches exactly.\n";
   }
-  return 0;
+  return kExitOk;
 }
 
 /// Dumps the metrics registry if --metrics-json was given. Runs on every
@@ -433,9 +581,15 @@ int main(int argc, char** argv) {
     std::cerr << "error: " << e.what() << "\n";
     maybe_dump_metrics(argc - 2, argv + 2);
     return usage();
+  } catch (const trace::IngestError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    rc = kExitIngest;
+  } catch (const stream::CheckpointError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    rc = kExitCheckpoint;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
-    rc = 1;
+    rc = kExitRuntime;
   }
   maybe_dump_metrics(argc - 2, argv + 2);
   return rc;
