@@ -1,0 +1,138 @@
+// Serve-layer throughput: run the daemon in-process, replay the primary
+// study through real sockets with the loadgen client at increasing
+// connection counts, and report end-to-end events/sec (serialize + TCP +
+// parse + engine). Emits one JSON line per configuration; the 4-connection
+// run is the acceptance configuration (docs/SERVICE.md) and is gated on
+// correctness — its final partition must equal the batch pipeline's.
+#include <atomic>
+#include <iomanip>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "match/pipeline.h"
+#include "serve/client.h"
+#include "serve/net.h"
+#include "serve/server.h"
+#include "stream/replay.h"
+#include "synth/study_generator.h"
+#include "trace/visit_detector.h"
+
+namespace {
+
+using namespace geovalid;
+
+struct Run {
+  std::size_t connections = 0;
+  serve::LoadgenStats loadgen;
+  match::Partition partition;
+};
+
+Run run_once(const std::vector<stream::Event>& events,
+             std::size_t connections) {
+  serve::ServeConfig config;
+  config.engine.shards = 4;
+  config.metrics = false;  // measure the serve path, not the exporter
+  config.idle_timeout_s = 0;
+  serve::Server server(std::move(config));
+  server.start();
+
+  std::atomic<bool> stop{false};
+  std::thread loop([&] { (void)server.run(&stop); });
+
+  serve::LoadgenConfig lg;
+  lg.port = server.ingest_port();
+  lg.http_port = server.http_port();
+  lg.connections = connections;
+
+  Run r;
+  r.connections = connections;
+  r.loadgen = serve::run_loadgen(events, lg);
+  // Quiesce: the drain answer means every record sent above is in the
+  // verdicts (the server finishes reading the socket buffers first).
+  (void)serve::http_post("127.0.0.1", server.http_port(), "/admin/drain");
+  loop.join();
+  stop.store(true);  // unused: the drain exits the loop
+  r.partition = server.engine().partition();
+  return r;
+}
+
+Run run_best(const std::vector<stream::Event>& events,
+             std::size_t connections, int reps) {
+  Run best = run_once(events, connections);
+  for (int i = 1; i < reps; ++i) {
+    Run r = run_once(events, connections);
+    if (r.loadgen.events_per_sec > best.loadgen.events_per_sec) {
+      best = std::move(r);
+    }
+  }
+  return best;
+}
+
+void print_json(const Run& r) {
+  const auto& s = r.loadgen;
+  std::cout << "{\"bench\":\"serve_throughput\",\"connections\":"
+            << r.connections << ",\"events_sent\":" << s.events_sent
+            << ",\"bytes_sent\":" << s.bytes_sent
+            << ",\"send_seconds\":" << std::setprecision(6) << s.send_seconds
+            << ",\"summary_latency_s\":" << s.summary_latency_s
+            << ",\"events_per_sec\":" << std::setprecision(8)
+            << s.events_per_sec << "}\n";
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Serve daemon throughput (events/sec vs connection count)",
+                "n/a (systems extension; the paper's pipeline is offline)");
+
+  const synth::GeneratedStudy study =
+      synth::generate_study(synth::primary_preset());
+  const std::vector<stream::Event> events =
+      stream::flatten_dataset(study.dataset);
+  std::cout << "replaying " << events.size()
+            << " events over loopback TCP (primary study)\n\n";
+
+  // Batch reference partition for the correctness gate.
+  trace::Dataset batch_ds = study.dataset;
+  {
+    stream::StreamEngineConfig defaults;
+    const trace::VisitDetector detector(defaults.detector);
+    for (trace::UserRecord& u : batch_ds.mutable_users()) {
+      u.visits = detector.detect(u.gps);
+    }
+  }
+  const match::Partition batch =
+      match::validate_dataset(batch_ds, {}, {}, 0).totals;
+
+  run_once(events, 1);  // warm-up: page faults, listen-socket caches
+
+  Run accept_run;
+  for (const std::size_t connections : {1u, 2u, 4u, 8u}) {
+    Run r = run_best(events, connections, 3);
+    print_json(r);
+    if (connections == 4) accept_run = std::move(r);
+  }
+
+  const bool partition_ok =
+      accept_run.partition.honest == batch.honest &&
+      accept_run.partition.extraneous == batch.extraneous &&
+      accept_run.partition.missing == batch.missing &&
+      accept_run.partition.checkins == batch.checkins &&
+      accept_run.partition.visits == batch.visits &&
+      accept_run.partition.by_class == batch.by_class;
+  std::cout << "\n4-connection partition vs batch: "
+            << (partition_ok ? "identical" : "MISMATCH") << "\n";
+  if (!partition_ok) return 1;
+
+  // Acceptance bar: >= 100k events/s end-to-end on 4 connections.
+  // Warn-style (CI boxes are noisy); the JSON above is the record.
+  const double rate = accept_run.loadgen.events_per_sec;
+  std::cout << "4-connection throughput: " << std::setprecision(8) << rate
+            << " events/s (bar: 100000)\n";
+  if (rate < 100000.0) {
+    std::cout << "WARNING: below the 100k events/s acceptance bar\n";
+  }
+  return 0;
+}

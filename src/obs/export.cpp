@@ -56,6 +56,8 @@ void json_labels(std::ostream& out, const Labels& labels) {
 }
 
 /// Prometheus label block: `{a="x",b="y"}`, empty string for no labels.
+/// Every value — including the histogram `le` bound handed in as
+/// extra_value — goes through the shared escaper.
 void prom_labels(std::ostream& out, const Labels& labels,
                  const std::string* extra_key = nullptr,
                  const std::string* extra_value = nullptr) {
@@ -65,25 +67,56 @@ void prom_labels(std::ostream& out, const Labels& labels,
   for (const auto& [k, v] : labels) {
     if (!first) out << ',';
     first = false;
-    out << k << "=\"";
-    for (const char c : v) {
-      if (c == '\\' || c == '"') out << '\\';
-      if (c == '\n') {
-        out << "\\n";
-        continue;
-      }
-      out << c;
-    }
-    out << '"';
+    out << k << "=\"" << prom_escape_label_value(v) << '"';
   }
   if (extra_key != nullptr) {
     if (!first) out << ',';
-    out << *extra_key << "=\"" << *extra_value << '"';
+    out << *extra_key << "=\"" << prom_escape_label_value(*extra_value)
+        << '"';
   }
   out << '}';
 }
 
 }  // namespace
+
+std::string prom_escape_label_value(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string prom_escape_help(std::string_view help) {
+  std::string out;
+  out.reserve(help.size());
+  for (const char c : help) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
 
 void write_json(const Registry& registry, std::ostream& out) {
   const std::vector<Sample> samples = registry.samples();
@@ -151,7 +184,8 @@ void write_prometheus(const Registry& registry, std::ostream& out) {
   const std::string* last_family = nullptr;
   for (const Sample& s : samples) {
     if (last_family == nullptr || *last_family != s.info.name) {
-      out << "# HELP " << s.info.name << ' ' << s.info.help << '\n';
+      out << "# HELP " << s.info.name << ' ' << prom_escape_help(s.info.help)
+          << '\n';
       out << "# TYPE " << s.info.name << ' ' << to_string(s.info.type)
           << '\n';
       last_family = &s.info.name;

@@ -17,10 +17,16 @@
 #include <filesystem>
 #include <iosfwd>
 #include <string>
+#include <string_view>
 
 #include "obs/metrics.h"
 
 namespace geovalid::obs {
+
+/// The exposition-format content type an HTTP scrape endpoint must serve
+/// (Prometheus text format 0.0.4); `geovalid serve` uses it on /metrics.
+inline constexpr std::string_view kPrometheusContentType =
+    "text/plain; version=0.0.4; charset=utf-8";
 
 void write_json(const Registry& registry, std::ostream& out);
 [[nodiscard]] std::string to_json(const Registry& registry);
@@ -32,5 +38,13 @@ void write_json_file(const Registry& registry,
 
 void write_prometheus(const Registry& registry, std::ostream& out);
 [[nodiscard]] std::string to_prometheus(const Registry& registry);
+
+/// Escapes a label value per the text exposition format: backslash, double
+/// quote and newline become \\, \" and \n. Everything the exporter puts
+/// between label quotes goes through here.
+[[nodiscard]] std::string prom_escape_label_value(std::string_view value);
+
+/// Escapes `# HELP` text: backslash and newline (quotes are legal there).
+[[nodiscard]] std::string prom_escape_help(std::string_view help);
 
 }  // namespace geovalid::obs

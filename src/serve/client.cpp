@@ -1,0 +1,157 @@
+#include "serve/client.h"
+
+#include <charconv>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "serve/net.h"
+#include "serve/wire.h"
+
+namespace geovalid::serve {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Serialize-and-send granularity; large enough to amortize syscalls,
+/// small enough that pacing (when enabled) stays smooth.
+constexpr std::size_t kChunkBytes = 64 * 1024;
+
+struct ConnResult {
+  std::uint64_t events = 0;
+  std::uint64_t bytes = 0;
+  bool failed = false;
+};
+
+ConnResult replay_connection(const LoadgenConfig& config,
+                             const std::vector<stream::Event>& events) {
+  ConnResult result;
+  Fd fd = tcp_connect(config.host, config.port);
+  std::string chunk;
+  chunk.reserve(kChunkBytes + 256);
+  const bool paced = config.rate_events_per_sec > 0.0;
+  const Clock::time_point start = Clock::now();
+
+  const auto flush = [&]() -> bool {
+    if (chunk.empty()) return true;
+    if (!send_all(fd.get(), chunk)) {
+      result.failed = true;
+      return false;
+    }
+    result.bytes += chunk.size();
+    chunk.clear();
+    return true;
+  };
+
+  for (const stream::Event& e : events) {
+    append_wire_record(chunk, e);
+    ++result.events;
+    if (chunk.size() >= kChunkBytes) {
+      if (!flush()) return result;
+    }
+    if (paced) {
+      const auto due =
+          start + std::chrono::duration_cast<Clock::duration>(
+                      std::chrono::duration<double>(
+                          static_cast<double>(result.events) /
+                          config.rate_events_per_sec));
+      if (!flush()) return result;
+      std::this_thread::sleep_until(due);
+    }
+  }
+  flush();
+  // Orderly shutdown: the server sees EOF with no trailing fragment.
+  return result;
+}
+
+void append_json_number(std::string& out, double v) {
+  char buf[40];
+  const auto [p, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, static_cast<std::size_t>(p - buf));
+}
+
+}  // namespace
+
+LoadgenStats run_loadgen(std::span<const stream::Event> events,
+                         const LoadgenConfig& config) {
+  LoadgenStats stats;
+  const std::size_t n = std::max<std::size_t>(1, config.connections);
+  stats.connections = n;
+
+  // Stable per-user partition: a user's records always ride the same
+  // connection, in trace order.
+  std::vector<std::vector<stream::Event>> shards(n);
+  for (const stream::Event& e : events) {
+    shards[e.user % n].push_back(e);
+  }
+
+  std::vector<ConnResult> results(n);
+  const Clock::time_point start = Clock::now();
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      threads.emplace_back([&, i] {
+        results[i] = replay_connection(config, shards[i]);
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  stats.send_seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  for (const ConnResult& r : results) {
+    stats.events_sent += r.events;
+    stats.bytes_sent += r.bytes;
+    if (r.failed) ++stats.failed_connections;
+  }
+  if (stats.send_seconds > 0.0) {
+    stats.events_per_sec =
+        static_cast<double>(stats.events_sent) / stats.send_seconds;
+  }
+
+  if (config.http_port != 0) {
+    const HttpResponse health =
+        http_get(config.host, config.http_port, "/healthz");
+    stats.healthz_ok = health.status == 200;
+    const HttpResponse metrics =
+        http_get(config.host, config.http_port, "/metrics");
+    stats.metrics_ok =
+        metrics.status == 200 &&
+        metrics.header("content-type").rfind("text/plain; version=0.0.4",
+                                             0) == 0;
+    const Clock::time_point t0 = Clock::now();
+    const HttpResponse summary =
+        http_get(config.host, config.http_port, "/v1/summary");
+    stats.summary_latency_s =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    if (summary.status == 200) stats.summary_json = summary.body;
+  }
+  return stats;
+}
+
+std::string to_json(const LoadgenStats& stats) {
+  std::string out = "{\"connections\":";
+  out += std::to_string(stats.connections);
+  out += ",\"events_sent\":";
+  out += std::to_string(stats.events_sent);
+  out += ",\"bytes_sent\":";
+  out += std::to_string(stats.bytes_sent);
+  out += ",\"send_seconds\":";
+  append_json_number(out, stats.send_seconds);
+  out += ",\"events_per_sec\":";
+  append_json_number(out, stats.events_per_sec);
+  out += ",\"failed_connections\":";
+  out += std::to_string(stats.failed_connections);
+  out += ",\"healthz_ok\":";
+  out += stats.healthz_ok ? "true" : "false";
+  out += ",\"metrics_ok\":";
+  out += stats.metrics_ok ? "true" : "false";
+  out += ",\"summary_latency_s\":";
+  append_json_number(out, stats.summary_latency_s);
+  out += ",\"summary\":";
+  out += stats.summary_json.empty() ? "null" : stats.summary_json;
+  out += "}";
+  return out;
+}
+
+}  // namespace geovalid::serve

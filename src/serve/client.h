@@ -1,0 +1,52 @@
+// Load-generator client for the serve daemon: replays a trace over N
+// concurrent ingest connections and (optionally) probes the control plane.
+//
+// Events are partitioned by `user % connections` — the same stable rule a
+// real fleet of per-device feeders would induce — so each user's records
+// travel one connection in order, which is exactly the ordering contract
+// the engine's verdicts depend on. Throughput is measured from the first
+// byte sent to the last connection's orderly shutdown.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "stream/engine.h"
+
+namespace geovalid::serve {
+
+struct LoadgenConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;       ///< ingest port (required)
+  std::uint16_t http_port = 0;  ///< 0 = skip the control-plane probe
+  std::size_t connections = 1;
+  /// Per-connection pacing in events/s; 0 = full speed.
+  double rate_events_per_sec = 0.0;
+};
+
+struct LoadgenStats {
+  std::size_t connections = 0;
+  std::uint64_t events_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  double send_seconds = 0.0;  ///< first send to last connection closed
+  double events_per_sec = 0.0;
+  std::size_t failed_connections = 0;  ///< peer vanished mid-replay
+
+  // Control-plane probe (only when http_port was set):
+  bool healthz_ok = false;
+  bool metrics_ok = false;  ///< 200 + Prometheus content type on /metrics
+  double summary_latency_s = 0.0;  ///< /v1/summary round trip (incl. drain)
+  std::string summary_json;        ///< /v1/summary body, verbatim
+};
+
+/// Replays `events` against a running server. Throws NetError when a
+/// connection cannot be established; a peer that disconnects mid-replay is
+/// counted in failed_connections instead (the server may be draining).
+[[nodiscard]] LoadgenStats run_loadgen(std::span<const stream::Event> events,
+                                       const LoadgenConfig& config);
+
+/// One-line JSON rendering of the stats (the loadgen tool's output).
+[[nodiscard]] std::string to_json(const LoadgenStats& stats);
+
+}  // namespace geovalid::serve

@@ -1,0 +1,82 @@
+// Minimal HTTP/1.1 server-side message handling for the serve control
+// plane.
+//
+// Scope is deliberately tiny — the control plane serves five fixed routes
+// to curl / Prometheus / the loadgen probe, all with `Connection: close`:
+// an incremental request parser (head + optional Content-Length body, hard
+// caps on both, tolerant of any recv() chunking) and a response builder.
+// No keep-alive, no chunked transfer, no TLS.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace geovalid::serve {
+
+/// Request-head cap: method + target + headers. 8 KiB is curl-friendly
+/// and starves slow-loris header drips quickly.
+inline constexpr std::size_t kMaxHttpHeadBytes = 8 * 1024;
+
+/// Body cap; the control plane has no body-carrying route that needs more.
+inline constexpr std::size_t kMaxHttpBodyBytes = 64 * 1024;
+
+struct HttpRequest {
+  std::string method;
+  std::string target;
+  std::string version;
+  /// Header (name, value) pairs in arrival order; names lowercased.
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// First header with this (lowercase) name; empty when absent.
+  [[nodiscard]] std::string_view header(std::string_view name) const;
+};
+
+/// Incremental request parser: feed it recv() chunks until it reports
+/// kDone (request() is valid) or kError (error_status()/error() say what
+/// to send back before closing).
+class HttpRequestParser {
+ public:
+  enum class State {
+    kHead,   ///< still accumulating the request head
+    kBody,   ///< head parsed, reading Content-Length bytes
+    kDone,   ///< full request available
+    kError,  ///< malformed or over a cap; reply error_status() and close
+  };
+
+  /// Consumes a chunk; returns the state afterwards. Bytes past the end of
+  /// a kDone request are ignored (the server closes after one response).
+  State consume(std::string_view data);
+
+  [[nodiscard]] State state() const { return state_; }
+  [[nodiscard]] const HttpRequest& request() const { return request_; }
+  [[nodiscard]] int error_status() const { return error_status_; }
+  [[nodiscard]] const std::string& error() const { return error_; }
+
+ private:
+  State fail(int status, std::string message);
+  State parse_head();
+
+  State state_ = State::kHead;
+  std::string buf_;
+  std::size_t body_expected_ = 0;
+  HttpRequest request_;
+  int error_status_ = 400;
+  std::string error_;
+};
+
+/// Serializes one response with Content-Length and `Connection: close`.
+/// `extra_headers` are appended verbatim (e.g. a Content-Type override is
+/// not needed — pass the type directly).
+[[nodiscard]] std::string http_response(
+    int status, std::string_view content_type, std::string_view body,
+    const std::vector<std::pair<std::string, std::string>>& extra_headers =
+        {});
+
+/// Canonical reason phrase ("OK", "Not Found", ...); "Unknown" otherwise.
+[[nodiscard]] std::string_view http_status_text(int status);
+
+}  // namespace geovalid::serve

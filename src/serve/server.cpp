@@ -1,0 +1,774 @@
+#include "serve/server.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <charconv>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "match/classifier.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "serve/http.h"
+#include "stream/checkpoint.h"
+#include "stream/snapshot_io.h"
+
+namespace geovalid::serve {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Poll tick: the idle sweep / checkpoint / stop-flag granularity.
+constexpr int kPollTimeoutMs = 100;
+
+/// Per-connection read budget per loop iteration, so one firehose client
+/// cannot starve the others between polls.
+constexpr std::size_t kReadBudgetBytes = 256 * 1024;
+
+/// The fixed route vocabulary of serve_http_requests_total{route=...} —
+/// unknown targets collapse into "other" so hostile clients cannot mint
+/// unbounded label values.
+constexpr const char* kRouteLabels[] = {
+    "/healthz",          "/metrics",       "/v1/summary",
+    "/v1/users/{id}/verdicts", "/admin/checkpoint", "/admin/drain",
+    "other",
+};
+
+void append_json_number(std::string& out, double v) {
+  char buf[40];
+  const auto [p, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, static_cast<std::size_t>(p - buf));
+}
+
+void append_json_number(std::string& out, std::uint64_t v) {
+  out += std::to_string(v);
+}
+
+void append_partition_json(std::string& out, const match::Partition& p) {
+  out += "{\"honest\":";
+  append_json_number(out, static_cast<std::uint64_t>(p.honest));
+  out += ",\"extraneous\":";
+  append_json_number(out, static_cast<std::uint64_t>(p.extraneous));
+  out += ",\"missing\":";
+  append_json_number(out, static_cast<std::uint64_t>(p.missing));
+  out += ",\"checkins\":";
+  append_json_number(out, static_cast<std::uint64_t>(p.checkins));
+  out += ",\"visits\":";
+  append_json_number(out, static_cast<std::uint64_t>(p.visits));
+  out += ",\"by_class\":{";
+  for (std::size_t c = 0; c < match::kCheckinClassCount; ++c) {
+    if (c > 0) out += ',';
+    out += '"';
+    out += match::to_string(static_cast<match::CheckinClass>(c));
+    out += "\":";
+    append_json_number(out, static_cast<std::uint64_t>(p.by_class[c]));
+  }
+  out += "}}";
+}
+
+std::string user_verdicts_json(const stream::UserVerdicts& v) {
+  std::string out = "{\"user\":";
+  append_json_number(out, static_cast<std::uint64_t>(v.id));
+  out += ",\"partition\":";
+  append_partition_json(out, v.partition);
+  out += ",\"extraneous_ratio\":";
+  append_json_number(out, v.extraneous_ratio());
+  out += ",\"interarrival\":{\"gaps\":";
+  append_json_number(out, v.gap_count);
+  out += ",\"mean_min\":";
+  append_json_number(out, v.gap_mean_min);
+  out += ",\"stddev_min\":";
+  append_json_number(out, v.gap_stddev_min());
+  out += ",\"burstiness\":";
+  append_json_number(out, v.burstiness());
+  out += "}}";
+  return out;
+}
+
+}  // namespace
+
+/// One accepted socket, either protocol. Response bytes queue in `wbuf`
+/// and drip out under POLLOUT, so a slow reader never blocks the loop.
+struct Server::Conn {
+  Fd fd;
+  bool is_http = false;
+  bool dead = false;
+  bool close_after_write = false;
+  bool awaiting_drain = false;  ///< /admin/drain caller; answered once the
+                                ///< ingest side has quiesced
+  LineDecoder decoder;
+  HttpRequestParser parser;
+  std::string wbuf;
+  std::size_t woff = 0;
+  Clock::time_point last_activity;
+
+  explicit Conn(Fd socket, bool http, std::size_t max_line_bytes)
+      : fd(std::move(socket)), is_http(http), decoder(max_line_bytes) {
+    last_activity = Clock::now();
+  }
+};
+
+/// Cached serve_* metric handles (null when ServeConfig::metrics is off).
+struct Server::Metrics {
+  obs::Counter* connections_ingest = nullptr;
+  obs::Counter* connections_http = nullptr;
+  obs::Gauge* active_ingest = nullptr;
+  obs::Gauge* active_http = nullptr;
+  obs::Counter* bytes_read_ingest = nullptr;
+  obs::Counter* bytes_read_http = nullptr;
+  obs::Counter* bytes_written_ingest = nullptr;
+  obs::Counter* bytes_written_http = nullptr;
+  obs::Counter* records_applied = nullptr;
+  obs::Counter* records_replayed = nullptr;
+  obs::Counter* records_malformed = nullptr;
+  obs::Gauge* ingest_lag = nullptr;
+  obs::Counter* idle_timeouts = nullptr;
+  obs::Counter* accept_backpressure = nullptr;
+
+  /// serve_http_requests_total{route,status}; statuses appear lazily, the
+  /// route vocabulary is fixed (kRouteLabels).
+  obs::Counter& http_requests(const std::string& route, int status) {
+    return obs::registry().counter(
+        "serve_http_requests_total",
+        "Control-plane requests served, by route and response status",
+        {{"route", route}, {"status", std::to_string(status)}});
+  }
+};
+
+Server::Server(ServeConfig config) : config_(std::move(config)) {
+  quarantine_.emplace(config_.quarantine);
+  // A network feed is never trusted: the quarantine path is always on, so
+  // malformed payloads degrade to dead letters instead of poisoning the
+  // engine (ISSUE: "typed rejection into the quarantine path").
+  config_.engine.quarantine = &*quarantine_;
+  engine_.emplace(config_.engine);
+  if (config_.metrics) register_metrics();
+}
+
+Server::~Server() = default;
+
+void Server::register_metrics() {
+  obs::Registry& r = obs::registry();
+  metrics_ = std::make_unique<Metrics>();
+  Metrics& m = *metrics_;
+  static constexpr std::string_view kConnHelp =
+      "Connections accepted, by listener kind";
+  m.connections_ingest =
+      &r.counter("serve_connections_total", kConnHelp, {{"kind", "ingest"}});
+  m.connections_http =
+      &r.counter("serve_connections_total", kConnHelp, {{"kind", "http"}});
+  static constexpr std::string_view kActiveHelp =
+      "Currently open connections, by listener kind";
+  m.active_ingest =
+      &r.gauge("serve_connections_active", kActiveHelp, {{"kind", "ingest"}});
+  m.active_http =
+      &r.gauge("serve_connections_active", kActiveHelp, {{"kind", "http"}});
+  static constexpr std::string_view kReadHelp =
+      "Bytes received from clients, by listener kind";
+  m.bytes_read_ingest =
+      &r.counter("serve_bytes_read_total", kReadHelp, {{"kind", "ingest"}});
+  m.bytes_read_http =
+      &r.counter("serve_bytes_read_total", kReadHelp, {{"kind", "http"}});
+  static constexpr std::string_view kWriteHelp =
+      "Bytes sent to clients, by listener kind";
+  m.bytes_written_ingest = &r.counter("serve_bytes_written_total", kWriteHelp,
+                                      {{"kind", "ingest"}});
+  m.bytes_written_http = &r.counter("serve_bytes_written_total", kWriteHelp,
+                                    {{"kind", "http"}});
+  static constexpr std::string_view kRecordHelp =
+      "Ingest records, by outcome: applied to the engine, replayed "
+      "(checkpoint-covered prefix after a resume), malformed "
+      "(dead-lettered)";
+  m.records_applied = &r.counter("serve_ingest_records_total", kRecordHelp,
+                                 {{"result", "applied"}});
+  m.records_replayed = &r.counter("serve_ingest_records_total", kRecordHelp,
+                                  {{"result", "replayed"}});
+  m.records_malformed = &r.counter("serve_ingest_records_total", kRecordHelp,
+                                   {{"result", "malformed"}});
+  m.ingest_lag = &r.gauge(
+      "serve_ingest_lag_events",
+      "Events accepted by the server but not yet processed by the engine "
+      "workers (in-flight depth)");
+  m.idle_timeouts = &r.counter(
+      "serve_idle_timeouts_total",
+      "Connections closed by the idle sweep");
+  m.accept_backpressure = &r.counter(
+      "serve_accept_backpressure_total",
+      "Times the listeners left the poll set because the connection cap "
+      "was reached (new clients wait in the kernel backlog)");
+  // Pre-register the fixed route vocabulary with the success status, so a
+  // scrape (and the obs-docs test) sees the family before any request.
+  for (const char* route : kRouteLabels) m.http_requests(route, 200);
+}
+
+void Server::start() {
+  if (started_) throw std::logic_error("Server::start called twice");
+  if (config_.resume && !config_.checkpoint_dir.empty()) {
+    restore_from_checkpoint();
+  }
+  ingest_listener_ = tcp_listen(config_.host, config_.ingest_port);
+  ingest_port_ = local_port(ingest_listener_.get());
+  http_listener_ = tcp_listen(config_.host, config_.http_port);
+  http_port_ = local_port(http_listener_.get());
+  started_ = true;
+}
+
+void Server::restore_from_checkpoint() {
+  const auto restored = stream::restore_latest(config_.checkpoint_dir);
+  if (!restored) return;
+  // Serve payload: per-user accepted-record coverage, then the engine
+  // payload as an opaque blob.
+  stream::SnapshotReader r(restored->payload);
+  const std::uint64_t users = r.u64();
+  for (std::uint64_t i = 0; i < users; ++i) {
+    const trace::UserId id = r.u32();
+    const std::uint64_t count = r.u64();
+    if (count == 0 || !resumed_.emplace(id, count).second) {
+      throw stream::SnapshotError(
+          "snapshot: malformed serve coverage table");
+    }
+  }
+  const std::string engine_payload = r.blob();
+  if (!r.exhausted()) {
+    throw stream::SnapshotError(
+        "snapshot: trailing bytes after serve state");
+  }
+  engine_->load_state(engine_payload);
+  cursor_ = restored->cursor;
+  restored_cursor_ = restored->cursor;
+}
+
+std::uint64_t Server::resumed_count(trace::UserId user) const {
+  const auto it = resumed_.find(user);
+  return it == resumed_.end() ? 0 : it->second;
+}
+
+std::filesystem::path Server::write_checkpoint_now() {
+  // Coverage per user: everything arrived this lifetime, or restored from
+  // the previous one — whichever is further (a user may not have re-sent
+  // its full prefix yet when a checkpoint fires mid-replay).
+  std::vector<std::pair<trace::UserId, std::uint64_t>> coverage(
+      arrived_.begin(), arrived_.end());
+  for (const auto& [id, count] : resumed_) {
+    bool merged = false;
+    for (auto& [cid, ccount] : coverage) {
+      if (cid == id) {
+        ccount = std::max(ccount, count);
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) coverage.emplace_back(id, count);
+  }
+  std::sort(coverage.begin(), coverage.end());
+
+  stream::SnapshotWriter w;
+  w.u64(coverage.size());
+  for (const auto& [id, count] : coverage) {
+    w.u32(id);
+    w.u64(count);
+  }
+  w.blob(engine_->save_state());  // drains; quarantine flushed with it
+  return stream::write_checkpoint(config_.checkpoint_dir,
+                                  {cursor_, w.take()});
+}
+
+void Server::accept_ready(Fd& listener, bool is_http) {
+  while (conns_.size() < config_.max_connections) {
+    const int cfd = ::accept4(listener.get(), nullptr, nullptr,
+                              SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (cfd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;  // EAGAIN, or a transient kernel error: retry next round
+    }
+    conns_.push_back(std::make_unique<Conn>(Fd(cfd), is_http,
+                                            config_.max_line_bytes));
+    ++stats_.connections;
+    if (is_http) {
+      ++active_http_;
+      if (metrics_) {
+        metrics_->connections_http->inc();
+        metrics_->active_http->set(static_cast<std::int64_t>(active_http_));
+      }
+    } else {
+      ++active_ingest_;
+      if (metrics_) {
+        metrics_->connections_ingest->inc();
+        metrics_->active_ingest->set(
+            static_cast<std::int64_t>(active_ingest_));
+      }
+    }
+  }
+}
+
+void Server::process_ingest_line(std::string_view text, bool truncated) {
+  if (truncated) {
+    ++stats_.records_malformed;
+    if (metrics_) metrics_->records_malformed->inc();
+    quarantine_->record_raw(text, stream::QuarantineReason::kMalformedLine);
+    return;
+  }
+  if (text.empty()) return;  // blank keepalive line
+  const WireResult result = parse_wire_record(text);
+  if (const auto* error = std::get_if<WireError>(&result)) {
+    ++stats_.records_malformed;
+    if (metrics_) metrics_->records_malformed->inc();
+    quarantine_->record_raw(text, stream::QuarantineReason::kMalformedLine);
+    (void)error;
+    return;
+  }
+  const stream::Event& e = std::get<stream::Event>(result);
+  ++stats_.records_parsed;
+  const std::uint64_t arrived = ++arrived_[e.user];
+  if (arrived <= resumed_count(e.user)) {
+    // Checkpoint-covered prefix re-sent after a resume: the engine state
+    // already includes it. Skipping here is what turns the clients'
+    // at-least-once redelivery into exactly-once application.
+    ++stats_.records_replayed;
+    if (metrics_) metrics_->records_replayed->inc();
+  } else {
+    // push() may block on engine backpressure — that is the design: TCP
+    // receive buffers fill and the feed slows to what the shards sustain.
+    if (engine_->push(e)) ++routed_;
+    ++cursor_;
+    ++records_since_checkpoint_;
+    ++stats_.records_applied;
+    if (metrics_) metrics_->records_applied->inc();
+  }
+  if (config_.crash_after_records != 0 &&
+      stats_.records_parsed >= config_.crash_after_records) {
+    crash_pending_ = true;
+  }
+}
+
+void Server::handle_ingest_eof(Conn& c) {
+  if (const auto fragment = c.decoder.finish()) {
+    // Abrupt mid-record disconnect: the unterminated tail is dead-lettered,
+    // never half-parsed into the engine.
+    process_ingest_line(fragment->text, true);
+  }
+  c.dead = true;
+}
+
+void Server::handle_read(Conn& c) {
+  char buf[65536];
+  std::size_t budget = kReadBudgetBytes;
+  while (budget > 0 && !c.dead && !crash_pending_) {
+    const ssize_t n =
+        ::recv(c.fd.get(), buf, std::min(sizeof(buf), budget), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      c.dead = true;
+      return;
+    }
+    if (n == 0) {  // orderly EOF
+      if (c.is_http) {
+        c.dead = true;
+      } else {
+        handle_ingest_eof(c);
+      }
+      return;
+    }
+    budget -= static_cast<std::size_t>(n);
+    c.last_activity = Clock::now();
+    const std::string_view chunk(buf, static_cast<std::size_t>(n));
+    if (metrics_) {
+      (c.is_http ? metrics_->bytes_read_http : metrics_->bytes_read_ingest)
+          ->inc(static_cast<std::uint64_t>(n));
+    }
+    if (c.is_http) {
+      const auto state = c.parser.consume(chunk);
+      if (state == HttpRequestParser::State::kDone) {
+        route_request(c);
+        return;
+      }
+      if (state == HttpRequestParser::State::kError) {
+        ++stats_.http_requests;
+        if (metrics_) {
+          metrics_->http_requests("other", c.parser.error_status()).inc();
+        }
+        c.wbuf += http_response(c.parser.error_status(), "text/plain",
+                                c.parser.error() + "\n");
+        c.close_after_write = true;
+        flush_write(c);
+        return;
+      }
+    } else {
+      c.decoder.feed(chunk);
+      while (auto line = c.decoder.next()) {
+        process_ingest_line(line->text, line->truncated);
+        if (crash_pending_) return;
+      }
+    }
+  }
+}
+
+void Server::route_request(Conn& c) {
+  const HttpRequest& req = c.parser.request();
+  ++stats_.http_requests;
+
+  std::string route = "other";
+  int status = 404;
+  std::string body = "{\"error\":\"not found\"}";
+  std::string content_type = "application/json";
+
+  const auto respond_method_not_allowed = [&](const char* route_name) {
+    route = route_name;
+    status = 405;
+    body = "{\"error\":\"method not allowed\"}";
+  };
+
+  if (req.target == "/healthz") {
+    route = "/healthz";
+    if (req.method == "GET") {
+      status = 200;
+      content_type = "text/plain";
+      body = "ok\n";
+    } else {
+      respond_method_not_allowed("/healthz");
+    }
+  } else if (req.target == "/metrics") {
+    route = "/metrics";
+    if (req.method == "GET") {
+      update_lag_gauge();
+      status = 200;
+      content_type = std::string(obs::kPrometheusContentType);
+      body = obs::to_prometheus(obs::registry());
+    } else {
+      respond_method_not_allowed("/metrics");
+    }
+  } else if (req.target == "/v1/summary") {
+    route = "/v1/summary";
+    if (req.method == "GET") {
+      status = 200;
+      body = summary_json();
+    } else {
+      respond_method_not_allowed("/v1/summary");
+    }
+  } else if (req.target.rfind("/v1/users/", 0) == 0 &&
+             req.target.size() > 10 &&
+             req.target.compare(req.target.size() - 9, 9, "/verdicts") ==
+                 0) {
+    route = "/v1/users/{id}/verdicts";
+    const std::string_view id_text =
+        std::string_view(req.target).substr(10, req.target.size() - 19);
+    trace::UserId id = 0;
+    const auto [ptr, ec] =
+        std::from_chars(id_text.data(), id_text.data() + id_text.size(), id);
+    if (req.method != "GET") {
+      respond_method_not_allowed("/v1/users/{id}/verdicts");
+    } else if (id_text.empty() || ec != std::errc{} ||
+               ptr != id_text.data() + id_text.size()) {
+      status = 400;
+      body = "{\"error\":\"bad user id\"}";
+    } else if (const auto verdicts = engine_->user_verdicts(id)) {
+      status = 200;
+      body = user_verdicts_json(*verdicts);
+    } else {
+      status = 404;
+      body = "{\"error\":\"unknown user\"}";
+    }
+  } else if (req.target == "/admin/checkpoint") {
+    route = "/admin/checkpoint";
+    if (req.method != "POST") {
+      respond_method_not_allowed("/admin/checkpoint");
+    } else if (config_.checkpoint_dir.empty()) {
+      status = 409;
+      body = "{\"error\":\"serving without a checkpoint directory\"}";
+    } else {
+      const std::filesystem::path path = write_checkpoint_now();
+      records_since_checkpoint_ = 0;
+      status = 200;
+      body = "{\"cursor\":" + std::to_string(cursor_) + ",\"path\":\"" +
+             path.string() + "\"}";
+    }
+  } else if (req.target == "/admin/drain") {
+    route = "/admin/drain";
+    if (req.method != "POST") {
+      respond_method_not_allowed("/admin/drain");
+    } else if (drain_done_) {
+      // A drain already completed; answer straight away (the loop is
+      // about to exit).
+      status = 200;
+      body = "{\"status\":\"drained\",\"cursor\":" + std::to_string(cursor_) +
+             "}";
+    } else {
+      // Deferred response: the daemon stops accepting, finishes reading
+      // every connected ingest stream to EOF, drains the engine, writes a
+      // final checkpoint, and only then answers — so a 200 here means "all
+      // records you sent are in the verdicts". The loop exits once the
+      // answer is flushed.
+      drain_requested_ = true;
+      c.awaiting_drain = true;
+      if (metrics_) metrics_->http_requests(route, 200).inc();
+      return;
+    }
+  }
+
+  if (metrics_) metrics_->http_requests(route, status).inc();
+  c.wbuf += http_response(status, content_type, body);
+  c.close_after_write = true;
+  flush_write(c);
+}
+
+void Server::flush_write(Conn& c) {
+  while (c.woff < c.wbuf.size()) {
+    const ssize_t n = ::send(c.fd.get(), c.wbuf.data() + c.woff,
+                             c.wbuf.size() - c.woff, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      c.dead = true;  // EPIPE / reset: the client is gone
+      return;
+    }
+    c.woff += static_cast<std::size_t>(n);
+    if (metrics_) {
+      (c.is_http ? metrics_->bytes_written_http
+                 : metrics_->bytes_written_ingest)
+          ->inc(static_cast<std::uint64_t>(n));
+    }
+  }
+  c.wbuf.clear();
+  c.woff = 0;
+  if (c.close_after_write) c.dead = true;
+}
+
+void Server::sweep_idle(Clock::time_point now) {
+  if (config_.idle_timeout_s <= 0) return;
+  const auto timeout = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(config_.idle_timeout_s));
+  for (auto& conn : conns_) {
+    if (conn->dead) continue;
+    if (now - conn->last_activity > timeout) {
+      if (!conn->is_http) {
+        // Whatever half-line the idle client left behind is dead-lettered,
+        // exactly as if it had disconnected mid-record.
+        if (const auto fragment = conn->decoder.finish()) {
+          process_ingest_line(fragment->text, true);
+        }
+      }
+      conn->dead = true;
+      if (metrics_) metrics_->idle_timeouts->inc();
+    }
+  }
+}
+
+void Server::update_lag_gauge() {
+  if (!metrics_) return;
+  const std::uint64_t processed = engine_->events_processed();
+  metrics_->ingest_lag->set(static_cast<std::int64_t>(
+      routed_ > processed ? routed_ - processed : 0));
+}
+
+std::string Server::summary_json() {
+  // drain() inside all_user_verdicts() makes every number exact for the
+  // records applied so far — the serve analogue of finish()-then-report.
+  const std::vector<stream::UserVerdicts> users =
+      engine_->all_user_verdicts();
+  const match::Partition totals = engine_->partition();
+
+  std::uint64_t users_with_checkins = 0;
+  double ratio_sum = 0.0;
+  std::uint64_t users_with_gaps = 0;
+  double burstiness_sum = 0.0;
+  for (const stream::UserVerdicts& v : users) {
+    if (v.partition.checkins > 0) {
+      ++users_with_checkins;
+      ratio_sum += v.extraneous_ratio();
+    }
+    if (v.gap_count > 0) {
+      ++users_with_gaps;
+      burstiness_sum += v.burstiness();
+    }
+  }
+
+  std::string out = "{\"users\":";
+  append_json_number(out, static_cast<std::uint64_t>(users.size()));
+  out += ",\"events_processed\":";
+  append_json_number(out,
+                     static_cast<std::uint64_t>(engine_->events_processed()));
+  out += ",\"records_parsed\":";
+  append_json_number(out, stats_.records_parsed);
+  out += ",\"cursor\":";
+  append_json_number(out, cursor_);
+  out += ",\"partition\":";
+  append_partition_json(out, totals);
+  out += ",\"prevalence\":{\"users_with_checkins\":";
+  append_json_number(out, users_with_checkins);
+  out += ",\"mean_extraneous_ratio\":";
+  append_json_number(out, users_with_checkins == 0
+                              ? 0.0
+                              : ratio_sum / static_cast<double>(
+                                                users_with_checkins));
+  out += "},\"burstiness\":{\"users_with_gaps\":";
+  append_json_number(out, users_with_gaps);
+  out += ",\"mean\":";
+  append_json_number(
+      out, users_with_gaps == 0
+               ? 0.0
+               : burstiness_sum / static_cast<double>(users_with_gaps));
+  out += "},\"quarantined\":";
+  append_json_number(out, quarantine_->total());
+  out += "}";
+  return out;
+}
+
+ServeStats Server::run(const std::atomic<bool>* stop) {
+  if (!started_) throw std::logic_error("Server::run before start()");
+
+  std::vector<pollfd> pollfds;
+  std::vector<std::size_t> conn_of_pollfd;  // parallel; SIZE_MAX = listener
+  bool stopped = false;
+
+  while (true) {
+    if (stop != nullptr && stop->load(std::memory_order_relaxed)) {
+      stopped = true;
+      break;
+    }
+    if (crash_pending_) break;
+    if (drain_done_) {
+      // Leave once every drain caller has its answer (or is gone).
+      bool waiting = false;
+      for (const auto& c : conns_) {
+        if (!c->dead && (c->awaiting_drain || !c->wbuf.empty())) {
+          waiting = true;
+          break;
+        }
+      }
+      if (!waiting) break;
+    }
+
+    pollfds.clear();
+    conn_of_pollfd.clear();
+    const bool at_cap = conns_.size() >= config_.max_connections;
+    if (at_cap && !was_at_cap_ && metrics_) {
+      metrics_->accept_backpressure->inc();
+    }
+    was_at_cap_ = at_cap;
+    if (!at_cap && !drain_requested_) {
+      pollfds.push_back({ingest_listener_.get(), POLLIN, 0});
+      conn_of_pollfd.push_back(SIZE_MAX);
+      pollfds.push_back({http_listener_.get(), POLLIN, 0});
+      conn_of_pollfd.push_back(SIZE_MAX - 1);
+    }
+    for (std::size_t i = 0; i < conns_.size(); ++i) {
+      short events = POLLIN;
+      if (conns_[i]->woff < conns_[i]->wbuf.size()) events |= POLLOUT;
+      pollfds.push_back({conns_[i]->fd.get(), events, 0});
+      conn_of_pollfd.push_back(i);
+    }
+
+    const int ready = ::poll(pollfds.data(),
+                             static_cast<nfds_t>(pollfds.size()),
+                             kPollTimeoutMs);
+    if (ready < 0 && errno != EINTR) {
+      throw NetError(std::string("poll: ") + std::strerror(errno));
+    }
+
+    for (std::size_t i = 0; i < pollfds.size(); ++i) {
+      if (pollfds[i].revents == 0) continue;
+      if (conn_of_pollfd[i] == SIZE_MAX) {
+        accept_ready(ingest_listener_, /*is_http=*/false);
+        continue;
+      }
+      if (conn_of_pollfd[i] == SIZE_MAX - 1) {
+        accept_ready(http_listener_, /*is_http=*/true);
+        continue;
+      }
+      Conn& c = *conns_[conn_of_pollfd[i]];
+      if (c.dead) continue;
+      if ((pollfds[i].revents & (POLLERR | POLLNVAL)) != 0) {
+        c.dead = true;
+        continue;
+      }
+      if ((pollfds[i].revents & POLLOUT) != 0) flush_write(c);
+      if (!c.dead && (pollfds[i].revents & (POLLIN | POLLHUP)) != 0) {
+        handle_read(c);
+      }
+    }
+
+    sweep_idle(Clock::now());
+
+    // Reap dead connections (after the revents pass: indices stay stable
+    // while handlers run). Gauges are adjusted before remove_if compacts —
+    // the removed tail holds moved-from (null) pointers.
+    for (const auto& c : conns_) {
+      if (c->dead) (c->is_http ? active_http_ : active_ingest_) -= 1;
+    }
+    conns_.erase(std::remove_if(conns_.begin(), conns_.end(),
+                                [](const std::unique_ptr<Conn>& c) {
+                                  return c->dead;
+                                }),
+                 conns_.end());
+    if (metrics_) {
+      metrics_->active_http->set(static_cast<std::int64_t>(active_http_));
+      metrics_->active_ingest->set(
+          static_cast<std::int64_t>(active_ingest_));
+    }
+
+    // Drain completion: every ingest stream has been read to EOF (clients
+    // either closed or were idle-swept), so the record set is final —
+    // quiesce the engine, persist, and answer the waiting caller(s).
+    if (drain_requested_ && !drain_done_ && active_ingest_ == 0) {
+      // Checkpoint first (resumable, pre-finalization state), then
+      // finish(): finalization resolves the matcher's pending tail exactly
+      // like end-of-stream in the batch pipeline, so the partition and the
+      // per-user verdicts served after a drain equal a batch run bit for
+      // bit.
+      if (!config_.checkpoint_dir.empty()) {
+        write_checkpoint_now();
+        records_since_checkpoint_ = 0;
+      }
+      engine_->finish();
+      drain_done_ = true;
+      const std::string body = "{\"status\":\"drained\",\"cursor\":" +
+                               std::to_string(cursor_) + "}";
+      for (const auto& conn : conns_) {
+        if (conn->dead || !conn->awaiting_drain) continue;
+        conn->awaiting_drain = false;
+        conn->wbuf += http_response(200, "application/json", body);
+        conn->close_after_write = true;
+        flush_write(*conn);
+      }
+    }
+
+    if (!config_.checkpoint_dir.empty() &&
+        config_.checkpoint_interval_records != 0 &&
+        records_since_checkpoint_ >= config_.checkpoint_interval_records) {
+      write_checkpoint_now();
+      records_since_checkpoint_ = 0;
+    }
+
+    update_lag_gauge();
+  }
+
+  // Teardown. Crash simulation abandons everything in flight (recovery
+  // must come from the last periodic checkpoint, as after a real SIGKILL);
+  // the graceful paths quiesce and persist.
+  ingest_listener_.reset();
+  http_listener_.reset();
+  conns_.clear();
+  active_ingest_ = active_http_ = 0;
+  if (crash_pending_) {
+    engine_->shutdown();
+    stats_.exit = ServeExit::kCrashed;
+  } else if (drain_done_) {
+    // Already checkpointed and finalized in the drain-completion step.
+    stats_.exit = ServeExit::kDrained;
+  } else {
+    engine_->drain();
+    if (!config_.checkpoint_dir.empty()) write_checkpoint_now();
+    stats_.exit = stopped ? ServeExit::kStopped : ServeExit::kDrained;
+  }
+  stats_.cursor = cursor_;
+  stats_.restored_cursor = restored_cursor_;
+  return stats_;
+}
+
+}  // namespace geovalid::serve

@@ -1,0 +1,178 @@
+// The geovalid serve daemon: a single-threaded poll() event loop in front
+// of the sharded StreamEngine.
+//
+// Two listeners:
+//   - ingest (line-delimited wire protocol, serve/wire.h): every parsed
+//     record feeds the live engine; unparseable lines dead-letter through
+//     the quarantine path with reason `malformed_line`.
+//   - HTTP control plane (serve/http.h): /healthz, /metrics (Prometheus
+//     text format), /v1/summary, /v1/users/{id}/verdicts (JSON over
+//     drain() quiescence), POST /admin/checkpoint and POST /admin/drain.
+//
+// The loop thread is the engine's single producer, so the query endpoints
+// may call drain() and read per-user state directly — the same contract
+// save_state() relies on. Slow or hostile clients are bounded by
+// per-connection buffers, an idle timeout, and a connection cap that
+// removes the listeners from the poll set while full (accept
+// backpressure: the kernel backlog, then the clients, absorb the wait).
+//
+// Resume contract: a checkpoint stores, besides the engine payload, the
+// per-user count of records the server had accepted. After a restart with
+// `resume`, clients re-send their traces from the beginning and the server
+// silently skips each user's already-covered prefix — at-least-once
+// delivery in, exactly-once application out, so a kill + restart serves
+// verdicts byte-identical to an uninterrupted run.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/net.h"
+#include "serve/wire.h"
+#include "stream/engine.h"
+#include "stream/quarantine.h"
+
+namespace geovalid::obs {
+class Counter;
+class Gauge;
+}  // namespace geovalid::obs
+
+namespace geovalid::serve {
+
+struct ServeConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t ingest_port = 0;  ///< 0 = ephemeral (read back after start)
+  std::uint16_t http_port = 0;    ///< 0 = ephemeral
+  std::size_t max_connections = 1024;  ///< combined cap across both ports
+  double idle_timeout_s = 60.0;        ///< <= 0 disables the idle sweep
+  std::size_t max_line_bytes = kMaxLineBytes;
+
+  /// Checkpoint directory; empty disables checkpointing entirely.
+  std::filesystem::path checkpoint_dir;
+  /// Periodic checkpoint every this many applied records (0 = only on
+  /// graceful stop / drain / POST /admin/checkpoint).
+  std::uint64_t checkpoint_interval_records = 100000;
+  /// Restore the newest valid checkpoint in checkpoint_dir on start().
+  bool resume = false;
+
+  /// Engine settings; the quarantine hook is overwritten (serve always
+  /// attaches its own Quarantine — a network feed is never trusted).
+  stream::StreamEngineConfig engine;
+  stream::QuarantineConfig quarantine;
+
+  /// Register serve_* metric families in the process registry.
+  bool metrics = true;
+
+  /// Test hook: simulate a SIGKILL after this many parsed records — the
+  /// run loop exits abruptly, no drain, no final checkpoint. 0 = never.
+  std::uint64_t crash_after_records = 0;
+};
+
+enum class ServeExit : std::uint8_t {
+  kStopped,  ///< stop flag (SIGTERM path): final checkpoint written
+  kDrained,  ///< POST /admin/drain: final checkpoint written
+  kCrashed,  ///< crash_after_records hook: nothing written
+};
+
+struct ServeStats {
+  ServeExit exit = ServeExit::kStopped;
+  std::uint64_t records_parsed = 0;     ///< well-formed wire records seen
+  std::uint64_t records_applied = 0;    ///< fed to the engine
+  std::uint64_t records_replayed = 0;   ///< skipped as checkpoint-covered
+  std::uint64_t records_malformed = 0;  ///< dead-lettered wire lines
+  std::uint64_t http_requests = 0;
+  std::uint64_t connections = 0;  ///< accepted over the lifetime, both ports
+  std::uint64_t cursor = 0;       ///< records covered by the engine state
+  std::uint64_t restored_cursor = 0;  ///< checkpoint cursor restored, or 0
+};
+
+class Server {
+ public:
+  explicit Server(ServeConfig config);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds both listeners (resolving ephemeral ports) and, with
+  /// ServeConfig::resume, restores the newest checkpoint. Call once,
+  /// before run() — and before handing the Server to a run thread, so the
+  /// bound ports are safe to read from the spawning thread.
+  void start();
+
+  [[nodiscard]] std::uint16_t ingest_port() const { return ingest_port_; }
+  [[nodiscard]] std::uint16_t http_port() const { return http_port_; }
+  [[nodiscard]] std::uint64_t restored_cursor() const {
+    return restored_cursor_;
+  }
+
+  /// The event loop: serves until `stop` becomes true (graceful — drains
+  /// the engine and writes a final checkpoint when a directory is
+  /// configured), an /admin/drain completes, or the crash hook fires.
+  ServeStats run(const std::atomic<bool>* stop = nullptr);
+
+  /// The live engine (the run-loop thread is its producer; other threads
+  /// may only call thread-safe accessors like partition()).
+  [[nodiscard]] stream::StreamEngine& engine() { return *engine_; }
+  [[nodiscard]] const stream::Quarantine& quarantine() const {
+    return *quarantine_;
+  }
+
+ private:
+  struct Conn;
+  struct Metrics;
+
+  void register_metrics();
+  void restore_from_checkpoint();
+  std::filesystem::path write_checkpoint_now();
+  void accept_ready(Fd& listener, bool is_http);
+  void handle_read(Conn& c);
+  void handle_ingest_eof(Conn& c);
+  void process_ingest_line(std::string_view text, bool truncated);
+  void route_request(Conn& c);
+  void flush_write(Conn& c);
+  void sweep_idle(std::chrono::steady_clock::time_point now);
+  void update_lag_gauge();
+  [[nodiscard]] std::string summary_json();
+  [[nodiscard]] std::uint64_t resumed_count(trace::UserId user) const;
+
+  ServeConfig config_;
+  std::optional<stream::Quarantine> quarantine_;
+  std::optional<stream::StreamEngine> engine_;
+
+  Fd ingest_listener_;
+  Fd http_listener_;
+  std::uint16_t ingest_port_ = 0;
+  std::uint16_t http_port_ = 0;
+  bool started_ = false;
+
+  std::vector<std::unique_ptr<Conn>> conns_;
+  std::size_t active_ingest_ = 0;
+  std::size_t active_http_ = 0;
+  bool was_at_cap_ = false;
+
+  /// Per-user records accepted (lifetime, incl. restored coverage) and the
+  /// coverage restored from the checkpoint being resumed.
+  std::unordered_map<trace::UserId, std::uint64_t> arrived_;
+  std::unordered_map<trace::UserId, std::uint64_t> resumed_;
+  std::uint64_t cursor_ = 0;
+  std::uint64_t restored_cursor_ = 0;
+  std::uint64_t records_since_checkpoint_ = 0;
+  std::uint64_t routed_ = 0;  ///< events the engine accepted (in-flight base)
+
+  bool drain_requested_ = false;  ///< stop accepting, quiesce ingest
+  bool drain_done_ = false;       ///< engine drained, responses queued
+  bool crash_pending_ = false;
+
+  ServeStats stats_;
+  std::unique_ptr<Metrics> metrics_;
+};
+
+}  // namespace geovalid::serve

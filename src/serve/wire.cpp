@@ -1,0 +1,206 @@
+#include "serve/wire.h"
+
+#include <array>
+#include <charconv>
+#include <cstdlib>
+#include <cstring>
+
+#include "trace/poi.h"
+
+namespace geovalid::serve {
+namespace {
+
+/// Splits on commas into at most `max_fields` views. Returns the field
+/// count, or max_fields + 1 when the line has too many separators.
+std::size_t split(std::string_view line,
+                  std::array<std::string_view, 9>& fields,
+                  std::size_t max_fields) {
+  std::size_t count = 0;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t comma = line.find(',', start);
+    if (count == max_fields) return max_fields + 1;
+    fields[count++] = line.substr(
+        start, comma == std::string_view::npos ? comma : comma - start);
+    if (comma == std::string_view::npos) return count;
+    start = comma + 1;
+  }
+}
+
+/// Same numeric grammar as the CSV reader (trace/csv.cpp): strict integers
+/// via from_chars, doubles via strtod over a bounded copy (accepts the
+/// nan/inf spellings the fault injector can produce — the quarantine path
+/// rejects them semantically, with the same reason as CSV ingest).
+template <typename T>
+bool parse_int(std::string_view s, T& out) {
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+  return ec == std::errc{} && ptr == s.data() + s.size();
+}
+
+bool parse_double(std::string_view s, double& out) {
+  char buf[64];
+  if (s.empty() || s.size() >= sizeof(buf)) return false;
+  std::memcpy(buf, s.data(), s.size());
+  buf[s.size()] = '\0';
+  char* end = nullptr;
+  out = std::strtod(buf, &end);
+  return end == buf + s.size();
+}
+
+WireError err(const char* what) { return WireError{what}; }
+
+void append_num(std::string& out, double v) {
+  char buf[40];
+  const auto [p, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, static_cast<std::size_t>(p - buf));
+}
+
+template <typename T>
+void append_num(std::string& out, T v) {
+  char buf[24];
+  const auto [p, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, static_cast<std::size_t>(p - buf));
+}
+
+}  // namespace
+
+WireResult parse_wire_record(std::string_view line) {
+  std::array<std::string_view, 9> f;
+  const std::size_t n = split(line, f, 9);
+  if (n == 0 || f[0].empty()) return err("empty record");
+  if (f[0] == "gps") {
+    if (n != 8) return err("gps record expects 8 fields");
+    trace::UserId user = 0;
+    trace::GpsPoint p;
+    int has_fix = 0;
+    if (!parse_int(f[1], user)) return err("bad user field");
+    if (!parse_int(f[2], p.t)) return err("bad t field");
+    if (!parse_double(f[3], p.position.lat_deg)) return err("bad lat field");
+    if (!parse_double(f[4], p.position.lon_deg)) return err("bad lon field");
+    if (!parse_int(f[5], has_fix)) return err("bad has_fix field");
+    p.has_fix = has_fix != 0;
+    if (!parse_int(f[6], p.wifi_fingerprint)) return err("bad wifi field");
+    if (!parse_double(f[7], p.accel_variance)) {
+      return err("bad accel_var field");
+    }
+    return stream::Event::gps_sample(user, p);
+  }
+  if (f[0] == "checkin") {
+    if (n != 7) return err("checkin record expects 7 fields");
+    trace::UserId user = 0;
+    trace::Checkin c;
+    if (!parse_int(f[1], user)) return err("bad user field");
+    if (!parse_int(f[2], c.t)) return err("bad t field");
+    if (!parse_int(f[3], c.poi)) return err("bad poi field");
+    const auto category = trace::parse_poi_category(f[4]);
+    if (!category) return err("unknown category");
+    c.category = *category;
+    if (!parse_double(f[5], c.location.lat_deg)) return err("bad lat field");
+    if (!parse_double(f[6], c.location.lon_deg)) return err("bad lon field");
+    return stream::Event::checkin_event(user, c);
+  }
+  return err("unknown record kind");
+}
+
+void append_wire_record(std::string& out, const stream::Event& e) {
+  if (e.kind == stream::Event::Kind::kGps) {
+    out += "gps,";
+    append_num(out, e.user);
+    out += ',';
+    append_num(out, e.gps.t);
+    out += ',';
+    append_num(out, e.gps.position.lat_deg);
+    out += ',';
+    append_num(out, e.gps.position.lon_deg);
+    out += ',';
+    out += e.gps.has_fix ? '1' : '0';
+    out += ',';
+    append_num(out, e.gps.wifi_fingerprint);
+    out += ',';
+    append_num(out, e.gps.accel_variance);
+  } else {
+    out += "checkin,";
+    append_num(out, e.user);
+    out += ',';
+    append_num(out, e.checkin.t);
+    out += ',';
+    append_num(out, e.checkin.poi);
+    out += ',';
+    out += trace::to_string(e.checkin.category);
+    out += ',';
+    append_num(out, e.checkin.location.lat_deg);
+    out += ',';
+    append_num(out, e.checkin.location.lon_deg);
+  }
+  out += '\n';
+}
+
+std::string format_wire_record(const stream::Event& e) {
+  std::string out;
+  append_wire_record(out, e);
+  return out;
+}
+
+void LineDecoder::feed(std::string_view data) {
+  // Compact the consumed prefix before growing: the buffer then stays
+  // bounded by one partial line plus one recv chunk.
+  if (pos_ > 0 && pos_ >= 4096) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  buf_.append(data);
+}
+
+std::optional<LineDecoder::Line> LineDecoder::next() {
+  while (true) {
+    const std::size_t nl = buf_.find('\n', pos_);
+    if (discarding_) {
+      if (nl == std::string::npos) {
+        // Still inside the oversized line: drop what we have.
+        buf_.clear();
+        pos_ = 0;
+        return std::nullopt;
+      }
+      pos_ = nl + 1;
+      discarding_ = false;
+      continue;
+    }
+    if (nl == std::string::npos) {
+      if (buffered() > max_line_bytes_) {
+        // Cap blown with no terminator in sight: surface the prefix once,
+        // then discard until the line finally ends.
+        const Line line{
+            std::string_view(buf_).substr(pos_, max_line_bytes_), true};
+        pos_ = buf_.size();
+        discarding_ = true;
+        return line;
+      }
+      return std::nullopt;
+    }
+    std::string_view text = std::string_view(buf_).substr(pos_, nl - pos_);
+    if (!text.empty() && text.back() == '\r') text.remove_suffix(1);
+    pos_ = nl + 1;
+    if (text.size() > max_line_bytes_) {
+      return Line{text.substr(0, max_line_bytes_), true};
+    }
+    return Line{text, false};
+  }
+}
+
+std::optional<LineDecoder::Line> LineDecoder::finish() {
+  std::optional<Line> out;
+  if (!discarding_ && buffered() > 0) {
+    // An unterminated trailing fragment: the peer disconnected mid-record.
+    // Reported as truncated — it is not a complete line.
+    std::string_view text = std::string_view(buf_).substr(pos_);
+    out = Line{text.substr(0, max_line_bytes_), true};
+  }
+  pos_ = 0;
+  discarding_ = false;
+  // Note: buf_ must stay alive for the returned view; only the cursor
+  // resets here. The next feed() starts clean.
+  if (!out) buf_.clear();
+  return out;
+}
+
+}  // namespace geovalid::serve

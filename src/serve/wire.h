@@ -1,0 +1,88 @@
+// Line-delimited ingest wire protocol: the bytes clients stream at the
+// serve layer's TCP ingest port.
+//
+// One record per line, LF or CRLF terminated, same field grammar as the
+// CSV datasets (trace/csv.cpp) with a leading kind verb:
+//
+//   gps,<user>,<t>,<lat>,<lon>,<has_fix>,<wifi>,<accel_var>
+//   checkin,<user>,<t>,<poi>,<category>,<lat>,<lon>
+//
+// Parsing is syntax-only — field count, numeric shape, known category.
+// Semantic validation (coordinate ranges, timestamp bounds, per-user
+// ordering) stays in the engine's quarantine path, so a record that would
+// be quarantined when read from CSV is quarantined identically when it
+// arrives over a socket. Lines that never parse go to the dead-letter file
+// via Quarantine::record_raw() with reason `malformed_line`.
+//
+// LineDecoder turns an arbitrary recv() chunking into complete lines: a
+// record may straddle any number of reads, and a line longer than the cap
+// is surfaced once as truncated, with the remainder discarded up to the
+// next newline (the stream resynchronizes instead of poisoning every
+// subsequent record).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+
+#include "stream/event.h"
+
+namespace geovalid::serve {
+
+/// Longest accepted ingest line (bytes, terminator excluded). Generously
+/// above any well-formed record; a line this long is garbage or abuse.
+inline constexpr std::size_t kMaxLineBytes = 64 * 1024;
+
+/// Why a line failed to parse (the dead-letter detail prefix).
+struct WireError {
+  std::string message;
+};
+
+/// parse_wire_record: an Event, or the reason the line is not one.
+using WireResult = std::variant<stream::Event, WireError>;
+
+[[nodiscard]] WireResult parse_wire_record(std::string_view line);
+
+/// Renders an event in the wire grammar, newline included. Doubles use
+/// shortest-roundtrip formatting, so parse(format(e)) is bit-exact — the
+/// loadgen replays a dataset through a socket without perturbing verdicts.
+void append_wire_record(std::string& out, const stream::Event& e);
+[[nodiscard]] std::string format_wire_record(const stream::Event& e);
+
+/// Incremental line splitter over a byte stream.
+class LineDecoder {
+ public:
+  explicit LineDecoder(std::size_t max_line_bytes = kMaxLineBytes)
+      : max_line_bytes_(max_line_bytes) {}
+
+  /// One complete line, stripped of its LF/CRLF terminator. `truncated`
+  /// marks a line that blew the cap: `text` is the kept prefix, the rest of
+  /// the physical line was dropped.
+  struct Line {
+    std::string_view text;  ///< valid until the next LineDecoder call
+    bool truncated = false;
+  };
+
+  /// Appends raw bytes from the socket.
+  void feed(std::string_view data);
+
+  /// Pops the next complete line, nullopt when more bytes are needed.
+  [[nodiscard]] std::optional<Line> next();
+
+  /// The trailing unterminated partial line at connection EOF (an abrupt
+  /// mid-record disconnect), if any. Resets the decoder.
+  [[nodiscard]] std::optional<Line> finish();
+
+  /// Bytes buffered awaiting a newline.
+  [[nodiscard]] std::size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  std::size_t max_line_bytes_;
+  std::string buf_;
+  std::size_t pos_ = 0;      ///< consumed prefix of buf_
+  bool discarding_ = false;  ///< inside an oversized line, seeking newline
+};
+
+}  // namespace geovalid::serve

@@ -33,7 +33,10 @@
 namespace geovalid::stream {
 
 inline constexpr std::uint32_t kCheckpointMagic = 0x50435647;  // "GVCP"
-inline constexpr std::uint32_t kCheckpointVersion = 1;
+/// Format revision 2: engine payloads carry per-user verdict shares and
+/// interarrival statistics (the serve query endpoints); v1 payloads are
+/// refused with kVersionMismatch rather than restored without them.
+inline constexpr std::uint32_t kCheckpointVersion = 2;
 
 class CheckpointError : public std::runtime_error {
  public:

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <condition_variable>
 #include <deque>
 #include <exception>
@@ -11,6 +12,8 @@
 #include <stdexcept>
 #include <thread>
 #include <unordered_map>
+
+#include "trace/time.h"
 
 #include "obs/metrics.h"
 #include "stream/checkpoint.h"
@@ -72,17 +75,85 @@ match::Partition load_partition(SnapshotReader& r) {
   return p;
 }
 
-/// Per-user incremental pipeline: raw events in, verdicts out.
+void add_partition(match::Partition& into, const match::Partition& p) {
+  into.honest += p.honest;
+  into.extraneous += p.extraneous;
+  into.missing += p.missing;
+  into.checkins += p.checkins;
+  into.visits += p.visits;
+  for (std::size_t c = 0; c < p.by_class.size(); ++c) {
+    into.by_class[c] += p.by_class[c];
+  }
+}
+
+/// Advances `totals` by the (non-negative, fields are increment-only)
+/// growth of a user's partition across one pipeline step.
+void add_partition_delta(match::Partition& totals,
+                         const match::Partition& after,
+                         const match::Partition& before) {
+  totals.honest += after.honest - before.honest;
+  totals.extraneous += after.extraneous - before.extraneous;
+  totals.missing += after.missing - before.missing;
+  totals.checkins += after.checkins - before.checkins;
+  totals.visits += after.visits - before.visits;
+  for (std::size_t c = 0; c < after.by_class.size(); ++c) {
+    totals.by_class[c] += after.by_class[c] - before.by_class[c];
+  }
+}
+
+bool partition_equal(const match::Partition& a, const match::Partition& b) {
+  return a.honest == b.honest && a.extraneous == b.extraneous &&
+         a.missing == b.missing && a.checkins == b.checkins &&
+         a.visits == b.visits && a.by_class == b.by_class;
+}
+
+/// Per-user incremental pipeline: raw events in, verdicts out. The matcher
+/// sinks into the user's own partition; the shard mirrors every step's
+/// delta into its running totals, so partition() stays the cheap per-shard
+/// sum while each user's share remains queryable (the serve layer's
+/// /v1/users/{id}/verdicts endpoint).
 struct UserPipeline {
+  match::Partition verdicts;  ///< declared before matcher: it is the sink
   OnlineVisitDetector detector;
   OnlineMatcher matcher;
   trace::TimeSec last_event_t = 0;
   bool saw_event = false;
 
-  UserPipeline(const StreamEngineConfig& config, match::Partition& sink)
+  // Online checkin-interarrival statistics (Welford, minutes): the
+  // burstiness inputs, updated per applied checkin.
+  trace::TimeSec last_checkin_t = 0;
+  std::uint64_t checkins_seen = 0;
+  std::uint64_t gap_count = 0;
+  double gap_mean_min = 0.0;
+  double gap_m2 = 0.0;
+
+  explicit UserPipeline(const StreamEngineConfig& config)
       : detector(config.detector),
-        matcher(config.match, config.classifier, sink) {}
+        matcher(config.match, config.classifier, verdicts) {}
+
+  void observe_checkin_time(trace::TimeSec t) {
+    if (checkins_seen > 0) {
+      const double gap_min = trace::to_minutes(t - last_checkin_t);
+      gap_count += 1;
+      const double d = gap_min - gap_mean_min;
+      gap_mean_min += d / static_cast<double>(gap_count);
+      gap_m2 += d * (gap_min - gap_mean_min);
+    }
+    checkins_seen += 1;
+    last_checkin_t = t;
+  }
 };
+
+UserVerdicts make_user_verdicts(trace::UserId id, const UserPipeline& p) {
+  UserVerdicts v;
+  v.id = id;
+  v.partition = p.verdicts;
+  v.checkins_seen = p.checkins_seen;
+  v.gap_count = p.gap_count;
+  v.gap_mean_min = p.gap_mean_min;
+  v.gap_m2 = p.gap_m2;
+  return v;
+}
 
 /// Cached metric handles; all null when StreamEngineConfig::metrics is
 /// false, which turns every instrumentation site into a predictable
@@ -150,8 +221,7 @@ struct StreamEngine::Shard {
     if (config.faults != nullptr) {
       config.faults->on_shard_event(index, fault_seq++);
     }
-    auto [it, inserted] =
-        users.try_emplace(e.user, config, totals);
+    auto [it, inserted] = users.try_emplace(e.user, config);
     UserPipeline& p = it->second;
 
     const trace::TimeSec t = e.time();
@@ -174,13 +244,16 @@ struct StreamEngine::Shard {
     p.last_event_t = t;
     p.saw_event = true;
 
+    const match::Partition before = p.verdicts;
     if (e.kind == Event::Kind::kGps) {
       p.matcher.observe_gps(e.gps);
       if (auto visit = p.detector.push(e.gps)) p.matcher.push_visit(*visit);
     } else {
+      p.observe_checkin_time(t);
       p.matcher.push_checkin(e.checkin);
     }
     p.matcher.advance(t, p.detector.open_window_start().value_or(t));
+    add_partition_delta(totals, p.verdicts, before);
   }
 
   void run(const StreamEngineConfig& config) {
@@ -238,8 +311,10 @@ struct StreamEngine::Shard {
     }
     if (!failed && finalize) {
       for (auto& [id, p] : users) {
+        const match::Partition before = p.verdicts;
         if (auto visit = p.detector.finish()) p.matcher.push_visit(*visit);
         p.matcher.finish();
+        add_partition_delta(totals, p.verdicts, before);
       }
     }
     publish();
@@ -336,7 +411,7 @@ std::size_t StreamEngine::shard_of(trace::UserId user) const {
   return static_cast<std::size_t>(mix64(user) % shards_.size());
 }
 
-void StreamEngine::push(const Event& e) {
+bool StreamEngine::push(const Event& e) {
   if (finished_) {
     throw std::logic_error("StreamEngine::push called after finish()");
   }
@@ -346,12 +421,13 @@ void StreamEngine::push(const Event& e) {
     // needed), so garbage never reaches the geodesic math or even a shard.
     if (const auto reason = validate_event(e, config_.known_users)) {
       config_.quarantine->record(e, *reason);
-      return;
+      return false;
     }
   }
   const std::size_t s = shard_of(e.user);
   staging_[s].push_back(e);
   if (staging_[s].size() >= config_.batch_size) flush_staging(s);
+  return true;
 }
 
 void StreamEngine::flush_staging(std::size_t shard_index) {
@@ -480,6 +556,12 @@ std::string StreamEngine::save_state() {
     w.u32(id);
     w.boolean(p->saw_event);
     w.i64(p->last_event_t);
+    save_partition(w, p->verdicts);
+    w.u64(p->checkins_seen);
+    w.i64(p->last_checkin_t);
+    w.u64(p->gap_count);
+    w.f64(p->gap_mean_min);
+    w.f64(p->gap_m2);
     p->detector.save(w);
     p->matcher.save(w);
   }
@@ -506,41 +588,49 @@ void StreamEngine::load_state(std::string_view payload) {
   }
   const match::Partition restored = load_partition(r);
 
+  match::Partition user_sum;
   const std::uint64_t user_count = r.u64();
   for (std::uint64_t i = 0; i < user_count; ++i) {
     const trace::UserId id = r.u32();
     Shard& shard = *shards_[shard_of(id)];
-    auto [it, inserted] = shard.users.try_emplace(id, config_, shard.totals);
+    auto [it, inserted] = shard.users.try_emplace(id, config_);
     if (!inserted) {
       throw SnapshotError("snapshot: duplicate user id");
     }
     UserPipeline& p = it->second;
     p.saw_event = r.boolean();
     p.last_event_t = r.i64();
+    p.verdicts = load_partition(r);
+    p.checkins_seen = r.u64();
+    p.last_checkin_t = r.i64();
+    p.gap_count = r.u64();
+    p.gap_mean_min = r.f64();
+    p.gap_m2 = r.f64();
     p.detector.load(r);
     p.matcher.load(r);
+    // Restored history lands in the owning shard's totals, so per-user
+    // shares and per-shard sums stay consistent across a resume.
+    add_partition(shard.totals, p.verdicts);
+    add_partition(user_sum, p.verdicts);
   }
   if (!r.exhausted()) {
     throw SnapshotError("snapshot: trailing bytes after engine state");
   }
-
-  // Restored history is credited to shard 0 (partition() only ever sees
-  // the sum). `counted` absorbs it too, so the verdict *counters* report
-  // only post-restore work — the metrics registry must not re-emit history
-  // that was already emitted before the crash.
-  Shard& s0 = *shards_[0];
-  s0.totals.honest += restored.honest;
-  s0.totals.extraneous += restored.extraneous;
-  s0.totals.missing += restored.missing;
-  s0.totals.checkins += restored.checkins;
-  s0.totals.visits += restored.visits;
-  for (std::size_t c = 0; c < restored.by_class.size(); ++c) {
-    s0.totals.by_class[c] += restored.by_class[c];
+  // The global partition is redundant with the per-user shares by
+  // construction; a mismatch means the payload is internally inconsistent
+  // (impossible for honest files — the container CRC already passed).
+  if (!partition_equal(user_sum, restored)) {
+    throw SnapshotError(
+        "snapshot: per-user verdicts do not sum to the stored totals");
   }
-  s0.counted = s0.totals;
-  {
-    std::lock_guard<std::mutex> lock(s0.snapshot_mu);
-    s0.snapshot = s0.totals;
+
+  // `counted` absorbs the restored history, so the verdict *counters*
+  // report only post-restore work — the metrics registry must not re-emit
+  // history that was already emitted before the crash.
+  for (auto& shard : shards_) {
+    shard->counted = shard->totals;
+    std::lock_guard<std::mutex> lock(shard->snapshot_mu);
+    shard->snapshot = shard->totals;
   }
 }
 
@@ -567,6 +657,58 @@ std::size_t StreamEngine::events_processed() const {
     n += shard->processed.load(std::memory_order_relaxed);
   }
   return n;
+}
+
+// The query API reads worker-owned maps, so each call quiesces the engine
+// first (drain() is a no-op after finish(), when the workers are joined).
+// Producer thread only, like push().
+
+std::optional<UserVerdicts> StreamEngine::user_verdicts(trace::UserId user) {
+  drain();
+  const Shard& shard = *shards_[shard_of(user)];
+  const auto it = shard.users.find(user);
+  if (it == shard.users.end()) return std::nullopt;
+  return make_user_verdicts(user, it->second);
+}
+
+std::vector<UserVerdicts> StreamEngine::all_user_verdicts() {
+  drain();
+  std::vector<UserVerdicts> out;
+  for (const auto& shard : shards_) {
+    for (const auto& [id, p] : shard->users) {
+      out.push_back(make_user_verdicts(id, p));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const UserVerdicts& a, const UserVerdicts& b) {
+              return a.id < b.id;
+            });
+  return out;
+}
+
+std::size_t StreamEngine::user_count() {
+  drain();
+  std::size_t n = 0;
+  for (const auto& shard : shards_) n += shard->users.size();
+  return n;
+}
+
+double UserVerdicts::extraneous_ratio() const {
+  if (partition.checkins == 0) return 0.0;
+  return static_cast<double>(partition.extraneous) /
+         static_cast<double>(partition.checkins);
+}
+
+double UserVerdicts::gap_stddev_min() const {
+  if (gap_count == 0) return 0.0;
+  return std::sqrt(gap_m2 / static_cast<double>(gap_count));
+}
+
+double UserVerdicts::burstiness() const {
+  if (gap_count == 0) return 0.0;
+  const double sigma = gap_stddev_min();
+  const double denom = sigma + gap_mean_min;
+  return denom == 0.0 ? 0.0 : (sigma - gap_mean_min) / denom;
 }
 
 }  // namespace geovalid::stream

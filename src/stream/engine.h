@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <unordered_set>
@@ -31,6 +32,30 @@ namespace geovalid::stream {
 
 class FaultInjector;
 class Quarantine;
+
+/// One user's live validation state, as served by the query API: the
+/// user's share of the verdict partition plus online checkin-interarrival
+/// statistics (Welford mean/M2 over gaps in minutes — the §5.3 burstiness
+/// inputs, computed incrementally instead of from a stored gap list).
+struct UserVerdicts {
+  trace::UserId id = 0;
+  match::Partition partition;       ///< this user's verdict share
+  std::uint64_t checkins_seen = 0;  ///< applied (non-quarantined) checkins
+  std::uint64_t gap_count = 0;      ///< interarrival gaps = checkins_seen - 1
+  double gap_mean_min = 0.0;        ///< mean gap, minutes
+  double gap_m2 = 0.0;              ///< Welford sum of squared deviations
+
+  /// Extraneous share of this user's checkins (Figure 5 prevalence); 0.0
+  /// when the user has no checkins yet.
+  [[nodiscard]] double extraneous_ratio() const;
+
+  /// Population standard deviation of the interarrival gaps, minutes.
+  [[nodiscard]] double gap_stddev_min() const;
+
+  /// Burstiness B = (sigma - mu) / (sigma + mu) of the interarrival gaps:
+  /// +1 bursty, 0 Poisson-like, -1 periodic. 0.0 until the user has gaps.
+  [[nodiscard]] double burstiness() const;
+};
 
 struct StreamEngineConfig {
   /// Worker threads; each owns an exclusive slice of the user population.
@@ -88,7 +113,10 @@ class StreamEngine {
 
   /// Routes one event to its user's shard. Single producer thread; blocks
   /// when that shard's mailbox is full. Must not be called after finish().
-  void push(const Event& e);
+  /// Returns false when the event was quarantined producer-side (payload
+  /// validation) and never reached a shard — callers tracking in-flight
+  /// depth (serve's ingest-lag gauge) only count `true` pushes.
+  bool push(const Event& e);
 
   /// Flushes staged batches, drains every shard, finalizes all per-user
   /// state and joins the workers. Rethrows the first worker error (e.g. an
@@ -111,7 +139,8 @@ class StreamEngine {
   void shutdown();
 
   /// Serializes the complete engine state (verdict totals + every user's
-  /// detector, matcher and ordering clock) after an implicit drain(). The
+  /// verdict share, interarrival statistics, detector, matcher and
+  /// ordering clock) after an implicit drain(). The
   /// bytes are deterministic and shard-count independent: users are written
   /// globally sorted by id, so the same pushed prefix yields byte-identical
   /// state regardless of `shards`. The payload starts with a fingerprint of
@@ -128,6 +157,19 @@ class StreamEngine {
   /// Live verdict totals: sum of the per-shard snapshots, each published
   /// after a processed batch. Exact once finish() returned.
   [[nodiscard]] match::Partition partition() const;
+
+  /// One user's verdict share and interarrival statistics, exact as of
+  /// everything pushed so far (implicit drain(); producer thread only).
+  /// nullopt when the engine has never seen the user.
+  [[nodiscard]] std::optional<UserVerdicts> user_verdicts(trace::UserId user);
+
+  /// Every tracked user, globally sorted by id (implicit drain(); producer
+  /// thread only). Sums of the per-user partitions equal partition().
+  [[nodiscard]] std::vector<UserVerdicts> all_user_verdicts();
+
+  /// Users tracked across all shards (implicit drain(); producer thread
+  /// only).
+  [[nodiscard]] std::size_t user_count();
 
   /// Events fully processed by the workers (not merely enqueued).
   [[nodiscard]] std::size_t events_processed() const;

@@ -27,6 +27,8 @@ std::string_view to_string(QuarantineReason reason) {
       return "stale_timestamp";
     case QuarantineReason::kUnknownUser:
       return "unknown_user";
+    case QuarantineReason::kMalformedLine:
+      return "malformed_line";
   }
   return "unknown";
 }
@@ -52,7 +54,7 @@ Quarantine::Quarantine(QuarantineConfig config) : config_(std::move(config)) {
                                config_.dead_letter_path.string());
     }
     out_.precision(10);
-    if (!existed) out_ << "reason,user,kind,t,lat,lon\n";
+    if (!existed) out_ << "reason,user,kind,t,lat,lon,detail\n";
   }
 }
 
@@ -67,7 +69,27 @@ void Quarantine::record(const Event& e, QuarantineReason reason) {
     std::lock_guard<std::mutex> lock(io_mu_);
     out_ << to_string(reason) << ',' << e.user << ','
          << (e.kind == Event::Kind::kGps ? "gps" : "checkin") << ','
-         << e.time() << ',' << pos.lat_deg << ',' << pos.lon_deg << '\n';
+         << e.time() << ',' << pos.lat_deg << ',' << pos.lon_deg << ",\n";
+  }
+}
+
+void Quarantine::record_raw(std::string_view raw_line,
+                            QuarantineReason reason) {
+  counts_[static_cast<std::size_t>(reason)].fetch_add(
+      1, std::memory_order_relaxed);
+  if (counters_[static_cast<std::size_t>(reason)] != nullptr) {
+    counters_[static_cast<std::size_t>(reason)]->inc();
+  }
+  if (out_.is_open()) {
+    // The offending bytes are untrusted: clip, and squash anything that
+    // would break the CSV shape (separators, control bytes) to spaces.
+    constexpr std::size_t kDetailCap = 200;
+    std::string detail(raw_line.substr(0, kDetailCap));
+    for (char& c : detail) {
+      if (c == ',' || static_cast<unsigned char>(c) < 0x20) c = ' ';
+    }
+    std::lock_guard<std::mutex> lock(io_mu_);
+    out_ << to_string(reason) << ",,raw,,,," << detail << '\n';
   }
 }
 

@@ -49,9 +49,13 @@ enum class QuarantineReason : std::uint8_t {
   kStaleTimestamp,
   /// User id not in the configured enrollment set.
   kUnknownUser,
+  /// Wire-protocol line that never parsed into an Event: bad verb, wrong
+  /// field count, junk numerics, or a line over the serve size cap. Only
+  /// produced via record_raw() — there is no Event to attach.
+  kMalformedLine,
 };
 
-inline constexpr std::size_t kQuarantineReasonCount = 5;
+inline constexpr std::size_t kQuarantineReasonCount = 6;
 
 /// Stable reason-code string (the metrics label and dead-letter column).
 [[nodiscard]] std::string_view to_string(QuarantineReason reason);
@@ -75,6 +79,12 @@ class Quarantine {
 
   /// Appends one dead-letter record and bumps the reason's counters.
   void record(const Event& e, QuarantineReason reason);
+
+  /// Dead-letters a raw input line that never became an Event (the serve
+  /// wire path: unparseable, oversized, or truncated by a disconnect). The
+  /// line lands sanitized in the `detail` column — commas and control
+  /// bytes become spaces, long lines are clipped — so the CSV stays a CSV.
+  void record_raw(std::string_view raw_line, QuarantineReason reason);
 
   [[nodiscard]] std::uint64_t count(QuarantineReason reason) const {
     return counts_[static_cast<std::size_t>(reason)].load(

@@ -58,6 +58,13 @@ class SnapshotWriter {
 
   void boolean(bool v) { u8(v ? 1 : 0); }
 
+  /// Length-prefixed opaque byte string (u64 count + raw bytes): how one
+  /// payload embeds another (the serve checkpoint wraps the engine's).
+  void blob(std::string_view bytes) {
+    u64(bytes.size());
+    buf_.append(bytes);
+  }
+
   /// Pre-sizes the buffer; callers that know the approximate payload size
   /// (the engine remembers its last checkpoint's) avoid regrowth copies.
   void reserve(std::size_t n) { buf_.reserve(n); }
@@ -114,6 +121,14 @@ class SnapshotReader {
   /// Size prefix of a following sequence, bounded so a corrupt length can
   /// never trigger a multi-gigabyte allocation before the next read fails.
   std::size_t length();
+
+  /// Reads a SnapshotWriter::blob(): bounded length prefix + raw bytes.
+  std::string blob() {
+    const std::size_t n = length();
+    std::string out(data_.substr(pos_, n));
+    pos_ += n;
+    return out;
+  }
 
   [[nodiscard]] bool exhausted() const { return pos_ == data_.size(); }
   [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }

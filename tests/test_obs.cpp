@@ -185,6 +185,41 @@ TEST(ObsExport, JsonEscapesStrings) {
   EXPECT_NE(json.find("v\\\\w"), std::string::npos);
 }
 
+TEST(ObsExport, PrometheusEscapesLabelValues) {
+  // Text exposition format: backslash, double quote and newline in a label
+  // value must be escaped, or a hostile value splits the sample line.
+  EXPECT_EQ(prom_escape_label_value("plain"), "plain");
+  EXPECT_EQ(prom_escape_label_value("a\\b"), "a\\\\b");
+  EXPECT_EQ(prom_escape_label_value("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(prom_escape_label_value("two\nlines"), "two\\nlines");
+
+  Registry r;
+  r.counter("edge_total", "Edge cases", {{"path", "a\\b\"c\nd"}}).inc(1);
+  const std::string text = to_prometheus(r);
+  // The whole sample fits one physical line, escapes and all.
+  EXPECT_NE(text.find("edge_total{path=\"a\\\\b\\\"c\\nd\"} 1\n"),
+            std::string::npos);
+}
+
+TEST(ObsExport, PrometheusEscapesHelpText) {
+  // HELP text escapes backslash and newline; quotes are legal there.
+  EXPECT_EQ(prom_escape_help("a\\b"), "a\\\\b");
+  EXPECT_EQ(prom_escape_help("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(prom_escape_help("keep \"quotes\""), "keep \"quotes\"");
+
+  Registry r;
+  r.counter("help_total", "first\nsecond \\ third").inc();
+  const std::string text = to_prometheus(r);
+  EXPECT_NE(text.find("# HELP help_total first\\nsecond \\\\ third\n"),
+            std::string::npos);
+}
+
+TEST(ObsExport, PrometheusContentTypeIsTextFormat004) {
+  // The content type /metrics must serve (Prometheus rejects others).
+  EXPECT_EQ(kPrometheusContentType,
+            "text/plain; version=0.0.4; charset=utf-8");
+}
+
 // ---- Concurrency (runs under the TSan CI job; see .github/workflows) ----
 
 TEST(ObsRegistryConcurrency, ParallelIncrementsLoseNothing) {

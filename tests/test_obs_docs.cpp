@@ -5,12 +5,14 @@
 // documenting it and this fails; the doc can never silently drift.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <filesystem>
 #include <fstream>
 #include <set>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "apps/friendship.h"
@@ -18,6 +20,8 @@
 #include "apps/traffic.h"
 #include "core/pipeline.h"
 #include "obs/metrics.h"
+#include "serve/net.h"
+#include "serve/server.h"
 #include "stream/checkpoint.h"
 #include "stream/engine.h"
 #include "stream/quarantine.h"
@@ -48,6 +52,25 @@ void exercise_all_instrumented_paths(const fs::path& scratch) {
   config.shards = 2;
   stream::StreamEngine engine(config);
   (void)stream::replay_dataset(analysis.dataset, engine);
+
+  // The serve daemon: constructing it with metrics on registers every
+  // serve_* family, including the full fixed route vocabulary. One request
+  // + one ingest line exercise the lazy per-status counters too.
+  {
+    serve::ServeConfig sc;
+    serve::Server server(std::move(sc));
+    server.start();
+    std::atomic<bool> stop{false};
+    std::thread loop([&] { (void)server.run(&stop); });
+    {
+      serve::Fd c =
+          serve::tcp_connect("127.0.0.1", server.ingest_port());
+      (void)serve::send_all(c.get(), "checkin,1,0,1,Food,37.0,-122.0\n");
+    }
+    (void)serve::http_get("127.0.0.1", server.http_port(), "/metrics");
+    stop.store(true);
+    loop.join();
+  }
 
   // Fault tolerance: a checkpoint write + restore registers the checkpoint
   // counter/size/latency families; a quarantined record registers the

@@ -1,0 +1,167 @@
+// The PR's acceptance property: validating a study through the network
+// daemon — including a mid-run kill and a --resume restart — yields
+// verdicts identical to the offline batch engine, per user and field for
+// field (doubles compared bitwise; the wire format's shortest-roundtrip
+// doubles make this exact, not approximate).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <filesystem>
+#include <thread>
+#include <vector>
+
+#include "serve/client.h"
+#include "serve/net.h"
+#include "serve/server.h"
+#include "stream/engine.h"
+#include "stream/replay.h"
+#include "synth/config.h"
+#include "synth/study_generator.h"
+
+namespace geovalid::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path fresh_dir(const char* name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+const std::vector<stream::Event>& study_events() {
+  static const std::vector<stream::Event> events = [] {
+    const synth::GeneratedStudy study =
+        synth::generate_study(synth::tiny_preset());
+    return stream::flatten_dataset(study.dataset);
+  }();
+  return events;
+}
+
+/// The batch reference: every event through a direct engine, finalized.
+std::vector<stream::UserVerdicts> batch_verdicts() {
+  stream::StreamEngine engine{stream::StreamEngineConfig{}};
+  for (const stream::Event& e : study_events()) engine.push(e);
+  engine.finish();
+  return engine.all_user_verdicts();
+}
+
+void expect_identical(const std::vector<stream::UserVerdicts>& serve,
+                      const std::vector<stream::UserVerdicts>& batch) {
+  ASSERT_EQ(serve.size(), batch.size());
+  for (std::size_t i = 0; i < serve.size(); ++i) {
+    const stream::UserVerdicts& s = serve[i];
+    const stream::UserVerdicts& b = batch[i];
+    ASSERT_EQ(s.id, b.id);
+    EXPECT_EQ(s.partition.honest, b.partition.honest) << "user " << s.id;
+    EXPECT_EQ(s.partition.extraneous, b.partition.extraneous)
+        << "user " << s.id;
+    EXPECT_EQ(s.partition.missing, b.partition.missing) << "user " << s.id;
+    EXPECT_EQ(s.partition.checkins, b.partition.checkins) << "user " << s.id;
+    EXPECT_EQ(s.partition.visits, b.partition.visits) << "user " << s.id;
+    EXPECT_EQ(s.partition.by_class, b.partition.by_class) << "user " << s.id;
+    EXPECT_EQ(s.checkins_seen, b.checkins_seen) << "user " << s.id;
+    EXPECT_EQ(s.gap_count, b.gap_count) << "user " << s.id;
+    // Bitwise double equality — the serve path must not perturb a single
+    // ULP (wire doubles are shortest-roundtrip, Welford order is per-user).
+    EXPECT_EQ(s.gap_mean_min, b.gap_mean_min) << "user " << s.id;
+    EXPECT_EQ(s.gap_m2, b.gap_m2) << "user " << s.id;
+  }
+}
+
+TEST(ServeEquivalence, LoadgenReplayMatchesBatchEngine) {
+  ServeConfig config;
+  config.metrics = false;
+  config.engine.shards = 3;
+  Server server(std::move(config));
+  server.start();
+  ServeStats stats;
+  std::thread loop([&] { stats = server.run(); });
+
+  LoadgenConfig lg;
+  lg.port = server.ingest_port();
+  lg.connections = 3;
+  const LoadgenStats sent = run_loadgen(study_events(), lg);
+  EXPECT_EQ(sent.failed_connections, 0u);
+  EXPECT_EQ(sent.events_sent, study_events().size());
+
+  const HttpResponse drained =
+      http_post("127.0.0.1", server.http_port(), "/admin/drain");
+  loop.join();
+  ASSERT_EQ(drained.status, 200);
+  EXPECT_EQ(stats.exit, ServeExit::kDrained);
+  EXPECT_EQ(stats.records_applied, study_events().size());
+  EXPECT_EQ(stats.records_malformed, 0u);
+
+  expect_identical(server.engine().all_user_verdicts(), batch_verdicts());
+}
+
+TEST(ServeEquivalence, KillAndResumeRestartServesIdenticalVerdicts) {
+  const std::vector<stream::Event>& events = study_events();
+  ASSERT_GE(events.size(), 1000u)
+      << "tiny preset too small to exercise checkpoint + crash";
+  const fs::path dir = fresh_dir("serve_equivalence_resume");
+
+  // First life: periodic checkpoints, then a simulated SIGKILL mid-stream
+  // (no drain, no final checkpoint — recovery must come from the last
+  // periodic checkpoint alone).
+  {
+    ServeConfig config;
+    config.metrics = false;
+    config.engine.shards = 2;
+    config.checkpoint_dir = dir;
+    config.checkpoint_interval_records = 250;
+    config.crash_after_records = events.size() / 2;
+    Server server(std::move(config));
+    server.start();
+    ServeStats stats;
+    std::thread loop([&] { stats = server.run(); });
+
+    LoadgenConfig lg;
+    lg.port = server.ingest_port();
+    lg.connections = 2;
+    const LoadgenStats sent = run_loadgen(events, lg);
+    loop.join();
+    ASSERT_EQ(stats.exit, ServeExit::kCrashed);
+    // The kill landed mid-replay: at least one feeder saw the peer vanish,
+    // or the kernel swallowed the tail — either way the daemon is gone.
+    EXPECT_EQ(stats.records_parsed, events.size() / 2);
+    (void)sent;
+  }
+
+  // Second life: resume from the newest checkpoint, clients re-send their
+  // full traces (at-least-once delivery), the covered prefix is skipped.
+  ServeConfig config;
+  config.metrics = false;
+  config.engine.shards = 4;  // shard count is not part of the state
+  config.checkpoint_dir = dir;
+  config.resume = true;
+  Server server(std::move(config));
+  server.start();
+  ASSERT_GT(server.restored_cursor(), 0u);
+  ASSERT_LE(server.restored_cursor(), events.size() / 2);
+  ServeStats stats;
+  std::thread loop([&] { stats = server.run(); });
+
+  LoadgenConfig lg;
+  lg.port = server.ingest_port();
+  lg.connections = 2;
+  const LoadgenStats sent = run_loadgen(events, lg);
+  EXPECT_EQ(sent.failed_connections, 0u);
+
+  const HttpResponse drained =
+      http_post("127.0.0.1", server.http_port(), "/admin/drain");
+  loop.join();
+  ASSERT_EQ(drained.status, 200);
+  EXPECT_EQ(stats.exit, ServeExit::kDrained);
+  EXPECT_EQ(stats.records_replayed, server.restored_cursor());
+  EXPECT_EQ(stats.records_applied, events.size() - server.restored_cursor());
+  EXPECT_EQ(stats.cursor, events.size());
+
+  expect_identical(server.engine().all_user_verdicts(), batch_verdicts());
+}
+
+}  // namespace
+}  // namespace geovalid::serve

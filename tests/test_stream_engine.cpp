@@ -186,5 +186,76 @@ TEST(StreamEngine, TinyMailboxStillProducesExactPartition) {
   expect_partition_eq(engine.partition(), batch);
 }
 
+// ---- Query API (the serve layer's /v1/users/{id}/verdicts source) ----
+
+TEST(StreamEngine, UserVerdictsSumToThePartition) {
+  const synth::GeneratedStudy study =
+      synth::generate_study(synth::tiny_preset());
+
+  StreamEngineConfig config;
+  config.shards = 3;
+  StreamEngine engine(config);
+  replay_dataset(study.dataset, engine);
+
+  const std::vector<UserVerdicts> users = engine.all_user_verdicts();
+  EXPECT_EQ(users.size(), engine.user_count());
+  ASSERT_FALSE(users.empty());
+
+  match::Partition sum;
+  for (std::size_t i = 0; i < users.size(); ++i) {
+    if (i > 0) EXPECT_LT(users[i - 1].id, users[i].id);  // globally sorted
+    sum.honest += users[i].partition.honest;
+    sum.extraneous += users[i].partition.extraneous;
+    sum.missing += users[i].partition.missing;
+    sum.checkins += users[i].partition.checkins;
+    sum.visits += users[i].partition.visits;
+    for (std::size_t c = 0; c < sum.by_class.size(); ++c) {
+      sum.by_class[c] += users[i].partition.by_class[c];
+    }
+  }
+  expect_partition_eq(sum, engine.partition());
+
+  // Point query agrees with the bulk dump; an unseen id is nullopt.
+  const auto one = engine.user_verdicts(users.front().id);
+  ASSERT_TRUE(one.has_value());
+  EXPECT_EQ(one->id, users.front().id);
+  EXPECT_EQ(one->checkins_seen, users.front().checkins_seen);
+  EXPECT_FALSE(engine.user_verdicts(0xFFFFFF).has_value());
+}
+
+TEST(StreamEngine, UserVerdictsInterarrivalStatistics) {
+  StreamEngine engine{StreamEngineConfig{}};
+  trace::Checkin c;
+  c.poi = 1;
+  c.category = trace::PoiCategory::kFood;
+  c.location = kVenue;
+  // Checkins at 0, +10min, +30min: gaps {10, 20} minutes.
+  for (const trace::TimeSec t : {0, 600, 1800}) {
+    c.t = t;
+    engine.push(Event::checkin_event(42, c));
+  }
+
+  const auto v = engine.user_verdicts(42);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->checkins_seen, 3u);
+  EXPECT_EQ(v->gap_count, 2u);
+  EXPECT_DOUBLE_EQ(v->gap_mean_min, 15.0);
+  EXPECT_DOUBLE_EQ(v->gap_stddev_min(), 5.0);  // population: sqrt(50 / 2)
+  EXPECT_DOUBLE_EQ(v->burstiness(), (5.0 - 15.0) / (5.0 + 15.0));
+
+  // A GPS-only user is tracked but has no gaps and a zero ratio.
+  trace::GpsPoint p;
+  p.t = 100;
+  p.position = kVenue;
+  p.has_fix = true;
+  engine.push(Event::gps_sample(7, p));
+  const auto gps_only = engine.user_verdicts(7);
+  ASSERT_TRUE(gps_only.has_value());
+  EXPECT_EQ(gps_only->gap_count, 0u);
+  EXPECT_DOUBLE_EQ(gps_only->burstiness(), 0.0);
+  EXPECT_DOUBLE_EQ(gps_only->extraneous_ratio(), 0.0);
+  engine.finish();
+}
+
 }  // namespace
 }  // namespace geovalid::stream

@@ -165,17 +165,23 @@ TEST(Quarantine, DeadLetterFileCarriesReasonAndPayload) {
     quarantine.record(gps_at(7, -1), QuarantineReason::kTimestampOverflow);
     quarantine.record(gps_at(8, 10, 95.0, 0.0),
                       QuarantineReason::kBadCoordinates);
+    quarantine.record_raw("not,a\trecord\x01" "at all",
+                          QuarantineReason::kMalformedLine);
     quarantine.flush();
   }
   std::ifstream in(path);
   ASSERT_TRUE(in.good());
   std::string line;
   std::getline(in, line);
-  EXPECT_EQ(line, "reason,user,kind,t,lat,lon");
+  EXPECT_EQ(line, "reason,user,kind,t,lat,lon,detail");
   std::getline(in, line);
   EXPECT_EQ(line.rfind("timestamp_overflow,7,gps,-1,", 0), 0u) << line;
   std::getline(in, line);
   EXPECT_EQ(line.rfind("bad_coordinates,8,gps,10,95,", 0), 0u) << line;
+  // Raw lines land sanitized in the detail column: commas and control
+  // bytes become spaces so the CSV stays one record per row.
+  std::getline(in, line);
+  EXPECT_EQ(line, "malformed_line,,raw,,,,not a record at all") << line;
   EXPECT_FALSE(std::getline(in, line));
 }
 

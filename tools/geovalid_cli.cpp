@@ -35,6 +35,23 @@
 //       docs/ROBUSTNESS.md); --inject-faults drives the deterministic
 //       fault harness (spec grammar in docs/ROBUSTNESS.md).
 //
+//   geovalid serve [--port N] [--http-port N] [--host ADDR] [--shards N]
+//                  [--alpha M] [--beta MIN] [--max-connections N]
+//                  [--idle-timeout S] [--checkpoint-dir D]
+//                  [--checkpoint-interval N] [--resume]
+//                  [--dead-letter FILE] [--port-file PATH]
+//                  [--crash-after N]
+//       Run the online validation daemon (docs/SERVICE.md): a TCP ingest
+//       port speaking the line-delimited wire protocol feeding the live
+//       streaming engine, and an HTTP control plane (/healthz, /metrics,
+//       /v1/summary, /v1/users/{id}/verdicts, /admin/checkpoint,
+//       /admin/drain). --port 0 (the default) binds an ephemeral port and
+//       prints the one the kernel picked; --port-file additionally writes
+//       both bound ports to PATH for scripts. SIGTERM/SIGINT drain the
+//       engine, write a final checkpoint (with --checkpoint-dir) and exit
+//       5; --resume restores the newest checkpoint so a kill + restart
+//       serves verdicts identical to an uninterrupted run.
+//
 // Exit codes (docs/ROBUSTNESS.md):
 //   0  success
 //   1  runtime failure (incl. --verify mismatch, simulated fault kill)
@@ -46,6 +63,7 @@
 // Every subcommand accepts --metrics-json <path>: on exit (success or
 // failure) the process-wide observability registry is dumped as JSON.
 // docs/OBSERVABILITY.md is the reference for every metric in the dump.
+#include <atomic>
 #include <cerrno>
 #include <csignal>
 #include <cstdlib>
@@ -66,6 +84,7 @@
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "recover/upsample.h"
+#include "serve/server.h"
 #include "stream/checkpoint.h"
 #include "stream/faults.h"
 #include "stream/quarantine.h"
@@ -88,8 +107,14 @@ enum ExitCode : int {
 };
 
 volatile std::sig_atomic_t g_stop = 0;
+// The serve event loop polls an std::atomic<bool> (lock-free bool stores
+// are async-signal-safe); the replay path keeps the sig_atomic_t.
+std::atomic<bool> g_stop_flag{false};
 
-extern "C" void handle_stop_signal(int) { g_stop = 1; }
+extern "C" void handle_stop_signal(int) {
+  g_stop = 1;
+  g_stop_flag.store(true, std::memory_order_relaxed);
+}
 
 int usage() {
   std::cerr <<
@@ -106,6 +131,13 @@ int usage() {
       "                  [--checkpoint-interval EVENTS] [--resume]\n"
       "                  [--dead-letter FILE] [--inject-faults SPEC]\n"
       "                  [--stop-after EVENTS]\n"
+      "  geovalid serve [--port N] [--http-port N] [--host ADDR] "
+      "[--shards N]\n"
+      "                 [--alpha M] [--beta MIN] [--max-connections N]\n"
+      "                 [--idle-timeout SECONDS] [--checkpoint-dir D]\n"
+      "                 [--checkpoint-interval RECORDS] [--resume]\n"
+      "                 [--dead-letter FILE] [--port-file PATH]\n"
+      "                 [--crash-after RECORDS]\n"
       "\n"
       "common flags:\n"
       "  --metrics-json FILE   dump the metrics registry as JSON on exit\n"
@@ -546,6 +578,120 @@ int cmd_stream(int argc, char** argv) {
   return kExitOk;
 }
 
+int cmd_serve(int argc, char** argv) {
+  (void)threads_flag(argc, argv);  // accepted everywhere; shards control
+                                   // the serve-side parallelism
+
+  serve::ServeConfig cfg;
+  if (const auto host = string_flag_value(argc, argv, "--host")) {
+    cfg.host = *host;
+  }
+  if (const auto port = int_flag_value(argc, argv, "--port")) {
+    if (*port > 65535) throw UsageError("--port must be at most 65535");
+    cfg.ingest_port = static_cast<std::uint16_t>(*port);
+  }
+  if (const auto port = int_flag_value(argc, argv, "--http-port")) {
+    if (*port > 65535) throw UsageError("--http-port must be at most 65535");
+    cfg.http_port = static_cast<std::uint16_t>(*port);
+  }
+  if (const auto cap = int_flag_value(argc, argv, "--max-connections")) {
+    if (*cap == 0) throw UsageError("--max-connections must be positive");
+    cfg.max_connections = static_cast<std::size_t>(*cap);
+  }
+  if (const auto idle = flag_value(argc, argv, "--idle-timeout")) {
+    cfg.idle_timeout_s = *idle;  // <= 0 disables the sweep
+  }
+  if (const auto shards = int_flag_value(argc, argv, "--shards")) {
+    cfg.engine.shards = static_cast<std::size_t>(*shards);
+  }
+  if (const auto alpha = flag_value(argc, argv, "--alpha")) {
+    cfg.engine.match.alpha_m = *alpha;
+  }
+  if (const auto beta = flag_value(argc, argv, "--beta")) {
+    cfg.engine.match.beta = static_cast<trace::TimeSec>(*beta * 60.0);
+  }
+  const auto checkpoint_dir = string_flag_value(argc, argv, "--checkpoint-dir");
+  cfg.resume = has_flag(argc, argv, "--resume");
+  if (cfg.resume && !checkpoint_dir) {
+    throw UsageError("--resume requires --checkpoint-dir");
+  }
+  if (checkpoint_dir) cfg.checkpoint_dir = *checkpoint_dir;
+  if (const auto v = int_flag_value(argc, argv, "--checkpoint-interval")) {
+    if (*v == 0) throw UsageError("--checkpoint-interval must be positive");
+    cfg.checkpoint_interval_records = *v;
+  }
+  if (const auto dead_letter = string_flag_value(argc, argv, "--dead-letter")) {
+    cfg.quarantine.dead_letter_path = *dead_letter;
+  }
+  if (const auto v = int_flag_value(argc, argv, "--crash-after")) {
+    cfg.crash_after_records = *v;
+  }
+
+  serve::Server server(std::move(cfg));
+  server.start();
+  if (server.restored_cursor() != 0) {
+    std::cout << "resumed from checkpoint at cursor "
+              << server.restored_cursor() << "\n";
+  }
+  std::cout << "serving: ingest port " << server.ingest_port()
+            << ", http port " << server.http_port() << "\n";
+  std::cout.flush();
+  if (const auto port_file = string_flag_value(argc, argv, "--port-file")) {
+    // Written after both binds succeed: a script that polls for this file
+    // knows the daemon is accepting connections once it appears.
+    std::ofstream out(*port_file);
+    if (!out) {
+      std::cerr << "cannot open " << *port_file << " for writing\n";
+      return kExitRuntime;
+    }
+    out << "ingest=" << server.ingest_port() << "\n"
+        << "http=" << server.http_port() << "\n";
+  }
+
+  std::signal(SIGTERM, handle_stop_signal);
+  std::signal(SIGINT, handle_stop_signal);
+
+  const serve::ServeStats stats = server.run(&g_stop_flag);
+
+  std::cout << "\n=== serve ===\n"
+            << "  connections  " << stats.connections << "\n"
+            << "  parsed       " << stats.records_parsed << "\n"
+            << "  applied      " << stats.records_applied << "\n"
+            << "  replayed     " << stats.records_replayed << "\n"
+            << "  malformed    " << stats.records_malformed << "\n"
+            << "  http reqs    " << stats.http_requests << "\n"
+            << "  cursor       " << stats.cursor << "\n";
+
+  std::cout << "\n=== quarantine ===\n";
+  for (std::size_t i = 0; i < stream::kQuarantineReasonCount; ++i) {
+    const auto reason = static_cast<stream::QuarantineReason>(i);
+    std::cout << "  " << std::left << std::setw(20)
+              << stream::to_string(reason) << std::right << std::setw(10)
+              << server.quarantine().count(reason) << "\n";
+  }
+
+  std::cout << "\n=== streaming partition ===\n";
+  core::print_partition(std::cout, server.engine().partition());
+
+  switch (stats.exit) {
+    case serve::ServeExit::kCrashed:
+      std::cout << "\nsimulated crash at " << stats.records_parsed
+                << " records (no final checkpoint; resume from the last "
+                   "periodic one)\n";
+      return kExitRuntime;
+    case serve::ServeExit::kStopped:
+      std::cout << "\nstopped on signal at cursor " << stats.cursor
+                << (checkpoint_dir ? "; checkpoint written — restart with "
+                                     "--resume to continue\n"
+                                   : "; no --checkpoint-dir, state lost\n");
+      return kExitInterrupted;
+    case serve::ServeExit::kDrained:
+      std::cout << "\ndrained cleanly at cursor " << stats.cursor << "\n";
+      return kExitOk;
+  }
+  return kExitRuntime;
+}
+
 /// Dumps the metrics registry if --metrics-json was given. Runs on every
 /// exit path — error runs are precisely when the ingest-error counters
 /// matter.
@@ -566,6 +712,7 @@ int dispatch(const std::string& cmd, int argc, char** argv) {
   if (cmd == "repair") return cmd_repair(argc, argv);
   if (cmd == "import-snap") return cmd_import_snap(argc, argv);
   if (cmd == "stream") return cmd_stream(argc, argv);
+  if (cmd == "serve") return cmd_serve(argc, argv);
   return usage();
 }
 

@@ -1,0 +1,123 @@
+// geovalid_loadgen — replay a CSV dataset against a running `geovalid
+// serve` daemon over N concurrent ingest connections and print one line of
+// JSON throughput/latency stats (docs/SERVICE.md).
+//
+//   geovalid_loadgen <dataset_dir> --port N [--http-port N] [--host ADDR]
+//                    [--connections N] [--rate EVENTS/S]
+//
+// Events are partitioned by `user % connections` so each user's records
+// arrive in trace order over one connection — the ordering the engine's
+// verdicts depend on. With --http-port the control plane is probed after
+// the replay: /healthz, /metrics (status + content type), and a timed
+// /v1/summary whose body is embedded in the output verbatim.
+//
+// Exit codes: 0 success, 1 runtime failure (daemon unreachable, replay
+// connections dropped, or a failed control-plane probe), 2 usage error.
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "serve/client.h"
+#include "serve/net.h"
+#include "stream/replay.h"
+#include "trace/csv.h"
+
+namespace {
+
+using namespace geovalid;
+
+int usage() {
+  std::cerr
+      << "usage: geovalid_loadgen <dataset_dir> --port N [--http-port N]\n"
+         "                        [--host ADDR] [--connections N]\n"
+         "                        [--rate EVENTS/S]\n";
+  return 2;
+}
+
+std::optional<std::string> string_flag_value(int argc, char** argv,
+                                             const char* name) {
+  for (int i = 0; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return std::string(argv[i + 1]);
+  }
+  return std::nullopt;
+}
+
+std::optional<std::uint64_t> int_flag_value(int argc, char** argv,
+                                            const char* name) {
+  const auto raw = string_flag_value(argc, argv, name);
+  if (!raw) return std::nullopt;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(raw->c_str(), &end, 10);
+  if (raw->empty() || raw->front() == '-' || errno != 0 ||
+      end != raw->c_str() + raw->size()) {
+    throw std::runtime_error(std::string(name) +
+                             " expects a non-negative integer, got '" +
+                             *raw + "'");
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::filesystem::path dir = argv[1];
+
+  serve::LoadgenConfig cfg;
+  try {
+    const auto port = int_flag_value(argc - 2, argv + 2, "--port");
+    if (!port || *port == 0 || *port > 65535) {
+      std::cerr << "error: --port is required (1-65535)\n";
+      return usage();
+    }
+    cfg.port = static_cast<std::uint16_t>(*port);
+    if (const auto http = int_flag_value(argc - 2, argv + 2, "--http-port")) {
+      if (*http > 65535) {
+        std::cerr << "error: --http-port must be at most 65535\n";
+        return usage();
+      }
+      cfg.http_port = static_cast<std::uint16_t>(*http);
+    }
+    if (const auto host = string_flag_value(argc - 2, argv + 2, "--host")) {
+      cfg.host = *host;
+    }
+    if (const auto conns =
+            int_flag_value(argc - 2, argv + 2, "--connections")) {
+      if (*conns == 0) {
+        std::cerr << "error: --connections must be positive\n";
+        return usage();
+      }
+      cfg.connections = static_cast<std::size_t>(*conns);
+    }
+    if (const auto rate = string_flag_value(argc - 2, argv + 2, "--rate")) {
+      cfg.rate_events_per_sec = std::atof(rate->c_str());
+      if (!(cfg.rate_events_per_sec > 0.0)) {
+        std::cerr << "error: --rate must be positive\n";
+        return usage();
+      }
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return usage();
+  }
+
+  try {
+    const trace::Dataset ds =
+        trace::read_dataset_csv(dir, dir.filename().string());
+    const std::vector<stream::Event> events = stream::flatten_dataset(ds);
+    const serve::LoadgenStats stats = serve::run_loadgen(events, cfg);
+    std::cout << serve::to_json(stats) << "\n";
+    if (stats.failed_connections > 0) return 1;
+    if (cfg.http_port != 0 && (!stats.healthz_ok || !stats.metrics_ok ||
+                               stats.summary_json.empty())) {
+      return 1;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

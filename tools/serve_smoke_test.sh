@@ -1,0 +1,64 @@
+#!/bin/sh
+# End-to-end smoke test for the serve daemon (docs/SERVICE.md), used by
+# ctest (cli_serve_smoke) and the CI serve-smoke job:
+#
+#   1. start `geovalid serve` on ephemeral ports (--port 0 --port-file)
+#   2. replay a dataset through geovalid_loadgen over 4 connections,
+#      probing /healthz, /metrics and /v1/summary
+#   3. SIGTERM the daemon and require the clean-shutdown contract:
+#      exit code 5 plus a final checkpoint on disk
+#
+# usage: serve_smoke_test.sh <geovalid> <geovalid_loadgen> <dataset> <work>
+set -u
+
+CLI="$1"
+LOADGEN="$2"
+DATASET="$3"
+WORK="$4"
+
+fail() {
+    echo "FAIL: $1" >&2
+    [ -f "$WORK/serve.log" ] && sed 's/^/  serve: /' "$WORK/serve.log" >&2
+    kill "$SERVER" 2>/dev/null
+    exit 1
+}
+
+rm -rf "$WORK"
+mkdir -p "$WORK"
+
+"$CLI" serve --port 0 --http-port 0 --port-file "$WORK/ports" \
+    --checkpoint-dir "$WORK/ck" --dead-letter "$WORK/dead.csv" \
+    --shards 2 > "$WORK/serve.log" 2>&1 &
+SERVER=$!
+
+# The port file appears only after both listeners are bound.
+i=0
+while [ ! -s "$WORK/ports" ]; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && fail "server never wrote the port file"
+    kill -0 "$SERVER" 2>/dev/null || fail "server exited before binding"
+    sleep 0.1
+done
+INGEST=$(sed -n 's/^ingest=//p' "$WORK/ports")
+HTTP=$(sed -n 's/^http=//p' "$WORK/ports")
+[ -n "$INGEST" ] && [ -n "$HTTP" ] || fail "port file is malformed"
+
+"$LOADGEN" "$DATASET" --port "$INGEST" --http-port "$HTTP" \
+    --connections 4 > "$WORK/loadgen.json" 2> "$WORK/loadgen.err" \
+    || fail "loadgen failed: $(cat "$WORK/loadgen.err")"
+
+grep -q '"healthz_ok":true' "$WORK/loadgen.json" || fail "/healthz probe"
+grep -q '"metrics_ok":true' "$WORK/loadgen.json" || fail "/metrics probe"
+grep -q '"partition":{' "$WORK/loadgen.json" || fail "/v1/summary probe"
+grep -q '"failed_connections":0' "$WORK/loadgen.json" \
+    || fail "replay dropped connections"
+
+kill -TERM "$SERVER"
+wait "$SERVER"
+STATUS=$?
+[ "$STATUS" -eq 5 ] || fail "expected exit 5 on SIGTERM, got $STATUS"
+ls "$WORK"/ck/checkpoint-*.gvck > /dev/null 2>&1 \
+    || fail "no final checkpoint written"
+
+echo "serve smoke test passed"
+exit 0
