@@ -1,0 +1,84 @@
+#include "cluster/forwarder.h"
+
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <utility>
+
+namespace geovalid::cluster {
+
+bool Forwarder::connect() noexcept {
+  try {
+    fd_ = serve::tcp_connect(addr_.host, addr_.ingest_port);
+    serve::set_nonblocking(fd_.get());
+  } catch (const serve::NetError&) {
+    fd_.reset();
+    healthy_ = false;
+    return false;
+  }
+  healthy_ = true;
+  return true;
+}
+
+bool Forwarder::enqueue(std::string_view line) {
+  if (!healthy_) {
+    ++dropped;
+    return false;
+  }
+  ++forwarded;
+  buf_.append(line.data(), line.size());
+  buf_.push_back('\n');
+  return true;
+}
+
+void Forwarder::flush() {
+  if (!healthy_) return;
+  while (off_ < buf_.size()) {
+    const ssize_t n = ::send(fd_.get(), buf_.data() + off_,
+                             buf_.size() - off_, MSG_NOSIGNAL);
+    if (n > 0) {
+      off_ += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    // EPIPE/ECONNRESET (backend gone) and anything else: down. The
+    // router counts the loss and surfaces it via cluster_* metrics; the
+    // rebalance path recovers the shard.
+    mark_down();
+    return;
+  }
+  if (off_ == buf_.size()) {
+    buf_.clear();
+    off_ = 0;
+  } else if (off_ > 256 * 1024) {
+    buf_.erase(0, off_);
+    off_ = 0;
+  }
+}
+
+void Forwarder::close() {
+  fd_.reset();
+  healthy_ = false;
+  buf_.clear();
+  off_ = 0;
+}
+
+void Forwarder::mark_down() {
+  // Buffered bytes are whole records plus possibly a partial record the
+  // kernel accepted half of; either way the backend connection is gone,
+  // so everything still queued is lost. Count records conservatively by
+  // newlines remaining in the buffer.
+  for (std::size_t i = off_; i < buf_.size(); ++i) {
+    if (buf_[i] == '\n') ++dropped;
+  }
+  close();
+}
+
+bool Forwarder::replace(BackendAddr addr) noexcept {
+  close();
+  addr_ = std::move(addr);
+  return connect();
+}
+
+}  // namespace geovalid::cluster

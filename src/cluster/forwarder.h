@@ -1,0 +1,88 @@
+// Per-backend forwarding connection for the cluster router.
+//
+// One Forwarder owns the persistent TCP ingest connection to one
+// `geovalid serve` backend. Routed wire records append to an in-memory
+// buffer and drip out non-blocking under the router's poll loop — the
+// same wbuf discipline serve uses for HTTP responses, pointed the other
+// way. The buffer doubles as the backpressure signal: when any backend's
+// buffer crosses the router's high-water mark, the router stops reading
+// from ingest clients until the slow backend catches up, so a stalled
+// backend translates into TCP backpressure on the producers instead of
+// unbounded router memory.
+//
+// A send failure (EPIPE/ECONNRESET — the backend died or drained) marks
+// the forwarder down: buffered and subsequent records for its shard are
+// *dropped and counted*, never silently queued forever. Recovery is the
+// rebalance path (docs/CLUSTER.md): replace() points the forwarder at a
+// resumed replacement process, and router-level replay accounting makes
+// client re-sends exactly-once.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "serve/net.h"
+
+namespace geovalid::cluster {
+
+/// Address of one backend. `name` is the ring identity (stable across
+/// process replacement); host/ports are the current process.
+struct BackendAddr {
+  std::string name;
+  std::string host = "127.0.0.1";
+  std::uint16_t ingest_port = 0;
+  std::uint16_t http_port = 0;
+};
+
+class Forwarder {
+ public:
+  explicit Forwarder(BackendAddr addr) : addr_(std::move(addr)) {}
+
+  /// Connects (blocking) then switches the socket non-blocking. Returns
+  /// false and stays down on failure.
+  bool connect() noexcept;
+
+  /// True once connect() succeeded and no send has failed since.
+  [[nodiscard]] bool healthy() const { return healthy_; }
+
+  [[nodiscard]] const BackendAddr& addr() const { return addr_; }
+  [[nodiscard]] int fd() const { return fd_.get(); }
+  [[nodiscard]] std::size_t buffered() const { return buf_.size() - off_; }
+  [[nodiscard]] bool wants_write() const {
+    return healthy_ && buffered() > 0;
+  }
+
+  /// Queues one wire record (`line` without its newline; the forwarder
+  /// appends the delimiter). Returns true when queued; returns false and
+  /// counts the record as dropped when the forwarder is down.
+  bool enqueue(std::string_view line);
+
+  /// Sends as much of the buffer as the socket accepts right now.
+  /// EPIPE/ECONNRESET marks the forwarder down and drops the remainder.
+  void flush();
+
+  /// Signals EOF to the backend (orderly half of drain/stop).
+  void close();
+
+  /// Marks the forwarder down, dropping any buffered records. Used when
+  /// the backend's read side reports EOF or when a flush deadline in the
+  /// control plane expires.
+  void mark_down();
+
+  /// Points the forwarder at a replacement process for the same ring
+  /// name and reconnects. Returns connect()'s result.
+  bool replace(BackendAddr addr) noexcept;
+
+  std::uint64_t forwarded = 0;  ///< records handed to enqueue() while up
+  std::uint64_t dropped = 0;    ///< records lost while down
+
+ private:
+  BackendAddr addr_;
+  serve::Fd fd_;
+  std::string buf_;
+  std::size_t off_ = 0;
+  bool healthy_ = false;
+};
+
+}  // namespace geovalid::cluster

@@ -1,0 +1,978 @@
+#include "cluster/router.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <charconv>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "cluster/aggregate.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "serve/http.h"
+
+namespace geovalid::cluster {
+namespace {
+
+using serve::Fd;
+using serve::HttpRequest;
+using serve::HttpRequestParser;
+using serve::http_response;
+using serve::NetError;
+
+constexpr int kPollTimeoutMs = 100;
+constexpr std::size_t kReadBudgetBytes = 256 * 1024;
+
+/// Opportunistic flush threshold: a forwarder buffer past this tries the
+/// socket immediately instead of waiting for the next POLLOUT round.
+constexpr std::size_t kFlushChunkBytes = 64 * 1024;
+
+/// Deadline for pushing buffered records to a backend before a
+/// checkpoint/drain fan-out (a backend slower than this is marked down —
+/// all-or-error, not indefinite hang).
+constexpr int kControlFlushDeadlineMs = 30'000;
+
+/// conn_of_pollfd sentinels (connection indices are always far below).
+constexpr std::size_t kIngestListener = SIZE_MAX;
+constexpr std::size_t kHttpListener = SIZE_MAX - 1;
+constexpr std::size_t kForwarderBase = SIZE_MAX / 2;
+
+/// The fixed route vocabulary of cluster_http_requests_total{route=...}.
+constexpr const char* kRouteLabels[] = {
+    "/healthz",          "/readyz",
+    "/metrics",          "/v1/summary",
+    "/v1/users/{id}/verdicts",
+    "/admin/checkpoint", "/admin/drain",
+    "/admin/backends/{name}",
+    "other",
+};
+
+/// Routing key: verb + user id, the first two wire fields. Everything
+/// after the second comma is the backend's business — this is the only
+/// parsing the router does per record.
+std::optional<trace::UserId> route_key(std::string_view line) {
+  std::string_view rest;
+  if (line.rfind("gps,", 0) == 0) {
+    rest = line.substr(4);
+  } else if (line.rfind("checkin,", 0) == 0) {
+    rest = line.substr(8);
+  } else {
+    return std::nullopt;
+  }
+  const std::size_t comma = rest.find(',');
+  if (comma == 0 || comma == std::string_view::npos) return std::nullopt;
+  trace::UserId id = 0;
+  const char* begin = rest.data();
+  const auto [ptr, ec] = std::from_chars(begin, begin + comma, id);
+  if (ec != std::errc{} || ptr != begin + comma) return std::nullopt;
+  return id;
+}
+
+std::optional<std::string> json_string_field(std::string_view json,
+                                             std::string_view key) {
+  const std::string pattern = "\"" + std::string(key) + "\"";
+  std::size_t p = json.find(pattern);
+  if (p == std::string_view::npos) return std::nullopt;
+  p = json.find(':', p + pattern.size());
+  if (p == std::string_view::npos) return std::nullopt;
+  ++p;
+  while (p < json.size() && (json[p] == ' ' || json[p] == '\t')) ++p;
+  if (p >= json.size() || json[p] != '"') return std::nullopt;
+  ++p;
+  std::string out;
+  while (p < json.size() && json[p] != '"') {
+    if (json[p] == '\\' && p + 1 < json.size()) ++p;
+    out += json[p++];
+  }
+  if (p >= json.size()) return std::nullopt;
+  return out;
+}
+
+void append_json_string_array(std::string& out,
+                              const std::vector<std::string>& items) {
+  out += '[';
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += ',';
+    out += '"';
+    out += items[i];
+    out += '"';
+  }
+  out += ']';
+}
+
+}  // namespace
+
+/// One accepted socket, either protocol — serve's Conn, verbatim
+/// discipline: queued response bytes drip out under POLLOUT.
+struct Router::Conn {
+  Fd fd;
+  bool is_http = false;
+  bool dead = false;
+  bool close_after_write = false;
+  bool awaiting_drain = false;
+  serve::LineDecoder decoder;
+  HttpRequestParser parser;
+  std::string wbuf;
+  std::size_t woff = 0;
+  Clock::time_point last_activity;
+
+  explicit Conn(Fd socket, bool http, std::size_t max_line_bytes)
+      : fd(std::move(socket)), is_http(http), decoder(max_line_bytes) {
+    last_activity = Clock::now();
+  }
+};
+
+/// Cached cluster_* metric handles; per-backend vectors are ring-ordered
+/// and stay valid across replace() because labels key on the stable name.
+struct Router::Metrics {
+  obs::Gauge* backends = nullptr;
+  std::vector<obs::Gauge*> up;
+  std::vector<obs::Gauge*> buffered;
+  std::vector<obs::Counter*> fwd_records;
+  std::vector<obs::Counter*> fwd_dropped;
+  std::vector<obs::Counter*> backend_errors;
+  std::vector<std::uint64_t> dropped_seen;  ///< reconcile watermark
+  obs::Counter* rec_forwarded = nullptr;
+  obs::Counter* rec_replayed = nullptr;
+  obs::Counter* rec_malformed = nullptr;
+  obs::Counter* pauses = nullptr;
+  obs::Counter* conns_ingest = nullptr;
+  obs::Counter* conns_http = nullptr;
+
+  obs::Counter& http_requests(const std::string& route, int status) {
+    return obs::registry().counter(
+        "cluster_http_requests_total",
+        "Router control-plane requests, by route and response status",
+        {{"route", route}, {"status", std::to_string(status)}});
+  }
+};
+
+Router::Router(RouteConfig config)
+    : config_(std::move(config)), ring_(RingConfig{config_.vnodes}) {
+  if (config_.backends.empty()) {
+    throw std::invalid_argument("Router: at least one backend is required");
+  }
+  for (BackendAddr& b : config_.backends) {
+    if (b.name.empty()) {
+      b.name = b.host + ":" + std::to_string(b.ingest_port);
+    }
+    ring_.add_backend(b.name);  // rejects duplicates
+    forwarders_.push_back(std::make_unique<Forwarder>(b));
+  }
+  quarantine_.emplace(config_.quarantine);
+  if (config_.metrics) register_metrics();
+}
+
+Router::~Router() = default;
+
+void Router::register_metrics() {
+  obs::Registry& r = obs::registry();
+  metrics_ = std::make_unique<Metrics>();
+  Metrics& m = *metrics_;
+  m.backends = &r.gauge("cluster_backends",
+                        "Backends configured on the hash ring");
+  m.backends->set(static_cast<std::int64_t>(forwarders_.size()));
+  for (const auto& f : forwarders_) {
+    const std::string& name = f->addr().name;
+    m.up.push_back(&r.gauge(
+        "cluster_backend_up",
+        "Forwarder connection state per backend (1 up, 0 down)",
+        {{"backend", name}}));
+    m.buffered.push_back(&r.gauge(
+        "cluster_backend_buffered_bytes",
+        "Bytes queued for a backend, waiting on its ingest socket",
+        {{"backend", name}}));
+    m.fwd_records.push_back(&r.counter(
+        "cluster_forward_records_total",
+        "Records forwarded to each backend", {{"backend", name}}));
+    m.fwd_dropped.push_back(&r.counter(
+        "cluster_forward_dropped_total",
+        "Records lost because the owning backend was down",
+        {{"backend", name}}));
+    m.backend_errors.push_back(&r.counter(
+        "cluster_backend_errors_total",
+        "Failed control-plane calls to a backend (scrapes, fan-outs, "
+        "proxies)",
+        {{"backend", name}}));
+    m.dropped_seen.push_back(0);
+  }
+  static constexpr std::string_view kRecordHelp =
+      "Ingest records seen by the router, by outcome: forwarded to the "
+      "owning backend, replayed (epoch-covered prefix of a client "
+      "re-send), malformed (no routing key; dead-lettered)";
+  m.rec_forwarded = &r.counter("cluster_ingest_records_total", kRecordHelp,
+                               {{"result", "forwarded"}});
+  m.rec_replayed = &r.counter("cluster_ingest_records_total", kRecordHelp,
+                              {{"result", "replayed"}});
+  m.rec_malformed = &r.counter("cluster_ingest_records_total", kRecordHelp,
+                               {{"result", "malformed"}});
+  m.pauses = &r.counter(
+      "cluster_backpressure_pauses_total",
+      "Times ingest reads were suspended because a backend buffer "
+      "crossed the high-water mark");
+  static constexpr std::string_view kConnHelp =
+      "Connections accepted by the router, by listener kind";
+  m.conns_ingest = &r.counter("cluster_connections_total", kConnHelp,
+                              {{"kind", "ingest"}});
+  m.conns_http = &r.counter("cluster_connections_total", kConnHelp,
+                            {{"kind", "http"}});
+  for (const char* route : kRouteLabels) m.http_requests(route, 200);
+}
+
+void Router::start() {
+  if (started_) throw std::logic_error("Router::start called twice");
+  for (const auto& f : forwarders_) {
+    if (!f->connect()) {
+      throw NetError("route: backend '" + f->addr().name +
+                     "' unreachable at " + f->addr().host + ":" +
+                     std::to_string(f->addr().ingest_port));
+    }
+  }
+  ingest_listener_ = serve::tcp_listen(config_.host, config_.ingest_port);
+  ingest_port_ = serve::local_port(ingest_listener_.get());
+  http_listener_ = serve::tcp_listen(config_.host, config_.http_port);
+  http_port_ = serve::local_port(http_listener_.get());
+  started_ = true;
+}
+
+std::uint64_t Router::covered_count(trace::UserId user) const {
+  const auto it = covered_.find(user);
+  return it == covered_.end() ? 0 : it->second;
+}
+
+void Router::accept_ready(Fd& listener, bool is_http) {
+  while (conns_.size() < config_.max_connections) {
+    const int cfd = ::accept4(listener.get(), nullptr, nullptr,
+                              SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (cfd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;
+    }
+    conns_.push_back(std::make_unique<Conn>(Fd(cfd), is_http,
+                                            config_.max_line_bytes));
+    ++stats_.connections;
+    if (is_http) {
+      ++active_http_;
+      if (metrics_) metrics_->conns_http->inc();
+    } else {
+      ++active_ingest_;
+      if (metrics_) metrics_->conns_ingest->inc();
+    }
+  }
+}
+
+void Router::process_ingest_line(std::string_view text, bool truncated) {
+  if (truncated) {
+    ++stats_.records_malformed;
+    if (metrics_) metrics_->rec_malformed->inc();
+    quarantine_->record_raw(text, stream::QuarantineReason::kMalformedLine);
+    return;
+  }
+  if (text.empty()) return;  // blank keepalive line
+  const std::optional<trace::UserId> user = route_key(text);
+  if (!user) {
+    ++stats_.records_malformed;
+    if (metrics_) metrics_->rec_malformed->inc();
+    quarantine_->record_raw(text, stream::QuarantineReason::kMalformedLine);
+    return;
+  }
+  const std::uint64_t arrived = ++arrived_[*user];
+  if (arrived <= covered_count(*user)) {
+    // Epoch-covered prefix of a full re-send after a rebalance: the
+    // owning backend already applied it. This skip is what keeps healthy
+    // backends from double-applying while a replaced one catches up.
+    ++stats_.records_replayed;
+    if (metrics_) metrics_->rec_replayed->inc();
+    return;
+  }
+  const std::size_t owner = ring_.owner_index(*user);
+  Forwarder& f = *forwarders_[owner];
+  if (f.enqueue(text)) {
+    ++sent_[*user];
+    ++stats_.records_forwarded;
+    if (metrics_) {
+      metrics_->rec_forwarded->inc();
+      metrics_->fwd_records[owner]->inc();
+    }
+    if (f.buffered() >= kFlushChunkBytes) f.flush();
+  }
+  // A down owner counted the drop inside enqueue(); reconcile_backends()
+  // folds it into stats and the per-backend counter.
+}
+
+void Router::handle_ingest_eof(Conn& c) {
+  if (const auto fragment = c.decoder.finish()) {
+    process_ingest_line(fragment->text, true);
+  }
+  c.dead = true;
+}
+
+void Router::handle_read(Conn& c) {
+  char buf[65536];
+  std::size_t budget = kReadBudgetBytes;
+  while (budget > 0 && !c.dead) {
+    const ssize_t n =
+        ::recv(c.fd.get(), buf, std::min(sizeof(buf), budget), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      c.dead = true;
+      return;
+    }
+    if (n == 0) {
+      if (c.is_http) {
+        c.dead = true;
+      } else {
+        handle_ingest_eof(c);
+      }
+      return;
+    }
+    budget -= static_cast<std::size_t>(n);
+    c.last_activity = Clock::now();
+    const std::string_view chunk(buf, static_cast<std::size_t>(n));
+    if (c.is_http) {
+      const auto state = c.parser.consume(chunk);
+      if (state == HttpRequestParser::State::kDone) {
+        route_request(c);
+        return;
+      }
+      if (state == HttpRequestParser::State::kError) {
+        ++stats_.http_requests;
+        if (metrics_) {
+          metrics_->http_requests("other", c.parser.error_status()).inc();
+        }
+        c.wbuf += http_response(c.parser.error_status(), "text/plain",
+                                c.parser.error() + "\n");
+        c.close_after_write = true;
+        flush_write(c);
+        return;
+      }
+    } else {
+      c.decoder.feed(chunk);
+      while (auto line = c.decoder.next()) {
+        process_ingest_line(line->text, line->truncated);
+      }
+    }
+  }
+}
+
+void Router::handle_readyz(int& status, std::string& content_type,
+                           std::string& body) {
+  std::vector<std::string> not_ready;
+  for (std::size_t i = 0; i < forwarders_.size(); ++i) {
+    const Forwarder& f = *forwarders_[i];
+    bool ready = f.healthy();
+    if (ready) {
+      try {
+        ready = serve::http_get(f.addr().host, f.addr().http_port,
+                                "/readyz")
+                    .status == 200;
+      } catch (const NetError&) {
+        ready = false;
+        if (metrics_) metrics_->backend_errors[i]->inc();
+      }
+    }
+    if (!ready) not_ready.push_back(f.addr().name);
+  }
+  if (not_ready.empty()) {
+    status = 200;
+    content_type = "text/plain";
+    body = "ready\n";
+  } else {
+    status = 503;
+    body = "{\"not_ready\":";
+    append_json_string_array(body, not_ready);
+    body += "}";
+  }
+}
+
+void Router::handle_metrics(int& status, std::string& content_type,
+                            std::string& body) {
+  update_backend_gauges();
+  std::vector<std::string> texts;
+  for (std::size_t i = 0; i < forwarders_.size(); ++i) {
+    const BackendAddr& addr = forwarders_[i]->addr();
+    try {
+      serve::HttpResponse resp =
+          serve::http_get(addr.host, addr.http_port, "/metrics");
+      if (resp.status == 200) {
+        texts.push_back(strip_prometheus(resp.body, "cluster_"));
+      } else if (metrics_) {
+        metrics_->backend_errors[i]->inc();
+      }
+    } catch (const NetError&) {
+      if (metrics_) metrics_->backend_errors[i]->inc();
+    }
+  }
+  // Only the router's own cluster_* families join the merge: in-process
+  // deployments (tests, bench) share one registry with the backends, and
+  // re-adding their serve_* families here would double-count them.
+  texts.push_back(filter_prometheus(obs::to_prometheus(obs::registry()),
+                                    "cluster_"));
+  status = 200;
+  content_type = std::string(obs::kPrometheusContentType);
+  body = merge_prometheus(texts);
+}
+
+void Router::handle_summary(int& status, std::string& body) {
+  std::vector<std::string> bodies;
+  std::vector<std::string> failed;
+  for (std::size_t i = 0; i < forwarders_.size(); ++i) {
+    const BackendAddr& addr = forwarders_[i]->addr();
+    try {
+      serve::HttpResponse resp =
+          serve::http_get(addr.host, addr.http_port, "/v1/summary");
+      if (resp.status == 200) {
+        bodies.push_back(std::move(resp.body));
+      } else {
+        failed.push_back(addr.name);
+      }
+    } catch (const NetError&) {
+      failed.push_back(addr.name);
+      if (metrics_) metrics_->backend_errors[i]->inc();
+    }
+  }
+  if (!failed.empty()) {
+    // A partial sum would silently understate the cluster; all-or-error.
+    status = 502;
+    body = "{\"error\":\"summary fan-out failed\",\"failed\":";
+    append_json_string_array(body, failed);
+    body += "}";
+    return;
+  }
+  status = 200;
+  body = merge_summaries(bodies);
+}
+
+void Router::handle_proxy_verdicts(std::string_view id_text, int& status,
+                                   std::string& body) {
+  trace::UserId id = 0;
+  const auto [ptr, ec] =
+      std::from_chars(id_text.data(), id_text.data() + id_text.size(), id);
+  if (id_text.empty() || ec != std::errc{} ||
+      ptr != id_text.data() + id_text.size()) {
+    status = 400;
+    body = "{\"error\":\"bad user id\"}";
+    return;
+  }
+  const std::size_t owner = ring_.owner_index(id);
+  const BackendAddr& addr = forwarders_[owner]->addr();
+  try {
+    serve::HttpResponse resp = serve::http_get(
+        addr.host, addr.http_port,
+        "/v1/users/" + std::to_string(id) + "/verdicts");
+    status = resp.status;
+    body = std::move(resp.body);
+  } catch (const NetError&) {
+    if (metrics_) metrics_->backend_errors[owner]->inc();
+    status = 502;
+    body = "{\"error\":\"backend unreachable\",\"backend\":\"" + addr.name +
+           "\"}";
+  }
+}
+
+void Router::handle_checkpoint(int& status, std::string& body) {
+  // Buffered records must reach the backends first, or the fanned-out
+  // checkpoints would not cover everything the router has accepted.
+  flush_all_blocking(kControlFlushDeadlineMs);
+  std::vector<std::string> failed;
+  std::string ok_entries;
+  for (std::size_t i = 0; i < forwarders_.size(); ++i) {
+    const Forwarder& f = *forwarders_[i];
+    if (!f.healthy()) {
+      // Down or flush-expired: its checkpoint could not cover the shard.
+      failed.push_back(f.addr().name);
+      continue;
+    }
+    try {
+      serve::HttpResponse resp = serve::http_post(
+          f.addr().host, f.addr().http_port, "/admin/checkpoint");
+      if (resp.status == 200) {
+        if (!ok_entries.empty()) ok_entries += ',';
+        ok_entries += "{\"name\":\"" + f.addr().name +
+                      "\",\"response\":" + resp.body + "}";
+      } else {
+        failed.push_back(f.addr().name);
+      }
+    } catch (const NetError&) {
+      failed.push_back(f.addr().name);
+      if (metrics_) metrics_->backend_errors[i]->inc();
+    }
+  }
+  if (!failed.empty()) {
+    status = 502;
+    body = "{\"error\":\"checkpoint fan-out failed\",\"failed\":";
+    append_json_string_array(body, failed);
+    body += "}";
+    return;
+  }
+  status = 200;
+  body = "{\"status\":\"ok\",\"backends\":[" + ok_entries + "]}";
+}
+
+void Router::handle_replace(const std::string& name,
+                            const std::string& json, int& status,
+                            std::string& body) {
+  std::size_t index = forwarders_.size();
+  for (std::size_t i = 0; i < forwarders_.size(); ++i) {
+    if (forwarders_[i]->addr().name == name) {
+      index = i;
+      break;
+    }
+  }
+  if (index == forwarders_.size()) {
+    status = 404;
+    body = "{\"error\":\"unknown backend\"}";
+    return;
+  }
+
+  double ingest = 0.0;
+  double http = 0.0;
+  try {
+    for (const auto& [path, value] : flatten_json_numbers(json)) {
+      if (path == "ingest_port") ingest = value;
+      if (path == "http_port") http = value;
+    }
+  } catch (const std::invalid_argument&) {
+    status = 400;
+    body = "{\"error\":\"malformed body\"}";
+    return;
+  }
+  if (ingest < 1.0 || ingest > 65535.0 || http < 1.0 || http > 65535.0) {
+    status = 400;
+    body =
+        "{\"error\":\"body must carry ingest_port and http_port "
+        "(1-65535)\"}";
+    return;
+  }
+  BackendAddr addr;
+  addr.name = name;
+  addr.host = json_string_field(json, "host")
+                  .value_or(forwarders_[index]->addr().host);
+  addr.ingest_port = static_cast<std::uint16_t>(ingest);
+  addr.http_port = static_cast<std::uint16_t>(http);
+
+  if (!forwarders_[index]->replace(addr)) {
+    status = 502;
+    body = "{\"error\":\"replacement unreachable\"}";
+    return;
+  }
+
+  // New epoch. Everything forwarded so far is folded into the covered
+  // prefix for users on healthy backends; users owned by the replaced
+  // name reset to zero — the replacement's own checkpoint-resume skip
+  // deduplicates whatever its restored snapshot already covers. Clients
+  // must now re-send their full traces (docs/CLUSTER.md runbook).
+  for (const auto& [user, sent] : sent_) covered_[user] += sent;
+  std::uint64_t reset_users = 0;
+  for (auto& [user, cov] : covered_) {
+    if (ring_.owner_index(user) == index) {
+      cov = 0;
+      ++reset_users;
+    }
+  }
+  sent_.clear();
+  arrived_.clear();
+
+  status = 200;
+  body = "{\"status\":\"replaced\",\"backend\":\"" + name +
+         "\",\"users_reset\":" + std::to_string(reset_users) + "}";
+}
+
+void Router::route_request(Conn& c) {
+  const HttpRequest& req = c.parser.request();
+  ++stats_.http_requests;
+
+  std::string route = "other";
+  int status = 404;
+  std::string body = "{\"error\":\"not found\"}";
+  std::string content_type = "application/json";
+
+  const auto respond_method_not_allowed = [&](const char* route_name) {
+    route = route_name;
+    status = 405;
+    body = "{\"error\":\"method not allowed\"}";
+  };
+
+  if (req.target == "/healthz") {
+    route = "/healthz";
+    if (req.method == "GET") {
+      status = 200;
+      content_type = "text/plain";
+      body = "ok\n";
+    } else {
+      respond_method_not_allowed("/healthz");
+    }
+  } else if (req.target == "/readyz") {
+    route = "/readyz";
+    if (req.method == "GET") {
+      if (drain_requested_) {
+        status = 503;
+        body = "{\"error\":\"draining\"}";
+      } else {
+        handle_readyz(status, content_type, body);
+      }
+    } else {
+      respond_method_not_allowed("/readyz");
+    }
+  } else if (req.target == "/metrics") {
+    route = "/metrics";
+    if (req.method == "GET") {
+      handle_metrics(status, content_type, body);
+    } else {
+      respond_method_not_allowed("/metrics");
+    }
+  } else if (req.target == "/v1/summary") {
+    route = "/v1/summary";
+    if (req.method == "GET") {
+      handle_summary(status, body);
+    } else {
+      respond_method_not_allowed("/v1/summary");
+    }
+  } else if (req.target.rfind("/v1/users/", 0) == 0 &&
+             req.target.size() > 10 &&
+             req.target.compare(req.target.size() - 9, 9, "/verdicts") ==
+                 0) {
+    route = "/v1/users/{id}/verdicts";
+    if (req.method == "GET") {
+      handle_proxy_verdicts(
+          std::string_view(req.target).substr(10, req.target.size() - 19),
+          status, body);
+    } else {
+      respond_method_not_allowed("/v1/users/{id}/verdicts");
+    }
+  } else if (req.target == "/admin/checkpoint") {
+    route = "/admin/checkpoint";
+    if (req.method == "POST") {
+      handle_checkpoint(status, body);
+    } else {
+      respond_method_not_allowed("/admin/checkpoint");
+    }
+  } else if (req.target == "/admin/drain") {
+    route = "/admin/drain";
+    if (req.method != "POST") {
+      respond_method_not_allowed("/admin/drain");
+    } else if (drain_done_) {
+      status = drain_status_;
+      body = drain_body_;
+    } else {
+      // Deferred: the router stops accepting ingest, reads the connected
+      // streams to EOF, pushes every buffered record, closes the
+      // forwarder connections (EOF to the backends) and fans the drain
+      // out — the caller is answered only when the whole cluster has
+      // quiesced (complete_drain()).
+      drain_requested_ = true;
+      c.awaiting_drain = true;
+      if (metrics_) metrics_->http_requests(route, 200).inc();
+      return;
+    }
+  } else if (req.target.rfind("/admin/backends/", 0) == 0 &&
+             req.target.size() > 16) {
+    route = "/admin/backends/{name}";
+    if (req.method == "POST") {
+      handle_replace(req.target.substr(16), req.body, status, body);
+    } else {
+      respond_method_not_allowed("/admin/backends/{name}");
+    }
+  }
+
+  if (metrics_) metrics_->http_requests(route, status).inc();
+  c.wbuf += http_response(status, content_type, body);
+  c.close_after_write = true;
+  flush_write(c);
+}
+
+void Router::flush_write(Conn& c) {
+  while (c.woff < c.wbuf.size()) {
+    const ssize_t n = ::send(c.fd.get(), c.wbuf.data() + c.woff,
+                             c.wbuf.size() - c.woff, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      c.dead = true;
+      return;
+    }
+    c.woff += static_cast<std::size_t>(n);
+  }
+  c.wbuf.clear();
+  c.woff = 0;
+  if (c.close_after_write) c.dead = true;
+}
+
+void Router::sweep_idle(Clock::time_point now) {
+  if (config_.idle_timeout_s <= 0) return;
+  const auto timeout = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(config_.idle_timeout_s));
+  for (auto& conn : conns_) {
+    if (conn->dead) continue;
+    if (now - conn->last_activity > timeout) {
+      if (!conn->is_http) {
+        if (const auto fragment = conn->decoder.finish()) {
+          process_ingest_line(fragment->text, true);
+        }
+      }
+      conn->dead = true;
+    }
+  }
+}
+
+void Router::update_backend_gauges() {
+  std::uint64_t dropped_total = 0;
+  for (std::size_t i = 0; i < forwarders_.size(); ++i) {
+    const Forwarder& f = *forwarders_[i];
+    dropped_total += f.dropped;
+    if (!metrics_) continue;
+    metrics_->up[i]->set(f.healthy() ? 1 : 0);
+    metrics_->buffered[i]->set(static_cast<std::int64_t>(f.buffered()));
+    const std::uint64_t delta = f.dropped - metrics_->dropped_seen[i];
+    if (delta > 0) {
+      metrics_->fwd_dropped[i]->inc(delta);
+      metrics_->dropped_seen[i] = f.dropped;
+    }
+  }
+  stats_.records_dropped = dropped_total;
+}
+
+bool Router::flush_all_blocking(int deadline_ms) {
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(deadline_ms);
+  bool all = true;
+  for (const auto& f : forwarders_) {
+    while (f->wants_write()) {
+      const auto remaining =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              deadline - Clock::now())
+              .count();
+      if (remaining <= 0) {
+        f->mark_down();
+        all = false;
+        break;
+      }
+      pollfd p{f->fd(), POLLOUT, 0};
+      if (::poll(&p, 1, static_cast<int>(remaining)) < 0 &&
+          errno != EINTR) {
+        f->mark_down();
+        all = false;
+        break;
+      }
+      f->flush();
+      if (!f->healthy()) {
+        all = false;
+        break;
+      }
+    }
+  }
+  update_backend_gauges();
+  return all;
+}
+
+void Router::complete_drain() {
+  const bool flushed = flush_all_blocking(kControlFlushDeadlineMs);
+  std::vector<std::string> failed;
+  std::string ok_entries;
+  for (std::size_t i = 0; i < forwarders_.size(); ++i) {
+    Forwarder& f = *forwarders_[i];
+    if (!flushed && !f.healthy()) failed.push_back(f.addr().name);
+    f.close();  // EOF: the backend's drain can now see ingest quiesce
+  }
+  for (std::size_t i = 0; i < forwarders_.size(); ++i) {
+    const BackendAddr& addr = forwarders_[i]->addr();
+    try {
+      serve::HttpResponse resp =
+          serve::http_post(addr.host, addr.http_port, "/admin/drain");
+      if (resp.status == 200) {
+        if (!ok_entries.empty()) ok_entries += ',';
+        ok_entries += "{\"name\":\"" + addr.name +
+                      "\",\"response\":" + resp.body + "}";
+      } else {
+        failed.push_back(addr.name);
+      }
+    } catch (const NetError&) {
+      failed.push_back(addr.name);
+      if (metrics_) metrics_->backend_errors[i]->inc();
+    }
+  }
+  if (failed.empty()) {
+    drain_status_ = 200;
+    drain_body_ =
+        "{\"status\":\"drained\",\"backends\":[" + ok_entries + "]}";
+  } else {
+    // Not atomic: backends that answered 200 have drained and exited;
+    // the rest are listed for the operator (docs/CLUSTER.md, failure
+    // semantics).
+    drain_status_ = 502;
+    drain_body_ = "{\"error\":\"drain fan-out failed\",\"failed\":";
+    append_json_string_array(drain_body_, failed);
+    drain_body_ += "}";
+  }
+  drain_done_ = true;
+  for (const auto& conn : conns_) {
+    if (conn->dead || !conn->awaiting_drain) continue;
+    conn->awaiting_drain = false;
+    if (metrics_ && drain_status_ != 200) {
+      metrics_->http_requests("/admin/drain", drain_status_).inc();
+    }
+    conn->wbuf += http_response(drain_status_, "application/json",
+                                drain_body_);
+    conn->close_after_write = true;
+    flush_write(*conn);
+  }
+}
+
+RouteStats Router::run(const std::atomic<bool>* stop) {
+  if (!started_) throw std::logic_error("Router::run before start()");
+
+  std::vector<pollfd> pollfds;
+  std::vector<std::size_t> conn_of_pollfd;
+
+  while (true) {
+    if (stop != nullptr && stop->load(std::memory_order_relaxed)) break;
+    if (drain_done_) {
+      bool waiting = false;
+      for (const auto& c : conns_) {
+        if (!c->dead && (c->awaiting_drain || !c->wbuf.empty())) {
+          waiting = true;
+          break;
+        }
+      }
+      if (!waiting) break;
+    }
+
+    // Backpressure with hysteresis: pause client reads when any backend
+    // queue crosses the high-water mark, resume once all are under half.
+    bool over = false;
+    bool under = true;
+    for (const auto& f : forwarders_) {
+      if (f->buffered() > config_.backend_buffer_bytes) over = true;
+      if (f->buffered() > config_.backend_buffer_bytes / 2) under = false;
+    }
+    if (!paused_ && over) {
+      paused_ = true;
+      if (metrics_) metrics_->pauses->inc();
+    } else if (paused_ && under) {
+      paused_ = false;
+    }
+
+    pollfds.clear();
+    conn_of_pollfd.clear();
+    const bool at_cap = conns_.size() >= config_.max_connections;
+    if (!at_cap && !drain_requested_ && !paused_) {
+      pollfds.push_back({ingest_listener_.get(), POLLIN, 0});
+      conn_of_pollfd.push_back(kIngestListener);
+    }
+    if (!at_cap) {
+      pollfds.push_back({http_listener_.get(), POLLIN, 0});
+      conn_of_pollfd.push_back(kHttpListener);
+    }
+    for (std::size_t i = 0; i < forwarders_.size(); ++i) {
+      const Forwarder& f = *forwarders_[i];
+      if (!f.healthy()) continue;
+      // POLLIN watches for the backend closing its end (drain/death);
+      // POLLOUT drains the queue.
+      short events = POLLIN;
+      if (f.wants_write()) events |= POLLOUT;
+      pollfds.push_back({f.fd(), events, 0});
+      conn_of_pollfd.push_back(kForwarderBase + i);
+    }
+    for (std::size_t i = 0; i < conns_.size(); ++i) {
+      const Conn& c = *conns_[i];
+      short events = 0;
+      if (c.is_http || !paused_) events |= POLLIN;
+      if (c.woff < c.wbuf.size()) events |= POLLOUT;
+      if (events == 0) continue;  // paused ingest conn: leave it queued
+      pollfds.push_back({c.fd.get(), events, 0});
+      conn_of_pollfd.push_back(i);
+    }
+
+    const int ready = ::poll(pollfds.data(),
+                             static_cast<nfds_t>(pollfds.size()),
+                             kPollTimeoutMs);
+    if (ready < 0 && errno != EINTR) {
+      throw NetError(std::string("poll: ") + std::strerror(errno));
+    }
+
+    for (std::size_t i = 0; i < pollfds.size(); ++i) {
+      if (pollfds[i].revents == 0) continue;
+      const std::size_t tag = conn_of_pollfd[i];
+      if (tag == kIngestListener) {
+        accept_ready(ingest_listener_, /*is_http=*/false);
+        continue;
+      }
+      if (tag == kHttpListener) {
+        accept_ready(http_listener_, /*is_http=*/true);
+        continue;
+      }
+      if (tag >= kForwarderBase) {
+        Forwarder& f = *forwarders_[tag - kForwarderBase];
+        if (!f.healthy()) continue;
+        if ((pollfds[i].revents & (POLLERR | POLLNVAL | POLLHUP)) != 0) {
+          f.mark_down();
+          continue;
+        }
+        if ((pollfds[i].revents & POLLIN) != 0) {
+          // The backend never sends on its ingest socket; readable here
+          // means EOF or reset.
+          char probe[256];
+          const ssize_t n = ::recv(f.fd(), probe, sizeof(probe), 0);
+          if (n == 0 || (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+                         errno != EINTR)) {
+            f.mark_down();
+            continue;
+          }
+        }
+        if ((pollfds[i].revents & POLLOUT) != 0) f.flush();
+        continue;
+      }
+      Conn& c = *conns_[tag];
+      if (c.dead) continue;
+      if ((pollfds[i].revents & (POLLERR | POLLNVAL)) != 0) {
+        c.dead = true;
+        continue;
+      }
+      if ((pollfds[i].revents & POLLOUT) != 0) flush_write(c);
+      if (!c.dead && (pollfds[i].revents & (POLLIN | POLLHUP)) != 0) {
+        handle_read(c);
+      }
+    }
+
+    sweep_idle(Clock::now());
+
+    for (const auto& c : conns_) {
+      if (c->dead) (c->is_http ? active_http_ : active_ingest_) -= 1;
+    }
+    conns_.erase(std::remove_if(conns_.begin(), conns_.end(),
+                                [](const std::unique_ptr<Conn>& c) {
+                                  return c->dead;
+                                }),
+                 conns_.end());
+
+    if (drain_requested_ && !drain_done_ && active_ingest_ == 0) {
+      complete_drain();
+    }
+
+    update_backend_gauges();
+  }
+
+  // Teardown. The drain path already flushed and closed everything; the
+  // stop path (SIGTERM) pushes what it can and leaves the backends up.
+  ingest_listener_.reset();
+  http_listener_.reset();
+  conns_.clear();
+  active_ingest_ = active_http_ = 0;
+  if (drain_done_) {
+    stats_.exit = RouteExit::kDrained;
+  } else {
+    flush_all_blocking(5'000);
+    for (const auto& f : forwarders_) f->close();
+    stats_.exit = RouteExit::kStopped;
+  }
+  update_backend_gauges();
+  quarantine_->flush();
+  return stats_;
+}
+
+}  // namespace geovalid::cluster

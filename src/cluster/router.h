@@ -1,0 +1,188 @@
+// The geovalid route daemon: a single-threaded poll() event loop that
+// fronts N independent `geovalid serve` backends (docs/CLUSTER.md).
+//
+// Data plane: ingest clients speak the same line-delimited wire protocol
+// as serve (serve/wire.h). The router extracts only the *routing key*
+// from each line — the verb and the user id, the first two fields —
+// picks the owning backend on a consistent-hash ring (cluster/ring.h),
+// and forwards the raw bytes verbatim over a persistent per-backend TCP
+// connection (cluster/forwarder.h). Full parsing and validation stay on
+// the backends; that asymmetry is what lets one router outrun one serve
+// process, whose ceiling is single-threaded record parsing. Lines whose
+// routing key cannot be extracted dead-letter at the router through the
+// usual quarantine path.
+//
+// Control plane: merged or fanned-out views over the backends' own
+// endpoints — /healthz (router liveness), /readyz (every backend ready),
+// GET /metrics (summed families plus the router's cluster_*), GET
+// /v1/summary (user-weighted merge), /v1/users/{id}/verdicts (proxied to
+// the ring owner), POST /admin/checkpoint and /admin/drain (fan-out,
+// all-or-error), and POST /admin/backends/{name} — the rebalance hook
+// that points a ring name at a replacement process.
+//
+// Exactly-once across rebalance: the router keeps per-user counts of
+// records forwarded to each user's owner. Replacing a backend starts a
+// new *epoch*: clients re-send their full traces, the router silently
+// skips each healthy user's already-applied prefix, and the replacement
+// process's own checkpoint-resume skip (serve/server.h) deduplicates the
+// records its restored snapshot already covers. At-least-once delivery
+// in, exactly-once application out — the cluster-level restatement of
+// the serve resume contract.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/forwarder.h"
+#include "cluster/ring.h"
+#include "serve/net.h"
+#include "serve/wire.h"
+#include "stream/quarantine.h"
+
+namespace geovalid::cluster {
+
+struct RouteConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t ingest_port = 0;  ///< 0 = ephemeral
+  std::uint16_t http_port = 0;    ///< 0 = ephemeral
+
+  /// The backends to front. Names must be unique; they are the ring
+  /// identity and must stay stable across process replacement.
+  std::vector<BackendAddr> backends;
+  std::size_t vnodes = 128;  ///< ring points per backend
+
+  std::size_t max_connections = 1024;
+  double idle_timeout_s = 60.0;
+  std::size_t max_line_bytes = serve::kMaxLineBytes;
+
+  /// Per-backend buffer high-water mark: when any backend's queue grows
+  /// past this, the router stops reading from ingest clients (TCP
+  /// backpressure) until every queue is back under half of it.
+  std::size_t backend_buffer_bytes = 4 * 1024 * 1024;
+
+  /// Dead-letter sink for lines rejected at the router.
+  stream::QuarantineConfig quarantine;
+
+  /// Register cluster_* metric families in the process registry.
+  bool metrics = true;
+};
+
+enum class RouteExit : std::uint8_t {
+  kStopped,  ///< stop flag (SIGTERM path): buffers flushed, backends left up
+  kDrained,  ///< POST /admin/drain completed across every backend
+};
+
+struct RouteStats {
+  RouteExit exit = RouteExit::kStopped;
+  std::uint64_t records_forwarded = 0;  ///< routed to a healthy backend
+  std::uint64_t records_replayed = 0;   ///< skipped as epoch-covered
+  std::uint64_t records_malformed = 0;  ///< no routing key; dead-lettered
+  std::uint64_t records_dropped = 0;    ///< owner was down; counted loss
+  std::uint64_t http_requests = 0;
+  std::uint64_t connections = 0;
+};
+
+class Router {
+ public:
+  /// Validates the backend list and builds the ring. Throws
+  /// std::invalid_argument on an empty list or duplicate names.
+  explicit Router(RouteConfig config);
+  ~Router();
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  /// Connects every backend's forwarder (all must be reachable — a
+  /// router with a known-dead backend should fail loudly at startup, not
+  /// drop a shard silently; throws serve::NetError) and binds both
+  /// listeners. Call once, before run().
+  void start();
+
+  [[nodiscard]] std::uint16_t ingest_port() const { return ingest_port_; }
+  [[nodiscard]] std::uint16_t http_port() const { return http_port_; }
+
+  /// The event loop: routes until `stop` becomes true (flushes and
+  /// closes forwarder connections; backends keep running) or an
+  /// /admin/drain completes across the cluster.
+  RouteStats run(const std::atomic<bool>* stop = nullptr);
+
+  [[nodiscard]] const HashRing& ring() const { return ring_; }
+  [[nodiscard]] const stream::Quarantine& quarantine() const {
+    return *quarantine_;
+  }
+
+ private:
+  struct Conn;
+  struct Metrics;
+  using Clock = std::chrono::steady_clock;
+
+  void register_metrics();
+  void accept_ready(serve::Fd& listener, bool is_http);
+  void handle_read(Conn& c);
+  void handle_ingest_eof(Conn& c);
+  void process_ingest_line(std::string_view text, bool truncated);
+  void route_request(Conn& c);
+  void flush_write(Conn& c);
+  void sweep_idle(Clock::time_point now);
+  void update_backend_gauges();
+
+  /// Drives every pending forwarder buffer to the kernel, polling up to
+  /// `deadline_ms`; a backend that cannot absorb its queue in time is
+  /// marked down. Returns true when everything flushed.
+  bool flush_all_blocking(int deadline_ms);
+
+  [[nodiscard]] std::uint64_t covered_count(trace::UserId user) const;
+
+  // Control-plane handlers (blocking fan-out over backend HTTP).
+  void handle_readyz(int& status, std::string& content_type,
+                     std::string& body);
+  void handle_metrics(int& status, std::string& content_type,
+                      std::string& body);
+  void handle_summary(int& status, std::string& body);
+  void handle_proxy_verdicts(std::string_view id_text, int& status,
+                             std::string& body);
+  void handle_checkpoint(int& status, std::string& body);
+  void handle_replace(const std::string& name, const std::string& json,
+                      int& status, std::string& body);
+  void complete_drain();
+
+  RouteConfig config_;
+  HashRing ring_;
+  std::vector<std::unique_ptr<Forwarder>> forwarders_;  ///< ring order
+  std::optional<stream::Quarantine> quarantine_;
+
+  serve::Fd ingest_listener_;
+  serve::Fd http_listener_;
+  std::uint16_t ingest_port_ = 0;
+  std::uint16_t http_port_ = 0;
+  bool started_ = false;
+
+  std::vector<std::unique_ptr<Conn>> conns_;
+  std::size_t active_ingest_ = 0;
+  std::size_t active_http_ = 0;
+  bool paused_ = false;  ///< backpressure: ingest reads suspended
+
+  /// Epoch accounting (see the header comment): `covered_` is the prefix
+  /// already applied at the owner as of the last epoch change, `sent_`
+  /// the records forwarded on top of it this epoch, `arrived_` the
+  /// records received this epoch.
+  std::unordered_map<trace::UserId, std::uint64_t> arrived_;
+  std::unordered_map<trace::UserId, std::uint64_t> covered_;
+  std::unordered_map<trace::UserId, std::uint64_t> sent_;
+
+  bool drain_requested_ = false;
+  bool drain_done_ = false;
+  std::string drain_body_;  ///< response for (late) drain callers
+  int drain_status_ = 200;
+
+  RouteStats stats_;
+  std::unique_ptr<Metrics> metrics_;
+};
+
+}  // namespace geovalid::cluster

@@ -20,13 +20,23 @@ constexpr std::size_t kChunkBytes = 64 * 1024;
 struct ConnResult {
   std::uint64_t events = 0;
   std::uint64_t bytes = 0;
-  bool failed = false;
+  bool failed = false;          ///< peer vanished mid-replay
+  bool connect_failed = false;  ///< connection refused / unreachable
 };
 
 ConnResult replay_connection(const LoadgenConfig& config,
                              const std::vector<stream::Event>& events) {
   ConnResult result;
-  Fd fd = tcp_connect(config.host, config.port);
+  // This runs on a bare std::thread: an escaping exception would
+  // std::terminate the whole loadgen. A refused connection is a
+  // *measurement* during cluster kill/recover runs, not a crash.
+  Fd fd;
+  try {
+    fd = tcp_connect(config.host, config.port);
+  } catch (const NetError&) {
+    result.connect_failed = true;
+    return result;
+  }
   std::string chunk;
   chunk.reserve(kChunkBytes + 256);
   const bool paced = config.rate_events_per_sec > 0.0;
@@ -34,7 +44,12 @@ ConnResult replay_connection(const LoadgenConfig& config,
 
   const auto flush = [&]() -> bool {
     if (chunk.empty()) return true;
-    if (!send_all(fd.get(), chunk)) {
+    try {
+      if (!send_all(fd.get(), chunk)) {
+        result.failed = true;
+        return false;
+      }
+    } catch (const NetError&) {
       result.failed = true;
       return false;
     }
@@ -103,6 +118,7 @@ LoadgenStats run_loadgen(std::span<const stream::Event> events,
     stats.events_sent += r.events;
     stats.bytes_sent += r.bytes;
     if (r.failed) ++stats.failed_connections;
+    if (r.connect_failed) ++stats.connect_failures;
   }
   if (stats.send_seconds > 0.0) {
     stats.events_per_sec =
@@ -110,21 +126,26 @@ LoadgenStats run_loadgen(std::span<const stream::Event> events,
   }
 
   if (config.http_port != 0) {
-    const HttpResponse health =
-        http_get(config.host, config.http_port, "/healthz");
-    stats.healthz_ok = health.status == 200;
-    const HttpResponse metrics =
-        http_get(config.host, config.http_port, "/metrics");
-    stats.metrics_ok =
-        metrics.status == 200 &&
-        metrics.header("content-type").rfind("text/plain; version=0.0.4",
-                                             0) == 0;
-    const Clock::time_point t0 = Clock::now();
-    const HttpResponse summary =
-        http_get(config.host, config.http_port, "/v1/summary");
-    stats.summary_latency_s =
-        std::chrono::duration<double>(Clock::now() - t0).count();
-    if (summary.status == 200) stats.summary_json = summary.body;
+    try {
+      const HttpResponse health =
+          http_get(config.host, config.http_port, "/healthz");
+      stats.healthz_ok = health.status == 200;
+      const HttpResponse metrics =
+          http_get(config.host, config.http_port, "/metrics");
+      stats.metrics_ok =
+          metrics.status == 200 &&
+          metrics.header("content-type").rfind("text/plain; version=0.0.4",
+                                               0) == 0;
+      const Clock::time_point t0 = Clock::now();
+      const HttpResponse summary =
+          http_get(config.host, config.http_port, "/v1/summary");
+      stats.summary_latency_s =
+          std::chrono::duration<double>(Clock::now() - t0).count();
+      if (summary.status == 200) stats.summary_json = summary.body;
+    } catch (const NetError&) {
+      // Control plane unreachable: report the probe flags as failed
+      // rather than aborting a replay that already measured the feed.
+    }
   }
   return stats;
 }
@@ -142,6 +163,8 @@ std::string to_json(const LoadgenStats& stats) {
   append_json_number(out, stats.events_per_sec);
   out += ",\"failed_connections\":";
   out += std::to_string(stats.failed_connections);
+  out += ",\"connect_failures\":";
+  out += std::to_string(stats.connect_failures);
   out += ",\"healthz_ok\":";
   out += stats.healthz_ok ? "true" : "false";
   out += ",\"metrics_ok\":";

@@ -31,7 +31,8 @@ struct LoadgenStats {
   std::uint64_t bytes_sent = 0;
   double send_seconds = 0.0;  ///< first send to last connection closed
   double events_per_sec = 0.0;
-  std::size_t failed_connections = 0;  ///< peer vanished mid-replay
+  std::size_t failed_connections = 0;  ///< peer vanished mid-replay (EPIPE)
+  std::size_t connect_failures = 0;    ///< never connected (ECONNREFUSED)
 
   // Control-plane probe (only when http_port was set):
   bool healthz_ok = false;
@@ -40,9 +41,12 @@ struct LoadgenStats {
   std::string summary_json;        ///< /v1/summary body, verbatim
 };
 
-/// Replays `events` against a running server. Throws NetError when a
-/// connection cannot be established; a peer that disconnects mid-replay is
-/// counted in failed_connections instead (the server may be draining).
+/// Replays `events` against a running server. Never throws on per-
+/// connection failures: a refused connection counts in connect_failures
+/// and a peer that disconnects mid-replay in failed_connections, so a
+/// replay against a dying or recovering cluster measures its loss window
+/// instead of aborting. Control-plane probes fail soft the same way
+/// (flags stay false, summary stays empty).
 [[nodiscard]] LoadgenStats run_loadgen(std::span<const stream::Event> events,
                                        const LoadgenConfig& config);
 

@@ -41,11 +41,20 @@ bool equals_ignore_case(std::string_view a, std::string_view b) {
 
 HttpResponse http_request(const std::string& host, std::uint16_t port,
                           const std::string& method,
-                          const std::string& target) {
+                          const std::string& target,
+                          const std::string& body = {},
+                          const std::string& content_type = {}) {
   Fd fd = tcp_connect(host, port);
-  const std::string request = method + " " + target +
-                              " HTTP/1.1\r\nHost: " + host +
-                              "\r\nConnection: close\r\n\r\n";
+  std::string request = method + " " + target + " HTTP/1.1\r\nHost: " +
+                        host + "\r\nConnection: close\r\n";
+  if (!body.empty()) {
+    request += "Content-Type: " +
+               (content_type.empty() ? "application/json" : content_type) +
+               "\r\nContent-Length: " + std::to_string(body.size()) +
+               "\r\n";
+  }
+  request += "\r\n";
+  request += body;
   if (!send_all(fd.get(), request)) {
     throw NetError("http " + method + " " + target + ": peer closed");
   }
@@ -180,6 +189,12 @@ HttpResponse http_get(const std::string& host, std::uint16_t port,
 HttpResponse http_post(const std::string& host, std::uint16_t port,
                        const std::string& target) {
   return http_request(host, port, "POST", target);
+}
+
+HttpResponse http_post(const std::string& host, std::uint16_t port,
+                       const std::string& target, const std::string& body,
+                       const std::string& content_type) {
+  return http_request(host, port, "POST", target, body, content_type);
 }
 
 }  // namespace geovalid::serve

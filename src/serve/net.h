@@ -94,4 +94,13 @@ struct HttpResponse {
                                      std::uint16_t port,
                                      const std::string& target);
 
+/// POST with a request body (Content-Length framed); used by the cluster
+/// rebalance endpoint and its tests.
+[[nodiscard]] HttpResponse http_post(const std::string& host,
+                                     std::uint16_t port,
+                                     const std::string& target,
+                                     const std::string& body,
+                                     const std::string& content_type =
+                                         "application/json");
+
 }  // namespace geovalid::serve

@@ -34,9 +34,9 @@ constexpr std::size_t kReadBudgetBytes = 256 * 1024;
 /// unknown targets collapse into "other" so hostile clients cannot mint
 /// unbounded label values.
 constexpr const char* kRouteLabels[] = {
-    "/healthz",          "/metrics",       "/v1/summary",
-    "/v1/users/{id}/verdicts", "/admin/checkpoint", "/admin/drain",
-    "other",
+    "/healthz",          "/readyz",        "/metrics",
+    "/v1/summary",       "/v1/users/{id}/verdicts",
+    "/admin/checkpoint", "/admin/drain",   "other",
 };
 
 void append_json_number(std::string& out, double v) {
@@ -433,6 +433,25 @@ void Server::route_request(Conn& c) {
     } else {
       respond_method_not_allowed("/healthz");
     }
+  } else if (req.target == "/readyz") {
+    // Readiness, as distinct from /healthz liveness: a draining daemon is
+    // alive but must not receive new traffic, which is what a router or
+    // orchestrator keys on. The other not-ready phase — checkpoint
+    // restore — runs synchronously in start() before the listeners bind,
+    // so it is correctly reported by connection refusal.
+    route = "/readyz";
+    if (req.method == "GET") {
+      if (drain_requested_) {
+        status = 503;
+        body = "{\"error\":\"draining\"}";
+      } else {
+        status = 200;
+        content_type = "text/plain";
+        body = "ready\n";
+      }
+    } else {
+      respond_method_not_allowed("/readyz");
+    }
   } else if (req.target == "/metrics") {
     route = "/metrics";
     if (req.method == "GET") {
@@ -654,6 +673,11 @@ ServeStats Server::run(const std::atomic<bool>* stop) {
     if (!at_cap && !drain_requested_) {
       pollfds.push_back({ingest_listener_.get(), POLLIN, 0});
       conn_of_pollfd.push_back(SIZE_MAX);
+    }
+    if (!at_cap) {
+      // Only the ingest listener leaves the poll set on drain: the
+      // control plane stays reachable so probes see /readyz flip to 503
+      // and a fronting router can keep fanning out admin calls.
       pollfds.push_back({http_listener_.get(), POLLIN, 0});
       conn_of_pollfd.push_back(SIZE_MAX - 1);
     }

@@ -5,7 +5,8 @@
 //   - ingest (line-delimited wire protocol, serve/wire.h): every parsed
 //     record feeds the live engine; unparseable lines dead-letter through
 //     the quarantine path with reason `malformed_line`.
-//   - HTTP control plane (serve/http.h): /healthz, /metrics (Prometheus
+//   - HTTP control plane (serve/http.h): /healthz, /readyz (503 while
+//     draining — the router's backend health hook), /metrics (Prometheus
 //     text format), /v1/summary, /v1/users/{id}/verdicts (JSON over
 //     drain() quiescence), POST /admin/checkpoint and POST /admin/drain.
 //

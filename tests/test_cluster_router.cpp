@@ -1,0 +1,400 @@
+// The cluster router end to end over real loopback sockets, with
+// in-process serve backends: ring-sharded ingest forwarding, the merged
+// and fanned-out control plane (readyz, metrics, summary, proxied
+// verdicts, checkpoint, drain), dead-lettering of unroutable lines, the
+// rebalance hook's error statuses, and the loadgen's measure-don't-abort
+// contract against a dead ingest port.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/router.h"
+#include "serve/client.h"
+#include "serve/net.h"
+#include "serve/server.h"
+#include "stream/quarantine.h"
+
+namespace geovalid::cluster {
+namespace {
+
+namespace fs = std::filesystem;
+using namespace std::chrono_literals;
+using serve::Fd;
+using serve::HttpResponse;
+using serve::http_get;
+using serve::http_post;
+using serve::send_all;
+using serve::tcp_connect;
+
+fs::path fresh_dir(const char* name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+/// One in-process serve backend: start() on construction, run() on a
+/// thread.
+struct TestBackend {
+  serve::Server server;
+  std::atomic<bool> stop{false};
+  serve::ServeStats stats;
+  std::thread loop;
+
+  explicit TestBackend(serve::ServeConfig config)
+      : server(std::move(config)) {
+    server.start();
+    loop = std::thread([this] { stats = server.run(&stop); });
+  }
+
+  ~TestBackend() {
+    if (loop.joinable()) {
+      stop.store(true);
+      loop.join();
+    }
+  }
+
+  void join() { loop.join(); }
+};
+
+/// N backends fronted by one router, all in-process. Backends are named
+/// "b0".."bN-1". Drain via POST /admin/drain on the router (which fans
+/// out and joins everything) or stop via the flag (backends stay up).
+struct TestCluster {
+  std::vector<std::unique_ptr<TestBackend>> backends;
+  std::optional<Router> router;
+  std::atomic<bool> stop{false};
+  RouteStats stats;
+  std::thread loop;
+
+  explicit TestCluster(
+      std::size_t n,
+      const std::function<void(serve::ServeConfig&, std::size_t)>& tweak =
+          {},
+      const std::function<void(RouteConfig&)>& route_tweak = {}) {
+    RouteConfig rc;
+    rc.metrics = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      serve::ServeConfig sc;
+      sc.metrics = false;
+      if (tweak) tweak(sc, i);
+      backends.push_back(std::make_unique<TestBackend>(std::move(sc)));
+      BackendAddr addr;
+      addr.name = "b" + std::to_string(i);
+      addr.ingest_port = backends.back()->server.ingest_port();
+      addr.http_port = backends.back()->server.http_port();
+      rc.backends.push_back(std::move(addr));
+    }
+    if (route_tweak) route_tweak(rc);
+    router.emplace(std::move(rc));
+    router->start();
+    loop = std::thread([this] { stats = router->run(&stop); });
+  }
+
+  ~TestCluster() {
+    if (loop.joinable()) stop_and_join();
+  }
+
+  [[nodiscard]] std::uint16_t http_port() const {
+    return router->http_port();
+  }
+  [[nodiscard]] std::uint16_t ingest_port() const {
+    return router->ingest_port();
+  }
+
+  void stop_and_join() {
+    stop.store(true);
+    loop.join();
+  }
+
+  /// Drains the whole cluster: router fan-out plus every backend loop.
+  HttpResponse drain_and_join() {
+    const HttpResponse r =
+        http_post("127.0.0.1", http_port(), "/admin/drain");
+    loop.join();
+    for (auto& b : backends) b->join();
+    return r;
+  }
+};
+
+TEST(ClusterRouter, RejectsEmptyAndDuplicateBackends) {
+  EXPECT_THROW(Router{RouteConfig{}}, std::invalid_argument);
+  RouteConfig rc;
+  BackendAddr a;
+  a.name = "same";
+  a.ingest_port = 1;
+  a.http_port = 2;
+  rc.backends = {a, a};
+  EXPECT_THROW(Router{std::move(rc)}, std::invalid_argument);
+}
+
+TEST(ClusterRouter, StartFailsLoudlyOnUnreachableBackend) {
+  RouteConfig rc;
+  rc.metrics = false;
+  BackendAddr dead;
+  dead.name = "dead";
+  dead.ingest_port = 1;  // nothing listens on port 1
+  dead.http_port = 1;
+  rc.backends = {dead};
+  Router router(std::move(rc));
+  EXPECT_THROW(router.start(), serve::NetError);
+}
+
+TEST(ClusterRouter, ShardsIngestByRingOwnerAndDrainsCleanly) {
+  TestCluster tc(2);
+  // Users spread across both shards (the pinned ring makes this stable);
+  // find one user per backend so the placement assertion is meaningful.
+  const std::string payload =
+      "checkin,0,1000,1,Food,37.0,-122.0\n"
+      "checkin,4,1000,2,Food,37.1,-122.1\n"
+      "checkin,6,1000,3,Food,37.2,-122.2\n"
+      "checkin,7,2000,4,Shop,37.3,-122.3\n"
+      "gps,8,1000,37.0,-122.0,1,0,0.0\n";
+  {
+    Fd c = tcp_connect("127.0.0.1", tc.ingest_port());
+    ASSERT_TRUE(send_all(c.get(), payload));
+  }
+  const HttpResponse drained = tc.drain_and_join();
+  ASSERT_EQ(drained.status, 200);
+  EXPECT_NE(drained.body.find("\"status\":\"drained\""), std::string::npos);
+  EXPECT_NE(drained.body.find("\"b0\""), std::string::npos);
+  EXPECT_NE(drained.body.find("\"b1\""), std::string::npos);
+  EXPECT_EQ(tc.stats.exit, RouteExit::kDrained);
+  EXPECT_EQ(tc.stats.records_forwarded, 5u);
+  EXPECT_EQ(tc.stats.records_malformed, 0u);
+  EXPECT_EQ(tc.stats.records_dropped, 0u);
+
+  // Every record landed on its ring owner, nowhere else.
+  const HashRing& ring = tc.router->ring();
+  std::vector<std::uint64_t> expected(2, 0);
+  for (trace::UserId u : {0u, 4u, 6u, 7u, 8u}) {
+    ++expected[ring.owner_index(u)];
+  }
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(tc.backends[i]->stats.records_applied, expected[i])
+        << "backend " << i;
+  }
+  EXPECT_GT(expected[0], 0u);
+  EXPECT_GT(expected[1], 0u);
+}
+
+TEST(ClusterRouter, UnroutableLinesDeadLetterAtTheRouter) {
+  TestCluster tc(2);
+  {
+    Fd c = tcp_connect("127.0.0.1", tc.ingest_port());
+    ASSERT_TRUE(send_all(c.get(),
+                         "checkin,5,1000,1,Food,37.0,-122.0\n"
+                         "garbage with no key\n"
+                         "checkin,notanumber,1000,1,Food,37.0,-122.0\n"
+                         "gps,6,1000,37.0,-122.0,1,0,0.0\n"));
+  }
+  const HttpResponse drained = tc.drain_and_join();
+  ASSERT_EQ(drained.status, 200);
+  EXPECT_EQ(tc.stats.records_forwarded, 2u);
+  EXPECT_EQ(tc.stats.records_malformed, 2u);
+  EXPECT_EQ(tc.router->quarantine().count(
+                stream::QuarantineReason::kMalformedLine),
+            2u);
+  // The garbage never reached a backend.
+  EXPECT_EQ(tc.backends[0]->stats.records_malformed +
+                tc.backends[1]->stats.records_malformed,
+            0u);
+}
+
+TEST(ClusterRouter, ControlPlaneStatusesAndReadyz) {
+  TestCluster tc(2);
+  const std::uint16_t port = tc.http_port();
+
+  EXPECT_EQ(http_get("127.0.0.1", port, "/healthz").status, 200);
+  const HttpResponse ready = http_get("127.0.0.1", port, "/readyz");
+  EXPECT_EQ(ready.status, 200);
+  EXPECT_EQ(ready.body, "ready\n");
+
+  EXPECT_EQ(http_get("127.0.0.1", port, "/nope").status, 404);
+  EXPECT_EQ(http_post("127.0.0.1", port, "/healthz").status, 405);
+  EXPECT_EQ(http_post("127.0.0.1", port, "/readyz").status, 405);
+  EXPECT_EQ(http_post("127.0.0.1", port, "/metrics").status, 405);
+  EXPECT_EQ(http_get("127.0.0.1", port, "/admin/drain").status, 405);
+  EXPECT_EQ(http_get("127.0.0.1", port, "/admin/checkpoint").status, 405);
+  EXPECT_EQ(http_get("127.0.0.1", port, "/v1/users/abc/verdicts").status,
+            400);
+  EXPECT_EQ(http_get("127.0.0.1", port, "/v1/users//verdicts").status, 400);
+
+  // Rebalance hook errors: unknown name, malformed body, missing ports.
+  EXPECT_EQ(http_post("127.0.0.1", port, "/admin/backends/nope").status,
+            404);
+  EXPECT_EQ(http_get("127.0.0.1", port, "/admin/backends/b0").status, 405);
+  EXPECT_EQ(
+      http_post("127.0.0.1", port, "/admin/backends/b0", "not json").status,
+      400);
+  EXPECT_EQ(http_post("127.0.0.1", port, "/admin/backends/b0", "{}").status,
+            400);
+}
+
+TEST(ClusterRouter, ProxiesVerdictsToTheRingOwner) {
+  TestCluster tc(2);
+  {
+    Fd c = tcp_connect("127.0.0.1", tc.ingest_port());
+    ASSERT_TRUE(send_all(c.get(),
+                         "checkin,7,1000,1,Food,37.0,-122.0\n"
+                         "checkin,7,5000,2,Nightlife,37.0,-122.0\n"));
+  }
+  // Poll through the router until the record has flowed all the way to
+  // the owning backend (two single-threaded poll loops in the path).
+  const auto deadline = std::chrono::steady_clock::now() + 10s;
+  HttpResponse r;
+  while (true) {
+    r = http_get("127.0.0.1", tc.http_port(), "/v1/users/7/verdicts");
+    if (r.status == 200 || std::chrono::steady_clock::now() > deadline) {
+      break;
+    }
+    std::this_thread::sleep_for(20ms);
+  }
+  ASSERT_EQ(r.status, 200);
+  EXPECT_NE(r.body.find("\"user\":7"), std::string::npos);
+  EXPECT_NE(r.body.find("\"gaps\":1"), std::string::npos);
+
+  // A user nobody has seen 404s from its owner, through the proxy.
+  EXPECT_EQ(
+      http_get("127.0.0.1", tc.http_port(), "/v1/users/999/verdicts").status,
+      404);
+  (void)tc.drain_and_join();
+}
+
+TEST(ClusterRouter, SummaryMergesAcrossBackends) {
+  TestCluster tc(2);
+  {
+    Fd c = tcp_connect("127.0.0.1", tc.ingest_port());
+    // Users 0 and 4 live on different backends (pinned ring assignment),
+    // so the merged user count spans both summaries.
+    ASSERT_TRUE(send_all(c.get(),
+                         "checkin,0,1000,1,Food,37.0,-122.0\n"
+                         "checkin,4,1000,2,Food,37.1,-122.1\n"));
+  }
+  const auto deadline = std::chrono::steady_clock::now() + 10s;
+  HttpResponse r;
+  while (true) {
+    r = http_get("127.0.0.1", tc.http_port(), "/v1/summary");
+    if ((r.status == 200 &&
+         r.body.find("\"records_parsed\":2") != std::string::npos) ||
+        std::chrono::steady_clock::now() > deadline) {
+      break;
+    }
+    std::this_thread::sleep_for(20ms);
+  }
+  ASSERT_EQ(r.status, 200);
+  EXPECT_EQ(r.body.rfind("{\"backends\":2,", 0), 0u) << r.body;
+  EXPECT_NE(r.body.find("\"users\":2"), std::string::npos) << r.body;
+  (void)tc.drain_and_join();
+}
+
+TEST(ClusterRouter, MetricsAggregateWithClusterFamilies) {
+  // Shared-registry deployment: backends and router register in the same
+  // process registry. The router must still present exactly one copy of
+  // its cluster_* families on top of the summed serve_* view.
+  const auto serve_metrics_on = [](serve::ServeConfig& sc, std::size_t) {
+    sc.metrics = true;
+  };
+  const auto route_metrics_on = [](RouteConfig& rc) { rc.metrics = true; };
+  TestCluster tc(2, serve_metrics_on, route_metrics_on);
+
+  const HttpResponse r = http_get("127.0.0.1", tc.http_port(), "/metrics");
+  ASSERT_EQ(r.status, 200);
+  EXPECT_EQ(r.header("content-type"),
+            "text/plain; version=0.0.4; charset=utf-8");
+  EXPECT_NE(r.body.find("cluster_backend_up{backend=\"b0\"} 1"),
+            std::string::npos);
+  EXPECT_NE(r.body.find("cluster_backend_up{backend=\"b1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(r.body.find("cluster_forward_records_total"),
+            std::string::npos);
+  EXPECT_NE(r.body.find("serve_ingest_records_total"), std::string::npos);
+  // Exactly one exposition of the cluster gauge per backend — the merge
+  // must not double-count the shared registry's echo of it.
+  const std::size_t first = r.body.find("cluster_backend_up{backend=\"b0\"");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(r.body.find("cluster_backend_up{backend=\"b0\"", first + 1),
+            std::string::npos);
+  (void)tc.drain_and_join();
+}
+
+TEST(ClusterRouter, CheckpointFanOutIsAllOrError) {
+  // Backends without a checkpoint dir refuse (409): the router must
+  // report the fan-out as failed, naming every refusing backend.
+  {
+    TestCluster tc(2);
+    const HttpResponse r =
+        http_post("127.0.0.1", tc.http_port(), "/admin/checkpoint");
+    EXPECT_EQ(r.status, 502);
+    EXPECT_NE(r.body.find("\"failed\":[\"b0\",\"b1\"]"), std::string::npos)
+        << r.body;
+    (void)tc.drain_and_join();
+  }
+  // With checkpoint dirs everywhere the fan-out succeeds and embeds each
+  // backend's own response.
+  const fs::path dir = fresh_dir("cluster_checkpoint");
+  const auto with_dirs = [&](serve::ServeConfig& sc, std::size_t i) {
+    const fs::path sub = dir / ("b" + std::to_string(i));
+    fs::create_directories(sub);
+    sc.checkpoint_dir = sub;
+  };
+  TestCluster tc(2, with_dirs);
+  {
+    Fd c = tcp_connect("127.0.0.1", tc.ingest_port());
+    ASSERT_TRUE(send_all(c.get(), "checkin,3,1000,1,Food,37.0,-122.0\n"));
+  }
+  const HttpResponse r =
+      http_post("127.0.0.1", tc.http_port(), "/admin/checkpoint");
+  EXPECT_EQ(r.status, 200);
+  EXPECT_NE(r.body.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(r.body.find("\"name\":\"b0\""), std::string::npos);
+  EXPECT_NE(r.body.find("\"name\":\"b1\""), std::string::npos);
+  (void)tc.drain_and_join();
+}
+
+TEST(ClusterRouter, StopFlagLeavesBackendsRunning) {
+  TestCluster tc(2);
+  {
+    Fd c = tcp_connect("127.0.0.1", tc.ingest_port());
+    ASSERT_TRUE(send_all(c.get(), "checkin,1,1000,1,Food,37.0,-122.0\n"));
+  }
+  tc.stop_and_join();
+  EXPECT_EQ(tc.stats.exit, RouteExit::kStopped);
+  // The backends are still alive and answering: the router's stop path
+  // flushes and closes its forwarder connections but kills nothing.
+  for (auto& b : tc.backends) {
+    EXPECT_EQ(
+        http_get("127.0.0.1", b->server.http_port(), "/healthz").status,
+        200);
+  }
+}
+
+TEST(ClusterRouter, LoadgenMeasuresConnectFailuresInsteadOfAborting) {
+  // Find a dead port by binding-then-releasing an ephemeral listener.
+  std::uint16_t dead_port = 0;
+  {
+    serve::Fd listener = serve::tcp_listen("127.0.0.1", 0);
+    dead_port = serve::local_port(listener.get());
+  }
+  serve::LoadgenConfig lg;
+  lg.port = dead_port;
+  lg.connections = 3;
+  const std::vector<stream::Event> none;
+  const serve::LoadgenStats stats = serve::run_loadgen(none, lg);
+  EXPECT_EQ(stats.connect_failures, 3u);
+  EXPECT_EQ(stats.failed_connections, 0u);
+  EXPECT_NE(serve::to_json(stats).find("\"connect_failures\":3"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace geovalid::cluster

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "apps/friendship.h"
+#include "cluster/router.h"
 #include "apps/next_place.h"
 #include "apps/traffic.h"
 #include "core/pipeline.h"
@@ -70,6 +71,40 @@ void exercise_all_instrumented_paths(const fs::path& scratch) {
     (void)serve::http_get("127.0.0.1", server.http_port(), "/metrics");
     stop.store(true);
     loop.join();
+  }
+
+  // The cluster router fronting one serve backend: constructing it with
+  // metrics on registers every cluster_* family; one forwarded record,
+  // one malformed line and one scrape exercise the lazy counters.
+  {
+    serve::ServeConfig sc;
+    serve::Server backend(std::move(sc));
+    backend.start();
+    std::atomic<bool> backend_stop{false};
+    std::thread backend_loop([&] { (void)backend.run(&backend_stop); });
+
+    cluster::RouteConfig rc;
+    cluster::BackendAddr addr;
+    addr.name = "obs-docs-backend";
+    addr.ingest_port = backend.ingest_port();
+    addr.http_port = backend.http_port();
+    rc.backends.push_back(std::move(addr));
+    cluster::Router router(std::move(rc));
+    router.start();
+    std::atomic<bool> router_stop{false};
+    std::thread router_loop([&] { (void)router.run(&router_stop); });
+    {
+      serve::Fd c =
+          serve::tcp_connect("127.0.0.1", router.ingest_port());
+      (void)serve::send_all(c.get(),
+                            "checkin,1,0,1,Food,37.0,-122.0\n"
+                            "no routing key here\n");
+    }
+    (void)serve::http_get("127.0.0.1", router.http_port(), "/metrics");
+    router_stop.store(true);
+    router_loop.join();
+    backend_stop.store(true);
+    backend_loop.join();
   }
 
   // Fault tolerance: a checkpoint write + restore registers the checkpoint

@@ -8,6 +8,7 @@
 #include <atomic>
 #include <chrono>
 #include <filesystem>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -121,6 +122,48 @@ TEST(ServeServer, ControlPlaneRoutesAndErrorStatuses) {
   EXPECT_EQ(http_get("127.0.0.1", port, "/v1/users//verdicts").status, 400);
   EXPECT_EQ(http_get("127.0.0.1", port, "/v1/users/999/verdicts").status,
             404);  // never seen
+}
+
+TEST(ServeServer, ReadyzIsDistinctFromHealthz) {
+  ServeConfig config;
+  config.metrics = false;
+  TestServer ts(std::move(config));
+  const std::uint16_t port = ts.server.http_port();
+
+  const HttpResponse ready = http_get("127.0.0.1", port, "/readyz");
+  EXPECT_EQ(ready.status, 200);
+  EXPECT_EQ(ready.body, "ready\n");
+  EXPECT_EQ(http_post("127.0.0.1", port, "/readyz").status, 405);
+}
+
+TEST(ServeServer, ReadyzGoes503WhileDraining) {
+  ServeConfig config;
+  config.metrics = false;
+  TestServer ts(std::move(config));
+  const std::uint16_t port = ts.server.http_port();
+
+  // Hold an ingest connection open: the drain defers until we EOF, and in
+  // that window the daemon must advertise not-ready while still answering
+  // liveness with 200 — the readiness/liveness split that lets a balancer
+  // stop routing to a draining backend without declaring it dead.
+  std::optional<Fd> c =
+      tcp_connect("127.0.0.1", ts.server.ingest_port());
+  ASSERT_TRUE(send_all(c->get(), "checkin,1,1000,1,Food,37.0,-122.0\n"));
+
+  HttpResponse drained;
+  std::thread drainer([&] {
+    drained = http_post("127.0.0.1", port, "/admin/drain");
+  });
+  const HttpResponse not_ready = get_until(
+      port, "/readyz", [](const HttpResponse& r) { return r.status == 503; });
+  EXPECT_NE(not_ready.body.find("draining"), std::string::npos);
+  EXPECT_EQ(http_get("127.0.0.1", port, "/healthz").status, 200);
+
+  c.reset();  // EOF: the drain can now complete
+  drainer.join();
+  EXPECT_EQ(drained.status, 200);
+  ts.loop.join();
+  EXPECT_EQ(ts.stats.exit, ServeExit::kDrained);
 }
 
 TEST(ServeServer, MetricsEndpointSpeaksPrometheus) {

@@ -1,0 +1,148 @@
+#!/bin/sh
+# End-to-end smoke test for the cluster (docs/CLUSTER.md), used by ctest
+# (cli_cluster_smoke) and the CI cluster-smoke job:
+#
+#   1. start three `geovalid serve` backends on ephemeral ports
+#   2. start `geovalid route` fronting all three
+#   3. replay a dataset through geovalid_loadgen --route against the
+#      router, probing the aggregated control plane on the way out
+#   4. curl-equivalent probes: /readyz, aggregated /metrics must carry
+#      cluster_backend_up for every backend, /v1/summary must report
+#      "backends":3, and a fanned-out POST /admin/checkpoint must be
+#      all-or-error OK (every backend has a checkpoint dir)
+#   5. SIGTERM the router: exit 5, backends still alive; then SIGTERM
+#      the backends: exit 5 each
+#
+# usage: cluster_smoke_test.sh <geovalid> <geovalid_loadgen> <dataset> <work>
+set -u
+
+CLI="$1"
+LOADGEN="$2"
+DATASET="$3"
+WORK="$4"
+
+fail() {
+    echo "FAIL: $1" >&2
+    for log in route b1 b2 b3; do
+        [ -f "$WORK/$log.log" ] && sed "s/^/  $log: /" "$WORK/$log.log" >&2
+    done
+    kill "$ROUTER" "$B1" "$B2" "$B3" 2>/dev/null
+    exit 1
+}
+
+# $1 = port file, $2 = pid: backends and router write ports after binding.
+wait_ports() {
+    i=0
+    while [ ! -s "$1" ]; do
+        i=$((i + 1))
+        [ "$i" -gt 100 ] && fail "$1 never appeared"
+        kill -0 "$2" 2>/dev/null || fail "process behind $1 exited early"
+        sleep 0.1
+    done
+}
+
+# Minimal HTTP/1.1 GET/POST without curl (the CI image has it, dev boxes
+# may not); body goes to stdout, the status line to $WORK/status.
+probe() {
+    method="$1"; port="$2"; target="$3"
+    printf '%s %s HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\nConnection: close\r\n\r\n' \
+        "$method" "$target" |
+        (if command -v nc >/dev/null 2>&1; then
+             nc 127.0.0.1 "$port"
+         else
+             # Bash fallback via /dev/tcp.
+             bash -c 'exec 3<>/dev/tcp/127.0.0.1/'"$port"'; cat >&3; cat <&3'
+         fi) > "$WORK/resp" 2>/dev/null
+    head -n 1 "$WORK/resp" | tr -d '\r' > "$WORK/status"
+    # Body = everything after the blank line.
+    awk 'body {print} /^\r?$/ {body=1}' "$WORK/resp"
+}
+
+rm -rf "$WORK"
+mkdir -p "$WORK"
+
+ROUTER=""
+B1=""; B2=""; B3=""
+for i in 1 2 3; do
+    "$CLI" serve --port 0 --http-port 0 --port-file "$WORK/b$i.ports" \
+        --checkpoint-dir "$WORK/ck$i" --dead-letter "$WORK/dead$i.csv" \
+        > "$WORK/b$i.log" 2>&1 &
+    eval "B$i=$!"
+done
+wait_ports "$WORK/b1.ports" "$B1"
+wait_ports "$WORK/b2.ports" "$B2"
+wait_ports "$WORK/b3.ports" "$B3"
+
+BACKENDS=""
+for i in 1 2 3; do
+    INGEST=$(sed -n 's/^ingest=//p' "$WORK/b$i.ports")
+    HTTP=$(sed -n 's/^http=//p' "$WORK/b$i.ports")
+    [ -n "$INGEST" ] && [ -n "$HTTP" ] || fail "backend $i port file malformed"
+    BACKENDS="$BACKENDS --backend b$i=127.0.0.1:$INGEST:$HTTP"
+done
+
+# shellcheck disable=SC2086  # word splitting of the flag list is the point
+"$CLI" route $BACKENDS --port 0 --http-port 0 \
+    --port-file "$WORK/route.ports" --dead-letter "$WORK/route-dead.csv" \
+    > "$WORK/route.log" 2>&1 &
+ROUTER=$!
+wait_ports "$WORK/route.ports" "$ROUTER"
+RINGEST=$(sed -n 's/^ingest=//p' "$WORK/route.ports")
+RHTTP=$(sed -n 's/^http=//p' "$WORK/route.ports")
+
+"$LOADGEN" "$DATASET" --port "$RINGEST" --http-port "$RHTTP" \
+    --connections 4 --route > "$WORK/loadgen.json" 2> "$WORK/loadgen.err" \
+    || fail "loadgen failed: $(cat "$WORK/loadgen.err")"
+
+grep -q '"healthz_ok":true' "$WORK/loadgen.json" || fail "/healthz probe"
+grep -q '"metrics_ok":true' "$WORK/loadgen.json" || fail "/metrics probe"
+grep -q '"failed_connections":0' "$WORK/loadgen.json" \
+    || fail "replay dropped connections"
+grep -q '"connect_failures":0' "$WORK/loadgen.json" \
+    || fail "replay could not connect"
+grep -q '"backends":3' "$WORK/loadgen.json" \
+    || fail "/v1/summary is not the 3-backend merge"
+
+probe GET "$RHTTP" /readyz > "$WORK/readyz.body"
+grep -q " 200 " "$WORK/status" || fail "/readyz: $(cat "$WORK/status")"
+
+probe GET "$RHTTP" /metrics > "$WORK/metrics.body"
+for i in 1 2 3; do
+    grep -q "cluster_backend_up{backend=\"b$i\"} 1" "$WORK/metrics.body" \
+        || fail "aggregated /metrics missing backend b$i"
+done
+grep -q "cluster_ingest_records_total" "$WORK/metrics.body" \
+    || fail "aggregated /metrics missing router families"
+
+probe POST "$RHTTP" /admin/checkpoint > "$WORK/checkpoint.body"
+grep -q " 200 " "$WORK/status" \
+    || fail "checkpoint fan-out: $(cat "$WORK/status") $(cat "$WORK/checkpoint.body")"
+grep -q '"status":"ok"' "$WORK/checkpoint.body" \
+    || fail "checkpoint fan-out body: $(cat "$WORK/checkpoint.body")"
+for i in 1 2 3; do
+    ls "$WORK/ck$i"/checkpoint-*.gvck > /dev/null 2>&1 \
+        || fail "backend $i wrote no checkpoint"
+done
+
+kill -TERM "$ROUTER"
+wait "$ROUTER"
+STATUS=$?
+[ "$STATUS" -eq 5 ] || fail "router: expected exit 5 on SIGTERM, got $STATUS"
+
+# The router's stop path must leave the backends running.
+for i in 1 2 3; do
+    eval "pid=\$B$i"
+    kill -0 "$pid" 2>/dev/null || fail "backend $i died with the router"
+done
+
+for i in 1 2 3; do
+    eval "pid=\$B$i"
+    kill -TERM "$pid"
+    wait "$pid"
+    STATUS=$?
+    [ "$STATUS" -eq 5 ] \
+        || fail "backend $i: expected exit 5 on SIGTERM, got $STATUS"
+done
+
+echo "cluster smoke test passed"
+exit 0

@@ -52,6 +52,20 @@
 //       5; --resume restores the newest checkpoint so a kill + restart
 //       serves verdicts identical to an uninterrupted run.
 //
+//   geovalid route --backend [NAME=]HOST:INGEST:HTTP [--backend ...]
+//                  [--port N] [--http-port N] [--host ADDR] [--vnodes N]
+//                  [--max-connections N] [--idle-timeout S]
+//                  [--backend-buffer BYTES] [--dead-letter FILE]
+//                  [--port-file PATH]
+//       Front N independent serve daemons as one cluster
+//       (docs/CLUSTER.md): ingest records are sharded by user id on a
+//       consistent-hash ring and forwarded verbatim; the HTTP control
+//       plane aggregates /metrics and /v1/summary, proxies per-user
+//       verdict lookups, fans out /admin/checkpoint and /admin/drain
+//       with all-or-error semantics, and exposes the rebalance hook
+//       POST /admin/backends/{name}. A drained cluster exits 0;
+//       SIGTERM/SIGINT flush and exit 5 leaving the backends running.
+//
 // Exit codes (docs/ROBUSTNESS.md):
 //   0  success
 //   1  runtime failure (incl. --verify mismatch, simulated fault kill)
@@ -75,6 +89,7 @@
 #include <string>
 #include <unordered_set>
 
+#include "cluster/router.h"
 #include "core/parallel.h"
 #include "core/pipeline.h"
 #include "core/report.h"
@@ -138,6 +153,12 @@ int usage() {
       "                 [--checkpoint-interval RECORDS] [--resume]\n"
       "                 [--dead-letter FILE] [--port-file PATH]\n"
       "                 [--crash-after RECORDS]\n"
+      "  geovalid route --backend [NAME=]HOST:INGEST:HTTP "
+      "[--backend ...]\n"
+      "                 [--port N] [--http-port N] [--host ADDR]\n"
+      "                 [--vnodes N] [--max-connections N]\n"
+      "                 [--idle-timeout SECONDS] [--backend-buffer BYTES]\n"
+      "                 [--dead-letter FILE] [--port-file PATH]\n"
       "\n"
       "common flags:\n"
       "  --metrics-json FILE   dump the metrics registry as JSON on exit\n"
@@ -692,6 +713,140 @@ int cmd_serve(int argc, char** argv) {
   return kExitRuntime;
 }
 
+/// --backend [NAME=]HOST:INGEST_PORT:HTTP_PORT (host may be omitted:
+/// [NAME=]INGEST_PORT:HTTP_PORT binds the default host). NAME is the
+/// stable ring identity; it defaults to HOST:INGEST_PORT, which is fine
+/// until the first rebalance — a replacement process at a new address
+/// keeps the old name, so give backends explicit names in any cluster
+/// you intend to rebalance (docs/CLUSTER.md).
+cluster::BackendAddr parse_backend_spec(std::string spec,
+                                        const std::string& default_host) {
+  cluster::BackendAddr addr;
+  addr.host = default_host;
+  const std::size_t eq = spec.find('=');
+  if (eq != std::string::npos) {
+    addr.name = spec.substr(0, eq);
+    if (addr.name.empty()) {
+      throw UsageError("--backend: empty name in '" + spec + "'");
+    }
+    spec = spec.substr(eq + 1);
+  }
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t colon = spec.find(':', start);
+    parts.push_back(spec.substr(start, colon - start));
+    if (colon == std::string::npos) break;
+    start = colon + 1;
+  }
+  const auto parse_port = [&](const std::string& text) -> std::uint16_t {
+    char* end = nullptr;
+    errno = 0;
+    const unsigned long v = std::strtoul(text.c_str(), &end, 10);
+    if (text.empty() || errno != 0 || end != text.c_str() + text.size() ||
+        v == 0 || v > 65535) {
+      throw UsageError("--backend: bad port '" + text + "' in spec");
+    }
+    return static_cast<std::uint16_t>(v);
+  };
+  if (parts.size() == 2) {
+    addr.ingest_port = parse_port(parts[0]);
+    addr.http_port = parse_port(parts[1]);
+  } else if (parts.size() == 3) {
+    if (parts[0].empty()) {
+      throw UsageError("--backend: empty host in spec");
+    }
+    addr.host = parts[0];
+    addr.ingest_port = parse_port(parts[1]);
+    addr.http_port = parse_port(parts[2]);
+  } else {
+    throw UsageError(
+        "--backend expects [NAME=]HOST:INGEST_PORT:HTTP_PORT, got '" +
+        spec + "'");
+  }
+  return addr;
+}
+
+int cmd_route(int argc, char** argv) {
+  (void)threads_flag(argc, argv);  // accepted everywhere; single-threaded
+
+  cluster::RouteConfig cfg;
+  if (const auto host = string_flag_value(argc, argv, "--host")) {
+    cfg.host = *host;
+  }
+  for (int i = 0; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--backend") == 0) {
+      cfg.backends.push_back(parse_backend_spec(argv[i + 1], cfg.host));
+    }
+  }
+  if (cfg.backends.empty()) {
+    throw UsageError("route requires at least one --backend");
+  }
+  if (const auto port = int_flag_value(argc, argv, "--port")) {
+    if (*port > 65535) throw UsageError("--port must be at most 65535");
+    cfg.ingest_port = static_cast<std::uint16_t>(*port);
+  }
+  if (const auto port = int_flag_value(argc, argv, "--http-port")) {
+    if (*port > 65535) throw UsageError("--http-port must be at most 65535");
+    cfg.http_port = static_cast<std::uint16_t>(*port);
+  }
+  if (const auto vnodes = int_flag_value(argc, argv, "--vnodes")) {
+    if (*vnodes == 0) throw UsageError("--vnodes must be positive");
+    cfg.vnodes = static_cast<std::size_t>(*vnodes);
+  }
+  if (const auto cap = int_flag_value(argc, argv, "--max-connections")) {
+    if (*cap == 0) throw UsageError("--max-connections must be positive");
+    cfg.max_connections = static_cast<std::size_t>(*cap);
+  }
+  if (const auto idle = flag_value(argc, argv, "--idle-timeout")) {
+    cfg.idle_timeout_s = *idle;
+  }
+  if (const auto buf = int_flag_value(argc, argv, "--backend-buffer")) {
+    if (*buf == 0) throw UsageError("--backend-buffer must be positive");
+    cfg.backend_buffer_bytes = static_cast<std::size_t>(*buf);
+  }
+  if (const auto dead_letter =
+          string_flag_value(argc, argv, "--dead-letter")) {
+    cfg.quarantine.dead_letter_path = *dead_letter;
+  }
+
+  cluster::Router router(std::move(cfg));
+  router.start();
+  std::cout << "routing: ingest port " << router.ingest_port()
+            << ", http port " << router.http_port() << ", "
+            << router.ring().size() << " backends\n";
+  std::cout.flush();
+  if (const auto port_file = string_flag_value(argc, argv, "--port-file")) {
+    std::ofstream out(*port_file);
+    if (!out) {
+      std::cerr << "cannot open " << *port_file << " for writing\n";
+      return kExitRuntime;
+    }
+    out << "ingest=" << router.ingest_port() << "\n"
+        << "http=" << router.http_port() << "\n";
+  }
+
+  std::signal(SIGTERM, handle_stop_signal);
+  std::signal(SIGINT, handle_stop_signal);
+
+  const cluster::RouteStats stats = router.run(&g_stop_flag);
+
+  std::cout << "\n=== route ===\n"
+            << "  connections  " << stats.connections << "\n"
+            << "  forwarded    " << stats.records_forwarded << "\n"
+            << "  replayed     " << stats.records_replayed << "\n"
+            << "  malformed    " << stats.records_malformed << "\n"
+            << "  dropped      " << stats.records_dropped << "\n"
+            << "  http reqs    " << stats.http_requests << "\n";
+
+  if (stats.exit == cluster::RouteExit::kStopped) {
+    std::cout << "\nstopped on signal; backends left running\n";
+    return kExitInterrupted;
+  }
+  std::cout << "\ncluster drained cleanly\n";
+  return kExitOk;
+}
+
 /// Dumps the metrics registry if --metrics-json was given. Runs on every
 /// exit path — error runs are precisely when the ingest-error counters
 /// matter.
@@ -713,6 +868,7 @@ int dispatch(const std::string& cmd, int argc, char** argv) {
   if (cmd == "import-snap") return cmd_import_snap(argc, argv);
   if (cmd == "stream") return cmd_stream(argc, argv);
   if (cmd == "serve") return cmd_serve(argc, argv);
+  if (cmd == "route") return cmd_route(argc, argv);
   return usage();
 }
 

@@ -3,7 +3,7 @@
 // JSON throughput/latency stats (docs/SERVICE.md).
 //
 //   geovalid_loadgen <dataset_dir> --port N [--http-port N] [--host ADDR]
-//                    [--connections N] [--rate EVENTS/S]
+//                    [--connections N] [--rate EVENTS/S] [--route]
 //
 // Events are partitioned by `user % connections` so each user's records
 // arrive in trace order over one connection — the ordering the engine's
@@ -11,8 +11,14 @@
 // the replay: /healthz, /metrics (status + content type), and a timed
 // /v1/summary whose body is embedded in the output verbatim.
 //
+// --route marks the target as a `geovalid route` front end under test:
+// per-connection failures (connect_failures / failed_connections in the
+// JSON) are loss-window *measurements* for cluster kill/recover benches,
+// not run failures, so they never turn into a non-zero exit.
+//
 // Exit codes: 0 success, 1 runtime failure (daemon unreachable, replay
-// connections dropped, or a failed control-plane probe), 2 usage error.
+// connections dropped, or a failed control-plane probe — all waived
+// under --route), 2 usage error.
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
@@ -32,8 +38,15 @@ int usage() {
   std::cerr
       << "usage: geovalid_loadgen <dataset_dir> --port N [--http-port N]\n"
          "                        [--host ADDR] [--connections N]\n"
-         "                        [--rate EVENTS/S]\n";
+         "                        [--rate EVENTS/S] [--route]\n";
   return 2;
+}
+
+bool has_flag(int argc, char** argv, const char* name) {
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return true;
+  }
+  return false;
 }
 
 std::optional<std::string> string_flag_value(int argc, char** argv,
@@ -104,13 +117,17 @@ int main(int argc, char** argv) {
     return usage();
   }
 
+  const bool route_mode = has_flag(argc - 2, argv + 2, "--route");
   try {
     const trace::Dataset ds =
         trace::read_dataset_csv(dir, dir.filename().string());
     const std::vector<stream::Event> events = stream::flatten_dataset(ds);
     const serve::LoadgenStats stats = serve::run_loadgen(events, cfg);
     std::cout << serve::to_json(stats) << "\n";
-    if (stats.failed_connections > 0) return 1;
+    if (route_mode) return 0;  // failure counts are the measurement
+    if (stats.failed_connections > 0 || stats.connect_failures > 0) {
+      return 1;
+    }
     if (cfg.http_port != 0 && (!stats.healthz_ok || !stats.metrics_ok ||
                                stats.summary_json.empty())) {
       return 1;
