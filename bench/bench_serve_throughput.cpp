@@ -1,12 +1,19 @@
 // Serve-layer throughput: run the daemon in-process, replay the primary
-// study through real sockets with the loadgen client at increasing
-// connection counts, and report end-to-end events/sec (serialize + TCP +
-// parse + engine). Emits one JSON line per configuration; the 4-connection
-// run is the acceptance configuration (docs/SERVICE.md) and is gated on
-// correctness — its final partition must equal the batch pipeline's.
+// study through real sockets with the loadgen client, and report
+// end-to-end events/sec (serialize + TCP + parse + engine) over a
+// connections x reactors matrix — 8..64 connections at 1, 2 and 4
+// reactors. Emits one JSON line per configuration (with the core count:
+// the scaling numbers only mean something with real cores under them).
+//
+// Gates: every measured configuration's final partition must equal the
+// batch pipeline's bit for bit (hard failure — reactors must be invisible
+// in the results); the 4-reactor rate should clear 2x the 1-reactor rate
+// and 5M events/s on loopback (warn-style: a 1-2 core CI box measures
+// scheduling, not the architecture).
 #include <atomic>
 #include <iomanip>
 #include <iostream>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -25,16 +32,19 @@ using namespace geovalid;
 
 struct Run {
   std::size_t connections = 0;
+  std::size_t reactors = 0;
   serve::LoadgenStats loadgen;
   match::Partition partition;
 };
 
 Run run_once(const std::vector<stream::Event>& events,
-             std::size_t connections) {
+             std::size_t connections, std::size_t reactors) {
   serve::ServeConfig config;
   config.engine.shards = 4;
+  config.reactors = reactors;
   config.metrics = false;  // measure the serve path, not the exporter
   config.idle_timeout_s = 0;
+  config.max_connections = 1024;
   serve::Server server(std::move(config));
   server.start();
 
@@ -48,6 +58,7 @@ Run run_once(const std::vector<stream::Event>& events,
 
   Run r;
   r.connections = connections;
+  r.reactors = reactors;
   r.loadgen = serve::run_loadgen(events, lg);
   // Quiesce: the drain answer means every record sent above is in the
   // verdicts (the server finishes reading the socket buffers first).
@@ -59,10 +70,10 @@ Run run_once(const std::vector<stream::Event>& events,
 }
 
 Run run_best(const std::vector<stream::Event>& events,
-             std::size_t connections, int reps) {
-  Run best = run_once(events, connections);
+             std::size_t connections, std::size_t reactors, int reps) {
+  Run best = run_once(events, connections, reactors);
   for (int i = 1; i < reps; ++i) {
-    Run r = run_once(events, connections);
+    Run r = run_once(events, connections, reactors);
     if (r.loadgen.events_per_sec > best.loadgen.events_per_sec) {
       best = std::move(r);
     }
@@ -70,10 +81,12 @@ Run run_best(const std::vector<stream::Event>& events,
   return best;
 }
 
-void print_json(const Run& r) {
+void print_json(const Run& r, unsigned cores) {
   const auto& s = r.loadgen;
   std::cout << "{\"bench\":\"serve_throughput\",\"connections\":"
-            << r.connections << ",\"events_sent\":" << s.events_sent
+            << r.connections << ",\"reactors\":" << r.reactors
+            << ",\"cores\":" << cores
+            << ",\"events_sent\":" << s.events_sent
             << ",\"bytes_sent\":" << s.bytes_sent
             << ",\"send_seconds\":" << std::setprecision(6) << s.send_seconds
             << ",\"summary_latency_s\":" << s.summary_latency_s
@@ -81,18 +94,26 @@ void print_json(const Run& r) {
             << s.events_per_sec << "}\n";
 }
 
+bool partition_eq(const match::Partition& a, const match::Partition& b) {
+  return a.honest == b.honest && a.extraneous == b.extraneous &&
+         a.missing == b.missing && a.checkins == b.checkins &&
+         a.visits == b.visits && a.by_class == b.by_class;
+}
+
 }  // namespace
 
 int main() {
-  bench::header("Serve daemon throughput (events/sec vs connection count)",
+  bench::header("Serve daemon throughput (connections x reactors matrix)",
                 "n/a (systems extension; the paper's pipeline is offline)");
 
+  const unsigned cores = std::thread::hardware_concurrency();
   const synth::GeneratedStudy study =
       synth::generate_study(synth::primary_preset());
   const std::vector<stream::Event> events =
       stream::flatten_dataset(study.dataset);
   std::cout << "replaying " << events.size()
-            << " events over loopback TCP (primary study)\n\n";
+            << " events over loopback TCP (primary study), " << cores
+            << " hardware threads\n\n";
 
   // Batch reference partition for the correctness gate.
   trace::Dataset batch_ds = study.dataset;
@@ -106,33 +127,59 @@ int main() {
   const match::Partition batch =
       match::validate_dataset(batch_ds, {}, {}, 0).totals;
 
-  run_once(events, 1);  // warm-up: page faults, listen-socket caches
+  run_once(events, 8, 1);  // warm-up: page faults, listen-socket caches
 
-  Run accept_run;
-  for (const std::size_t connections : {1u, 2u, 4u, 8u}) {
-    Run r = run_best(events, connections, 3);
-    print_json(r);
-    if (connections == 4) accept_run = std::move(r);
+  // The matrix. The partition gate is hard on EVERY cell: byte-identical
+  // results are the whole point of the reactor rebuild.
+  bool partitions_ok = true;
+  double best_r1 = 0.0;
+  double best_r4 = 0.0;
+  for (const std::size_t reactors : {1u, 2u, 4u}) {
+    for (const std::size_t connections : {8u, 16u, 32u, 64u}) {
+      Run r = run_best(events, connections, reactors, 3);
+      print_json(r, cores);
+      if (!partition_eq(r.partition, batch)) {
+        partitions_ok = false;
+        std::cout << "PARTITION MISMATCH at connections=" << connections
+                  << " reactors=" << reactors << "\n";
+      }
+      if (reactors == 1 && r.loadgen.events_per_sec > best_r1) {
+        best_r1 = r.loadgen.events_per_sec;
+      }
+      if (reactors == 4 && r.loadgen.events_per_sec > best_r4) {
+        best_r4 = r.loadgen.events_per_sec;
+      }
+    }
   }
 
-  const bool partition_ok =
-      accept_run.partition.honest == batch.honest &&
-      accept_run.partition.extraneous == batch.extraneous &&
-      accept_run.partition.missing == batch.missing &&
-      accept_run.partition.checkins == batch.checkins &&
-      accept_run.partition.visits == batch.visits &&
-      accept_run.partition.by_class == batch.by_class;
-  std::cout << "\n4-connection partition vs batch: "
-            << (partition_ok ? "identical" : "MISMATCH") << "\n";
-  if (!partition_ok) return 1;
+  std::cout << "\npartition vs batch across the matrix: "
+            << (partitions_ok ? "identical" : "MISMATCH") << "\n";
+  if (!partitions_ok) return 1;
 
-  // Acceptance bar: >= 100k events/s end-to-end on 4 connections.
-  // Warn-style (CI boxes are noisy); the JSON above is the record.
-  const double rate = accept_run.loadgen.events_per_sec;
-  std::cout << "4-connection throughput: " << std::setprecision(8) << rate
-            << " events/s (bar: 100000)\n";
-  if (rate < 100000.0) {
-    std::cout << "WARNING: below the 100k events/s acceptance bar\n";
+  // Acceptance bars, warn-style (the JSON above is the record):
+  //   - 4 reactors >= 2x 1 reactor (needs >= ~5 real cores: 4 reactors +
+  //     shard workers + the loadgen all contend on a starved box),
+  //   - >= 5M events/s on loopback at the best configuration.
+  const double speedup = best_r1 > 0.0 ? best_r4 / best_r1 : 0.0;
+  std::cout << "reactor scaling (best 4-reactor / best 1-reactor): "
+            << std::setprecision(4) << speedup
+            << "x (bar: 2x, needs >= ~5 cores to be representative)\n";
+  if (speedup < 2.0) {
+    std::cout << "WARNING: below the 2x acceptance bar"
+              << (cores < 5 ? " (expected: only " + std::to_string(cores) +
+                                  " hardware threads)"
+                            : "")
+              << "\n";
+  }
+  const double best = best_r4 > best_r1 ? best_r4 : best_r1;
+  std::cout << "best throughput: " << std::setprecision(8) << best
+            << " events/s (bar: 5000000)\n";
+  if (best < 5000000.0) {
+    std::cout << "WARNING: below the 5M events/s acceptance bar"
+              << (cores < 5 ? " (expected: only " + std::to_string(cores) +
+                                  " hardware threads)"
+                            : "")
+              << "\n";
   }
   return 0;
 }

@@ -9,8 +9,10 @@
 #include <charconv>
 #include <cstring>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
+#include "core/parallel.h"
 #include "match/classifier.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
@@ -23,7 +25,8 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-/// Poll tick: the idle sweep / checkpoint / stop-flag granularity.
+/// Poll tick: the idle sweep / checkpoint / stop-flag / pause-gate
+/// granularity — the longest a reactor can lag behind a rendezvous.
 constexpr int kPollTimeoutMs = 100;
 
 /// Per-connection read budget per loop iteration, so one firehose client
@@ -38,6 +41,13 @@ constexpr const char* kRouteLabels[] = {
     "/v1/summary",       "/v1/users/{id}/verdicts",
     "/admin/checkpoint", "/admin/drain",   "other",
 };
+
+std::uint64_t ns_since(Clock::time_point start) {
+  const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      Clock::now() - start)
+                      .count();
+  return ns > 0 ? static_cast<std::uint64_t>(ns) : 0;
+}
 
 void append_json_number(std::string& out, double v) {
   char buf[40];
@@ -92,8 +102,9 @@ std::string user_verdicts_json(const stream::UserVerdicts& v) {
 
 }  // namespace
 
-/// One accepted socket, either protocol. Response bytes queue in `wbuf`
-/// and drip out under POLLOUT, so a slow reader never blocks the loop.
+/// One accepted socket, either protocol, owned by exactly one reactor.
+/// Response bytes queue in `wbuf` and drip out under POLLOUT, so a slow
+/// reader never blocks its reactor.
 struct Server::Conn {
   Fd fd;
   bool is_http = false;
@@ -111,6 +122,24 @@ struct Server::Conn {
       : fd(std::move(socket)), is_http(http), decoder(max_line_bytes) {
     last_activity = Clock::now();
   }
+};
+
+/// One event-loop thread's private world: the connections it accepted,
+/// its engine producer handle, and its serve_reactor_* metric handles.
+/// Nothing here is ever touched by another reactor.
+struct Server::Reactor {
+  std::size_t index = 0;
+  std::vector<std::unique_ptr<Conn>> conns;
+  stream::StreamEngine::Producer producer;
+
+  obs::Counter* m_events = nullptr;       ///< serve_reactor_events_total
+  obs::Counter* m_connections = nullptr;  ///< serve_reactor_connections_total
+  obs::Counter* m_stalls = nullptr;       ///< serve_reactor_stalls_total
+  obs::Histogram* m_loop_ns = nullptr;    ///< serve_reactor_loop_ns
+  std::uint64_t stalls_synced = 0;  ///< producer stalls already mirrored
+
+  Reactor(std::size_t i, stream::StreamEngine& engine)
+      : index(i), producer(engine) {}
 };
 
 /// Cached serve_* metric handles (null when ServeConfig::metrics is off).
@@ -141,12 +170,17 @@ struct Server::Metrics {
 };
 
 Server::Server(ServeConfig config) : config_(std::move(config)) {
+  config_.reactors = core::resolve_threads(config_.reactors);
   quarantine_.emplace(config_.quarantine);
   // A network feed is never trusted: the quarantine path is always on, so
   // malformed payloads degrade to dead letters instead of poisoning the
   // engine (ISSUE: "typed rejection into the quarantine path").
   config_.engine.quarantine = &*quarantine_;
   engine_.emplace(config_.engine);
+  reactors_.reserve(config_.reactors);
+  for (std::size_t i = 0; i < config_.reactors; ++i) {
+    reactors_.push_back(std::make_unique<Reactor>(i, *engine_));
+  }
   if (config_.metrics) register_metrics();
 }
 
@@ -204,6 +238,25 @@ void Server::register_metrics() {
   // Pre-register the fixed route vocabulary with the success status, so a
   // scrape (and the obs-docs test) sees the family before any request.
   for (const char* route : kRouteLabels) m.http_requests(route, 200);
+  // Per-reactor families, registered for every reactor up front so a
+  // scrape always sees the full {reactor="0".."N-1"} vocabulary.
+  for (auto& reactor : reactors_) {
+    const obs::Labels label{{"reactor", std::to_string(reactor->index)}};
+    reactor->m_events = &r.counter(
+        "serve_reactor_events_total",
+        "Well-formed wire records decoded, per reactor thread", label);
+    reactor->m_connections = &r.counter(
+        "serve_reactor_connections_total",
+        "Connections accepted, per reactor thread", label);
+    reactor->m_stalls = &r.counter(
+        "serve_reactor_stalls_total",
+        "Times this reactor's engine producer found a shard mailbox full "
+        "and had to wait (engine backpressure, per reactor)", label);
+    reactor->m_loop_ns = &r.histogram(
+        "serve_reactor_loop_ns",
+        "One event-loop iteration's service time after poll() returns "
+        "(nanoseconds), per reactor", label);
+  }
 }
 
 void Server::start() {
@@ -239,7 +292,7 @@ void Server::restore_from_checkpoint() {
         "snapshot: trailing bytes after serve state");
   }
   engine_->load_state(engine_payload);
-  cursor_ = restored->cursor;
+  cursor_.store(restored->cursor, std::memory_order_relaxed);
   restored_cursor_ = restored->cursor;
 }
 
@@ -248,12 +301,28 @@ std::uint64_t Server::resumed_count(trace::UserId user) const {
   return it == resumed_.end() ? 0 : it->second;
 }
 
+std::uint64_t Server::arrive(trace::UserId user) {
+  // Same splitmix64 multiplier the engine shards with; the top bits keep
+  // sequential ids from piling onto one stripe.
+  const std::size_t stripe = static_cast<std::size_t>(
+      (static_cast<std::uint64_t>(user) * 0x9E3779B97F4A7C15ULL) >> 58);
+  CoverageStripe& s = arrived_[stripe % kCoverageStripes];
+  std::lock_guard<std::mutex> lock(s.mu);
+  return ++s.counts[user];
+}
+
 std::filesystem::path Server::write_checkpoint_now() {
   // Coverage per user: everything arrived this lifetime, or restored from
   // the previous one — whichever is further (a user may not have re-sent
-  // its full prefix yet when a checkpoint fires mid-replay).
-  std::vector<std::pair<trace::UserId, std::uint64_t>> coverage(
-      arrived_.begin(), arrived_.end());
+  // its full prefix yet when a checkpoint fires mid-replay). The stripe
+  // locks make the snapshot consistent against record arrivals, though
+  // run_quiesced has already parked every other reactor anyway.
+  std::vector<std::pair<trace::UserId, std::uint64_t>> coverage;
+  for (CoverageStripe& stripe : arrived_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    coverage.insert(coverage.end(), stripe.counts.begin(),
+                    stripe.counts.end());
+  }
   for (const auto& [id, count] : resumed_) {
     bool merged = false;
     for (auto& [cid, ccount] : coverage) {
@@ -274,41 +343,56 @@ std::filesystem::path Server::write_checkpoint_now() {
     w.u64(count);
   }
   w.blob(engine_->save_state());  // drains; quarantine flushed with it
-  return stream::write_checkpoint(config_.checkpoint_dir,
-                                  {cursor_, w.take()});
+  return stream::write_checkpoint(
+      config_.checkpoint_dir,
+      {cursor_.load(std::memory_order_relaxed), w.take()});
 }
 
-void Server::accept_ready(Fd& listener, bool is_http) {
-  while (conns_.size() < config_.max_connections) {
-    const int cfd = ::accept4(listener.get(), nullptr, nullptr,
-                              SOCK_NONBLOCK | SOCK_CLOEXEC);
+void Server::accept_ready(Reactor& r, Fd& listener, bool is_http) {
+  while (true) {
+    // Reserve the slot under the global cap *before* accepting, so N
+    // reactors racing on the shared listener can never overshoot
+    // --max-connections.
+    std::size_t cur = total_conns_.load(std::memory_order_relaxed);
+    do {
+      if (cur >= config_.max_connections) return;
+    } while (!total_conns_.compare_exchange_weak(cur, cur + 1,
+                                                 std::memory_order_relaxed));
+    int cfd = -1;
+    do {
+      cfd = ::accept4(listener.get(), nullptr, nullptr,
+                      SOCK_NONBLOCK | SOCK_CLOEXEC);
+    } while (cfd < 0 && errno == EINTR);
     if (cfd < 0) {
-      if (errno == EINTR || errno == ECONNABORTED) continue;
-      break;  // EAGAIN, or a transient kernel error: retry next round
+      total_conns_.fetch_sub(1, std::memory_order_relaxed);
+      if (errno == ECONNABORTED) continue;
+      return;  // EAGAIN (another reactor won), or a transient kernel error
     }
-    conns_.push_back(std::make_unique<Conn>(Fd(cfd), is_http,
-                                            config_.max_line_bytes));
-    ++stats_.connections;
+    r.conns.push_back(std::make_unique<Conn>(Fd(cfd), is_http,
+                                             config_.max_line_bytes));
+    connections_.fetch_add(1, std::memory_order_relaxed);
+    if (r.m_connections != nullptr) r.m_connections->inc();
     if (is_http) {
-      ++active_http_;
+      ++active_http_;  // HTTP accepts happen on reactor 0 only
       if (metrics_) {
         metrics_->connections_http->inc();
         metrics_->active_http->set(static_cast<std::int64_t>(active_http_));
       }
     } else {
-      ++active_ingest_;
+      const std::size_t active =
+          active_ingest_.fetch_add(1, std::memory_order_relaxed) + 1;
       if (metrics_) {
         metrics_->connections_ingest->inc();
-        metrics_->active_ingest->set(
-            static_cast<std::int64_t>(active_ingest_));
+        metrics_->active_ingest->set(static_cast<std::int64_t>(active));
       }
     }
   }
 }
 
-void Server::process_ingest_line(std::string_view text, bool truncated) {
+void Server::process_ingest_line(Reactor& r, std::string_view text,
+                                 bool truncated) {
   if (truncated) {
-    ++stats_.records_malformed;
+    records_malformed_.fetch_add(1, std::memory_order_relaxed);
     if (metrics_) metrics_->records_malformed->inc();
     quarantine_->record_raw(text, stream::QuarantineReason::kMalformedLine);
     return;
@@ -316,49 +400,52 @@ void Server::process_ingest_line(std::string_view text, bool truncated) {
   if (text.empty()) return;  // blank keepalive line
   const WireResult result = parse_wire_record(text);
   if (const auto* error = std::get_if<WireError>(&result)) {
-    ++stats_.records_malformed;
+    records_malformed_.fetch_add(1, std::memory_order_relaxed);
     if (metrics_) metrics_->records_malformed->inc();
     quarantine_->record_raw(text, stream::QuarantineReason::kMalformedLine);
     (void)error;
     return;
   }
   const stream::Event& e = std::get<stream::Event>(result);
-  ++stats_.records_parsed;
-  const std::uint64_t arrived = ++arrived_[e.user];
+  const std::uint64_t parsed =
+      records_parsed_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (r.m_events != nullptr) r.m_events->inc();
+  const std::uint64_t arrived = arrive(e.user);
   if (arrived <= resumed_count(e.user)) {
     // Checkpoint-covered prefix re-sent after a resume: the engine state
     // already includes it. Skipping here is what turns the clients'
     // at-least-once redelivery into exactly-once application.
-    ++stats_.records_replayed;
+    records_replayed_.fetch_add(1, std::memory_order_relaxed);
     if (metrics_) metrics_->records_replayed->inc();
   } else {
     // push() may block on engine backpressure — that is the design: TCP
     // receive buffers fill and the feed slows to what the shards sustain.
-    if (engine_->push(e)) ++routed_;
-    ++cursor_;
-    ++records_since_checkpoint_;
-    ++stats_.records_applied;
+    if (r.producer.push(e)) routed_.fetch_add(1, std::memory_order_relaxed);
+    cursor_.fetch_add(1, std::memory_order_relaxed);
+    records_since_checkpoint_.fetch_add(1, std::memory_order_relaxed);
+    records_applied_.fetch_add(1, std::memory_order_relaxed);
     if (metrics_) metrics_->records_applied->inc();
   }
   if (config_.crash_after_records != 0 &&
-      stats_.records_parsed >= config_.crash_after_records) {
-    crash_pending_ = true;
+      parsed >= config_.crash_after_records) {
+    crash_pending_.store(true, std::memory_order_relaxed);
   }
 }
 
-void Server::handle_ingest_eof(Conn& c) {
+void Server::handle_ingest_eof(Reactor& r, Conn& c) {
   if (const auto fragment = c.decoder.finish()) {
     // Abrupt mid-record disconnect: the unterminated tail is dead-lettered,
     // never half-parsed into the engine.
-    process_ingest_line(fragment->text, true);
+    process_ingest_line(r, fragment->text, true);
   }
   c.dead = true;
 }
 
-void Server::handle_read(Conn& c) {
+void Server::handle_read(Reactor& r, Conn& c) {
   char buf[65536];
   std::size_t budget = kReadBudgetBytes;
-  while (budget > 0 && !c.dead && !crash_pending_) {
+  while (budget > 0 && !c.dead &&
+         !crash_pending_.load(std::memory_order_relaxed)) {
     const ssize_t n =
         ::recv(c.fd.get(), buf, std::min(sizeof(buf), budget), 0);
     if (n < 0) {
@@ -371,7 +458,7 @@ void Server::handle_read(Conn& c) {
       if (c.is_http) {
         c.dead = true;
       } else {
-        handle_ingest_eof(c);
+        handle_ingest_eof(r, c);
       }
       return;
     }
@@ -385,11 +472,11 @@ void Server::handle_read(Conn& c) {
     if (c.is_http) {
       const auto state = c.parser.consume(chunk);
       if (state == HttpRequestParser::State::kDone) {
-        route_request(c);
+        route_request(r, c);
         return;
       }
       if (state == HttpRequestParser::State::kError) {
-        ++stats_.http_requests;
+        http_requests_.fetch_add(1, std::memory_order_relaxed);
         if (metrics_) {
           metrics_->http_requests("other", c.parser.error_status()).inc();
         }
@@ -402,16 +489,16 @@ void Server::handle_read(Conn& c) {
     } else {
       c.decoder.feed(chunk);
       while (auto line = c.decoder.next()) {
-        process_ingest_line(line->text, line->truncated);
-        if (crash_pending_) return;
+        process_ingest_line(r, line->text, line->truncated);
+        if (crash_pending_.load(std::memory_order_relaxed)) return;
       }
     }
   }
 }
 
-void Server::route_request(Conn& c) {
+void Server::route_request(Reactor& r, Conn& c) {
   const HttpRequest& req = c.parser.request();
-  ++stats_.http_requests;
+  http_requests_.fetch_add(1, std::memory_order_relaxed);
 
   std::string route = "other";
   int status = 404;
@@ -441,7 +528,7 @@ void Server::route_request(Conn& c) {
     // so it is correctly reported by connection refusal.
     route = "/readyz";
     if (req.method == "GET") {
-      if (drain_requested_) {
+      if (drain_requested_.load(std::memory_order_relaxed)) {
         status = 503;
         body = "{\"error\":\"draining\"}";
       } else {
@@ -465,8 +552,15 @@ void Server::route_request(Conn& c) {
   } else if (req.target == "/v1/summary") {
     route = "/v1/summary";
     if (req.method == "GET") {
-      status = 200;
-      body = summary_json();
+      // summary_json() quiesces the engine (drain() inside
+      // all_user_verdicts()), which requires the single-producer window
+      // the pause gate provides.
+      if (run_quiesced(r, [&] { body = summary_json(); })) {
+        status = 200;
+      } else {
+        status = 503;  // crashing; the connection dies with the daemon
+        body = "{\"error\":\"shutting down\"}";
+      }
     } else {
       respond_method_not_allowed("/v1/summary");
     }
@@ -486,12 +580,18 @@ void Server::route_request(Conn& c) {
                ptr != id_text.data() + id_text.size()) {
       status = 400;
       body = "{\"error\":\"bad user id\"}";
-    } else if (const auto verdicts = engine_->user_verdicts(id)) {
-      status = 200;
-      body = user_verdicts_json(*verdicts);
     } else {
-      status = 404;
-      body = "{\"error\":\"unknown user\"}";
+      std::optional<stream::UserVerdicts> verdicts;
+      if (!run_quiesced(r, [&] { verdicts = engine_->user_verdicts(id); })) {
+        status = 503;  // crashing; the connection dies with the daemon
+        body = "{\"error\":\"shutting down\"}";
+      } else if (verdicts) {
+        status = 200;
+        body = user_verdicts_json(*verdicts);
+      } else {
+        status = 404;
+        body = "{\"error\":\"unknown user\"}";
+      }
     }
   } else if (req.target == "/admin/checkpoint") {
     route = "/admin/checkpoint";
@@ -501,29 +601,35 @@ void Server::route_request(Conn& c) {
       status = 409;
       body = "{\"error\":\"serving without a checkpoint directory\"}";
     } else {
-      const std::filesystem::path path = write_checkpoint_now();
-      records_since_checkpoint_ = 0;
-      status = 200;
-      body = "{\"cursor\":" + std::to_string(cursor_) + ",\"path\":\"" +
-             path.string() + "\"}";
+      std::filesystem::path path;
+      if (run_quiesced(r, [&] { path = write_checkpoint_now(); })) {
+        records_since_checkpoint_.store(0, std::memory_order_relaxed);
+        status = 200;
+        body = "{\"cursor\":" +
+               std::to_string(cursor_.load(std::memory_order_relaxed)) +
+               ",\"path\":\"" + path.string() + "\"}";
+      } else {
+        status = 503;  // crashing; the connection dies with the daemon
+        body = "{\"error\":\"shutting down\"}";
+      }
     }
   } else if (req.target == "/admin/drain") {
     route = "/admin/drain";
     if (req.method != "POST") {
       respond_method_not_allowed("/admin/drain");
-    } else if (drain_done_) {
+    } else if (drain_done_.load(std::memory_order_relaxed)) {
       // A drain already completed; answer straight away (the loop is
       // about to exit).
       status = 200;
-      body = "{\"status\":\"drained\",\"cursor\":" + std::to_string(cursor_) +
-             "}";
+      body = "{\"status\":\"drained\",\"cursor\":" +
+             std::to_string(cursor_.load(std::memory_order_relaxed)) + "}";
     } else {
-      // Deferred response: the daemon stops accepting, finishes reading
-      // every connected ingest stream to EOF, drains the engine, writes a
-      // final checkpoint, and only then answers — so a 200 here means "all
-      // records you sent are in the verdicts". The loop exits once the
-      // answer is flushed.
-      drain_requested_ = true;
+      // Deferred response: every reactor stops accepting ingest, finishes
+      // reading its connected streams to EOF, then reactor 0 quiesces all
+      // reactors, drains the engine, writes a final checkpoint and only
+      // then answers — so a 200 here means "all records you sent are in
+      // the verdicts". The loop exits once the answer is flushed.
+      drain_requested_.store(true, std::memory_order_relaxed);
       c.awaiting_drain = true;
       if (metrics_) metrics_->http_requests(route, 200).inc();
       return;
@@ -558,18 +664,18 @@ void Server::flush_write(Conn& c) {
   if (c.close_after_write) c.dead = true;
 }
 
-void Server::sweep_idle(Clock::time_point now) {
+void Server::sweep_idle(Reactor& r, Clock::time_point now) {
   if (config_.idle_timeout_s <= 0) return;
   const auto timeout = std::chrono::duration_cast<Clock::duration>(
       std::chrono::duration<double>(config_.idle_timeout_s));
-  for (auto& conn : conns_) {
+  for (auto& conn : r.conns) {
     if (conn->dead) continue;
     if (now - conn->last_activity > timeout) {
       if (!conn->is_http) {
         // Whatever half-line the idle client left behind is dead-lettered,
         // exactly as if it had disconnected mid-record.
         if (const auto fragment = conn->decoder.finish()) {
-          process_ingest_line(fragment->text, true);
+          process_ingest_line(r, fragment->text, true);
         }
       }
       conn->dead = true;
@@ -578,16 +684,74 @@ void Server::sweep_idle(Clock::time_point now) {
   }
 }
 
+void Server::park_if_paused(Reactor& r) {
+  if (!pause_flag_.load(std::memory_order_acquire)) return;
+  // Hand every staged event to the shard mailboxes before reporting
+  // parked: once reactor 0 proceeds, the engine must see a complete,
+  // single-producer view of everything this reactor has read.
+  r.producer.flush();
+  std::unique_lock<std::mutex> lock(gate_mu_);
+  if (!pause_requested_) return;  // raced with the release
+  ++parked_;
+  gate_cv_.notify_all();
+  gate_cv_.wait(lock, [&] { return !pause_requested_; });
+  --parked_;
+}
+
+bool Server::run_quiesced(Reactor& r0, const std::function<void()>& op) {
+  if (reactors_.size() > 1) {
+    pause_flag_.store(true, std::memory_order_release);
+    std::unique_lock<std::mutex> lock(gate_mu_);
+    pause_requested_ = true;
+    // Reactors notice the flag at their loop top, at worst one poll tick
+    // away; exiting reactors decrement running_others_ under gate_mu_, so
+    // the wait also unblocks when a reactor leaves instead of parking.
+    gate_cv_.wait(lock, [&] { return parked_ >= running_others_; });
+  }
+  r0.producer.flush();
+  if (crash_pending_.load(std::memory_order_relaxed)) {
+    // A reactor took the simulated SIGKILL while we gathered the
+    // rendezvous: it exited without flushing, so the arrived-coverage
+    // table now overstates what the engine holds. Running the operation
+    // (a checkpoint, a finalize, a query drain) would persist or serve
+    // that inconsistent view — bail out and let the crash teardown run.
+    // (The running_others_ decrement happens under gate_mu_ after the
+    // crash flag is set, so the wait above cannot miss this store.)
+    release_gate();
+    return false;
+  }
+  try {
+    op();
+  } catch (...) {
+    release_gate();
+    throw;
+  }
+  release_gate();
+  return true;
+}
+
+void Server::release_gate() {
+  if (reactors_.size() <= 1) return;
+  {
+    std::lock_guard<std::mutex> lock(gate_mu_);
+    pause_requested_ = false;
+  }
+  pause_flag_.store(false, std::memory_order_release);
+  gate_cv_.notify_all();
+}
+
 void Server::update_lag_gauge() {
   if (!metrics_) return;
+  const std::uint64_t routed = routed_.load(std::memory_order_relaxed);
   const std::uint64_t processed = engine_->events_processed();
   metrics_->ingest_lag->set(static_cast<std::int64_t>(
-      routed_ > processed ? routed_ - processed : 0));
+      routed > processed ? routed - processed : 0));
 }
 
 std::string Server::summary_json() {
   // drain() inside all_user_verdicts() makes every number exact for the
   // records applied so far — the serve analogue of finish()-then-report.
+  // Caller must hold the pause gate (run_quiesced).
   const std::vector<stream::UserVerdicts> users =
       engine_->all_user_verdicts();
   const match::Partition totals = engine_->partition();
@@ -613,9 +777,10 @@ std::string Server::summary_json() {
   append_json_number(out,
                      static_cast<std::uint64_t>(engine_->events_processed()));
   out += ",\"records_parsed\":";
-  append_json_number(out, stats_.records_parsed);
+  append_json_number(out,
+                     records_parsed_.load(std::memory_order_relaxed));
   out += ",\"cursor\":";
-  append_json_number(out, cursor_);
+  append_json_number(out, cursor_.load(std::memory_order_relaxed));
   out += ",\"partition\":";
   append_partition_json(out, totals);
   out += ",\"prevalence\":{\"users_with_checkins\":";
@@ -638,74 +803,91 @@ std::string Server::summary_json() {
   return out;
 }
 
-ServeStats Server::run(const std::atomic<bool>* stop) {
-  if (!started_) throw std::logic_error("Server::run before start()");
-
+void Server::reactor_loop(Reactor& r, const std::atomic<bool>* stop,
+                          bool* stopped_out) {
+  const bool leader = (r.index == 0);
   std::vector<pollfd> pollfds;
   std::vector<std::size_t> conn_of_pollfd;  // parallel; SIZE_MAX = listener
-  bool stopped = false;
 
   while (true) {
-    if (stop != nullptr && stop->load(std::memory_order_relaxed)) {
-      stopped = true;
-      break;
-    }
-    if (crash_pending_) break;
-    if (drain_done_) {
-      // Leave once every drain caller has its answer (or is gone).
-      bool waiting = false;
-      for (const auto& c : conns_) {
-        if (!c->dead && (c->awaiting_drain || !c->wbuf.empty())) {
-          waiting = true;
-          break;
-        }
+    if (stop_all_.load(std::memory_order_relaxed)) break;
+    if (crash_pending_.load(std::memory_order_relaxed)) break;
+    if (leader) {
+      if (stop != nullptr && stop->load(std::memory_order_relaxed)) {
+        if (stopped_out != nullptr) *stopped_out = true;
+        break;
       }
-      if (!waiting) break;
+      if (drain_done_.load(std::memory_order_relaxed)) {
+        // Leave once every drain caller has its answer (or is gone).
+        bool waiting = false;
+        for (const auto& c : r.conns) {
+          if (!c->dead && (c->awaiting_drain || !c->wbuf.empty())) {
+            waiting = true;
+            break;
+          }
+        }
+        if (!waiting) break;
+      }
+    } else {
+      // Non-zero reactors have no HTTP conns; once the drain completed
+      // their remaining work is zero (all ingest conns hit EOF before the
+      // drain could finish).
+      if (drain_done_.load(std::memory_order_relaxed) && r.conns.empty()) {
+        break;
+      }
+      park_if_paused(r);
     }
 
     pollfds.clear();
     conn_of_pollfd.clear();
-    const bool at_cap = conns_.size() >= config_.max_connections;
-    if (at_cap && !was_at_cap_ && metrics_) {
-      metrics_->accept_backpressure->inc();
+    const bool at_cap =
+        total_conns_.load(std::memory_order_relaxed) >=
+        config_.max_connections;
+    if (leader) {
+      if (at_cap && !was_at_cap_ && metrics_) {
+        metrics_->accept_backpressure->inc();
+      }
+      was_at_cap_ = at_cap;
     }
-    was_at_cap_ = at_cap;
-    if (!at_cap && !drain_requested_) {
+    if (!at_cap && !drain_requested_.load(std::memory_order_relaxed)) {
+      // Shared accept: every reactor polls the one ingest listener.
       pollfds.push_back({ingest_listener_.get(), POLLIN, 0});
       conn_of_pollfd.push_back(SIZE_MAX);
     }
-    if (!at_cap) {
-      // Only the ingest listener leaves the poll set on drain: the
-      // control plane stays reachable so probes see /readyz flip to 503
-      // and a fronting router can keep fanning out admin calls.
+    if (leader && !at_cap) {
+      // Control plane pinned to reactor 0. Only the ingest listener
+      // leaves the poll sets on drain: the control plane stays reachable
+      // so probes see /readyz flip to 503 and a fronting router can keep
+      // fanning out admin calls.
       pollfds.push_back({http_listener_.get(), POLLIN, 0});
       conn_of_pollfd.push_back(SIZE_MAX - 1);
     }
-    for (std::size_t i = 0; i < conns_.size(); ++i) {
+    for (std::size_t i = 0; i < r.conns.size(); ++i) {
       short events = POLLIN;
-      if (conns_[i]->woff < conns_[i]->wbuf.size()) events |= POLLOUT;
-      pollfds.push_back({conns_[i]->fd.get(), events, 0});
+      if (r.conns[i]->woff < r.conns[i]->wbuf.size()) events |= POLLOUT;
+      pollfds.push_back({r.conns[i]->fd.get(), events, 0});
       conn_of_pollfd.push_back(i);
     }
 
-    const int ready = ::poll(pollfds.data(),
+    const int ready = ::poll(pollfds.empty() ? nullptr : pollfds.data(),
                              static_cast<nfds_t>(pollfds.size()),
                              kPollTimeoutMs);
     if (ready < 0 && errno != EINTR) {
       throw NetError(std::string("poll: ") + std::strerror(errno));
     }
+    const Clock::time_point iteration_start = Clock::now();
 
     for (std::size_t i = 0; i < pollfds.size(); ++i) {
       if (pollfds[i].revents == 0) continue;
       if (conn_of_pollfd[i] == SIZE_MAX) {
-        accept_ready(ingest_listener_, /*is_http=*/false);
+        accept_ready(r, ingest_listener_, /*is_http=*/false);
         continue;
       }
       if (conn_of_pollfd[i] == SIZE_MAX - 1) {
-        accept_ready(http_listener_, /*is_http=*/true);
+        accept_ready(r, http_listener_, /*is_http=*/true);
         continue;
       }
-      Conn& c = *conns_[conn_of_pollfd[i]];
+      Conn& c = *r.conns[conn_of_pollfd[i]];
       if (c.dead) continue;
       if ((pollfds[i].revents & (POLLERR | POLLNVAL)) != 0) {
         c.dead = true;
@@ -713,76 +895,161 @@ ServeStats Server::run(const std::atomic<bool>* stop) {
       }
       if ((pollfds[i].revents & POLLOUT) != 0) flush_write(c);
       if (!c.dead && (pollfds[i].revents & (POLLIN | POLLHUP)) != 0) {
-        handle_read(c);
+        handle_read(r, c);
       }
     }
 
-    sweep_idle(Clock::now());
+    sweep_idle(r, Clock::now());
 
     // Reap dead connections (after the revents pass: indices stay stable
-    // while handlers run). Gauges are adjusted before remove_if compacts —
-    // the removed tail holds moved-from (null) pointers.
-    for (const auto& c : conns_) {
-      if (c->dead) (c->is_http ? active_http_ : active_ingest_) -= 1;
+    // while handlers run); release their cap slots.
+    for (const auto& c : r.conns) {
+      if (!c->dead) continue;
+      total_conns_.fetch_sub(1, std::memory_order_relaxed);
+      if (c->is_http) {
+        --active_http_;  // leader-only field, and HTTP lives on the leader
+      } else {
+        active_ingest_.fetch_sub(1, std::memory_order_relaxed);
+      }
     }
-    conns_.erase(std::remove_if(conns_.begin(), conns_.end(),
-                                [](const std::unique_ptr<Conn>& c) {
-                                  return c->dead;
-                                }),
-                 conns_.end());
-    if (metrics_) {
+    r.conns.erase(std::remove_if(r.conns.begin(), r.conns.end(),
+                                 [](const std::unique_ptr<Conn>& c) {
+                                   return c->dead;
+                                 }),
+                  r.conns.end());
+    if (leader && metrics_) {
       metrics_->active_http->set(static_cast<std::int64_t>(active_http_));
-      metrics_->active_ingest->set(
-          static_cast<std::int64_t>(active_ingest_));
+      metrics_->active_ingest->set(static_cast<std::int64_t>(
+          active_ingest_.load(std::memory_order_relaxed)));
     }
 
-    // Drain completion: every ingest stream has been read to EOF (clients
-    // either closed or were idle-swept), so the record set is final —
-    // quiesce the engine, persist, and answer the waiting caller(s).
-    if (drain_requested_ && !drain_done_ && active_ingest_ == 0) {
+    // Drain completion (leader only): every ingest stream everywhere has
+    // been read to EOF and reaped (clients either closed or were
+    // idle-swept), so the record set is final — park all reactors, flush
+    // every producer, quiesce the engine, persist, finalize, and answer
+    // the waiting caller(s).
+    if (leader && drain_requested_.load(std::memory_order_relaxed) &&
+        !drain_done_.load(std::memory_order_relaxed) &&
+        active_ingest_.load(std::memory_order_relaxed) == 0) {
       // Checkpoint first (resumable, pre-finalization state), then
       // finish(): finalization resolves the matcher's pending tail exactly
       // like end-of-stream in the batch pipeline, so the partition and the
       // per-user verdicts served after a drain equal a batch run bit for
       // bit.
-      if (!config_.checkpoint_dir.empty()) {
-        write_checkpoint_now();
-        records_since_checkpoint_ = 0;
-      }
-      engine_->finish();
-      drain_done_ = true;
-      const std::string body = "{\"status\":\"drained\",\"cursor\":" +
-                               std::to_string(cursor_) + "}";
-      for (const auto& conn : conns_) {
-        if (conn->dead || !conn->awaiting_drain) continue;
-        conn->awaiting_drain = false;
-        conn->wbuf += http_response(200, "application/json", body);
-        conn->close_after_write = true;
-        flush_write(*conn);
-      }
+      const bool finalized = run_quiesced(r, [&] {
+        if (!config_.checkpoint_dir.empty()) {
+          write_checkpoint_now();
+          records_since_checkpoint_.store(0, std::memory_order_relaxed);
+        }
+        engine_->finish();
+      });
+      if (finalized) {
+        drain_done_.store(true, std::memory_order_release);
+        const std::string body =
+            "{\"status\":\"drained\",\"cursor\":" +
+            std::to_string(cursor_.load(std::memory_order_relaxed)) + "}";
+        for (const auto& conn : r.conns) {
+          if (conn->dead || !conn->awaiting_drain) continue;
+          conn->awaiting_drain = false;
+          conn->wbuf += http_response(200, "application/json", body);
+          conn->close_after_write = true;
+          flush_write(*conn);
+        }
+      }  // else: the crash hook fired mid-drain; the loop top exits next.
     }
 
-    if (!config_.checkpoint_dir.empty() &&
+    if (leader && !config_.checkpoint_dir.empty() &&
         config_.checkpoint_interval_records != 0 &&
-        records_since_checkpoint_ >= config_.checkpoint_interval_records) {
-      write_checkpoint_now();
-      records_since_checkpoint_ = 0;
+        records_since_checkpoint_.load(std::memory_order_relaxed) >=
+            config_.checkpoint_interval_records) {
+      if (run_quiesced(r, [&] { write_checkpoint_now(); })) {
+        records_since_checkpoint_.store(0, std::memory_order_relaxed);
+      }
     }
 
-    update_lag_gauge();
+    if (leader) update_lag_gauge();
+
+    // Mirror producer stalls into the per-reactor counter and sample the
+    // iteration's service time (poll wait excluded).
+    if (r.m_stalls != nullptr) {
+      const std::uint64_t stalls = r.producer.stalls();
+      if (stalls > r.stalls_synced) {
+        r.m_stalls->inc(stalls - r.stalls_synced);
+        r.stalls_synced = stalls;
+      }
+    }
+    if (r.m_loop_ns != nullptr) {
+      r.m_loop_ns->observe(ns_since(iteration_start));
+    }
   }
+
+  // Loop exit: on the graceful paths, staged events must reach the engine
+  // before the teardown drain/checkpoint. On the crash path everything
+  // staged is lost, exactly as a real SIGKILL would lose it. (After a
+  // completed drain the staging is already empty — flushed at the
+  // rendezvous before finish().)
+  if (!crash_pending_.load(std::memory_order_relaxed)) {
+    r.producer.flush();
+  }
+}
+
+ServeStats Server::run(const std::atomic<bool>* stop) {
+  if (!started_) throw std::logic_error("Server::run before start()");
+
+  bool stopped = false;
+  {
+    std::lock_guard<std::mutex> lock(gate_mu_);
+    running_others_ = reactors_.size() - 1;
+    parked_ = 0;
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(reactors_.size() - 1);
+  for (std::size_t i = 1; i < reactors_.size(); ++i) {
+    threads.emplace_back([this, i] {
+      try {
+        reactor_loop(*reactors_[i], nullptr, nullptr);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(error_mu_);
+          if (!reactor_error_) reactor_error_ = std::current_exception();
+        }
+        // A dead reactor cannot keep its conns or staging honest; treat
+        // it as a crash so teardown abandons instead of checkpointing a
+        // partial view.
+        crash_pending_.store(true, std::memory_order_relaxed);
+      }
+      {
+        std::lock_guard<std::mutex> lock(gate_mu_);
+        --running_others_;
+      }
+      gate_cv_.notify_all();
+    });
+  }
+
+  try {
+    reactor_loop(*reactors_[0], stop, &stopped);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(error_mu_);
+    if (!reactor_error_) reactor_error_ = std::current_exception();
+    crash_pending_.store(true, std::memory_order_relaxed);
+  }
+  stop_all_.store(true, std::memory_order_relaxed);
+  for (std::thread& t : threads) t.join();
 
   // Teardown. Crash simulation abandons everything in flight (recovery
   // must come from the last periodic checkpoint, as after a real SIGKILL);
-  // the graceful paths quiesce and persist.
+  // the graceful paths quiesce and persist. All reactor threads are
+  // joined, so the engine is single-producer again from here on.
   ingest_listener_.reset();
   http_listener_.reset();
-  conns_.clear();
-  active_ingest_ = active_http_ = 0;
-  if (crash_pending_) {
+  for (auto& reactor : reactors_) reactor->conns.clear();
+  total_conns_.store(0, std::memory_order_relaxed);
+  active_ingest_.store(0, std::memory_order_relaxed);
+  active_http_ = 0;
+  if (crash_pending_.load(std::memory_order_relaxed)) {
     engine_->shutdown();
     stats_.exit = ServeExit::kCrashed;
-  } else if (drain_done_) {
+  } else if (drain_done_.load(std::memory_order_relaxed)) {
     // Already checkpointed and finalized in the drain-completion step.
     stats_.exit = ServeExit::kDrained;
   } else {
@@ -790,8 +1057,25 @@ ServeStats Server::run(const std::atomic<bool>* stop) {
     if (!config_.checkpoint_dir.empty()) write_checkpoint_now();
     stats_.exit = stopped ? ServeExit::kStopped : ServeExit::kDrained;
   }
-  stats_.cursor = cursor_;
+  stats_.records_parsed = records_parsed_.load(std::memory_order_relaxed);
+  stats_.records_applied = records_applied_.load(std::memory_order_relaxed);
+  stats_.records_replayed =
+      records_replayed_.load(std::memory_order_relaxed);
+  stats_.records_malformed =
+      records_malformed_.load(std::memory_order_relaxed);
+  stats_.http_requests = http_requests_.load(std::memory_order_relaxed);
+  stats_.connections = connections_.load(std::memory_order_relaxed);
+  stats_.cursor = cursor_.load(std::memory_order_relaxed);
   stats_.restored_cursor = restored_cursor_;
+
+  // A reactor-thread failure is a runtime error, not a clean exit: report
+  // it exactly like the single-threaded loop reported a poll failure.
+  std::exception_ptr error;
+  {
+    std::lock_guard<std::mutex> lock(error_mu_);
+    error = reactor_error_;
+  }
+  if (error) std::rethrow_exception(error);
   return stats_;
 }
 

@@ -1,35 +1,58 @@
-// The geovalid serve daemon: a single-threaded poll() event loop in front
-// of the sharded StreamEngine.
+// The geovalid serve daemon: N acceptor/reactor event-loop threads in
+// front of the sharded StreamEngine.
 //
-// Two listeners:
-//   - ingest (line-delimited wire protocol, serve/wire.h): every parsed
-//     record feeds the live engine; unparseable lines dead-letter through
-//     the quarantine path with reason `malformed_line`.
-//   - HTTP control plane (serve/http.h): /healthz, /readyz (503 while
-//     draining — the router's backend health hook), /metrics (Prometheus
-//     text format), /v1/summary, /v1/users/{id}/verdicts (JSON over
-//     drain() quiescence), POST /admin/checkpoint and POST /admin/drain.
+// Reactor model (ServeConfig::reactors, default 1):
+//   - Every reactor polls the one shared non-blocking ingest listener
+//     (shared accept: the kernel wakes whoever it likes, losers see
+//     EAGAIN) and owns the connections it wins outright — poll set, line
+//     decoding, write buffers, idle sweep. A global atomic connection
+//     count enforces --max-connections without overshoot.
+//   - Each reactor feeds the engine through its own
+//     stream::StreamEngine::Producer handle: private per-shard staging,
+//     handoff under the owning shard's mailbox mutex only. There is no
+//     engine-global lock anywhere on the ingest path.
+//   - The HTTP control plane is pinned to reactor 0: /healthz, /readyz
+//     (503 while draining — the router's backend health hook), /metrics
+//     (Prometheus text format), /v1/summary, /v1/users/{id}/verdicts,
+//     POST /admin/checkpoint and POST /admin/drain.
 //
-// The loop thread is the engine's single producer, so the query endpoints
-// may call drain() and read per-user state directly — the same contract
-// save_state() relies on. Slow or hostile clients are bounded by
-// per-connection buffers, an idle timeout, and a connection cap that
-// removes the listeners from the poll set while full (accept
-// backpressure: the kernel backlog, then the clients, absorb the wait).
+// Engine-wide quiescence (checkpoints, the query endpoints' drain(), the
+// final finish()) runs only on reactor 0, inside a pause-gate rendezvous:
+// reactor 0 raises the gate, every other reactor flushes its producer and
+// parks at its loop top, reactor 0 runs the operation against the now
+// single-producer engine, then releases the gate. With one reactor the
+// gate degenerates to a no-op and the daemon behaves exactly like the
+// original single-threaded loop.
+//
+// The per-user ordering contract is preserved by construction: the wire
+// protocol already requires each user's records on one connection, one
+// connection belongs to one reactor, and one reactor maps to one producer
+// handle — so per-user mailbox order equals arrival order.
+//
+// Slow or hostile clients are bounded per reactor by per-connection
+// buffers, an idle timeout, and the global connection cap that removes
+// the listeners from every poll set while full (accept backpressure: the
+// kernel backlog, then the clients, absorb the wait).
 //
 // Resume contract: a checkpoint stores, besides the engine payload, the
 // per-user count of records the server had accepted. After a restart with
 // `resume`, clients re-send their traces from the beginning and the server
 // silently skips each user's already-covered prefix — at-least-once
 // delivery in, exactly-once application out, so a kill + restart serves
-// verdicts byte-identical to an uninterrupted run.
+// verdicts byte-identical to an uninterrupted run. Drain quiesces every
+// reactor before the engine checkpoint, and the exit contract (stop flag →
+// checkpoint → ServeExit::kStopped) is reactor-count independent.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <filesystem>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -55,6 +78,11 @@ struct ServeConfig {
   double idle_timeout_s = 60.0;        ///< <= 0 disables the idle sweep
   std::size_t max_line_bytes = kMaxLineBytes;
 
+  /// Event-loop threads (see the reactor model above). 0 = all hardware
+  /// threads; clamped at core::kMaxThreads (and rejected with a usage
+  /// error at the CLI, mirroring --threads).
+  std::size_t reactors = 1;
+
   /// Checkpoint directory; empty disables checkpointing entirely.
   std::filesystem::path checkpoint_dir;
   /// Periodic checkpoint every this many applied records (0 = only on
@@ -73,6 +101,8 @@ struct ServeConfig {
 
   /// Test hook: simulate a SIGKILL after this many parsed records — the
   /// run loop exits abruptly, no drain, no final checkpoint. 0 = never.
+  /// With several reactors the count may overshoot by a few records (each
+  /// reactor checks the flag between lines, as a real kill would land).
   std::uint64_t crash_after_records = 0;
 };
 
@@ -113,14 +143,18 @@ class Server {
   [[nodiscard]] std::uint64_t restored_cursor() const {
     return restored_cursor_;
   }
+  /// Effective reactor count (after 0 = hardware resolution).
+  [[nodiscard]] std::size_t reactor_count() const { return reactors_.size(); }
 
-  /// The event loop: serves until `stop` becomes true (graceful — drains
-  /// the engine and writes a final checkpoint when a directory is
-  /// configured), an /admin/drain completes, or the crash hook fires.
+  /// The event loop: run() drives reactor 0 on the calling thread and
+  /// spawns reactors 1..N-1; it serves until `stop` becomes true (graceful
+  /// — drains the engine and writes a final checkpoint when a directory is
+  /// configured), an /admin/drain completes, or the crash hook fires. All
+  /// reactor threads are joined before it returns.
   ServeStats run(const std::atomic<bool>* stop = nullptr);
 
-  /// The live engine (the run-loop thread is its producer; other threads
-  /// may only call thread-safe accessors like partition()).
+  /// The live engine (the reactors are its producers; other threads may
+  /// only call thread-safe accessors like partition()).
   [[nodiscard]] stream::StreamEngine& engine() { return *engine_; }
   [[nodiscard]] const stream::Quarantine& quarantine() const {
     return *quarantine_;
@@ -128,18 +162,44 @@ class Server {
 
  private:
   struct Conn;
+  struct Reactor;
   struct Metrics;
+
+  /// Striped per-user accepted-record counts: reactors touch one stripe
+  /// mutex per record, checkpoints snapshot all stripes.
+  struct CoverageStripe {
+    std::mutex mu;
+    std::unordered_map<trace::UserId, std::uint64_t> counts;
+  };
+  static constexpr std::size_t kCoverageStripes = 64;
 
   void register_metrics();
   void restore_from_checkpoint();
+  /// Requires every other reactor parked (run_quiesced) — the engine
+  /// save_state() inside assumes a single producer.
   std::filesystem::path write_checkpoint_now();
-  void accept_ready(Fd& listener, bool is_http);
-  void handle_read(Conn& c);
-  void handle_ingest_eof(Conn& c);
-  void process_ingest_line(std::string_view text, bool truncated);
-  void route_request(Conn& c);
+  void reactor_loop(Reactor& r, const std::atomic<bool>* stop,
+                    bool* stopped_out);
+  void accept_ready(Reactor& r, Fd& listener, bool is_http);
+  void handle_read(Reactor& r, Conn& c);
+  void handle_ingest_eof(Reactor& r, Conn& c);
+  void process_ingest_line(Reactor& r, std::string_view text, bool truncated);
+  void route_request(Reactor& r, Conn& c);
   void flush_write(Conn& c);
-  void sweep_idle(std::chrono::steady_clock::time_point now);
+  void sweep_idle(Reactor& r, std::chrono::steady_clock::time_point now);
+  /// Non-zero reactors call this at their loop top: when the pause gate is
+  /// raised, flush the producer, report parked and wait for release.
+  void park_if_paused(Reactor& r);
+  /// Reactor 0 only: raise the pause gate, wait until every live non-zero
+  /// reactor is parked, flush reactor 0's own producer, run `op` against
+  /// the quiesced (single-producer) engine, release the gate. A no-op
+  /// rendezvous with one reactor. Returns false without running `op` when
+  /// the crash hook fired during the rendezvous — a crashing reactor
+  /// drops its staged events, so the engine view is no longer consistent
+  /// with the coverage table and must not be persisted or served.
+  bool run_quiesced(Reactor& r0, const std::function<void()>& op);
+  void release_gate();
+  [[nodiscard]] std::uint64_t arrive(trace::UserId user);
   void update_lag_gauge();
   [[nodiscard]] std::string summary_json();
   [[nodiscard]] std::uint64_t resumed_count(trace::UserId user) const;
@@ -154,23 +214,51 @@ class Server {
   std::uint16_t http_port_ = 0;
   bool started_ = false;
 
-  std::vector<std::unique_ptr<Conn>> conns_;
-  std::size_t active_ingest_ = 0;
-  std::size_t active_http_ = 0;
-  bool was_at_cap_ = false;
+  std::vector<std::unique_ptr<Reactor>> reactors_;
+
+  /// Open connections across all reactors; the slot under
+  /// max_connections is reserved (CAS) before accept4 so racing reactors
+  /// never overshoot the cap.
+  std::atomic<std::size_t> total_conns_{0};
+  std::atomic<std::size_t> active_ingest_{0};
+  std::size_t active_http_ = 0;  ///< reactor 0 only (HTTP is pinned there)
+  bool was_at_cap_ = false;      ///< reactor 0 only (backpressure episodes)
 
   /// Per-user records accepted (lifetime, incl. restored coverage) and the
-  /// coverage restored from the checkpoint being resumed.
-  std::unordered_map<trace::UserId, std::uint64_t> arrived_;
+  /// coverage restored from the checkpoint being resumed. `resumed_` is
+  /// written in start() and read-only while the reactors run.
+  std::array<CoverageStripe, kCoverageStripes> arrived_;
   std::unordered_map<trace::UserId, std::uint64_t> resumed_;
-  std::uint64_t cursor_ = 0;
+  std::atomic<std::uint64_t> cursor_{0};
   std::uint64_t restored_cursor_ = 0;
-  std::uint64_t records_since_checkpoint_ = 0;
-  std::uint64_t routed_ = 0;  ///< events the engine accepted (in-flight base)
+  std::atomic<std::uint64_t> records_since_checkpoint_{0};
+  /// Events the engine accepted (in-flight base for the lag gauge).
+  std::atomic<std::uint64_t> routed_{0};
 
-  bool drain_requested_ = false;  ///< stop accepting, quiesce ingest
-  bool drain_done_ = false;       ///< engine drained, responses queued
-  bool crash_pending_ = false;
+  std::atomic<bool> drain_requested_{false};  ///< stop accepting ingest
+  std::atomic<bool> drain_done_{false};  ///< engine drained, answers queued
+  std::atomic<bool> crash_pending_{false};
+  std::atomic<bool> stop_all_{false};  ///< reactor 0 exited: everyone out
+
+  // Pause gate (see run_quiesced). pause_flag_ is the cheap loop-top
+  // check; the counters below are guarded by gate_mu_.
+  std::mutex gate_mu_;
+  std::condition_variable gate_cv_;
+  std::atomic<bool> pause_flag_{false};
+  bool pause_requested_ = false;
+  std::size_t parked_ = 0;
+  std::size_t running_others_ = 0;  ///< live non-zero reactor loops
+
+  std::mutex error_mu_;
+  std::exception_ptr reactor_error_;  ///< first reactor-thread exception
+
+  // Lifetime totals (materialized into ServeStats when run() returns).
+  std::atomic<std::uint64_t> records_parsed_{0};
+  std::atomic<std::uint64_t> records_applied_{0};
+  std::atomic<std::uint64_t> records_replayed_{0};
+  std::atomic<std::uint64_t> records_malformed_{0};
+  std::atomic<std::uint64_t> http_requests_{0};
+  std::atomic<std::uint64_t> connections_{0};
 
   ServeStats stats_;
   std::unique_ptr<Metrics> metrics_;

@@ -412,10 +412,16 @@ std::size_t StreamEngine::shard_of(trace::UserId user) const {
 }
 
 bool StreamEngine::push(const Event& e) {
+  return push_from(e, staging_, nullptr);
+}
+
+bool StreamEngine::push_from(const Event& e,
+                             std::vector<std::vector<Event>>& staging,
+                             std::uint64_t* stall_count) {
   if (finished_) {
     throw std::logic_error("StreamEngine::push called after finish()");
   }
-  ++pushed_;
+  pushed_.fetch_add(1, std::memory_order_relaxed);
   if (config_.quarantine != nullptr) {
     // Payload validation happens producer-side (no per-user history
     // needed), so garbage never reaches the geodesic math or even a shard.
@@ -425,19 +431,24 @@ bool StreamEngine::push(const Event& e) {
     }
   }
   const std::size_t s = shard_of(e.user);
-  staging_[s].push_back(e);
-  if (staging_[s].size() >= config_.batch_size) flush_staging(s);
+  staging[s].push_back(e);
+  if (staging[s].size() >= config_.batch_size) {
+    hand_off(s, staging[s], stall_count);
+  }
   return true;
 }
 
-void StreamEngine::flush_staging(std::size_t shard_index) {
-  std::vector<Event>& staged = staging_[shard_index];
+void StreamEngine::hand_off(std::size_t shard_index, std::vector<Event>& staged,
+                            std::uint64_t* stall_count) {
   if (staged.empty()) return;
   Shard& shard = *shards_[shard_index];
   {
     std::unique_lock<std::mutex> lock(shard.mu);
     const bool full = shard.mailbox.size() >= shard.capacity_batches;
-    if (full && shard.metrics.stalls) shard.metrics.stalls->inc();
+    if (full) {
+      if (shard.metrics.stalls) shard.metrics.stalls->inc();
+      if (stall_count != nullptr) ++*stall_count;
+    }
     {
       obs::StageTimer stall(full ? shard.metrics.stall_wait_ns : nullptr);
       shard.cv_producer.wait(lock, [&] {
@@ -456,9 +467,26 @@ void StreamEngine::flush_staging(std::size_t shard_index) {
   staged.reserve(config_.batch_size);
 }
 
+StreamEngine::Producer::Producer(StreamEngine& engine) : engine_(engine) {
+  staging_.resize(engine_.shards_.size());
+  for (auto& s : staging_) s.reserve(engine_.config_.batch_size);
+}
+
+bool StreamEngine::Producer::push(const Event& e) {
+  return engine_.push_from(e, staging_, &stalls_);
+}
+
+void StreamEngine::Producer::flush() {
+  for (std::size_t s = 0; s < staging_.size(); ++s) {
+    engine_.hand_off(s, staging_[s], &stalls_);
+  }
+}
+
 void StreamEngine::finish() {
   if (finished_) return;
-  for (std::size_t s = 0; s < shards_.size(); ++s) flush_staging(s);
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    hand_off(s, staging_[s], nullptr);
+  }
   for (auto& shard : shards_) {
     {
       std::lock_guard<std::mutex> lock(shard->mu);
@@ -477,7 +505,9 @@ void StreamEngine::finish() {
 
 void StreamEngine::drain() {
   if (finished_) return;
-  for (std::size_t s = 0; s < shards_.size(); ++s) flush_staging(s);
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    hand_off(s, staging_[s], nullptr);
+  }
   for (auto& shard : shards_) {
     std::unique_lock<std::mutex> lock(shard->mu);
     shard->cv_idle.wait(
@@ -574,7 +604,7 @@ void StreamEngine::load_state(std::string_view payload) {
   if (finished_) {
     throw std::logic_error("StreamEngine::load_state called after finish()");
   }
-  if (pushed_ != 0) {
+  if (pushed_.load(std::memory_order_relaxed) != 0) {
     throw std::logic_error(
         "StreamEngine::load_state requires a fresh engine (nothing pushed)");
   }

@@ -14,8 +14,16 @@
 // interleave arbitrarily — shard-local processing order equals push order
 // per user, which is all the incremental pipeline needs, so the final
 // partition is independent of the shard count.
+//
+// Producers: push() serves the common single-producer case. Additional
+// concurrent producer threads each take their own Producer handle (private
+// per-shard staging, handoff under the owning shard's mutex only — no
+// engine-global lock). The quiescence points (drain/finish/save_state)
+// still assume a single caller with every Producer flushed and parked;
+// the serve layer's reactor pause gate provides exactly that rendezvous.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -118,6 +126,41 @@ class StreamEngine {
   /// depth (serve's ingest-lag gauge) only count `true` pushes.
   bool push(const Event& e);
 
+  /// A handle for one additional producer thread (the serve layer's
+  /// reactors). Each handle owns private per-shard staging, so concurrent
+  /// producers only ever meet at a shard's mailbox mutex — there is no
+  /// engine-global lock anywhere on the ingest path. Contract:
+  ///   * one thread per handle (the handle itself is not thread-safe);
+  ///   * all of a given user's events must flow through a single handle —
+  ///     mailbox FIFO order is per-user order only then;
+  ///   * every handle must be flush()ed and its thread parked before
+  ///     drain()/finish()/save_state()/user_verdicts() run (the serve
+  ///     layer's pause gate provides that rendezvous);
+  ///   * a handle must not outlive its engine.
+  class Producer {
+   public:
+    explicit Producer(StreamEngine& engine);
+    Producer(const Producer&) = delete;
+    Producer& operator=(const Producer&) = delete;
+
+    /// Same contract and return value as StreamEngine::push, from this
+    /// handle's thread; blocks on the target shard's mailbox when full.
+    bool push(const Event& e);
+
+    /// Hands every staged batch to its shard mailbox. Must run before any
+    /// engine-wide quiescence point; cheap no-op when nothing is staged.
+    void flush();
+
+    /// Times this handle found a mailbox full and had to wait (monotone;
+    /// the serve layer mirrors it into serve_reactor_stalls_total).
+    [[nodiscard]] std::uint64_t stalls() const { return stalls_; }
+
+   private:
+    StreamEngine& engine_;
+    std::vector<std::vector<Event>> staging_;  // per shard
+    std::uint64_t stalls_ = 0;
+  };
+
   /// Flushes staged batches, drains every shard, finalizes all per-user
   /// state and joins the workers. Rethrows the first worker error (e.g. an
   /// out-of-order user stream). Idempotent.
@@ -181,13 +224,26 @@ class StreamEngine {
  private:
   struct Shard;
 
-  void flush_staging(std::size_t shard_index);
+  /// Shared push path: validate, stage into `staging`, hand off full
+  /// batches. push() passes the engine's own staging; Producer handles pass
+  /// theirs.
+  bool push_from(const Event& e, std::vector<std::vector<Event>>& staging,
+                 std::uint64_t* stall_count);
+
+  /// Moves one staged batch into its shard's mailbox, blocking while the
+  /// mailbox is full. Takes only that shard's mutex — safe from any number
+  /// of concurrent producers.
+  void hand_off(std::size_t shard_index, std::vector<Event>& staged,
+                std::uint64_t* stall_count);
+
   [[nodiscard]] std::uint64_t config_fingerprint() const;
 
   StreamEngineConfig config_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<std::vector<Event>> staging_;  // producer-side, per shard
-  std::uint64_t pushed_ = 0;  ///< events accepted by push() (incl. quarantined)
+  /// Events accepted across all producers (incl. quarantined); atomic only
+  /// so concurrent Producer handles may bump it without a lock.
+  std::atomic<std::uint64_t> pushed_{0};
   std::size_t last_state_bytes_ = 0;  ///< previous save_state() payload size
   bool finished_ = false;
 };

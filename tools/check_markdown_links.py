@@ -5,7 +5,11 @@ Scans the top-level markdown files plus everything under docs/ for inline
 links `[text](target)`. External targets (with a URL scheme) are ignored;
 relative targets must resolve to a file in the repository, and a `#anchor`
 fragment must match a heading in the target file (GitHub slug rules).
-Exits non-zero listing every dangling link. Run from anywhere:
+
+Also walks the link graph from README.md: every file under docs/ must be
+reachable through intra-repo markdown links (an orphaned doc is a doc
+nobody will find). Exits non-zero listing every dangling link and every
+orphan. Run from anywhere:
 
     python3 tools/check_markdown_links.py
 """
@@ -70,6 +74,29 @@ def iter_links(path: Path):
             yield lineno, m.group(1)
 
 
+def reachable_from(root: Path) -> set:
+    """BFS over intra-repo markdown links, starting at `root`."""
+    seen = {root}
+    queue = [root]
+    while queue:
+        md = queue.pop()
+        for _, target in iter_links(md):
+            if re.match(r"^[a-zA-Z][a-zA-Z0-9+.\-]*:", target):
+                continue
+            raw_path, _, _ = target.partition("#")
+            if not raw_path:
+                continue
+            resolved = (md.parent / raw_path).resolve()
+            if (
+                resolved.suffix == ".md"
+                and resolved.exists()
+                and resolved not in seen
+            ):
+                seen.add(resolved)
+                queue.append(resolved)
+    return seen
+
+
 def main() -> int:
     errors = []
     for md in SCANNED:
@@ -96,8 +123,21 @@ def main() -> int:
                         f"'#{fragment}' in '{resolved.relative_to(REPO)}'"
                     )
 
+    # Orphan check: every doc under docs/ must be reachable from README.md
+    # through the link graph, or nobody browsing from the front door will
+    # ever find it.
+    readme = REPO / "README.md"
+    if readme.exists():
+        reachable = reachable_from(readme)
+        for md in SCANNED:
+            if md.is_relative_to(REPO / "docs") and md not in reachable:
+                errors.append(
+                    f"{md.relative_to(REPO)}: orphaned — not reachable from "
+                    f"README.md via markdown links"
+                )
+
     if errors:
-        print(f"{len(errors)} dangling markdown link(s):", file=sys.stderr)
+        print(f"{len(errors)} markdown link problem(s):", file=sys.stderr)
         for e in errors:
             print(f"  {e}", file=sys.stderr)
         return 1

@@ -66,7 +66,7 @@ B1=""; B2=""; B3=""
 for i in 1 2 3; do
     "$CLI" serve --port 0 --http-port 0 --port-file "$WORK/b$i.ports" \
         --checkpoint-dir "$WORK/ck$i" --dead-letter "$WORK/dead$i.csv" \
-        > "$WORK/b$i.log" 2>&1 &
+        --reactors 2 > "$WORK/b$i.log" 2>&1 &
     eval "B$i=$!"
 done
 wait_ports "$WORK/b1.ports" "$B1"

@@ -36,16 +36,17 @@
 //       fault harness (spec grammar in docs/ROBUSTNESS.md).
 //
 //   geovalid serve [--port N] [--http-port N] [--host ADDR] [--shards N]
-//                  [--alpha M] [--beta MIN] [--max-connections N]
-//                  [--idle-timeout S] [--checkpoint-dir D]
-//                  [--checkpoint-interval N] [--resume]
+//                  [--reactors N] [--alpha M] [--beta MIN]
+//                  [--max-connections N] [--idle-timeout S]
+//                  [--checkpoint-dir D] [--checkpoint-interval N] [--resume]
 //                  [--dead-letter FILE] [--port-file PATH]
 //                  [--crash-after N]
 //       Run the online validation daemon (docs/SERVICE.md): a TCP ingest
 //       port speaking the line-delimited wire protocol feeding the live
-//       streaming engine, and an HTTP control plane (/healthz, /metrics,
+//       streaming engine through --reactors event-loop threads (0 = all
+//       hardware threads), and an HTTP control plane (/healthz, /metrics,
 //       /v1/summary, /v1/users/{id}/verdicts, /admin/checkpoint,
-//       /admin/drain). --port 0 (the default) binds an ephemeral port and
+//       /admin/drain) pinned to reactor 0. --port 0 (the default) binds an ephemeral port and
 //       prints the one the kernel picked; --port-file additionally writes
 //       both bound ports to PATH for scripts. SIGTERM/SIGINT drain the
 //       engine, write a final checkpoint (with --checkpoint-dir) and exit
@@ -148,10 +149,11 @@ int usage() {
       "                  [--stop-after EVENTS]\n"
       "  geovalid serve [--port N] [--http-port N] [--host ADDR] "
       "[--shards N]\n"
-      "                 [--alpha M] [--beta MIN] [--max-connections N]\n"
-      "                 [--idle-timeout SECONDS] [--checkpoint-dir D]\n"
-      "                 [--checkpoint-interval RECORDS] [--resume]\n"
-      "                 [--dead-letter FILE] [--port-file PATH]\n"
+      "                 [--reactors N] [--alpha M] [--beta MIN]\n"
+      "                 [--max-connections N] [--idle-timeout SECONDS]\n"
+      "                 [--checkpoint-dir D] "
+      "[--checkpoint-interval RECORDS]\n"
+      "                 [--resume] [--dead-letter FILE] [--port-file PATH]\n"
       "                 [--crash-after RECORDS]\n"
       "  geovalid route --backend [NAME=]HOST:INGEST:HTTP "
       "[--backend ...]\n"
@@ -246,6 +248,30 @@ std::size_t threads_flag(int argc, char** argv) {
   }
   if (v > core::kMaxThreads) {
     throw UsageError("--threads must be at most " +
+                     std::to_string(core::kMaxThreads) + ", got '" + *raw +
+                     "'");
+  }
+  return static_cast<std::size_t>(v);
+}
+
+/// --reactors N for `serve` (0 = all hardware threads): event-loop threads
+/// in front of the engine. Validated exactly like --threads — negatives,
+/// junk and values past core::kMaxThreads are usage errors, never silent
+/// fallbacks or uncaught std::system_error.
+std::size_t reactors_flag(int argc, char** argv) {
+  const auto raw = string_flag_value(argc, argv, "--reactors");
+  if (!raw) return 1;
+  const char* arg = raw->c_str();
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(arg, &end, 10);
+  if (raw->empty() || raw->front() == '-' || errno != 0 || end == arg ||
+      *end != '\0') {
+    throw UsageError("--reactors must be a non-negative integer, got '" +
+                     *raw + "'");
+  }
+  if (v > core::kMaxThreads) {
+    throw UsageError("--reactors must be at most " +
                      std::to_string(core::kMaxThreads) + ", got '" + *raw +
                      "'");
   }
@@ -600,10 +626,11 @@ int cmd_stream(int argc, char** argv) {
 }
 
 int cmd_serve(int argc, char** argv) {
-  (void)threads_flag(argc, argv);  // accepted everywhere; shards control
-                                   // the serve-side parallelism
+  (void)threads_flag(argc, argv);  // accepted everywhere; shards and
+                                   // reactors control serve parallelism
 
   serve::ServeConfig cfg;
+  cfg.reactors = reactors_flag(argc, argv);
   if (const auto host = string_flag_value(argc, argv, "--host")) {
     cfg.host = *host;
   }
@@ -655,7 +682,8 @@ int cmd_serve(int argc, char** argv) {
               << server.restored_cursor() << "\n";
   }
   std::cout << "serving: ingest port " << server.ingest_port()
-            << ", http port " << server.http_port() << "\n";
+            << ", http port " << server.http_port() << ", reactors "
+            << server.reactor_count() << "\n";
   std::cout.flush();
   if (const auto port_file = string_flag_value(argc, argv, "--port-file")) {
     // Written after both binds succeed: a script that polls for this file

@@ -28,7 +28,7 @@ mkdir -p "$WORK"
 
 "$CLI" serve --port 0 --http-port 0 --port-file "$WORK/ports" \
     --checkpoint-dir "$WORK/ck" --dead-letter "$WORK/dead.csv" \
-    --shards 2 > "$WORK/serve.log" 2>&1 &
+    --shards 2 --reactors 2 > "$WORK/serve.log" 2>&1 &
 SERVER=$!
 
 # The port file appears only after both listeners are bound.
