@@ -1,11 +1,26 @@
-// Microbenchmarks of the hot paths (google-benchmark).
+// Microbenchmarks of the hot paths (google-benchmark), plus the wire
+// format gate: after the registered benchmarks run, main() measures
+// columnar binary frame decode against text-grammar parse and fails the
+// build check unless binary clears 3x text in rows/s. Both sides are
+// single-threaded on the same core, so the gate is core-count
+// independent — it measures the codec, not the machine.
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <iostream>
+#include <span>
+#include <string>
+#include <variant>
+#include <vector>
 
 #include "core/pipeline.h"
 #include "geo/geodesic.h"
 #include "manet/simulator.h"
 #include "match/matcher.h"
+#include "serve/wire.h"
 #include "stats/ecdf.h"
+#include "stream/replay.h"
 #include "synth/study_generator.h"
 #include "trace/poi_grid.h"
 #include "trace/visit_detector.h"
@@ -162,6 +177,173 @@ void BM_AodvDiscoveryChain(benchmark::State& state) {
 }
 BENCHMARK(BM_AodvDiscoveryChain)->Arg(8)->Arg(32)->Arg(128);
 
+// --- Serve wire codecs -----------------------------------------------------
+
+/// The tiny study flattened to ingest events, plus both wire encodings.
+struct WireFixture {
+  std::vector<stream::Event> events;
+  std::string text;    ///< newline-delimited text grammar
+  std::string binary;  ///< columnar frames of up to 512 records
+};
+
+const WireFixture& wire_fixture() {
+  static const WireFixture f = [] {
+    WireFixture w;
+    w.events = stream::flatten_dataset(tiny().dataset);
+    for (const stream::Event& e : w.events) {
+      serve::append_wire_record(w.text, e);
+    }
+    constexpr std::size_t kFrameRecords = 512;
+    for (std::size_t base = 0; base < w.events.size();
+         base += kFrameRecords) {
+      const std::size_t n =
+          std::min(kFrameRecords, w.events.size() - base);
+      serve::append_binary_frame(
+          w.binary,
+          std::span<const stream::Event>(w.events.data() + base, n));
+    }
+    return w;
+  }();
+  return f;
+}
+
+/// One full pass of the serve text hot path: LineDecoder split +
+/// parse_wire_record per line. Returns the events decoded (checked
+/// against the fixture so the work cannot be optimized away).
+std::size_t text_parse_pass(const WireFixture& f) {
+  serve::LineDecoder decoder;
+  decoder.feed(f.text);
+  std::size_t decoded = 0;
+  while (const auto line = decoder.next()) {
+    if (std::holds_alternative<stream::Event>(
+            serve::parse_wire_record(line->text))) {
+      ++decoded;
+    }
+  }
+  return decoded;
+}
+
+/// One full pass of the serve binary hot path: frame split + columnar
+/// decode.
+std::size_t binary_decode_pass(const WireFixture& f) {
+  serve::BinaryFrameDecoder decoder;
+  decoder.feed(f.binary);
+  std::size_t decoded = 0;
+  while (auto result = decoder.next()) {
+    if (const auto* frame =
+            std::get_if<serve::BinaryFrameDecoder::Frame>(&*result)) {
+      decoded += frame->events.size();
+    }
+  }
+  return decoded;
+}
+
+void BM_WireTextParse(benchmark::State& state) {
+  const WireFixture& f = wire_fixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(text_parse_pass(f));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(f.events.size()));
+}
+BENCHMARK(BM_WireTextParse);
+
+void BM_WireBinaryDecode(benchmark::State& state) {
+  const WireFixture& f = wire_fixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(binary_decode_pass(f));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(f.events.size()));
+}
+BENCHMARK(BM_WireBinaryDecode);
+
+// LineDecoder::next() hands out a string_view into its own buffer, so
+// the split itself allocates and copies nothing — the zero-copy design
+// the text path has had since the decoder landed. The Copy variant below
+// materializes each line into a std::string, i.e. what the decoder
+// *would* cost per line if it returned owned strings; the pair is the
+// before/after record for keeping the string_view contract.
+void BM_LineDecoderSplit(benchmark::State& state) {
+  const WireFixture& f = wire_fixture();
+  for (auto _ : state) {
+    serve::LineDecoder decoder;
+    decoder.feed(f.text);
+    std::size_t lines = 0;
+    while (const auto line = decoder.next()) lines += !line->text.empty();
+    benchmark::DoNotOptimize(lines);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(f.events.size()));
+}
+BENCHMARK(BM_LineDecoderSplit);
+
+void BM_LineDecoderSplitCopy(benchmark::State& state) {
+  const WireFixture& f = wire_fixture();
+  for (auto _ : state) {
+    serve::LineDecoder decoder;
+    decoder.feed(f.text);
+    std::size_t bytes = 0;
+    while (const auto line = decoder.next()) {
+      const std::string owned(line->text);  // the copy the API avoids
+      benchmark::DoNotOptimize(owned.data());
+      bytes += owned.size();
+    }
+    benchmark::DoNotOptimize(bytes);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(f.events.size()));
+}
+BENCHMARK(BM_LineDecoderSplitCopy);
+
+/// The hard acceptance gate (ISSUE 8): columnar binary decode must clear
+/// 3x the text parse in rows/s. Both measurements are best-of-7
+/// single-threaded passes over identical event content.
+int wire_format_gate() {
+  using Clock = std::chrono::steady_clock;
+  const WireFixture& f = wire_fixture();
+
+  const auto best_rate = [&](auto&& pass) {
+    // Calibrate repetitions so one sample spans >= ~50 ms, then take the
+    // fastest of 7 samples (minimum = least scheduler noise).
+    const Clock::time_point c0 = Clock::now();
+    std::size_t decoded = pass(f);
+    double est = std::chrono::duration<double>(Clock::now() - c0).count();
+    const std::size_t reps =
+        est > 0.0 ? static_cast<std::size_t>(0.05 / est) + 1 : 1;
+    double best = est > 0.0 ? est : 1e9;
+    for (int sample = 0; sample < 7; ++sample) {
+      const Clock::time_point t0 = Clock::now();
+      for (std::size_t i = 0; i < reps; ++i) {
+        decoded = pass(f);
+        benchmark::DoNotOptimize(decoded);
+      }
+      const double per_pass =
+          std::chrono::duration<double>(Clock::now() - t0).count() /
+          static_cast<double>(reps);
+      if (per_pass < best) best = per_pass;
+    }
+    if (decoded != f.events.size()) return 0.0;  // codec broke: fail loud
+    return static_cast<double>(f.events.size()) / best;
+  };
+
+  const double text_rows = best_rate(text_parse_pass);
+  const double binary_rows = best_rate(binary_decode_pass);
+  const double ratio = text_rows > 0.0 ? binary_rows / text_rows : 0.0;
+  std::cout << "{\"bench\":\"wire_format_gate\",\"rows\":"
+            << f.events.size() << ",\"text_rows_per_sec\":" << text_rows
+            << ",\"binary_rows_per_sec\":" << binary_rows
+            << ",\"ratio\":" << ratio << ",\"bar\":3.0}\n";
+  if (ratio < 3.0) {
+    std::cout << "FAILED: binary decode is " << ratio
+              << "x text parse (hard bar: 3x)\n";
+    return 1;
+  }
+  std::cout << "wire format gate passed: binary decode = " << ratio
+            << "x text parse (bar: 3x)\n";
+  return 0;
+}
+
 void BM_LevyTrackGeneration(benchmark::State& state) {
   mobility::LevyWalkModel m;
   m.name = "bench";
@@ -181,3 +363,13 @@ void BM_LevyTrackGeneration(benchmark::State& state) {
 BENCHMARK(BM_LevyTrackGeneration);
 
 }  // namespace
+
+// Custom main (instead of benchmark_main): the registered benchmarks run
+// first, then the wire format gate decides the exit status.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return wire_format_gate();
+}

@@ -1,14 +1,17 @@
 // Serve-layer throughput: run the daemon in-process, replay the primary
 // study through real sockets with the loadgen client, and report
 // end-to-end events/sec (serialize + TCP + parse + engine) over a
-// connections x reactors matrix — 8..64 connections at 1, 2 and 4
-// reactors. Emits one JSON line per configuration (with the core count:
-// the scaling numbers only mean something with real cores under them).
+// format x connections x reactors matrix — text and binary wire formats,
+// 8..64 connections at 1, 2 and 4 reactors. Emits one JSON line per
+// configuration (with the core count: the scaling numbers only mean
+// something with real cores under them).
 //
 // Gates: every measured configuration's final partition must equal the
-// batch pipeline's bit for bit (hard failure — reactors must be invisible
-// in the results); the 4-reactor rate should clear 2x the 1-reactor rate
-// and 5M events/s on loopback (warn-style: a 1-2 core CI box measures
+// batch pipeline's bit for bit (hard failure — neither reactors nor the
+// wire format may be visible in the results); the 4-reactor rate should
+// clear 2x the 1-reactor rate and 5M events/s on loopback, and the best
+// binary rate should clear 1.5x the best text rate (the text/binary bar
+// is hard at >= 5 cores, warn-style below — a 1-2 core CI box measures
 // scheduling, not the architecture).
 #include <atomic>
 #include <iomanip>
@@ -33,12 +36,13 @@ using namespace geovalid;
 struct Run {
   std::size_t connections = 0;
   std::size_t reactors = 0;
+  bool binary = false;
   serve::LoadgenStats loadgen;
   match::Partition partition;
 };
 
 Run run_once(const std::vector<stream::Event>& events,
-             std::size_t connections, std::size_t reactors) {
+             std::size_t connections, std::size_t reactors, bool binary) {
   serve::ServeConfig config;
   config.engine.shards = 4;
   config.reactors = reactors;
@@ -55,10 +59,12 @@ Run run_once(const std::vector<stream::Event>& events,
   lg.port = server.ingest_port();
   lg.http_port = server.http_port();
   lg.connections = connections;
+  lg.binary = binary;
 
   Run r;
   r.connections = connections;
   r.reactors = reactors;
+  r.binary = binary;
   r.loadgen = serve::run_loadgen(events, lg);
   // Quiesce: the drain answer means every record sent above is in the
   // verdicts (the server finishes reading the socket buffers first).
@@ -70,10 +76,11 @@ Run run_once(const std::vector<stream::Event>& events,
 }
 
 Run run_best(const std::vector<stream::Event>& events,
-             std::size_t connections, std::size_t reactors, int reps) {
-  Run best = run_once(events, connections, reactors);
+             std::size_t connections, std::size_t reactors, bool binary,
+             int reps) {
+  Run best = run_once(events, connections, reactors, binary);
   for (int i = 1; i < reps; ++i) {
-    Run r = run_once(events, connections, reactors);
+    Run r = run_once(events, connections, reactors, binary);
     if (r.loadgen.events_per_sec > best.loadgen.events_per_sec) {
       best = std::move(r);
     }
@@ -83,7 +90,8 @@ Run run_best(const std::vector<stream::Event>& events,
 
 void print_json(const Run& r, unsigned cores) {
   const auto& s = r.loadgen;
-  std::cout << "{\"bench\":\"serve_throughput\",\"connections\":"
+  std::cout << "{\"bench\":\"serve_throughput\",\"format\":\"" << s.format
+            << "\",\"connections\":"
             << r.connections << ",\"reactors\":" << r.reactors
             << ",\"cores\":" << cores
             << ",\"events_sent\":" << s.events_sent
@@ -91,7 +99,8 @@ void print_json(const Run& r, unsigned cores) {
             << ",\"send_seconds\":" << std::setprecision(6) << s.send_seconds
             << ",\"summary_latency_s\":" << s.summary_latency_s
             << ",\"events_per_sec\":" << std::setprecision(8)
-            << s.events_per_sec << "}\n";
+            << s.events_per_sec << ",\"encode_events_per_sec\":"
+            << s.encode_events_per_sec << "}\n";
 }
 
 bool partition_eq(const match::Partition& a, const match::Partition& b) {
@@ -127,27 +136,38 @@ int main() {
   const match::Partition batch =
       match::validate_dataset(batch_ds, {}, {}, 0).totals;
 
-  run_once(events, 8, 1);  // warm-up: page faults, listen-socket caches
+  run_once(events, 8, 1, false);  // warm-up: faults, listen-socket caches
+  run_once(events, 8, 1, true);
 
   // The matrix. The partition gate is hard on EVERY cell: byte-identical
-  // results are the whole point of the reactor rebuild.
+  // results are the whole point of the reactor rebuild, and the wire
+  // format must be just as invisible.
   bool partitions_ok = true;
   double best_r1 = 0.0;
   double best_r4 = 0.0;
-  for (const std::size_t reactors : {1u, 2u, 4u}) {
-    for (const std::size_t connections : {8u, 16u, 32u, 64u}) {
-      Run r = run_best(events, connections, reactors, 3);
-      print_json(r, cores);
-      if (!partition_eq(r.partition, batch)) {
-        partitions_ok = false;
-        std::cout << "PARTITION MISMATCH at connections=" << connections
-                  << " reactors=" << reactors << "\n";
-      }
-      if (reactors == 1 && r.loadgen.events_per_sec > best_r1) {
-        best_r1 = r.loadgen.events_per_sec;
-      }
-      if (reactors == 4 && r.loadgen.events_per_sec > best_r4) {
-        best_r4 = r.loadgen.events_per_sec;
+  double best_text = 0.0;
+  double best_binary = 0.0;
+  for (const bool binary : {false, true}) {
+    for (const std::size_t reactors : {1u, 2u, 4u}) {
+      for (const std::size_t connections : {8u, 16u, 32u, 64u}) {
+        Run r = run_best(events, connections, reactors, binary, 3);
+        print_json(r, cores);
+        if (!partition_eq(r.partition, batch)) {
+          partitions_ok = false;
+          std::cout << "PARTITION MISMATCH at format="
+                    << (binary ? "binary" : "text")
+                    << " connections=" << connections
+                    << " reactors=" << reactors << "\n";
+        }
+        const double rate = r.loadgen.events_per_sec;
+        if (!binary) {
+          // The reactor-scaling bars keep their original text baseline.
+          if (reactors == 1 && rate > best_r1) best_r1 = rate;
+          if (reactors == 4 && rate > best_r4) best_r4 = rate;
+          if (rate > best_text) best_text = rate;
+        } else if (rate > best_binary) {
+          best_binary = rate;
+        }
       }
     }
   }
@@ -180,6 +200,24 @@ int main() {
                                   " hardware threads)"
                             : "")
               << "\n";
+  }
+
+  // The format A/B: columnar frames skip the server's per-record text
+  // parse, so binary should beat text end to end once real cores carry
+  // the reactors. Hard at >= 5 cores, warn-style below (a starved box
+  // measures scheduling, not parsing).
+  const double ab = best_text > 0.0 ? best_binary / best_text : 0.0;
+  std::cout << "format A/B (best binary / best text): "
+            << std::setprecision(4) << ab
+            << "x (bar: 1.5x, hard at >= 5 cores)\n";
+  if (ab < 1.5) {
+    std::cout << (cores >= 5 ? "FAILED" : "WARNING")
+              << ": below the 1.5x binary-vs-text acceptance bar"
+              << (cores < 5 ? " (expected: only " + std::to_string(cores) +
+                                  " hardware threads)"
+                            : "")
+              << "\n";
+    if (cores >= 5) return 1;
   }
   return 0;
 }

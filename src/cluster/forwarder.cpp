@@ -2,6 +2,7 @@
 
 #include <sys/socket.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <utility>
 
@@ -31,46 +32,106 @@ bool Forwarder::enqueue(std::string_view line) {
   return true;
 }
 
-void Forwarder::flush() {
-  if (!healthy_) return;
-  while (off_ < buf_.size()) {
-    const ssize_t n = ::send(fd_.get(), buf_.data() + off_,
-                             buf_.size() - off_, MSG_NOSIGNAL);
+bool Forwarder::enqueue_frame(std::string_view frame, std::uint64_t records) {
+  if (!healthy_) {
+    dropped += records;
+    return false;
+  }
+  if (!bfd_.valid()) {
+    // Lazy second connection: the backend negotiates per connection from
+    // the first byte, so binary frames need their own socket — the frame
+    // magic 0xB1 the first flush sends is the negotiation.
+    try {
+      bfd_ = serve::tcp_connect(addr_.host, addr_.ingest_port);
+      serve::set_nonblocking(bfd_.get());
+    } catch (const serve::NetError&) {
+      bfd_.reset();
+      dropped += records;
+      return false;
+    }
+  }
+  forwarded += records;
+  bbuf_.append(frame.data(), frame.size());
+  bframes_.push_back(PendingFrame{frame.size(), records});
+  return true;
+}
+
+/// Non-blocking send of one channel's pending bytes. Returns false on a
+/// fatal socket error (EPIPE/ECONNRESET/anything unexpected) — the caller
+/// marks the whole forwarder down; a backend that lost one channel has
+/// lost the process behind both.
+bool Forwarder::flush_channel(serve::Fd& fd, std::string& buf,
+                              std::size_t& off) {
+  while (off < buf.size()) {
+    const ssize_t n = ::send(fd.get(), buf.data() + off, buf.size() - off,
+                             MSG_NOSIGNAL);
     if (n > 0) {
-      off_ += static_cast<std::size_t>(n);
+      off += static_cast<std::size_t>(n);
+      if (&buf == &bbuf_) {
+        // Credit sent bytes against the oldest pending frames, so
+        // mark_down() knows which frames still have bytes at risk.
+        std::size_t sent = static_cast<std::size_t>(n);
+        while (sent > 0 && !bframes_.empty()) {
+          PendingFrame& f = bframes_.front();
+          const std::size_t take = std::min(sent, f.bytes_left);
+          f.bytes_left -= take;
+          sent -= take;
+          if (f.bytes_left == 0) bframes_.pop_front();
+        }
+      }
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
     if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  if (off == buf.size()) {
+    buf.clear();
+    off = 0;
+  } else if (off > 256 * 1024) {
+    buf.erase(0, off);
+    off = 0;
+  }
+  return true;
+}
+
+void Forwarder::flush() {
+  if (!healthy_) return;
+  if (!flush_channel(fd_, buf_, off_)) {
     // EPIPE/ECONNRESET (backend gone) and anything else: down. The
     // router counts the loss and surfaces it via cluster_* metrics; the
     // rebalance path recovers the shard.
     mark_down();
     return;
   }
-  if (off_ == buf_.size()) {
-    buf_.clear();
-    off_ = 0;
-  } else if (off_ > 256 * 1024) {
-    buf_.erase(0, off_);
-    off_ = 0;
+  if (bfd_.valid() && boff_ < bbuf_.size()) {
+    if (!flush_channel(bfd_, bbuf_, boff_)) mark_down();
   }
 }
 
 void Forwarder::close() {
   fd_.reset();
+  bfd_.reset();
   healthy_ = false;
   buf_.clear();
   off_ = 0;
+  bbuf_.clear();
+  boff_ = 0;
+  bframes_.clear();
 }
 
 void Forwarder::mark_down() {
   // Buffered bytes are whole records plus possibly a partial record the
   // kernel accepted half of; either way the backend connection is gone,
-  // so everything still queued is lost. Count records conservatively by
-  // newlines remaining in the buffer.
+  // so everything still queued is lost. Count text records conservatively
+  // by newlines remaining in the buffer; binary frames by their pending
+  // accounting (a partially-sent frame loses all its records — the
+  // backend dead-letters the half-frame as truncated).
   for (std::size_t i = off_; i < buf_.size(); ++i) {
     if (buf_[i] == '\n') ++dropped;
+  }
+  for (const PendingFrame& f : bframes_) {
+    if (f.bytes_left > 0) dropped += f.records;
   }
   close();
 }

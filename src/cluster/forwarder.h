@@ -16,9 +16,20 @@
 // rebalance path (docs/CLUSTER.md): replace() points the forwarder at a
 // resumed replacement process, and router-level replay accounting makes
 // client re-sends exactly-once.
+//
+// Binary ingest rides a second, lazily-opened connection per backend: the
+// serve daemon negotiates text vs. binary per connection from the first
+// byte, so one socket can never carry both formats. The text channel
+// stays exactly as it was; enqueue_frame() opens the binary channel on
+// first use (its first byte, the frame magic 0xB1, is the negotiation).
+// Per-user ordering is safe across the pair because a client connection
+// speaks one format for its lifetime, so any given user's records travel
+// one channel per run. Both channels share the health state and the
+// buffered()/flush()/close() discipline.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <string>
 #include <string_view>
 
@@ -48,9 +59,17 @@ class Forwarder {
 
   [[nodiscard]] const BackendAddr& addr() const { return addr_; }
   [[nodiscard]] int fd() const { return fd_.get(); }
-  [[nodiscard]] std::size_t buffered() const { return buf_.size() - off_; }
+  /// The binary channel's socket; -1 until the first enqueue_frame().
+  [[nodiscard]] int binary_fd() const { return bfd_.get(); }
+  /// Pending bytes across both channels (the backpressure signal).
+  [[nodiscard]] std::size_t buffered() const {
+    return (buf_.size() - off_) + (bbuf_.size() - boff_);
+  }
   [[nodiscard]] bool wants_write() const {
-    return healthy_ && buffered() > 0;
+    return healthy_ && (buf_.size() - off_) > 0;
+  }
+  [[nodiscard]] bool wants_binary_write() const {
+    return healthy_ && bfd_.valid() && (bbuf_.size() - boff_) > 0;
   }
 
   /// Queues one wire record (`line` without its newline; the forwarder
@@ -58,7 +77,13 @@ class Forwarder {
   /// counts the record as dropped when the forwarder is down.
   bool enqueue(std::string_view line);
 
-  /// Sends as much of the buffer as the socket accepts right now.
+  /// Queues one complete binary frame (raw bytes, no delimiter) carrying
+  /// `records` records, opening the binary channel on first use. Returns
+  /// true when queued; returns false and counts all `records` as dropped
+  /// when the forwarder is down or the channel cannot connect.
+  bool enqueue_frame(std::string_view frame, std::uint64_t records);
+
+  /// Sends as much of both buffers as the sockets accept right now.
   /// EPIPE/ECONNRESET marks the forwarder down and drops the remainder.
   void flush();
 
@@ -78,10 +103,24 @@ class Forwarder {
   std::uint64_t dropped = 0;    ///< records lost while down
 
  private:
+  /// One enqueued-but-unsent frame on the binary channel; a frame with
+  /// bytes still pending at mark_down() loses all its records (a backend
+  /// receiving a half-frame dead-letters it as truncated anyway).
+  struct PendingFrame {
+    std::size_t bytes_left = 0;
+    std::uint64_t records = 0;
+  };
+
+  bool flush_channel(serve::Fd& fd, std::string& buf, std::size_t& off);
+
   BackendAddr addr_;
   serve::Fd fd_;
   std::string buf_;
   std::size_t off_ = 0;
+  serve::Fd bfd_;      ///< binary channel, opened on first enqueue_frame()
+  std::string bbuf_;
+  std::size_t boff_ = 0;
+  std::deque<PendingFrame> bframes_;  ///< unsent-byte accounting per frame
   bool healthy_ = false;
 };
 

@@ -9,6 +9,7 @@
 #include <cstring>
 #include <stdexcept>
 #include <utility>
+#include <variant>
 
 #include "cluster/aggregate.h"
 #include "obs/export.h"
@@ -37,9 +38,13 @@ constexpr std::size_t kFlushChunkBytes = 64 * 1024;
 constexpr int kControlFlushDeadlineMs = 30'000;
 
 /// conn_of_pollfd sentinels (connection indices are always far below).
+/// Each forwarder can contribute two pollfds: its text channel (tagged
+/// from kForwarderBase) and its lazily-opened binary channel (tagged from
+/// kForwarderBinBase, a disjoint range below the text one).
 constexpr std::size_t kIngestListener = SIZE_MAX;
 constexpr std::size_t kHttpListener = SIZE_MAX - 1;
 constexpr std::size_t kForwarderBase = SIZE_MAX / 2;
+constexpr std::size_t kForwarderBinBase = SIZE_MAX / 4;
 
 /// The fixed route vocabulary of cluster_http_requests_total{route=...}.
 constexpr const char* kRouteLabels[] = {
@@ -109,12 +114,19 @@ void append_json_string_array(std::string& out,
 /// One accepted socket, either protocol — serve's Conn, verbatim
 /// discipline: queued response bytes drip out under POLLOUT.
 struct Router::Conn {
+  /// Wire format of an ingest connection, decided by its first byte
+  /// (serve/wire.h negotiation rule: 0xB1 = binary, anything else =
+  /// text) and fixed for the connection's lifetime.
+  enum class WireMode : std::uint8_t { kUndecided, kText, kBinary };
+
   Fd fd;
   bool is_http = false;
   bool dead = false;
   bool close_after_write = false;
   bool awaiting_drain = false;
+  WireMode mode = WireMode::kUndecided;
   serve::LineDecoder decoder;
+  serve::BinaryFrameDecoder frame_decoder;
   HttpRequestParser parser;
   std::string wbuf;
   std::size_t woff = 0;
@@ -163,6 +175,7 @@ Router::Router(RouteConfig config)
     ring_.add_backend(b.name);  // rejects duplicates
     forwarders_.push_back(std::make_unique<Forwarder>(b));
   }
+  route_scratch_.resize(forwarders_.size());
   quarantine_.emplace(config_.quarantine);
   if (config_.metrics) register_metrics();
 }
@@ -304,8 +317,56 @@ void Router::process_ingest_line(std::string_view text, bool truncated) {
   // folds it into stats and the per-backend counter.
 }
 
+void Router::process_ingest_frame(serve::BinaryFrameDecoder::Frame& frame) {
+  // Same per-record epoch discipline as the text path — the frame is just
+  // a denser envelope. Events that survive the replay skip are bucketed
+  // by ring owner; each touched backend then gets exactly one re-encoded
+  // sub-frame on its binary channel.
+  for (auto& bucket : route_scratch_) bucket.clear();
+  for (const stream::Event& e : frame.events) {
+    const std::uint64_t arrived = ++arrived_[e.user];
+    if (arrived <= covered_count(e.user)) {
+      ++stats_.records_replayed;
+      if (metrics_) metrics_->rec_replayed->inc();
+      continue;
+    }
+    route_scratch_[ring_.owner_index(e.user)].push_back(e);
+  }
+  for (std::size_t owner = 0; owner < route_scratch_.size(); ++owner) {
+    const std::vector<stream::Event>& bucket = route_scratch_[owner];
+    if (bucket.empty()) continue;
+    frame_scratch_.clear();
+    serve::append_binary_frame(frame_scratch_, bucket);
+    Forwarder& f = *forwarders_[owner];
+    if (f.enqueue_frame(frame_scratch_, bucket.size())) {
+      for (const stream::Event& e : bucket) ++sent_[e.user];
+      stats_.records_forwarded += bucket.size();
+      if (metrics_) {
+        metrics_->rec_forwarded->inc(bucket.size());
+        metrics_->fwd_records[owner]->inc(bucket.size());
+      }
+      if (f.buffered() >= kFlushChunkBytes) f.flush();
+    }
+    // A down owner counted the drop inside enqueue_frame(); the gauge
+    // reconciliation folds it into stats, exactly like the text path.
+  }
+}
+
+void Router::process_frame_error(const serve::FrameError& error) {
+  // One rejected frame = one malformed ingest record: its claimed record
+  // count is exactly what cannot be trusted.
+  ++stats_.records_malformed;
+  if (metrics_) metrics_->rec_malformed->inc();
+  quarantine_->record_raw(error.detail,
+                          stream::QuarantineReason::kMalformedFrame);
+}
+
 void Router::handle_ingest_eof(Conn& c) {
-  if (const auto fragment = c.decoder.finish()) {
+  if (c.mode == Conn::WireMode::kBinary) {
+    if (const auto err = c.frame_decoder.finish()) {
+      process_frame_error(*err);
+    }
+  } else if (const auto fragment = c.decoder.finish()) {
     process_ingest_line(fragment->text, true);
   }
   c.dead = true;
@@ -352,9 +413,30 @@ void Router::handle_read(Conn& c) {
         return;
       }
     } else {
-      c.decoder.feed(chunk);
-      while (auto line = c.decoder.next()) {
-        process_ingest_line(line->text, line->truncated);
+      if (c.mode == Conn::WireMode::kUndecided) {
+        // serve/wire.h negotiation: the first byte of the connection
+        // picks the format for its lifetime. 0xB1 cannot start a text
+        // record, so the dispatch is unambiguous.
+        c.mode = (static_cast<unsigned char>(chunk.front()) ==
+                  serve::kFrameMagic0)
+                     ? Conn::WireMode::kBinary
+                     : Conn::WireMode::kText;
+      }
+      if (c.mode == Conn::WireMode::kBinary) {
+        c.frame_decoder.feed(chunk);
+        while (auto result = c.frame_decoder.next()) {
+          if (auto* frame =
+                  std::get_if<serve::BinaryFrameDecoder::Frame>(&*result)) {
+            process_ingest_frame(*frame);
+          } else {
+            process_frame_error(std::get<serve::FrameError>(*result));
+          }
+        }
+      } else {
+        c.decoder.feed(chunk);
+        while (auto line = c.decoder.next()) {
+          process_ingest_line(line->text, line->truncated);
+        }
       }
     }
   }
@@ -567,6 +649,16 @@ void Router::handle_replace(const std::string& name,
   // name reset to zero — the replacement's own checkpoint-resume skip
   // deduplicates whatever its restored snapshot already covers. Clients
   // must now re-send their full traces (docs/CLUSTER.md runbook).
+  //
+  // Sever every ingest connection first: bytes still queued on them
+  // (kernel buffers, half-decoded lines or frames) are deliveries of the
+  // epoch being invalidated. Interpreting them under the cleared arrival
+  // table would re-forward an arbitrary mid-trace suffix as if it were a
+  // fresh prefix and corrupt the replacement's resume skip — the exact
+  // at-least-once hole the re-send protocol exists to close.
+  for (const auto& conn : conns_) {
+    if (!conn->is_http) conn->dead = true;
+  }
   for (const auto& [user, sent] : sent_) covered_[user] += sent;
   std::uint64_t reset_users = 0;
   for (auto& [user, cov] : covered_) {
@@ -711,7 +803,11 @@ void Router::sweep_idle(Clock::time_point now) {
     if (conn->dead) continue;
     if (now - conn->last_activity > timeout) {
       if (!conn->is_http) {
-        if (const auto fragment = conn->decoder.finish()) {
+        if (conn->mode == Conn::WireMode::kBinary) {
+          if (const auto err = conn->frame_decoder.finish()) {
+            process_frame_error(*err);
+          }
+        } else if (const auto fragment = conn->decoder.finish()) {
           process_ingest_line(fragment->text, true);
         }
       }
@@ -742,7 +838,7 @@ bool Router::flush_all_blocking(int deadline_ms) {
       Clock::now() + std::chrono::milliseconds(deadline_ms);
   bool all = true;
   for (const auto& f : forwarders_) {
-    while (f->wants_write()) {
+    while (f->wants_write() || f->wants_binary_write()) {
       const auto remaining =
           std::chrono::duration_cast<std::chrono::milliseconds>(
               deadline - Clock::now())
@@ -752,8 +848,13 @@ bool Router::flush_all_blocking(int deadline_ms) {
         all = false;
         break;
       }
-      pollfd p{f->fd(), POLLOUT, 0};
-      if (::poll(&p, 1, static_cast<int>(remaining)) < 0 &&
+      pollfd ps[2];
+      nfds_t nfds = 0;
+      if (f->wants_write()) ps[nfds++] = {f->fd(), POLLOUT, 0};
+      if (f->wants_binary_write()) {
+        ps[nfds++] = {f->binary_fd(), POLLOUT, 0};
+      }
+      if (::poll(ps, nfds, static_cast<int>(remaining)) < 0 &&
           errno != EINTR) {
         f->mark_down();
         all = false;
@@ -872,11 +973,18 @@ RouteStats Router::run(const std::atomic<bool>* stop) {
       const Forwarder& f = *forwarders_[i];
       if (!f.healthy()) continue;
       // POLLIN watches for the backend closing its end (drain/death);
-      // POLLOUT drains the queue.
+      // POLLOUT drains the queue. The binary channel, once open, gets
+      // the same treatment under its own sentinel range.
       short events = POLLIN;
       if (f.wants_write()) events |= POLLOUT;
       pollfds.push_back({f.fd(), events, 0});
       conn_of_pollfd.push_back(kForwarderBase + i);
+      if (f.binary_fd() >= 0) {
+        short bin_events = POLLIN;
+        if (f.wants_binary_write()) bin_events |= POLLOUT;
+        pollfds.push_back({f.binary_fd(), bin_events, 0});
+        conn_of_pollfd.push_back(kForwarderBinBase + i);
+      }
     }
     for (std::size_t i = 0; i < conns_.size(); ++i) {
       const Conn& c = *conns_[i];
@@ -906,18 +1014,23 @@ RouteStats Router::run(const std::atomic<bool>* stop) {
         accept_ready(http_listener_, /*is_http=*/true);
         continue;
       }
-      if (tag >= kForwarderBase) {
-        Forwarder& f = *forwarders_[tag - kForwarderBase];
+      if (tag >= kForwarderBinBase) {
+        const bool binary = tag < kForwarderBase;
+        Forwarder& f = *forwarders_[binary ? tag - kForwarderBinBase
+                                           : tag - kForwarderBase];
         if (!f.healthy()) continue;
         if ((pollfds[i].revents & (POLLERR | POLLNVAL | POLLHUP)) != 0) {
           f.mark_down();
           continue;
         }
         if ((pollfds[i].revents & POLLIN) != 0) {
-          // The backend never sends on its ingest socket; readable here
-          // means EOF or reset.
+          // The backend never sends on its ingest sockets; readable here
+          // means EOF or reset (either channel — one dead channel means
+          // the process behind both is gone).
           char probe[256];
-          const ssize_t n = ::recv(f.fd(), probe, sizeof(probe), 0);
+          const ssize_t n =
+              ::recv(binary ? f.binary_fd() : f.fd(), probe, sizeof(probe),
+                     0);
           if (n == 0 || (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
                          errno != EINTR)) {
             f.mark_down();

@@ -1,16 +1,25 @@
 // The geovalid route daemon: a single-threaded poll() event loop that
 // fronts N independent `geovalid serve` backends (docs/CLUSTER.md).
 //
-// Data plane: ingest clients speak the same line-delimited wire protocol
-// as serve (serve/wire.h). The router extracts only the *routing key*
-// from each line — the verb and the user id, the first two fields —
-// picks the owning backend on a consistent-hash ring (cluster/ring.h),
-// and forwards the raw bytes verbatim over a persistent per-backend TCP
-// connection (cluster/forwarder.h). Full parsing and validation stay on
-// the backends; that asymmetry is what lets one router outrun one serve
+// Data plane: ingest clients speak either serve wire format, negotiated
+// per connection from the first byte exactly as serve does (serve/wire.h).
+// Text: the router extracts only the *routing key* from each line — the
+// verb and the user id, the first two fields — picks the owning backend
+// on a consistent-hash ring (cluster/ring.h), and forwards the raw bytes
+// verbatim over a persistent per-backend TCP connection
+// (cluster/forwarder.h). Full parsing and validation stay on the
+// backends; that asymmetry is what lets one router outrun one serve
 // process, whose ceiling is single-threaded record parsing. Lines whose
 // routing key cannot be extracted dead-letter at the router through the
 // usual quarantine path.
+//
+// Binary frames carry many users' records in one columnar unit, so
+// verbatim forwarding cannot shard them: the router decodes each frame,
+// runs the same per-record epoch accounting as the text path, partitions
+// the surviving events by ring owner and re-encodes one sub-frame per
+// backend (serve/wire.h append_binary_frame), queued on the forwarder's
+// dedicated binary channel. Frames the codec rejects dead-letter here as
+// `malformed_frame` with the same hex-prefix detail serve uses.
 //
 // Control plane: merged or fanned-out views over the backends' own
 // endpoints — /healthz (router liveness), /readyz (every backend ready),
@@ -127,6 +136,13 @@ class Router {
   void handle_read(Conn& c);
   void handle_ingest_eof(Conn& c);
   void process_ingest_line(std::string_view text, bool truncated);
+  /// One decoded binary frame: per-record epoch accounting, then the
+  /// surviving events are partitioned by ring owner, re-encoded as one
+  /// sub-frame per backend and queued on the binary channels.
+  void process_ingest_frame(serve::BinaryFrameDecoder::Frame& frame);
+  /// One rejected binary frame: counted as a single malformed record and
+  /// dead-lettered (hex-prefix detail) as `malformed_frame`.
+  void process_frame_error(const serve::FrameError& error);
   void route_request(Conn& c);
   void flush_write(Conn& c);
   void sweep_idle(Clock::time_point now);
@@ -175,6 +191,12 @@ class Router {
   std::unordered_map<trace::UserId, std::uint64_t> arrived_;
   std::unordered_map<trace::UserId, std::uint64_t> covered_;
   std::unordered_map<trace::UserId, std::uint64_t> sent_;
+
+  /// Reused per-frame partition scratch: one event bucket per backend
+  /// (ring order) plus the re-encode buffer — no allocation per frame
+  /// once warm.
+  std::vector<std::vector<stream::Event>> route_scratch_;
+  std::string frame_scratch_;
 
   bool drain_requested_ = false;
   bool drain_done_ = false;

@@ -1,5 +1,6 @@
 #include "serve/client.h"
 
+#include <algorithm>
 #include <charconv>
 #include <chrono>
 #include <thread>
@@ -17,9 +18,16 @@ using Clock = std::chrono::steady_clock;
 /// small enough that pacing (when enabled) stays smooth.
 constexpr std::size_t kChunkBytes = 64 * 1024;
 
+/// Records per binary frame (and per unpaced text encode batch). Well
+/// under wire.h's kMaxFrameRecords; also the encode-timing granularity —
+/// clocking per batch keeps the timer out of the per-event hot path so
+/// encode_events_per_sec measures serialization, not clock calls.
+constexpr std::size_t kFrameRecords = 512;
+
 struct ConnResult {
   std::uint64_t events = 0;
   std::uint64_t bytes = 0;
+  double encode_seconds = 0.0;  ///< time inside encode calls only
   bool failed = false;          ///< peer vanished mid-replay
   bool connect_failed = false;  ///< connection refused / unreachable
 };
@@ -58,9 +66,29 @@ ConnResult replay_connection(const LoadgenConfig& config,
     return true;
   };
 
-  for (const stream::Event& e : events) {
-    append_wire_record(chunk, e);
-    ++result.events;
+  // Paced text keeps its original per-event granularity so --rate
+  // behaves identically with and without the A/B changes; binary frames
+  // and unpaced text encode (and pace) in kFrameRecords batches unless
+  // the config asks for smaller frames.
+  const std::size_t frame_records =
+      config.frame_records == 0
+          ? kFrameRecords
+          : std::min(config.frame_records, kFrameRecords);
+  const std::size_t batch_records =
+      (!config.binary && paced) ? 1 : frame_records;
+  for (std::size_t base = 0; base < events.size(); base += batch_records) {
+    const std::size_t count =
+        std::min(batch_records, events.size() - base);
+    const std::span<const stream::Event> batch(events.data() + base, count);
+    const Clock::time_point t0 = Clock::now();
+    if (config.binary) {
+      append_binary_frame(chunk, batch);
+    } else {
+      for (const stream::Event& e : batch) append_wire_record(chunk, e);
+    }
+    result.encode_seconds +=
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    result.events += count;
     if (chunk.size() >= kChunkBytes) {
       if (!flush()) return result;
     }
@@ -92,6 +120,7 @@ LoadgenStats run_loadgen(std::span<const stream::Event> events,
   LoadgenStats stats;
   const std::size_t n = std::max<std::size_t>(1, config.connections);
   stats.connections = n;
+  stats.format = config.binary ? "binary" : "text";
 
   // Stable per-user partition: a user's records always ride the same
   // connection, in trace order.
@@ -114,15 +143,21 @@ LoadgenStats run_loadgen(std::span<const stream::Event> events,
   }
   stats.send_seconds =
       std::chrono::duration<double>(Clock::now() - start).count();
+  double encode_seconds = 0.0;
   for (const ConnResult& r : results) {
     stats.events_sent += r.events;
     stats.bytes_sent += r.bytes;
+    encode_seconds += r.encode_seconds;
     if (r.failed) ++stats.failed_connections;
     if (r.connect_failed) ++stats.connect_failures;
   }
   if (stats.send_seconds > 0.0) {
     stats.events_per_sec =
         static_cast<double>(stats.events_sent) / stats.send_seconds;
+  }
+  if (encode_seconds > 0.0) {
+    stats.encode_events_per_sec =
+        static_cast<double>(stats.events_sent) / encode_seconds;
   }
 
   if (config.http_port != 0) {
@@ -153,7 +188,9 @@ LoadgenStats run_loadgen(std::span<const stream::Event> events,
 std::string to_json(const LoadgenStats& stats) {
   std::string out = "{\"connections\":";
   out += std::to_string(stats.connections);
-  out += ",\"events_sent\":";
+  out += ",\"format\":\"";
+  out += stats.format;
+  out += "\",\"events_sent\":";
   out += std::to_string(stats.events_sent);
   out += ",\"bytes_sent\":";
   out += std::to_string(stats.bytes_sent);
@@ -161,6 +198,8 @@ std::string to_json(const LoadgenStats& stats) {
   append_json_number(out, stats.send_seconds);
   out += ",\"events_per_sec\":";
   append_json_number(out, stats.events_per_sec);
+  out += ",\"encode_events_per_sec\":";
+  append_json_number(out, stats.encode_events_per_sec);
   out += ",\"failed_connections\":";
   out += std::to_string(stats.failed_connections);
   out += ",\"connect_failures\":";

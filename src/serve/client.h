@@ -23,14 +23,29 @@ struct LoadgenConfig {
   std::size_t connections = 1;
   /// Per-connection pacing in events/s; 0 = full speed.
   double rate_events_per_sec = 0.0;
+  /// Replay in the columnar binary frame format (serve/wire.h) instead
+  /// of text lines. The server negotiates per connection from the first
+  /// byte, so no flag or handshake travels on the wire.
+  bool binary = false;
+  /// Records per binary frame (0 = the 512-record default; capped there
+  /// too). Smaller frames trade throughput for delivery granularity —
+  /// a feeder that must bound how many records sit in one undecoded
+  /// frame, or a test that needs server-side progress in fine steps,
+  /// lowers this.
+  std::size_t frame_records = 0;
 };
 
 struct LoadgenStats {
   std::size_t connections = 0;
+  std::string format = "text";  ///< wire format replayed: text | binary
   std::uint64_t events_sent = 0;
   std::uint64_t bytes_sent = 0;
   double send_seconds = 0.0;  ///< first send to last connection closed
   double events_per_sec = 0.0;
+  /// Client-side serialization throughput (events per second spent in
+  /// encode calls, summed across connections, socket time excluded) —
+  /// the format A/B's sender-cost axis.
+  double encode_events_per_sec = 0.0;
   std::size_t failed_connections = 0;  ///< peer vanished mid-replay (EPIPE)
   std::size_t connect_failures = 0;    ///< never connected (ECONNREFUSED)
 

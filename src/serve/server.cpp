@@ -106,13 +106,21 @@ std::string user_verdicts_json(const stream::UserVerdicts& v) {
 /// Response bytes queue in `wbuf` and drip out under POLLOUT, so a slow
 /// reader never blocks its reactor.
 struct Server::Conn {
+  /// Ingest wire format, decided by the connection's first byte: 0xB1 (no
+  /// text record can start with it) selects binary frames for the
+  /// connection's lifetime, anything else the text grammar — existing
+  /// clients never see a difference.
+  enum class WireMode : std::uint8_t { kUndecided, kText, kBinary };
+
   Fd fd;
   bool is_http = false;
   bool dead = false;
   bool close_after_write = false;
   bool awaiting_drain = false;  ///< /admin/drain caller; answered once the
                                 ///< ingest side has quiesced
+  WireMode mode = WireMode::kUndecided;
   LineDecoder decoder;
+  BinaryFrameDecoder frame_decoder;
   HttpRequestParser parser;
   std::string wbuf;
   std::size_t woff = 0;
@@ -131,6 +139,9 @@ struct Server::Reactor {
   std::size_t index = 0;
   std::vector<std::unique_ptr<Conn>> conns;
   stream::StreamEngine::Producer producer;
+  /// Reusable per-frame scratch: the non-replayed slice of a decoded
+  /// binary frame, handed to the engine in one stage_batch call.
+  std::vector<stream::Event> frame_scratch;
 
   obs::Counter* m_events = nullptr;       ///< serve_reactor_events_total
   obs::Counter* m_connections = nullptr;  ///< serve_reactor_connections_total
@@ -158,6 +169,13 @@ struct Server::Metrics {
   obs::Gauge* ingest_lag = nullptr;
   obs::Counter* idle_timeouts = nullptr;
   obs::Counter* accept_backpressure = nullptr;
+  obs::Counter* wire_frames = nullptr;       ///< serve_wire_frames_total
+  obs::Counter* wire_bytes_text = nullptr;   ///< serve_wire_bytes_total
+  obs::Counter* wire_bytes_binary = nullptr;
+  obs::Histogram* wire_batch_records = nullptr;
+  /// serve_wire_malformed_frames_total{reason=...}, indexed by
+  /// FrameErrorKind — the vocabulary is fixed and pre-registered.
+  std::array<obs::Counter*, kFrameErrorKindCount> wire_malformed{};
 
   /// serve_http_requests_total{route,status}; statuses appear lazily, the
   /// route vocabulary is fixed (kRouteLabels).
@@ -235,6 +253,27 @@ void Server::register_metrics() {
       "serve_accept_backpressure_total",
       "Times the listeners left the poll set because the connection cap "
       "was reached (new clients wait in the kernel backlog)");
+  m.wire_frames = &r.counter(
+      "serve_wire_frames_total",
+      "Binary wire frames decoded and applied to the ingest path");
+  static constexpr std::string_view kWireBytesHelp =
+      "Ingest bytes received, by negotiated wire format";
+  m.wire_bytes_text = &r.counter("serve_wire_bytes_total", kWireBytesHelp,
+                                 {{"format", "text"}});
+  m.wire_bytes_binary = &r.counter("serve_wire_bytes_total", kWireBytesHelp,
+                                   {{"format", "binary"}});
+  m.wire_batch_records = &r.histogram(
+      "serve_wire_batch_records",
+      "Records per decoded binary frame (columnar batch size)");
+  // Pre-register every frame rejection reason, mirroring the quarantine
+  // counters: absence means "no binary ingest", not "no rejects".
+  for (std::size_t i = 0; i < kFrameErrorKindCount; ++i) {
+    m.wire_malformed[i] = &r.counter(
+        "serve_wire_malformed_frames_total",
+        "Binary wire frames rejected and dead-lettered, by reason",
+        {{"reason",
+          std::string(to_string(static_cast<FrameErrorKind>(i)))}});
+  }
   // Pre-register the fixed route vocabulary with the success status, so a
   // scrape (and the obs-docs test) sees the family before any request.
   for (const char* route : kRouteLabels) m.http_requests(route, 200);
@@ -432,8 +471,73 @@ void Server::process_ingest_line(Reactor& r, std::string_view text,
   }
 }
 
+void Server::process_ingest_frame(Reactor& r,
+                                  BinaryFrameDecoder::Frame& frame) {
+  const std::uint64_t count = frame.events.size();
+  const std::uint64_t parsed =
+      records_parsed_.fetch_add(count, std::memory_order_relaxed) + count;
+  if (r.m_events != nullptr) r.m_events->inc(count);
+  if (metrics_) {
+    metrics_->wire_frames->inc();
+    metrics_->wire_batch_records->observe(count);
+  }
+
+  // Coverage first, record by record (the exactly-once replay skip is
+  // per-user, per-record), then the survivors reach the engine as one
+  // columnar batch — a single stage_batch handoff per frame.
+  r.frame_scratch.clear();
+  std::uint64_t replayed = 0;
+  for (const stream::Event& e : frame.events) {
+    if (arrive(e.user) <= resumed_count(e.user)) {
+      ++replayed;
+    } else {
+      r.frame_scratch.push_back(e);
+    }
+  }
+  if (replayed > 0) {
+    records_replayed_.fetch_add(replayed, std::memory_order_relaxed);
+    if (metrics_) metrics_->records_replayed->inc(replayed);
+  }
+  if (!r.frame_scratch.empty()) {
+    const std::uint64_t applied = r.frame_scratch.size();
+    // stage_batch may block on engine backpressure, exactly like push():
+    // TCP receive buffers fill and the feed slows to what the shards
+    // sustain.
+    routed_.fetch_add(r.producer.stage_batch(r.frame_scratch),
+                      std::memory_order_relaxed);
+    cursor_.fetch_add(applied, std::memory_order_relaxed);
+    records_since_checkpoint_.fetch_add(applied, std::memory_order_relaxed);
+    records_applied_.fetch_add(applied, std::memory_order_relaxed);
+    if (metrics_) metrics_->records_applied->inc(applied);
+  }
+  if (config_.crash_after_records != 0 &&
+      parsed >= config_.crash_after_records) {
+    crash_pending_.store(true, std::memory_order_relaxed);
+  }
+}
+
+void Server::process_frame_error(const FrameError& error) {
+  // One rejected frame counts as one malformed ingest record (its claimed
+  // record count is exactly what cannot be trusted).
+  records_malformed_.fetch_add(1, std::memory_order_relaxed);
+  if (metrics_) {
+    metrics_->records_malformed->inc();
+    metrics_->wire_malformed[static_cast<std::size_t>(error.kind)]->inc();
+  }
+  // The detail is already printable (reason + byte count + hex prefix) —
+  // raw frame bytes never reach the dead-letter CSV.
+  quarantine_->record_raw(error.detail,
+                          stream::QuarantineReason::kMalformedFrame);
+}
+
 void Server::handle_ingest_eof(Reactor& r, Conn& c) {
-  if (const auto fragment = c.decoder.finish()) {
+  if (c.mode == Conn::WireMode::kBinary) {
+    if (const auto error = c.frame_decoder.finish()) {
+      // Abrupt mid-frame disconnect: the incomplete tail is dead-lettered,
+      // never half-decoded into the engine.
+      process_frame_error(*error);
+    }
+  } else if (const auto fragment = c.decoder.finish()) {
     // Abrupt mid-record disconnect: the unterminated tail is dead-lettered,
     // never half-parsed into the engine.
     process_ingest_line(r, fragment->text, true);
@@ -487,10 +591,33 @@ void Server::handle_read(Reactor& r, Conn& c) {
         return;
       }
     } else {
-      c.decoder.feed(chunk);
-      while (auto line = c.decoder.next()) {
-        process_ingest_line(r, line->text, line->truncated);
-        if (crash_pending_.load(std::memory_order_relaxed)) return;
+      if (c.mode == Conn::WireMode::kUndecided) {
+        c.mode = static_cast<unsigned char>(chunk.front()) == kFrameMagic0
+                     ? Conn::WireMode::kBinary
+                     : Conn::WireMode::kText;
+      }
+      if (c.mode == Conn::WireMode::kBinary) {
+        if (metrics_) {
+          metrics_->wire_bytes_binary->inc(static_cast<std::uint64_t>(n));
+        }
+        c.frame_decoder.feed(chunk);
+        while (auto result = c.frame_decoder.next()) {
+          if (auto* frame = std::get_if<BinaryFrameDecoder::Frame>(&*result)) {
+            process_ingest_frame(r, *frame);
+          } else {
+            process_frame_error(std::get<FrameError>(*result));
+          }
+          if (crash_pending_.load(std::memory_order_relaxed)) return;
+        }
+      } else {
+        if (metrics_) {
+          metrics_->wire_bytes_text->inc(static_cast<std::uint64_t>(n));
+        }
+        c.decoder.feed(chunk);
+        while (auto line = c.decoder.next()) {
+          process_ingest_line(r, line->text, line->truncated);
+          if (crash_pending_.load(std::memory_order_relaxed)) return;
+        }
       }
     }
   }
@@ -672,9 +799,13 @@ void Server::sweep_idle(Reactor& r, Clock::time_point now) {
     if (conn->dead) continue;
     if (now - conn->last_activity > timeout) {
       if (!conn->is_http) {
-        // Whatever half-line the idle client left behind is dead-lettered,
-        // exactly as if it had disconnected mid-record.
-        if (const auto fragment = conn->decoder.finish()) {
+        // Whatever half-line (or half-frame) the idle client left behind
+        // is dead-lettered, exactly as if it had disconnected mid-record.
+        if (conn->mode == Conn::WireMode::kBinary) {
+          if (const auto error = conn->frame_decoder.finish()) {
+            process_frame_error(*error);
+          }
+        } else if (const auto fragment = conn->decoder.finish()) {
           process_ingest_line(r, fragment->text, true);
         }
       }

@@ -184,6 +184,12 @@ class Server {
   void handle_read(Reactor& r, Conn& c);
   void handle_ingest_eof(Reactor& r, Conn& c);
   void process_ingest_line(Reactor& r, std::string_view text, bool truncated);
+  /// One decoded binary frame: per-record coverage/replay accounting, then
+  /// the surviving events reach the engine via one Producer::stage_batch.
+  void process_ingest_frame(Reactor& r, BinaryFrameDecoder::Frame& frame);
+  /// One rejected binary frame: counted under the typed reason and
+  /// dead-lettered (hex-prefix detail) as `malformed_frame`.
+  void process_frame_error(const FrameError& error);
   void route_request(Reactor& r, Conn& c);
   void flush_write(Conn& c);
   void sweep_idle(Reactor& r, std::chrono::steady_clock::time_point now);

@@ -476,6 +476,37 @@ bool StreamEngine::Producer::push(const Event& e) {
   return engine_.push_from(e, staging_, &stalls_);
 }
 
+std::size_t StreamEngine::Producer::stage_batch(
+    std::span<const Event> events) {
+  if (engine_.finished_) {
+    throw std::logic_error("StreamEngine::push called after finish()");
+  }
+  if (events.empty()) return 0;
+  engine_.pushed_.fetch_add(events.size(), std::memory_order_relaxed);
+  std::size_t accepted = 0;
+  for (const Event& e : events) {
+    if (engine_.config_.quarantine != nullptr) {
+      if (const auto reason =
+              validate_event(e, engine_.config_.known_users)) {
+        engine_.config_.quarantine->record(e, *reason);
+        continue;
+      }
+    }
+    staging_[engine_.shard_of(e.user)].push_back(e);
+    ++accepted;
+  }
+  // One handoff per touched shard for the whole span — a full frame rides
+  // into a mailbox under a single lock acquisition, even when it exceeds
+  // batch_size (a mailbox batch is a vector of any length; the cap counts
+  // batches, and workers drain whole batches regardless of size).
+  for (std::size_t s = 0; s < staging_.size(); ++s) {
+    if (staging_[s].size() >= engine_.config_.batch_size) {
+      engine_.hand_off(s, staging_[s], &stalls_);
+    }
+  }
+  return accepted;
+}
+
 void StreamEngine::Producer::flush() {
   for (std::size_t s = 0; s < staging_.size(); ++s) {
     engine_.hand_off(s, staging_[s], &stalls_);

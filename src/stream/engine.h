@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <unordered_set>
@@ -146,6 +147,16 @@ class StreamEngine {
     /// Same contract and return value as StreamEngine::push, from this
     /// handle's thread; blocks on the target shard's mailbox when full.
     bool push(const Event& e);
+
+    /// Bulk push for a whole decoded batch (the serve layer's binary frame
+    /// path): validates and stages every event, then hands each touched
+    /// shard's staging to its mailbox at most once — one lock acquisition
+    /// per shard per call instead of one per `batch_size` boundary. The
+    /// observable semantics equal pushing the span element-by-element
+    /// (same order, same quarantine verdicts); only the handoff batching
+    /// differs. Returns how many events were accepted (not quarantined),
+    /// matching push()'s per-event return.
+    std::size_t stage_batch(std::span<const Event> events);
 
     /// Hands every staged batch to its shard mailbox. Must run before any
     /// engine-wide quiescence point; cheap no-op when nothing is staged.

@@ -29,6 +29,8 @@ std::string_view to_string(QuarantineReason reason) {
       return "unknown_user";
     case QuarantineReason::kMalformedLine:
       return "malformed_line";
+    case QuarantineReason::kMalformedFrame:
+      return "malformed_frame";
   }
   return "unknown";
 }

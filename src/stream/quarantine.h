@@ -53,9 +53,14 @@ enum class QuarantineReason : std::uint8_t {
   /// field count, junk numerics, or a line over the serve size cap. Only
   /// produced via record_raw() — there is no Event to attach.
   kMalformedLine,
+  /// Binary wire frame that never decoded into records: bad magic, unknown
+  /// version, header over the caps, CRC mismatch, undecodable payload, or
+  /// a frame truncated by a disconnect. Only produced via record_raw(),
+  /// with a hex-prefix detail instead of raw bytes (serve/wire.h).
+  kMalformedFrame,
 };
 
-inline constexpr std::size_t kQuarantineReasonCount = 6;
+inline constexpr std::size_t kQuarantineReasonCount = 7;
 
 /// Stable reason-code string (the metrics label and dead-letter column).
 [[nodiscard]] std::string_view to_string(QuarantineReason reason);

@@ -1,0 +1,254 @@
+// Binary ingest end to end against a live serve daemon: the first-byte
+// format negotiation, whole frames flowing through Producer::stage_batch
+// into verdicts, hostile frames dead-lettering as malformed_frame without
+// poisoning later frames or the engine, mid-frame disconnects, and the
+// serve_wire_* metric families.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/net.h"
+#include "serve/server.h"
+#include "serve/wire.h"
+#include "stream/engine.h"
+#include "stream/event.h"
+#include "stream/quarantine.h"
+
+namespace geovalid::serve {
+namespace {
+
+using namespace std::chrono_literals;
+
+struct TestServer {
+  Server server;
+  std::atomic<bool> stop{false};
+  ServeStats stats;
+  std::thread loop;
+
+  explicit TestServer(ServeConfig config) : server(std::move(config)) {
+    server.start();
+    loop = std::thread([this] { stats = server.run(&stop); });
+  }
+
+  ~TestServer() {
+    if (loop.joinable()) stop_and_join();
+  }
+
+  void stop_and_join() {
+    stop.store(true);
+    loop.join();
+  }
+
+  HttpResponse drain_and_join() {
+    const HttpResponse r =
+        http_post("127.0.0.1", server.http_port(), "/admin/drain");
+    loop.join();
+    return r;
+  }
+};
+
+stream::Event mk_checkin(trace::UserId user, trace::TimeSec t,
+                         trace::PoiId poi) {
+  trace::Checkin c;
+  c.t = t;
+  c.poi = poi;
+  c.category = trace::PoiCategory::kFood;
+  c.location = {37.0, -122.0};
+  return stream::Event::checkin_event(user, c);
+}
+
+stream::Event mk_gps(trace::UserId user, trace::TimeSec t) {
+  trace::GpsPoint p;
+  p.t = t;
+  p.position = {37.0, -122.0};
+  p.has_fix = true;
+  p.wifi_fingerprint = 7;
+  p.accel_variance = 0.1;
+  return stream::Event::gps_sample(user, p);
+}
+
+std::string encode(const std::vector<stream::Event>& events) {
+  std::string out;
+  append_binary_frame(out, events);
+  return out;
+}
+
+TEST(BinaryServe, FramesFeedEngineAndServeVerdicts) {
+  ServeConfig config;
+  config.metrics = false;
+  config.engine.shards = 2;
+  TestServer ts(std::move(config));
+
+  const std::vector<stream::Event> events{
+      mk_checkin(7, 1000, 1), mk_checkin(7, 5000, 2), mk_gps(9, 1000),
+      mk_checkin(11, 2000, 3)};
+  {
+    Fd c = tcp_connect("127.0.0.1", ts.server.ingest_port());
+    ASSERT_TRUE(send_all(c.get(), encode(events)));
+  }  // orderly EOF, no buffered tail
+
+  const HttpResponse drained = ts.drain_and_join();
+  EXPECT_EQ(drained.status, 200);
+  EXPECT_EQ(ts.stats.exit, ServeExit::kDrained);
+  EXPECT_EQ(ts.stats.records_parsed, 4u);
+  EXPECT_EQ(ts.stats.records_applied, 4u);
+  EXPECT_EQ(ts.stats.records_malformed, 0u);
+  EXPECT_EQ(ts.server.engine().partition().checkins, 3u);
+}
+
+TEST(BinaryServe, TextAndBinaryConnectionsCoexist) {
+  ServeConfig config;
+  config.metrics = false;
+  TestServer ts(std::move(config));
+
+  {
+    // The format is per connection, decided by each connection's first
+    // byte — one daemon, both dialects at once.
+    Fd text = tcp_connect("127.0.0.1", ts.server.ingest_port());
+    Fd binary = tcp_connect("127.0.0.1", ts.server.ingest_port());
+    ASSERT_TRUE(
+        send_all(text.get(), "checkin,1,1000,1,Food,37.0,-122.0\n"));
+    ASSERT_TRUE(send_all(
+        binary.get(), encode({mk_checkin(2, 1000, 1), mk_gps(2, 2000)})));
+    ASSERT_TRUE(
+        send_all(text.get(), "checkin,1,4000,2,Food,37.0,-122.0\n"));
+  }
+
+  const HttpResponse drained = ts.drain_and_join();
+  EXPECT_EQ(drained.status, 200);
+  EXPECT_EQ(ts.stats.records_parsed, 4u);
+  EXPECT_EQ(ts.stats.records_applied, 4u);
+  EXPECT_EQ(ts.stats.records_malformed, 0u);
+  EXPECT_EQ(ts.server.engine().partition().checkins, 3u);
+}
+
+TEST(BinaryServe, MultipleFramesPerConnectionSpanningReads) {
+  ServeConfig config;
+  config.metrics = false;
+  TestServer ts(std::move(config));
+
+  std::string wire;
+  std::uint64_t total = 0;
+  for (int f = 0; f < 5; ++f) {
+    std::vector<stream::Event> batch;
+    for (int j = 0; j < 100; ++j) {
+      batch.push_back(
+          mk_checkin(static_cast<trace::UserId>(1 + j % 7),
+                     1000 * (f * 100 + j + 1), 1));
+    }
+    append_binary_frame(wire, batch);
+    total += batch.size();
+  }
+  {
+    Fd c = tcp_connect("127.0.0.1", ts.server.ingest_port());
+    // Dribble the frames out in small writes so frame boundaries and
+    // recv boundaries disagree on the server side.
+    for (std::size_t off = 0; off < wire.size(); off += 97) {
+      ASSERT_TRUE(send_all(
+          c.get(), std::string_view(wire).substr(
+                       off, std::min<std::size_t>(97, wire.size() - off))));
+    }
+  }
+
+  const HttpResponse drained = ts.drain_and_join();
+  EXPECT_EQ(drained.status, 200);
+  EXPECT_EQ(ts.stats.records_parsed, total);
+  EXPECT_EQ(ts.stats.records_applied, total);
+  EXPECT_EQ(ts.stats.records_malformed, 0u);
+}
+
+TEST(BinaryServe, HostileFramesDeadLetterWithoutPoisoningTheStream) {
+  ServeConfig config;
+  config.metrics = false;
+  TestServer ts(std::move(config));
+
+  const std::string good1 = encode({mk_checkin(1, 1000, 1)});
+  std::string corrupted = encode({mk_checkin(2, 2000, 2)});
+  corrupted[20] = static_cast<char>(
+      static_cast<unsigned char>(corrupted[20]) ^ 0x10);  // CRC mismatch
+  const std::string good2 = encode({mk_checkin(3, 3000, 3)});
+  {
+    Fd c = tcp_connect("127.0.0.1", ts.server.ingest_port());
+    ASSERT_TRUE(send_all(c.get(), good1 + corrupted + good2));
+  }
+
+  const HttpResponse drained = ts.drain_and_join();
+  EXPECT_EQ(drained.status, 200);
+  // One frame = one malformed record, and the frames around it applied.
+  EXPECT_EQ(ts.stats.records_malformed, 1u);
+  EXPECT_EQ(ts.stats.records_applied, 2u);
+  EXPECT_EQ(
+      ts.server.quarantine().count(
+          stream::QuarantineReason::kMalformedFrame),
+      1u);
+  EXPECT_EQ(ts.server.engine().partition().checkins, 2u);
+}
+
+TEST(BinaryServe, MidFrameDisconnectDeadLettersAsTruncated) {
+  ServeConfig config;
+  config.metrics = false;
+  TestServer ts(std::move(config));
+
+  const std::string good = encode({mk_checkin(5, 1000, 1)});
+  const std::string partial =
+      encode({mk_checkin(6, 2000, 2)}).substr(0, 20);
+  {
+    Fd c = tcp_connect("127.0.0.1", ts.server.ingest_port());
+    ASSERT_TRUE(send_all(c.get(), good + partial));
+  }  // abrupt close mid-frame
+
+  const HttpResponse drained = ts.drain_and_join();
+  EXPECT_EQ(drained.status, 200);
+  EXPECT_EQ(ts.stats.records_applied, 1u);
+  EXPECT_EQ(ts.stats.records_malformed, 1u);
+  EXPECT_EQ(
+      ts.server.quarantine().count(
+          stream::QuarantineReason::kMalformedFrame),
+      1u);
+}
+
+TEST(BinaryServe, WireMetricsFamiliesAreExported) {
+  ServeConfig config;  // metrics on
+  TestServer ts(std::move(config));
+
+  std::string corrupted = encode({mk_checkin(2, 2000, 2)});
+  corrupted.back() = static_cast<char>(
+      static_cast<unsigned char>(corrupted.back()) ^ 0x01);
+  {
+    Fd c = tcp_connect("127.0.0.1", ts.server.ingest_port());
+    ASSERT_TRUE(
+        send_all(c.get(), encode({mk_checkin(1, 1000, 1)}) + corrupted));
+  }
+
+  // Scrape while the daemon is live (the listener dies with the drain);
+  // all serve_wire_* families are pre-registered, traffic or not.
+  const HttpResponse r =
+      http_get("127.0.0.1", ts.server.http_port(), "/metrics");
+  ASSERT_EQ(r.status, 200);
+  EXPECT_NE(r.body.find("serve_wire_frames_total"), std::string::npos);
+  EXPECT_NE(r.body.find("serve_wire_bytes_total{format=\"binary\"}"),
+            std::string::npos);
+  EXPECT_NE(r.body.find("serve_wire_bytes_total{format=\"text\"}"),
+            std::string::npos);
+  EXPECT_NE(r.body.find("serve_wire_batch_records"), std::string::npos);
+  // The full reason vocabulary is pre-registered, hit or not.
+  for (const char* reason :
+       {"bad_magic", "bad_version", "bad_header", "crc_mismatch",
+        "bad_payload", "truncated"}) {
+    EXPECT_NE(
+        r.body.find("serve_wire_malformed_frames_total{reason=\"" +
+                    std::string(reason) + "\"}"),
+        std::string::npos)
+        << reason;
+  }
+  const HttpResponse drained = ts.drain_and_join();
+  EXPECT_EQ(drained.status, 200);
+}
+
+}  // namespace
+}  // namespace geovalid::serve

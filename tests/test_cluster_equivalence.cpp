@@ -2,8 +2,12 @@
 // study through `geovalid route` over N independent backends yields
 // verdicts byte-identical to the single-process batch engine — sharding
 // is allowed to change *where* a user is judged, never the judgment.
-// Includes the failure drill: kill one backend mid-stream, rebalance its
-// checkpoint into a fresh process, re-send, and verify exactly-once.
+// Every drill runs in both wire formats: in binary mode the router
+// decodes each client frame, partitions the records by ring owner, and
+// re-encodes per-backend sub-frames, and none of that may be visible in
+// a verdict byte. Includes the failure drill: kill one backend
+// mid-stream, rebalance its checkpoint into a fresh process, re-send,
+// and verify exactly-once.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -30,7 +34,7 @@ namespace {
 
 namespace fs = std::filesystem;
 
-fs::path fresh_dir(const char* name) {
+fs::path fresh_dir(const std::string& name) {
   const fs::path dir = fs::path(::testing::TempDir()) / name;
   fs::remove_all(dir);
   fs::create_directories(dir);
@@ -54,7 +58,8 @@ std::vector<stream::UserVerdicts> batch_verdicts() {
 }
 
 /// Byte-identical comparison, field for field; doubles bitwise (the wire
-/// format's shortest-roundtrip doubles make this exact).
+/// format's shortest-roundtrip doubles make this exact, and the binary
+/// format's bit-cast doubles are exact by construction).
 void expect_identical(const std::vector<stream::UserVerdicts>& cluster,
                       const std::vector<stream::UserVerdicts>& batch) {
   ASSERT_EQ(cluster.size(), batch.size());
@@ -115,7 +120,7 @@ std::vector<stream::UserVerdicts> cluster_verdicts(
   return all;
 }
 
-void run_equivalence(std::size_t n_backends) {
+void run_equivalence(std::size_t n_backends, bool binary) {
   std::vector<std::unique_ptr<TestBackend>> backends;
   RouteConfig rc;
   rc.metrics = false;
@@ -138,10 +143,12 @@ void run_equivalence(std::size_t n_backends) {
   serve::LoadgenConfig lg;
   lg.port = router.ingest_port();
   lg.connections = 3;
+  lg.binary = binary;
   const serve::LoadgenStats sent = serve::run_loadgen(study_events(), lg);
   EXPECT_EQ(sent.failed_connections, 0u);
   EXPECT_EQ(sent.connect_failures, 0u);
   EXPECT_EQ(sent.events_sent, study_events().size());
+  EXPECT_EQ(sent.format, binary ? "binary" : "text");
 
   const serve::HttpResponse drained =
       serve::http_post("127.0.0.1", router.http_port(), "/admin/drain");
@@ -163,18 +170,11 @@ void run_equivalence(std::size_t n_backends) {
   expect_identical(cluster_verdicts(backends), batch_verdicts());
 }
 
-TEST(ClusterEquivalence, TwoBackendsMatchBatchEngine) {
-  run_equivalence(2);
-}
-
-TEST(ClusterEquivalence, FourBackendsMatchBatchEngine) {
-  run_equivalence(4);
-}
-
-TEST(ClusterEquivalence, KillRebalanceRecoverIsExactlyOnce) {
+void run_rebalance(bool binary) {
   const std::vector<stream::Event>& events = study_events();
   ASSERT_GE(events.size(), 1000u);
-  const fs::path dir = fresh_dir("cluster_rebalance");
+  const fs::path dir = fresh_dir(binary ? "cluster_rebalance_binary"
+                                        : "cluster_rebalance_text");
 
   // Three backends; the victim ("b1") checkpoints periodically and
   // simulates a SIGKILL after half of *its own shard* has arrived — no
@@ -214,6 +214,7 @@ TEST(ClusterEquivalence, KillRebalanceRecoverIsExactlyOnce) {
   serve::LoadgenConfig lg;
   lg.port = router.ingest_port();
   lg.connections = 2;
+  lg.binary = binary;
   (void)serve::run_loadgen(events, lg);
   backends[1]->join();
   ASSERT_EQ(backends[1]->stats.exit, serve::ServeExit::kCrashed);
@@ -262,6 +263,30 @@ TEST(ClusterEquivalence, KillRebalanceRecoverIsExactlyOnce) {
   // line up with zero loss and zero duplication, and the verdicts are
   // byte-identical to the batch engine over the full study.
   expect_identical(cluster_verdicts(backends), batch_verdicts());
+}
+
+TEST(ClusterEquivalence, TwoBackendsMatchBatchEngine) {
+  run_equivalence(2, /*binary=*/false);
+}
+
+TEST(ClusterEquivalence, TwoBackendsMatchBatchEngineBinary) {
+  run_equivalence(2, /*binary=*/true);
+}
+
+TEST(ClusterEquivalence, FourBackendsMatchBatchEngine) {
+  run_equivalence(4, /*binary=*/false);
+}
+
+TEST(ClusterEquivalence, FourBackendsMatchBatchEngineBinary) {
+  run_equivalence(4, /*binary=*/true);
+}
+
+TEST(ClusterEquivalence, KillRebalanceRecoverIsExactlyOnce) {
+  run_rebalance(/*binary=*/false);
+}
+
+TEST(ClusterEquivalence, KillRebalanceRecoverIsExactlyOnceBinary) {
+  run_rebalance(/*binary=*/true);
 }
 
 }  // namespace

@@ -2,9 +2,10 @@
 // daemon — including a mid-run kill and a --resume restart — yields
 // verdicts identical to the offline batch engine, per user and field for
 // field (doubles compared bitwise; the wire format's shortest-roundtrip
-// doubles make this exact, not approximate). The whole suite runs at
-// 1, 2, and 4 reactors: the reactor count must be invisible in every
-// verdict byte.
+// doubles make this exact, not approximate — and the binary format's
+// bit-cast doubles are exact by construction). The whole suite runs at
+// 1, 2, and 4 reactors and in both wire formats: neither the reactor
+// count nor the format may be visible in any verdict byte.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -74,26 +75,26 @@ void expect_identical(const std::vector<stream::UserVerdicts>& serve,
   }
 }
 
-/// Parameterized on the reactor count (GetParam()).
-class ServeEquivalence : public ::testing::TestWithParam<std::size_t> {};
-
-TEST_P(ServeEquivalence, LoadgenReplayMatchesBatchEngine) {
+/// One full replay through a live daemon; verdicts must match batch.
+void run_replay_case(std::size_t reactors, bool binary) {
   ServeConfig config;
   config.metrics = false;
   config.engine.shards = 3;
-  config.reactors = GetParam();
+  config.reactors = reactors;
   Server server(std::move(config));
   server.start();
-  ASSERT_EQ(server.reactor_count(), GetParam());
+  ASSERT_EQ(server.reactor_count(), reactors);
   ServeStats stats;
   std::thread loop([&] { stats = server.run(); });
 
   LoadgenConfig lg;
   lg.port = server.ingest_port();
   lg.connections = 4;  // with several reactors: several producers live
+  lg.binary = binary;
   const LoadgenStats sent = run_loadgen(study_events(), lg);
   EXPECT_EQ(sent.failed_connections, 0u);
   EXPECT_EQ(sent.events_sent, study_events().size());
+  EXPECT_EQ(sent.format, binary ? "binary" : "text");
 
   // Query endpoints drain the engine under the pause gate: every reactor
   // must rendezvous before the answer, so a 200 here is fully consistent.
@@ -113,12 +114,15 @@ TEST_P(ServeEquivalence, LoadgenReplayMatchesBatchEngine) {
   expect_identical(server.engine().all_user_verdicts(), batch_verdicts());
 }
 
-TEST_P(ServeEquivalence, KillAndResumeRestartServesIdenticalVerdicts) {
+/// Kill mid-stream, resume from checkpoint, re-send everything; verdicts
+/// must match batch (exactly-once despite at-least-once delivery).
+void run_resume_case(std::size_t reactors, bool binary) {
   const std::vector<stream::Event>& events = study_events();
   ASSERT_GE(events.size(), 1000u)
       << "tiny preset too small to exercise checkpoint + crash";
-  const fs::path dir = fresh_dir("serve_equivalence_resume_r" +
-                                 std::to_string(GetParam()));
+  const fs::path dir =
+      fresh_dir("serve_equivalence_resume_r" + std::to_string(reactors) +
+                (binary ? "_binary" : "_text"));
   const std::uint64_t crash_after = events.size() / 2;
 
   // First life: periodic checkpoints, then a simulated SIGKILL mid-stream
@@ -128,7 +132,7 @@ TEST_P(ServeEquivalence, KillAndResumeRestartServesIdenticalVerdicts) {
     ServeConfig config;
     config.metrics = false;
     config.engine.shards = 2;
-    config.reactors = GetParam();
+    config.reactors = reactors;
     config.checkpoint_dir = dir;
     config.checkpoint_interval_records = 250;
     config.crash_after_records = crash_after;
@@ -140,16 +144,30 @@ TEST_P(ServeEquivalence, KillAndResumeRestartServesIdenticalVerdicts) {
     LoadgenConfig lg;
     lg.port = server.ingest_port();
     lg.connections = 4;
+    lg.binary = binary;
+    // Pace the replay (and keep binary frames small) so records arrive
+    // over wall time instead of the whole trace landing in the kernel
+    // buffers at t=0. Unpaced, a reactor can burn from record 0 past
+    // both the checkpoint trigger (250) and the crash trigger (half the
+    // stream) inside one loop iteration — the leader only reaches the
+    // checkpoint block between iterations, and a crash that catches the
+    // rendezvous still forming abandons it, so the first life can die
+    // with no snapshot on disk. Legal SIGKILL behavior, but this drill
+    // is about resuming from a checkpoint, so make sure one exists: at
+    // 50k events/s per connection the crash lands ~160ms after the
+    // first checkpoint window opens (~2ms in).
+    lg.rate_events_per_sec = 50000.0;
+    lg.frame_records = 32;
     const LoadgenStats sent = run_loadgen(events, lg);
     loop.join();
     ASSERT_EQ(stats.exit, ServeExit::kCrashed);
-    // The kill landed mid-replay. With one reactor the parse count is
-    // exact; with several, each reactor notices the pending crash between
-    // lines, so a few in-flight records may land after the trigger — just
+    // The kill landed mid-replay. The parse count overshoots the trigger
+    // by at most the in-flight batch per reactor: text reactors notice
+    // the pending crash between lines, binary ones between frames — just
     // like a real SIGKILL, which is not a barrier either.
     EXPECT_GE(stats.records_parsed, crash_after);
     EXPECT_LT(stats.records_parsed, events.size());
-    if (GetParam() == 1) {
+    if (reactors == 1 && !binary) {
       EXPECT_EQ(stats.records_parsed, crash_after);
     }
     (void)sent;
@@ -160,7 +178,7 @@ TEST_P(ServeEquivalence, KillAndResumeRestartServesIdenticalVerdicts) {
   ServeConfig config;
   config.metrics = false;
   config.engine.shards = 4;  // shard count is not part of the state
-  config.reactors = GetParam();
+  config.reactors = reactors;
   config.checkpoint_dir = dir;
   config.resume = true;
   Server server(std::move(config));
@@ -173,6 +191,7 @@ TEST_P(ServeEquivalence, KillAndResumeRestartServesIdenticalVerdicts) {
   LoadgenConfig lg;
   lg.port = server.ingest_port();
   lg.connections = 4;
+  lg.binary = binary;
   const LoadgenStats sent = run_loadgen(events, lg);
   EXPECT_EQ(sent.failed_connections, 0u);
 
@@ -186,6 +205,25 @@ TEST_P(ServeEquivalence, KillAndResumeRestartServesIdenticalVerdicts) {
   EXPECT_EQ(stats.cursor, events.size());
 
   expect_identical(server.engine().all_user_verdicts(), batch_verdicts());
+}
+
+/// Parameterized on the reactor count (GetParam()).
+class ServeEquivalence : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ServeEquivalence, LoadgenReplayMatchesBatchEngine) {
+  run_replay_case(GetParam(), /*binary=*/false);
+}
+
+TEST_P(ServeEquivalence, BinaryLoadgenReplayMatchesBatchEngine) {
+  run_replay_case(GetParam(), /*binary=*/true);
+}
+
+TEST_P(ServeEquivalence, KillAndResumeRestartServesIdenticalVerdicts) {
+  run_resume_case(GetParam(), /*binary=*/false);
+}
+
+TEST_P(ServeEquivalence, BinaryKillAndResumeRestartServesIdenticalVerdicts) {
+  run_resume_case(GetParam(), /*binary=*/true);
 }
 
 INSTANTIATE_TEST_SUITE_P(Reactors, ServeEquivalence,

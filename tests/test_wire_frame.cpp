@@ -1,0 +1,470 @@
+// Binary frame codec robustness: round trips over randomized batches
+// (the PR 3 fuzz discipline — 24 seeds, arbitrary chunking), every
+// single-byte truncation, a full bit-flip sweep with the per-region
+// rejection reasons, and the resync guarantees that keep one hostile
+// frame from poisoning the next. The frame decoder fronts the serve and
+// route ingest sockets, so every failure here is an engine-poisoning or
+// crash vector in production.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "serve/wire.h"
+#include "stats/rng.h"
+#include "stream/event.h"
+#include "stream/quarantine.h"
+#include "stream/snapshot_io.h"
+
+namespace {
+
+using namespace geovalid;
+using serve::BinaryFrameDecoder;
+using serve::FrameError;
+using serve::FrameErrorKind;
+
+/// Random event with adversarial field values: extreme users and wifi
+/// fingerprints, negative and non-monotonic timestamps, coordinates
+/// including infinities and NaN — the codec must round-trip all of them
+/// bit-exactly (validation is the engine's job, not the wire's).
+stream::Event random_event(stats::Rng& rng) {
+  const auto random_double = [&]() -> double {
+    switch (rng.uniform_int(0, 9)) {
+      case 0:
+        return 0.0;
+      case 1:
+        return -0.0;
+      case 2:
+        return std::numeric_limits<double>::infinity();
+      case 3:
+        return std::numeric_limits<double>::quiet_NaN();
+      default:
+        return rng.uniform(-1e6, 1e6);
+    }
+  };
+  const auto user = static_cast<trace::UserId>(
+      rng.uniform_int(0, std::numeric_limits<std::uint32_t>::max()));
+  const auto t = rng.uniform_int(-1'000'000'000, 1'000'000'000);
+  if (rng.bernoulli(0.5)) {
+    trace::GpsPoint p;
+    p.t = t;
+    p.position = {random_double(), random_double()};
+    p.has_fix = rng.bernoulli(0.5);
+    p.wifi_fingerprint = static_cast<std::uint32_t>(
+        rng.uniform_int(0, std::numeric_limits<std::uint32_t>::max()));
+    p.accel_variance = random_double();
+    return stream::Event::gps_sample(user, p);
+  }
+  trace::Checkin c;
+  c.t = t;
+  c.poi = static_cast<trace::PoiId>(
+      rng.uniform_int(0, std::numeric_limits<std::uint32_t>::max()));
+  c.category = static_cast<trace::PoiCategory>(
+      rng.uniform_int(0, trace::kPoiCategoryCount - 1));
+  c.location = {random_double(), random_double()};
+  return stream::Event::checkin_event(user, c);
+}
+
+/// Bit-pattern comparison: NaN-safe, -0.0-distinguishing.
+bool same_bits(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+void expect_event_eq(const stream::Event& got, const stream::Event& want) {
+  ASSERT_EQ(got.kind, want.kind);
+  EXPECT_EQ(got.user, want.user);
+  if (want.kind == stream::Event::Kind::kGps) {
+    EXPECT_EQ(got.gps.t, want.gps.t);
+    EXPECT_TRUE(same_bits(got.gps.position.lat_deg,
+                          want.gps.position.lat_deg));
+    EXPECT_TRUE(same_bits(got.gps.position.lon_deg,
+                          want.gps.position.lon_deg));
+    EXPECT_EQ(got.gps.has_fix, want.gps.has_fix);
+    EXPECT_EQ(got.gps.wifi_fingerprint, want.gps.wifi_fingerprint);
+    EXPECT_TRUE(
+        same_bits(got.gps.accel_variance, want.gps.accel_variance));
+  } else {
+    EXPECT_EQ(got.checkin.t, want.checkin.t);
+    EXPECT_EQ(got.checkin.poi, want.checkin.poi);
+    EXPECT_EQ(got.checkin.category, want.checkin.category);
+    EXPECT_TRUE(same_bits(got.checkin.location.lat_deg,
+                          want.checkin.location.lat_deg));
+    EXPECT_TRUE(same_bits(got.checkin.location.lon_deg,
+                          want.checkin.location.lon_deg));
+  }
+}
+
+std::string encode_frame(const std::vector<stream::Event>& events) {
+  std::string out;
+  serve::append_binary_frame(out, events);
+  return out;
+}
+
+/// Drains a decoder fed with `bytes` in chunks sized by `rng` (or byte
+/// at a time when rng is null), returning every result incl. finish().
+struct DrainResult {
+  std::vector<std::vector<stream::Event>> frames;
+  std::vector<FrameError> errors;
+};
+
+DrainResult drain(std::string_view bytes, stats::Rng* rng) {
+  BinaryFrameDecoder d;
+  DrainResult out;
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const std::size_t chunk =
+        rng ? static_cast<std::size_t>(
+                  rng->uniform_int(1, 4096))
+            : 1;
+    const std::size_t n = std::min(chunk, bytes.size() - off);
+    d.feed(bytes.substr(off, n));
+    off += n;
+    while (auto result = d.next()) {
+      if (auto* frame = std::get_if<BinaryFrameDecoder::Frame>(&*result)) {
+        out.frames.push_back(std::move(frame->events));
+      } else {
+        out.errors.push_back(std::get<FrameError>(*result));
+      }
+    }
+  }
+  if (const auto tail = d.finish()) out.errors.push_back(*tail);
+  return out;
+}
+
+TEST(WireFrame, RoundTripsRandomizedBatchesAcrossSeeds) {
+  for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+    stats::Rng rng(seed);
+    // Several frames of varying size per seed, concatenated, then fed
+    // back in random chunks — records, frame boundaries and read
+    // boundaries all disagree.
+    std::vector<std::vector<stream::Event>> batches;
+    std::string wire;
+    const int frames = static_cast<int>(rng.uniform_int(1, 5));
+    for (int i = 0; i < frames; ++i) {
+      std::vector<stream::Event> batch;
+      const int n = static_cast<int>(rng.uniform_int(1, 700));
+      batch.reserve(static_cast<std::size_t>(n));
+      for (int j = 0; j < n; ++j) batch.push_back(random_event(rng));
+      serve::append_binary_frame(wire, batch);
+      batches.push_back(std::move(batch));
+    }
+    const DrainResult out = drain(wire, &rng);
+    EXPECT_TRUE(out.errors.empty()) << "seed " << seed;
+    ASSERT_EQ(out.frames.size(), batches.size()) << "seed " << seed;
+    for (std::size_t i = 0; i < batches.size(); ++i) {
+      ASSERT_EQ(out.frames[i].size(), batches[i].size())
+          << "seed " << seed << " frame " << i;
+      for (std::size_t j = 0; j < batches[i].size(); ++j) {
+        expect_event_eq(out.frames[i][j], batches[i][j]);
+      }
+    }
+  }
+}
+
+TEST(WireFrame, ByteAtATimeFeedDecodesEveryFrame) {
+  stats::Rng rng(99);
+  std::string wire;
+  std::vector<stream::Event> all;
+  for (int i = 0; i < 3; ++i) {
+    std::vector<stream::Event> batch;
+    for (int j = 0; j < 40; ++j) batch.push_back(random_event(rng));
+    serve::append_binary_frame(wire, batch);
+    all.insert(all.end(), batch.begin(), batch.end());
+  }
+  const DrainResult out = drain(wire, nullptr);
+  EXPECT_TRUE(out.errors.empty());
+  std::size_t total = 0;
+  for (const auto& f : out.frames) total += f.size();
+  EXPECT_EQ(total, all.size());
+}
+
+TEST(WireFrame, EverySingleByteTruncationReportsTruncated) {
+  stats::Rng rng(7);
+  std::vector<stream::Event> batch;
+  for (int j = 0; j < 8; ++j) batch.push_back(random_event(rng));
+  const std::string wire = encode_frame(batch);
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    BinaryFrameDecoder d;
+    d.feed(std::string_view(wire).substr(0, len));
+    // No prefix shorter than the whole frame may yield a frame — and a
+    // valid-prefix stream must never surface a non-truncation error.
+    while (const auto result = d.next()) {
+      ADD_FAILURE() << "result produced at truncation length " << len;
+    }
+    const auto tail = d.finish();
+    if (len == 0) {
+      EXPECT_FALSE(tail.has_value());
+    } else {
+      ASSERT_TRUE(tail.has_value()) << "length " << len;
+      EXPECT_EQ(tail->kind, FrameErrorKind::kTruncated) << "length " << len;
+    }
+  }
+}
+
+TEST(WireFrame, BitFlipSweepNeverYieldsAFrame) {
+  stats::Rng rng(13);
+  std::vector<stream::Event> batch;
+  for (int j = 0; j < 16; ++j) batch.push_back(random_event(rng));
+  const std::string wire = encode_frame(batch);
+  const std::size_t header = 14;
+  const std::size_t trailer_at = wire.size() - 4;
+  for (std::size_t byte = 0; byte < wire.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string corrupted = wire;
+      corrupted[byte] = static_cast<char>(
+          static_cast<unsigned char>(corrupted[byte]) ^ (1u << bit));
+      const DrainResult out = drain(corrupted, nullptr);
+      ASSERT_TRUE(out.frames.empty())
+          << "frame decoded with bit " << bit << " of byte " << byte
+          << " flipped";
+      ASSERT_FALSE(out.errors.empty())
+          << "no error with bit " << bit << " of byte " << byte
+          << " flipped";
+      // Region-deterministic reasons. Header-integer flips can land
+      // anywhere (bad_header, truncated, crc_mismatch, bad_magic after
+      // a resync) so only the unambiguous regions pin the exact kind.
+      const FrameErrorKind first = out.errors.front().kind;
+      if (byte < 4) {
+        EXPECT_EQ(first, FrameErrorKind::kBadMagic)
+            << "magic byte " << byte;
+      } else if (byte == 4) {
+        EXPECT_EQ(first, FrameErrorKind::kBadVersion);
+      } else if (byte == 5) {
+        EXPECT_EQ(first, FrameErrorKind::kBadHeader);
+      } else if (byte >= header && byte < trailer_at) {
+        EXPECT_EQ(first, FrameErrorKind::kCrcMismatch)
+            << "payload byte " << byte;
+      } else if (byte >= trailer_at) {
+        EXPECT_EQ(first, FrameErrorKind::kCrcMismatch)
+            << "trailer byte " << byte;
+      }
+    }
+  }
+}
+
+TEST(WireFrame, ResynchronizesPastGarbageToNextFrame) {
+  stats::Rng rng(21);
+  std::vector<stream::Event> batch;
+  for (int j = 0; j < 5; ++j) batch.push_back(random_event(rng));
+  const std::string frame = encode_frame(batch);
+  const std::string garbage = "gps,1,2,3.0";  // a text client gone wrong
+  const DrainResult out = drain(garbage + frame, nullptr);
+  ASSERT_EQ(out.frames.size(), 1u);
+  EXPECT_EQ(out.frames[0].size(), batch.size());
+  ASSERT_FALSE(out.errors.empty());
+  EXPECT_EQ(out.errors.front().kind, FrameErrorKind::kBadMagic);
+}
+
+TEST(WireFrame, CrcMismatchConsumesExactlyOneFrame) {
+  stats::Rng rng(22);
+  std::vector<stream::Event> first;
+  std::vector<stream::Event> second;
+  for (int j = 0; j < 6; ++j) first.push_back(random_event(rng));
+  for (int j = 0; j < 9; ++j) second.push_back(random_event(rng));
+  std::string wire = encode_frame(first);
+  wire[20] = static_cast<char>(static_cast<unsigned char>(wire[20]) ^ 0x40);
+  wire += encode_frame(second);
+  const DrainResult out = drain(wire, nullptr);
+  // The corrupted frame's header length is trusted (CRC ran over the
+  // full buffered frame), so exactly its bytes are consumed and the
+  // following frame survives untouched.
+  ASSERT_EQ(out.errors.size(), 1u);
+  EXPECT_EQ(out.errors.front().kind, FrameErrorKind::kCrcMismatch);
+  ASSERT_EQ(out.frames.size(), 1u);
+  ASSERT_EQ(out.frames[0].size(), second.size());
+  for (std::size_t j = 0; j < second.size(); ++j) {
+    expect_event_eq(out.frames[0][j], second[j]);
+  }
+}
+
+/// Builds a header-only frame claiming `count` records and `payload_len`
+/// payload bytes, with a valid CRC over whatever payload is supplied.
+std::string forged_frame(std::uint32_t count, std::uint32_t payload_len,
+                         const std::string& payload) {
+  std::string out;
+  for (const unsigned char b : serve::kFrameMagic) {
+    out.push_back(static_cast<char>(b));
+  }
+  out.push_back(static_cast<char>(serve::kFrameVersion));
+  out.push_back('\0');  // flags
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((count >> (8 * i)) & 0xFF));
+  }
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((payload_len >> (8 * i)) & 0xFF));
+  }
+  out += payload;
+  const std::uint32_t crc = stream::crc32(
+      std::string_view(out).substr(4));
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((crc >> (8 * i)) & 0xFF));
+  }
+  return out;
+}
+
+TEST(WireFrame, RejectsCountAndPayloadOverflowWithoutBuffering) {
+  // count over the cap: rejected from the header alone (bad_header),
+  // even though no payload was ever sent.
+  {
+    BinaryFrameDecoder d;
+    std::string frame = forged_frame(
+        static_cast<std::uint32_t>(serve::kMaxFrameRecords + 1), 32,
+        std::string(32, 'x'));
+    d.feed(std::string_view(frame).substr(0, 14));
+    const auto result = d.next();
+    ASSERT_TRUE(result.has_value());
+    ASSERT_TRUE(std::holds_alternative<FrameError>(*result));
+    EXPECT_EQ(std::get<FrameError>(*result).kind,
+              FrameErrorKind::kBadHeader);
+  }
+  // zero count: a frame that cannot carry records is hostile padding.
+  {
+    BinaryFrameDecoder d;
+    const std::string frame = forged_frame(0, 4, "abcd");
+    d.feed(frame);
+    const auto result = d.next();
+    ASSERT_TRUE(result.has_value());
+    ASSERT_TRUE(std::holds_alternative<FrameError>(*result));
+    EXPECT_EQ(std::get<FrameError>(*result).kind,
+              FrameErrorKind::kBadHeader);
+  }
+  // payload_len over the cap: same header-only rejection — the decoder
+  // must never allocate or wait for a 4 GiB payload.
+  {
+    BinaryFrameDecoder d;
+    const std::string frame = forged_frame(
+        1, static_cast<std::uint32_t>(serve::kMaxFramePayloadBytes + 1),
+        "");
+    d.feed(std::string_view(frame).substr(0, 14));
+    const auto result = d.next();
+    ASSERT_TRUE(result.has_value());
+    ASSERT_TRUE(std::holds_alternative<FrameError>(*result));
+    EXPECT_EQ(std::get<FrameError>(*result).kind,
+              FrameErrorKind::kBadHeader);
+  }
+}
+
+TEST(WireFrame, RejectsStructurallyInvalidPayloads) {
+  // A CRC-valid frame whose payload is garbage for its claimed count:
+  // the columnar reader runs dry -> bad_payload, not a crash.
+  {
+    BinaryFrameDecoder d;
+    d.feed(forged_frame(3, 4, "abcd"));
+    const auto result = d.next();
+    ASSERT_TRUE(result.has_value());
+    ASSERT_TRUE(std::holds_alternative<FrameError>(*result));
+    EXPECT_EQ(std::get<FrameError>(*result).kind,
+              FrameErrorKind::kBadPayload);
+  }
+  // Trailing payload bytes beyond the last column: also bad_payload —
+  // a forged length field must not smuggle bytes past the decoder.
+  {
+    stats::Rng rng(17);
+    std::vector<stream::Event> batch;
+    batch.push_back(random_event(rng));
+    const std::string good = encode_frame(batch);
+    // Re-forge with one extra payload byte and a recomputed CRC.
+    const std::string payload =
+        good.substr(14, good.size() - 18) + std::string(1, '\0');
+    const std::string frame = forged_frame(
+        1, static_cast<std::uint32_t>(payload.size()), payload);
+    BinaryFrameDecoder d;
+    d.feed(frame);
+    const auto result = d.next();
+    ASSERT_TRUE(result.has_value());
+    ASSERT_TRUE(std::holds_alternative<FrameError>(*result));
+    EXPECT_EQ(std::get<FrameError>(*result).kind,
+              FrameErrorKind::kBadPayload);
+  }
+  // An out-of-range checkin category inside a CRC-valid frame.
+  {
+    stats::Rng rng(18);
+    trace::Checkin c;
+    c.t = 100;
+    c.poi = 5;
+    c.category = trace::PoiCategory::kNightlife;
+    c.location = {1.0, 2.0};
+    std::vector<stream::Event> batch{stream::Event::checkin_event(9, c)};
+    const std::string good = encode_frame(batch);
+    std::string payload = good.substr(14, good.size() - 18);
+    // Category is the lone u8 column after kinds/user/t/poi varints; for
+    // a one-checkin frame it is the byte before the two f64 coords.
+    payload[payload.size() - 17] = static_cast<char>(250);
+    const std::string frame = forged_frame(
+        1, static_cast<std::uint32_t>(payload.size()), payload);
+    BinaryFrameDecoder d;
+    d.feed(frame);
+    const auto result = d.next();
+    ASSERT_TRUE(result.has_value());
+    ASSERT_TRUE(std::holds_alternative<FrameError>(*result));
+    EXPECT_EQ(std::get<FrameError>(*result).kind,
+              FrameErrorKind::kBadPayload);
+  }
+}
+
+TEST(WireFrame, ErrorDetailIsHexPrefixedAndPrintable) {
+  stats::Rng rng(51);
+  std::vector<stream::Event> batch;
+  for (int j = 0; j < 4; ++j) batch.push_back(random_event(rng));
+  const std::string wire = encode_frame(batch);
+  BinaryFrameDecoder d;
+  d.feed(std::string_view(wire).substr(0, 20));  // mid-payload EOF
+  EXPECT_FALSE(d.next().has_value());
+  const auto tail = d.finish();
+  ASSERT_TRUE(tail.has_value());
+  EXPECT_EQ(tail->kind, FrameErrorKind::kTruncated);
+  EXPECT_NE(tail->detail.find("bytes="), std::string::npos);
+  EXPECT_NE(tail->detail.find("hex="), std::string::npos);
+  for (const char ch : tail->detail) {
+    EXPECT_TRUE(ch >= 0x20 && ch < 0x7F)
+        << "unprintable byte in detail: " << static_cast<int>(ch);
+  }
+}
+
+TEST(WireFrame, FinishIsCleanAfterCompleteFrames) {
+  stats::Rng rng(31);
+  std::vector<stream::Event> batch;
+  for (int j = 0; j < 3; ++j) batch.push_back(random_event(rng));
+  BinaryFrameDecoder d;
+  d.feed(encode_frame(batch));
+  ASSERT_TRUE(d.next().has_value());
+  EXPECT_FALSE(d.next().has_value());
+  EXPECT_FALSE(d.finish().has_value());
+  EXPECT_EQ(d.buffered(), 0u);
+}
+
+TEST(WireFrame, EncoderIgnoresEmptyAndOversizedBatches) {
+  std::string out;
+  serve::append_binary_frame(out, std::vector<stream::Event>{});
+  EXPECT_TRUE(out.empty());
+  stats::Rng rng(41);
+  std::vector<stream::Event> huge;
+  huge.reserve(serve::kMaxFrameRecords + 1);
+  for (std::size_t j = 0; j <= serve::kMaxFrameRecords; ++j) {
+    huge.push_back(random_event(rng));
+  }
+  serve::append_binary_frame(out, huge);
+  EXPECT_TRUE(out.empty());  // callers must split; no partial emit
+}
+
+TEST(WireFrame, MalformedFrameQuarantineReasonIsWired) {
+  // The dead-letter vocabulary grew by exactly one name for frames.
+  EXPECT_EQ(stream::to_string(stream::QuarantineReason::kMalformedFrame),
+            "malformed_frame");
+  EXPECT_EQ(stream::kQuarantineReasonCount, 7u);
+  // And the frame error names match the metric label vocabulary.
+  EXPECT_EQ(serve::to_string(FrameErrorKind::kBadMagic), "bad_magic");
+  EXPECT_EQ(serve::to_string(FrameErrorKind::kBadVersion), "bad_version");
+  EXPECT_EQ(serve::to_string(FrameErrorKind::kBadHeader), "bad_header");
+  EXPECT_EQ(serve::to_string(FrameErrorKind::kCrcMismatch),
+            "crc_mismatch");
+  EXPECT_EQ(serve::to_string(FrameErrorKind::kBadPayload), "bad_payload");
+  EXPECT_EQ(serve::to_string(FrameErrorKind::kTruncated), "truncated");
+}
+
+}  // namespace

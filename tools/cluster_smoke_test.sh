@@ -102,6 +102,23 @@ grep -q '"connect_failures":0' "$WORK/loadgen.json" \
     || fail "replay could not connect"
 grep -q '"backends":3' "$WORK/loadgen.json" \
     || fail "/v1/summary is not the 3-backend merge"
+grep -q '"format":"text"' "$WORK/loadgen.json" \
+    || fail "loadgen JSON missing text format tag"
+
+# Second pass over the binary wire protocol: the router decodes each
+# client frame, re-encodes per-backend sub-frames, and ships them over
+# the forwarders' binary channels (docs/CLUSTER.md).
+"$LOADGEN" "$DATASET" --port "$RINGEST" --http-port "$RHTTP" \
+    --connections 4 --route --format binary \
+    > "$WORK/loadgen-binary.json" 2> "$WORK/loadgen-binary.err" \
+    || fail "binary loadgen failed: $(cat "$WORK/loadgen-binary.err")"
+
+grep -q '"format":"binary"' "$WORK/loadgen-binary.json" \
+    || fail "loadgen JSON missing binary format tag"
+grep -q '"failed_connections":0' "$WORK/loadgen-binary.json" \
+    || fail "binary replay dropped connections"
+grep -q '"connect_failures":0' "$WORK/loadgen-binary.json" \
+    || fail "binary replay could not connect"
 
 probe GET "$RHTTP" /readyz > "$WORK/readyz.body"
 grep -q " 200 " "$WORK/status" || fail "/readyz: $(cat "$WORK/status")"

@@ -3,11 +3,15 @@
 // JSON throughput/latency stats (docs/SERVICE.md).
 //
 //   geovalid_loadgen <dataset_dir> --port N [--http-port N] [--host ADDR]
-//                    [--connections N] [--rate EVENTS/S] [--route]
+//                    [--connections N] [--rate EVENTS/S]
+//                    [--format text|binary] [--route]
 //
 // Events are partitioned by `user % connections` so each user's records
 // arrive in trace order over one connection — the ordering the engine's
-// verdicts depend on. With --http-port the control plane is probed after
+// verdicts depend on. --format binary replays columnar frames instead of
+// text lines (docs/SERVICE.md wire protocol); the JSON reports the
+// format used plus encode_events_per_sec, the client-side serialization
+// throughput. With --http-port the control plane is probed after
 // the replay: /healthz, /metrics (status + content type), and a timed
 // /v1/summary whose body is embedded in the output verbatim.
 //
@@ -38,7 +42,8 @@ int usage() {
   std::cerr
       << "usage: geovalid_loadgen <dataset_dir> --port N [--http-port N]\n"
          "                        [--host ADDR] [--connections N]\n"
-         "                        [--rate EVENTS/S] [--route]\n";
+         "                        [--rate EVENTS/S] [--format text|binary]\n"
+         "                        [--route]\n";
   return 2;
 }
 
@@ -109,6 +114,15 @@ int main(int argc, char** argv) {
       cfg.rate_events_per_sec = std::atof(rate->c_str());
       if (!(cfg.rate_events_per_sec > 0.0)) {
         std::cerr << "error: --rate must be positive\n";
+        return usage();
+      }
+    }
+    if (const auto format =
+            string_flag_value(argc - 2, argv + 2, "--format")) {
+      if (*format == "binary") {
+        cfg.binary = true;
+      } else if (*format != "text") {
+        std::cerr << "error: --format must be text or binary\n";
         return usage();
       }
     }

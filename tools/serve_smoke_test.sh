@@ -50,8 +50,25 @@ HTTP=$(sed -n 's/^http=//p' "$WORK/ports")
 grep -q '"healthz_ok":true' "$WORK/loadgen.json" || fail "/healthz probe"
 grep -q '"metrics_ok":true' "$WORK/loadgen.json" || fail "/metrics probe"
 grep -q '"partition":{' "$WORK/loadgen.json" || fail "/v1/summary probe"
+grep -q '"format":"text"' "$WORK/loadgen.json" \
+    || fail "loadgen JSON missing text format tag"
 grep -q '"failed_connections":0' "$WORK/loadgen.json" \
     || fail "replay dropped connections"
+
+# Second pass over the binary wire protocol (docs/SERVICE.md): the same
+# daemon negotiates per connection from the first byte, so the columnar
+# frames land next to the text replay's records.
+"$LOADGEN" "$DATASET" --port "$INGEST" --http-port "$HTTP" \
+    --connections 4 --format binary > "$WORK/loadgen-binary.json" \
+    2> "$WORK/loadgen-binary.err" \
+    || fail "binary loadgen failed: $(cat "$WORK/loadgen-binary.err")"
+
+grep -q '"format":"binary"' "$WORK/loadgen-binary.json" \
+    || fail "loadgen JSON missing binary format tag"
+grep -q '"healthz_ok":true' "$WORK/loadgen-binary.json" \
+    || fail "binary pass /healthz probe"
+grep -q '"failed_connections":0' "$WORK/loadgen-binary.json" \
+    || fail "binary replay dropped connections"
 
 kill -TERM "$SERVER"
 wait "$SERVER"
