@@ -1,5 +1,6 @@
 #include "cluster/router.h"
 
+#include <netdb.h>
 #include <poll.h>
 #include <sys/socket.h>
 
@@ -32,19 +33,100 @@ constexpr std::size_t kReadBudgetBytes = 256 * 1024;
 /// socket immediately instead of waiting for the next POLLOUT round.
 constexpr std::size_t kFlushChunkBytes = 64 * 1024;
 
-/// Deadline for pushing buffered records to a backend before a
-/// checkpoint/drain fan-out (a backend slower than this is marked down —
-/// all-or-error, not indefinite hang).
-constexpr int kControlFlushDeadlineMs = 30'000;
+/// Sanity cap on a /readyz probe response; anything bigger is a protocol
+/// violation, not a slow header.
+constexpr std::size_t kMaxProbeResponseBytes = 64 * 1024;
 
 /// conn_of_pollfd sentinels (connection indices are always far below).
 /// Each forwarder can contribute two pollfds: its text channel (tagged
 /// from kForwarderBase) and its lazily-opened binary channel (tagged from
-/// kForwarderBinBase, a disjoint range below the text one).
+/// kForwarderBinBase); each in-flight health probe one more (tagged from
+/// kProbeBase). All three are disjoint ranges.
 constexpr std::size_t kIngestListener = SIZE_MAX;
 constexpr std::size_t kHttpListener = SIZE_MAX - 1;
 constexpr std::size_t kForwarderBase = SIZE_MAX / 2;
 constexpr std::size_t kForwarderBinBase = SIZE_MAX / 4;
+constexpr std::size_t kProbeBase = SIZE_MAX / 8;
+
+/// Seconds-to-ms for the config's double-valued deadlines, clamped so a
+/// tiny-but-positive value still polls.
+int to_ms(double seconds) {
+  return std::max(1, static_cast<int>(seconds * 1000.0));
+}
+
+/// Fully non-blocking connect start for the probe loop: returns an fd
+/// whose connect is in flight (or already complete); invalid on
+/// immediate failure. Never blocks — EINPROGRESS is the success path.
+Fd probe_connect(const std::string& host, std::uint16_t port) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_NUMERICSERV;
+  addrinfo* res = nullptr;
+  const std::string service = std::to_string(port);
+  if (::getaddrinfo(host.c_str(), service.c_str(), &hints, &res) != 0) {
+    return Fd();
+  }
+  Fd fd(::socket(res->ai_family,
+                 res->ai_socktype | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                 res->ai_protocol));
+  if (fd.valid()) {
+    if (::connect(fd.get(), res->ai_addr, res->ai_addrlen) < 0 &&
+        errno != EINPROGRESS) {
+      fd.reset();
+    }
+  }
+  ::freeaddrinfo(res);
+  return fd;
+}
+
+/// Minimal response scan for the probe state machine: HTTP status plus
+/// the Geovalid-Instance header (serve stamps it on /readyz so the
+/// router can tell a connection blip from a process restart).
+bool parse_probe_response(const std::string& raw, int& status,
+                          std::string& instance) {
+  const std::size_t sp = raw.find(' ');
+  if (sp == std::string::npos || sp + 4 > raw.size()) return false;
+  status = 0;
+  const char* begin = raw.data() + sp + 1;
+  const auto [ptr, ec] = std::from_chars(begin, begin + 3, status);
+  if (ec != std::errc{} || ptr != begin + 3) return false;
+  std::size_t head_end = raw.find("\r\n\r\n");
+  if (head_end == std::string::npos) head_end = raw.size();
+  const std::string_view head(raw.data(), head_end);
+  static constexpr std::string_view kHeader = "geovalid-instance:";
+  std::size_t line = head.find("\r\n");
+  while (line != std::string_view::npos && line + 2 < head.size()) {
+    const std::string_view rest = head.substr(line + 2);
+    if (rest.size() > kHeader.size()) {
+      bool match = true;
+      for (std::size_t i = 0; i < kHeader.size(); ++i) {
+        const char c = rest[i];
+        const char lower =
+            (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+        if (lower != kHeader[i]) {
+          match = false;
+          break;
+        }
+      }
+      if (match) {
+        std::string_view value = rest.substr(kHeader.size());
+        const std::size_t eol = value.find("\r\n");
+        if (eol != std::string_view::npos) value = value.substr(0, eol);
+        while (!value.empty() && value.front() == ' ') {
+          value.remove_prefix(1);
+        }
+        while (!value.empty() && value.back() == ' ') {
+          value.remove_suffix(1);
+        }
+        instance.assign(value);
+        break;
+      }
+    }
+    line = head.find("\r\n", line + 2);
+  }
+  return true;
+}
 
 /// The fixed route vocabulary of cluster_http_requests_total{route=...}.
 constexpr const char* kRouteLabels[] = {
@@ -143,11 +225,20 @@ struct Router::Conn {
 struct Router::Metrics {
   obs::Gauge* backends = nullptr;
   std::vector<obs::Gauge*> up;
+  std::vector<obs::Gauge*> state;
   std::vector<obs::Gauge*> buffered;
+  std::vector<obs::Gauge*> spool_bytes;
+  std::vector<obs::Gauge*> spool_records;
+  std::vector<obs::Gauge*> spool_age;
   std::vector<obs::Counter*> fwd_records;
   std::vector<obs::Counter*> fwd_dropped;
+  std::vector<obs::Counter*> superseded;
+  std::vector<obs::Counter*> reconnects;
+  std::vector<obs::Counter*> probe_failures;
   std::vector<obs::Counter*> backend_errors;
-  std::vector<std::uint64_t> dropped_seen;  ///< reconcile watermark
+  std::vector<std::uint64_t> dropped_seen;     ///< reconcile watermark
+  std::vector<std::uint64_t> superseded_seen;  ///< reconcile watermark
+  std::vector<std::uint64_t> reconnects_seen;  ///< reconcile watermark
   obs::Counter* rec_forwarded = nullptr;
   obs::Counter* rec_replayed = nullptr;
   obs::Counter* rec_malformed = nullptr;
@@ -176,6 +267,14 @@ Router::Router(RouteConfig config)
     forwarders_.push_back(std::make_unique<Forwarder>(b));
   }
   route_scratch_.resize(forwarders_.size());
+  health_.resize(forwarders_.size());
+  if (!config_.net_faults.empty()) {
+    fault_injector_.emplace(config_.net_faults);
+  }
+  for (const auto& f : forwarders_) {
+    if (fault_injector_) f->set_fault_injector(&*fault_injector_);
+    f->set_connect_timeout_ms(to_ms(config_.probe_timeout_s));
+  }
   quarantine_.emplace(config_.quarantine);
   if (config_.metrics) register_metrics();
 }
@@ -195,16 +294,49 @@ void Router::register_metrics() {
         "cluster_backend_up",
         "Forwarder connection state per backend (1 up, 0 down)",
         {{"backend", name}}));
+    m.state.push_back(&r.gauge(
+        "cluster_backend_state",
+        "Health state machine per backend (0 down, 1 recovering, "
+        "2 suspect, 3 up)",
+        {{"backend", name}}));
     m.buffered.push_back(&r.gauge(
         "cluster_backend_buffered_bytes",
         "Bytes queued for a backend, waiting on its ingest socket",
+        {{"backend", name}}));
+    m.spool_bytes.push_back(&r.gauge(
+        "cluster_spool_bytes",
+        "Bytes spooled for a backend that is not up",
+        {{"backend", name}}));
+    m.spool_records.push_back(&r.gauge(
+        "cluster_spool_records",
+        "Records spooled for a backend that is not up",
+        {{"backend", name}}));
+    m.spool_age.push_back(&r.gauge(
+        "cluster_spool_age_seconds",
+        "Age of the oldest spooled entry per backend (0 when empty)",
         {{"backend", name}}));
     m.fwd_records.push_back(&r.counter(
         "cluster_forward_records_total",
         "Records forwarded to each backend", {{"backend", name}}));
     m.fwd_dropped.push_back(&r.counter(
         "cluster_forward_dropped_total",
-        "Records lost because the owning backend was down",
+        "Records lost at deliberate teardown with the backend still "
+        "unable to absorb them (the only counted-loss path; spool "
+        "overflow backpressures instead)",
+        {{"backend", name}}));
+    m.superseded.push_back(&r.counter(
+        "cluster_spool_superseded_total",
+        "Spooled records discarded because a backend restart made the "
+        "client re-send authoritative (re-delivered, not lost)",
+        {{"backend", name}}));
+    m.reconnects.push_back(&r.counter(
+        "cluster_reconnects_total",
+        "Successful forwarder reconnects after a severed connection",
+        {{"backend", name}}));
+    m.probe_failures.push_back(&r.counter(
+        "cluster_probe_failures_total",
+        "Health probes that failed (connect/read deadline, non-200, or "
+        "malformed response)",
         {{"backend", name}}));
     m.backend_errors.push_back(&r.counter(
         "cluster_backend_errors_total",
@@ -212,6 +344,8 @@ void Router::register_metrics() {
         "proxies)",
         {{"backend", name}}));
     m.dropped_seen.push_back(0);
+    m.superseded_seen.push_back(0);
+    m.reconnects_seen.push_back(0);
   }
   static constexpr std::string_view kRecordHelp =
       "Ingest records seen by the router, by outcome: forwarded to the "
@@ -244,6 +378,28 @@ void Router::start() {
                      "' unreachable at " + f->addr().host + ":" +
                      std::to_string(f->addr().ingest_port));
     }
+  }
+  // Learn each backend's instance id synchronously (one deadline-bounded
+  // probe per backend) so a ready backend is up before the first ingest
+  // byte, and the very first asynchronous probe can already distinguish a
+  // restart from a blip.
+  const Clock::time_point now = Clock::now();
+  const int timeout_ms = to_ms(config_.probe_timeout_s);
+  for (std::size_t i = 0; i < forwarders_.size(); ++i) {
+    Forwarder& f = *forwarders_[i];
+    BackendHealth& h = health_[i];
+    try {
+      const serve::HttpResponse resp = serve::http_get_deadline(
+          f.addr().host, f.addr().http_port, "/readyz", timeout_ms);
+      if (resp.status == 200) {
+        f.set_state(BackendState::kUp);
+        h.instance = resp.header("Geovalid-Instance");
+      }
+    } catch (const NetError&) {
+      // Not ready yet: stays recovering; the probe loop promotes it.
+    }
+    h.next_probe_at =
+        now + std::chrono::milliseconds(to_ms(config_.probe_interval_s));
   }
   ingest_listener_ = serve::tcp_listen(config_.host, config_.ingest_port);
   ingest_port_ = serve::local_port(ingest_listener_.get());
@@ -304,17 +460,16 @@ void Router::process_ingest_line(std::string_view text, bool truncated) {
   }
   const std::size_t owner = ring_.owner_index(*user);
   Forwarder& f = *forwarders_[owner];
-  if (f.enqueue(text)) {
-    ++sent_[*user];
-    ++stats_.records_forwarded;
-    if (metrics_) {
-      metrics_->rec_forwarded->inc();
-      metrics_->fwd_records[owner]->inc();
-    }
-    if (f.buffered() >= kFlushChunkBytes) f.flush();
+  // enqueue() cannot lose the record: a not-up owner spools it (bounded
+  // by the backpressure check in run()) until recovery settles replay.
+  f.enqueue(text);
+  ++sent_[*user];
+  ++stats_.records_forwarded;
+  if (metrics_) {
+    metrics_->rec_forwarded->inc();
+    metrics_->fwd_records[owner]->inc();
   }
-  // A down owner counted the drop inside enqueue(); reconcile_backends()
-  // folds it into stats and the per-backend counter.
+  if (f.buffered() >= kFlushChunkBytes) f.flush();
 }
 
 void Router::process_ingest_frame(serve::BinaryFrameDecoder::Frame& frame) {
@@ -338,17 +493,14 @@ void Router::process_ingest_frame(serve::BinaryFrameDecoder::Frame& frame) {
     frame_scratch_.clear();
     serve::append_binary_frame(frame_scratch_, bucket);
     Forwarder& f = *forwarders_[owner];
-    if (f.enqueue_frame(frame_scratch_, bucket.size())) {
-      for (const stream::Event& e : bucket) ++sent_[e.user];
-      stats_.records_forwarded += bucket.size();
-      if (metrics_) {
-        metrics_->rec_forwarded->inc(bucket.size());
-        metrics_->fwd_records[owner]->inc(bucket.size());
-      }
-      if (f.buffered() >= kFlushChunkBytes) f.flush();
+    f.enqueue_frame(frame_scratch_, bucket.size());
+    for (const stream::Event& e : bucket) ++sent_[e.user];
+    stats_.records_forwarded += bucket.size();
+    if (metrics_) {
+      metrics_->rec_forwarded->inc(bucket.size());
+      metrics_->fwd_records[owner]->inc(bucket.size());
     }
-    // A down owner counted the drop inside enqueue_frame(); the gauge
-    // reconciliation folds it into stats, exactly like the text path.
+    if (f.buffered() >= kFlushChunkBytes) f.flush();
   }
 }
 
@@ -444,31 +596,41 @@ void Router::handle_read(Conn& c) {
 
 void Router::handle_readyz(int& status, std::string& content_type,
                            std::string& body) {
-  std::vector<std::string> not_ready;
+  // Per-backend verdict: the probe-driven state machine first (a backend
+  // the router cannot forward to is not ready, whatever its own /readyz
+  // says), then a live deadline-bounded probe for up backends.
+  std::string not_ready;
+  std::size_t count = 0;
   for (std::size_t i = 0; i < forwarders_.size(); ++i) {
     const Forwarder& f = *forwarders_[i];
-    bool ready = f.healthy();
-    if (ready) {
+    std::string why;
+    if (f.state() != BackendState::kUp) {
+      why = to_string(f.state());
+    } else {
       try {
-        ready = serve::http_get(f.addr().host, f.addr().http_port,
-                                "/readyz")
-                    .status == 200;
+        if (serve::http_get_deadline(f.addr().host, f.addr().http_port,
+                                     "/readyz",
+                                     to_ms(config_.probe_timeout_s))
+                .status != 200) {
+          why = "not_ready";
+        }
       } catch (const NetError&) {
-        ready = false;
+        why = "unreachable";
         if (metrics_) metrics_->backend_errors[i]->inc();
       }
     }
-    if (!ready) not_ready.push_back(f.addr().name);
+    if (why.empty()) continue;
+    if (count++ > 0) not_ready += ',';
+    not_ready += "{\"name\":\"" + f.addr().name + "\",\"state\":\"" + why +
+                 "\"}";
   }
-  if (not_ready.empty()) {
+  if (count == 0) {
     status = 200;
     content_type = "text/plain";
     body = "ready\n";
   } else {
     status = 503;
-    body = "{\"not_ready\":";
-    append_json_string_array(body, not_ready);
-    body += "}";
+    body = "{\"not_ready\":[" + not_ready + "]}";
   }
 }
 
@@ -479,14 +641,17 @@ void Router::handle_metrics(int& status, std::string& content_type,
   for (std::size_t i = 0; i < forwarders_.size(); ++i) {
     const BackendAddr& addr = forwarders_[i]->addr();
     try {
-      serve::HttpResponse resp =
-          serve::http_get(addr.host, addr.http_port, "/metrics");
+      serve::HttpResponse resp = serve::http_get_deadline(
+          addr.host, addr.http_port, "/metrics", fanout_deadline_ms());
       if (resp.status == 200) {
         texts.push_back(strip_prometheus(resp.body, "cluster_"));
       } else if (metrics_) {
         metrics_->backend_errors[i]->inc();
       }
     } catch (const NetError&) {
+      // Degraded scrape: the missing backend is visible through the
+      // router's own cluster_backend_state gauge, so a partial merge is
+      // still truthful.
       if (metrics_) metrics_->backend_errors[i]->inc();
     }
   }
@@ -506,8 +671,8 @@ void Router::handle_summary(int& status, std::string& body) {
   for (std::size_t i = 0; i < forwarders_.size(); ++i) {
     const BackendAddr& addr = forwarders_[i]->addr();
     try {
-      serve::HttpResponse resp =
-          serve::http_get(addr.host, addr.http_port, "/v1/summary");
+      serve::HttpResponse resp = serve::http_get_deadline(
+          addr.host, addr.http_port, "/v1/summary", fanout_deadline_ms());
       if (resp.status == 200) {
         bodies.push_back(std::move(resp.body));
       } else {
@@ -518,8 +683,8 @@ void Router::handle_summary(int& status, std::string& body) {
       if (metrics_) metrics_->backend_errors[i]->inc();
     }
   }
-  if (!failed.empty()) {
-    // A partial sum would silently understate the cluster; all-or-error.
+  if (bodies.empty()) {
+    // Nothing to merge: the whole cluster is unreachable, error out.
     status = 502;
     body = "{\"error\":\"summary fan-out failed\",\"failed\":";
     append_json_string_array(body, failed);
@@ -528,6 +693,14 @@ void Router::handle_summary(int& status, std::string& body) {
   }
   status = 200;
   body = merge_summaries(bodies);
+  if (!failed.empty()) {
+    // Partial sum: a partially-down cluster degrades instead of erroring,
+    // and the annotation keeps the understatement explicit.
+    std::string annotation = "\"degraded\":";
+    append_json_string_array(annotation, failed);
+    annotation += ',';
+    body.insert(1, annotation);
+  }
 }
 
 void Router::handle_proxy_verdicts(std::string_view id_text, int& status,
@@ -544,9 +717,10 @@ void Router::handle_proxy_verdicts(std::string_view id_text, int& status,
   const std::size_t owner = ring_.owner_index(id);
   const BackendAddr& addr = forwarders_[owner]->addr();
   try {
-    serve::HttpResponse resp = serve::http_get(
+    serve::HttpResponse resp = serve::http_get_deadline(
         addr.host, addr.http_port,
-        "/v1/users/" + std::to_string(id) + "/verdicts");
+        "/v1/users/" + std::to_string(id) + "/verdicts",
+        fanout_deadline_ms());
     status = resp.status;
     body = std::move(resp.body);
   } catch (const NetError&) {
@@ -560,19 +734,21 @@ void Router::handle_proxy_verdicts(std::string_view id_text, int& status,
 void Router::handle_checkpoint(int& status, std::string& body) {
   // Buffered records must reach the backends first, or the fanned-out
   // checkpoints would not cover everything the router has accepted.
-  flush_all_blocking(kControlFlushDeadlineMs);
+  flush_all_blocking(fanout_deadline_ms());
   std::vector<std::string> failed;
   std::string ok_entries;
   for (std::size_t i = 0; i < forwarders_.size(); ++i) {
     const Forwarder& f = *forwarders_[i];
-    if (!f.healthy()) {
-      // Down or flush-expired: its checkpoint could not cover the shard.
+    if (!f.sending() || f.spool_records() > 0) {
+      // Down, flush-expired, or records still spooled: its checkpoint
+      // could not cover the shard.
       failed.push_back(f.addr().name);
       continue;
     }
     try {
-      serve::HttpResponse resp = serve::http_post(
-          f.addr().host, f.addr().http_port, "/admin/checkpoint");
+      serve::HttpResponse resp = serve::http_post_deadline(
+          f.addr().host, f.addr().http_port, "/admin/checkpoint",
+          fanout_deadline_ms());
       if (resp.status == 200) {
         if (!ok_entries.empty()) ok_entries += ',';
         ok_entries += "{\"name\":\"" + f.addr().name +
@@ -644,18 +820,37 @@ void Router::handle_replace(const std::string& name,
     return;
   }
 
+  const std::uint64_t reset_users = begin_new_epoch(index);
+
+  // Fresh health episode for the replacement process: forget the old
+  // instance and probe immediately, so the promotion to up (and the
+  // spool drain that comes with it) happens within one loop iteration.
+  BackendHealth& h = health_[index];
+  h.instance.clear();
+  h.consecutive_failures = 0;
+  h.reconnect_attempts = 0;
+  h.phase = BackendHealth::ProbePhase::kIdle;
+  h.probe_fd.reset();
+  h.next_probe_at = Clock::now();
+
+  status = 200;
+  body = "{\"status\":\"replaced\",\"backend\":\"" + name +
+         "\",\"users_reset\":" + std::to_string(reset_users) + "}";
+}
+
+std::uint64_t Router::begin_new_epoch(std::size_t index) {
   // New epoch. Everything forwarded so far is folded into the covered
-  // prefix for users on healthy backends; users owned by the replaced
-  // name reset to zero — the replacement's own checkpoint-resume skip
-  // deduplicates whatever its restored snapshot already covers. Clients
-  // must now re-send their full traces (docs/CLUSTER.md runbook).
+  // prefix for users on healthy backends; users owned by backend `index`
+  // reset to zero — its process's own checkpoint-resume skip deduplicates
+  // whatever its restored snapshot already covers. Clients must now
+  // re-send their full traces (docs/CLUSTER.md runbook).
   //
   // Sever every ingest connection first: bytes still queued on them
   // (kernel buffers, half-decoded lines or frames) are deliveries of the
   // epoch being invalidated. Interpreting them under the cleared arrival
   // table would re-forward an arbitrary mid-trace suffix as if it were a
-  // fresh prefix and corrupt the replacement's resume skip — the exact
-  // at-least-once hole the re-send protocol exists to close.
+  // fresh prefix and corrupt the resume skip — the exact at-least-once
+  // hole the re-send protocol exists to close.
   for (const auto& conn : conns_) {
     if (!conn->is_http) conn->dead = true;
   }
@@ -669,10 +864,204 @@ void Router::handle_replace(const std::string& name,
   }
   sent_.clear();
   arrived_.clear();
+  return reset_users;
+}
 
-  status = 200;
-  body = "{\"status\":\"replaced\",\"backend\":\"" + name +
-         "\",\"users_reset\":" + std::to_string(reset_users) + "}";
+int Router::fanout_deadline_ms() const {
+  return to_ms(config_.fanout_deadline_s);
+}
+
+void Router::check_health_timers(Clock::time_point now) {
+  for (std::size_t i = 0; i < forwarders_.size(); ++i) {
+    BackendHealth& h = health_[i];
+    Forwarder& f = *forwarders_[i];
+    if (h.phase != BackendHealth::ProbePhase::kIdle &&
+        now >= h.probe_deadline) {
+      finish_probe(i, /*ok=*/false, {});
+    }
+    if (h.phase == BackendHealth::ProbePhase::kIdle &&
+        now >= h.next_probe_at) {
+      start_probe(i, now);
+    }
+    if (!f.connected() && !drain_requested_ && now >= h.next_reconnect_at) {
+      if (f.connect()) {
+        // Probe immediately: the instance comparison decides whether the
+        // spool drains (same process) or a new epoch starts (restart).
+        h.next_probe_at = now;
+      } else {
+        const std::uint32_t delay = stream::backoff_with_jitter(
+            config_.reconnect_backoff_ms, config_.reconnect_backoff_cap_ms,
+            h.reconnect_attempts, config_.net_faults.seed, i);
+        ++h.reconnect_attempts;
+        h.next_reconnect_at = now + std::chrono::milliseconds(delay);
+      }
+    }
+  }
+}
+
+void Router::start_probe(std::size_t index, Clock::time_point now) {
+  BackendHealth& h = health_[index];
+  const BackendAddr& addr = forwarders_[index]->addr();
+  // Interval runs probe-start to probe-start, independent of outcome.
+  h.next_probe_at =
+      now + std::chrono::milliseconds(to_ms(config_.probe_interval_s));
+  h.probe_deadline =
+      now + std::chrono::milliseconds(to_ms(config_.probe_timeout_s));
+  h.probe_in.clear();
+  h.probe_off = 0;
+  h.probe_out = "GET /readyz HTTP/1.1\r\nHost: " + addr.host +
+                "\r\nConnection: close\r\n\r\n";
+  h.probe_fd = probe_connect(addr.host, addr.http_port);
+  if (!h.probe_fd.valid()) {
+    h.phase = BackendHealth::ProbePhase::kIdle;
+    on_probe_failure(index);
+    return;
+  }
+  h.phase = BackendHealth::ProbePhase::kConnecting;
+}
+
+void Router::probe_io(std::size_t index, short revents) {
+  BackendHealth& h = health_[index];
+  if (h.phase == BackendHealth::ProbePhase::kIdle || !h.probe_fd.valid()) {
+    return;
+  }
+  if ((revents & (POLLERR | POLLNVAL)) != 0) {
+    finish_probe(index, /*ok=*/false, {});
+    return;
+  }
+  if (h.phase == BackendHealth::ProbePhase::kConnecting) {
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(h.probe_fd.get(), SOL_SOCKET, SO_ERROR, &err, &len) <
+            0 ||
+        err != 0) {
+      finish_probe(index, /*ok=*/false, {});
+      return;
+    }
+    h.phase = BackendHealth::ProbePhase::kSending;
+  }
+  if (h.phase == BackendHealth::ProbePhase::kSending) {
+    while (h.probe_off < h.probe_out.size()) {
+      const ssize_t n = ::send(h.probe_fd.get(),
+                               h.probe_out.data() + h.probe_off,
+                               h.probe_out.size() - h.probe_off,
+                               MSG_NOSIGNAL);
+      if (n > 0) {
+        h.probe_off += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+      finish_probe(index, /*ok=*/false, {});
+      return;
+    }
+    h.phase = BackendHealth::ProbePhase::kReading;
+  }
+  if (h.phase == BackendHealth::ProbePhase::kReading) {
+    char buf[4096];
+    while (true) {
+      const ssize_t n = ::recv(h.probe_fd.get(), buf, sizeof(buf), 0);
+      if (n > 0) {
+        h.probe_in.append(buf, static_cast<std::size_t>(n));
+        if (h.probe_in.size() > kMaxProbeResponseBytes) {
+          finish_probe(index, /*ok=*/false, {});
+          return;
+        }
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+      if (n == 0) {
+        int status = 0;
+        std::string instance;
+        const bool ok = parse_probe_response(h.probe_in, status, instance) &&
+                        status == 200;
+        finish_probe(index, ok, std::move(instance));
+        return;
+      }
+      finish_probe(index, /*ok=*/false, {});
+      return;
+    }
+  }
+}
+
+void Router::finish_probe(std::size_t index, bool ok,
+                          std::string instance) {
+  BackendHealth& h = health_[index];
+  h.phase = BackendHealth::ProbePhase::kIdle;
+  h.probe_fd.reset();
+  h.probe_out.clear();
+  h.probe_in.clear();
+  h.probe_off = 0;
+  if (ok) {
+    on_probe_success(index, std::move(instance));
+  } else {
+    on_probe_failure(index);
+  }
+}
+
+void Router::on_probe_success(std::size_t index, std::string instance) {
+  BackendHealth& h = health_[index];
+  Forwarder& f = *forwarders_[index];
+  h.consecutive_failures = 0;
+
+  const bool restarted = !h.instance.empty() && !instance.empty() &&
+                         instance != h.instance;
+  if (restarted) {
+    // The process behind this name changed: the spool's records were
+    // applied (at most) by the dead instance, and the new one resumes
+    // from its checkpoint. The client re-send is authoritative —
+    // discard the spool (counted superseded, not dropped) and start a
+    // new epoch so re-sent prefixes replay correctly everywhere.
+    if (f.state() == BackendState::kUp ||
+        f.state() == BackendState::kSuspect) {
+      // A restart that beat our EOF detection: the live-looking
+      // connection belongs to a dead process. Drop it and reconnect.
+      f.sever();
+    }
+    (void)f.discard_spool();
+    begin_new_epoch(index);
+  }
+  if (!instance.empty()) h.instance = std::move(instance);
+
+  if (!f.connected()) {
+    // Probes pass but the forwarder is not connected yet (e.g. the
+    // ingest listener came up a beat after /readyz): reconnect now.
+    h.next_reconnect_at = Clock::now();
+    return;
+  }
+  if (f.state() != BackendState::kUp) {
+    // Same instance (or first sighting): the backend's applied state
+    // includes everything we ever flushed, so the spool simply drains in
+    // arrival order behind whatever is still buffered.
+    if (f.drain_spool()) {
+      f.set_state(BackendState::kUp);
+      h.reconnect_attempts = 0;
+      f.flush();
+    }
+    // drain_spool() failure re-severed; the reconnect timer retries.
+  }
+}
+
+void Router::on_probe_failure(std::size_t index) {
+  BackendHealth& h = health_[index];
+  Forwarder& f = *forwarders_[index];
+  ++h.consecutive_failures;
+  if (metrics_) metrics_->probe_failures[index]->inc();
+  if (!f.connected()) {
+    f.set_state(BackendState::kDown);
+    return;
+  }
+  if (h.consecutive_failures >= config_.probe_down_after) {
+    // The connection still looks live but the process has stopped
+    // answering: a hung backend will never flush its queue. Sever so the
+    // records move to the spool and recovery owns them.
+    f.sever();
+    h.reconnect_attempts = 0;
+    h.next_reconnect_at = Clock::now();
+  } else if (f.state() == BackendState::kUp) {
+    f.set_state(BackendState::kSuspect);
+  }
 }
 
 void Router::route_request(Conn& c) {
@@ -817,20 +1206,41 @@ void Router::sweep_idle(Clock::time_point now) {
 }
 
 void Router::update_backend_gauges() {
+  const Clock::time_point now = Clock::now();
   std::uint64_t dropped_total = 0;
+  std::uint64_t superseded_total = 0;
   for (std::size_t i = 0; i < forwarders_.size(); ++i) {
     const Forwarder& f = *forwarders_[i];
     dropped_total += f.dropped;
+    superseded_total += f.superseded;
     if (!metrics_) continue;
-    metrics_->up[i]->set(f.healthy() ? 1 : 0);
+    metrics_->up[i]->set(f.connected() ? 1 : 0);
+    metrics_->state[i]->set(static_cast<std::int64_t>(f.state()));
     metrics_->buffered[i]->set(static_cast<std::int64_t>(f.buffered()));
+    metrics_->spool_bytes[i]->set(
+        static_cast<std::int64_t>(f.spool_bytes()));
+    metrics_->spool_records[i]->set(
+        static_cast<std::int64_t>(f.spool_records()));
+    metrics_->spool_age[i]->set(
+        static_cast<std::int64_t>(f.spool_age_seconds(now)));
     const std::uint64_t delta = f.dropped - metrics_->dropped_seen[i];
     if (delta > 0) {
       metrics_->fwd_dropped[i]->inc(delta);
       metrics_->dropped_seen[i] = f.dropped;
     }
+    const std::uint64_t sup = f.superseded - metrics_->superseded_seen[i];
+    if (sup > 0) {
+      metrics_->superseded[i]->inc(sup);
+      metrics_->superseded_seen[i] = f.superseded;
+    }
+    const std::uint64_t rec = f.reconnects - metrics_->reconnects_seen[i];
+    if (rec > 0) {
+      metrics_->reconnects[i]->inc(rec);
+      metrics_->reconnects_seen[i] = f.reconnects;
+    }
   }
   stats_.records_dropped = dropped_total;
+  stats_.records_superseded = superseded_total;
 }
 
 bool Router::flush_all_blocking(int deadline_ms) {
@@ -844,7 +1254,7 @@ bool Router::flush_all_blocking(int deadline_ms) {
               deadline - Clock::now())
               .count();
       if (remaining <= 0) {
-        f->mark_down();
+        f->sever();
         all = false;
         break;
       }
@@ -856,12 +1266,12 @@ bool Router::flush_all_blocking(int deadline_ms) {
       }
       if (::poll(ps, nfds, static_cast<int>(remaining)) < 0 &&
           errno != EINTR) {
-        f->mark_down();
+        f->sever();
         all = false;
         break;
       }
       f->flush();
-      if (!f->healthy()) {
+      if (!f->sending()) {
         all = false;
         break;
       }
@@ -872,28 +1282,37 @@ bool Router::flush_all_blocking(int deadline_ms) {
 }
 
 void Router::complete_drain() {
-  const bool flushed = flush_all_blocking(kControlFlushDeadlineMs);
+  flush_all_blocking(fanout_deadline_ms());
   std::vector<std::string> failed;
   std::string ok_entries;
   for (std::size_t i = 0; i < forwarders_.size(); ++i) {
     Forwarder& f = *forwarders_[i];
-    if (!flushed && !f.healthy()) failed.push_back(f.addr().name);
+    // A backend that still holds queued or spooled records at drain time
+    // cannot have applied them: name it failed (close() counts the loss).
+    if (f.buffered() > 0 || f.spool_records() > 0) {
+      failed.push_back(f.addr().name);
+    }
     f.close();  // EOF: the backend's drain can now see ingest quiesce
   }
+  const auto mark_failed = [&failed](const std::string& name) {
+    if (std::find(failed.begin(), failed.end(), name) == failed.end()) {
+      failed.push_back(name);
+    }
+  };
   for (std::size_t i = 0; i < forwarders_.size(); ++i) {
     const BackendAddr& addr = forwarders_[i]->addr();
     try {
-      serve::HttpResponse resp =
-          serve::http_post(addr.host, addr.http_port, "/admin/drain");
+      serve::HttpResponse resp = serve::http_post_deadline(
+          addr.host, addr.http_port, "/admin/drain", fanout_deadline_ms());
       if (resp.status == 200) {
         if (!ok_entries.empty()) ok_entries += ',';
         ok_entries += "{\"name\":\"" + addr.name +
                       "\",\"response\":" + resp.body + "}";
       } else {
-        failed.push_back(addr.name);
+        mark_failed(addr.name);
       }
     } catch (const NetError&) {
-      failed.push_back(addr.name);
+      mark_failed(addr.name);
       if (metrics_) metrics_->backend_errors[i]->inc();
     }
   }
@@ -944,12 +1363,21 @@ RouteStats Router::run(const std::atomic<bool>* stop) {
     }
 
     // Backpressure with hysteresis: pause client reads when any backend
-    // queue crosses the high-water mark, resume once all are under half.
+    // queue crosses the high-water mark — the socket buffer or the spool
+    // (a long outage fills the spool budget instead of router memory; the
+    // overflow is backpressure, never a drop) — resume once all are
+    // under half of each.
     bool over = false;
     bool under = true;
     for (const auto& f : forwarders_) {
-      if (f->buffered() > config_.backend_buffer_bytes) over = true;
-      if (f->buffered() > config_.backend_buffer_bytes / 2) under = false;
+      if (f->buffered() > config_.backend_buffer_bytes ||
+          f->spool_bytes() > config_.spool_bytes) {
+        over = true;
+      }
+      if (f->buffered() > config_.backend_buffer_bytes / 2 ||
+          f->spool_bytes() > config_.spool_bytes / 2) {
+        under = false;
+      }
     }
     if (!paused_ && over) {
       paused_ = true;
@@ -971,7 +1399,7 @@ RouteStats Router::run(const std::atomic<bool>* stop) {
     }
     for (std::size_t i = 0; i < forwarders_.size(); ++i) {
       const Forwarder& f = *forwarders_[i];
-      if (!f.healthy()) continue;
+      if (!f.connected()) continue;
       // POLLIN watches for the backend closing its end (drain/death);
       // POLLOUT drains the queue. The binary channel, once open, gets
       // the same treatment under its own sentinel range.
@@ -985,6 +1413,18 @@ RouteStats Router::run(const std::atomic<bool>* stop) {
         pollfds.push_back({f.binary_fd(), bin_events, 0});
         conn_of_pollfd.push_back(kForwarderBinBase + i);
       }
+    }
+    for (std::size_t i = 0; i < health_.size(); ++i) {
+      const BackendHealth& h = health_[i];
+      if (h.phase == BackendHealth::ProbePhase::kIdle ||
+          !h.probe_fd.valid()) {
+        continue;
+      }
+      const short events =
+          h.phase == BackendHealth::ProbePhase::kReading ? POLLIN
+                                                         : POLLOUT;
+      pollfds.push_back({h.probe_fd.get(), events, 0});
+      conn_of_pollfd.push_back(kProbeBase + i);
     }
     for (std::size_t i = 0; i < conns_.size(); ++i) {
       const Conn& c = *conns_[i];
@@ -1018,9 +1458,9 @@ RouteStats Router::run(const std::atomic<bool>* stop) {
         const bool binary = tag < kForwarderBase;
         Forwarder& f = *forwarders_[binary ? tag - kForwarderBinBase
                                            : tag - kForwarderBase];
-        if (!f.healthy()) continue;
+        if (!f.connected()) continue;
         if ((pollfds[i].revents & (POLLERR | POLLNVAL | POLLHUP)) != 0) {
-          f.mark_down();
+          f.sever();
           continue;
         }
         if ((pollfds[i].revents & POLLIN) != 0) {
@@ -1033,11 +1473,15 @@ RouteStats Router::run(const std::atomic<bool>* stop) {
                      0);
           if (n == 0 || (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
                          errno != EINTR)) {
-            f.mark_down();
+            f.sever();
             continue;
           }
         }
         if ((pollfds[i].revents & POLLOUT) != 0) f.flush();
+        continue;
+      }
+      if (tag >= kProbeBase) {
+        probe_io(tag - kProbeBase, pollfds[i].revents);
         continue;
       }
       Conn& c = *conns_[tag];
@@ -1051,6 +1495,8 @@ RouteStats Router::run(const std::atomic<bool>* stop) {
         handle_read(c);
       }
     }
+
+    if (!drain_done_) check_health_timers(Clock::now());
 
     sweep_idle(Clock::now());
 

@@ -37,6 +37,19 @@
 // records its restored snapshot already covers. At-least-once delivery
 // in, exactly-once application out — the cluster-level restatement of
 // the serve resume contract.
+//
+// Self-healing (docs/ROBUSTNESS.md): the loop actively probes each
+// backend's /readyz with a connect/read deadline, driving the forwarder
+// state machine (up → suspect → down → recovering). A lost connection
+// reconnects with capped, jittered exponential backoff instead of
+// latching dead; records meanwhile queue in the forwarder's bounded
+// spool, overflowing to whole-ingest backpressure, never to a drop. On
+// reconnect, the probe's Geovalid-Instance header decides the replay:
+// the same instance means the process (and its applied records) survived
+// — the spool simply drains; a new instance means only a checkpoint
+// survived — the router starts a new epoch, exactly as handle_replace
+// does, and the client re-send plus serve's resume skip restore
+// exactly-once.
 #pragma once
 
 #include <atomic>
@@ -80,6 +93,35 @@ struct RouteConfig {
 
   /// Register cluster_* metric families in the process registry.
   bool metrics = true;
+
+  /// Health probing: every `probe_interval_s` the router opens a
+  /// non-blocking GET /readyz to each backend with `probe_timeout_s` as
+  /// the combined connect/read deadline. `probe_down_after` consecutive
+  /// failures sever a still-connected backend (a hung process will not
+  /// flush its queue; the spool reclaims it).
+  double probe_interval_s = 2.0;
+  double probe_timeout_s = 1.0;
+  std::size_t probe_down_after = 3;
+
+  /// Reconnect backoff (jittered exponential, stream::backoff_with_jitter,
+  /// seeded from `net_faults.seed` so chaos drills replay identically).
+  std::uint32_t reconnect_backoff_ms = 100;
+  std::uint32_t reconnect_backoff_cap_ms = 5000;
+
+  /// Per-backend spool byte budget: records owned by a not-up backend
+  /// queue here; past the budget the router stops reading ingest (the
+  /// same whole-ingest backpressure as backend_buffer_bytes) — overflow
+  /// is never a drop.
+  std::size_t spool_bytes = 16 * 1024 * 1024;
+
+  /// Deadline for control-plane fan-out (forwarder flush before
+  /// checkpoint/drain, plus every backend HTTP call the control plane
+  /// makes). The CLI flag is --fanout-deadline-s.
+  double fanout_deadline_s = 30.0;
+
+  /// Deterministic network fault injection (--inject-net-faults,
+  /// stream/faults.h net grammar); empty = off.
+  stream::NetFaultPlan net_faults;
 };
 
 enum class RouteExit : std::uint8_t {
@@ -89,10 +131,15 @@ enum class RouteExit : std::uint8_t {
 
 struct RouteStats {
   RouteExit exit = RouteExit::kStopped;
-  std::uint64_t records_forwarded = 0;  ///< routed to a healthy backend
+  std::uint64_t records_forwarded = 0;  ///< routed toward the owning backend
   std::uint64_t records_replayed = 0;   ///< skipped as epoch-covered
   std::uint64_t records_malformed = 0;  ///< no routing key; dead-lettered
-  std::uint64_t records_dropped = 0;    ///< owner was down; counted loss
+  /// Counted loss — only possible at deliberate teardown with records
+  /// still queued (spool overflow backpressures instead of dropping).
+  std::uint64_t records_dropped = 0;
+  /// Spooled records discarded because a backend restart made the client
+  /// re-send authoritative (not loss; the re-send re-delivers them).
+  std::uint64_t records_superseded = 0;
   std::uint64_t http_requests = 0;
   std::uint64_t connections = 0;
 };
@@ -150,8 +197,54 @@ class Router {
 
   /// Drives every pending forwarder buffer to the kernel, polling up to
   /// `deadline_ms`; a backend that cannot absorb its queue in time is
-  /// marked down. Returns true when everything flushed.
+  /// severed (its remainder salvaged into the spool). Returns true when
+  /// everything flushed.
   bool flush_all_blocking(int deadline_ms);
+
+  // -- Self-healing (probe loop + reconnect + recovery protocol) --------
+
+  /// Non-blocking health probe to one backend's GET /readyz, driven by
+  /// the router's poll loop under its own fd tag.
+  struct BackendHealth {
+    enum class ProbePhase : std::uint8_t {
+      kIdle,
+      kConnecting,
+      kSending,
+      kReading,
+    };
+    ProbePhase phase = ProbePhase::kIdle;
+    serve::Fd probe_fd;
+    std::string probe_out;  ///< request bytes still to send
+    std::size_t probe_off = 0;
+    std::string probe_in;  ///< raw response accumulated to EOF
+    Clock::time_point probe_deadline{};
+    Clock::time_point next_probe_at{};  ///< epoch start = immediately due
+
+    std::size_t consecutive_failures = 0;
+    std::uint32_t reconnect_attempts = 0;
+    Clock::time_point next_reconnect_at{};
+    /// Geovalid-Instance from the last passing probe; a change across a
+    /// recovery means the process restarted and replay must come from
+    /// the clients, not the spool.
+    std::string instance;
+  };
+
+  /// Due-time driving: start/expire probes, attempt backoff reconnects.
+  void check_health_timers(Clock::time_point now);
+  void start_probe(std::size_t index, Clock::time_point now);
+  /// Poll-event hook for a probe fd; advances the probe state machine.
+  void probe_io(std::size_t index, short revents);
+  void finish_probe(std::size_t index, bool ok, std::string instance);
+  void on_probe_success(std::size_t index, std::string instance);
+  void on_probe_failure(std::size_t index);
+
+  /// The epoch reset handle_replace pioneered, shared with instance-change
+  /// recovery: sever ingest clients, fold sent_ into covered_, zero the
+  /// covered prefix for users owned by `index`, clear per-epoch maps.
+  /// Returns how many users' coverage was reset.
+  std::uint64_t begin_new_epoch(std::size_t index);
+
+  [[nodiscard]] int fanout_deadline_ms() const;
 
   [[nodiscard]] std::uint64_t covered_count(trace::UserId user) const;
 
@@ -171,6 +264,8 @@ class Router {
   RouteConfig config_;
   HashRing ring_;
   std::vector<std::unique_ptr<Forwarder>> forwarders_;  ///< ring order
+  std::vector<BackendHealth> health_;                   ///< parallel to ^
+  std::optional<stream::NetFaultInjector> fault_injector_;
   std::optional<stream::Quarantine> quarantine_;
 
   serve::Fd ingest_listener_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <charconv>
 #include <chrono>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -24,17 +25,33 @@ constexpr std::size_t kChunkBytes = 64 * 1024;
 /// encode_events_per_sec measures serialization, not clock calls.
 constexpr std::size_t kFrameRecords = 512;
 
+/// Retry backoff bounds (--retries): base doubles per attempt up to the
+/// cap, jittered by stream::backoff_with_jitter so a fleet of feeders
+/// does not re-dial a recovering backend in lockstep.
+constexpr std::uint32_t kRetryBaseMs = 100;
+constexpr std::uint32_t kRetryCapMs = 2000;
+
 struct ConnResult {
   std::uint64_t events = 0;
   std::uint64_t bytes = 0;
   double encode_seconds = 0.0;  ///< time inside encode calls only
   bool failed = false;          ///< peer vanished mid-replay
   bool connect_failed = false;  ///< connection refused / unreachable
+  std::uint64_t reconnects = 0;  ///< re-dials made by the retry loop
+  bool retry_exhausted = false;  ///< retries used up, replay incomplete
 };
 
-ConnResult replay_connection(const LoadgenConfig& config,
-                             const std::vector<stream::Event>& events) {
-  ConnResult result;
+enum class AttemptOutcome : std::uint8_t {
+  kDone,           ///< shard fully sent, orderly shutdown
+  kConnectFailed,  ///< never connected
+  kSendFailed,     ///< peer vanished (or an injected fault severed us)
+};
+
+AttemptOutcome replay_attempt(const LoadgenConfig& config,
+                              const std::vector<stream::Event>& events,
+                              const std::string& fault_target,
+                              stream::NetFaultInjector* injector,
+                              ConnResult& result) {
   // This runs on a bare std::thread: an escaping exception would
   // std::terminate the whole loadgen. A refused connection is a
   // *measurement* during cluster kill/recover runs, not a crash.
@@ -42,23 +59,19 @@ ConnResult replay_connection(const LoadgenConfig& config,
   try {
     fd = tcp_connect(config.host, config.port);
   } catch (const NetError&) {
-    result.connect_failed = true;
-    return result;
+    return AttemptOutcome::kConnectFailed;
   }
   std::string chunk;
   chunk.reserve(kChunkBytes + 256);
   const bool paced = config.rate_events_per_sec > 0.0;
   const Clock::time_point start = Clock::now();
+  std::uint64_t attempt_events = 0;
 
   const auto flush = [&]() -> bool {
     if (chunk.empty()) return true;
     try {
-      if (!send_all(fd.get(), chunk)) {
-        result.failed = true;
-        return false;
-      }
+      if (!send_all(fd.get(), chunk)) return false;
     } catch (const NetError&) {
-      result.failed = true;
       return false;
     }
     result.bytes += chunk.size();
@@ -89,22 +102,72 @@ ConnResult replay_connection(const LoadgenConfig& config,
     result.encode_seconds +=
         std::chrono::duration<double>(Clock::now() - t0).count();
     result.events += count;
+    attempt_events += count;
     if (chunk.size() >= kChunkBytes) {
-      if (!flush()) return result;
+      if (!flush()) return AttemptOutcome::kSendFailed;
+    }
+    if (injector != nullptr) {
+      const auto t = injector->on_records(fault_target, count);
+      if (t.stall_millis > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(t.stall_millis));
+      }
+      if (t.reset || t.drop) {
+        // Simulated client-side failure: abandon the socket mid-replay
+        // (unsent tail included) so the retry path re-dials and re-sends.
+        chunk.clear();
+        fd.reset();
+        return AttemptOutcome::kSendFailed;
+      }
     }
     if (paced) {
       const auto due =
           start + std::chrono::duration_cast<Clock::duration>(
                       std::chrono::duration<double>(
-                          static_cast<double>(result.events) /
+                          static_cast<double>(attempt_events) /
                           config.rate_events_per_sec));
-      if (!flush()) return result;
+      if (!flush()) return AttemptOutcome::kSendFailed;
       std::this_thread::sleep_until(due);
     }
   }
-  flush();
+  if (!flush()) return AttemptOutcome::kSendFailed;
   // Orderly shutdown: the server sees EOF with no trailing fragment.
-  return result;
+  return AttemptOutcome::kDone;
+}
+
+ConnResult replay_connection(const LoadgenConfig& config,
+                             const std::vector<stream::Event>& events,
+                             std::size_t index) {
+  ConnResult result;
+  // One injector per connection thread: the plan is shared config, the
+  // trigger counters are this connection's own.
+  std::optional<stream::NetFaultInjector> injector;
+  if (!config.net_faults.empty()) injector.emplace(config.net_faults);
+  const std::string fault_target = std::to_string(index);
+
+  for (std::size_t attempt = 0;; ++attempt) {
+    const AttemptOutcome outcome = replay_attempt(
+        config, events, fault_target,
+        injector ? &*injector : nullptr, result);
+    if (outcome == AttemptOutcome::kDone) return result;
+    if (attempt >= config.retries) {
+      if (outcome == AttemptOutcome::kConnectFailed) {
+        result.connect_failed = true;
+      } else {
+        result.failed = true;
+      }
+      result.retry_exhausted = config.retries > 0;
+      return result;
+    }
+    // Jittered backoff, then re-dial and re-send the shard from the
+    // beginning — the full re-send the cluster's epoch protocol expects;
+    // the duplicated prefix is skipped router- and serve-side.
+    std::this_thread::sleep_for(std::chrono::milliseconds(
+        stream::backoff_with_jitter(kRetryBaseMs, kRetryCapMs,
+                                    static_cast<std::uint32_t>(attempt),
+                                    config.net_faults.seed, index)));
+    ++result.reconnects;
+  }
 }
 
 void append_json_number(std::string& out, double v) {
@@ -136,7 +199,7 @@ LoadgenStats run_loadgen(std::span<const stream::Event> events,
     threads.reserve(n);
     for (std::size_t i = 0; i < n; ++i) {
       threads.emplace_back([&, i] {
-        results[i] = replay_connection(config, shards[i]);
+        results[i] = replay_connection(config, shards[i], i);
       });
     }
     for (std::thread& t : threads) t.join();
@@ -150,6 +213,8 @@ LoadgenStats run_loadgen(std::span<const stream::Event> events,
     encode_seconds += r.encode_seconds;
     if (r.failed) ++stats.failed_connections;
     if (r.connect_failed) ++stats.connect_failures;
+    stats.reconnects += r.reconnects;
+    if (r.retry_exhausted) stats.retry_exhausted = true;
   }
   if (stats.send_seconds > 0.0) {
     stats.events_per_sec =
@@ -204,6 +269,10 @@ std::string to_json(const LoadgenStats& stats) {
   out += std::to_string(stats.failed_connections);
   out += ",\"connect_failures\":";
   out += std::to_string(stats.connect_failures);
+  out += ",\"reconnects\":";
+  out += std::to_string(stats.reconnects);
+  out += ",\"retry_exhausted\":";
+  out += stats.retry_exhausted ? "true" : "false";
   out += ",\"healthz_ok\":";
   out += stats.healthz_ok ? "true" : "false";
   out += ",\"metrics_ok\":";

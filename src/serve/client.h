@@ -13,6 +13,7 @@
 #include <string>
 
 #include "stream/engine.h"
+#include "stream/faults.h"
 
 namespace geovalid::serve {
 
@@ -33,6 +34,18 @@ struct LoadgenConfig {
   /// frame, or a test that needs server-side progress in fine steps,
   /// lowers this.
   std::size_t frame_records = 0;
+  /// Reconnect attempts per connection after a refused connect or a peer
+  /// that vanished mid-replay (EPIPE). Each retry waits a jittered
+  /// exponential backoff, reconnects, and re-sends the shard *from the
+  /// beginning* — the full re-send the cluster's epoch protocol expects;
+  /// the router and serve's resume skip deduplicate the replayed prefix.
+  /// 0 = the old measure-don't-retry behaviour.
+  std::size_t retries = 0;
+  /// Client-side deterministic fault injection (stream/faults.h net
+  /// grammar); the target name is the zero-based connection index
+  /// ("0", "1", ...). netreset/netdrop abort the connection mid-replay
+  /// (exercising the retry path), netstall sleeps the sender.
+  stream::NetFaultPlan net_faults;
 };
 
 struct LoadgenStats {
@@ -48,6 +61,11 @@ struct LoadgenStats {
   double encode_events_per_sec = 0.0;
   std::size_t failed_connections = 0;  ///< peer vanished mid-replay (EPIPE)
   std::size_t connect_failures = 0;    ///< never connected (ECONNREFUSED)
+  /// Re-dials made by the retry loop (--retries), across connections.
+  std::uint64_t reconnects = 0;
+  /// True when at least one connection used up every retry and still
+  /// failed — the replay is known incomplete.
+  bool retry_exhausted = false;
 
   // Control-plane probe (only when http_port was set):
   bool healthz_ok = false;

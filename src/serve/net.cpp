@@ -4,11 +4,13 @@
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cctype>
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 
@@ -39,12 +41,9 @@ bool equals_ignore_case(std::string_view a, std::string_view b) {
   return true;
 }
 
-HttpResponse http_request(const std::string& host, std::uint16_t port,
-                          const std::string& method,
-                          const std::string& target,
-                          const std::string& body = {},
-                          const std::string& content_type = {}) {
-  Fd fd = tcp_connect(host, port);
+std::string build_request(const std::string& host, const std::string& method,
+                          const std::string& target, const std::string& body,
+                          const std::string& content_type) {
   std::string request = method + " " + target + " HTTP/1.1\r\nHost: " +
                         host + "\r\nConnection: close\r\n";
   if (!body.empty()) {
@@ -55,11 +54,11 @@ HttpResponse http_request(const std::string& host, std::uint16_t port,
   }
   request += "\r\n";
   request += body;
-  if (!send_all(fd.get(), request)) {
-    throw NetError("http " + method + " " + target + ": peer closed");
-  }
-  const std::string raw = recv_all(fd.get());
+  return request;
+}
 
+HttpResponse parse_response(const std::string& raw, const std::string& method,
+                            const std::string& target) {
   HttpResponse resp;
   const std::size_t line_end = raw.find("\r\n");
   if (line_end == std::string::npos) {
@@ -78,6 +77,104 @@ HttpResponse http_request(const std::string& host, std::uint16_t port,
   resp.headers = raw.substr(line_end + 2, head_end - line_end - 2);
   resp.body = raw.substr(head_end + 4);
   return resp;
+}
+
+HttpResponse http_request(const std::string& host, std::uint16_t port,
+                          const std::string& method,
+                          const std::string& target,
+                          const std::string& body = {},
+                          const std::string& content_type = {}) {
+  Fd fd = tcp_connect(host, port);
+  if (!send_all(fd.get(),
+                build_request(host, method, target, body, content_type))) {
+    throw NetError("http " + method + " " + target + ": peer closed");
+  }
+  return parse_response(recv_all(fd.get()), method, target);
+}
+
+using Clock = std::chrono::steady_clock;
+
+/// Whole milliseconds left before `deadline`; never negative, and a
+/// not-yet-expired deadline always reports at least 1 so poll() cannot
+/// round a live budget down to a busy-spin or an instant timeout.
+int remaining_ms(Clock::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - Clock::now());
+  if (left.count() <= 0) return 0;
+  return static_cast<int>(left.count());
+}
+
+[[noreturn]] void throw_deadline(const std::string& what) {
+  throw NetError(what + ": deadline exceeded");
+}
+
+/// poll() for `events` on `fd` until the deadline; false on expiry.
+bool poll_until(int fd, short events, Clock::time_point deadline) {
+  while (true) {
+    const int budget = remaining_ms(deadline);
+    if (budget == 0) return false;
+    pollfd p{};
+    p.fd = fd;
+    p.events = events;
+    const int rc = ::poll(&p, 1, budget);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("poll");
+    }
+    if (rc > 0) return true;
+  }
+}
+
+HttpResponse http_request_deadline(const std::string& host,
+                                   std::uint16_t port,
+                                   const std::string& method,
+                                   const std::string& target, int timeout_ms,
+                                   const std::string& body = {},
+                                   const std::string& content_type = {}) {
+  const std::string what =
+      "http " + method + " " + target + " to " + host + ":" +
+      std::to_string(port);
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(timeout_ms);
+  Fd fd = tcp_connect_deadline(host, port, timeout_ms);
+
+  const std::string request =
+      build_request(host, method, target, body, content_type);
+  std::size_t off = 0;
+  while (off < request.size()) {
+    const ssize_t n = ::send(fd.get(), request.data() + off,
+                             request.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        if (!poll_until(fd.get(), POLLOUT, deadline)) throw_deadline(what);
+        continue;
+      }
+      if (errno == EPIPE || errno == ECONNRESET) {
+        throw NetError(what + ": peer closed");
+      }
+      throw_errno("send");
+    }
+    off += static_cast<std::size_t>(n);
+  }
+
+  std::string raw;
+  char buf[16384];
+  while (true) {
+    const ssize_t n = ::recv(fd.get(), buf, sizeof(buf), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        if (!poll_until(fd.get(), POLLIN, deadline)) throw_deadline(what);
+        continue;
+      }
+      if (errno == ECONNRESET) break;  // peer reset after its final write
+      throw_errno("recv");
+    }
+    if (n == 0) break;
+    raw.append(buf, static_cast<std::size_t>(n));
+  }
+  return parse_response(raw, method, target);
 }
 
 }  // namespace
@@ -120,6 +217,30 @@ Fd tcp_connect(const std::string& host, std::uint16_t port) {
   if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
                 sizeof(addr)) != 0) {
     throw_errno("connect " + host + ":" + std::to_string(port));
+  }
+  return fd;
+}
+
+Fd tcp_connect_deadline(const std::string& host, std::uint16_t port,
+                        int timeout_ms) {
+  const std::string what = "connect " + host + ":" + std::to_string(port);
+  Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) throw_errno("socket");
+  const sockaddr_in addr = make_addr(host, port);
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    if (errno != EINPROGRESS) throw_errno(what);
+    const Clock::time_point deadline =
+        Clock::now() + std::chrono::milliseconds(timeout_ms);
+    if (!poll_until(fd.get(), POLLOUT, deadline)) throw_deadline(what);
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
+      throw_errno("getsockopt(SO_ERROR)");
+    }
+    if (err != 0) {
+      throw NetError(what + ": " + std::strerror(err));
+    }
   }
   return fd;
 }
@@ -195,6 +316,19 @@ HttpResponse http_post(const std::string& host, std::uint16_t port,
                        const std::string& target, const std::string& body,
                        const std::string& content_type) {
   return http_request(host, port, "POST", target, body, content_type);
+}
+
+HttpResponse http_get_deadline(const std::string& host, std::uint16_t port,
+                               const std::string& target, int timeout_ms) {
+  return http_request_deadline(host, port, "GET", target, timeout_ms);
+}
+
+HttpResponse http_post_deadline(const std::string& host, std::uint16_t port,
+                                const std::string& target, int timeout_ms,
+                                const std::string& body,
+                                const std::string& content_type) {
+  return http_request_deadline(host, port, "POST", target, timeout_ms, body,
+                               content_type);
 }
 
 }  // namespace geovalid::serve

@@ -66,6 +66,13 @@ class Fd {
 /// Blocking connect to host:port. Throws NetError.
 [[nodiscard]] Fd tcp_connect(const std::string& host, std::uint16_t port);
 
+/// Connect with a deadline: non-blocking connect + poll, so a blackholed
+/// or unroutable peer fails in `timeout_ms` instead of the kernel's
+/// minutes-long default. The returned fd is left non-blocking. Throws
+/// NetError; the timeout message contains "deadline".
+[[nodiscard]] Fd tcp_connect_deadline(const std::string& host,
+                                      std::uint16_t port, int timeout_ms);
+
 /// Marks `fd` non-blocking. Throws NetError.
 void set_nonblocking(int fd);
 
@@ -102,5 +109,22 @@ struct HttpResponse {
                                      const std::string& body,
                                      const std::string& content_type =
                                          "application/json");
+
+/// Deadline-bounded variants: the whole request (connect + send + full
+/// response) must finish within `timeout_ms`, so a backend that accepts
+/// the TCP connection but never answers surfaces as a NetError whose
+/// message contains "deadline" instead of hanging the caller. The cluster
+/// router's control-plane fan-out and health probes use these.
+[[nodiscard]] HttpResponse http_get_deadline(const std::string& host,
+                                             std::uint16_t port,
+                                             const std::string& target,
+                                             int timeout_ms);
+[[nodiscard]] HttpResponse http_post_deadline(const std::string& host,
+                                              std::uint16_t port,
+                                              const std::string& target,
+                                              int timeout_ms,
+                                              const std::string& body = {},
+                                              const std::string& content_type =
+                                                  "application/json");
 
 }  // namespace geovalid::serve

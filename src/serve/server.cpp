@@ -189,6 +189,13 @@ struct Server::Metrics {
 
 Server::Server(ServeConfig config) : config_(std::move(config)) {
   config_.reactors = core::resolve_threads(config_.reactors);
+  // Distinct across processes (pid) and across Servers within one process
+  // (counter) — in-process cluster tests restart "backends" without
+  // forking, and a restart must present a new instance.
+  static std::atomic<std::uint64_t> instance_counter{0};
+  instance_id_ =
+      std::to_string(static_cast<std::uint64_t>(::getpid())) + "." +
+      std::to_string(instance_counter.fetch_add(1, std::memory_order_relaxed));
   quarantine_.emplace(config_.quarantine);
   // A network feed is never trusted: the quarantine path is always on, so
   // malformed payloads degrade to dead letters instead of poisoning the
@@ -631,6 +638,7 @@ void Server::route_request(Reactor& r, Conn& c) {
   int status = 404;
   std::string body = "{\"error\":\"not found\"}";
   std::string content_type = "application/json";
+  std::vector<std::pair<std::string, std::string>> extra_headers;
 
   const auto respond_method_not_allowed = [&](const char* route_name) {
     route = route_name;
@@ -655,6 +663,9 @@ void Server::route_request(Reactor& r, Conn& c) {
     // so it is correctly reported by connection refusal.
     route = "/readyz";
     if (req.method == "GET") {
+      // The instance header travels on both outcomes so a router probe
+      // can learn the nonce even while the daemon drains.
+      extra_headers.emplace_back("Geovalid-Instance", instance_id_);
       if (drain_requested_.load(std::memory_order_relaxed)) {
         status = 503;
         body = "{\"error\":\"draining\"}";
@@ -764,7 +775,7 @@ void Server::route_request(Reactor& r, Conn& c) {
   }
 
   if (metrics_) metrics_->http_requests(route, status).inc();
-  c.wbuf += http_response(status, content_type, body);
+  c.wbuf += http_response(status, content_type, body, extra_headers);
   c.close_after_write = true;
   flush_write(c);
 }

@@ -143,6 +143,14 @@ class Server {
   [[nodiscard]] std::uint64_t restored_cursor() const {
     return restored_cursor_;
   }
+  /// Unique per Server construction (pid + process-wide counter), echoed
+  /// on /readyz as the `Geovalid-Instance` header. A fronting router uses
+  /// it to tell a connection blip (same instance — its state survived,
+  /// spooled records can simply be replayed) from a process restart (new
+  /// instance — only a checkpoint survived, clients must re-send).
+  [[nodiscard]] const std::string& instance_id() const {
+    return instance_id_;
+  }
   /// Effective reactor count (after 0 = hardware resolution).
   [[nodiscard]] std::size_t reactor_count() const { return reactors_.size(); }
 
@@ -221,6 +229,7 @@ class Server {
   bool started_ = false;
 
   std::vector<std::unique_ptr<Reactor>> reactors_;
+  std::string instance_id_;
 
   /// Open connections across all reactors; the slot under
   /// max_connections is reserved (CAS) before accept4 so racing reactors

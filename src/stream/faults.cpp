@@ -1,5 +1,6 @@
 #include "stream/faults.h"
 
+#include <algorithm>
 #include <charconv>
 #include <chrono>
 #include <cmath>
@@ -186,6 +187,121 @@ void FaultInjector::on_shard_event(std::size_t shard,
       std::this_thread::sleep_for(std::chrono::milliseconds(s.millis));
     }
   }
+}
+
+NetFaultPlan parse_net_fault_spec(std::string_view spec) {
+  NetFaultPlan plan;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    const std::size_t comma = spec.find(',', start);
+    const std::string_view clause =
+        spec.substr(start, comma == std::string_view::npos
+                               ? std::string_view::npos
+                               : comma - start);
+    start = comma == std::string_view::npos ? spec.size() + 1 : comma + 1;
+    if (clause.empty()) {
+      if (spec.empty()) break;
+      bad_spec(spec, "empty clause");
+    }
+    const std::size_t eq = clause.find('=');
+    if (eq == std::string_view::npos) {
+      bad_spec(spec, "clause '" + std::string(clause) +
+                         "' is not of the form key=value");
+    }
+    const std::string_view key = clause.substr(0, eq);
+    const std::string_view value = clause.substr(eq + 1);
+    if (key == "seed") {
+      plan.seed = parse_u64(spec, value, "seed");
+      continue;
+    }
+    NetFault fault;
+    if (key == "netdrop") {
+      fault.kind = NetFaultKind::kDrop;
+    } else if (key == "netreset") {
+      fault.kind = NetFaultKind::kReset;
+    } else if (key == "netstall") {
+      fault.kind = NetFaultKind::kStall;
+    } else {
+      bad_spec(spec, "unknown clause '" + std::string(key) + "'");
+    }
+    // TARGET@COUNT, with a :MILLIS tail for netstall only.
+    const std::size_t at = value.find('@');
+    if (at == std::string_view::npos || at == 0) {
+      bad_spec(spec, std::string(key) + " expects TARGET@COUNT" +
+                         (fault.kind == NetFaultKind::kStall ? ":MILLIS"
+                                                             : "") +
+                         ", got '" + std::string(value) + "'");
+    }
+    fault.target = std::string(value.substr(0, at));
+    std::string_view tail = value.substr(at + 1);
+    if (fault.kind == NetFaultKind::kStall) {
+      const std::size_t colon = tail.find(':');
+      if (colon == std::string_view::npos) {
+        bad_spec(spec, "netstall expects TARGET@COUNT:MILLIS, got '" +
+                           std::string(value) + "'");
+      }
+      fault.millis = static_cast<std::uint32_t>(
+          parse_u64(spec, tail.substr(colon + 1), "netstall millis"));
+      if (fault.millis == 0) {
+        bad_spec(spec, "netstall millis must be positive");
+      }
+      tail = tail.substr(0, colon);
+    }
+    fault.after_records =
+        parse_u64(spec, tail, (std::string(key) + " count").c_str());
+    if (fault.after_records == 0) {
+      bad_spec(spec, std::string(key) + " count must be positive");
+    }
+    plan.faults.push_back(std::move(fault));
+  }
+  return plan;
+}
+
+NetFaultInjector::Triggered NetFaultInjector::on_records(
+    std::string_view target, std::uint64_t n) {
+  Triggered out;
+  if (plan_.faults.empty() || n == 0) return out;
+  std::uint64_t& count = counts_[std::string(target)];
+  const std::uint64_t before = count;
+  count += n;
+  for (std::size_t i = 0; i < plan_.faults.size(); ++i) {
+    if (fired_[i]) continue;
+    const NetFault& f = plan_.faults[i];
+    if (f.target != target) continue;
+    if (before < f.after_records && count >= f.after_records) {
+      fired_[i] = true;
+      switch (f.kind) {
+        case NetFaultKind::kDrop:
+          out.drop = true;
+          break;
+        case NetFaultKind::kReset:
+          out.reset = true;
+          break;
+        case NetFaultKind::kStall:
+          out.stall_millis = std::max(out.stall_millis, f.millis);
+          break;
+      }
+    }
+  }
+  return out;
+}
+
+std::uint32_t backoff_with_jitter(std::uint32_t base_ms, std::uint32_t cap_ms,
+                                  std::uint32_t attempt, std::uint64_t seed,
+                                  std::uint64_t lane) {
+  if (base_ms == 0) base_ms = 1;
+  if (cap_ms < base_ms) cap_ms = base_ms;
+  // base * 2^attempt without overflow: once the shift alone clears the
+  // cap, the product would too.
+  std::uint64_t backoff = base_ms;
+  if (attempt >= 32 || (backoff << attempt) >= cap_ms) {
+    backoff = cap_ms;
+  } else {
+    backoff <<= attempt;
+  }
+  const double jitter = 0.5 + 0.5 * uniform01(seed, attempt, lane);
+  const double ms = static_cast<double>(backoff) * jitter;
+  return static_cast<std::uint32_t>(ms < 1.0 ? 1.0 : ms);
 }
 
 }  // namespace geovalid::stream

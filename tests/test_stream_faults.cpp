@@ -53,6 +53,102 @@ TEST(FaultSpec, RejectsMalformedSpecs) {
                std::invalid_argument);
 }
 
+TEST(NetFaultSpec, ParsesFullGrammar) {
+  const NetFaultPlan plan =
+      parse_net_fault_spec("netreset=b1@500,netstall=b2@100:250,seed=7");
+  EXPECT_EQ(plan.seed, 7u);
+  ASSERT_EQ(plan.faults.size(), 2u);
+  EXPECT_EQ(plan.faults[0].kind, NetFaultKind::kReset);
+  EXPECT_EQ(plan.faults[0].target, "b1");
+  EXPECT_EQ(plan.faults[0].after_records, 500u);
+  EXPECT_EQ(plan.faults[1].kind, NetFaultKind::kStall);
+  EXPECT_EQ(plan.faults[1].target, "b2");
+  EXPECT_EQ(plan.faults[1].after_records, 100u);
+  EXPECT_EQ(plan.faults[1].millis, 250u);
+
+  const NetFaultPlan drop = parse_net_fault_spec("netdrop=0@32");
+  ASSERT_EQ(drop.faults.size(), 1u);
+  EXPECT_EQ(drop.faults[0].kind, NetFaultKind::kDrop);
+  EXPECT_EQ(drop.faults[0].target, "0");
+  EXPECT_EQ(drop.faults[0].after_records, 32u);
+  EXPECT_EQ(drop.seed, 1u);
+}
+
+TEST(NetFaultSpec, EmptySpecIsAValidEmptyPlan) {
+  const NetFaultPlan plan = parse_net_fault_spec("");
+  EXPECT_TRUE(plan.empty());
+  EXPECT_EQ(plan.seed, 1u);
+}
+
+TEST(NetFaultSpec, RejectsMalformedSpecs) {
+  EXPECT_THROW(parse_net_fault_spec("netreset"), std::invalid_argument);
+  EXPECT_THROW(parse_net_fault_spec("netreset=b1"), std::invalid_argument);
+  EXPECT_THROW(parse_net_fault_spec("netreset=@5"), std::invalid_argument);
+  EXPECT_THROW(parse_net_fault_spec("netreset=b1@0"), std::invalid_argument);
+  EXPECT_THROW(parse_net_fault_spec("netstall=b1@5"), std::invalid_argument);
+  EXPECT_THROW(parse_net_fault_spec("netstall=b1@5:0"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_net_fault_spec("netstall=b1@x:20"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_net_fault_spec("frobnicate=b1@5"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_net_fault_spec("netdrop=b1@5,,seed=2"),
+               std::invalid_argument);
+}
+
+TEST(NetFaultInjector, FiresEachClauseOnceAtTheCrossingRecord) {
+  NetFaultInjector injector(
+      parse_net_fault_spec("netreset=b1@10,netstall=b1@20:40,netdrop=b2@5"));
+
+  // Counters are per target; b2's clause is untouched by b1 traffic.
+  auto t = injector.on_records("b1", 9);
+  EXPECT_FALSE(t.reset);
+  EXPECT_FALSE(t.drop);
+  EXPECT_EQ(t.stall_millis, 0u);
+
+  // Crossing 10 fires the reset exactly once...
+  t = injector.on_records("b1", 1);
+  EXPECT_TRUE(t.reset);
+  t = injector.on_records("b1", 5);
+  EXPECT_FALSE(t.reset);
+
+  // ...and one advance can cross several thresholds at once.
+  t = injector.on_records("b1", 100);
+  EXPECT_FALSE(t.reset);
+  EXPECT_EQ(t.stall_millis, 40u);
+
+  t = injector.on_records("b2", 5);
+  EXPECT_TRUE(t.drop);
+  t = injector.on_records("b2", 1000);
+  EXPECT_FALSE(t.drop);
+}
+
+TEST(NetFaultInjector, BackoffIsDeterministicBoundedAndDoubling) {
+  // Same (seed, lane, attempt) → same delay; different seed → a different
+  // schedule somewhere in the first attempts.
+  bool differs = false;
+  for (std::uint32_t attempt = 0; attempt < 8; ++attempt) {
+    const std::uint32_t a = backoff_with_jitter(100, 5000, attempt, 7, 2);
+    const std::uint32_t b = backoff_with_jitter(100, 5000, attempt, 7, 2);
+    EXPECT_EQ(a, b);
+    if (a != backoff_with_jitter(100, 5000, attempt, 8, 2)) differs = true;
+
+    // Jitter scales by [0.5, 1.0), so every delay stays within
+    // [uncapped/2, cap] and is at least 1ms.
+    const std::uint64_t uncapped =
+        std::min<std::uint64_t>(5000, 100ull << attempt);
+    EXPECT_GE(a, static_cast<std::uint32_t>(uncapped / 2));
+    EXPECT_LE(a, 5000u);
+    EXPECT_GE(a, 1u);
+  }
+  EXPECT_TRUE(differs);
+
+  // Deep attempts saturate at the cap (never overflow back down).
+  const std::uint32_t deep = backoff_with_jitter(100, 5000, 63, 7, 2);
+  EXPECT_GE(deep, 2500u);
+  EXPECT_LE(deep, 5000u);
+}
+
 TEST(FaultInjector, CorruptionIsSeedDeterministic) {
   const synth::GeneratedStudy study =
       synth::generate_study(synth::tiny_preset());

@@ -56,7 +56,11 @@
 //   geovalid route --backend [NAME=]HOST:INGEST:HTTP [--backend ...]
 //                  [--port N] [--http-port N] [--host ADDR] [--vnodes N]
 //                  [--max-connections N] [--idle-timeout S]
-//                  [--backend-buffer BYTES] [--dead-letter FILE]
+//                  [--backend-buffer BYTES] [--spool-bytes BYTES]
+//                  [--probe-interval S] [--probe-timeout S]
+//                  [--probe-down-after N] [--reconnect-backoff-ms MS]
+//                  [--reconnect-backoff-cap-ms MS] [--fanout-deadline-s S]
+//                  [--inject-net-faults SPEC] [--dead-letter FILE]
 //                  [--port-file PATH]
 //       Front N independent serve daemons as one cluster
 //       (docs/CLUSTER.md): ingest records are sharded by user id on a
@@ -64,8 +68,15 @@
 //       plane aggregates /metrics and /v1/summary, proxies per-user
 //       verdict lookups, fans out /admin/checkpoint and /admin/drain
 //       with all-or-error semantics, and exposes the rebalance hook
-//       POST /admin/backends/{name}. A drained cluster exits 0;
-//       SIGTERM/SIGINT flush and exit 5 leaving the backends running.
+//       POST /admin/backends/{name}. The router self-heals
+//       (docs/ROBUSTNESS.md): backends are health-probed, lost
+//       connections reconnect with jittered backoff, and records for a
+//       down backend spool (bounded by --spool-bytes, overflowing to
+//       backpressure) until recovery decides between drain and client
+//       re-send. --inject-net-faults takes the deterministic net fault
+//       grammar (netdrop/netstall/netreset, stream/faults.h) for chaos
+//       drills. A drained cluster exits 0; SIGTERM/SIGINT flush and
+//       exit 5 leaving the backends running.
 //
 // Exit codes (docs/ROBUSTNESS.md):
 //   0  success
@@ -160,6 +171,12 @@ int usage() {
       "                 [--port N] [--http-port N] [--host ADDR]\n"
       "                 [--vnodes N] [--max-connections N]\n"
       "                 [--idle-timeout SECONDS] [--backend-buffer BYTES]\n"
+      "                 [--spool-bytes BYTES] [--probe-interval SECONDS]\n"
+      "                 [--probe-timeout SECONDS] [--probe-down-after N]\n"
+      "                 [--reconnect-backoff-ms MS] "
+      "[--reconnect-backoff-cap-ms MS]\n"
+      "                 [--fanout-deadline-s SECONDS] "
+      "[--inject-net-faults SPEC]\n"
       "                 [--dead-letter FILE] [--port-file PATH]\n"
       "\n"
       "common flags:\n"
@@ -833,6 +850,47 @@ int cmd_route(int argc, char** argv) {
     if (*buf == 0) throw UsageError("--backend-buffer must be positive");
     cfg.backend_buffer_bytes = static_cast<std::size_t>(*buf);
   }
+  if (const auto spool = int_flag_value(argc, argv, "--spool-bytes")) {
+    if (*spool == 0) throw UsageError("--spool-bytes must be positive");
+    cfg.spool_bytes = static_cast<std::size_t>(*spool);
+  }
+  if (const auto s = flag_value(argc, argv, "--probe-interval")) {
+    if (*s <= 0) throw UsageError("--probe-interval must be positive");
+    cfg.probe_interval_s = *s;
+  }
+  if (const auto s = flag_value(argc, argv, "--probe-timeout")) {
+    if (*s <= 0) throw UsageError("--probe-timeout must be positive");
+    cfg.probe_timeout_s = *s;
+  }
+  if (const auto n = int_flag_value(argc, argv, "--probe-down-after")) {
+    if (*n == 0) throw UsageError("--probe-down-after must be positive");
+    cfg.probe_down_after = static_cast<std::size_t>(*n);
+  }
+  if (const auto ms = int_flag_value(argc, argv, "--reconnect-backoff-ms")) {
+    if (*ms == 0) {
+      throw UsageError("--reconnect-backoff-ms must be positive");
+    }
+    cfg.reconnect_backoff_ms = static_cast<std::uint32_t>(*ms);
+  }
+  if (const auto ms =
+          int_flag_value(argc, argv, "--reconnect-backoff-cap-ms")) {
+    if (*ms == 0) {
+      throw UsageError("--reconnect-backoff-cap-ms must be positive");
+    }
+    cfg.reconnect_backoff_cap_ms = static_cast<std::uint32_t>(*ms);
+  }
+  if (const auto s = flag_value(argc, argv, "--fanout-deadline-s")) {
+    if (*s <= 0) throw UsageError("--fanout-deadline-s must be positive");
+    cfg.fanout_deadline_s = *s;
+  }
+  if (const auto spec =
+          string_flag_value(argc, argv, "--inject-net-faults")) {
+    try {
+      cfg.net_faults = stream::parse_net_fault_spec(*spec);
+    } catch (const std::invalid_argument& e) {
+      throw UsageError(std::string("--inject-net-faults: ") + e.what());
+    }
+  }
   if (const auto dead_letter =
           string_flag_value(argc, argv, "--dead-letter")) {
     cfg.quarantine.dead_letter_path = *dead_letter;
@@ -865,6 +923,7 @@ int cmd_route(int argc, char** argv) {
             << "  replayed     " << stats.records_replayed << "\n"
             << "  malformed    " << stats.records_malformed << "\n"
             << "  dropped      " << stats.records_dropped << "\n"
+            << "  superseded   " << stats.records_superseded << "\n"
             << "  http reqs    " << stats.http_requests << "\n";
 
   if (stats.exit == cluster::RouteExit::kStopped) {

@@ -4,7 +4,8 @@
 //
 //   geovalid_loadgen <dataset_dir> --port N [--http-port N] [--host ADDR]
 //                    [--connections N] [--rate EVENTS/S]
-//                    [--format text|binary] [--route]
+//                    [--format text|binary] [--retries N]
+//                    [--inject-net-faults SPEC] [--route]
 //
 // Events are partitioned by `user % connections` so each user's records
 // arrive in trace order over one connection — the ordering the engine's
@@ -20,6 +21,15 @@
 // JSON) are loss-window *measurements* for cluster kill/recover benches,
 // not run failures, so they never turn into a non-zero exit.
 //
+// --retries N rides out a dying/recovering target: a refused connect or a
+// peer lost mid-replay (EPIPE) waits a jittered exponential backoff,
+// re-dials, and re-sends the shard from the beginning — the full re-send
+// the cluster's epoch protocol deduplicates. The JSON reports `reconnects`
+// (re-dials made) and `retry_exhausted` (replay still incomplete).
+// --inject-net-faults SPEC applies the deterministic net fault grammar
+// (stream/faults.h) client-side, with the zero-based connection index as
+// the target name.
+//
 // Exit codes: 0 success, 1 runtime failure (daemon unreachable, replay
 // connections dropped, or a failed control-plane probe — all waived
 // under --route), 2 usage error.
@@ -27,6 +37,7 @@
 #include <cstring>
 #include <iostream>
 #include <optional>
+#include <stdexcept>
 #include <string>
 
 #include "serve/client.h"
@@ -43,6 +54,7 @@ int usage() {
       << "usage: geovalid_loadgen <dataset_dir> --port N [--http-port N]\n"
          "                        [--host ADDR] [--connections N]\n"
          "                        [--rate EVENTS/S] [--format text|binary]\n"
+         "                        [--retries N] [--inject-net-faults SPEC]\n"
          "                        [--route]\n";
   return 2;
 }
@@ -123,6 +135,19 @@ int main(int argc, char** argv) {
         cfg.binary = true;
       } else if (*format != "text") {
         std::cerr << "error: --format must be text or binary\n";
+        return usage();
+      }
+    }
+    if (const auto retries =
+            int_flag_value(argc - 2, argv + 2, "--retries")) {
+      cfg.retries = static_cast<std::size_t>(*retries);
+    }
+    if (const auto spec =
+            string_flag_value(argc - 2, argv + 2, "--inject-net-faults")) {
+      try {
+        cfg.net_faults = stream::parse_net_fault_spec(*spec);
+      } catch (const std::invalid_argument& e) {
+        std::cerr << "error: --inject-net-faults: " << e.what() << "\n";
         return usage();
       }
     }
