@@ -133,6 +133,8 @@ constexpr const char* kRouteLabels[] = {
     "/healthz",          "/readyz",
     "/metrics",          "/v1/summary",
     "/v1/users/{id}/verdicts",
+    "/v1/users/{id}/score",
+    "/v1/suspects",
     "/admin/checkpoint", "/admin/drain",
     "/admin/backends/{name}",
     "other",
@@ -189,6 +191,62 @@ void append_json_string_array(std::string& out,
     out += '"';
   }
   out += ']';
+}
+
+/// The bare number token after `"key":` in one flat JSON object — returned
+/// verbatim, so the merged suspects body re-emits each backend's score
+/// bytes untouched (byte-determinism without float round-tripping).
+std::string_view json_number_token(std::string_view obj,
+                                   std::string_view key) {
+  const std::string pattern = "\"" + std::string(key) + "\":";
+  std::size_t p = obj.find(pattern);
+  if (p == std::string_view::npos) return {};
+  p += pattern.size();
+  std::size_t e = p;
+  while (e < obj.size() && obj[e] != ',' && obj[e] != '}') ++e;
+  return obj.substr(p, e - p);
+}
+
+/// One row of a backend's /v1/suspects answer, kept textual.
+struct SuspectToken {
+  trace::UserId user = 0;
+  double score_value = 0.0;   ///< parsed copy, ordering only
+  std::string score_text;     ///< verbatim backend token
+  std::string checkins_text;  ///< verbatim backend token
+};
+
+/// Pulls the suspect rows out of one backend body
+/// ({"k":K,"suspects":[{"user":U,"score":S,"checkins":C},...]}). Rows
+/// that fail to parse are dropped — a malformed backend degrades the
+/// merge, it does not poison it.
+void extract_suspects(std::string_view body,
+                      std::vector<SuspectToken>& out) {
+  std::size_t p = body.find("\"suspects\":[");
+  if (p == std::string_view::npos) return;
+  p += 12;
+  while (p < body.size() && body[p] != ']') {
+    const std::size_t open = body.find('{', p);
+    if (open == std::string_view::npos) return;
+    const std::size_t close = body.find('}', open);
+    if (close == std::string_view::npos) return;
+    const std::string_view obj = body.substr(open, close - open + 1);
+    SuspectToken token;
+    const std::string_view user = json_number_token(obj, "user");
+    const std::string_view score = json_number_token(obj, "score");
+    const std::string_view checkins = json_number_token(obj, "checkins");
+    const auto [uptr, uec] =
+        std::from_chars(user.data(), user.data() + user.size(), token.user);
+    const auto [sptr, sec] = std::from_chars(
+        score.data(), score.data() + score.size(), token.score_value);
+    if (!user.empty() && uec == std::errc{} &&
+        uptr == user.data() + user.size() && !score.empty() &&
+        sec == std::errc{} && !checkins.empty()) {
+      token.score_text.assign(score);
+      token.checkins_text.assign(checkins);
+      out.push_back(std::move(token));
+    }
+    p = close + 1;
+  }
 }
 
 }  // namespace
@@ -731,6 +789,111 @@ void Router::handle_proxy_verdicts(std::string_view id_text, int& status,
   }
 }
 
+void Router::handle_proxy_score(std::string_view id_text, int& status,
+                                std::string& body) {
+  trace::UserId id = 0;
+  const auto [ptr, ec] =
+      std::from_chars(id_text.data(), id_text.data() + id_text.size(), id);
+  if (id_text.empty() || ec != std::errc{} ||
+      ptr != id_text.data() + id_text.size()) {
+    status = 400;
+    body = "{\"error\":\"bad user id\"}";
+    return;
+  }
+  // The ring owner holds every record of this user, so its answer — score,
+  // 404 for an unknown user, 409 without a model — is the cluster's.
+  const std::size_t owner = ring_.owner_index(id);
+  const BackendAddr& addr = forwarders_[owner]->addr();
+  try {
+    serve::HttpResponse resp = serve::http_get_deadline(
+        addr.host, addr.http_port,
+        "/v1/users/" + std::to_string(id) + "/score", fanout_deadline_ms());
+    status = resp.status;
+    body = std::move(resp.body);
+  } catch (const NetError&) {
+    if (metrics_) metrics_->backend_errors[owner]->inc();
+    status = 502;
+    body = "{\"error\":\"backend unreachable\",\"backend\":\"" + addr.name +
+           "\"}";
+  }
+}
+
+void Router::handle_suspects(std::string_view target, int& status,
+                             std::string& body) {
+  std::size_t k = 10;
+  if (target != "/v1/suspects") {
+    const std::string_view k_text = target.substr(15);
+    const auto [ptr, ec] =
+        std::from_chars(k_text.data(), k_text.data() + k_text.size(), k);
+    if (k_text.empty() || ec != std::errc{} ||
+        ptr != k_text.data() + k_text.size()) {
+      status = 400;
+      body = "{\"error\":\"bad k\"}";
+      return;
+    }
+  }
+  // Every backend's top-k is a superset of its contribution to the
+  // cluster top-k (users never span backends), so fan out the same k and
+  // re-rank the union with the backends' own total order.
+  const std::string path = "/v1/suspects?k=" + std::to_string(k);
+  std::vector<SuspectToken> merged;
+  std::vector<std::string> failed;
+  std::size_t answered = 0;
+  bool saw_no_model = false;
+  for (std::size_t i = 0; i < forwarders_.size(); ++i) {
+    const BackendAddr& addr = forwarders_[i]->addr();
+    try {
+      serve::HttpResponse resp = serve::http_get_deadline(
+          addr.host, addr.http_port, path, fanout_deadline_ms());
+      if (resp.status == 200) {
+        ++answered;
+        extract_suspects(resp.body, merged);
+      } else {
+        if (resp.status == 409) saw_no_model = true;
+        failed.push_back(addr.name);
+      }
+    } catch (const NetError&) {
+      failed.push_back(addr.name);
+      if (metrics_) metrics_->backend_errors[i]->inc();
+    }
+  }
+  if (answered == 0) {
+    if (saw_no_model) {
+      // Uniform config case: the cluster serves without a model.
+      status = 409;
+      body = "{\"error\":\"serving without a model\"}";
+      return;
+    }
+    status = 502;
+    body = "{\"error\":\"suspects fan-out failed\",\"failed\":";
+    append_json_string_array(body, failed);
+    body += "}";
+    return;
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const SuspectToken& a, const SuspectToken& b) {
+              if (a.score_value != b.score_value) {
+                return a.score_value > b.score_value;
+              }
+              return a.user < b.user;
+            });
+  if (merged.size() > k) merged.resize(k);
+  status = 200;
+  body = "{\"backends\":" + std::to_string(answered);
+  if (!failed.empty()) {
+    body += ",\"degraded\":";
+    append_json_string_array(body, failed);
+  }
+  body += ",\"k\":" + std::to_string(k) + ",\"suspects\":[";
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    if (i > 0) body += ',';
+    body += "{\"user\":" + std::to_string(merged[i].user) + ",\"score\":" +
+            merged[i].score_text + ",\"checkins\":" +
+            merged[i].checkins_text + "}";
+  }
+  body += "]}";
+}
+
 void Router::handle_checkpoint(int& status, std::string& body) {
   // Buffered records must reach the backends first, or the fanned-out
   // checkpoints would not cover everything the router has accepted.
@@ -1125,6 +1288,25 @@ void Router::route_request(Conn& c) {
           status, body);
     } else {
       respond_method_not_allowed("/v1/users/{id}/verdicts");
+    }
+  } else if (req.target.rfind("/v1/users/", 0) == 0 &&
+             req.target.size() > 10 &&
+             req.target.compare(req.target.size() - 6, 6, "/score") == 0) {
+    route = "/v1/users/{id}/score";
+    if (req.method == "GET") {
+      handle_proxy_score(
+          std::string_view(req.target).substr(10, req.target.size() - 16),
+          status, body);
+    } else {
+      respond_method_not_allowed("/v1/users/{id}/score");
+    }
+  } else if (req.target == "/v1/suspects" ||
+             req.target.rfind("/v1/suspects?k=", 0) == 0) {
+    route = "/v1/suspects";
+    if (req.method == "GET") {
+      handle_suspects(req.target, status, body);
+    } else {
+      respond_method_not_allowed("/v1/suspects");
     }
   } else if (req.target == "/admin/checkpoint") {
     route = "/admin/checkpoint";

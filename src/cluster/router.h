@@ -256,6 +256,14 @@ class Router {
   void handle_summary(int& status, std::string& body);
   void handle_proxy_verdicts(std::string_view id_text, int& status,
                              std::string& body);
+  /// Score lookup proxied to the ring owner (docs/DETECTION.md).
+  void handle_proxy_score(std::string_view id_text, int& status,
+                          std::string& body);
+  /// /v1/suspects[?k=N]: fan out, merge the per-backend top-k lists into
+  /// one ranking (score desc, user id asc; score bytes re-emitted
+  /// verbatim), lead the body with "backends":N.
+  void handle_suspects(std::string_view target, int& status,
+                       std::string& body);
   void handle_checkpoint(int& status, std::string& body);
   void handle_replace(const std::string& name, const std::string& json,
                       int& status, std::string& body);

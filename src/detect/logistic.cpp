@@ -45,6 +45,17 @@ Standardizer Standardizer::fit(std::span<const std::vector<double>> rows) {
   return s;
 }
 
+Standardizer Standardizer::from_params(std::span<const double> mean,
+                                       std::span<const double> sigma) {
+  if (mean.size() != sigma.size()) {
+    throw std::invalid_argument("Standardizer: mean/sigma size mismatch");
+  }
+  Standardizer s;
+  s.mean_.assign(mean.begin(), mean.end());
+  s.sigma_.assign(sigma.begin(), sigma.end());
+  return s;
+}
+
 std::vector<double> Standardizer::transform(
     std::span<const double> row) const {
   if (row.size() != mean_.size()) {
@@ -110,6 +121,14 @@ LogisticModel LogisticModel::train(std::span<const std::vector<double>> rows,
       model.bias_ -= lr * grad_b * scale;
     }
   }
+  return model;
+}
+
+LogisticModel LogisticModel::from_params(std::span<const double> weights,
+                                         double bias) {
+  LogisticModel model;
+  model.weights_.assign(weights.begin(), weights.end());
+  model.bias_ = bias;
   return model;
 }
 

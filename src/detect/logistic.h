@@ -22,6 +22,11 @@ class Standardizer {
   /// sigma 1 so they standardize to 0.
   static Standardizer fit(std::span<const std::vector<double>> rows);
 
+  /// Rebuilds a standardizer from persisted parameters (the model-artifact
+  /// load path). Sizes must match; throws std::invalid_argument otherwise.
+  static Standardizer from_params(std::span<const double> mean,
+                                  std::span<const double> sigma);
+
   [[nodiscard]] std::vector<double> transform(
       std::span<const double> row) const;
 
@@ -53,6 +58,11 @@ class LogisticModel {
   static LogisticModel train(std::span<const std::vector<double>> rows,
                              std::span<const int> labels,
                              const LogisticConfig& config = {});
+
+  /// Rebuilds a trained model from persisted parameters (the model-artifact
+  /// load path).
+  static LogisticModel from_params(std::span<const double> weights,
+                                   double bias);
 
   /// Probability of the positive class for one standardized row.
   [[nodiscard]] double predict(std::span<const double> row) const;

@@ -1,0 +1,172 @@
+#include "score/scorer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geo/geodesic.h"
+#include "trace/time.h"
+#include "trace/user.h"
+
+namespace geovalid::score {
+namespace {
+
+// Mirrors detect/features.cpp exactly: same constant, same clamp. Any
+// drift here breaks the bit-equality the ScoreEquivalence suite asserts.
+constexpr double kTau = 6.28318530717958647692;
+
+double log1p_safe(double x) { return std::log1p(std::max(0.0, x)); }
+
+}  // namespace
+
+double OnlineScorer::observe(trace::UserId user, const trace::Checkin& c) {
+  UserState& s = users_[user];
+  // Fold the new checkin into the aggregates first: the batch pass
+  // computes them over the whole prefix, current checkin included.
+  s.checkins.push_back(c);
+  s.lat_sum += c.location.lat_deg;
+  s.lon_sum += c.location.lon_deg;
+  ++s.venue_counts[c.poi];
+  ++s.category_counts[static_cast<std::size_t>(c.category)];
+
+  const std::vector<trace::Checkin>& events = s.checkins;
+  const std::size_t i = events.size() - 1;
+  const auto n = static_cast<double>(events.size());
+  detect::FeatureVector f;
+
+  const double gap_prev =
+      i == 0 ? 1e6 : trace::to_minutes(c.t - events[i - 1].t);
+  f[0] = log1p_safe(gap_prev);
+  // The newest checkin of a prefix has no successor: batch scores it with
+  // the same 1e6 sentinel a trace-final checkin gets.
+  f[1] = log1p_safe(1e6);
+
+  // Backward half of the 10-minute burst window only — the forward half
+  // is empty for the newest checkin by definition.
+  std::size_t burst = 0;
+  for (std::size_t j = i; j-- > 0;) {
+    if (c.t - events[j].t > trace::minutes(10)) break;
+    ++burst;
+  }
+  f[2] = static_cast<double>(burst);
+
+  const double hour =
+      static_cast<double>(c.t % trace::kSecondsPerDay) / 3600.0;
+  f[3] = std::sin(kTau * hour / 24.0);
+  f[4] = std::cos(kTau * hour / 24.0);
+  const auto day_index = static_cast<std::size_t>(c.t / trace::kSecondsPerDay);
+  const std::size_t dow = day_index % 7;
+  f[5] = (dow == 4 || dow == 5) ? 1.0 : 0.0;
+
+  const geo::LatLon centroid{s.lat_sum / n, s.lon_sum / n};
+  f[6] = log1p_safe(geo::distance_m(c.location, centroid) /
+                    geo::kMetersPerKilometer);
+  if (i == 0) {
+    f[7] = 0.0;
+    f[8] = 0.0;
+  } else {
+    const double d = geo::distance_m(c.location, events[i - 1].location);
+    f[7] = log1p_safe(d / geo::kMetersPerKilometer);
+    const double dt = static_cast<double>(c.t - events[i - 1].t);
+    f[8] = dt <= 0.0 ? log1p_safe(1e4) : log1p_safe(d / dt);
+  }
+
+  f[9] = static_cast<double>(s.venue_counts[c.poi]);
+  const std::size_t cat_count =
+      s.category_counts[static_cast<std::size_t>(c.category)];
+  f[10] = static_cast<double>(cat_count) / n;
+
+  // CheckinTrace::events_per_day over the prefix, verbatim.
+  double per_day = 0.0;
+  if (events.size() >= 2) {
+    const trace::TimeSec span = events.back().t - events.front().t;
+    if (span > 0) {
+      per_day = n / (static_cast<double>(span) /
+                     static_cast<double>(trace::kSecondsPerDay));
+    }
+  }
+  f[11] = log1p_safe(per_day);
+
+  const double score = model_->score(f);
+  s.arrival_score_sum += score;
+  return score;
+}
+
+double OnlineScorer::exact_mean_score(const UserState& s) const {
+  // The batch path itself, not a mirror of it: rebuild the user record
+  // and run extract_features + the model over it.
+  trace::UserRecord user;
+  user.checkins = trace::CheckinTrace(s.checkins);
+  const std::vector<detect::FeatureVector> features =
+      detect::extract_features(user);
+  double sum = 0.0;
+  for (const detect::FeatureVector& f : features) sum += model_->score(f);
+  return sum / static_cast<double>(features.size());
+}
+
+std::optional<UserScoreSnapshot> OnlineScorer::user_score(
+    trace::UserId user) const {
+  const auto it = users_.find(user);
+  if (it == users_.end()) return std::nullopt;
+  const UserState& s = it->second;
+  UserScoreSnapshot snap;
+  snap.checkins = s.checkins.size();
+  snap.score = exact_mean_score(s);
+  snap.live_score =
+      s.arrival_score_sum / static_cast<double>(s.checkins.size());
+  return snap;
+}
+
+std::vector<SuspectEntry> OnlineScorer::suspects(std::size_t k) const {
+  std::vector<SuspectEntry> all;
+  all.reserve(users_.size());
+  for (const auto& [id, s] : users_) {
+    all.push_back(SuspectEntry{id, exact_mean_score(s),
+                               static_cast<std::uint64_t>(s.checkins.size())});
+  }
+  std::sort(all.begin(), all.end(),
+            [](const SuspectEntry& a, const SuspectEntry& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.user < b.user;
+            });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+void OnlineScorer::save_user(stream::SnapshotWriter& w,
+                             trace::UserId user) const {
+  const auto it = users_.find(user);
+  if (it == users_.end()) {
+    w.u64(0);
+    return;
+  }
+  const UserState& s = it->second;
+  w.u64(s.checkins.size());
+  for (const trace::Checkin& c : s.checkins) {
+    w.i64(c.t);
+    w.u32(c.poi);
+    w.u8(static_cast<std::uint8_t>(c.category));
+    w.f64(c.location.lat_deg);
+    w.f64(c.location.lon_deg);
+  }
+}
+
+void OnlineScorer::load_user(stream::SnapshotReader& r, trace::UserId user) {
+  const std::size_t count = r.length();
+  for (std::size_t i = 0; i < count; ++i) {
+    trace::Checkin c;
+    c.t = r.i64();
+    c.poi = r.u32();
+    const std::uint8_t category = r.u8();
+    if (category >= trace::kPoiCategoryCount) {
+      throw stream::SnapshotError("scorer: category out of domain");
+    }
+    c.category = static_cast<trace::PoiCategory>(category);
+    c.location.lat_deg = r.f64();
+    c.location.lon_deg = r.f64();
+    // Deterministic re-observation rebuilds every aggregate (and the
+    // arrival-score mean) bit-identically to the pre-checkpoint life.
+    observe(user, c);
+  }
+}
+
+}  // namespace geovalid::score

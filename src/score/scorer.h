@@ -1,0 +1,112 @@
+// Online fake-checkin scoring: the streaming analogue of the batch
+// detector (detect/features.h + detect/detector.h).
+//
+// The batch feature vector of a checkin is not causal — gap-to-next, the
+// forward half of the 10-minute burst window, the centroid and the final
+// venue/category counts all depend on checkins that have not arrived yet.
+// What *is* exactly computable online is the batch feature vector of the
+// NEWEST checkin of the prefix seen so far: its gap-to-next is the 1e6
+// sentinel, its forward burst window is empty, and every per-user
+// aggregate (running lat/lon sums accumulated in arrival order, venue and
+// category counts including the new checkin, the prefix's events-per-day)
+// equals the batch aggregate of that prefix bit for bit, because the
+// floating-point accumulation order is the same. observe() exploits this:
+// each arriving checkin is scored through the loaded model with O(1)
+// amortized work (plus a backward scan bounded by the 10-minute burst),
+// and the result — the *arrival score* — is bit-identical to running the
+// batch extract_features/score path on the prefix and reading its last
+// row. The running mean of arrival scores is the *live score*: a pure
+// function of the user's own event order, so it is deterministic across
+// shard counts, reactor counts and producer interleavings.
+//
+// Served scores (`/v1/users/{id}/score`, `/v1/suspects`) are *exact*: the
+// scorer keeps each user's checkin records and re-runs the batch feature
+// extraction over them on demand (queries run under the engine's quiesce
+// gate), so the reported score is bit-identical to
+// `TrainedDetector::score_user` on the same trace — the equivalence the
+// ScoreEquivalence suite pins down. Checkins are sparse next to GPS
+// samples (the paper's traces average a handful a day against per-minute
+// GPS), so storing them per user costs far less than the GPS state the
+// engine already holds.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "score/model.h"
+#include "stream/snapshot_io.h"
+#include "trace/checkin.h"
+#include "trace/poi.h"
+
+namespace geovalid::score {
+
+/// One user's served score.
+struct UserScoreSnapshot {
+  /// Mean batch score over the user's checkins so far — bit-identical to
+  /// averaging TrainedDetector::score_user on the same trace.
+  double score = 0.0;
+  /// Running mean of arrival scores (the streaming approximation the hot
+  /// path maintains; differs from `score` because early checkins were
+  /// scored before their successors arrived).
+  double live_score = 0.0;
+  std::uint64_t checkins = 0;
+};
+
+/// One row of a top-K suspect ranking, ordered score desc, user id asc.
+struct SuspectEntry {
+  trace::UserId user = 0;
+  double score = 0.0;
+  std::uint64_t checkins = 0;
+};
+
+/// Per-shard online scorer. Single-threaded like everything else a shard
+/// owns: observe() runs on the shard loop, queries run under the engine's
+/// quiesce gate.
+class OnlineScorer {
+ public:
+  /// The model must outlive the scorer (the engine config owns neither).
+  explicit OnlineScorer(const ScoreModel& model) : model_(&model) {}
+
+  /// Scores `c` as the newest checkin of `user`'s prefix and folds it into
+  /// the user's state. Returns the arrival score.
+  double observe(trace::UserId user, const trace::Checkin& c);
+
+  /// Exact score of one user (nullopt when the user has no checkins).
+  [[nodiscard]] std::optional<UserScoreSnapshot> user_score(
+      trace::UserId user) const;
+
+  /// This shard's top-k users by exact score (score desc, id asc).
+  [[nodiscard]] std::vector<SuspectEntry> suspects(std::size_t k) const;
+
+  /// Users with at least one checkin.
+  [[nodiscard]] std::size_t user_count() const { return users_.size(); }
+
+  /// Checkpoint support: the persisted state is the user's checkin
+  /// records; load_user() re-observes them in order, which rebuilds every
+  /// incremental aggregate (and the arrival-score mean) bit-identically.
+  void save_user(stream::SnapshotWriter& w, trace::UserId user) const;
+  void load_user(stream::SnapshotReader& r, trace::UserId user);
+
+ private:
+  struct UserState {
+    std::vector<trace::Checkin> checkins;
+    // Aggregates over `checkins`, maintained in arrival order so they are
+    // bit-identical to the batch pass's in-order accumulation.
+    double lat_sum = 0.0;
+    double lon_sum = 0.0;
+    std::map<trace::PoiId, std::size_t> venue_counts;
+    std::array<std::size_t, trace::kPoiCategoryCount> category_counts{};
+    double arrival_score_sum = 0.0;
+  };
+
+  [[nodiscard]] double exact_mean_score(const UserState& s) const;
+
+  const ScoreModel* model_;
+  std::unordered_map<trace::UserId, UserState> users_;
+};
+
+}  // namespace geovalid::score

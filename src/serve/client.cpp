@@ -1,6 +1,7 @@
 #include "serve/client.h"
 
 #include <algorithm>
+#include <atomic>
 #include <charconv>
 #include <chrono>
 #include <optional>
@@ -193,6 +194,55 @@ LoadgenStats run_loadgen(std::span<const stream::Event> events,
   }
 
   std::vector<ConnResult> results(n);
+  // Scoring probe: one thread hitting /v1/suspects and a score lookup
+  // while the replay runs, then one final probe after it completes (so
+  // even an instant replay reports at least one post-ingest answer). The
+  // probed user cycles through the trace deterministically — no RNG, so
+  // two runs probe the same ids.
+  std::atomic<bool> probe_stop{false};
+  std::thread prober;
+  double suspect_latency_sum = 0.0;
+  if (config.probe_suspects && config.http_port != 0) {
+    prober = std::thread([&] {
+      std::uint64_t iter = 0;
+      while (true) {
+        const bool last = probe_stop.load(std::memory_order_relaxed);
+        const Clock::time_point t0 = Clock::now();
+        ++stats.suspect_probes;
+        try {
+          const HttpResponse resp =
+              http_get(config.host, config.http_port, "/v1/suspects?k=5");
+          suspect_latency_sum +=
+              std::chrono::duration<double>(Clock::now() - t0).count();
+          if (resp.status == 200) {
+            ++stats.suspect_probes_ok;
+            stats.suspects_json = resp.body;
+          }
+        } catch (const NetError&) {
+          // Fail soft, like the summary probe: the count stays, ok does
+          // not advance.
+        }
+        if (!events.empty()) {
+          const trace::UserId id =
+              events[(iter * 7919) % events.size()].user;
+          ++stats.score_probes;
+          try {
+            const HttpResponse resp =
+                http_get(config.host, config.http_port,
+                         "/v1/users/" + std::to_string(id) + "/score");
+            if (resp.status == 200) ++stats.score_probes_ok;
+          } catch (const NetError&) {
+          }
+        }
+        ++iter;
+        if (last) return;
+        for (int i = 0;
+             i < 10 && !probe_stop.load(std::memory_order_relaxed); ++i) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        }
+      }
+    });
+  }
   const Clock::time_point start = Clock::now();
   {
     std::vector<std::thread> threads;
@@ -203,6 +253,14 @@ LoadgenStats run_loadgen(std::span<const stream::Event> events,
       });
     }
     for (std::thread& t : threads) t.join();
+  }
+  if (prober.joinable()) {
+    probe_stop.store(true, std::memory_order_relaxed);
+    prober.join();
+    if (stats.suspect_probes > 0) {
+      stats.suspect_latency_s =
+          suspect_latency_sum / static_cast<double>(stats.suspect_probes);
+    }
   }
   stats.send_seconds =
       std::chrono::duration<double>(Clock::now() - start).count();
@@ -279,6 +337,18 @@ std::string to_json(const LoadgenStats& stats) {
   out += stats.metrics_ok ? "true" : "false";
   out += ",\"summary_latency_s\":";
   append_json_number(out, stats.summary_latency_s);
+  out += ",\"suspect_probes\":";
+  out += std::to_string(stats.suspect_probes);
+  out += ",\"suspect_probes_ok\":";
+  out += std::to_string(stats.suspect_probes_ok);
+  out += ",\"score_probes\":";
+  out += std::to_string(stats.score_probes);
+  out += ",\"score_probes_ok\":";
+  out += std::to_string(stats.score_probes_ok);
+  out += ",\"suspect_latency_s\":";
+  append_json_number(out, stats.suspect_latency_s);
+  out += ",\"suspects\":";
+  out += stats.suspects_json.empty() ? "null" : stats.suspects_json;
   out += ",\"summary\":";
   out += stats.summary_json.empty() ? "null" : stats.summary_json;
   out += "}";

@@ -46,6 +46,11 @@ struct LoadgenConfig {
   /// ("0", "1", ...). netreset/netdrop abort the connection mid-replay
   /// (exercising the retry path), netstall sleeps the sender.
   stream::NetFaultPlan net_faults;
+  /// Probe the scoring control plane while the replay runs (requires
+  /// http_port): periodic GET /v1/suspects?k=5 plus a score lookup for a
+  /// deterministically-chosen user from the trace, with one final probe
+  /// after the replay completes. Counts and latency land in the stats.
+  bool probe_suspects = false;
 };
 
 struct LoadgenStats {
@@ -72,6 +77,14 @@ struct LoadgenStats {
   bool metrics_ok = false;  ///< 200 + Prometheus content type on /metrics
   double summary_latency_s = 0.0;  ///< /v1/summary round trip (incl. drain)
   std::string summary_json;        ///< /v1/summary body, verbatim
+
+  // Scoring probe (only when probe_suspects was set):
+  std::uint64_t suspect_probes = 0;     ///< /v1/suspects requests issued
+  std::uint64_t suspect_probes_ok = 0;  ///< ... answered 200
+  std::uint64_t score_probes = 0;       ///< /v1/users/{id}/score requests
+  std::uint64_t score_probes_ok = 0;    ///< ... answered 200
+  double suspect_latency_s = 0.0;  ///< mean /v1/suspects round trip
+  std::string suspects_json;       ///< last /v1/suspects 200 body, verbatim
 };
 
 /// Replays `events` against a running server. Never throws on per-

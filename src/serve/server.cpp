@@ -39,6 +39,7 @@ constexpr std::size_t kReadBudgetBytes = 256 * 1024;
 constexpr const char* kRouteLabels[] = {
     "/healthz",          "/readyz",        "/metrics",
     "/v1/summary",       "/v1/users/{id}/verdicts",
+    "/v1/users/{id}/score",                "/v1/suspects",
     "/admin/checkpoint", "/admin/drain",   "other",
 };
 
@@ -201,6 +202,10 @@ Server::Server(ServeConfig config) : config_(std::move(config)) {
   // malformed payloads degrade to dead letters instead of poisoning the
   // engine (ISSUE: "typed rejection into the quarantine path").
   config_.engine.quarantine = &*quarantine_;
+  if (!config_.model_path.empty()) {
+    model_.emplace(score::load_model(config_.model_path));
+    config_.engine.model = &*model_;
+  }
   engine_.emplace(config_.engine);
   reactors_.reserve(config_.reactors);
   for (std::size_t i = 0; i < config_.reactors; ++i) {
@@ -729,6 +734,85 @@ void Server::route_request(Reactor& r, Conn& c) {
       } else {
         status = 404;
         body = "{\"error\":\"unknown user\"}";
+      }
+    }
+  } else if (req.target.rfind("/v1/users/", 0) == 0 &&
+             req.target.size() > 10 &&
+             req.target.compare(req.target.size() - 6, 6, "/score") == 0) {
+    route = "/v1/users/{id}/score";
+    const std::string_view id_text =
+        std::string_view(req.target).substr(10, req.target.size() - 16);
+    trace::UserId id = 0;
+    const auto [ptr, ec] =
+        std::from_chars(id_text.data(), id_text.data() + id_text.size(), id);
+    if (req.method != "GET") {
+      respond_method_not_allowed("/v1/users/{id}/score");
+    } else if (!engine_->scoring_enabled()) {
+      status = 409;
+      body = "{\"error\":\"serving without a model\"}";
+    } else if (id_text.empty() || ec != std::errc{} ||
+               ptr != id_text.data() + id_text.size()) {
+      status = 400;
+      body = "{\"error\":\"bad user id\"}";
+    } else {
+      std::optional<score::UserScoreSnapshot> snap;
+      if (!run_quiesced(r, [&] { snap = engine_->user_score(id); })) {
+        status = 503;  // crashing; the connection dies with the daemon
+        body = "{\"error\":\"shutting down\"}";
+      } else if (snap) {
+        status = 200;
+        body = "{\"user\":" + std::to_string(id) + ",\"score\":";
+        append_json_number(body, snap->score);
+        body += ",\"live_score\":";
+        append_json_number(body, snap->live_score);
+        body += ",\"checkins\":";
+        append_json_number(body, snap->checkins);
+        body += "}";
+      } else {
+        status = 404;
+        body = "{\"error\":\"unknown user\"}";
+      }
+    }
+  } else if (req.target == "/v1/suspects" ||
+             req.target.rfind("/v1/suspects?k=", 0) == 0) {
+    route = "/v1/suspects";
+    std::size_t k = 10;
+    bool k_ok = true;
+    if (req.target != "/v1/suspects") {
+      const std::string_view k_text =
+          std::string_view(req.target).substr(15);
+      const auto [ptr, ec] =
+          std::from_chars(k_text.data(), k_text.data() + k_text.size(), k);
+      k_ok = !k_text.empty() && ec == std::errc{} &&
+             ptr == k_text.data() + k_text.size();
+    }
+    if (req.method != "GET") {
+      respond_method_not_allowed("/v1/suspects");
+    } else if (!engine_->scoring_enabled()) {
+      status = 409;
+      body = "{\"error\":\"serving without a model\"}";
+    } else if (!k_ok) {
+      status = 400;
+      body = "{\"error\":\"bad k\"}";
+    } else {
+      std::vector<score::SuspectEntry> suspects;
+      if (!run_quiesced(r, [&] { suspects = engine_->top_suspects(k); })) {
+        status = 503;  // crashing; the connection dies with the daemon
+        body = "{\"error\":\"shutting down\"}";
+      } else {
+        status = 200;
+        body = "{\"k\":" + std::to_string(k) + ",\"suspects\":[";
+        bool first = true;
+        for (const score::SuspectEntry& s : suspects) {
+          if (!first) body += ",";
+          first = false;
+          body += "{\"user\":" + std::to_string(s.user) + ",\"score\":";
+          append_json_number(body, s.score);
+          body += ",\"checkins\":";
+          append_json_number(body, s.checkins);
+          body += "}";
+        }
+        body += "]}";
       }
     }
   } else if (req.target == "/admin/checkpoint") {

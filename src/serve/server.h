@@ -58,6 +58,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "score/model.h"
 #include "serve/net.h"
 #include "serve/wire.h"
 #include "stream/engine.h"
@@ -82,6 +83,12 @@ struct ServeConfig {
   /// threads; clamped at core::kMaxThreads (and rejected with a usage
   /// error at the CLI, mirroring --threads).
   std::size_t reactors = 1;
+
+  /// Detection model artifact (`geovalid train` output); empty serves
+  /// without scoring — the /v1/suspects and /v1/users/{id}/score
+  /// endpoints answer 409. A bad artifact fails construction with
+  /// stream::CheckpointError (exit code 4 at the CLI).
+  std::filesystem::path model_path;
 
   /// Checkpoint directory; empty disables checkpointing entirely.
   std::filesystem::path checkpoint_dir;
@@ -219,6 +226,9 @@ class Server {
   [[nodiscard]] std::uint64_t resumed_count(trace::UserId user) const;
 
   ServeConfig config_;
+  /// Loaded before the engine is built (the engine config points at it);
+  /// immutable afterwards, so worker threads score against it lock-free.
+  std::optional<score::ScoreModel> model_;
   std::optional<stream::Quarantine> quarantine_;
   std::optional<stream::StreamEngine> engine_;
 

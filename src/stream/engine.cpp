@@ -172,6 +172,8 @@ struct ShardMetrics {
   obs::Counter* verdict_missing = nullptr;
   obs::Counter* checkins = nullptr;
   obs::Counter* visits = nullptr;
+  obs::Counter* scored = nullptr;       ///< per-shard label; model only
+  obs::Gauge* scored_users = nullptr;   ///< per-shard label; model only
 };
 
 }  // namespace
@@ -206,6 +208,13 @@ struct StreamEngine::Shard {
   std::unordered_map<trace::UserId, UserPipeline> users;
   match::Partition totals;
   match::Partition counted;  ///< portion of `totals` already in the counters
+
+  // Online scoring (engaged only when the engine has a model). The scorer
+  // is worker-owned like `users`; queries read it under the same drain()
+  // quiescence contract.
+  std::optional<score::OnlineScorer> scorer;
+  std::uint64_t scored_total = 0;
+  std::uint64_t scored_counted = 0;  ///< portion already in the counter
 
   ShardMetrics metrics;
 
@@ -250,6 +259,10 @@ struct StreamEngine::Shard {
       if (auto visit = p.detector.push(e.gps)) p.matcher.push_visit(*visit);
     } else {
       p.observe_checkin_time(t);
+      if (scorer) {
+        scorer->observe(e.user, e.checkin);
+        ++scored_total;
+      }
       p.matcher.push_checkin(e.checkin);
     }
     p.matcher.advance(t, p.detector.open_window_start().value_or(t));
@@ -332,6 +345,12 @@ struct StreamEngine::Shard {
       metrics.visits->inc(totals.visits - counted.visits);
       counted = totals;
     }
+    if (metrics.scored) {
+      metrics.scored->inc(scored_total - scored_counted);
+      scored_counted = scored_total;
+      metrics.scored_users->set(
+          static_cast<std::int64_t>(scorer->user_count()));
+    }
     std::lock_guard<std::mutex> lock(snapshot_mu);
     snapshot = totals;
   }
@@ -350,6 +369,9 @@ StreamEngine::StreamEngine(StreamEngineConfig config) : config_(config) {
     shards_.back()->index = s;
     shards_.back()->capacity_batches =
         std::max<std::size_t>(1, config_.mailbox_capacity / config_.batch_size);
+    if (config_.model != nullptr) {
+      shards_.back()->scorer.emplace(*config_.model);
+    }
     staging_[s].reserve(config_.batch_size);
   }
   if (config_.metrics) {
@@ -392,6 +414,15 @@ StreamEngine::StreamEngine(StreamEngineConfig config) : config_(config) {
       m.visits = &r.counter(
           "stream_visits_total",
           "Visits detected online from GPS by the streaming engine");
+      if (config_.model != nullptr) {
+        m.scored = &r.counter(
+            "score_checkins_scored_total",
+            "Checkins scored through the loaded detection model",
+            shard_label);
+        m.scored_users = &r.gauge(
+            "score_users_tracked",
+            "Users with at least one scored checkin", shard_label);
+      }
     }
   }
   for (auto& shard : shards_) {
@@ -586,6 +617,10 @@ std::uint64_t StreamEngine::config_fingerprint() const {
   w.f64(config_.detector.stationary.accel_variance_max);
   w.u64(config_.detector.stationary.wifi_stable_samples);
   w.i64(config_.reorder_window);
+  // Appended only when scoring is on: model-less fingerprints are
+  // unchanged (old checkpoints still load), while a checkpoint written
+  // under one model refuses to resume under another or with scoring off.
+  if (config_.model != nullptr) w.u64(config_.model->fingerprint());
   return fnv1a64(w.bytes());
 }
 
@@ -625,6 +660,11 @@ std::string StreamEngine::save_state() {
     w.f64(p->gap_m2);
     p->detector.save(w);
     p->matcher.save(w);
+    // Scorer state rides in the same per-user section, gated on the model
+    // (whose fingerprint is already part of the payload's config print).
+    if (config_.model != nullptr) {
+      shards_[shard_of(id)]->scorer->save_user(w, id);
+    }
   }
   std::string out = w.take();
   last_state_bytes_ = out.size();
@@ -669,6 +709,7 @@ void StreamEngine::load_state(std::string_view payload) {
     p.gap_m2 = r.f64();
     p.detector.load(r);
     p.matcher.load(r);
+    if (config_.model != nullptr) shard.scorer->load_user(r, id);
     // Restored history lands in the owning shard's totals, so per-user
     // shares and per-shard sums stay consistent across a resume.
     add_partition(shard.totals, p.verdicts);
@@ -752,6 +793,32 @@ std::size_t StreamEngine::user_count() {
   std::size_t n = 0;
   for (const auto& shard : shards_) n += shard->users.size();
   return n;
+}
+
+std::optional<score::UserScoreSnapshot> StreamEngine::user_score(
+    trace::UserId user) {
+  if (config_.model == nullptr) return std::nullopt;
+  drain();
+  return shards_[shard_of(user)]->scorer->user_score(user);
+}
+
+std::vector<score::SuspectEntry> StreamEngine::top_suspects(std::size_t k) {
+  if (config_.model == nullptr || k == 0) return {};
+  drain();
+  // Each shard's top-k is a superset of its contribution to the global
+  // top-k; merge and re-rank with the same total order the shards used.
+  std::vector<score::SuspectEntry> merged;
+  for (const auto& shard : shards_) {
+    std::vector<score::SuspectEntry> part = shard->scorer->suspects(k);
+    merged.insert(merged.end(), part.begin(), part.end());
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const score::SuspectEntry& a, const score::SuspectEntry& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.user < b.user;
+            });
+  if (merged.size() > k) merged.resize(k);
+  return merged;
 }
 
 double UserVerdicts::extraneous_ratio() const {

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "match/pipeline.h"
+#include "score/scorer.h"
 #include "stream/event.h"
 #include "trace/visit_detector.h"
 
@@ -110,6 +111,14 @@ struct StreamEngineConfig {
   /// Deterministic fault injection (tests and `--inject-faults`): shard
   /// workers call FaultInjector::on_shard_event before each event.
   const FaultInjector* faults = nullptr;
+
+  /// Live fake-checkin scoring (serve --model): each shard scores every
+  /// applied checkin through this model as it arrives, and the query API
+  /// (user_score/top_suspects) serves exact batch-equivalent scores. The
+  /// model must outlive the engine; null disables scoring entirely. The
+  /// model's fingerprint joins the config fingerprint, so a checkpoint
+  /// written under one model refuses to resume under another.
+  const score::ScoreModel* model = nullptr;
 };
 
 class StreamEngine {
@@ -224,6 +233,24 @@ class StreamEngine {
   /// Users tracked across all shards (implicit drain(); producer thread
   /// only).
   [[nodiscard]] std::size_t user_count();
+
+  /// True when the engine was configured with a scoring model.
+  [[nodiscard]] bool scoring_enabled() const {
+    return config_.model != nullptr;
+  }
+
+  /// One user's live detection score (implicit drain(); producer thread
+  /// only). nullopt when scoring is disabled or the user has no applied
+  /// checkins. The `score` field is bit-identical to averaging the batch
+  /// detector's per-checkin scores over the same trace.
+  [[nodiscard]] std::optional<score::UserScoreSnapshot> user_score(
+      trace::UserId user);
+
+  /// Engine-wide top-k suspects, merged across shards (score desc, user
+  /// id asc; implicit drain(); producer thread only).
+  /// Empty when scoring is disabled. Byte-deterministic: independent of
+  /// shard count and producer interleaving.
+  [[nodiscard]] std::vector<score::SuspectEntry> top_suspects(std::size_t k);
 
   /// Events fully processed by the workers (not merely enqueued).
   [[nodiscard]] std::size_t events_processed() const;

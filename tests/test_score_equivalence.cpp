@@ -1,0 +1,455 @@
+// The scoring subsystem's acceptance property (docs/DETECTION.md): scores
+// served by the live daemon — across shard counts, reactor counts,
+// concurrent producers, a mid-run kill + resume, and the cluster router's
+// top-k merge — are byte-identical to the batch detector run offline on
+// the same trace. The oracle is a single OnlineScorer fed each user's
+// checkins in trace order (itself pinned to the batch path bit for bit by
+// the ScoreOnline suite), rendered through the same shortest-roundtrip
+// double formatting the server uses.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <charconv>
+#include <chrono>
+#include <cstddef>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/router.h"
+#include "core/pipeline.h"
+#include "detect/detector.h"
+#include "score/model.h"
+#include "score/scorer.h"
+#include "serve/client.h"
+#include "serve/net.h"
+#include "serve/server.h"
+#include "stream/engine.h"
+#include "stream/replay.h"
+#include "synth/config.h"
+#include "synth/study_generator.h"
+
+namespace geovalid::score {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path fresh_dir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+const core::StudyAnalysis& tiny() {
+  static const core::StudyAnalysis a =
+      core::analyze_generated(synth::tiny_preset());
+  return a;
+}
+
+const ScoreModel& tiny_model() {
+  static const ScoreModel m = ScoreModel::from_detector(
+      detect::train_detector(tiny().dataset, tiny().validation));
+  return m;
+}
+
+/// The trained artifact on disk, as `serve --model` consumes it.
+const fs::path& tiny_model_path() {
+  static const fs::path path = [] {
+    const fs::path p =
+        fs::path(::testing::TempDir()) / "score_equivalence_model.gvsm";
+    save_model(p, tiny_model());
+    return p;
+  }();
+  return path;
+}
+
+const std::vector<stream::Event>& study_events() {
+  static const std::vector<stream::Event> events =
+      stream::flatten_dataset(tiny().dataset);
+  return events;
+}
+
+/// The oracle: one scorer over the whole study, users fed in trace order
+/// (the per-user order every serve/cluster path preserves).
+const OnlineScorer& oracle() {
+  static const OnlineScorer scorer = [] {
+    OnlineScorer s(tiny_model());
+    for (const trace::UserRecord& user : tiny().dataset.users()) {
+      for (const trace::Checkin& c : user.checkins.events()) {
+        s.observe(user.id, c);
+      }
+    }
+    return s;
+  }();
+  return scorer;
+}
+
+void append_number(std::string& out, double v) {
+  char buf[40];
+  const auto [p, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, static_cast<std::size_t>(p - buf));
+}
+
+/// Expected /v1/users/{id}/score body, byte for byte.
+std::string expected_score_body(trace::UserId id) {
+  const auto snap = oracle().user_score(id);
+  std::string body = "{\"user\":" + std::to_string(id) + ",\"score\":";
+  append_number(body, snap->score);
+  body += ",\"live_score\":";
+  append_number(body, snap->live_score);
+  body += ",\"checkins\":" + std::to_string(snap->checkins) + "}";
+  return body;
+}
+
+std::string expected_suspect_entries(std::size_t k) {
+  std::string out;
+  const auto suspects = oracle().suspects(k);
+  for (std::size_t i = 0; i < suspects.size(); ++i) {
+    if (i > 0) out += ',';
+    out += "{\"user\":" + std::to_string(suspects[i].user) + ",\"score\":";
+    append_number(out, suspects[i].score);
+    out += ",\"checkins\":" + std::to_string(suspects[i].checkins) + "}";
+  }
+  return out;
+}
+
+/// Expected /v1/suspects body from one serve daemon, byte for byte.
+std::string expected_suspects_body(std::size_t k) {
+  return "{\"k\":" + std::to_string(k) + ",\"suspects\":[" +
+         expected_suspect_entries(k) + "]}";
+}
+
+/// The loadgen returns when the last byte is *sent*; the daemon may still
+/// be reading its kernel buffers. Scores are only comparable once every
+/// record is applied, so poll /v1/summary until the cursor covers the
+/// replay (each poll quiesces the engine, so reaching the cursor means
+/// reaching fully-scored state).
+void wait_for_cursor(std::uint16_t http_port, std::uint64_t want) {
+  for (int i = 0; i < 4000; ++i) {
+    const serve::HttpResponse resp =
+        serve::http_get("127.0.0.1", http_port, "/v1/summary");
+    if (resp.status == 200) {
+      const std::size_t p = resp.body.find("\"cursor\":");
+      if (p != std::string::npos) {
+        std::uint64_t got = 0;
+        (void)std::from_chars(resp.body.data() + p + 9,
+                              resp.body.data() + resp.body.size(), got);
+        if (got >= want) return;
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ADD_FAILURE() << "ingest never reached cursor " << want;
+}
+
+/// Batch mean score of one user via the detector path directly.
+double batch_mean_score(const detect::TrainedDetector& det,
+                        const trace::UserRecord& user) {
+  const std::vector<double> scores = det.score_user(user);
+  double sum = 0.0;
+  for (double s : scores) sum += s;
+  return sum / static_cast<double>(scores.size());
+}
+
+void run_engine_case(const core::StudyAnalysis& a, std::size_t shards) {
+  const detect::TrainedDetector det =
+      detect::train_detector(a.dataset, a.validation);
+  const ScoreModel model = ScoreModel::from_detector(det);
+  stream::StreamEngineConfig config;
+  config.shards = shards;
+  config.model = &model;
+  stream::StreamEngine engine{config};
+  for (const stream::Event& e : stream::flatten_dataset(a.dataset)) {
+    engine.push(e);
+  }
+  engine.finish();
+  ASSERT_TRUE(engine.scoring_enabled());
+  std::size_t with_checkins = 0;
+  for (const trace::UserRecord& user : a.dataset.users()) {
+    const auto snap = engine.user_score(user.id);
+    if (user.checkins.empty()) {
+      EXPECT_FALSE(snap.has_value());
+      continue;
+    }
+    ++with_checkins;
+    ASSERT_TRUE(snap.has_value()) << "user " << user.id;
+    // Bitwise double equality: the engine's served score must equal the
+    // batch detector's mean score exactly, at any shard count.
+    EXPECT_EQ(snap->score, batch_mean_score(det, user)) << "user " << user.id;
+    EXPECT_EQ(snap->checkins, user.checkins.size());
+  }
+  const auto top = engine.top_suspects(with_checkins);
+  EXPECT_EQ(top.size(), with_checkins);
+  for (std::size_t i = 1; i < top.size(); ++i) {
+    const bool ordered =
+        top[i - 1].score > top[i].score ||
+        (top[i - 1].score == top[i].score && top[i - 1].user < top[i].user);
+    EXPECT_TRUE(ordered) << "rank " << i;
+  }
+}
+
+TEST(ScoreEquivalence, EngineScoresMatchBatchAtOneShard) {
+  run_engine_case(tiny(), 1);
+}
+
+TEST(ScoreEquivalence, EngineScoresMatchBatchAtFourShards) {
+  run_engine_case(tiny(), 4);
+}
+
+TEST(ScoreEquivalence, PrimaryStudyEngineScoresMatchBatch) {
+  // The full-size corpus, one configuration (the shard/reactor matrix
+  // runs on tiny to keep the TSan budget sane).
+  static const core::StudyAnalysis primary =
+      core::analyze_generated(synth::primary_preset());
+  run_engine_case(primary, 2);
+}
+
+TEST(ScoreEquivalence, ScoringEndpointsAnswer409WithoutModel) {
+  serve::ServeConfig config;
+  config.metrics = false;
+  serve::Server server(std::move(config));
+  server.start();
+  serve::ServeStats stats;
+  std::atomic<bool> stop{false};
+  std::thread loop([&] { stats = server.run(&stop); });
+  const serve::HttpResponse suspects =
+      serve::http_get("127.0.0.1", server.http_port(), "/v1/suspects");
+  const serve::HttpResponse one_score = serve::http_get(
+      "127.0.0.1", server.http_port(), "/v1/users/1/score");
+  stop.store(true);
+  loop.join();
+  EXPECT_EQ(suspects.status, 409);
+  EXPECT_EQ(suspects.body, "{\"error\":\"serving without a model\"}");
+  EXPECT_EQ(one_score.status, 409);
+  EXPECT_EQ(one_score.body, "{\"error\":\"serving without a model\"}");
+}
+
+/// Parameterized on the reactor count; shards vary with it so the matrix
+/// covers both axes.
+class ScoreEquivalence : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ScoreEquivalence, ServedScoresAndSuspectsMatchOracle) {
+  const std::size_t reactors = GetParam();
+  serve::ServeConfig config;
+  config.metrics = false;
+  config.engine.shards = reactors == 1 ? 4 : reactors;
+  config.reactors = reactors;
+  config.model_path = tiny_model_path();
+  serve::Server server(std::move(config));
+  server.start();
+  serve::ServeStats stats;
+  std::thread loop([&] { stats = server.run(); });
+
+  serve::LoadgenConfig lg;
+  lg.port = server.ingest_port();
+  lg.connections = 4;  // concurrent producers racing into the shards
+  const serve::LoadgenStats sent = serve::run_loadgen(study_events(), lg);
+  EXPECT_EQ(sent.failed_connections, 0u);
+  wait_for_cursor(server.http_port(), study_events().size());
+
+  // Every user's served body must equal the oracle's, byte for byte.
+  for (const trace::UserRecord& user : tiny().dataset.users()) {
+    const serve::HttpResponse resp = serve::http_get(
+        "127.0.0.1", server.http_port(),
+        "/v1/users/" + std::to_string(user.id) + "/score");
+    if (user.checkins.empty()) {
+      EXPECT_EQ(resp.status, 404) << "user " << user.id;
+      continue;
+    }
+    ASSERT_EQ(resp.status, 200) << "user " << user.id;
+    EXPECT_EQ(resp.body, expected_score_body(user.id));
+  }
+
+  const serve::HttpResponse unknown = serve::http_get(
+      "127.0.0.1", server.http_port(), "/v1/users/4000000000/score");
+  EXPECT_EQ(unknown.status, 404);
+  EXPECT_EQ(unknown.body, "{\"error\":\"unknown user\"}");
+
+  // Top-k determinism: two reads under a live multi-producer daemon must
+  // agree with each other and with the oracle.
+  const serve::HttpResponse first = serve::http_get(
+      "127.0.0.1", server.http_port(), "/v1/suspects?k=5");
+  const serve::HttpResponse second = serve::http_get(
+      "127.0.0.1", server.http_port(), "/v1/suspects?k=5");
+  ASSERT_EQ(first.status, 200);
+  EXPECT_EQ(first.body, expected_suspects_body(5));
+  EXPECT_EQ(second.body, first.body);
+
+  const serve::HttpResponse drained =
+      serve::http_post("127.0.0.1", server.http_port(), "/admin/drain");
+  loop.join();
+  ASSERT_EQ(drained.status, 200);
+  EXPECT_EQ(stats.exit, serve::ServeExit::kDrained);
+}
+
+TEST_P(ScoreEquivalence, KillAndResumeServesByteIdenticalScores) {
+  const std::size_t reactors = GetParam();
+  const std::vector<stream::Event>& events = study_events();
+  const fs::path dir = fresh_dir("score_equivalence_resume_r" +
+                                 std::to_string(reactors));
+
+  // First life: periodic checkpoints, simulated SIGKILL mid-stream (the
+  // pacing rationale is test_serve_equivalence.cpp's, verbatim).
+  {
+    serve::ServeConfig config;
+    config.metrics = false;
+    config.engine.shards = 2;
+    config.reactors = reactors;
+    config.model_path = tiny_model_path();
+    config.checkpoint_dir = dir;
+    config.checkpoint_interval_records = 250;
+    config.crash_after_records = events.size() / 2;
+    serve::Server server(std::move(config));
+    server.start();
+    serve::ServeStats stats;
+    std::thread loop([&] { stats = server.run(); });
+
+    serve::LoadgenConfig lg;
+    lg.port = server.ingest_port();
+    lg.connections = 4;
+    lg.rate_events_per_sec = 50000.0;
+    const serve::LoadgenStats sent = serve::run_loadgen(events, lg);
+    loop.join();
+    ASSERT_EQ(stats.exit, serve::ServeExit::kCrashed);
+    (void)sent;
+  }
+
+  // Second life: resume (the checkpoint's config fingerprint includes the
+  // model's, so the same artifact must load), clients re-send everything.
+  serve::ServeConfig config;
+  config.metrics = false;
+  config.engine.shards = 4;  // shard count is not part of the state
+  config.reactors = reactors;
+  config.model_path = tiny_model_path();
+  config.checkpoint_dir = dir;
+  config.resume = true;
+  serve::Server server(std::move(config));
+  server.start();
+  ASSERT_GT(server.restored_cursor(), 0u);
+  serve::ServeStats stats;
+  std::thread loop([&] { stats = server.run(); });
+
+  serve::LoadgenConfig lg;
+  lg.port = server.ingest_port();
+  lg.connections = 4;
+  const serve::LoadgenStats sent = serve::run_loadgen(events, lg);
+  EXPECT_EQ(sent.failed_connections, 0u);
+  wait_for_cursor(server.http_port(), events.size());
+
+  const serve::HttpResponse suspects = serve::http_get(
+      "127.0.0.1", server.http_port(), "/v1/suspects?k=8");
+  ASSERT_EQ(suspects.status, 200);
+  EXPECT_EQ(suspects.body, expected_suspects_body(8));
+  for (const trace::UserRecord& user : tiny().dataset.users()) {
+    if (user.checkins.empty()) continue;
+    const serve::HttpResponse resp = serve::http_get(
+        "127.0.0.1", server.http_port(),
+        "/v1/users/" + std::to_string(user.id) + "/score");
+    ASSERT_EQ(resp.status, 200) << "user " << user.id;
+    EXPECT_EQ(resp.body, expected_score_body(user.id));
+  }
+
+  const serve::HttpResponse drained =
+      serve::http_post("127.0.0.1", server.http_port(), "/admin/drain");
+  loop.join();
+  ASSERT_EQ(drained.status, 200);
+  EXPECT_EQ(stats.exit, serve::ServeExit::kDrained);
+}
+
+INSTANTIATE_TEST_SUITE_P(Reactors, ScoreEquivalence,
+                         ::testing::Values(1u, 2u, 4u),
+                         [](const auto& param_info) {
+                           return "reactors" +
+                                  std::to_string(param_info.param);
+                         });
+
+struct TestBackend {
+  serve::Server server;
+  std::atomic<bool> stop{false};
+  serve::ServeStats stats;
+  std::thread loop;
+
+  explicit TestBackend(serve::ServeConfig config)
+      : server(std::move(config)) {
+    server.start();
+    loop = std::thread([this] { stats = server.run(&stop); });
+  }
+
+  ~TestBackend() {
+    if (loop.joinable()) {
+      stop.store(true);
+      loop.join();
+    }
+  }
+
+  void join() { loop.join(); }
+};
+
+TEST(ScoreEquivalence, ClusterSuspectsMergeIsByteDeterministic) {
+  std::vector<std::unique_ptr<TestBackend>> backends;
+  cluster::RouteConfig rc;
+  rc.metrics = false;
+  for (std::size_t i = 0; i < 3; ++i) {
+    serve::ServeConfig sc;
+    sc.metrics = false;
+    sc.engine.shards = 1 + i;  // shard count must not matter
+    sc.model_path = tiny_model_path();
+    backends.push_back(std::make_unique<TestBackend>(std::move(sc)));
+    cluster::BackendAddr addr;
+    addr.name = "b" + std::to_string(i);
+    addr.ingest_port = backends.back()->server.ingest_port();
+    addr.http_port = backends.back()->server.http_port();
+    rc.backends.push_back(std::move(addr));
+  }
+  cluster::Router router(std::move(rc));
+  router.start();
+  cluster::RouteStats stats;
+  std::thread loop([&] { stats = router.run(); });
+
+  serve::LoadgenConfig lg;
+  lg.port = router.ingest_port();
+  lg.connections = 3;
+  const serve::LoadgenStats sent = serve::run_loadgen(study_events(), lg);
+  EXPECT_EQ(sent.failed_connections, 0u);
+  EXPECT_EQ(sent.connect_failures, 0u);
+  wait_for_cursor(router.http_port(), study_events().size());
+
+  // The merged ranking re-emits each backend's score bytes verbatim and
+  // orders them (score desc, id asc) — exactly the oracle's global top-k.
+  const std::string expected = "{\"backends\":3,\"k\":6,\"suspects\":[" +
+                               expected_suspect_entries(6) + "]}";
+  const serve::HttpResponse first = serve::http_get(
+      "127.0.0.1", router.http_port(), "/v1/suspects?k=6");
+  const serve::HttpResponse second = serve::http_get(
+      "127.0.0.1", router.http_port(), "/v1/suspects?k=6");
+  ASSERT_EQ(first.status, 200);
+  EXPECT_EQ(first.body, expected);
+  EXPECT_EQ(second.body, first.body);
+
+  // Score lookups proxy to the ring owner; unknown users 404 through it.
+  for (const trace::UserRecord& user : tiny().dataset.users()) {
+    if (user.checkins.empty()) continue;
+    const serve::HttpResponse resp = serve::http_get(
+        "127.0.0.1", router.http_port(),
+        "/v1/users/" + std::to_string(user.id) + "/score");
+    ASSERT_EQ(resp.status, 200) << "user " << user.id;
+    EXPECT_EQ(resp.body, expected_score_body(user.id));
+  }
+  const serve::HttpResponse unknown = serve::http_get(
+      "127.0.0.1", router.http_port(), "/v1/users/4000000000/score");
+  EXPECT_EQ(unknown.status, 404);
+  EXPECT_EQ(unknown.body, "{\"error\":\"unknown user\"}");
+
+  const serve::HttpResponse drained =
+      serve::http_post("127.0.0.1", router.http_port(), "/admin/drain");
+  loop.join();
+  for (auto& b : backends) b->join();
+  ASSERT_EQ(drained.status, 200);
+  EXPECT_EQ(stats.exit, cluster::RouteExit::kDrained);
+}
+
+}  // namespace
+}  // namespace geovalid::score

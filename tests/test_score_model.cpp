@@ -1,0 +1,228 @@
+// Tests for the scoring model artifact (score/model.h) and the online
+// scorer's bit-equivalence to the batch detector (score/scorer.h).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+
+#include "core/pipeline.h"
+#include "detect/detector.h"
+#include "detect/features.h"
+#include "score/model.h"
+#include "score/scorer.h"
+#include "stream/checkpoint.h"
+#include "stream/snapshot_io.h"
+
+namespace geovalid::score {
+namespace {
+
+const core::StudyAnalysis& tiny() {
+  static const core::StudyAnalysis a =
+      core::analyze_generated(synth::tiny_preset());
+  return a;
+}
+
+const detect::TrainedDetector& tiny_detector() {
+  static const detect::TrainedDetector d =
+      detect::train_detector(tiny().dataset, tiny().validation);
+  return d;
+}
+
+const ScoreModel& tiny_model() {
+  static const ScoreModel m = ScoreModel::from_detector(tiny_detector());
+  return m;
+}
+
+std::filesystem::path fresh_path(const std::string& name) {
+  const std::filesystem::path p =
+      std::filesystem::path(::testing::TempDir()) / name;
+  std::filesystem::remove(p);
+  return p;
+}
+
+TEST(ScoreModel, EncodeDecodeRoundTrip) {
+  const std::string bytes = tiny_model().encode();
+  const ScoreModel copy = ScoreModel::decode(bytes);
+  EXPECT_EQ(copy.encode(), bytes);
+  EXPECT_EQ(copy.fingerprint(), tiny_model().fingerprint());
+}
+
+TEST(ScoreModel, ScoresMatchBatchPath) {
+  // The model carries the literal scaler + weights of the detector it was
+  // frozen from, so both paths produce bit-identical probabilities.
+  const auto& a = tiny();
+  const auto& det = tiny_detector();
+  const auto& model = tiny_model();
+  for (const trace::UserRecord& user : a.dataset.users()) {
+    const std::vector<double> batch = det.score_user(user);
+    const auto features = detect::extract_features(user);
+    ASSERT_EQ(batch.size(), features.size());
+    for (std::size_t i = 0; i < features.size(); ++i) {
+      EXPECT_EQ(model.score(features[i]), batch[i]);
+    }
+  }
+}
+
+TEST(ScoreModel, SaveLoadRoundTrip) {
+  const auto path = fresh_path("score_model_roundtrip.gvsm");
+  save_model(path, tiny_model());
+  const ScoreModel loaded = load_model(path);
+  EXPECT_EQ(loaded.encode(), tiny_model().encode());
+}
+
+TEST(ScoreModel, CorruptByteThrowsCorrupt) {
+  std::string bytes = tiny_model().encode();
+  bytes[bytes.size() / 2] ^= 0x40;  // body flip: CRC catches it
+  try {
+    (void)ScoreModel::decode(bytes);
+    FAIL() << "decode accepted corrupt bytes";
+  } catch (const stream::CheckpointError& e) {
+    EXPECT_EQ(e.kind(), stream::CheckpointError::Kind::kCorrupt);
+  }
+}
+
+TEST(ScoreModel, TruncationThrowsCorrupt) {
+  const std::string bytes = tiny_model().encode();
+  for (const std::size_t keep : {std::size_t{0}, std::size_t{7},
+                                 bytes.size() / 2, bytes.size() - 1}) {
+    EXPECT_THROW((void)ScoreModel::decode(bytes.substr(0, keep)),
+                 stream::CheckpointError);
+  }
+}
+
+TEST(ScoreModel, TrailingJunkThrowsCorrupt) {
+  EXPECT_THROW((void)ScoreModel::decode(tiny_model().encode() + "x"),
+               stream::CheckpointError);
+}
+
+TEST(ScoreModel, VersionMismatchIsTyped) {
+  // Re-stamp the version field (bytes 4..7) and fix up the CRC trailer so
+  // only the revision check can object.
+  std::string bytes = tiny_model().encode();
+  bytes[4] = 99;
+  const std::string body = bytes.substr(0, bytes.size() - 4);
+  stream::SnapshotWriter crc;
+  crc.u32(stream::crc32(body));
+  bytes = body + crc.take();
+  try {
+    (void)ScoreModel::decode(bytes);
+    FAIL() << "decode accepted a foreign format revision";
+  } catch (const stream::CheckpointError& e) {
+    EXPECT_EQ(e.kind(), stream::CheckpointError::Kind::kVersionMismatch);
+  }
+}
+
+TEST(ScoreModel, MissingFileThrowsCorrupt) {
+  EXPECT_THROW((void)load_model(fresh_path("score_model_missing.gvsm")),
+               stream::CheckpointError);
+}
+
+TEST(ScoreOnline, ArrivalScoreEqualsBatchLastRow) {
+  // The arrival-score theorem: observing checkin i returns exactly the
+  // batch score of row i when the batch runs on the prefix [0, i].
+  const auto& a = tiny();
+  const auto& model = tiny_model();
+  OnlineScorer scorer(model);
+  for (const trace::UserRecord& user : a.dataset.users()) {
+    const auto events = user.checkins.events();
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      const double arrival = scorer.observe(user.id, events[i]);
+      trace::UserRecord prefix;
+      prefix.checkins = trace::CheckinTrace(
+          std::vector<trace::Checkin>(events.begin(),
+                                      events.begin() + i + 1));
+      const auto features = detect::extract_features(prefix);
+      EXPECT_EQ(arrival, model.score(features.back()))
+          << "user " << user.id << " checkin " << i;
+    }
+  }
+}
+
+TEST(ScoreOnline, ExactScoreEqualsBatchMean) {
+  const auto& a = tiny();
+  const auto& det = tiny_detector();
+  OnlineScorer scorer(tiny_model());
+  for (const trace::UserRecord& user : a.dataset.users()) {
+    for (const trace::Checkin& c : user.checkins.events()) {
+      scorer.observe(user.id, c);
+    }
+  }
+  for (const trace::UserRecord& user : a.dataset.users()) {
+    const auto snap = scorer.user_score(user.id);
+    if (user.checkins.empty()) {
+      EXPECT_FALSE(snap.has_value());
+      continue;
+    }
+    ASSERT_TRUE(snap.has_value());
+    const std::vector<double> batch = det.score_user(user);
+    double sum = 0.0;
+    for (double s : batch) sum += s;
+    EXPECT_EQ(snap->score, sum / static_cast<double>(batch.size()));
+    EXPECT_EQ(snap->checkins, user.checkins.size());
+    EXPECT_TRUE(std::isfinite(snap->live_score));
+  }
+}
+
+TEST(ScoreOnline, UnknownUserHasNoScore) {
+  OnlineScorer scorer(tiny_model());
+  EXPECT_FALSE(scorer.user_score(123456).has_value());
+  EXPECT_EQ(scorer.user_count(), 0u);
+}
+
+TEST(ScoreOnline, SuspectsRankedScoreDescIdAsc) {
+  const auto& a = tiny();
+  OnlineScorer scorer(tiny_model());
+  for (const trace::UserRecord& user : a.dataset.users()) {
+    for (const trace::Checkin& c : user.checkins.events()) {
+      scorer.observe(user.id, c);
+    }
+  }
+  const auto all = scorer.suspects(scorer.user_count());
+  EXPECT_EQ(all.size(), scorer.user_count());
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    const bool ordered =
+        all[i - 1].score > all[i].score ||
+        (all[i - 1].score == all[i].score && all[i - 1].user < all[i].user);
+    EXPECT_TRUE(ordered) << "rank " << i;
+  }
+  const auto top3 = scorer.suspects(3);
+  ASSERT_LE(top3.size(), 3u);
+  for (std::size_t i = 0; i < top3.size(); ++i) {
+    EXPECT_EQ(top3[i].user, all[i].user);
+    EXPECT_EQ(top3[i].score, all[i].score);
+  }
+  EXPECT_TRUE(scorer.suspects(0).empty());
+}
+
+TEST(ScoreOnline, SaveLoadRebuildsStateBitIdentically) {
+  const auto& a = tiny();
+  OnlineScorer scorer(tiny_model());
+  for (const trace::UserRecord& user : a.dataset.users()) {
+    for (const trace::Checkin& c : user.checkins.events()) {
+      scorer.observe(user.id, c);
+    }
+  }
+  stream::SnapshotWriter w;
+  for (const trace::UserRecord& user : a.dataset.users()) {
+    scorer.save_user(w, user.id);
+  }
+  const std::string bytes = w.take();
+  OnlineScorer restored(tiny_model());
+  stream::SnapshotReader r(bytes);
+  for (const trace::UserRecord& user : a.dataset.users()) {
+    restored.load_user(r, user.id);
+  }
+  for (const trace::UserRecord& user : a.dataset.users()) {
+    const auto before = scorer.user_score(user.id);
+    const auto after = restored.user_score(user.id);
+    ASSERT_EQ(before.has_value(), after.has_value());
+    if (!before) continue;
+    EXPECT_EQ(before->score, after->score);
+    EXPECT_EQ(before->live_score, after->live_score);
+    EXPECT_EQ(before->checkins, after->checkins);
+  }
+}
+
+}  // namespace
+}  // namespace geovalid::score

@@ -63,9 +63,19 @@ mkdir -p "$WORK"
 
 ROUTER=""
 B1=""; B2=""; B3=""
+
+# Every backend serves with the same frozen scoring artifact so the
+# router's merged /v1/suspects (docs/DETECTION.md) can be probed below.
+"$CLI" train "$DATASET" "$WORK/model.gvsm" > "$WORK/train.log" 2>&1 || {
+    echo "FAIL: train failed" >&2
+    sed 's/^/  train: /' "$WORK/train.log" >&2
+    exit 1
+}
+
 for i in 1 2 3; do
     "$CLI" serve --port 0 --http-port 0 --port-file "$WORK/b$i.ports" \
         --checkpoint-dir "$WORK/ck$i" --dead-letter "$WORK/dead$i.csv" \
+        --model "$WORK/model.gvsm" \
         --reactors 2 > "$WORK/b$i.log" 2>&1 &
     eval "B$i=$!"
 done
@@ -140,6 +150,17 @@ for i in 1 2 3; do
     ls "$WORK/ck$i"/checkpoint-*.gvck > /dev/null 2>&1 \
         || fail "backend $i wrote no checkpoint"
 done
+
+# Merged suspects (docs/DETECTION.md): the router fans /v1/suspects out to
+# all three backends and re-ranks; the merged body leads with the backend
+# count, exactly like the merged summary.
+probe GET "$RHTTP" "/v1/suspects?k=5" > "$WORK/suspects.body"
+grep -q " 200 " "$WORK/status" \
+    || fail "/v1/suspects: $(cat "$WORK/status") $(cat "$WORK/suspects.body")"
+grep -q '^{"backends":3,' "$WORK/suspects.body" \
+    || fail "merged suspects body: $(cat "$WORK/suspects.body")"
+grep -q '"suspects":\[{"user":' "$WORK/suspects.body" \
+    || fail "merged suspects list is empty: $(cat "$WORK/suspects.body")"
 
 kill -TERM "$ROUTER"
 wait "$ROUTER"

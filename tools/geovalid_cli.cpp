@@ -35,18 +35,29 @@
 //       docs/ROBUSTNESS.md); --inject-faults drives the deterministic
 //       fault harness (spec grammar in docs/ROBUSTNESS.md).
 //
+//   geovalid train <dataset_dir> <model_out> [--detect-visits]
+//                  [--alpha M] [--beta MIN]
+//       Run the batch validation pipeline on a CSV dataset, train the
+//       logistic extraneous-checkin detector on the matcher's labels and
+//       write the scaler + weights as a versioned, CRC-trailed model
+//       artifact (docs/DETECTION.md) for `geovalid serve --model`.
+//
 //   geovalid serve [--port N] [--http-port N] [--host ADDR] [--shards N]
 //                  [--reactors N] [--alpha M] [--beta MIN]
 //                  [--max-connections N] [--idle-timeout S]
 //                  [--checkpoint-dir D] [--checkpoint-interval N] [--resume]
-//                  [--dead-letter FILE] [--port-file PATH]
+//                  [--model FILE] [--dead-letter FILE] [--port-file PATH]
 //                  [--crash-after N]
 //       Run the online validation daemon (docs/SERVICE.md): a TCP ingest
 //       port speaking the line-delimited wire protocol feeding the live
 //       streaming engine through --reactors event-loop threads (0 = all
 //       hardware threads), and an HTTP control plane (/healthz, /metrics,
 //       /v1/summary, /v1/users/{id}/verdicts, /admin/checkpoint,
-//       /admin/drain) pinned to reactor 0. --port 0 (the default) binds an ephemeral port and
+//       /admin/drain) pinned to reactor 0. With --model (a `geovalid
+//       train` artifact) every checkin is additionally scored online and
+//       the control plane answers /v1/users/{id}/score and
+//       /v1/suspects?k=N (docs/DETECTION.md); a corrupt or mismatched
+//       artifact exits 4. --port 0 (the default) binds an ephemeral port and
 //       prints the one the kernel picked; --port-file additionally writes
 //       both bound ports to PATH for scripts. SIGTERM/SIGINT drain the
 //       engine, write a final checkpoint (with --checkpoint-dir) and exit
@@ -103,6 +114,8 @@
 
 #include "cluster/router.h"
 #include "core/parallel.h"
+#include "detect/detector.h"
+#include "score/model.h"
 #include "core/pipeline.h"
 #include "core/report.h"
 #include "match/filters.h"
@@ -158,14 +171,16 @@ int usage() {
       "                  [--checkpoint-interval EVENTS] [--resume]\n"
       "                  [--dead-letter FILE] [--inject-faults SPEC]\n"
       "                  [--stop-after EVENTS]\n"
+      "  geovalid train <dataset_dir> <model_out> [--detect-visits]\n"
+      "                 [--alpha M] [--beta MIN]\n"
       "  geovalid serve [--port N] [--http-port N] [--host ADDR] "
       "[--shards N]\n"
       "                 [--reactors N] [--alpha M] [--beta MIN]\n"
       "                 [--max-connections N] [--idle-timeout SECONDS]\n"
       "                 [--checkpoint-dir D] "
       "[--checkpoint-interval RECORDS]\n"
-      "                 [--resume] [--dead-letter FILE] [--port-file PATH]\n"
-      "                 [--crash-after RECORDS]\n"
+      "                 [--resume] [--model FILE] [--dead-letter FILE]\n"
+      "                 [--port-file PATH] [--crash-after RECORDS]\n"
       "  geovalid route --backend [NAME=]HOST:INGEST:HTTP "
       "[--backend ...]\n"
       "                 [--port N] [--http-port N] [--host ADDR]\n"
@@ -642,6 +657,39 @@ int cmd_stream(int argc, char** argv) {
   return kExitOk;
 }
 
+int cmd_train(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::size_t threads = threads_flag(argc, argv);
+  const std::filesystem::path dir = argv[0];
+  const std::filesystem::path out_path = argv[1];
+
+  match::MatchConfig cfg;
+  if (const auto alpha = flag_value(argc, argv, "--alpha")) cfg.alpha_m = *alpha;
+  if (const auto beta = flag_value(argc, argv, "--beta")) {
+    cfg.beta = static_cast<trace::TimeSec>(*beta * 60.0);
+  }
+
+  std::cout << "loading " << dir << "...\n";
+  const core::StudyAnalysis analysis = core::analyze_csv(
+      dir, dir.filename().string(), has_flag(argc, argv, "--detect-visits"),
+      cfg, {}, threads);
+
+  std::cout << "training detector on " << analysis.dataset.users().size()
+            << " users...\n";
+  const detect::TrainedDetector detector =
+      detect::train_detector(analysis.dataset, analysis.validation);
+  const score::ScoreModel model = score::ScoreModel::from_detector(detector);
+  score::save_model(out_path, model);
+
+  std::cout << "wrote " << out_path << ": " << detect::kFeatureCount
+            << " features, fingerprint " << std::hex << model.fingerprint()
+            << std::dec << " (" << detector.train_users.size() << " train / "
+            << detector.test_users.size() << " test users)\n"
+            << "serve it with: geovalid serve --model " << out_path.string()
+            << "\n";
+  return kExitOk;
+}
+
 int cmd_serve(int argc, char** argv) {
   (void)threads_flag(argc, argv);  // accepted everywhere; shards and
                                    // reactors control serve parallelism
@@ -687,6 +735,9 @@ int cmd_serve(int argc, char** argv) {
   }
   if (const auto dead_letter = string_flag_value(argc, argv, "--dead-letter")) {
     cfg.quarantine.dead_letter_path = *dead_letter;
+  }
+  if (const auto model = string_flag_value(argc, argv, "--model")) {
+    cfg.model_path = *model;
   }
   if (const auto v = int_flag_value(argc, argv, "--crash-after")) {
     cfg.crash_after_records = *v;
@@ -956,6 +1007,7 @@ int dispatch(const std::string& cmd, int argc, char** argv) {
   if (cmd == "stream") return cmd_stream(argc, argv);
   if (cmd == "serve") return cmd_serve(argc, argv);
   if (cmd == "route") return cmd_route(argc, argv);
+  if (cmd == "train") return cmd_train(argc, argv);
   return usage();
 }
 

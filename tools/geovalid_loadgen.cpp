@@ -6,6 +6,7 @@
 //                    [--connections N] [--rate EVENTS/S]
 //                    [--format text|binary] [--retries N]
 //                    [--inject-net-faults SPEC] [--route]
+//                    [--probe-suspects]
 //
 // Events are partitioned by `user % connections` so each user's records
 // arrive in trace order over one connection — the ordering the engine's
@@ -15,6 +16,13 @@
 // throughput. With --http-port the control plane is probed after
 // the replay: /healthz, /metrics (status + content type), and a timed
 // /v1/summary whose body is embedded in the output verbatim.
+//
+// --probe-suspects (requires --http-port) additionally hits the scoring
+// control plane while the replay runs: periodic GET /v1/suspects?k=5 plus
+// a score lookup for a deterministically-cycled user from the trace, with
+// one final probe after the replay. The JSON gains probe counts, the mean
+// suspects latency, and the last suspects body verbatim; zero successful
+// suspects probes is a run failure (the target has no model loaded).
 //
 // --route marks the target as a `geovalid route` front end under test:
 // per-connection failures (connect_failures / failed_connections in the
@@ -55,7 +63,7 @@ int usage() {
          "                        [--host ADDR] [--connections N]\n"
          "                        [--rate EVENTS/S] [--format text|binary]\n"
          "                        [--retries N] [--inject-net-faults SPEC]\n"
-         "                        [--route]\n";
+         "                        [--route] [--probe-suspects]\n";
   return 2;
 }
 
@@ -142,6 +150,13 @@ int main(int argc, char** argv) {
             int_flag_value(argc - 2, argv + 2, "--retries")) {
       cfg.retries = static_cast<std::size_t>(*retries);
     }
+    if (has_flag(argc - 2, argv + 2, "--probe-suspects")) {
+      if (cfg.http_port == 0) {
+        std::cerr << "error: --probe-suspects requires --http-port\n";
+        return usage();
+      }
+      cfg.probe_suspects = true;
+    }
     if (const auto spec =
             string_flag_value(argc - 2, argv + 2, "--inject-net-faults")) {
       try {
@@ -171,6 +186,7 @@ int main(int argc, char** argv) {
                                stats.summary_json.empty())) {
       return 1;
     }
+    if (cfg.probe_suspects && stats.suspect_probes_ok == 0) return 1;
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

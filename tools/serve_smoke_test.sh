@@ -77,5 +77,42 @@ STATUS=$?
 ls "$WORK"/ck/checkpoint-*.gvck > /dev/null 2>&1 \
     || fail "no final checkpoint written"
 
+# Trained-model pass (docs/DETECTION.md): freeze a scoring artifact from
+# the same dataset, restart the daemon with --model, and require the
+# scoring control plane to answer — the loadgen's --probe-suspects exits
+# nonzero unless /v1/suspects returned at least one ranked list.
+"$CLI" train "$DATASET" "$WORK/model.gvsm" > "$WORK/train.log" 2>&1 \
+    || fail "train failed: $(cat "$WORK/train.log")"
+
+rm -f "$WORK/ports"
+"$CLI" serve --port 0 --http-port 0 --port-file "$WORK/ports" \
+    --model "$WORK/model.gvsm" --shards 2 --reactors 2 \
+    > "$WORK/serve-model.log" 2>&1 &
+SERVER=$!
+
+i=0
+while [ ! -s "$WORK/ports" ]; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && fail "model server never wrote the port file"
+    kill -0 "$SERVER" 2>/dev/null || fail "model server exited before binding"
+    sleep 0.1
+done
+INGEST=$(sed -n 's/^ingest=//p' "$WORK/ports")
+HTTP=$(sed -n 's/^http=//p' "$WORK/ports")
+[ -n "$INGEST" ] && [ -n "$HTTP" ] || fail "model port file is malformed"
+
+"$LOADGEN" "$DATASET" --port "$INGEST" --http-port "$HTTP" \
+    --connections 4 --probe-suspects > "$WORK/loadgen-model.json" \
+    2> "$WORK/loadgen-model.err" \
+    || fail "model loadgen failed: $(cat "$WORK/loadgen-model.err")"
+
+grep -q '"suspects":{' "$WORK/loadgen-model.json" \
+    || fail "loadgen JSON missing a suspects body"
+
+kill -TERM "$SERVER"
+wait "$SERVER"
+STATUS=$?
+[ "$STATUS" -eq 5 ] || fail "expected exit 5 on model-serve SIGTERM, got $STATUS"
+
 echo "serve smoke test passed"
 exit 0
